@@ -1,0 +1,35 @@
+//! Ablation A1: the selection-score α knob. α = 1 (paper) prioritizes wide
+//! tile intervals; α = 0 prioritizes cheap tiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pai_bench::small_setup;
+use pai_core::{EngineConfig, SelectionPolicy};
+use pai_query::{run_workload, Method};
+
+fn bench_alpha(c: &mut Criterion) {
+    let setup = small_setup(60_000);
+    let file = pai_bench::cached_csv(&setup.spec);
+    let mut group = c.benchmark_group("alpha_sweep");
+    group.sample_size(10);
+    for alpha in [0.0, 0.5, 1.0] {
+        let cfg = EngineConfig {
+            policy: SelectionPolicy::ScoreGreedy { alpha },
+            ..setup.engine.clone()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha_{alpha}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    run_workload(&file, &setup.init, cfg, &setup.workload, Method::Approx { phi: 0.05 })
+                        .expect("run")
+                        .total_objects_read()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation A4: sensitivity to spatial density (uniform vs clusters of
+//! decreasing sigma vs a diagonal band) — the paper's "regions with a high
+//! density of objects" motivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pai_bench::default_spec;
+use pai_common::AggregateFunction;
+use pai_index::init::{GridSpec, InitConfig};
+use pai_index::MetadataPolicy;
+use pai_query::{run_workload, Method, Workload};
+use pai_storage::{DatasetSpec, PointDistribution};
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density");
+    group.sample_size(10);
+    for (name, dist) in [
+        ("uniform", PointDistribution::Uniform),
+        (
+            "clusters_s50",
+            PointDistribution::GaussianClusters { clusters: 5, sigma_frac: 0.05, background: 0.3 },
+        ),
+        (
+            "clusters_s20",
+            PointDistribution::GaussianClusters { clusters: 5, sigma_frac: 0.02, background: 0.1 },
+        ),
+        ("diagonal", PointDistribution::DiagonalBand { width_frac: 0.08 }),
+    ] {
+        let spec = DatasetSpec { distribution: dist, ..default_spec(60_000, 42) };
+        let file = pai_bench::cached_csv(&spec);
+        let init = InitConfig {
+            grid: GridSpec::Fixed { nx: 8, ny: 8 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let start = Workload::centered_window(&spec.domain, 0.02)
+            .shifted(-150.0, -150.0)
+            .clamped_into(&spec.domain);
+        let wl = Workload::shifted_sequence(
+            &spec.domain, start, 12, vec![AggregateFunction::Mean(2)], 42,
+        );
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                run_workload(
+                    &file,
+                    &init,
+                    &pai_core::EngineConfig::paper_evaluation(),
+                    &wl,
+                    Method::Approx { phi: 0.05 },
+                )
+                .expect("run")
+                .total_objects_read()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

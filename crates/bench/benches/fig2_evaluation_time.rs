@@ -1,0 +1,34 @@
+//! Criterion bench for the Figure 2 experiment: whole shifted-sequence
+//! evaluation time under exact / 1 % / 5 % methods (fresh index per
+//! iteration, as in the paper's protocol).
+//!
+//! The `fig2` binary prints the per-query series; this bench gives
+//! statistically robust totals for the three methods.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pai_bench::small_setup;
+use pai_query::{run_workload, Method};
+
+fn bench_fig2(c: &mut Criterion) {
+    let setup = small_setup(60_000);
+    let file = pai_bench::cached_csv(&setup.spec);
+    let mut group = c.benchmark_group("fig2_sequence");
+    group.sample_size(10);
+    for (name, method) in [
+        ("exact", Method::Exact),
+        ("phi_1pct", Method::Approx { phi: 0.01 }),
+        ("phi_5pct", Method::Approx { phi: 0.05 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &method, |b, &m| {
+            b.iter(|| {
+                run_workload(&file, &setup.init, &setup.engine, &setup.workload, m)
+                    .expect("run")
+                    .total_objects_read()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

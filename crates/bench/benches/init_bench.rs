@@ -1,0 +1,60 @@
+//! Ablation A5b: initialization cost — serial vs parallel scan, metadata
+//! policies, and grid granularity (the "data-to-analysis time" the in-situ
+//! paradigm minimizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pai_bench::default_spec;
+use pai_index::init::{build, build_parallel, GridSpec, InitConfig};
+use pai_index::MetadataPolicy;
+
+fn bench_init(c: &mut Criterion) {
+    let spec = default_spec(120_000, 42);
+    let file = pai_bench::cached_csv(&spec);
+
+    let mut group = c.benchmark_group("init");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(spec.rows));
+
+    for (name, metadata) in [
+        ("meta_all", MetadataPolicy::AllNumeric),
+        ("meta_one", MetadataPolicy::Attrs(vec![2])),
+        ("meta_none", MetadataPolicy::None),
+    ] {
+        let cfg = InitConfig {
+            grid: GridSpec::Fixed { nx: 16, ny: 16 },
+            domain: Some(spec.domain),
+            metadata,
+        };
+        group.bench_with_input(BenchmarkId::new("serial", name), &cfg, |b, cfg| {
+            b.iter(|| build(&file, cfg).expect("init").0.total_objects())
+        });
+    }
+
+    for threads in [1usize, 2, 4] {
+        let cfg = InitConfig {
+            grid: GridSpec::Fixed { nx: 16, ny: 16 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &t| b.iter(|| build_parallel(&file, &cfg, t).expect("init").0.total_objects()),
+        );
+    }
+
+    for n in [8usize, 32] {
+        let cfg = InitConfig {
+            grid: GridSpec::Fixed { nx: n, ny: n },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        group.bench_with_input(BenchmarkId::new("grid", n), &cfg, |b, cfg| {
+            b.iter(|| build(&file, cfg).expect("init").0.total_objects())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_init);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Ablation A2: tile-selection policy shootout at phi = 5 %.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pai_bench::small_setup;
+use pai_core::{EngineConfig, SelectionPolicy};
+use pai_query::{run_workload, Method};
+
+fn bench_policies(c: &mut Criterion) {
+    let setup = small_setup(60_000);
+    let file = pai_bench::cached_csv(&setup.spec);
+    let mut group = c.benchmark_group("selection_policy");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("score_a1", SelectionPolicy::ScoreGreedy { alpha: 1.0 }),
+        ("score_a0", SelectionPolicy::ScoreGreedy { alpha: 0.0 }),
+        ("cost_benefit", SelectionPolicy::CostBenefit),
+        ("random", SelectionPolicy::Random { seed: 7 }),
+    ] {
+        let cfg = EngineConfig { policy, ..setup.engine.clone() };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                run_workload(&file, &setup.init, cfg, &setup.workload, Method::Approx { phi: 0.05 })
+                    .expect("run")
+                    .total_objects_read()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Ablation A5a: dataset-size scaling of the standard workload under the
+//! 5 % method (per-query work should track window object counts, not file
+//! size, once the index is initialized).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pai_bench::small_setup;
+use pai_query::{run_workload, Method};
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_rows");
+    group.sample_size(10);
+    for rows in [30_000u64, 60_000, 120_000] {
+        let setup = small_setup(rows);
+        let file = pai_bench::cached_csv(&setup.spec);
+        group.throughput(Throughput::Elements(rows));
+        group.bench_function(BenchmarkId::from_parameter(rows), |b| {
+            b.iter(|| {
+                run_workload(
+                    &file,
+                    &setup.init,
+                    &setup.engine,
+                    &setup.workload,
+                    Method::Approx { phi: 0.05 },
+                )
+                .expect("run")
+                .total_objects_read()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation A3: split policies and read policies under the standard
+//! shifted workload at phi = 5 %.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pai_bench::small_setup;
+use pai_core::EngineConfig;
+use pai_index::{AdaptConfig, ReadPolicy, SplitPolicy};
+use pai_query::{run_workload, Method};
+
+fn bench_split(c: &mut Criterion) {
+    let setup = small_setup(60_000);
+    let file = pai_bench::cached_csv(&setup.spec);
+    let mut group = c.benchmark_group("split_policy");
+    group.sample_size(10);
+    for (name, split) in [
+        ("query_aligned", SplitPolicy::QueryAligned),
+        ("grid_2x2", SplitPolicy::Grid { rows: 2, cols: 2 }),
+        ("grid_4x4", SplitPolicy::Grid { rows: 4, cols: 4 }),
+        ("kd_median", SplitPolicy::KdMedian),
+        ("no_split", SplitPolicy::NoSplit),
+    ] {
+        let cfg = EngineConfig {
+            adapt: AdaptConfig { split, ..Default::default() },
+            ..setup.engine.clone()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                run_workload(&file, &setup.init, cfg, &setup.workload, Method::Approx { phi: 0.05 })
+                    .expect("run")
+                    .total_objects_read()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("read_policy");
+    group.sample_size(10);
+    for (name, read) in [
+        ("window_only", ReadPolicy::WindowOnly),
+        ("full_tile", ReadPolicy::FullTile),
+    ] {
+        let cfg = EngineConfig {
+            adapt: AdaptConfig { read, ..Default::default() },
+            ..setup.engine.clone()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                run_workload(&file, &setup.init, cfg, &setup.workload, Method::Approx { phi: 0.05 })
+                    .expect("run")
+                    .total_objects_read()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_split);
+criterion_main!(benches);

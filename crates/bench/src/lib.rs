@@ -1,0 +1,187 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every bench target and binary reproduces an experiment row from
+//! `DESIGN.md` §4. They share: a cached on-disk dataset (so criterion
+//! iterations do not regenerate CSVs), the paper's workload shape, and a
+//! standard engine/init configuration.
+//!
+//! Scale knobs (environment variables):
+//! * `PAI_BENCH_ROWS`    — dataset rows (default 200 000; the paper used
+//!   ~10⁸ rows / 11 GB — see DESIGN.md on scaling);
+//! * `PAI_BENCH_QUERIES` — queries in the Figure 2 sequence (default 50);
+//! * `PAI_BENCH_SEED`    — RNG seed for data + workload (default 42).
+
+use std::path::PathBuf;
+
+use pai_common::geometry::Rect;
+use pai_common::AggregateFunction;
+use pai_core::EngineConfig;
+use pai_index::init::{GridSpec, InitConfig};
+use pai_index::MetadataPolicy;
+use pai_query::Workload;
+use pai_storage::{CsvFile, CsvFormat, DatasetSpec, PointDistribution, RawFile, ValueModel};
+
+/// Everything a Figure 2 style run needs.
+#[derive(Debug, Clone)]
+pub struct Fig2Setup {
+    pub spec: DatasetSpec,
+    pub init: InitConfig,
+    pub engine: EngineConfig,
+    pub workload: Workload,
+    /// Fraction of the domain area each query window covers.
+    pub window_fraction: f64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The default evaluation dataset: 10 numeric columns (paper layout),
+/// Gaussian clusters over a uniform background, smooth value fields.
+pub fn default_spec(rows: u64, seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        rows,
+        columns: 10,
+        domain: Rect::new(0.0, 1000.0, 0.0, 1000.0),
+        distribution: PointDistribution::GaussianClusters {
+            clusters: 5,
+            sigma_frac: 0.05,
+            background: 0.3,
+        },
+        value_model: ValueModel::SmoothField { base: 100.0, amplitude: 30.0, noise: 3.0 },
+        seed,
+    }
+}
+
+/// The Figure 2 experiment setup, honoring the env knobs.
+pub fn fig2_setup() -> Fig2Setup {
+    let rows = env_u64("PAI_BENCH_ROWS", 200_000);
+    let queries = env_u64("PAI_BENCH_QUERIES", 50) as usize;
+    let seed = env_u64("PAI_BENCH_SEED", 42);
+    let spec = default_spec(rows, seed);
+
+    // A deliberately crude initial index (the paper's premise: early
+    // queries hit unrefined tiles).
+    let init = InitConfig {
+        grid: GridSpec::Fixed { nx: 8, ny: 8 },
+        domain: Some(spec.domain),
+        metadata: MetadataPolicy::AllNumeric,
+    };
+    // Windows selecting ~2% of the objects, shifted 10-20% per query —
+    // the paper's "approximately 100K objects" scaled to our row count.
+    let window_fraction = 0.02;
+    let start = Workload::centered_window(&spec.domain, window_fraction)
+        // Start away from the center so the path has room to wander.
+        .shifted(-150.0, -150.0)
+        .clamped_into(&spec.domain);
+    let workload = Workload::shifted_sequence(
+        &spec.domain,
+        start,
+        queries,
+        vec![AggregateFunction::Mean(2)],
+        seed,
+    );
+    Fig2Setup {
+        spec,
+        init,
+        engine: EngineConfig::paper_evaluation(),
+        workload,
+        window_fraction,
+    }
+}
+
+/// Directory for cached generated datasets.
+pub fn cache_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("pai-bench-cache");
+    std::fs::create_dir_all(&dir).expect("create bench cache dir");
+    dir
+}
+
+/// Writes (or reuses) the CSV for `spec` and opens it. Cache key covers the
+/// generation parameters; a stale/partial file is regenerated when its size
+/// is implausible for the row count.
+pub fn cached_csv(spec: &DatasetSpec) -> CsvFile {
+    let dist_tag = match spec.distribution {
+        PointDistribution::Uniform => "uni".to_string(),
+        PointDistribution::GaussianClusters { clusters, sigma_frac, .. } => {
+            format!("g{clusters}s{}", (sigma_frac * 1000.0) as u64)
+        }
+        PointDistribution::DiagonalBand { width_frac } => {
+            format!("diag{}", (width_frac * 1000.0) as u64)
+        }
+    };
+    let vm_tag = match spec.value_model {
+        ValueModel::SmoothField { amplitude, noise, .. } => {
+            format!("sm{}n{}", amplitude as u64, noise as u64)
+        }
+        ValueModel::UniformNoise { lo, hi } => format!("un{}_{}", lo as i64, hi as i64),
+    };
+    let key = format!(
+        "pai_{}r_{}c_{}s_{dist_tag}_{vm_tag}.csv",
+        spec.rows, spec.columns, spec.seed
+    );
+    let path = cache_dir().join(key);
+    if path.exists() {
+        if let Ok(file) = CsvFile::open(&path, spec.schema(), CsvFormat::default()) {
+            // Quick sanity: plausibly complete (more bytes than rows).
+            if file.size_bytes() > spec.rows {
+                return file;
+            }
+        }
+    }
+    spec.write_csv(&path, CsvFormat::default())
+        .expect("write bench dataset")
+}
+
+/// A smaller setup for criterion micro/mid benches (fast iterations).
+pub fn small_setup(rows: u64) -> Fig2Setup {
+    let mut s = fig2_setup();
+    s.spec = default_spec(rows, 42);
+    s.init.domain = Some(s.spec.domain);
+    let start = Workload::centered_window(&s.spec.domain, s.window_fraction)
+        .shifted(-150.0, -150.0)
+        .clamped_into(&s.spec.domain);
+    s.workload = Workload::shifted_sequence(
+        &s.spec.domain,
+        start,
+        12,
+        vec![AggregateFunction::Mean(2)],
+        42,
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_storage::RawFile;
+
+    #[test]
+    fn setup_is_consistent() {
+        let s = fig2_setup();
+        assert_eq!(s.spec.columns, 10);
+        assert!(!s.workload.is_empty());
+        for q in &s.workload.queries {
+            assert!(s.spec.domain.contains_rect(&q.window));
+        }
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let spec = default_spec(500, 7);
+        let a = cached_csv(&spec);
+        let size_a = a.size_bytes();
+        let b = cached_csv(&spec); // second call must hit the cache
+        assert_eq!(size_a, b.size_bytes());
+        let mut rows = 0;
+        b.scan(&mut |_, _, _| {
+            rows += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, 500);
+    }
+}

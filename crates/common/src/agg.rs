@@ -1,0 +1,145 @@
+//! Aggregate functions of the exploration model.
+//!
+//! The paper's queries request algebraic aggregates (sum, mean/average, min,
+//! max, count) over a non-axis attribute within a 2D window. We additionally
+//! support variance and standard deviation as documented extensions (their
+//! confidence intervals are conservative; see `pai-core::ci`).
+
+use std::fmt;
+
+use crate::AttrId;
+
+/// An aggregate function, possibly parameterized by the attribute it ranges
+/// over. `Count` needs no attribute: the number of selected objects is always
+/// computable from the axis values stored in the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateFunction {
+    /// Number of objects in the window (always exact, never needs the file).
+    Count,
+    /// Sum of a non-axis attribute.
+    Sum(AttrId),
+    /// Arithmetic mean of a non-axis attribute.
+    Mean(AttrId),
+    /// Minimum of a non-axis attribute.
+    Min(AttrId),
+    /// Maximum of a non-axis attribute.
+    Max(AttrId),
+    /// Population variance (extension; conservative bounds).
+    Variance(AttrId),
+    /// Population standard deviation (extension; conservative bounds).
+    StdDev(AttrId),
+}
+
+impl AggregateFunction {
+    /// The attribute the aggregate reads, if any.
+    pub fn attribute(&self) -> Option<AttrId> {
+        match *self {
+            AggregateFunction::Count => None,
+            AggregateFunction::Sum(a)
+            | AggregateFunction::Mean(a)
+            | AggregateFunction::Min(a)
+            | AggregateFunction::Max(a)
+            | AggregateFunction::Variance(a)
+            | AggregateFunction::StdDev(a) => Some(a),
+        }
+    }
+
+    /// True for the aggregates defined in the paper itself (count, sum,
+    /// mean, min, max); false for our documented extensions.
+    pub fn is_paper_aggregate(&self) -> bool {
+        !matches!(
+            self,
+            AggregateFunction::Variance(_) | AggregateFunction::StdDev(_)
+        )
+    }
+
+    /// Short lowercase name (`sum`, `mean`, ...), used in reports and traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregateFunction::Count => "count",
+            AggregateFunction::Sum(_) => "sum",
+            AggregateFunction::Mean(_) => "mean",
+            AggregateFunction::Min(_) => "min",
+            AggregateFunction::Max(_) => "max",
+            AggregateFunction::Variance(_) => "variance",
+            AggregateFunction::StdDev(_) => "stddev",
+        }
+    }
+}
+
+impl fmt::Display for AggregateFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.attribute() {
+            Some(a) => write!(f, "{}(col{})", self.name(), a),
+            None => write!(f, "{}()", self.name()),
+        }
+    }
+}
+
+/// The value an aggregate evaluates to.
+///
+/// `Count` yields an integer; everything else a float. An empty selection
+/// yields `Empty` (SQL would yield NULL for min/max/mean and 0 for count;
+/// we keep the distinction explicit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggregateValue {
+    Count(u64),
+    Float(f64),
+    /// Aggregate over an empty selection (undefined for mean/min/max).
+    Empty,
+}
+
+impl AggregateValue {
+    /// Numeric view: counts as f64, `Empty` as `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            AggregateValue::Count(c) => Some(c as f64),
+            AggregateValue::Float(v) => Some(v),
+            AggregateValue::Empty => None,
+        }
+    }
+}
+
+impl fmt::Display for AggregateValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregateValue::Count(c) => write!(f, "{c}"),
+            AggregateValue::Float(v) => write!(f, "{v:.6}"),
+            AggregateValue::Empty => write!(f, "<empty>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_extraction() {
+        assert_eq!(AggregateFunction::Count.attribute(), None);
+        assert_eq!(AggregateFunction::Sum(3).attribute(), Some(3));
+        assert_eq!(AggregateFunction::StdDev(7).attribute(), Some(7));
+    }
+
+    #[test]
+    fn paper_vs_extension() {
+        assert!(AggregateFunction::Sum(0).is_paper_aggregate());
+        assert!(AggregateFunction::Count.is_paper_aggregate());
+        assert!(!AggregateFunction::Variance(0).is_paper_aggregate());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AggregateFunction::Mean(2).to_string(), "mean(col2)");
+        assert_eq!(AggregateFunction::Count.to_string(), "count()");
+        assert_eq!(AggregateValue::Count(5).to_string(), "5");
+        assert_eq!(AggregateValue::Empty.to_string(), "<empty>");
+    }
+
+    #[test]
+    fn as_f64_conversions() {
+        assert_eq!(AggregateValue::Count(3).as_f64(), Some(3.0));
+        assert_eq!(AggregateValue::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(AggregateValue::Empty.as_f64(), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! Thread-safe I/O accounting.
+//!
+//! The paper's evaluation observes that "evaluation times closely follow the
+//! number of objects (i.e., CSV file rows) that need to be read from the raw
+//! data file". These counters make that metric explicit and hardware-neutral:
+//! every raw-file access path increments them, and the benchmark harness
+//! reports them next to wall-clock time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic counters for raw-file access. Cheap to clone (shared handle).
+#[derive(Debug, Default, Clone)]
+pub struct IoCounters {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// CSV rows materialized from the file (the paper's headline cost).
+    objects_read: AtomicU64,
+    /// Bytes pulled from the file.
+    bytes_read: AtomicU64,
+    /// Random-access seek operations issued.
+    seeks: AtomicU64,
+    /// Full-file sequential scans performed (initialization, ground truth).
+    full_scans: AtomicU64,
+}
+
+/// A point-in-time copy of the counter values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    pub objects_read: u64,
+    pub bytes_read: u64,
+    pub seeks: u64,
+    pub full_scans: u64,
+}
+
+impl IoSnapshot {
+    /// Counter deltas `self - earlier` (saturating, for safety against
+    /// snapshots taken out of order).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            objects_read: self.objects_read.saturating_sub(earlier.objects_read),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            seeks: self.seeks.saturating_sub(earlier.seeks),
+            full_scans: self.full_scans.saturating_sub(earlier.full_scans),
+        }
+    }
+}
+
+impl IoCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn add_objects(&self, n: u64) {
+        self.inner.objects_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_bytes(&self, n: u64) {
+        self.inner.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_seeks(&self, n: u64) {
+        self.inner.seeks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_full_scan(&self) {
+        self.inner.full_scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn objects_read(&self) -> u64 {
+        self.inner.objects_read.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_read(&self) -> u64 {
+        self.inner.bytes_read.load(Ordering::Relaxed)
+    }
+
+    pub fn seeks(&self) -> u64 {
+        self.inner.seeks.load(Ordering::Relaxed)
+    }
+
+    pub fn full_scans(&self) -> u64 {
+        self.inner.full_scans.load(Ordering::Relaxed)
+    }
+
+    /// Captures current values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            objects_read: self.objects_read(),
+            bytes_read: self.bytes_read(),
+            seeks: self.seeks(),
+            full_scans: self.full_scans(),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.inner.objects_read.store(0, Ordering::Relaxed);
+        self.inner.bytes_read.store(0, Ordering::Relaxed);
+        self.inner.seeks.store(0, Ordering::Relaxed);
+        self.inner.full_scans.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = IoCounters::new();
+        c.add_objects(10);
+        c.add_objects(5);
+        c.add_bytes(100);
+        c.add_seeks(2);
+        c.add_full_scan();
+        assert_eq!(c.objects_read(), 15);
+        assert_eq!(c.bytes_read(), 100);
+        assert_eq!(c.seeks(), 2);
+        assert_eq!(c.full_scans(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = IoCounters::new();
+        let b = a.clone();
+        a.add_objects(7);
+        assert_eq!(b.objects_read(), 7);
+    }
+
+    #[test]
+    fn snapshot_deltas() {
+        let c = IoCounters::new();
+        c.add_objects(3);
+        let s1 = c.snapshot();
+        c.add_objects(4);
+        c.add_bytes(9);
+        let s2 = c.snapshot();
+        let d = s2.since(&s1);
+        assert_eq!(d.objects_read, 4);
+        assert_eq!(d.bytes_read, 9);
+        // Out-of-order snapshots saturate instead of underflowing.
+        assert_eq!(s1.since(&s2).objects_read, 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = IoCounters::new();
+        c.add_objects(3);
+        c.reset();
+        assert_eq!(c.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_increments() {
+        let c = IoCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add_objects(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.objects_read(), 4000);
+    }
+}

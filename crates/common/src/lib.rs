@@ -1,0 +1,40 @@
+//! Shared foundation types for the partial-adaptive-indexing workspace.
+//!
+//! This crate holds the small, dependency-free building blocks used by every
+//! other crate in the reproduction of *Partial Adaptive Indexing for
+//! Approximate Query Answering* (VLDB 2024 Workshops):
+//!
+//! * [`geometry`] — 2D points and axis-aligned rectangles (tiles, query
+//!   windows) with the containment/overlap classification the index relies on;
+//! * [`interval`] — closed real intervals with the arithmetic needed to
+//!   assemble deterministic confidence intervals;
+//! * [`stats`] — mergeable running aggregates (count/sum/min/max/sum²) that
+//!   back tile metadata;
+//! * [`agg`] — the algebraic aggregate functions of the exploration model;
+//! * [`counters`] — thread-safe I/O accounting (objects/bytes read), the
+//!   hardware-neutral cost metric the paper's evaluation tracks;
+//! * [`error`] — the workspace error type.
+
+pub mod agg;
+pub mod counters;
+pub mod error;
+pub mod geometry;
+pub mod interval;
+pub mod stats;
+
+pub use agg::{AggregateFunction, AggregateValue};
+pub use counters::IoCounters;
+pub use error::{PaiError, Result};
+pub use geometry::{Overlap, Point2, Rect};
+pub use interval::Interval;
+pub use stats::RunningStats;
+
+/// Identifier of a column (attribute) in the raw file schema.
+///
+/// Axis attributes (the two columns mapped to the X/Y axes of the 2D
+/// exploration plane) and non-axis attributes share this id space; the schema
+/// records which is which.
+pub type AttrId = usize;
+
+/// Zero-based row number of an object inside the raw data file.
+pub type RowId = u64;

@@ -1,0 +1,184 @@
+//! Concurrent access to one shared adaptive index.
+//!
+//! An exploration dashboard typically renders several linked views at once
+//! (map window, heatmap, summary panel) while the user keeps interacting.
+//! [`SharedIndex`] supports that pattern with a `parking_lot` read-write
+//! lock:
+//!
+//! * any number of **readers** run [`SharedIndex::estimate`] concurrently —
+//!   metadata-only answers with confidence intervals, zero file I/O;
+//! * **adaptive queries** ([`SharedIndex::evaluate`]) take the write lock,
+//!   run the partial-adaptation loop, and leave the index better for every
+//!   subsequent reader.
+//!
+//! The raw file itself needs no locking: [`RawFile`] implementations open
+//! independent handles per batch and their meters are atomic.
+
+use pai_common::geometry::Rect;
+use pai_common::{AggregateFunction, Result};
+use pai_index::ValinorIndex;
+use pai_storage::raw::RawFile;
+use parking_lot::RwLock;
+
+use crate::config::EngineConfig;
+use crate::engine::{estimate_readonly, evaluate_on, ApproxResult};
+
+/// A thread-safe wrapper around one index + raw file + engine config.
+pub struct SharedIndex<F: RawFile> {
+    index: RwLock<ValinorIndex>,
+    file: F,
+    config: EngineConfig,
+}
+
+impl<F: RawFile> SharedIndex<F> {
+    pub fn new(index: ValinorIndex, file: F, config: EngineConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(SharedIndex { index: RwLock::new(index), file, config })
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    pub fn file(&self) -> &F {
+        &self.file
+    }
+
+    /// Metadata-only estimate under a read lock: any number of these run in
+    /// parallel, never touch the file, never mutate the index.
+    pub fn estimate(
+        &self,
+        window: &Rect,
+        aggs: &[AggregateFunction],
+    ) -> Result<ApproxResult> {
+        let index = self.index.read();
+        estimate_readonly(&index, &self.config, window, aggs)
+    }
+
+    /// Accuracy-constrained evaluation under the write lock; adapts the
+    /// shared index exactly like [`crate::ApproximateEngine::evaluate`].
+    pub fn evaluate(
+        &self,
+        window: &Rect,
+        aggs: &[AggregateFunction],
+        phi: f64,
+    ) -> Result<ApproxResult> {
+        let mut index = self.index.write();
+        evaluate_on(&mut index, &self.file, &self.config, window, aggs, phi)
+    }
+
+    /// Runs a closure against a read-locked snapshot of the index (for
+    /// analytics like `pai_query::analytics::heatmap`).
+    pub fn with_index<R>(&self, f: impl FnOnce(&ValinorIndex) -> R) -> R {
+        f(&self.index.read())
+    }
+
+    /// Consumes the wrapper, returning the index.
+    pub fn into_index(self) -> ValinorIndex {
+        self.index.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_index::init::{build, GridSpec, InitConfig};
+    use pai_index::MetadataPolicy;
+    use pai_storage::{CsvFormat, DatasetSpec, MemFile};
+    use std::sync::Arc;
+
+    fn shared(rows: u64) -> (Arc<SharedIndex<MemFile>>, DatasetSpec) {
+        let spec = DatasetSpec { rows, columns: 4, seed: 71, ..Default::default() };
+        let file = spec.build_mem(CsvFormat::default()).unwrap();
+        let init = InitConfig {
+            grid: GridSpec::Fixed { nx: 6, ny: 6 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let (index, _) = build(&file, &init).unwrap();
+        (
+            Arc::new(
+                SharedIndex::new(index, file, EngineConfig::paper_evaluation()).unwrap(),
+            ),
+            spec,
+        )
+    }
+
+    #[test]
+    fn estimates_run_without_io() {
+        let (shared, _) = shared(2000);
+        shared.file().counters().reset();
+        let res = shared
+            .estimate(&Rect::new(100.0, 500.0, 100.0, 500.0), &[AggregateFunction::Mean(2)])
+            .unwrap();
+        assert_eq!(shared.file().counters().objects_read(), 0);
+        assert!(res.error_bound.is_finite());
+    }
+
+    #[test]
+    fn evaluate_adapts_shared_state_for_readers() {
+        let (shared, _) = shared(3000);
+        let window = Rect::new(150.0, 600.0, 150.0, 600.0);
+        let aggs = [AggregateFunction::Mean(2)];
+        let before = shared.estimate(&window, &aggs).unwrap();
+        shared.evaluate(&window, &aggs, 0.01).unwrap();
+        let after = shared.estimate(&window, &aggs).unwrap();
+        assert!(
+            after.error_bound <= before.error_bound + 1e-12,
+            "adaptation tightens reader estimates: {} -> {}",
+            before.error_bound,
+            after.error_bound
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let (shared, spec) = shared(5000);
+        let domain = spec.domain;
+        std::thread::scope(|s| {
+            // Writers: adaptive queries walking across the domain.
+            for t in 0..2 {
+                let shared = Arc::clone(&shared);
+                s.spawn(move || {
+                    for i in 0..8 {
+                        let off = (t * 50 + i * 40) as f64;
+                        let w = Rect::new(
+                            100.0 + off,
+                            400.0 + off,
+                            100.0 + off,
+                            400.0 + off,
+                        )
+                        .clamped_into(&domain);
+                        let res = shared
+                            .evaluate(&w, &[AggregateFunction::Sum(2)], 0.05)
+                            .unwrap();
+                        assert!(res.met_constraint);
+                    }
+                });
+            }
+            // Readers: concurrent metadata estimates.
+            for _ in 0..4 {
+                let shared = Arc::clone(&shared);
+                s.spawn(move || {
+                    for i in 0..20 {
+                        let off = (i * 17 % 500) as f64;
+                        let w = Rect::new(off, off + 300.0, off, off + 300.0)
+                            .clamped_into(&domain);
+                        let res = shared
+                            .estimate(&w, &[AggregateFunction::Mean(2)])
+                            .unwrap();
+                        assert!(res.error_bound >= 0.0);
+                    }
+                });
+            }
+        });
+        shared.with_index(|idx| idx.validate_invariants().unwrap());
+    }
+
+    #[test]
+    fn with_index_supports_analytics_snapshots() {
+        let (shared, _) = shared(1000);
+        let leaves = shared.with_index(|idx| idx.leaf_count());
+        assert!(leaves >= 36);
+    }
+}

@@ -1,0 +1,153 @@
+//! Engine configuration.
+
+use pai_common::{PaiError, Result};
+use pai_index::AdaptConfig;
+
+use crate::bound::NormalizationMode;
+use crate::policy::SelectionPolicy;
+
+/// How a partially-contained tile's contribution is point-estimated inside
+/// its confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValueEstimator {
+    /// Midpoint of the tile interval — the paper's estimator ("the tile's
+    /// mean value derived from its min and max").
+    #[default]
+    Midpoint,
+    /// Lower endpoint (pessimistic for sums of positive attributes).
+    Lower,
+    /// Upper endpoint (optimistic).
+    Upper,
+}
+
+impl ValueEstimator {
+    /// Picks the estimate from an interval.
+    #[inline]
+    pub fn pick(&self, iv: &pai_common::Interval) -> f64 {
+        match self {
+            ValueEstimator::Midpoint => iv.midpoint(),
+            ValueEstimator::Lower => iv.lo(),
+            ValueEstimator::Upper => iv.hi(),
+        }
+    }
+}
+
+/// Extra adaptation after the accuracy constraint is met.
+///
+/// The paper's future work proposes "enabling more index adaptation even if
+/// the accuracy constraints have been satisfied" to avoid the late-phase
+/// crossover where the exact method overtakes the approximate ones. This
+/// knob implements that: after meeting `φ`, keep processing up to
+/// `extra_tiles` more candidates per query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EagerRefinement {
+    /// Stop as soon as the constraint is met (the paper's evaluated method).
+    #[default]
+    Off,
+    /// Process up to this many additional tiles after meeting `φ`.
+    ExtraTiles(usize),
+}
+
+/// Full configuration of the approximate engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Shared adaptation machinery (split/read/enrich policies, thresholds).
+    pub adapt: AdaptConfig,
+    /// Tile-selection policy (paper: score greedy with α = 1).
+    pub policy: SelectionPolicy,
+    /// Error-bound normalization (paper leaves the denominator open).
+    pub normalization: NormalizationMode,
+    /// Point estimator for bounded tiles.
+    pub estimator: ValueEstimator,
+    /// Assume attribute values contain no NULLs (the paper's setting).
+    /// Disable for conservative interval handling on dirty data.
+    pub assume_non_null: bool,
+    /// Post-constraint adaptation (paper future work; default off).
+    pub eager: EagerRefinement,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            adapt: AdaptConfig::default(),
+            policy: SelectionPolicy::default(),
+            normalization: NormalizationMode::default(),
+            estimator: ValueEstimator::default(),
+            assume_non_null: true,
+            eager: EagerRefinement::Off,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The configuration used in the paper's evaluation: α = 1 (score is
+    /// the tile-confidence-interval width only), midpoint estimates,
+    /// window-only reads, query-aligned splits.
+    pub fn paper_evaluation() -> Self {
+        EngineConfig {
+            policy: SelectionPolicy::ScoreGreedy { alpha: 1.0 },
+            ..Default::default()
+        }
+    }
+
+    /// Validates every nested knob.
+    pub fn validate(&self) -> Result<()> {
+        self.adapt.validate()?;
+        self.policy.validate()?;
+        if let EagerRefinement::ExtraTiles(0) = self.eager {
+            return Err(PaiError::config(
+                "EagerRefinement::ExtraTiles(0) is EagerRefinement::Off; pick one",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Validates a user accuracy constraint φ (a relative error, so a small
+/// non-negative number; φ = 0 demands exact answering).
+pub fn validate_phi(phi: f64) -> Result<()> {
+    if !phi.is_finite() || phi < 0.0 {
+        return Err(PaiError::config(format!(
+            "accuracy constraint must be a finite value >= 0, got {phi}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_common::Interval;
+
+    #[test]
+    fn estimator_picks() {
+        let iv = Interval::new(2.0, 6.0);
+        assert_eq!(ValueEstimator::Midpoint.pick(&iv), 4.0);
+        assert_eq!(ValueEstimator::Lower.pick(&iv), 2.0);
+        assert_eq!(ValueEstimator::Upper.pick(&iv), 6.0);
+    }
+
+    #[test]
+    fn default_config_valid() {
+        assert!(EngineConfig::default().validate().is_ok());
+        assert!(EngineConfig::paper_evaluation().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_eager_tiles_rejected() {
+        let cfg = EngineConfig {
+            eager: EagerRefinement::ExtraTiles(0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn phi_validation() {
+        assert!(validate_phi(0.0).is_ok());
+        assert!(validate_phi(0.05).is_ok());
+        assert!(validate_phi(-0.1).is_err());
+        assert!(validate_phi(f64::NAN).is_err());
+        assert!(validate_phi(f64::INFINITY).is_err());
+    }
+}

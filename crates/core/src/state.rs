@@ -1,0 +1,299 @@
+//! Per-query bookkeeping for the partial-adaptation loop.
+//!
+//! A query's answer decomposes into an **exact part** (fully-contained tiles
+//! with exact metadata, plus every tile processed so far) and a set of
+//! **candidates** — tiles whose contribution is still only bounded. The
+//! [`QueryState`] holds both; each processing step moves one candidate into
+//! the exact part, monotonically tightening every confidence interval.
+
+use pai_common::geometry::Rect;
+use pai_common::{AttrId, Interval, PaiError, Result, RunningStats};
+use pai_index::{AttrMeta, Classification, TileId, ValinorIndex};
+
+/// What kind of work "processing" this candidate means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateKind {
+    /// Partially-contained tile: process = read selected objects + split
+    /// (the paper's `process(t)`).
+    Partial,
+    /// Fully-contained tile that only has bounded metadata for some
+    /// requested attribute (possible after window-only splits or with
+    /// metadata-free initialization): process = enrichment read.
+    ///
+    /// The paper assumes full tiles always carry exact metadata; this
+    /// generalization keeps the engine sound when they do not.
+    FullBounded,
+}
+
+/// A tile whose contribution to the current query is still an interval.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    pub tile: TileId,
+    /// `count(t∩Q)` — exact, from indexed axis values.
+    pub selected: u64,
+    pub kind: CandidateKind,
+    /// Per-query-attribute metadata view (tile metadata, falling back to
+    /// global column bounds). `None` means no bounds exist at all for that
+    /// attribute, making the query CI unbounded until this tile is
+    /// processed.
+    pub meta: Vec<Option<AttrMeta>>,
+}
+
+impl Candidate {
+    /// Bounds on a single value of query-attribute `i` in this tile.
+    pub fn value_bounds(&self, i: usize) -> Option<Interval> {
+        self.meta[i].as_ref().and_then(|m| m.value_bounds())
+    }
+
+    /// Bounds on the sum of query-attribute `i` over the selected objects.
+    pub fn sum_bounds(&self, i: usize, assume_non_null: bool) -> Option<Interval> {
+        self.meta[i]
+            .as_ref()
+            .and_then(|m| m.sum_bounds(self.selected, assume_non_null))
+    }
+
+    /// Whether attribute `i` certainly has a non-NULL value in every object
+    /// (needed for min/max upper bounds under conservative NULL handling).
+    pub fn certainly_non_null(&self, i: usize) -> bool {
+        self.meta[i]
+            .as_ref()
+            .is_some_and(|m| m.certainly_non_null())
+    }
+
+    /// True when any requested attribute has no bounds at all.
+    pub fn is_unbounded(&self) -> bool {
+        self.meta.iter().any(|m| {
+            m.as_ref().and_then(|meta| meta.value_bounds()).is_none()
+        })
+    }
+}
+
+/// The evolving state of one approximate query evaluation.
+#[derive(Debug, Clone)]
+pub struct QueryState {
+    /// Distinct non-axis attributes the query aggregates over.
+    pub attrs: Vec<AttrId>,
+    /// Exact number of selected objects (all tiles).
+    pub selected_total: u64,
+    /// Exact per-attribute stats accumulated so far (same order as `attrs`).
+    pub exact: Vec<RunningStats>,
+    /// Tiles whose contribution is still bounded.
+    pub candidates: Vec<Candidate>,
+    /// Fully-contained tiles answered directly from exact metadata.
+    pub full_exact_tiles: usize,
+}
+
+impl QueryState {
+    /// Builds the initial state from a classification: exact metadata is
+    /// folded immediately; everything else becomes a candidate.
+    pub fn from_classification(
+        index: &ValinorIndex,
+        classification: &Classification,
+        attrs: &[AttrId],
+    ) -> Result<QueryState> {
+        let mut state = QueryState {
+            attrs: attrs.to_vec(),
+            selected_total: classification.selected_total,
+            exact: vec![RunningStats::new(); attrs.len()],
+            candidates: Vec::new(),
+            full_exact_tiles: 0,
+        };
+
+        for &tid in &classification.full {
+            let tile = index.tile(tid);
+            let all_exact = attrs.iter().all(|&a| tile.meta.has_exact(a));
+            if all_exact {
+                for (i, &a) in attrs.iter().enumerate() {
+                    let stats = tile
+                        .meta
+                        .get(a)
+                        .and_then(AttrMeta::exact_stats)
+                        .ok_or_else(|| PaiError::internal("exact metadata vanished"))?;
+                    state.exact[i].merge(stats);
+                }
+                state.full_exact_tiles += 1;
+            } else {
+                state.candidates.push(Candidate {
+                    tile: tid,
+                    selected: tile.object_count(),
+                    kind: CandidateKind::FullBounded,
+                    meta: Self::meta_view(index, tid, attrs),
+                });
+            }
+        }
+
+        for pt in &classification.partial {
+            state.candidates.push(Candidate {
+                tile: pt.tile,
+                selected: pt.selected,
+                kind: CandidateKind::Partial,
+                meta: Self::meta_view(index, pt.tile, attrs),
+            });
+        }
+        Ok(state)
+    }
+
+    /// Metadata view per query attribute: the tile's own metadata when
+    /// present, else the global column bounds demoted to `Bounded`.
+    fn meta_view(index: &ValinorIndex, tile: TileId, attrs: &[AttrId]) -> Vec<Option<AttrMeta>> {
+        attrs
+            .iter()
+            .map(|&a| {
+                index
+                    .tile(tile)
+                    .meta
+                    .get(a)
+                    .cloned()
+                    .or_else(|| index.global_bounds(a).map(AttrMeta::Bounded))
+            })
+            .collect()
+    }
+
+    /// Moves candidate `i` into the exact part with its freshly computed
+    /// per-attribute stats (swap-removes; order of candidates is not
+    /// meaningful).
+    pub fn resolve(&mut self, i: usize, stats: &[RunningStats]) {
+        debug_assert_eq!(stats.len(), self.attrs.len());
+        for (acc, s) in self.exact.iter_mut().zip(stats) {
+            acc.merge(s);
+        }
+        self.candidates.swap_remove(i);
+    }
+
+    /// True once every contribution is exact.
+    pub fn fully_resolved(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Position of attribute `a` in the query's attribute list.
+    pub fn attr_pos(&self, a: AttrId) -> usize {
+        self.attrs
+            .iter()
+            .position(|&x| x == a)
+            .expect("aggregate attr was registered in query_attrs")
+    }
+
+    /// Test helper: a synthetic state with no index behind it.
+    #[doc(hidden)]
+    pub fn synthetic(
+        attrs: Vec<AttrId>,
+        selected_total: u64,
+        exact: Vec<RunningStats>,
+        candidates: Vec<Candidate>,
+    ) -> QueryState {
+        QueryState {
+            attrs,
+            selected_total,
+            exact,
+            candidates,
+            full_exact_tiles: 0,
+        }
+    }
+}
+
+/// Width of a candidate's sum-contribution interval for attribute `i` —
+/// the `w(t)` of the tile-selection score (the paper defines the tile
+/// confidence interval for sums as `[count·min, count·max]`).
+pub fn candidate_sum_width(c: &Candidate, i: usize, assume_non_null: bool) -> f64 {
+    c.sum_bounds(i, assume_non_null)
+        .map_or(f64::INFINITY, |iv| iv.width())
+}
+
+/// Convenience: builds the candidate list's classification against a window
+/// and the state in one call (used by tests and the engine).
+pub fn classify_and_build(
+    index: &ValinorIndex,
+    window: &Rect,
+    attrs: &[AttrId],
+) -> Result<(Classification, QueryState)> {
+    let classification = index.classify(window);
+    let state = QueryState::from_classification(index, &classification, attrs)?;
+    Ok((classification, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_index::{build_test_index, TestIndexSpec};
+
+    fn test_state(metadata: bool) -> (ValinorIndex, QueryState) {
+        let spec = TestIndexSpec {
+            domain: Rect::new(0.0, 30.0, 0.0, 30.0),
+            grid: (3, 3),
+            // (x, y, value) triples; col2 is the value attribute.
+            objects: vec![
+                (5.0, 5.0, 10.0),
+                (11.0, 5.0, 20.0),
+                (11.0, 8.0, 30.0),
+                (25.0, 25.0, 40.0),
+            ],
+            with_metadata: metadata,
+        };
+        let index = build_test_index(&spec);
+        let window = Rect::new(0.0, 12.0, 0.0, 12.0);
+        let (_, state) = classify_and_build(&index, &window, &[2]).unwrap();
+        (index, state)
+    }
+
+    #[test]
+    fn builds_exact_and_candidates() {
+        let (_, state) = test_state(true);
+        // Cell [0,10)^2 fully contained with exact meta -> exact part.
+        assert_eq!(state.full_exact_tiles, 1);
+        assert_eq!(state.exact[0].sum(), 10.0);
+        // Cell [10,20)x[0,10) partially contained with 2 selected objects.
+        assert_eq!(state.candidates.len(), 1);
+        let c = &state.candidates[0];
+        assert_eq!(c.kind, CandidateKind::Partial);
+        assert_eq!(c.selected, 2);
+        assert_eq!(c.value_bounds(0), Some(Interval::new(20.0, 30.0)));
+        assert_eq!(
+            c.sum_bounds(0, true),
+            Some(Interval::new(40.0, 60.0)),
+            "2 selected x [20,30]"
+        );
+        assert!(!c.is_unbounded());
+        assert_eq!(state.selected_total, 3);
+    }
+
+    #[test]
+    fn no_metadata_falls_back_to_global_bounds() {
+        let (index, state) = test_state(false);
+        // build_test_index folds global bounds even without tile metadata.
+        assert!(index.global_bounds(2).is_some());
+        let c = &state.candidates[0];
+        assert_eq!(c.value_bounds(0), Some(Interval::new(10.0, 40.0)));
+    }
+
+    #[test]
+    fn resolve_moves_candidate_to_exact() {
+        let (_, mut state) = test_state(true);
+        let stats = vec![RunningStats::from_values(&[20.0, 30.0])];
+        state.resolve(0, &stats);
+        assert!(state.fully_resolved());
+        assert_eq!(state.exact[0].sum(), 60.0);
+        assert_eq!(state.exact[0].count(), 3);
+    }
+
+    #[test]
+    fn candidate_sum_width_metric() {
+        let (_, state) = test_state(true);
+        let w = candidate_sum_width(&state.candidates[0], 0, true);
+        assert!((w - 20.0).abs() < 1e-12, "2 x (30-20)");
+        let unbounded = Candidate {
+            tile: TileId(0),
+            selected: 1,
+            kind: CandidateKind::Partial,
+            meta: vec![None],
+        };
+        assert!(candidate_sum_width(&unbounded, 0, true).is_infinite());
+        assert!(unbounded.is_unbounded());
+    }
+
+    #[test]
+    fn attr_pos_lookup() {
+        let state = QueryState::synthetic(vec![4, 2], 0, vec![], vec![]);
+        assert_eq!(state.attr_pos(4), 0);
+        assert_eq!(state.attr_pos(2), 1);
+    }
+}

@@ -1,0 +1,466 @@
+//! Tile processing: the `process(t)` operation of the paper.
+//!
+//! Processing a partially-contained tile does everything the problem
+//! definition in §3.1 charges for: read the needed attribute values of the
+//! tile's objects from the raw file, split the tile into subtiles
+//! (policy-driven), reorganize its entries, and compute metadata for the new
+//! subtiles. The returned [`ProcessOutcome`] carries the *exact* in-window
+//! statistics, so the calling engine can swap this tile's contribution from
+//! a bounded interval to an exact value.
+//!
+//! [`enrich_tile`] is the companion used for fully-contained tiles whose
+//! metadata lacks the requested attribute: it reads the whole tile once and
+//! installs exact stats (the "index enrichment" of §2.2).
+
+use std::collections::HashMap;
+
+use pai_common::geometry::Rect;
+use pai_common::{AttrId, PaiError, Result, RunningStats};
+use pai_storage::raw::RawFile;
+
+use crate::config::{AdaptConfig, ReadPolicy};
+use crate::index::ValinorIndex;
+use crate::metadata::AttrMeta;
+use crate::tile::TileId;
+
+/// What processing one tile produced.
+#[derive(Debug, Clone)]
+pub struct ProcessOutcome {
+    /// Exact statistics over the tile's objects inside the query window,
+    /// one per requested attribute (same order as the `attrs` argument).
+    pub in_window: Vec<RunningStats>,
+    /// Objects selected by the query inside this tile (`count(t∩Q)`).
+    pub selected: u64,
+    /// Objects actually read from the raw file.
+    pub objects_read: u64,
+    /// Whether the tile was split.
+    pub did_split: bool,
+    /// The leaves created by the split (empty when `did_split == false`).
+    pub new_leaves: Vec<TileId>,
+}
+
+/// Processes one partially-contained leaf tile against `query`.
+///
+/// `attrs` are the query's aggregate attributes; the [`AdaptConfig`] decides
+/// how much to read ([`ReadPolicy`]), whether/how to split
+/// ([`crate::SplitPolicy`]), and which attributes get metadata.
+pub fn process_tile(
+    index: &mut ValinorIndex,
+    file: &dyn RawFile,
+    tile_id: TileId,
+    query: &Rect,
+    attrs: &[AttrId],
+    cfg: &AdaptConfig,
+) -> Result<ProcessOutcome> {
+    let tile = index.tile(tile_id);
+    if !tile.is_leaf() {
+        return Err(PaiError::internal(format!(
+            "process_tile on non-leaf {tile_id:?}"
+        )));
+    }
+    let tile_rect = tile.rect;
+    let depth = tile.depth;
+    // Snapshot entries: cheap copies, and they stay valid across the split.
+    let entries = tile.entries().to_vec();
+
+    let read_attrs = cfg.enrich.resolve(attrs);
+    let in_window: Vec<bool> = entries.iter().map(|e| e.in_window(query)).collect();
+    let selected = in_window.iter().filter(|&&b| b).count() as u64;
+
+    // Which objects to read from the file.
+    let offsets: Vec<u64> = match cfg.read {
+        ReadPolicy::WindowOnly => entries
+            .iter()
+            .zip(&in_window)
+            .filter(|&(_, &sel)| sel)
+            .map(|(e, _)| e.offset)
+            .collect(),
+        ReadPolicy::FullTile => entries.iter().map(|e| e.offset).collect(),
+    };
+    let values = file.read_rows(&offsets, &read_attrs)?;
+    let value_of: HashMap<u64, &Vec<f64>> =
+        offsets.iter().copied().zip(values.iter()).collect();
+
+    // Exact in-window statistics for the query's attributes.
+    let mut stats = vec![RunningStats::new(); attrs.len()];
+    let attr_pos: Vec<usize> = attrs
+        .iter()
+        .map(|a| {
+            read_attrs
+                .iter()
+                .position(|r| r == a)
+                .expect("attrs is a subset of read_attrs by construction")
+        })
+        .collect();
+    for (e, &sel) in entries.iter().zip(&in_window) {
+        if !sel {
+            continue;
+        }
+        let vals = value_of
+            .get(&e.offset)
+            .ok_or_else(|| PaiError::internal("selected entry missing from read batch"))?;
+        for (s, &pos) in stats.iter_mut().zip(&attr_pos) {
+            s.push(vals[pos]);
+        }
+    }
+
+    // Split decision: worth it only for populous, still-divisible tiles,
+    // and only while the memory budget (if any) has headroom.
+    let within_budget = cfg
+        .max_index_bytes
+        .is_none_or(|budget| index.memory_bytes() < budget);
+    let mut did_split = false;
+    let mut new_leaves = Vec::new();
+    if within_budget && entries.len() as u64 >= cfg.min_split_objects && depth < cfg.max_depth {
+        if let Some(rects) = cfg.split.child_rects(&tile_rect, query, &entries) {
+            let extent_ok = rects.iter().all(|r| {
+                r.width() >= cfg.min_tile_extent && r.height() >= cfg.min_tile_extent
+            });
+            if extent_ok && rects.len() >= 2 {
+                new_leaves = index.split_leaf(tile_id, rects)?;
+                did_split = true;
+            }
+        }
+    }
+
+    if did_split {
+        // Children whose entries were all read get exact metadata for the
+        // read attributes; the rest keep the inherited bounds installed by
+        // `split_leaf`.
+        for &child in &new_leaves {
+            let child_entries = index.tile(child).entries();
+            if child_entries.is_empty() {
+                continue;
+            }
+            let all_read = child_entries.iter().all(|e| value_of.contains_key(&e.offset));
+            if !all_read {
+                continue;
+            }
+            let mut per_attr: Vec<Vec<f64>> =
+                vec![Vec::with_capacity(child_entries.len()); read_attrs.len()];
+            for e in child_entries {
+                let vals = value_of[&e.offset];
+                for (bucket, &v) in per_attr.iter_mut().zip(vals.iter()) {
+                    bucket.push(v);
+                }
+            }
+            for (i, attr) in read_attrs.iter().enumerate() {
+                index
+                    .tile_mut(child)
+                    .meta
+                    .set(*attr, AttrMeta::exact_from_values(&per_attr[i]));
+            }
+        }
+    } else if offsets.len() == entries.len() && !entries.is_empty() {
+        // No split, but the whole tile was read (FullTile policy, or a
+        // window that happens to select every object): enrich in place.
+        let mut per_attr: Vec<Vec<f64>> = vec![Vec::with_capacity(entries.len()); read_attrs.len()];
+        for e in &entries {
+            let vals = value_of[&e.offset];
+            for (bucket, &v) in per_attr.iter_mut().zip(vals.iter()) {
+                bucket.push(v);
+            }
+        }
+        for (i, attr) in read_attrs.iter().enumerate() {
+            index
+                .tile_mut(tile_id)
+                .meta
+                .set(*attr, AttrMeta::exact_from_values(&per_attr[i]));
+        }
+    }
+
+    Ok(ProcessOutcome {
+        in_window: stats,
+        selected,
+        objects_read: offsets.len() as u64,
+        did_split,
+        new_leaves,
+    })
+}
+
+/// Reads a whole leaf tile and installs exact metadata for `attrs`.
+///
+/// Used for fully-contained tiles whose metadata is missing or only bounded
+/// for a requested attribute. Returns the number of objects read (0 when the
+/// tile already had exact stats for every requested attribute).
+pub fn enrich_tile(
+    index: &mut ValinorIndex,
+    file: &dyn RawFile,
+    tile_id: TileId,
+    attrs: &[AttrId],
+) -> Result<u64> {
+    let tile = index.tile(tile_id);
+    if !tile.is_leaf() {
+        return Err(PaiError::internal(format!(
+            "enrich_tile on non-leaf {tile_id:?}"
+        )));
+    }
+    let missing: Vec<AttrId> = attrs
+        .iter()
+        .copied()
+        .filter(|&a| !tile.meta.has_exact(a))
+        .collect();
+    if missing.is_empty() || tile.entries().is_empty() {
+        return Ok(0);
+    }
+    let offsets: Vec<u64> = tile.entries().iter().map(|e| e.offset).collect();
+    let values = file.read_rows(&offsets, &missing)?;
+    let mut per_attr: Vec<Vec<f64>> = vec![Vec::with_capacity(offsets.len()); missing.len()];
+    for vals in &values {
+        for (bucket, &v) in per_attr.iter_mut().zip(vals.iter()) {
+            bucket.push(v);
+        }
+    }
+    for (i, attr) in missing.iter().enumerate() {
+        index
+            .tile_mut(tile_id)
+            .meta
+            .set(*attr, AttrMeta::exact_from_values(&per_attr[i]));
+    }
+    Ok(offsets.len() as u64)
+}
+
+/// Test/diagnostic helper: entry counts per leaf under a rectangle.
+pub fn leaf_population(index: &ValinorIndex, rect: &Rect) -> Vec<(TileId, u64)> {
+    index
+        .leaves_overlapping(rect)
+        .into_iter()
+        .map(|id| (id, index.tile(id).object_count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EnrichPolicy;
+    use crate::init::{build, GridSpec, InitConfig};
+    use crate::split::SplitPolicy;
+    use pai_common::geometry::Point2;
+    use pai_storage::{CsvFormat, MemFile, Schema};
+
+    /// 3x3 grid over [0,30)^2; objects mirror the spirit of Figure 1:
+    /// col2 is the "rating" attribute with value 10*i.
+    fn setup() -> (MemFile, ValinorIndex) {
+        let rows = vec![
+            vec![2.0, 12.0, 10.0],  // t1-ish: left-middle cell
+            vec![8.0, 18.0, 20.0],  // t1-ish
+            vec![14.0, 27.0, 30.0], // top-middle
+            vec![12.0, 14.0, 40.0], // centre
+            vec![16.0, 12.0, 50.0], // centre
+            vec![25.0, 5.0, 60.0],  // bottom-right
+            vec![28.0, 8.0, 70.0],  // bottom-right
+        ];
+        let f = MemFile::from_rows(Schema::synthetic(3), CsvFormat::default(), rows).unwrap();
+        let cfg = InitConfig {
+            grid: GridSpec::Fixed { nx: 3, ny: 3 },
+            domain: Some(Rect::new(0.0, 30.0, 0.0, 30.0)),
+            metadata: crate::config::MetadataPolicy::AllNumeric,
+        };
+        let (idx, _) = build(&f, &cfg).unwrap();
+        (f, idx)
+    }
+
+    fn adapt_cfg(split: SplitPolicy, read: ReadPolicy) -> AdaptConfig {
+        AdaptConfig {
+            split,
+            read,
+            enrich: EnrichPolicy::QueryAttrs,
+            min_split_objects: 1,
+            min_tile_extent: 1e-9,
+            max_depth: 16,
+            max_index_bytes: None,
+        }
+    }
+
+    #[test]
+    fn window_only_processing_reads_selected_objects() {
+        let (f, mut idx) = setup();
+        // Query over the centre cell region, partially overlapping it.
+        let q = Rect::new(11.0, 15.0, 11.0, 16.0); // selects (12,14) only
+        let centre = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
+        f.counters().reset();
+        let cfg = adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::WindowOnly);
+        let out = process_tile(&mut idx, &f, centre, &q, &[2], &cfg).unwrap();
+        assert_eq!(out.selected, 1);
+        assert_eq!(out.objects_read, 1, "window-only reads just the selected object");
+        assert_eq!(out.in_window[0].sum(), 40.0);
+        assert!(out.did_split);
+        idx.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn full_tile_processing_reads_everything_and_enriches_children() {
+        let (f, mut idx) = setup();
+        let q = Rect::new(11.0, 15.0, 11.0, 16.0);
+        let centre = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
+        f.counters().reset();
+        let cfg = adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::FullTile);
+        let out = process_tile(&mut idx, &f, centre, &q, &[2], &cfg).unwrap();
+        assert_eq!(out.objects_read, 2, "full-tile reads all tile objects");
+        assert!(out.did_split);
+        // Every non-empty child now has exact metadata.
+        for &c in &out.new_leaves {
+            if idx.tile(c).object_count() > 0 {
+                assert!(idx.tile(c).meta.has_exact(2), "child {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_only_children_metadata_split_exact_vs_bounded() {
+        let (f, mut idx) = setup();
+        // Query fully covering the left part of the left-middle cell.
+        let q = Rect::new(0.0, 5.0, 10.0, 20.0); // selects (2,12); (8,18) is out
+        let t = idx.leaf_for_point(Point2::new(5.0, 15.0)).unwrap();
+        let cfg = adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::WindowOnly);
+        let out = process_tile(&mut idx, &f, t, &q, &[2], &cfg).unwrap();
+        assert!(out.did_split);
+        let mut exact_children = 0;
+        let mut bounded_children = 0;
+        for &c in &out.new_leaves {
+            if idx.tile(c).object_count() == 0 {
+                continue;
+            }
+            match idx.tile(c).meta.get(2) {
+                Some(m) if m.is_exact() => exact_children += 1,
+                Some(_) => bounded_children += 1,
+                None => panic!("child lost its inherited bounds"),
+            }
+        }
+        assert_eq!(exact_children, 1, "in-window child has exact stats");
+        assert_eq!(bounded_children, 1, "out-of-window child keeps parent bounds");
+        // Inherited bounds equal the parent's pre-split [min,max] = [10,20].
+        let bounded = out
+            .new_leaves
+            .iter()
+            .find(|&&c| {
+                idx.tile(c).object_count() > 0 && !idx.tile(c).meta.has_exact(2)
+            })
+            .copied()
+            .unwrap();
+        assert_eq!(
+            idx.tile(bounded).meta.get(2).unwrap().value_bounds(),
+            Some(pai_common::Interval::new(10.0, 20.0))
+        );
+    }
+
+    #[test]
+    fn no_split_below_min_objects() {
+        let (f, mut idx) = setup();
+        let q = Rect::new(11.0, 15.0, 11.0, 16.0);
+        let centre = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
+        let cfg = AdaptConfig {
+            min_split_objects: 100,
+            ..adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::WindowOnly)
+        };
+        let out = process_tile(&mut idx, &f, centre, &q, &[2], &cfg).unwrap();
+        assert!(!out.did_split);
+        assert!(out.new_leaves.is_empty());
+        assert!(idx.tile(centre).is_leaf());
+    }
+
+    #[test]
+    fn no_split_policy_reads_only() {
+        let (f, mut idx) = setup();
+        let q = Rect::new(11.0, 15.0, 11.0, 16.0);
+        let centre = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
+        let cfg = adapt_cfg(SplitPolicy::NoSplit, ReadPolicy::WindowOnly);
+        let out = process_tile(&mut idx, &f, centre, &q, &[2], &cfg).unwrap();
+        assert!(!out.did_split);
+        assert_eq!(out.in_window[0].sum(), 40.0);
+    }
+
+    #[test]
+    fn whole_tile_selected_enriches_in_place_without_split() {
+        let (f, mut idx) = setup();
+        // Window covering the full bottom-right cell contents but the cell
+        // is partial w.r.t. the window (window cuts through empty space).
+        let q = Rect::new(21.0, 30.0, 0.0, 10.0);
+        let t = idx.leaf_for_point(Point2::new(25.0, 5.0)).unwrap();
+        let cfg = AdaptConfig {
+            split: SplitPolicy::NoSplit,
+            ..adapt_cfg(SplitPolicy::NoSplit, ReadPolicy::WindowOnly)
+        };
+        let out = process_tile(&mut idx, &f, t, &q, &[2], &cfg).unwrap();
+        assert_eq!(out.selected, 2);
+        assert!(!out.did_split);
+        // All entries were read, so the tile's metadata got refreshed.
+        assert!(idx.tile(t).meta.has_exact(2));
+        assert_eq!(idx.tile(t).meta.get(2).unwrap().exact_sum(), Some(130.0));
+    }
+
+    #[test]
+    fn max_depth_stops_splitting() {
+        let (f, mut idx) = setup();
+        let q = Rect::new(11.0, 15.0, 11.0, 16.0);
+        let centre = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
+        let cfg = AdaptConfig { max_depth: 0, ..adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::WindowOnly) };
+        let out = process_tile(&mut idx, &f, centre, &q, &[2], &cfg).unwrap();
+        assert!(!out.did_split, "depth 0 tiles are at max_depth already");
+    }
+
+    #[test]
+    fn enrich_tile_reads_once_and_is_idempotent() {
+        let (f, mut idx) = setup();
+        let t = idx.leaf_for_point(Point2::new(25.0, 5.0)).unwrap();
+        // Wipe the metadata to simulate MetadataPolicy::None.
+        idx.tile_mut(t).meta = crate::metadata::TileMetadata::new(3);
+        f.counters().reset();
+        let read = enrich_tile(&mut idx, &f, t, &[2]).unwrap();
+        assert_eq!(read, 2);
+        assert!(idx.tile(t).meta.has_exact(2));
+        let again = enrich_tile(&mut idx, &f, t, &[2]).unwrap();
+        assert_eq!(again, 0, "second enrichment is free");
+    }
+
+    #[test]
+    fn process_non_leaf_is_error() {
+        let (f, mut idx) = setup();
+        let q = Rect::new(11.0, 15.0, 11.0, 16.0);
+        let centre = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
+        let cfg = adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::WindowOnly);
+        process_tile(&mut idx, &f, centre, &q, &[2], &cfg).unwrap();
+        assert!(process_tile(&mut idx, &f, centre, &q, &[2], &cfg).is_err());
+    }
+
+    #[test]
+    fn memory_budget_blocks_splits_but_not_reads() {
+        let (f, mut idx) = setup();
+        let q = Rect::new(11.0, 15.0, 11.0, 16.0);
+        let centre = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
+        let cfg = AdaptConfig {
+            // Budget below the current footprint: splitting is off.
+            max_index_bytes: Some(1),
+            ..adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::WindowOnly)
+        };
+        let out = process_tile(&mut idx, &f, centre, &q, &[2], &cfg).unwrap();
+        assert!(!out.did_split, "budget exhausted: no structural growth");
+        assert_eq!(out.in_window[0].sum(), 40.0, "reads still happen; answers exact");
+        assert!(idx.tile(centre).is_leaf());
+    }
+
+    #[test]
+    fn generous_budget_allows_splits() {
+        let (f, mut idx) = setup();
+        let q = Rect::new(11.0, 15.0, 11.0, 16.0);
+        let centre = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
+        let cfg = AdaptConfig {
+            max_index_bytes: Some(64 * 1024 * 1024),
+            ..adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::WindowOnly)
+        };
+        let out = process_tile(&mut idx, &f, centre, &q, &[2], &cfg).unwrap();
+        assert!(out.did_split);
+    }
+
+    #[test]
+    fn selected_count_matches_entries() {
+        let (f, mut idx) = setup();
+        let q = Rect::new(0.0, 30.0, 0.0, 30.0); // everything
+        let t = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
+        let cfg = adapt_cfg(SplitPolicy::Grid { rows: 2, cols: 2 }, ReadPolicy::WindowOnly);
+        let out = process_tile(&mut idx, &f, t, &q, &[2], &cfg).unwrap();
+        assert_eq!(out.selected, 2);
+        assert_eq!(out.in_window[0].count(), 2);
+        assert_eq!(out.in_window[0].sum(), 90.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Object entries: what the index stores per object.
+//!
+//! An entry is deliberately tiny (24 bytes): the two axis values, which let
+//! the index answer *where* questions (window containment, selected counts)
+//! without touching the file, and the byte offset of the record, which is
+//! the ticket for fetching non-axis values when a query really needs them.
+
+use pai_common::geometry::{Point2, Rect};
+
+/// One indexed object: axis values + position of its record in the raw file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectEntry {
+    pub x: f64,
+    pub y: f64,
+    /// Byte offset of the first byte of this object's record in the file.
+    pub offset: u64,
+}
+
+impl ObjectEntry {
+    #[inline]
+    pub fn new(x: f64, y: f64, offset: u64) -> Self {
+        ObjectEntry { x, y, offset }
+    }
+
+    #[inline]
+    pub fn point(&self) -> Point2 {
+        Point2::new(self.x, self.y)
+    }
+
+    /// Whether this object is selected by a window query (half-open).
+    #[inline]
+    pub fn in_window(&self, window: &Rect) -> bool {
+        window.contains_point(self.point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_is_small() {
+        // The index may hold one entry per raw-file row; keep it lean.
+        assert_eq!(std::mem::size_of::<ObjectEntry>(), 24);
+    }
+
+    #[test]
+    fn window_membership() {
+        let e = ObjectEntry::new(1.0, 2.0, 99);
+        assert!(e.in_window(&Rect::new(0.0, 2.0, 0.0, 3.0)));
+        assert!(!e.in_window(&Rect::new(0.0, 1.0, 0.0, 3.0)), "x on open edge");
+        assert_eq!(e.point(), Point2::new(1.0, 2.0));
+    }
+}

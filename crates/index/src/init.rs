@@ -1,0 +1,508 @@
+//! Index initialization: the single pass that builds the "crude" index.
+//!
+//! The initial index is a uniform grid over the axis domain. One sequential
+//! scan of the raw file fills it: every record contributes an
+//! [`ObjectEntry`] (axis values + byte offset), and — per the configured
+//! [`MetadataPolicy`] — exact per-tile aggregate stats for the chosen
+//! non-axis columns, plus global per-column bounds (the fallback envelope
+//! for confidence intervals).
+//!
+//! For on-disk files the scan can run on several threads
+//! ([`build_parallel`]): the file is chunked at record boundaries
+//! (`pai-storage::scan`), each worker bins its chunk into per-cell batches,
+//! and the batches merge associatively.
+
+use std::time::{Duration, Instant};
+
+use pai_common::geometry::{Point2, Rect};
+use pai_common::{PaiError, Result, RunningStats};
+use pai_storage::raw::{CsvFile, RawFile};
+use pai_storage::scan::{chunk_ranges, scan_range};
+
+use crate::config::MetadataPolicy;
+use crate::entry::ObjectEntry;
+use crate::index::ValinorIndex;
+use crate::metadata::AttrMeta;
+
+/// How many initial grid cells to create.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridSpec {
+    /// Explicit `nx × ny` grid.
+    Fixed { nx: usize, ny: usize },
+    /// Choose a square-ish grid so each cell holds about this many objects
+    /// (requires a known or discovered row count).
+    TargetObjectsPerTile(u64),
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        GridSpec::Fixed { nx: 16, ny: 16 }
+    }
+}
+
+/// Initialization parameters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InitConfig {
+    pub grid: GridSpec,
+    /// Axis domain. `None` triggers a discovery pre-pass over the file
+    /// (axis columns only) with the max edges padded so that no object sits
+    /// on the half-open boundary.
+    pub domain: Option<Rect>,
+    pub metadata: MetadataPolicy,
+}
+
+/// What initialization cost and produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InitReport {
+    pub rows: u64,
+    pub grid_nx: usize,
+    pub grid_ny: usize,
+    pub elapsed: Duration,
+    /// Whether a domain-discovery pre-pass was needed.
+    pub discovered_domain: bool,
+}
+
+/// Per-cell metadata accumulator used during the scan.
+struct CellAcc {
+    entries: Vec<ObjectEntry>,
+    stats: Vec<RunningStats>,
+    nulls: Vec<u64>,
+}
+
+impl CellAcc {
+    fn new(n_attrs: usize) -> Self {
+        CellAcc {
+            entries: Vec::new(),
+            stats: vec![RunningStats::new(); n_attrs],
+            nulls: vec![0; n_attrs],
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, entry: ObjectEntry, values: &[f64]) {
+        self.entries.push(entry);
+        for ((s, n), &v) in self.stats.iter_mut().zip(self.nulls.iter_mut()).zip(values) {
+            if v.is_nan() {
+                *n += 1;
+            } else {
+                s.push(v);
+            }
+        }
+    }
+
+    fn merge(&mut self, other: CellAcc) {
+        self.entries.extend(other.entries);
+        for (s, o) in self.stats.iter_mut().zip(&other.stats) {
+            s.merge(o);
+        }
+        for (n, o) in self.nulls.iter_mut().zip(&other.nulls) {
+            *n += o;
+        }
+    }
+}
+
+/// Discovers the axis domain with a pre-pass, padding the max edges so that
+/// every object satisfies the half-open containment of its tile.
+pub fn discover_domain(file: &dyn RawFile) -> Result<Rect> {
+    let schema = file.schema();
+    let (xi, yi) = (schema.x_axis(), schema.y_axis());
+    let mut xs = RunningStats::new();
+    let mut ys = RunningStats::new();
+    file.scan(&mut |_, _, rec| {
+        xs.push(rec.f64(xi)?);
+        ys.push(rec.f64(yi)?);
+        Ok(())
+    })?;
+    if xs.is_empty() {
+        return Err(PaiError::schema("cannot discover a domain on an empty file"));
+    }
+    let (x0, x1) = (xs.min().expect("nonempty"), xs.max().expect("nonempty"));
+    let (y0, y1) = (ys.min().expect("nonempty"), ys.max().expect("nonempty"));
+    let pad = |lo: f64, hi: f64| {
+        let span = (hi - lo).abs();
+        let eps = if span > 0.0 { span * 1e-9 } else { 1.0 };
+        (lo, hi + eps)
+    };
+    let (x0, x1) = pad(x0, x1);
+    let (y0, y1) = pad(y0, y1);
+    Ok(Rect::new(x0, x1, y0, y1))
+}
+
+fn resolve_grid(spec: GridSpec, row_hint: Option<u64>) -> Result<(usize, usize)> {
+    match spec {
+        GridSpec::Fixed { nx, ny } => {
+            if nx == 0 || ny == 0 {
+                return Err(PaiError::config("grid must be at least 1x1"));
+            }
+            Ok((nx, ny))
+        }
+        GridSpec::TargetObjectsPerTile(k) => {
+            if k == 0 {
+                return Err(PaiError::config("target objects per tile must be > 0"));
+            }
+            let rows = row_hint.ok_or_else(|| {
+                PaiError::config(
+                    "TargetObjectsPerTile needs a discovered domain (row count unknown)",
+                )
+            })?;
+            let cells = (rows as f64 / k as f64).ceil().max(1.0);
+            let side = (cells.sqrt().ceil() as usize).max(1);
+            Ok((side, side))
+        }
+    }
+}
+
+/// Builds the initial index with one sequential scan.
+pub fn build(file: &dyn RawFile, config: &InitConfig) -> Result<(ValinorIndex, InitReport)> {
+    let start = Instant::now();
+    let schema = file.schema().clone();
+    let attrs = config.metadata.resolve(&schema)?;
+
+    let mut discovered = false;
+    let mut row_hint = None;
+    let domain = match config.domain {
+        Some(d) => d,
+        None => {
+            discovered = true;
+            let d = discover_domain(file)?;
+            // The discovery pass also tells us the row count.
+            row_hint = Some(count_rows(file)?);
+            d
+        }
+    };
+    let (nx, ny) = resolve_grid(config.grid, row_hint)?;
+    let mut index = ValinorIndex::new(schema.clone(), domain, nx, ny)?;
+
+    let (xi, yi) = (schema.x_axis(), schema.y_axis());
+    let n_cells = index.root_cells();
+    let mut accs: Vec<CellAcc> = (0..n_cells).map(|_| CellAcc::new(attrs.len())).collect();
+    let mut vals = Vec::with_capacity(attrs.len());
+    let mut rows = 0u64;
+    file.scan(&mut |_, offset, rec| {
+        let x = rec.f64(xi)?;
+        let y = rec.f64(yi)?;
+        let p = Point2::new(x, y);
+        if !domain.contains_point_closed(p) {
+            return Err(PaiError::schema(format!(
+                "object at {p:?} outside the configured domain {domain}"
+            )));
+        }
+        rec.extract_f64(&attrs, &mut vals)?;
+        let cell = index.root_cell_of(p);
+        accs[cell].push(ObjectEntry::new(x, y, offset), &vals);
+        rows += 1;
+        Ok(())
+    })?;
+
+    install_cells(&mut index, accs, &attrs);
+
+    let report = InitReport {
+        rows,
+        grid_nx: nx,
+        grid_ny: ny,
+        elapsed: start.elapsed(),
+        discovered_domain: discovered,
+    };
+    Ok((index, report))
+}
+
+/// Builds the initial index scanning the file with `threads` workers.
+///
+/// Functionally identical to [`build`] (same index modulo entry order inside
+/// each tile); the domain must be known or discoverable first.
+pub fn build_parallel(
+    file: &CsvFile,
+    config: &InitConfig,
+    threads: usize,
+) -> Result<(ValinorIndex, InitReport)> {
+    if threads <= 1 {
+        return build(file, config);
+    }
+    let start = Instant::now();
+    let schema = file.schema().clone();
+    let attrs = config.metadata.resolve(&schema)?;
+
+    let mut discovered = false;
+    let mut row_hint = None;
+    let domain = match config.domain {
+        Some(d) => d,
+        None => {
+            discovered = true;
+            let d = discover_domain(file)?;
+            row_hint = Some(count_rows(file)?);
+            d
+        }
+    };
+    let (nx, ny) = resolve_grid(config.grid, row_hint)?;
+    let mut index = ValinorIndex::new(schema.clone(), domain, nx, ny)?;
+
+    let ranges = chunk_ranges(file.path(), file.format(), threads)?;
+    let (xi, yi) = (schema.x_axis(), schema.y_axis());
+    let n_cells = index.root_cells();
+
+    // Workers bin their chunk into per-cell accumulators; the shared &index
+    // is only used for the (immutable) cell mapping.
+    let index_ref = &index;
+    let attrs_ref = &attrs;
+    let results: Vec<Result<(Vec<CellAcc>, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&range| {
+                scope.spawn(move || -> Result<(Vec<CellAcc>, u64)> {
+                    let mut accs: Vec<CellAcc> =
+                        (0..n_cells).map(|_| CellAcc::new(attrs_ref.len())).collect();
+                    let mut vals = Vec::with_capacity(attrs_ref.len());
+                    let mut rows = 0u64;
+                    scan_range(
+                        file.path(),
+                        file.format(),
+                        range,
+                        file.counters(),
+                        &mut |_, offset, rec| {
+                            let x = rec.f64(xi)?;
+                            let y = rec.f64(yi)?;
+                            let p = Point2::new(x, y);
+                            if !domain.contains_point_closed(p) {
+                                return Err(PaiError::schema(format!(
+                                    "object at {p:?} outside domain {domain}"
+                                )));
+                            }
+                            rec.extract_f64(attrs_ref, &mut vals)?;
+                            let cell = index_ref.root_cell_of(p);
+                            accs[cell].push(ObjectEntry::new(x, y, offset), &vals);
+                            rows += 1;
+                            Ok(())
+                        },
+                    )?;
+                    Ok((accs, rows))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("init worker panicked"))
+            .collect()
+    });
+
+    let mut merged: Vec<CellAcc> = (0..n_cells).map(|_| CellAcc::new(attrs.len())).collect();
+    let mut rows = 0u64;
+    for res in results {
+        let (accs, r) = res?;
+        rows += r;
+        for (m, a) in merged.iter_mut().zip(accs) {
+            m.merge(a);
+        }
+    }
+    install_cells(&mut index, merged, &attrs);
+
+    let report = InitReport {
+        rows,
+        grid_nx: nx,
+        grid_ny: ny,
+        elapsed: start.elapsed(),
+        discovered_domain: discovered,
+    };
+    Ok((index, report))
+}
+
+/// Moves accumulated entries/metadata into the index tiles and folds global
+/// column bounds.
+fn install_cells(index: &mut ValinorIndex, accs: Vec<CellAcc>, attrs: &[usize]) {
+    for (cell, acc) in accs.into_iter().enumerate() {
+        // Fold global bounds from the per-cell stats (min/max suffice).
+        for (i, s) in acc.stats.iter().enumerate() {
+            if let (Some(lo), Some(hi)) = (s.min(), s.max()) {
+                index.fold_global_bound(attrs[i], lo);
+                index.fold_global_bound(attrs[i], hi);
+            }
+        }
+        if acc.entries.is_empty() {
+            continue;
+        }
+        let tile_id = index.root_tile(cell);
+        for (i, (stats, nulls)) in acc.stats.iter().zip(&acc.nulls).enumerate() {
+            index
+                .tile_mut(tile_id)
+                .meta
+                .set(attrs[i], AttrMeta::Exact { stats: *stats, nulls: *nulls });
+        }
+        index.extend_cell(cell, acc.entries);
+    }
+    debug_assert!(index.validate_invariants().is_ok());
+}
+
+/// Counts data rows with a cheap scan (no field parsing beyond the split).
+fn count_rows(file: &dyn RawFile) -> Result<u64> {
+    let mut rows = 0u64;
+    file.scan(&mut |_, _, _| {
+        rows += 1;
+        Ok(())
+    })?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_common::Interval;
+    use pai_storage::{CsvFormat, DatasetSpec, MemFile, Schema};
+
+    fn tiny_file() -> MemFile {
+        // 4 points in [0,10)^2 with col2 known.
+        let rows = vec![
+            vec![1.0, 1.0, 10.0],
+            vec![9.0, 1.0, 20.0],
+            vec![1.0, 9.0, 30.0],
+            vec![9.0, 9.0, 40.0],
+        ];
+        MemFile::from_rows(Schema::synthetic(3), CsvFormat::default(), rows).unwrap()
+    }
+
+    #[test]
+    fn build_with_fixed_domain() {
+        let f = tiny_file();
+        let cfg = InitConfig {
+            grid: GridSpec::Fixed { nx: 2, ny: 2 },
+            domain: Some(Rect::new(0.0, 10.0, 0.0, 10.0)),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let (idx, report) = build(&f, &cfg).unwrap();
+        assert_eq!(report.rows, 4);
+        assert!(!report.discovered_domain);
+        assert_eq!(idx.total_objects(), 4);
+        assert_eq!(idx.leaf_count(), 4);
+        idx.validate_invariants().unwrap();
+        // Each quadrant holds exactly one object with exact metadata.
+        for (p, v) in [((1.0, 1.0), 10.0), ((9.0, 9.0), 40.0)] {
+            let t = idx.leaf_for_point(Point2::new(p.0, p.1)).unwrap();
+            assert_eq!(idx.tile(t).object_count(), 1);
+            let meta = idx.tile(t).meta.get(2).unwrap();
+            assert_eq!(meta.exact_sum(), Some(v));
+        }
+        assert_eq!(idx.global_bounds(2), Some(Interval::new(10.0, 40.0)));
+    }
+
+    #[test]
+    fn build_discovers_domain() {
+        let f = tiny_file();
+        let cfg = InitConfig {
+            grid: GridSpec::Fixed { nx: 2, ny: 2 },
+            domain: None,
+            metadata: MetadataPolicy::None,
+        };
+        let (idx, report) = build(&f, &cfg).unwrap();
+        assert!(report.discovered_domain);
+        assert_eq!(idx.total_objects(), 4);
+        // Discovered domain covers the extreme points strictly.
+        assert!(idx.domain().contains_point(Point2::new(9.0, 9.0)));
+        // No metadata requested -> no global bounds either.
+        assert_eq!(idx.global_bounds(2), None);
+        idx.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn object_outside_domain_is_schema_error() {
+        let f = tiny_file();
+        let cfg = InitConfig {
+            grid: GridSpec::Fixed { nx: 2, ny: 2 },
+            domain: Some(Rect::new(0.0, 5.0, 0.0, 5.0)),
+            metadata: MetadataPolicy::None,
+        };
+        assert!(build(&f, &cfg).is_err());
+    }
+
+    #[test]
+    fn target_objects_grid_sizing() {
+        assert_eq!(resolve_grid(GridSpec::TargetObjectsPerTile(25), Some(100)).unwrap(), (2, 2));
+        assert_eq!(resolve_grid(GridSpec::TargetObjectsPerTile(1000), Some(10)).unwrap(), (1, 1));
+        assert!(resolve_grid(GridSpec::TargetObjectsPerTile(10), None).is_err());
+        assert!(resolve_grid(GridSpec::TargetObjectsPerTile(0), Some(10)).is_err());
+        assert!(resolve_grid(GridSpec::Fixed { nx: 0, ny: 1 }, None).is_err());
+    }
+
+    #[test]
+    fn discover_domain_empty_file_fails() {
+        let f = MemFile::from_text("col0,col1\n", Schema::synthetic(2), CsvFormat::default());
+        assert!(discover_domain(&f).is_err());
+    }
+
+    #[test]
+    fn metadata_selected_attrs_only() {
+        let rows = vec![vec![1.0, 1.0, 5.0, 7.0]];
+        let f = MemFile::from_rows(Schema::synthetic(4), CsvFormat::default(), rows).unwrap();
+        let cfg = InitConfig {
+            grid: GridSpec::Fixed { nx: 1, ny: 1 },
+            domain: Some(Rect::new(0.0, 2.0, 0.0, 2.0)),
+            metadata: MetadataPolicy::Attrs(vec![3]),
+        };
+        let (idx, _) = build(&f, &cfg).unwrap();
+        let t = idx.leaf_for_point(Point2::new(1.0, 1.0)).unwrap();
+        assert!(idx.tile(t).meta.get(2).is_none());
+        assert!(idx.tile(t).meta.has_exact(3));
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let dir = std::env::temp_dir().join("pai_init_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("par.csv");
+        let spec = DatasetSpec { rows: 5000, columns: 4, seed: 7, ..Default::default() };
+        let file = spec.write_csv(&path, CsvFormat::default()).unwrap();
+
+        let cfg = InitConfig {
+            grid: GridSpec::Fixed { nx: 8, ny: 8 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let (serial, r1) = build(&file, &cfg).unwrap();
+        let (parallel, r2) = build_parallel(&file, &cfg, 4).unwrap();
+        assert_eq!(r1.rows, r2.rows);
+        assert_eq!(serial.total_objects(), parallel.total_objects());
+        assert_eq!(serial.leaf_count(), parallel.leaf_count());
+        parallel.validate_invariants().unwrap();
+
+        // Same per-tile counts and metadata (entry order may differ).
+        for cell in 0..serial.root_cells() {
+            let (a, b) = (serial.root_tile(cell), parallel.root_tile(cell));
+            assert_eq!(
+                serial.tile(a).object_count(),
+                parallel.tile(b).object_count(),
+                "cell {cell}"
+            );
+            for attr in [2usize, 3] {
+                let ma = serial.tile(a).meta.get(attr);
+                let mb = parallel.tile(b).meta.get(attr);
+                match (ma, mb) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.exact_sum().is_some(), y.exact_sum().is_some());
+                        if let (Some(sx), Some(sy)) = (x.exact_sum(), y.exact_sum()) {
+                            assert!((sx - sy).abs() < 1e-9 * (1.0 + sx.abs()));
+                        }
+                        assert_eq!(x.value_bounds(), y.value_bounds());
+                    }
+                    (None, None) => {}
+                    other => panic!("metadata mismatch in cell {cell}: {other:?}"),
+                }
+            }
+        }
+        assert_eq!(serial.global_bounds(2), parallel.global_bounds(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_single_thread_delegates() {
+        let dir = std::env::temp_dir().join("pai_init_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("single.csv");
+        let spec = DatasetSpec { rows: 100, columns: 3, ..Default::default() };
+        let file = spec.write_csv(&path, CsvFormat::default()).unwrap();
+        let cfg = InitConfig {
+            grid: GridSpec::Fixed { nx: 2, ny: 2 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let (idx, _) = build_parallel(&file, &cfg, 1).unwrap();
+        assert_eq!(idx.total_objects(), 100);
+        std::fs::remove_file(&path).ok();
+    }
+}

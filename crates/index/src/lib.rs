@@ -1,0 +1,45 @@
+//! VALINOR-style hierarchical tile index over raw files.
+//!
+//! This crate is the indexing substrate the paper builds on (its §2.2): a
+//! main-memory index that organizes the objects of a raw file into
+//! hierarchies of non-overlapping rectangular tiles defined over the two
+//! axis attributes. Each tile keeps
+//!
+//! * the **object entries** that fall inside it — axis values plus the byte
+//!   offset of the object's record in the raw file (never the non-axis
+//!   values themselves: those stay in the file, that is the in-situ deal);
+//! * **aggregate metadata** per non-axis attribute (count/sum/min/max/sum²),
+//!   either *exact* (computed from values that were actually read) or
+//!   *bounded* (outer `[min,max]` bounds inherited from a parent tile or the
+//!   global column range — enough for the AQP confidence intervals of
+//!   `pai-core`).
+//!
+//! The index starts as a "crude" uniform grid ([`init`]) and refines itself
+//! query by query ([`adapt`]): partially-contained tiles are split, their
+//! objects reorganized, and metadata computed for the new subtiles. The
+//! [`eval`] module implements the paper's *exact* query answering baseline
+//! on top of this machinery; the approximate engine lives in `pai-core` and
+//! reuses the same primitives, processing only a subset of tiles.
+
+pub mod adapt;
+pub mod config;
+pub mod entry;
+pub mod eval;
+pub mod index;
+pub mod init;
+pub mod metadata;
+pub mod render;
+pub mod split;
+pub mod testutil;
+pub mod tile;
+
+pub use adapt::{enrich_tile, process_tile, ProcessOutcome};
+pub use config::{AdaptConfig, EnrichPolicy, MetadataPolicy, ReadPolicy};
+pub use entry::ObjectEntry;
+pub use eval::{ExactEngine, ExactResult, QueryStats};
+pub use index::{Classification, PartialTile, ValinorIndex};
+pub use init::InitConfig;
+pub use metadata::{AttrMeta, TileMetadata};
+pub use split::SplitPolicy;
+pub use testutil::{build_test_index, build_test_index_with_file, test_file, TestIndexSpec};
+pub use tile::{Tile, TileId, TileState};

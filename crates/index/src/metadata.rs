@@ -1,0 +1,299 @@
+//! Per-tile aggregate metadata.
+//!
+//! The paper's confidence intervals consume, per tile and non-axis
+//! attribute: `sum`, `min`, `max` (plus the selected count, which comes from
+//! the entries). Metadata is not always available at full fidelity:
+//!
+//! * [`AttrMeta::Exact`] — computed from the actual values of the tile's
+//!   objects (initialization scan, or a later enrichment/processing read).
+//! * [`AttrMeta::Bounded`] — only an outer `[min, max]` envelope is known,
+//!   inherited from the parent tile at split time or from the global column
+//!   range. This still yields a sound (wider) confidence interval, which is
+//!   exactly how the AQP engine prices "inaccurate" tiles.
+//!
+//! Exact metadata also tracks how many of the tile's objects had NULL (NaN)
+//! values for the attribute; when NULLs are present, sum bounds are widened
+//! to include 0-contributions so the interval stays sound.
+
+use pai_common::{AttrId, Interval, RunningStats};
+
+/// Metadata for one attribute within one tile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrMeta {
+    /// Stats computed from the attribute values of *all* objects in the tile.
+    /// `nulls` counts objects whose value was NaN (excluded from `stats`).
+    Exact { stats: RunningStats, nulls: u64 },
+    /// Only outer bounds on the attribute's values in this tile.
+    Bounded(Interval),
+}
+
+impl AttrMeta {
+    /// Exact metadata from a value slice (NaNs counted as nulls).
+    pub fn exact_from_values(values: &[f64]) -> Self {
+        let stats = RunningStats::from_values(values);
+        let nulls = values.len() as u64 - stats.count();
+        AttrMeta::Exact { stats, nulls }
+    }
+
+    /// True when the metadata carries exact aggregates (usable for
+    /// fully-contained tiles without touching the file).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, AttrMeta::Exact { .. })
+    }
+
+    /// Outer bounds on a *single* value of this attribute in the tile, if
+    /// any value exists. For `Exact` metadata with at least one non-null
+    /// value this is `[min, max]`; for `Bounded` it is the envelope.
+    pub fn value_bounds(&self) -> Option<Interval> {
+        match self {
+            AttrMeta::Exact { stats, .. } => stats.range(),
+            AttrMeta::Bounded(iv) => Some(*iv),
+        }
+    }
+
+    /// Sound outer bounds on the **sum** of this attribute over `count`
+    /// selected objects of the tile.
+    ///
+    /// This is the per-tile term of the paper's query confidence interval:
+    /// `[count·min, count·max]`. With NULLs known present — or possible, for
+    /// `Bounded` metadata when `assume_non_null` is false — the interval is
+    /// widened to include 0 per object, since a NULL contributes nothing to
+    /// the true sum. The paper's setting (and our default) is NULL-free
+    /// data, i.e. `assume_non_null = true`.
+    pub fn sum_bounds(&self, count: u64, assume_non_null: bool) -> Option<Interval> {
+        let vb = self.value_bounds()?;
+        let k = count as f64;
+        let base = vb.scale(k);
+        let may_have_nulls = match self {
+            AttrMeta::Exact { nulls, .. } => *nulls > 0,
+            AttrMeta::Bounded(_) => !assume_non_null,
+        };
+        if may_have_nulls {
+            // Each object contributes either its value or 0, so the sum of
+            // `count` objects lies within the hull of [0,0] and count·[min,max].
+            Some(base.hull(&Interval::point(0.0)))
+        } else {
+            Some(base)
+        }
+    }
+
+    /// True when this metadata certifies that the tile's values contain no
+    /// NULLs (exact stats with a zero null count). `Bounded` metadata can
+    /// never certify this on its own.
+    pub fn certainly_non_null(&self) -> bool {
+        matches!(self, AttrMeta::Exact { nulls: 0, .. })
+    }
+
+    /// The exact sum over the whole tile, if exactly known.
+    pub fn exact_sum(&self) -> Option<f64> {
+        match self {
+            AttrMeta::Exact { stats, .. } => Some(stats.sum()),
+            AttrMeta::Bounded(_) => None,
+        }
+    }
+
+    /// Exact whole-tile stats, if available.
+    pub fn exact_stats(&self) -> Option<&RunningStats> {
+        match self {
+            AttrMeta::Exact { stats, .. } => Some(stats),
+            AttrMeta::Bounded(_) => None,
+        }
+    }
+
+    /// Number of known-NULL values (0 for `Bounded`, which is agnostic).
+    pub fn nulls(&self) -> u64 {
+        match self {
+            AttrMeta::Exact { nulls, .. } => *nulls,
+            AttrMeta::Bounded(_) => 0,
+        }
+    }
+
+    /// Metadata a child tile inherits when the parent splits without the
+    /// child's values being read: the parent's value envelope, demoted to
+    /// `Bounded` (child min/max can only be tighter than the parent's).
+    pub fn demote_to_bounds(&self) -> Option<AttrMeta> {
+        self.value_bounds().map(AttrMeta::Bounded)
+    }
+}
+
+/// Metadata of one tile: a slot per schema column.
+///
+/// Axis columns and text columns keep `None`. A dense `Vec` rather than a
+/// map: schemas are small (the paper's has 10 columns) and tiles are many.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TileMetadata {
+    slots: Vec<Option<AttrMeta>>,
+}
+
+impl TileMetadata {
+    /// Empty metadata sized for `n_columns` slots.
+    pub fn new(n_columns: usize) -> Self {
+        TileMetadata { slots: vec![None; n_columns] }
+    }
+
+    /// Metadata for `attr`, if any.
+    pub fn get(&self, attr: AttrId) -> Option<&AttrMeta> {
+        self.slots.get(attr).and_then(|s| s.as_ref())
+    }
+
+    /// True when exact aggregates are available for `attr`.
+    pub fn has_exact(&self, attr: AttrId) -> bool {
+        matches!(self.get(attr), Some(m) if m.is_exact())
+    }
+
+    /// Installs metadata for `attr` (replacing anything weaker or stale).
+    pub fn set(&mut self, attr: AttrId, meta: AttrMeta) {
+        if attr >= self.slots.len() {
+            self.slots.resize(attr + 1, None);
+        }
+        self.slots[attr] = Some(meta);
+    }
+
+    /// Upgrades to `meta` only if the slot currently holds nothing exact;
+    /// exact metadata is never overwritten by bounds.
+    pub fn set_if_better(&mut self, attr: AttrId, meta: AttrMeta) {
+        let current_exact = self.has_exact(attr);
+        if !current_exact || meta.is_exact() {
+            self.set(attr, meta);
+        }
+    }
+
+    /// Ids of attributes that have any metadata.
+    pub fn known_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+    }
+
+    /// Derives the metadata a child inherits at split time: every slot
+    /// demoted to bounds.
+    pub fn inherited(&self) -> TileMetadata {
+        TileMetadata {
+            slots: self
+                .slots
+                .iter()
+                .map(|s| s.as_ref().and_then(AttrMeta::demote_to_bounds))
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_from_values_tracks_nulls() {
+        let m = AttrMeta::exact_from_values(&[1.0, f64::NAN, 3.0]);
+        assert!(m.is_exact());
+        assert_eq!(m.nulls(), 1);
+        assert_eq!(m.exact_sum(), Some(4.0));
+        assert_eq!(m.value_bounds(), Some(Interval::new(1.0, 3.0)));
+    }
+
+    #[test]
+    fn sum_bounds_without_nulls() {
+        let m = AttrMeta::exact_from_values(&[2.0, 4.0]);
+        assert_eq!(m.sum_bounds(3, true), Some(Interval::new(6.0, 12.0)));
+        assert_eq!(m.sum_bounds(3, false), Some(Interval::new(6.0, 12.0)));
+        assert_eq!(m.sum_bounds(0, true), Some(Interval::point(0.0)));
+        assert!(m.certainly_non_null());
+    }
+
+    #[test]
+    fn sum_bounds_with_nulls_include_zero() {
+        let m = AttrMeta::exact_from_values(&[2.0, f64::NAN]);
+        // min=max=2, but a selected object could be the NULL one — widened
+        // regardless of the engine-level assumption (nulls are *known*).
+        assert_eq!(m.sum_bounds(2, true), Some(Interval::new(0.0, 4.0)));
+        assert_eq!(m.sum_bounds(2, false), Some(Interval::new(0.0, 4.0)));
+        assert!(!m.certainly_non_null());
+    }
+
+    #[test]
+    fn sum_bounds_negative_values_with_nulls() {
+        let m = AttrMeta::exact_from_values(&[-3.0, f64::NAN]);
+        assert_eq!(m.sum_bounds(2, true), Some(Interval::new(-6.0, 0.0)));
+    }
+
+    #[test]
+    fn bounded_meta_behaviour() {
+        let m = AttrMeta::Bounded(Interval::new(2.0, 10.0));
+        assert!(!m.is_exact());
+        assert!(!m.certainly_non_null());
+        assert_eq!(m.exact_sum(), None);
+        assert_eq!(m.value_bounds(), Some(Interval::new(2.0, 10.0)));
+        // Under the paper's NULL-free assumption the bounds scale directly.
+        assert_eq!(m.sum_bounds(5, true), Some(Interval::new(10.0, 50.0)));
+        // Conservative mode widens to include possible NULL contributions.
+        assert_eq!(m.sum_bounds(5, false), Some(Interval::new(0.0, 50.0)));
+    }
+
+    #[test]
+    fn empty_exact_meta_has_no_bounds() {
+        let m = AttrMeta::exact_from_values(&[]);
+        assert_eq!(m.value_bounds(), None);
+        assert_eq!(m.sum_bounds(1, true), None);
+        assert_eq!(m.exact_sum(), Some(0.0), "empty sum is 0");
+    }
+
+    #[test]
+    fn demotion() {
+        let m = AttrMeta::exact_from_values(&[1.0, 5.0]);
+        let d = m.demote_to_bounds().unwrap();
+        assert_eq!(d, AttrMeta::Bounded(Interval::new(1.0, 5.0)));
+        assert!(AttrMeta::exact_from_values(&[]).demote_to_bounds().is_none());
+    }
+
+    #[test]
+    fn tile_metadata_slots() {
+        let mut tm = TileMetadata::new(4);
+        assert!(tm.is_empty());
+        assert_eq!(tm.get(2), None);
+        tm.set(2, AttrMeta::exact_from_values(&[1.0]));
+        assert!(tm.has_exact(2));
+        assert!(!tm.has_exact(3));
+        assert_eq!(tm.known_attrs().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn set_if_better_keeps_exact() {
+        let mut tm = TileMetadata::new(3);
+        tm.set(1, AttrMeta::exact_from_values(&[1.0, 2.0]));
+        tm.set_if_better(1, AttrMeta::Bounded(Interval::new(0.0, 10.0)));
+        assert!(tm.has_exact(1), "bounds must not overwrite exact stats");
+        tm.set_if_better(1, AttrMeta::exact_from_values(&[5.0]));
+        assert_eq!(tm.get(1).unwrap().exact_sum(), Some(5.0));
+        // Bounds land happily in empty slots.
+        tm.set_if_better(2, AttrMeta::Bounded(Interval::new(0.0, 1.0)));
+        assert!(tm.get(2).is_some());
+    }
+
+    #[test]
+    fn inherited_demotes_everything() {
+        let mut tm = TileMetadata::new(3);
+        tm.set(1, AttrMeta::exact_from_values(&[1.0, 9.0]));
+        tm.set(2, AttrMeta::Bounded(Interval::new(-1.0, 1.0)));
+        let inh = tm.inherited();
+        assert_eq!(inh.get(1), Some(&AttrMeta::Bounded(Interval::new(1.0, 9.0))));
+        assert_eq!(inh.get(2), Some(&AttrMeta::Bounded(Interval::new(-1.0, 1.0))));
+        assert_eq!(inh.get(0), None);
+    }
+
+    #[test]
+    fn set_grows_slots() {
+        let mut tm = TileMetadata::new(1);
+        tm.set(5, AttrMeta::Bounded(Interval::point(0.0)));
+        assert!(tm.get(5).is_some());
+        assert_eq!(tm.len(), 6);
+    }
+}

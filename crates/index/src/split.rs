@@ -1,0 +1,195 @@
+//! Tile splitting policies.
+//!
+//! When a partially-contained tile is processed, it is split into subtiles
+//! so that future queries in the neighbourhood fully contain tiles and can
+//! be answered from metadata alone (the locality argument of §2.2). How to
+//! cut is a policy:
+//!
+//! * [`SplitPolicy::Grid`] — a fixed `rows × cols` grid (the paper's figures
+//!   use 2×2);
+//! * [`SplitPolicy::QueryAligned`] — cut along the query edges that cross
+//!   the tile, so the subtiles inside the query are *exactly* the overlap
+//!   region (maximizes the chance that a re-posed/shifted query fully
+//!   contains them);
+//! * [`SplitPolicy::KdMedian`] — one median cut along the wider axis,
+//!   balancing object counts (helps in skewed/dense regions);
+//! * [`SplitPolicy::NoSplit`] — read but never restructure (ablation
+//!   baseline: pure "crack-free" scanning).
+
+use pai_common::geometry::Rect;
+use pai_common::{PaiError, Result};
+
+use crate::entry::ObjectEntry;
+
+/// Strategy for cutting a processed tile into subtiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitPolicy {
+    /// Fixed grid of `rows × cols` equal subtiles.
+    Grid { rows: usize, cols: usize },
+    /// Cut along the query edges crossing the tile (1–9 subtiles).
+    /// The paper's illustrated behaviour; the default.
+    #[default]
+    QueryAligned,
+    /// Median cut along the wider axis into two halves by object count.
+    KdMedian,
+    /// Never split; tiles only get read/enriched.
+    NoSplit,
+}
+
+impl SplitPolicy {
+    /// Sanity-checks policy parameters.
+    pub fn validate(&self) -> Result<()> {
+        if let SplitPolicy::Grid { rows, cols } = self {
+            if *rows == 0 || *cols == 0 {
+                return Err(PaiError::config("grid split needs rows, cols >= 1"));
+            }
+            if *rows == 1 && *cols == 1 {
+                return Err(PaiError::config(
+                    "1x1 grid split is a no-op; use SplitPolicy::NoSplit",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the subtile rectangles for `tile` under query `query`.
+    ///
+    /// Returns `None` when this policy produces no useful split (e.g.
+    /// `NoSplit`, or a query-aligned cut where no query edge crosses the
+    /// tile). Every returned set partitions `tile` exactly.
+    pub fn child_rects(
+        &self,
+        tile: &Rect,
+        query: &Rect,
+        entries: &[ObjectEntry],
+    ) -> Option<Vec<Rect>> {
+        match *self {
+            SplitPolicy::NoSplit => None,
+            SplitPolicy::Grid { rows, cols } => Some(tile.split_grid(rows, cols)),
+            SplitPolicy::QueryAligned => {
+                let rects = tile.split_at_query(query);
+                (rects.len() > 1).then_some(rects)
+            }
+            SplitPolicy::KdMedian => {
+                if entries.len() < 2 {
+                    return None;
+                }
+                let vertical = tile.width() >= tile.height();
+                let mut coords: Vec<f64> = entries
+                    .iter()
+                    .map(|e| if vertical { e.x } else { e.y })
+                    .collect();
+                coords.sort_by(|a, b| a.partial_cmp(b).expect("finite axis values"));
+                let cut = coords[coords.len() / 2];
+                // Degenerate distributions (all objects on one line) cannot
+                // be median-cut along this axis.
+                if vertical {
+                    (cut > tile.x_min && cut < tile.x_max).then(|| {
+                        vec![
+                            Rect::new(tile.x_min, cut, tile.y_min, tile.y_max),
+                            Rect::new(cut, tile.x_max, tile.y_min, tile.y_max),
+                        ]
+                    })
+                } else {
+                    (cut > tile.y_min && cut < tile.y_max).then(|| {
+                        vec![
+                            Rect::new(tile.x_min, tile.x_max, tile.y_min, cut),
+                            Rect::new(tile.x_min, tile.x_max, cut, tile.y_max),
+                        ]
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(points: &[(f64, f64)]) -> Vec<ObjectEntry> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| ObjectEntry::new(x, y, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SplitPolicy::Grid { rows: 2, cols: 2 }.validate().is_ok());
+        assert!(SplitPolicy::Grid { rows: 0, cols: 2 }.validate().is_err());
+        assert!(SplitPolicy::Grid { rows: 1, cols: 1 }.validate().is_err());
+        assert!(SplitPolicy::NoSplit.validate().is_ok());
+    }
+
+    #[test]
+    fn no_split_returns_none() {
+        let t = Rect::new(0.0, 1.0, 0.0, 1.0);
+        assert_eq!(SplitPolicy::NoSplit.child_rects(&t, &t, &[]), None);
+    }
+
+    #[test]
+    fn grid_split_partitions() {
+        let t = Rect::new(0.0, 4.0, 0.0, 4.0);
+        let q = Rect::new(0.0, 1.0, 0.0, 1.0);
+        let rects = SplitPolicy::Grid { rows: 2, cols: 2 }
+            .child_rects(&t, &q, &[])
+            .unwrap();
+        assert_eq!(rects.len(), 4);
+        let area: f64 = rects.iter().map(Rect::area).sum();
+        assert!((area - t.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_aligned_none_when_tile_inside_query() {
+        let t = Rect::new(1.0, 2.0, 1.0, 2.0);
+        let q = Rect::new(0.0, 10.0, 0.0, 10.0);
+        assert_eq!(SplitPolicy::QueryAligned.child_rects(&t, &q, &[]), None);
+    }
+
+    #[test]
+    fn query_aligned_cuts_crossing_edges() {
+        let t = Rect::new(0.0, 10.0, 0.0, 10.0);
+        let q = Rect::new(4.0, 20.0, -5.0, 6.0);
+        let rects = SplitPolicy::QueryAligned.child_rects(&t, &q, &[]).unwrap();
+        // x cut at 4, y cut at 6 -> 4 subtiles.
+        assert_eq!(rects.len(), 4);
+        assert!(rects.contains(&Rect::new(4.0, 10.0, 0.0, 6.0)));
+    }
+
+    #[test]
+    fn kd_median_balances_counts() {
+        let t = Rect::new(0.0, 10.0, 0.0, 1.0);
+        let es = entries(&[(1.0, 0.5), (2.0, 0.5), (8.0, 0.5), (9.0, 0.5)]);
+        let rects = SplitPolicy::KdMedian
+            .child_rects(&t, &t, &es)
+            .expect("spread entries split");
+        assert_eq!(rects.len(), 2);
+        let left = &rects[0];
+        let n_left = es.iter().filter(|e| left.contains_point(e.point())).count();
+        assert_eq!(n_left, 2);
+    }
+
+    #[test]
+    fn kd_median_degenerate_cases() {
+        let t = Rect::new(0.0, 10.0, 0.0, 1.0);
+        assert_eq!(SplitPolicy::KdMedian.child_rects(&t, &t, &[]), None);
+        let single = entries(&[(5.0, 0.5)]);
+        assert_eq!(SplitPolicy::KdMedian.child_rects(&t, &t, &single), None);
+        // All points identical: cut would fall on min edge -> None.
+        let same = entries(&[(0.0, 0.5), (0.0, 0.5), (0.0, 0.5)]);
+        assert_eq!(SplitPolicy::KdMedian.child_rects(&t, &t, &same), None);
+    }
+
+    #[test]
+    fn kd_median_prefers_wider_axis() {
+        let tall = Rect::new(0.0, 1.0, 0.0, 10.0);
+        let es = entries(&[(0.5, 1.0), (0.5, 9.0)]);
+        let rects = SplitPolicy::KdMedian.child_rects(&tall, &tall, &es).unwrap();
+        // Cut must be horizontal (y axis is longer).
+        assert_eq!(rects[0].x_min, tall.x_min);
+        assert_eq!(rects[0].x_max, tall.x_max);
+        assert!(rects[0].y_max < tall.y_max);
+    }
+}

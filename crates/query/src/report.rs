@@ -1,0 +1,289 @@
+//! Rendering of run records: tables, CSV, ASCII charts, and the summary
+//! statistics quoted in the paper's text (speedups at a query index,
+//! overall speedups, time-vs-objects correlation).
+
+use crate::runner::MethodRun;
+
+/// Per-query CSV with one time and objects column per method; loadable into
+/// any plotting tool to re-draw Figure 2.
+pub fn to_csv(runs: &[MethodRun]) -> String {
+    let mut header = String::from("query");
+    for r in runs {
+        header.push_str(&format!(",{}_time_ms,{}_objects", r.label, r.label));
+    }
+    let n = runs.iter().map(|r| r.records.len()).max().unwrap_or(0);
+    let mut out = header;
+    out.push('\n');
+    for i in 0..n {
+        out.push_str(&(i + 1).to_string());
+        for r in runs {
+            match r.records.get(i) {
+                Some(rec) => out.push_str(&format!(
+                    ",{:.3},{}",
+                    rec.elapsed.as_secs_f64() * 1e3,
+                    rec.objects_read
+                )),
+                None => out.push_str(",,"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A compact fixed-width table of per-query times (ms).
+pub fn time_table(runs: &[MethodRun]) -> String {
+    let n = runs.iter().map(|r| r.records.len()).max().unwrap_or(0);
+    let mut out = format!("{:>5} ", "query");
+    for r in runs {
+        out.push_str(&format!("{:>14} ", format!("{} (ms)", r.label)));
+    }
+    out.push('\n');
+    for i in 0..n {
+        out.push_str(&format!("{:>5} ", i + 1));
+        for r in runs {
+            match r.records.get(i) {
+                Some(rec) => {
+                    out.push_str(&format!("{:>14.3} ", rec.elapsed.as_secs_f64() * 1e3))
+                }
+                None => out.push_str(&format!("{:>14} ", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders several series as an ASCII line chart (queries on the x-axis),
+/// one plot character per series: the Figure 2 look, in a terminal.
+pub fn ascii_chart(series: &[(String, Vec<f64>)], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 6, "chart raster too small");
+    let n = series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0f64, f64::max);
+    if n == 0 || max <= 0.0 {
+        return String::from("(no data)\n");
+    }
+    let marks = ['*', 'o', '+', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, vals)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for (i, &v) in vals.iter().enumerate() {
+            let col = if n == 1 { 0 } else { i * (width - 1) / (n - 1) };
+            let row_f = (1.0 - (v / max).clamp(0.0, 1.0)) * (height - 1) as f64;
+            let row = (row_f.round() as usize).min(height - 1);
+            grid[row][col] = mark;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("max = {max:.4}\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', width));
+    out.push('\n');
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", marks[si % marks.len()], label));
+    }
+    out
+}
+
+/// Summary comparing approximate runs to an exact baseline: the quantities
+/// the paper's §4 quotes in prose.
+#[derive(Debug, Clone)]
+pub struct ComparisonSummary {
+    pub label: String,
+    /// total_exact / total_approx over the whole sequence.
+    pub overall_speedup: f64,
+    /// Speedup at a specific query index (the paper quotes query 20),
+    /// averaged over a +-2 window to damp noise.
+    pub speedup_at_focus: f64,
+    pub focus_query: usize,
+    /// Mean per-query time in each third of the sequence (early/mid/late).
+    pub phase_means_secs: [f64; 3],
+    /// Ratio of total objects read vs. the exact run.
+    pub objects_ratio: f64,
+}
+
+/// Pearson correlation between two equal-length series (used to check the
+/// paper's claim that evaluation time follows objects read).
+pub fn series_correlation(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len() as f64;
+    let (sa, sb): (f64, f64) = (a.iter().sum(), b.iter().sum());
+    let (ma, mb) = (sa / n, sb / n);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+/// Mean of a slice (0 for empty).
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Builds the comparison summary of `approx` against `exact` with the focus
+/// query index (1-based, like the paper's "query 20").
+pub fn summarize(exact: &MethodRun, approx: &MethodRun, focus_query: usize) -> ComparisonSummary {
+    let et = exact.time_series_secs();
+    let at = approx.time_series_secs();
+    let n = et.len().min(at.len());
+
+    let window = |series: &[f64], center: usize| -> f64 {
+        let lo = center.saturating_sub(3);
+        let hi = (center + 2).min(series.len());
+        mean(&series[lo..hi])
+    };
+    let focus0 = focus_query.min(n); // 1-based center, clamped
+    let speedup_at_focus = {
+        let e = window(&et, focus0);
+        let a = window(&at, focus0);
+        if a > 0.0 {
+            e / a
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    let thirds = |series: &[f64]| -> [f64; 3] {
+        let k = series.len() / 3;
+        if k == 0 {
+            return [mean(series); 3];
+        }
+        [
+            mean(&series[..k]),
+            mean(&series[k..2 * k]),
+            mean(&series[2 * k..]),
+        ]
+    };
+
+    let total_e: f64 = et.iter().sum();
+    let total_a: f64 = at.iter().sum();
+    ComparisonSummary {
+        label: approx.label.clone(),
+        overall_speedup: if total_a > 0.0 { total_e / total_a } else { f64::INFINITY },
+        speedup_at_focus,
+        focus_query,
+        phase_means_secs: thirds(&at),
+        objects_ratio: approx.total_objects_read() as f64
+            / exact.total_objects_read().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Method, QueryRecord};
+    use pai_common::AggregateValue;
+    use std::time::Duration;
+
+    fn fake_run(label: &str, times_ms: &[u64], objects: &[u64]) -> MethodRun {
+        let records = times_ms
+            .iter()
+            .zip(objects)
+            .enumerate()
+            .map(|(i, (&t, &o))| QueryRecord {
+                query_index: i,
+                elapsed: Duration::from_millis(t),
+                objects_read: o,
+                bytes_read: o * 50,
+                selected: 100,
+                tiles_partial: 4,
+                tiles_processed: 2,
+                tiles_split: 2,
+                error_bound: 0.01,
+                values: vec![AggregateValue::Float(1.0)],
+            })
+            .collect();
+        MethodRun {
+            label: label.into(),
+            method: Method::Exact,
+            init_elapsed: Duration::from_millis(5),
+            records,
+        }
+    }
+
+    #[test]
+    fn csv_shape() {
+        let runs = vec![
+            fake_run("exact", &[10, 20], &[100, 200]),
+            fake_run("phi=5%", &[5, 5], &[50, 40]),
+        ];
+        let csv = to_csv(&runs);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "query,exact_time_ms,exact_objects,phi=5%_time_ms,phi=5%_objects"
+        );
+        assert_eq!(lines.next().unwrap(), "1,10.000,100,5.000,50");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn table_contains_all_methods() {
+        let runs = vec![fake_run("exact", &[10], &[1]), fake_run("phi=1%", &[3], &[1])];
+        let t = time_table(&runs);
+        assert!(t.contains("exact (ms)"));
+        assert!(t.contains("phi=1% (ms)"));
+    }
+
+    #[test]
+    fn chart_renders_and_scales() {
+        let series = vec![
+            ("a".to_string(), vec![1.0, 2.0, 3.0, 4.0]),
+            ("b".to_string(), vec![4.0, 3.0, 2.0, 1.0]),
+        ];
+        let chart = ascii_chart(&series, 40, 10);
+        assert!(chart.contains("max = 4.0000"));
+        assert!(chart.contains('*') && chart.contains('o'));
+        assert!(chart.contains("  * a"));
+        // Empty series degrade gracefully.
+        assert_eq!(ascii_chart(&[], 40, 10), "(no data)\n");
+    }
+
+    #[test]
+    fn correlation_known_cases() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((series_correlation(&a, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((series_correlation(&a, &down).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(series_correlation(&a, &[1.0, 1.0, 1.0, 1.0]), None);
+        assert_eq!(series_correlation(&a, &[1.0]), None);
+    }
+
+    #[test]
+    fn summary_speedups() {
+        // Exact run: 10 ms/query; approx: 2 ms/query -> overall speedup 5.
+        let exact = fake_run("exact", &[10; 30], &[1000; 30]);
+        let approx = fake_run("phi=5%", &[2; 30], &[100; 30]);
+        let s = summarize(&exact, &approx, 20);
+        assert!((s.overall_speedup - 5.0).abs() < 1e-9);
+        assert!((s.speedup_at_focus - 5.0).abs() < 1e-9);
+        assert!((s.objects_ratio - 0.1).abs() < 1e-9);
+        assert_eq!(s.focus_query, 20);
+        for m in s.phase_means_secs {
+            assert!((m - 0.002).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Stateful visual exploration: the user's viewport over the data.
+//!
+//! An [`ExplorationSession`] owns an approximate engine and a current
+//! window; `pan`/`zoom`/`jump` move the viewport and re-evaluate, with the
+//! index adapting underneath exactly as a RawVis-style UI would drive it.
+//! The per-interaction accuracy constraint can be changed mid-session
+//! (e.g. interactive overview at φ = 5 %, tightening to exact before a
+//! screenshot).
+
+use pai_common::geometry::Rect;
+use pai_common::{AggregateFunction, Result};
+use pai_core::{ApproxResult, ApproximateEngine, EngineConfig};
+use pai_index::ValinorIndex;
+use pai_storage::raw::RawFile;
+
+/// One executed interaction: the window it evaluated and the result.
+#[derive(Debug, Clone)]
+pub struct SessionStep {
+    pub window: Rect,
+    pub phi: f64,
+    pub result: ApproxResult,
+}
+
+/// A pan/zoom exploration session over an adaptive index.
+pub struct ExplorationSession<'f> {
+    engine: ApproximateEngine<'f>,
+    domain: Rect,
+    window: Rect,
+    aggs: Vec<AggregateFunction>,
+    phi: f64,
+    history: Vec<SessionStep>,
+}
+
+impl<'f> ExplorationSession<'f> {
+    /// Starts a session with an initial viewport and accuracy constraint.
+    pub fn new(
+        index: ValinorIndex,
+        file: &'f dyn RawFile,
+        config: EngineConfig,
+        start_window: Rect,
+        aggs: Vec<AggregateFunction>,
+        phi: f64,
+    ) -> Result<Self> {
+        pai_core::config::validate_phi(phi)?;
+        let domain = *index.domain();
+        let engine = ApproximateEngine::new(index, file, config)?;
+        Ok(ExplorationSession {
+            engine,
+            domain,
+            window: start_window.clamped_into(&domain),
+            aggs,
+            phi,
+            history: Vec::new(),
+        })
+    }
+
+    pub fn window(&self) -> &Rect {
+        &self.window
+    }
+
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// Changes the accuracy constraint for subsequent interactions.
+    pub fn set_phi(&mut self, phi: f64) -> Result<()> {
+        pai_core::config::validate_phi(phi)?;
+        self.phi = phi;
+        Ok(())
+    }
+
+    pub fn history(&self) -> &[SessionStep] {
+        &self.history
+    }
+
+    pub fn index(&self) -> &ValinorIndex {
+        self.engine.index()
+    }
+
+    /// Evaluates the current viewport (recording the step) and returns the
+    /// result.
+    pub fn evaluate(&mut self) -> Result<&ApproxResult> {
+        let result = self.engine.evaluate(&self.window, &self.aggs, self.phi)?;
+        self.history.push(SessionStep { window: self.window, phi: self.phi, result });
+        Ok(&self.history.last().expect("just pushed").result)
+    }
+
+    /// Pans by a fraction of the current window extent (e.g. `(0.15, 0.0)`
+    /// shifts 15 % to the right) and evaluates.
+    pub fn pan(&mut self, frac_dx: f64, frac_dy: f64) -> Result<&ApproxResult> {
+        self.window = self
+            .window
+            .shifted(frac_dx * self.window.width(), frac_dy * self.window.height())
+            .clamped_into(&self.domain);
+        self.evaluate()
+    }
+
+    /// Zooms by `factor` (< 1 zooms in) around the window center and
+    /// evaluates.
+    pub fn zoom(&mut self, factor: f64) -> Result<&ApproxResult> {
+        self.window = self.window.scaled(factor).clamped_into(&self.domain);
+        self.evaluate()
+    }
+
+    /// Jumps the viewport to an arbitrary window and evaluates.
+    pub fn jump(&mut self, window: Rect) -> Result<&ApproxResult> {
+        self.window = window.clamped_into(&self.domain);
+        self.evaluate()
+    }
+
+    /// Total objects read from the raw file across the session so far.
+    pub fn total_objects_read(&self) -> u64 {
+        self.history
+            .iter()
+            .map(|s| s.result.stats.io.objects_read)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pai_index::init::{build, GridSpec, InitConfig};
+    use pai_index::MetadataPolicy;
+    use pai_storage::{CsvFormat, DatasetSpec};
+
+    fn session<'a>(file: &'a pai_storage::MemFile, spec: &DatasetSpec) -> ExplorationSession<'a> {
+        let init = InitConfig {
+            grid: GridSpec::Fixed { nx: 5, ny: 5 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let (idx, _) = build(file, &init).unwrap();
+        let start = crate::workload::Workload::centered_window(&spec.domain, 0.04);
+        ExplorationSession::new(
+            idx,
+            file,
+            EngineConfig::paper_evaluation(),
+            start,
+            vec![AggregateFunction::Mean(2), AggregateFunction::Count],
+            0.05,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pan_zoom_jump_flow() {
+        let spec = DatasetSpec { rows: 3000, columns: 3, seed: 8, ..Default::default() };
+        let file = spec.build_mem(CsvFormat::default()).unwrap();
+        let mut s = session(&file, &spec);
+        s.evaluate().unwrap();
+        s.pan(0.15, 0.0).unwrap();
+        s.pan(0.0, -0.2).unwrap();
+        s.zoom(0.5).unwrap();
+        s.jump(Rect::new(0.0, 100.0, 0.0, 100.0)).unwrap();
+        assert_eq!(s.history().len(), 5);
+        // Every step met its constraint and stayed in the domain.
+        for step in s.history() {
+            assert!(step.result.met_constraint);
+            assert!(spec.domain.contains_rect(&step.window));
+        }
+        assert!(s.total_objects_read() > 0);
+        s.index().validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn phi_can_tighten_mid_session() {
+        let spec = DatasetSpec { rows: 2000, columns: 3, seed: 9, ..Default::default() };
+        let file = spec.build_mem(CsvFormat::default()).unwrap();
+        let mut s = session(&file, &spec);
+        s.evaluate().unwrap();
+        s.set_phi(0.0).unwrap();
+        let exact = s.evaluate().unwrap();
+        assert_eq!(exact.error_bound, 0.0);
+        assert!(s.set_phi(-1.0).is_err());
+    }
+
+    #[test]
+    fn window_clamps_to_domain() {
+        let spec = DatasetSpec { rows: 500, columns: 3, seed: 10, ..Default::default() };
+        let file = spec.build_mem(CsvFormat::default()).unwrap();
+        let mut s = session(&file, &spec);
+        // Pan far beyond the domain edge repeatedly.
+        for _ in 0..20 {
+            s.pan(1.0, 1.0).unwrap();
+        }
+        assert!(spec.domain.contains_rect(s.window()));
+    }
+}

@@ -1,0 +1,208 @@
+//! Plain-text workload traces: record a query sequence, replay it later.
+//!
+//! Format (one record per line, tab-separated):
+//!
+//! ```text
+//! # workload <name>
+//! query\t<x_min>\t<x_max>\t<y_min>\t<y_max>\t<aggs>\t<filters>
+//! ```
+//!
+//! where `<aggs>` is a comma list like `count,mean:2,sum:3` and `<filters>`
+//! is a comma list like `3:10.5:20` (attr:lo:hi), or `-` when empty.
+//! A deliberately boring format: diffable, greppable, and versionable.
+
+use pai_common::geometry::Rect;
+use pai_common::{AggregateFunction, PaiError, Result};
+
+use crate::query::{Filter, WindowQuery};
+use crate::workload::Workload;
+
+/// Serializes a workload to trace text.
+pub fn to_text(workload: &Workload) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# workload {}\n", workload.name));
+    for q in &workload.queries {
+        let aggs = q
+            .aggs
+            .iter()
+            .map(agg_token)
+            .collect::<Vec<_>>()
+            .join(",");
+        let filters = if q.filters.is_empty() {
+            "-".to_string()
+        } else {
+            q.filters
+                .iter()
+                .map(|f| format!("{}:{}:{}", f.attr, f.range.lo(), f.range.hi()))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let w = &q.window;
+        out.push_str(&format!(
+            "query\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            w.x_min, w.x_max, w.y_min, w.y_max, aggs, filters
+        ));
+    }
+    out
+}
+
+/// Parses trace text back into a workload.
+pub fn from_text(text: &str) -> Result<Workload> {
+    let mut name = String::from("unnamed");
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# workload ") {
+            name = rest.trim().to_string();
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 7 || fields[0] != "query" {
+            return Err(PaiError::parse(
+                lineno as u64 + 1,
+                format!("malformed trace line: '{line}'"),
+            ));
+        }
+        let coord = |s: &str| -> Result<f64> {
+            s.parse::<f64>()
+                .map_err(|_| PaiError::parse(lineno as u64 + 1, format!("bad number '{s}'")))
+        };
+        let window = Rect::new(
+            coord(fields[1])?,
+            coord(fields[2])?,
+            coord(fields[3])?,
+            coord(fields[4])?,
+        );
+        let aggs = fields[5]
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|tok| parse_agg(tok, lineno as u64 + 1))
+            .collect::<Result<Vec<_>>>()?;
+        let mut query = WindowQuery::new(window, aggs);
+        if fields[6] != "-" {
+            for tok in fields[6].split(',') {
+                let parts: Vec<&str> = tok.split(':').collect();
+                if parts.len() != 3 {
+                    return Err(PaiError::parse(
+                        lineno as u64 + 1,
+                        format!("bad filter '{tok}'"),
+                    ));
+                }
+                let attr = parts[0].parse::<usize>().map_err(|_| {
+                    PaiError::parse(lineno as u64 + 1, format!("bad filter attr '{}'", parts[0]))
+                })?;
+                query = query.with_filter(Filter::new(attr, coord(parts[1])?, coord(parts[2])?));
+            }
+        }
+        queries.push(query);
+    }
+    Ok(Workload::new(name, queries))
+}
+
+fn agg_token(agg: &AggregateFunction) -> String {
+    match agg.attribute() {
+        Some(a) => format!("{}:{}", agg.name(), a),
+        None => agg.name().to_string(),
+    }
+}
+
+fn parse_agg(tok: &str, line: u64) -> Result<AggregateFunction> {
+    let (name, attr) = match tok.split_once(':') {
+        Some((n, a)) => {
+            let attr = a
+                .parse::<usize>()
+                .map_err(|_| PaiError::parse(line, format!("bad aggregate attr '{a}'")))?;
+            (n, Some(attr))
+        }
+        None => (tok, None),
+    };
+    match (name, attr) {
+        ("count", None) => Ok(AggregateFunction::Count),
+        ("sum", Some(a)) => Ok(AggregateFunction::Sum(a)),
+        ("mean", Some(a)) => Ok(AggregateFunction::Mean(a)),
+        ("min", Some(a)) => Ok(AggregateFunction::Min(a)),
+        ("max", Some(a)) => Ok(AggregateFunction::Max(a)),
+        ("variance", Some(a)) => Ok(AggregateFunction::Variance(a)),
+        ("stddev", Some(a)) => Ok(AggregateFunction::StdDev(a)),
+        _ => Err(PaiError::parse(line, format!("unknown aggregate '{tok}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Workload {
+        let q1 = WindowQuery::new(
+            Rect::new(0.5, 10.25, -3.0, 4.0),
+            vec![
+                AggregateFunction::Count,
+                AggregateFunction::Mean(2),
+                AggregateFunction::StdDev(5),
+            ],
+        );
+        let q2 = WindowQuery::new(
+            Rect::new(100.0, 200.0, 100.0, 200.0),
+            vec![AggregateFunction::Sum(3)],
+        )
+        .with_filter(Filter::new(4, 0.25, 0.75));
+        Workload::new("demo", vec![q1, q2])
+    }
+
+    #[test]
+    fn round_trip() {
+        let wl = sample();
+        let text = to_text(&wl);
+        let back = from_text(&text).unwrap();
+        assert_eq!(wl, back);
+    }
+
+    #[test]
+    fn text_format_is_stable() {
+        let text = to_text(&sample());
+        assert!(text.starts_with("# workload demo\n"));
+        assert!(text.contains("count,mean:2,stddev:5"));
+        assert!(text.contains("4:0.25:0.75"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# workload x\n\n# a comment\nquery\t0\t1\t0\t1\tcount\t-\n";
+        let wl = from_text(text).unwrap();
+        assert_eq!(wl.name, "x");
+        assert_eq!(wl.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_number() {
+        for bad in [
+            "query\t0\t1\t0\t1\tcount",       // missing filters field
+            "query\t0\tX\t0\t1\tcount\t-",    // bad number
+            "query\t0\t1\t0\t1\tfoo:2\t-",    // unknown aggregate
+            "query\t0\t1\t0\t1\tcount\t1:2",  // bad filter
+            "query\t0\t1\t0\t1\tsum\t-",      // sum without attr
+        ] {
+            let err = from_text(bad).unwrap_err();
+            assert!(err.to_string().contains("line 1"), "{bad} -> {err}");
+        }
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let wl = Workload::new(
+            "p",
+            vec![WindowQuery::new(
+                Rect::new(0.1 + 0.2, 1.0 / 3.0 + 1.0, -1e-17, 1.0),
+                vec![AggregateFunction::Count],
+            )],
+        );
+        let back = from_text(&to_text(&wl)).unwrap();
+        assert_eq!(wl, back, "shortest-repr floats round-trip");
+    }
+}

@@ -1,0 +1,241 @@
+//! Workload generation: query sequences that model visual exploration.
+//!
+//! The paper's evaluation uses "a sequence of queries ... each query ...
+//! specifies a window containing approximately 100K objects and is shifted
+//! 10∼20 % randomly to simulate a map-based exploration path". That is
+//! [`Workload::shifted_sequence`]. The other generators cover the locality
+//! patterns the RawVis papers discuss: zooming into a region, jumping to
+//! unexplored areas, and focusing on dense clusters.
+
+use pai_common::geometry::Rect;
+use pai_common::AggregateFunction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::query::WindowQuery;
+
+/// A named sequence of window queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    pub name: String,
+    pub queries: Vec<WindowQuery>,
+}
+
+impl Workload {
+    pub fn new(name: impl Into<String>, queries: Vec<WindowQuery>) -> Self {
+        Workload { name: name.into(), queries }
+    }
+
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// A square window whose area is `fraction` of the domain's, centered
+    /// at the domain center. Under a roughly uniform distribution this
+    /// selects about `fraction` of the objects — how we scale the paper's
+    /// "window containing approximately 100 K objects" to any dataset size.
+    pub fn centered_window(domain: &Rect, fraction: f64) -> Rect {
+        assert!(
+            (0.0..=1.0).contains(&fraction) && fraction > 0.0,
+            "window fraction must be in (0, 1], got {fraction}"
+        );
+        let side_frac = fraction.sqrt();
+        let w = domain.width() * side_frac;
+        let h = domain.height() * side_frac;
+        let c = domain.center();
+        Rect::new(c.x - w / 2.0, c.x + w / 2.0, c.y - h / 2.0, c.y + h / 2.0)
+    }
+
+    /// The paper's exploration path: `n` windows of fixed size, each
+    /// shifted from the previous by 10–20 % of the window extent in a
+    /// random direction, clamped into the domain.
+    pub fn shifted_sequence(
+        domain: &Rect,
+        start: Rect,
+        n: usize,
+        aggs: Vec<AggregateFunction>,
+        seed: u64,
+    ) -> Workload {
+        Self::shifted_sequence_with_range(domain, start, n, aggs, seed, (0.10, 0.20))
+    }
+
+    /// [`Self::shifted_sequence`] with a custom shift range (ablations).
+    pub fn shifted_sequence_with_range(
+        domain: &Rect,
+        start: Rect,
+        n: usize,
+        aggs: Vec<AggregateFunction>,
+        seed: u64,
+        (shift_lo, shift_hi): (f64, f64),
+    ) -> Workload {
+        assert!(shift_lo <= shift_hi && shift_lo >= 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut queries = Vec::with_capacity(n);
+        let mut window = start.clamped_into(domain);
+        for _ in 0..n {
+            queries.push(WindowQuery::new(window, aggs.clone()));
+            let frac = rng.gen_range(shift_lo..=shift_hi);
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            let dx = angle.cos() * frac * window.width();
+            let dy = angle.sin() * frac * window.height();
+            window = window.shifted(dx, dy).clamped_into(domain);
+        }
+        Workload::new("shifted-sequence", queries)
+    }
+
+    /// Progressive zoom-in: each query shrinks the window around its center
+    /// by `factor` (< 1), starting from the whole domain.
+    pub fn zoom_sequence(
+        domain: &Rect,
+        n: usize,
+        factor: f64,
+        aggs: Vec<AggregateFunction>,
+    ) -> Workload {
+        assert!((0.0..1.0).contains(&factor), "zoom factor must be in (0,1)");
+        let mut queries = Vec::with_capacity(n);
+        let mut window = *domain;
+        for _ in 0..n {
+            queries.push(WindowQuery::new(window, aggs.clone()));
+            window = window.scaled(factor).clamped_into(domain);
+        }
+        Workload::new("zoom-sequence", queries)
+    }
+
+    /// Random jumps: windows of a fixed size fraction placed uniformly at
+    /// random — the anti-locality workload (worst case for adaptation).
+    pub fn random_jumps(
+        domain: &Rect,
+        n: usize,
+        fraction: f64,
+        aggs: Vec<AggregateFunction>,
+        seed: u64,
+    ) -> Workload {
+        let proto = Self::centered_window(domain, fraction);
+        let (w, h) = (proto.width(), proto.height());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..n)
+            .map(|_| {
+                let x0 = rng.gen_range(domain.x_min..=(domain.x_max - w).max(domain.x_min));
+                let y0 = rng.gen_range(domain.y_min..=(domain.y_max - h).max(domain.y_min));
+                WindowQuery::new(Rect::new(x0, x0 + w, y0, y0 + h), aggs.clone())
+            })
+            .collect();
+        Workload::new("random-jumps", queries)
+    }
+
+    /// Windows centered on given hot spots (e.g. cluster centers), cycling
+    /// through them — models repeated analysis of dense areas.
+    pub fn dense_focus(
+        domain: &Rect,
+        centers: &[(f64, f64)],
+        n: usize,
+        fraction: f64,
+        aggs: Vec<AggregateFunction>,
+    ) -> Workload {
+        assert!(!centers.is_empty(), "dense_focus needs at least one center");
+        let proto = Self::centered_window(domain, fraction);
+        let (w, h) = (proto.width(), proto.height());
+        let queries = (0..n)
+            .map(|i| {
+                let (cx, cy) = centers[i % centers.len()];
+                let rect = Rect::new(cx - w / 2.0, cx + w / 2.0, cy - h / 2.0, cy + h / 2.0)
+                    .clamped_into(domain);
+                WindowQuery::new(rect, aggs.clone())
+            })
+            .collect();
+        Workload::new("dense-focus", queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Rect {
+        Rect::new(0.0, 1000.0, 0.0, 1000.0)
+    }
+
+    fn aggs() -> Vec<AggregateFunction> {
+        vec![AggregateFunction::Mean(2)]
+    }
+
+    #[test]
+    fn centered_window_fraction() {
+        let w = Workload::centered_window(&domain(), 0.01);
+        assert!((w.area() / domain().area() - 0.01).abs() < 1e-12);
+        assert_eq!(w.center().x, 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_panics() {
+        Workload::centered_window(&domain(), 0.0);
+    }
+
+    #[test]
+    fn shifted_sequence_properties() {
+        let d = domain();
+        let start = Workload::centered_window(&d, 0.01);
+        let wl = Workload::shifted_sequence(&d, start, 50, aggs(), 7);
+        assert_eq!(wl.len(), 50);
+        for (i, q) in wl.queries.iter().enumerate() {
+            assert!(d.contains_rect(&q.window), "query {i} escaped the domain");
+            assert!((q.window.area() - start.area()).abs() < 1e-6 * start.area());
+        }
+        // Consecutive windows overlap (10-20% shift leaves >= 80% overlap
+        // per axis) and differ.
+        for w in wl.queries.windows(2) {
+            let (a, b) = (&w[0].window, &w[1].window);
+            if a == b {
+                continue; // clamped at a domain corner; allowed
+            }
+            assert!(a.intersects(b), "consecutive windows should overlap");
+        }
+    }
+
+    #[test]
+    fn shifted_sequence_deterministic() {
+        let d = domain();
+        let start = Workload::centered_window(&d, 0.02);
+        let a = Workload::shifted_sequence(&d, start, 10, aggs(), 42);
+        let b = Workload::shifted_sequence(&d, start, 10, aggs(), 42);
+        assert_eq!(a, b);
+        let c = Workload::shifted_sequence(&d, start, 10, aggs(), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zoom_sequence_shrinks() {
+        let wl = Workload::zoom_sequence(&domain(), 5, 0.5, aggs());
+        assert_eq!(wl.len(), 5);
+        for w in wl.queries.windows(2) {
+            assert!(w[1].window.area() < w[0].window.area());
+            assert!(w[0].window.contains_rect(&w[1].window));
+        }
+    }
+
+    #[test]
+    fn random_jumps_in_domain() {
+        let wl = Workload::random_jumps(&domain(), 20, 0.05, aggs(), 3);
+        for q in &wl.queries {
+            assert!(domain().contains_rect(&q.window));
+        }
+    }
+
+    #[test]
+    fn dense_focus_cycles_centers() {
+        let wl = Workload::dense_focus(
+            &domain(),
+            &[(100.0, 100.0), (900.0, 900.0)],
+            4,
+            0.01,
+            aggs(),
+        );
+        assert_eq!(wl.queries[0].window.center().x, wl.queries[2].window.center().x);
+        assert_ne!(wl.queries[0].window.center().x, wl.queries[1].window.center().x);
+    }
+}

@@ -1,0 +1,154 @@
+//! Full-scan exact evaluation, the oracle against which both engines are
+//! validated.
+//!
+//! This deliberately bypasses every index structure: it reads the whole file
+//! and folds the selected rows into [`RunningStats`]. Tests use it to check
+//! (a) the exact engine returns identical answers and (b) the approximate
+//! engine's confidence intervals really contain the truth.
+
+use pai_common::geometry::{Point2, Rect};
+use pai_common::{AttrId, Result, RunningStats};
+
+use crate::raw::RawFile;
+
+/// Exact statistics of one attribute over the objects inside a window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowTruth {
+    /// Objects inside the window (regardless of attribute NaNs).
+    pub selected: u64,
+    /// Running stats of the attribute over the selected objects.
+    pub stats: RunningStats,
+}
+
+/// Computes exact per-attribute statistics for all objects whose axis values
+/// fall inside `window`, by scanning the entire file.
+///
+/// Returns one [`WindowTruth`] per requested attribute (same order). The
+/// `selected` count is identical across entries; it is repeated for
+/// convenience.
+pub fn window_truth(
+    file: &dyn RawFile,
+    window: &Rect,
+    attrs: &[AttrId],
+) -> Result<Vec<WindowTruth>> {
+    let schema = file.schema();
+    for &a in attrs {
+        schema.require_numeric(a)?;
+    }
+    let (xi, yi) = (schema.x_axis(), schema.y_axis());
+    let mut selected = 0u64;
+    let mut stats = vec![RunningStats::new(); attrs.len()];
+    let mut vals = Vec::with_capacity(attrs.len());
+    file.scan(&mut |_, _, rec| {
+        let p = Point2::new(rec.f64(xi)?, rec.f64(yi)?);
+        if window.contains_point(p) {
+            selected += 1;
+            rec.extract_f64(attrs, &mut vals)?;
+            for (s, &v) in stats.iter_mut().zip(vals.iter()) {
+                s.push(v);
+            }
+        }
+        Ok(())
+    })?;
+    Ok(stats
+        .into_iter()
+        .map(|stats| WindowTruth { selected, stats })
+        .collect())
+}
+
+/// Exact number of objects inside `window`.
+pub fn window_count(file: &dyn RawFile, window: &Rect) -> Result<u64> {
+    let schema = file.schema();
+    let (xi, yi) = (schema.x_axis(), schema.y_axis());
+    let mut selected = 0u64;
+    file.scan(&mut |_, _, rec| {
+        let p = Point2::new(rec.f64(xi)?, rec.f64(yi)?);
+        if window.contains_point(p) {
+            selected += 1;
+        }
+        Ok(())
+    })?;
+    Ok(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::CsvFormat;
+    use crate::raw::MemFile;
+    use crate::schema::Schema;
+
+    fn grid_file() -> MemFile {
+        // 4 points at known locations with col2 = 10*x + y.
+        let rows = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 10.0],
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 11.0],
+        ];
+        MemFile::from_rows(Schema::synthetic(3), CsvFormat::default(), rows).unwrap()
+    }
+
+    #[test]
+    fn truth_over_full_domain() {
+        let f = grid_file();
+        let t = window_truth(&f, &Rect::new(-1.0, 2.0, -1.0, 2.0), &[2]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].selected, 4);
+        assert_eq!(t[0].stats.sum(), 22.0);
+        assert_eq!(t[0].stats.min(), Some(0.0));
+        assert_eq!(t[0].stats.max(), Some(11.0));
+    }
+
+    #[test]
+    fn truth_over_partial_window() {
+        let f = grid_file();
+        // Half-open: window [0.5, 1.5) x [-0.5, 0.5) catches only (1, 0).
+        let t = window_truth(&f, &Rect::new(0.5, 1.5, -0.5, 0.5), &[2]).unwrap();
+        assert_eq!(t[0].selected, 1);
+        assert_eq!(t[0].stats.sum(), 10.0);
+    }
+
+    #[test]
+    fn empty_window() {
+        let f = grid_file();
+        let t = window_truth(&f, &Rect::new(5.0, 6.0, 5.0, 6.0), &[2]).unwrap();
+        assert_eq!(t[0].selected, 0);
+        assert!(t[0].stats.is_empty());
+        assert_eq!(window_count(&f, &Rect::new(5.0, 6.0, 5.0, 6.0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn multiple_attrs_share_selection() {
+        let rows = vec![vec![0.0, 0.0, 1.0, 100.0], vec![0.5, 0.5, 2.0, 200.0]];
+        let f = MemFile::from_rows(Schema::synthetic(4), CsvFormat::default(), rows).unwrap();
+        let t = window_truth(&f, &Rect::new(0.0, 1.0, 0.0, 1.0), &[2, 3]).unwrap();
+        assert_eq!(t[0].selected, 2);
+        assert_eq!(t[1].selected, 2);
+        assert_eq!(t[0].stats.sum(), 3.0);
+        assert_eq!(t[1].stats.sum(), 300.0);
+    }
+
+    #[test]
+    fn rejects_non_numeric_attr() {
+        use crate::schema::Column;
+        let schema = Schema::new(
+            vec![Column::float("x"), Column::float("y"), Column::text("t")],
+            0,
+            1,
+        )
+        .unwrap();
+        let f = MemFile::from_text("x,y,t\n1,1,hi\n", schema, CsvFormat::default());
+        assert!(window_truth(&f, &Rect::new(0.0, 2.0, 0.0, 2.0), &[2]).is_err());
+    }
+
+    #[test]
+    fn count_matches_truth() {
+        let f = grid_file();
+        let w = Rect::new(-0.5, 1.5, -0.5, 0.5);
+        let c = window_count(&f, &w).unwrap();
+        let t = window_truth(&f, &w, &[2]).unwrap();
+        assert_eq!(c, t[0].selected);
+        assert_eq!(c, 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! Raw-file storage substrate for in-situ exploration.
+//!
+//! This crate is the "raw data file" half of the paper's setting: data lives
+//! in a CSV file that is **never loaded into a DBMS**. The index above it
+//! (see `pai-index`) keeps only axis values and byte offsets; whenever a
+//! query needs non-axis attribute values, it comes back here and pays real
+//! I/O, which the [`pai_common::IoCounters`] meter.
+//!
+//! Modules:
+//! * [`schema`] — column definitions and the axis-attribute pair;
+//! * [`csv`] — CSV format config, line splitting/escaping, streaming writer;
+//! * [`raw`] — the [`RawFile`] abstraction: sequential scan plus batched
+//!   offset-based random access, implemented for on-disk files
+//!   ([`CsvFile`]) and in-memory buffers ([`MemFile`]);
+//! * [`scan`] — newline-aligned chunking for parallel initialization scans;
+//! * [`gen`] — synthetic dataset generation (the paper's 10-numeric-column
+//!   dataset family: uniform, Gaussian-cluster "dense areas", skewed);
+//! * [`ground_truth`] — full-scan exact evaluation used to validate engines
+//!   and to measure true (not just bounded) approximation error.
+
+pub mod csv;
+pub mod gen;
+pub mod ground_truth;
+pub mod raw;
+pub mod scan;
+pub mod schema;
+
+pub use csv::{CsvFormat, CsvWriter};
+pub use gen::{DatasetSpec, PointDistribution, ValueModel};
+pub use raw::{CsvFile, MemFile, RawFile};
+pub use schema::{Column, ColumnType, Schema};

@@ -1,0 +1,530 @@
+//! The raw-file abstraction: in-situ access to CSV data.
+//!
+//! Two access paths, mirroring how the index uses the file:
+//!
+//! * [`RawFile::scan`] — one sequential pass over every record. Used exactly
+//!   once per dataset, by index initialization ("crude index" construction),
+//!   and by the ground-truth evaluator in tests/benches.
+//! * [`RawFile::read_rows`] — batched positional reads of specific records
+//!   by byte offset. This is the I/O that adaptation pays for: when a
+//!   partially-contained tile is processed, the engine reads the non-axis
+//!   values of the objects inside it. Offsets are internally sorted so the
+//!   access pattern degrades gracefully to near-sequential for clustered
+//!   tiles; every materialized row is metered.
+//!
+//! [`CsvFile`] is the real on-disk implementation; [`MemFile`] serves tests
+//! and examples with identical semantics (including metering).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Cursor, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use pai_common::{AttrId, IoCounters, PaiError, Result, RowId};
+
+use crate::csv::{self, CsvFormat};
+use crate::schema::Schema;
+
+/// A parsed view over one CSV record, lending field access without copying.
+pub struct Record<'a> {
+    line: &'a [u8],
+    ranges: &'a [(usize, usize)],
+    line_no: u64,
+}
+
+impl<'a> Record<'a> {
+    /// Assembles a record view from pre-split parts (crate-internal; used by
+    /// the chunked scanner).
+    pub(crate) fn from_parts(
+        line: &'a [u8],
+        ranges: &'a [(usize, usize)],
+        line_no: u64,
+    ) -> Self {
+        Record { line, ranges, line_no }
+    }
+
+    /// Number of fields in the record.
+    pub fn num_fields(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Parses field `col` as f64 (empty → NaN).
+    pub fn f64(&self, col: usize) -> Result<f64> {
+        let (a, b) = *self.ranges.get(col).ok_or_else(|| {
+            PaiError::parse(
+                self.line_no,
+                format!("record has {} fields, wanted column {col}", self.ranges.len()),
+            )
+        })?;
+        csv::parse_f64_field(&self.line[a..b], self.line_no)
+    }
+
+    /// Extracts several columns as f64 into `out` (cleared first).
+    pub fn extract_f64(&self, wanted: &[usize], out: &mut Vec<f64>) -> Result<()> {
+        csv::extract_f64(self.line, self.ranges, wanted, self.line_no, out)
+    }
+
+    /// Raw text of field `col` (quotes stripped, `""` escapes not undone).
+    pub fn text(&self, col: usize) -> Result<&'a str> {
+        let (a, b) = *self.ranges.get(col).ok_or_else(|| {
+            PaiError::parse(self.line_no, format!("no column {col}"))
+        })?;
+        std::str::from_utf8(&self.line[a..b])
+            .map_err(|_| PaiError::parse(self.line_no, "field is not valid UTF-8"))
+    }
+}
+
+/// Visitor invoked per record during a sequential scan.
+///
+/// Arguments: row id (0-based over data rows), byte offset of the record's
+/// first byte, and the parsed record.
+pub type RowHandler<'h> = dyn FnMut(RowId, u64, &Record<'_>) -> Result<()> + 'h;
+
+/// In-situ raw data file: schema-aware sequential and positional access.
+pub trait RawFile: Send + Sync {
+    /// Column schema of the file.
+    fn schema(&self) -> &Schema;
+
+    /// CSV dialect of the file.
+    fn format(&self) -> &CsvFormat;
+
+    /// Shared I/O meters; every access path below increments them.
+    fn counters(&self) -> &IoCounters;
+
+    /// Total size of the file in bytes.
+    fn size_bytes(&self) -> u64;
+
+    /// Full sequential scan, invoking `handler` for every data record.
+    fn scan(&self, handler: &mut RowHandler<'_>) -> Result<()>;
+
+    /// Reads the records starting at each byte offset in `offsets` and
+    /// returns, for each (in input order), the values of `attrs`.
+    ///
+    /// Offsets must point at the first byte of a record, i.e. values handed
+    /// out by [`RawFile::scan`]. This is the metered random-access path.
+    fn read_rows(&self, offsets: &[u64], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>>;
+}
+
+// ---------------------------------------------------------------------------
+// Shared implementation over any BufRead + Seek source.
+// ---------------------------------------------------------------------------
+
+fn skip_header<R: BufRead>(reader: &mut R, fmt: &CsvFormat) -> Result<u64> {
+    if !fmt.has_header {
+        return Ok(0);
+    }
+    let mut line = Vec::new();
+    let n = reader.read_until(b'\n', &mut line)?;
+    Ok(n as u64)
+}
+
+fn trim_newline(line: &[u8]) -> &[u8] {
+    let mut end = line.len();
+    while end > 0 && (line[end - 1] == b'\n' || line[end - 1] == b'\r') {
+        end -= 1;
+    }
+    &line[..end]
+}
+
+fn scan_impl<R: BufRead>(
+    reader: &mut R,
+    fmt: &CsvFormat,
+    counters: &IoCounters,
+    handler: &mut RowHandler<'_>,
+) -> Result<()> {
+    counters.add_full_scan();
+    let mut offset = skip_header(reader, fmt)?;
+    counters.add_bytes(offset);
+    let mut line = Vec::with_capacity(256);
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(16);
+    let mut row: RowId = 0;
+    let mut line_no: u64 = if fmt.has_header { 2 } else { 1 };
+    loop {
+        line.clear();
+        let n = reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            break;
+        }
+        let body = trim_newline(&line);
+        if !body.is_empty() {
+            csv::split_fields(body, fmt, &mut ranges);
+            let rec = Record { line: body, ranges: &ranges, line_no };
+            handler(row, offset, &rec)?;
+            row += 1;
+        }
+        counters.add_bytes(n as u64);
+        counters.add_objects(u64::from(!body.is_empty()));
+        offset += n as u64;
+        line_no += 1;
+    }
+    Ok(())
+}
+
+fn read_rows_impl<R: BufRead + Seek>(
+    reader: &mut R,
+    fmt: &CsvFormat,
+    counters: &IoCounters,
+    offsets: &[u64],
+    attrs: &[AttrId],
+) -> Result<Vec<Vec<f64>>> {
+    // Sort the requests by offset so the access pattern is monotone; remember
+    // each request's slot in the output.
+    let mut order: Vec<(usize, u64)> = offsets.iter().copied().enumerate().collect();
+    order.sort_by_key(|&(_, off)| off);
+
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); offsets.len()];
+    let mut line = Vec::with_capacity(256);
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(16);
+    let mut pos: Option<u64> = None; // current stream position, if known
+    let mut seeks = 0u64;
+    let mut bytes = 0u64;
+
+    for (slot, off) in order {
+        match pos {
+            Some(p) if p == off => {
+                // Already positioned (consecutive records): free.
+            }
+            _ => {
+                reader.seek(SeekFrom::Start(off))?;
+                seeks += 1;
+            }
+        }
+        line.clear();
+        let n = reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Err(PaiError::internal(format!(
+                "positional read at offset {off} hit EOF"
+            )));
+        }
+        let body = trim_newline(&line);
+        csv::split_fields(body, fmt, &mut ranges);
+        let mut vals = Vec::with_capacity(attrs.len());
+        csv::extract_f64(body, &ranges, attrs, 0, &mut vals)?;
+        out[slot] = vals;
+        bytes += n as u64;
+        pos = Some(off + n as u64);
+    }
+
+    counters.add_objects(offsets.len() as u64);
+    counters.add_bytes(bytes);
+    counters.add_seeks(seeks);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// CsvFile: on-disk implementation.
+// ---------------------------------------------------------------------------
+
+/// A CSV file on disk, accessed in situ.
+///
+/// Cloning is cheap and clones share the same [`IoCounters`]; each access
+/// opens its own file handle, so a `CsvFile` can serve concurrent readers.
+#[derive(Debug, Clone)]
+pub struct CsvFile {
+    path: PathBuf,
+    schema: Schema,
+    fmt: CsvFormat,
+    counters: IoCounters,
+    size_bytes: u64,
+}
+
+impl CsvFile {
+    /// Opens an existing CSV file with a known schema.
+    pub fn open(path: impl AsRef<Path>, schema: Schema, fmt: CsvFormat) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let meta = std::fs::metadata(&path)?;
+        Ok(CsvFile {
+            path,
+            schema,
+            fmt,
+            counters: IoCounters::new(),
+            size_bytes: meta.len(),
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn reader(&self) -> Result<BufReader<File>> {
+        // 256 KiB buffer: positional reads of clustered offsets then mostly
+        // stay inside the buffer and need no OS-level seeks.
+        Ok(BufReader::with_capacity(256 * 1024, File::open(&self.path)?))
+    }
+}
+
+impl RawFile for CsvFile {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn format(&self) -> &CsvFormat {
+        &self.fmt
+    }
+
+    fn counters(&self) -> &IoCounters {
+        &self.counters
+    }
+
+    fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    fn scan(&self, handler: &mut RowHandler<'_>) -> Result<()> {
+        let mut reader = self.reader()?;
+        scan_impl(&mut reader, &self.fmt, &self.counters, handler)
+    }
+
+    fn read_rows(&self, offsets: &[u64], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>> {
+        let mut reader = self.reader()?;
+        read_rows_impl(&mut reader, &self.fmt, &self.counters, offsets, attrs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemFile: in-memory implementation with identical semantics.
+// ---------------------------------------------------------------------------
+
+/// An in-memory "raw file" — the same byte-oriented access (offsets, seeks,
+/// metering) over a buffer. Behaviourally indistinguishable from [`CsvFile`],
+/// which is exactly what makes it useful in tests.
+#[derive(Debug, Clone)]
+pub struct MemFile {
+    data: Arc<Vec<u8>>,
+    schema: Schema,
+    fmt: CsvFormat,
+    counters: IoCounters,
+}
+
+impl MemFile {
+    /// Wraps raw CSV text.
+    pub fn from_text(text: impl Into<Vec<u8>>, schema: Schema, fmt: CsvFormat) -> Self {
+        MemFile {
+            data: Arc::new(text.into()),
+            schema,
+            fmt,
+            counters: IoCounters::new(),
+        }
+    }
+
+    /// Renders numeric rows to CSV in memory.
+    pub fn from_rows<I>(schema: Schema, fmt: CsvFormat, rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = Vec<f64>>,
+    {
+        let mut buf = Vec::new();
+        {
+            let mut w = crate::csv::CsvWriter::new(&mut buf, &schema, fmt)?;
+            for row in rows {
+                w.write_row(&row)?;
+            }
+            w.finish()?;
+        }
+        Ok(MemFile::from_text(buf, schema, fmt))
+    }
+
+    /// The underlying CSV bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl RawFile for MemFile {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn format(&self) -> &CsvFormat {
+        &self.fmt
+    }
+
+    fn counters(&self) -> &IoCounters {
+        &self.counters
+    }
+
+    fn size_bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn scan(&self, handler: &mut RowHandler<'_>) -> Result<()> {
+        let mut reader = Cursor::new(self.data.as_slice());
+        scan_impl(&mut reader, &self.fmt, &self.counters, handler)
+    }
+
+    fn read_rows(&self, offsets: &[u64], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>> {
+        let mut reader = Cursor::new(self.data.as_slice());
+        read_rows_impl(&mut reader, &self.fmt, &self.counters, offsets, attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+
+    fn sample() -> MemFile {
+        let schema = Schema::synthetic(3);
+        MemFile::from_text(
+            "col0,col1,col2\n1,10,100\n2,20,200\n3,30,300\n",
+            schema,
+            CsvFormat::default(),
+        )
+    }
+
+    #[test]
+    fn scan_visits_all_rows_with_offsets() {
+        let f = sample();
+        let mut seen = Vec::new();
+        f.scan(&mut |row, off, rec| {
+            seen.push((row, off, rec.f64(0)?, rec.f64(2)?));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0], (0, 15, 1.0, 100.0)); // header is 15 bytes
+        assert_eq!(seen[1].0, 1);
+        assert_eq!(seen[2].2, 3.0);
+        assert_eq!(f.counters().full_scans(), 1);
+        assert_eq!(f.counters().objects_read(), 3);
+        assert_eq!(f.counters().bytes_read(), f.size_bytes());
+    }
+
+    #[test]
+    fn scan_skips_blank_lines() {
+        let schema = Schema::synthetic(2);
+        let f = MemFile::from_text("1,2\n\n3,4\n", schema, CsvFormat::headerless());
+        let mut rows = 0;
+        f.scan(&mut |_, _, _| {
+            rows += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, 2);
+    }
+
+    #[test]
+    fn read_rows_by_offset_in_request_order() {
+        let f = sample();
+        // Collect offsets via scan.
+        let mut offs = Vec::new();
+        f.scan(&mut |_, off, _| {
+            offs.push(off);
+            Ok(())
+        })
+        .unwrap();
+        f.counters().reset();
+
+        // Request out of order; expect results in request order.
+        let vals = f.read_rows(&[offs[2], offs[0]], &[2]).unwrap();
+        assert_eq!(vals, vec![vec![300.0], vec![100.0]]);
+        assert_eq!(f.counters().objects_read(), 2);
+        // Sorted internally: first seek to offs[0], read, then offs[2] needs
+        // a second seek (rows are not adjacent).
+        assert_eq!(f.counters().seeks(), 2);
+    }
+
+    #[test]
+    fn consecutive_offsets_need_one_seek() {
+        let f = sample();
+        let mut offs = Vec::new();
+        f.scan(&mut |_, off, _| {
+            offs.push(off);
+            Ok(())
+        })
+        .unwrap();
+        f.counters().reset();
+        let vals = f.read_rows(&[offs[0], offs[1], offs[2]], &[0]).unwrap();
+        assert_eq!(vals.len(), 3);
+        assert_eq!(
+            f.counters().seeks(),
+            1,
+            "adjacent rows read sequentially after one positioning seek"
+        );
+    }
+
+    #[test]
+    fn read_rows_multiple_attrs() {
+        let f = sample();
+        let mut offs = Vec::new();
+        f.scan(&mut |_, off, _| {
+            offs.push(off);
+            Ok(())
+        })
+        .unwrap();
+        let vals = f.read_rows(&[offs[1]], &[2, 0, 1]).unwrap();
+        assert_eq!(vals, vec![vec![200.0, 2.0, 20.0]]);
+    }
+
+    #[test]
+    fn read_rows_empty_request() {
+        let f = sample();
+        let vals = f.read_rows(&[], &[0]).unwrap();
+        assert!(vals.is_empty());
+        assert_eq!(f.counters().objects_read(), 0);
+    }
+
+    #[test]
+    fn csv_file_round_trip() {
+        let dir = std::env::temp_dir().join("pai_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.csv");
+        std::fs::write(&path, "col0,col1,col2\n1,10,100\n2,20,200\n").unwrap();
+        let f = CsvFile::open(&path, Schema::synthetic(3), CsvFormat::default()).unwrap();
+        assert_eq!(f.size_bytes(), 33);
+
+        let mut offs = Vec::new();
+        let mut xs = Vec::new();
+        f.scan(&mut |_, off, rec| {
+            offs.push(off);
+            xs.push(rec.f64(0)?);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(xs, vec![1.0, 2.0]);
+        let vals = f.read_rows(&[offs[1]], &[2]).unwrap();
+        assert_eq!(vals, vec![vec![200.0]]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_offset_is_internal_error() {
+        let f = sample();
+        let err = f.read_rows(&[9_999_999], &[0]).unwrap_err();
+        assert!(err.to_string().contains("EOF"));
+    }
+
+    #[test]
+    fn record_text_access() {
+        let schema = Schema::new(
+            vec![Column::float("x"), Column::float("y"), Column::text("name")],
+            0,
+            1,
+        )
+        .unwrap();
+        let f = MemFile::from_text("1,2,alpha\n", schema, CsvFormat::headerless());
+        let mut names = Vec::new();
+        f.scan(&mut |_, _, rec| {
+            names.push(rec.text(2)?.to_string());
+            assert_eq!(rec.num_fields(), 3);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(names, vec!["alpha"]);
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let f = MemFile::from_text(
+            "col0,col1\n1,2\nbad,3\n",
+            Schema::synthetic(2),
+            CsvFormat::default(),
+        );
+        let err = f
+            .scan(&mut |_, _, rec| {
+                rec.f64(0)?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Newline-aligned chunking for parallel scans.
+//!
+//! Index initialization is the one unavoidable full pass over the raw file.
+//! To keep data-to-analysis time low (the whole point of the in-situ
+//! paradigm) the pass can run on several threads: the file is cut into
+//! byte ranges aligned on record boundaries, each worker scans its range
+//! independently, and the per-worker results merge associatively.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::path::Path;
+
+use pai_common::{IoCounters, Result, RowId};
+
+use crate::csv::{self, CsvFormat};
+use crate::raw::{Record, RowHandler};
+
+/// A byte range `[start, end)` of a file that begins at a record boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRange {
+    pub start: u64,
+    pub end: u64,
+}
+
+/// Splits `path` into at most `n` ranges aligned at line boundaries.
+///
+/// The header line (if any) is excluded from all ranges. Fewer than `n`
+/// ranges may be returned for small files; each returned range is non-empty.
+pub fn chunk_ranges(path: &Path, fmt: &CsvFormat, n: usize) -> Result<Vec<ChunkRange>> {
+    assert!(n >= 1, "need at least one chunk");
+    let size = std::fs::metadata(path)?.len();
+    let mut reader = BufReader::new(File::open(path)?);
+
+    // Skip the header so that range 0 starts at the first data record.
+    let mut data_start = 0u64;
+    if fmt.has_header {
+        let mut header = Vec::new();
+        data_start = reader.read_until(b'\n', &mut header)? as u64;
+    }
+    if data_start >= size {
+        return Ok(Vec::new());
+    }
+
+    let span = size - data_start;
+    let target = (span / n as u64).max(1);
+    let mut cuts = vec![data_start];
+    let mut probe = Vec::new();
+    for i in 1..n as u64 {
+        let guess = data_start + i * target;
+        if guess >= size {
+            break;
+        }
+        // Align forward to the byte just past the next newline.
+        reader.seek(SeekFrom::Start(guess))?;
+        probe.clear();
+        let skipped = reader.read_until(b'\n', &mut probe)? as u64;
+        let aligned = guess + skipped;
+        if aligned < size && aligned > *cuts.last().expect("cuts never empty") {
+            cuts.push(aligned);
+        }
+    }
+    cuts.push(size);
+
+    Ok(cuts
+        .windows(2)
+        .filter(|w| w[1] > w[0])
+        .map(|w| ChunkRange { start: w[0], end: w[1] })
+        .collect())
+}
+
+/// Scans the records inside one chunk, invoking `handler` per record with
+/// byte offsets relative to the whole file. Row ids are *local* to the chunk
+/// (0-based); callers that need global row ids should use offsets instead,
+/// which is what the index does.
+pub fn scan_range(
+    path: &Path,
+    fmt: &CsvFormat,
+    range: ChunkRange,
+    counters: &IoCounters,
+    handler: &mut RowHandler<'_>,
+) -> Result<()> {
+    let mut reader = BufReader::with_capacity(256 * 1024, File::open(path)?);
+    reader.seek(SeekFrom::Start(range.start))?;
+    let mut offset = range.start;
+    let mut line = Vec::with_capacity(256);
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(16);
+    let mut row: RowId = 0;
+    while offset < range.end {
+        line.clear();
+        let n = reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            break;
+        }
+        let body = trim_newline(&line);
+        if !body.is_empty() {
+            csv::split_fields(body, fmt, &mut ranges);
+            let rec = Record::from_parts(body, &ranges, 0);
+            handler(row, offset, &rec)?;
+            row += 1;
+            counters.add_objects(1);
+        }
+        counters.add_bytes(n as u64);
+        offset += n as u64;
+    }
+    Ok(())
+}
+
+fn trim_newline(line: &[u8]) -> &[u8] {
+    let mut end = line.len();
+    while end > 0 && (line[end - 1] == b'\n' || line[end - 1] == b'\r') {
+        end -= 1;
+    }
+    &line[..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_temp(name: &str, rows: usize) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pai_scan_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "col0,col1").unwrap();
+        for i in 0..rows {
+            writeln!(f, "{},{}", i, i * 10).unwrap();
+        }
+        path
+    }
+
+    #[test]
+    fn ranges_cover_file_exactly() {
+        let path = write_temp("cover.csv", 1000);
+        let fmt = CsvFormat::default();
+        let ranges = chunk_ranges(&path, &fmt, 4).unwrap();
+        assert!(!ranges.is_empty());
+        // Contiguous and covering data region.
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert_eq!(ranges.last().unwrap().end, std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_scan_sees_every_row_exactly_once() {
+        let path = write_temp("once.csv", 537);
+        let fmt = CsvFormat::default();
+        let counters = IoCounters::new();
+        for n in [1, 2, 3, 7] {
+            let ranges = chunk_ranges(&path, &fmt, n).unwrap();
+            let mut xs: Vec<f64> = Vec::new();
+            for r in &ranges {
+                scan_range(&path, &fmt, *r, &counters, &mut |_, _, rec| {
+                    xs.push(rec.f64(0)?);
+                    Ok(())
+                })
+                .unwrap();
+            }
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(xs.len(), 537, "chunks={n}");
+            for (i, &x) in xs.iter().enumerate() {
+                assert_eq!(x, i as f64, "chunks={n}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn more_chunks_than_rows() {
+        let path = write_temp("tiny.csv", 3);
+        let fmt = CsvFormat::default();
+        let ranges = chunk_ranges(&path, &fmt, 16).unwrap();
+        assert!(ranges.len() <= 3);
+        let counters = IoCounters::new();
+        let mut total = 0;
+        for r in &ranges {
+            scan_range(&path, &fmt, *r, &counters, &mut |_, _, _| {
+                total += 1;
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(total, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_data_file() {
+        let dir = std::env::temp_dir().join("pai_scan_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.csv");
+        std::fs::write(&path, "col0,col1\n").unwrap();
+        let ranges = chunk_ranges(&path, &CsvFormat::default(), 4).unwrap();
+        assert!(ranges.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn offsets_match_sequential_scan() {
+        let path = write_temp("offsets.csv", 100);
+        let fmt = CsvFormat::default();
+        let file =
+            crate::raw::CsvFile::open(&path, crate::schema::Schema::synthetic(2), fmt).unwrap();
+        let mut seq = Vec::new();
+        crate::raw::RawFile::scan(&file, &mut |_, off, _| {
+            seq.push(off);
+            Ok(())
+        })
+        .unwrap();
+
+        let counters = IoCounters::new();
+        let mut par = Vec::new();
+        for r in chunk_ranges(&path, &fmt, 5).unwrap() {
+            scan_range(&path, &fmt, r, &counters, &mut |_, off, _| {
+                par.push(off);
+                Ok(())
+            })
+            .unwrap();
+        }
+        par.sort_unstable();
+        assert_eq!(seq, par);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,259 @@
+//! Column schema of a raw data file.
+//!
+//! The exploration model requires at least two numeric attributes mapped to
+//! the X and Y axes of the 2D visualization (e.g. longitude/latitude); the
+//! remaining attributes are "non-axis" and are only materialized from the
+//! file on demand. The schema records column names, types, and which pair
+//! plays the axis role.
+
+use pai_common::{AttrId, PaiError, Result};
+
+/// Type of a raw-file column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit float; the type of all aggregation targets.
+    Float,
+    /// 64-bit integer, handled as f64 on read (exact up to 2^53, which is
+    /// far beyond the value ranges the generators produce).
+    Integer,
+    /// Free-form text; never indexed or aggregated, but the parser must be
+    /// able to skip over it (real CSVs have such columns).
+    Text,
+}
+
+impl ColumnType {
+    /// True for types an aggregate can range over.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, ColumnType::Float | ColumnType::Integer)
+    }
+}
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Column { name: name.into(), ty }
+    }
+
+    pub fn float(name: impl Into<String>) -> Self {
+        Column::new(name, ColumnType::Float)
+    }
+
+    pub fn integer(name: impl Into<String>) -> Self {
+        Column::new(name, ColumnType::Integer)
+    }
+
+    pub fn text(name: impl Into<String>) -> Self {
+        Column::new(name, ColumnType::Text)
+    }
+}
+
+/// Schema of a raw file: ordered columns plus the (x, y) axis pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    x_axis: AttrId,
+    y_axis: AttrId,
+}
+
+impl Schema {
+    /// Builds and validates a schema.
+    ///
+    /// Rules: at least two columns; axis ids distinct, in range, and numeric;
+    /// column names unique and non-empty.
+    pub fn new(columns: Vec<Column>, x_axis: AttrId, y_axis: AttrId) -> Result<Self> {
+        if columns.len() < 2 {
+            return Err(PaiError::schema(
+                "a schema needs at least two columns (the axis pair)",
+            ));
+        }
+        if x_axis == y_axis {
+            return Err(PaiError::schema("x and y axis must be distinct columns"));
+        }
+        for (role, id) in [("x", x_axis), ("y", y_axis)] {
+            let col = columns.get(id).ok_or_else(|| {
+                PaiError::schema(format!("{role}-axis column id {id} out of range"))
+            })?;
+            if !col.ty.is_numeric() {
+                return Err(PaiError::schema(format!(
+                    "{role}-axis column '{}' must be numeric",
+                    col.name
+                )));
+            }
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if c.name.is_empty() {
+                return Err(PaiError::schema(format!("column {i} has an empty name")));
+            }
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(PaiError::schema(format!(
+                    "duplicate column name '{}'",
+                    c.name
+                )));
+            }
+        }
+        Ok(Schema { columns, x_axis, y_axis })
+    }
+
+    /// The paper's synthetic schema: `n_cols` float columns named
+    /// `col0..colN`, with `col0`/`col1` as the axis pair.
+    pub fn synthetic(n_cols: usize) -> Schema {
+        assert!(n_cols >= 2, "synthetic schema needs >= 2 columns");
+        let columns = (0..n_cols)
+            .map(|i| Column::float(format!("col{i}")))
+            .collect();
+        Schema::new(columns, 0, 1).expect("synthetic schema is valid by construction")
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Id of the column mapped to the X axis.
+    pub fn x_axis(&self) -> AttrId {
+        self.x_axis
+    }
+
+    /// Id of the column mapped to the Y axis.
+    pub fn y_axis(&self) -> AttrId {
+        self.y_axis
+    }
+
+    /// True when `attr` is one of the two axis columns (stored in the index,
+    /// so queries over it never touch the file).
+    pub fn is_axis(&self, attr: AttrId) -> bool {
+        attr == self.x_axis || attr == self.y_axis
+    }
+
+    /// Looks a column up by name.
+    pub fn column_id(&self, name: &str) -> Option<AttrId> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Returns the column for `attr`, or a schema error.
+    pub fn column(&self, attr: AttrId) -> Result<&Column> {
+        self.columns
+            .get(attr)
+            .ok_or_else(|| PaiError::schema(format!("column id {attr} out of range")))
+    }
+
+    /// Validates that `attr` exists and is numeric (aggregation target).
+    pub fn require_numeric(&self, attr: AttrId) -> Result<()> {
+        let col = self.column(attr)?;
+        if !col.ty.is_numeric() {
+            return Err(PaiError::schema(format!(
+                "column '{}' is not numeric and cannot be aggregated",
+                col.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Ids of all non-axis numeric columns (the candidates for metadata).
+    pub fn non_axis_numeric(&self) -> Vec<AttrId> {
+        (0..self.columns.len())
+            .filter(|&i| !self.is_axis(i) && self.columns[i].ty.is_numeric())
+            .collect()
+    }
+
+    /// Header line for CSV output.
+    pub fn header(&self) -> String {
+        self.columns
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_schema_shape() {
+        let s = Schema::synthetic(10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.x_axis(), 0);
+        assert_eq!(s.y_axis(), 1);
+        assert!(s.is_axis(0));
+        assert!(s.is_axis(1));
+        assert!(!s.is_axis(2));
+        assert_eq!(s.non_axis_numeric(), (2..10).collect::<Vec<_>>());
+        assert_eq!(s.column_id("col7"), Some(7));
+        assert_eq!(s.column_id("nope"), None);
+        assert!(s.header().starts_with("col0,col1,"));
+    }
+
+    #[test]
+    fn rejects_identical_axes() {
+        let cols = vec![Column::float("x"), Column::float("y")];
+        assert!(Schema::new(cols, 0, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_text_axis() {
+        let cols = vec![Column::text("name"), Column::float("y"), Column::float("v")];
+        assert!(Schema::new(cols.clone(), 0, 1).is_err());
+        assert!(Schema::new(cols, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_axis() {
+        let cols = vec![Column::float("x"), Column::float("y")];
+        assert!(Schema::new(cols, 0, 5).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let cols = vec![Column::float("x"), Column::float("x")];
+        assert!(Schema::new(cols, 0, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_name() {
+        let cols = vec![Column::float("x"), Column::float("")];
+        assert!(Schema::new(cols, 0, 1).is_err());
+    }
+
+    #[test]
+    fn require_numeric_checks() {
+        let cols = vec![
+            Column::float("x"),
+            Column::float("y"),
+            Column::text("label"),
+            Column::integer("n"),
+        ];
+        let s = Schema::new(cols, 0, 1).unwrap();
+        assert!(s.require_numeric(3).is_ok());
+        assert!(s.require_numeric(2).is_err());
+        assert!(s.require_numeric(42).is_err());
+        assert_eq!(s.non_axis_numeric(), vec![3]);
+    }
+
+    #[test]
+    fn axes_need_not_be_first_columns() {
+        let cols = vec![
+            Column::text("id"),
+            Column::float("lon"),
+            Column::float("lat"),
+            Column::float("rating"),
+        ];
+        let s = Schema::new(cols, 1, 2).unwrap();
+        assert!(s.is_axis(1) && s.is_axis(2));
+        assert_eq!(s.non_axis_numeric(), vec![3]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Map-based exploration scenario: hotels on a map, explored with pan/zoom
+//! under an interactive accuracy constraint — the paper's motivating
+//! use case (§2.1), on a real on-disk CSV with parallel initialization.
+//!
+//! Shows the full analytics surface: approximate window aggregates with
+//! intervals, a metadata-only heatmap, an exact histogram, a filtered
+//! aggregate, and Pearson correlation.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example map_exploration
+//! ```
+
+use partial_adaptive_indexing::prelude::*;
+
+fn main() -> Result<()> {
+    // A "city map" of hotels: dense clusters (city centers) on a uniform
+    // background. col2 ~ rating, col3 ~ price (both spatially smooth).
+    let spec = DatasetSpec {
+        rows: 200_000,
+        columns: 6,
+        distribution: PointDistribution::GaussianClusters {
+            clusters: 4,
+            sigma_frac: 0.04,
+            background: 0.25,
+        },
+        value_model: ValueModel::SmoothField { base: 60.0, amplitude: 30.0, noise: 4.0 },
+        seed: 2024,
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join("pai_map_exploration");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("hotels.csv");
+    println!("writing {} hotels to {} ...", spec.rows, path.display());
+    let file = spec.write_csv(&path, CsvFormat::default())?;
+
+    // Parallel initialization (the one unavoidable full scan).
+    let init = InitConfig {
+        grid: GridSpec::Fixed { nx: 24, ny: 24 },
+        domain: Some(spec.domain),
+        metadata: MetadataPolicy::AllNumeric,
+    };
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+    let (index, report) = build_parallel(&file, &init, threads)?;
+    println!(
+        "index initialized on {threads} threads in {:.2?} ({} tiles)",
+        report.elapsed,
+        index.leaf_count()
+    );
+
+    // Interactive session: overview at phi=5%, aggregating the rating.
+    let rating = AggregateFunction::Mean(2);
+    let start = Workload::centered_window(&spec.domain, 0.04);
+    let mut session = ExplorationSession::new(
+        index,
+        &file,
+        EngineConfig::paper_evaluation(),
+        start,
+        vec![rating, AggregateFunction::Count],
+        0.05,
+    )?;
+
+    println!("\n-- exploring: initial view, three pans, one zoom --");
+    session.evaluate()?;
+    session.pan(0.15, 0.0)?;
+    session.pan(0.15, 0.10)?;
+    session.pan(0.0, 0.15)?;
+    session.zoom(0.5)?;
+    for (i, step) in session.history().iter().enumerate() {
+        let mean = &step.result.values[0];
+        let count = &step.result.values[1];
+        println!(
+            "step {i}: window {}  mean rating {}  ({} hotels)  bound {:.3}%  {} objects read  {:.2?}",
+            step.window,
+            mean,
+            count,
+            step.result.error_bound * 100.0,
+            step.result.stats.io.objects_read,
+            step.result.stats.elapsed,
+        );
+    }
+    println!(
+        "session total: {} objects read out of {} in the file",
+        session.total_objects_read(),
+        spec.rows
+    );
+
+    // Metadata-only heatmap of the current viewport: zero file I/O.
+    println!("\n-- 6x4 mean-rating heatmap of the viewport (no file reads) --");
+    let before = file.counters().objects_read();
+    let cells = analytics::heatmap(session.index(), session.window(), 6, 4, rating)?;
+    assert_eq!(file.counters().objects_read(), before, "heatmap is metadata-only");
+    for row in cells.chunks(6).rev() {
+        let line: Vec<String> = row
+            .iter()
+            .map(|c| match c.estimate {
+                Some(v) => format!("{v:6.1}"),
+                None => "     -".into(),
+            })
+            .collect();
+        println!("  {}", line.join(" "));
+    }
+
+    // Exact analytics over the viewport (these do read the file).
+    let window = *session.window();
+    let idx = session.index();
+    println!("\n-- exact analytics over the viewport --");
+    let hist = analytics::histogram(idx, &file, &window, 2, 8, None)?;
+    println!("rating histogram: {:?}", hist.counts);
+    let q = WindowQuery::new(
+        window,
+        vec![AggregateFunction::Count, AggregateFunction::Mean(3)],
+    )
+    .with_filter(Filter::new(2, 60.0, 100.0)); // only highly-rated hotels
+    let vals = analytics::filtered_aggregate(idx, &file, &q)?;
+    println!("hotels rated 60+: {}  mean price among them: {}", vals[0], vals[1]);
+    if let Some(r) = analytics::pearson(idx, &file, &window, 2, 3)? {
+        println!("rating-price Pearson correlation: {r:.3}");
+    }
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

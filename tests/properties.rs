@@ -1,0 +1,181 @@
+//! Cross-crate property-based tests of the paper's guarantees.
+//!
+//! These are the load-bearing invariants:
+//!   1. every confidence interval contains the exact answer;
+//!   2. realized error ≤ reported upper bound;
+//!   3. processing more tiles never widens an interval (monotonicity);
+//!   4. index structural invariants survive arbitrary query sequences;
+//!   5. exact engine ≡ full-scan ground truth.
+
+use partial_adaptive_indexing::prelude::*;
+use pai_core::verify::verify_against_truth;
+use pai_storage::ground_truth::window_truth;
+use proptest::prelude::*;
+
+/// A small clustered dataset; proptest shrinks over windows/phis, not data.
+fn fixture(seed: u64) -> (MemFile, DatasetSpec) {
+    let spec = DatasetSpec {
+        rows: 1_500,
+        columns: 4,
+        seed,
+        ..Default::default()
+    };
+    let file = spec.build_mem(CsvFormat::default()).unwrap();
+    (file, spec)
+}
+
+fn build_index(file: &MemFile, spec: &DatasetSpec, n: usize) -> ValinorIndex {
+    let cfg = InitConfig {
+        grid: GridSpec::Fixed { nx: n, ny: n },
+        domain: Some(spec.domain),
+        metadata: MetadataPolicy::AllNumeric,
+    };
+    build(file, &cfg).unwrap().0
+}
+
+fn window_strategy() -> impl Strategy<Value = Rect> {
+    (0.0f64..900.0, 0.0f64..900.0, 10.0f64..600.0, 10.0f64..600.0).prop_map(
+        |(x0, y0, w, h)| Rect::new(x0, (x0 + w).min(1000.0), y0, (y0 + h).min(1000.0)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Guarantee 1 + 2 over random windows, phis, and grids.
+    #[test]
+    fn prop_ci_contains_truth(
+        window in window_strategy(),
+        phi in prop_oneof![Just(0.0), 0.001f64..0.3],
+        grid in 2usize..9,
+        seed in 0u64..4,
+    ) {
+        let (file, spec) = fixture(seed);
+        let index = build_index(&file, &spec, grid);
+        let mut engine =
+            ApproximateEngine::new(index, &file, EngineConfig::paper_evaluation()).unwrap();
+        let aggs = [
+            AggregateFunction::Count,
+            AggregateFunction::Sum(2),
+            AggregateFunction::Mean(2),
+            AggregateFunction::Min(3),
+            AggregateFunction::Max(3),
+        ];
+        let res = engine.evaluate(&window, &aggs, phi).unwrap();
+        prop_assert!(res.met_constraint);
+        let report = verify_against_truth(
+            &file, &window, &aggs, &res, NormalizationMode::Estimate,
+        ).unwrap();
+        prop_assert!(report.all_ok(), "{report:?}");
+    }
+
+    /// Guarantee 3: a tighter phi on a fresh index processes at least as
+    /// many tiles and ends with an equal-or-smaller bound.
+    #[test]
+    fn prop_tighter_phi_monotone(
+        window in window_strategy(),
+        seed in 0u64..4,
+        (phi_loose, phi_tight) in (0.02f64..0.4).prop_flat_map(|hi| (Just(hi), 0.0f64..hi)),
+    ) {
+        let (file, spec) = fixture(seed);
+        let aggs = [AggregateFunction::Sum(2)];
+
+        let run = |phi: f64| {
+            let index = build_index(&file, &spec, 5);
+            let mut engine =
+                ApproximateEngine::new(index, &file, EngineConfig::paper_evaluation()).unwrap();
+            let res = engine.evaluate(&window, &aggs, phi).unwrap();
+            (res.stats.tiles_processed, res.error_bound)
+        };
+        let (proc_loose, bound_loose) = run(phi_loose);
+        let (proc_tight, bound_tight) = run(phi_tight);
+        prop_assert!(proc_tight >= proc_loose,
+            "tight {proc_tight} < loose {proc_loose}");
+        prop_assert!(bound_tight <= bound_loose + 1e-12);
+    }
+
+    /// Guarantee 4: index invariants after random query sequences mixing
+    /// exact and approximate evaluation.
+    #[test]
+    fn prop_invariants_after_query_sequences(
+        windows in prop::collection::vec(window_strategy(), 1..8),
+        seed in 0u64..3,
+    ) {
+        let (file, spec) = fixture(seed);
+        let index = build_index(&file, &spec, 4);
+        let mut engine =
+            ApproximateEngine::new(index, &file, EngineConfig::paper_evaluation()).unwrap();
+        for (i, w) in windows.iter().enumerate() {
+            let phi = [0.0, 0.05, 0.2][i % 3];
+            engine.evaluate(w, &[AggregateFunction::Mean(2)], phi).unwrap();
+        }
+        prop_assert!(engine.index().validate_invariants().is_ok());
+        prop_assert_eq!(engine.index().total_objects(), 1_500);
+    }
+
+    /// Guarantee 5: the exact engine equals ground truth on arbitrary
+    /// windows (sum/count; the float-exact aggregates).
+    #[test]
+    fn prop_exact_engine_equals_truth(
+        window in window_strategy(),
+        seed in 0u64..4,
+    ) {
+        let (file, spec) = fixture(seed);
+        let index = build_index(&file, &spec, 4);
+        let mut engine = ExactEngine::new(index, &file, AdaptConfig::default()).unwrap();
+        let res = engine
+            .evaluate(&window, &[AggregateFunction::Count, AggregateFunction::Sum(2)])
+            .unwrap();
+        let truth = window_truth(&file, &window, &[2]).unwrap();
+        prop_assert_eq!(res.values[0], AggregateValue::Count(truth[0].selected));
+        let sum = res.values[1].as_f64().unwrap();
+        prop_assert!((sum - truth[0].stats.sum()).abs() < 1e-6 * (1.0 + sum.abs()));
+    }
+
+    /// Split policies all preserve objects and produce valid hierarchies.
+    #[test]
+    fn prop_split_policies_preserve_structure(
+        window in window_strategy(),
+        policy_ix in 0usize..4,
+        seed in 0u64..3,
+    ) {
+        let policy = [
+            SplitPolicy::QueryAligned,
+            SplitPolicy::Grid { rows: 2, cols: 2 },
+            SplitPolicy::Grid { rows: 3, cols: 3 },
+            SplitPolicy::KdMedian,
+        ][policy_ix];
+        let (file, spec) = fixture(seed);
+        let index = build_index(&file, &spec, 4);
+        let cfg = EngineConfig {
+            adapt: AdaptConfig { split: policy, min_split_objects: 4, ..Default::default() },
+            ..EngineConfig::paper_evaluation()
+        };
+        let mut engine = ApproximateEngine::new(index, &file, cfg).unwrap();
+        engine.evaluate(&window, &[AggregateFunction::Sum(2)], 0.0).unwrap();
+        prop_assert!(engine.index().validate_invariants().is_ok());
+        prop_assert_eq!(engine.index().total_objects(), 1_500);
+    }
+}
+
+/// Deterministic (non-proptest) regression: FullTile read policy answers
+/// identically to WindowOnly, just with different I/O.
+#[test]
+fn read_policies_agree_on_answers() {
+    let (file, spec) = fixture(9);
+    let window = Rect::new(150.0, 620.0, 180.0, 740.0);
+    let aggs = [AggregateFunction::Sum(2), AggregateFunction::Count];
+    let mut results = Vec::new();
+    for read in [ReadPolicy::WindowOnly, ReadPolicy::FullTile] {
+        let index = build_index(&file, &spec, 5);
+        let cfg = EngineConfig {
+            adapt: AdaptConfig { read, ..Default::default() },
+            ..EngineConfig::paper_evaluation()
+        };
+        let mut engine = ApproximateEngine::new(index, &file, cfg).unwrap();
+        let res = engine.evaluate(&window, &aggs, 0.0).unwrap();
+        results.push((res.values[0].as_f64().unwrap(), res.values[1]));
+    }
+    assert_eq!(results[0].1, results[1].1);
+    assert!((results[0].0 - results[1].0).abs() < 1e-6 * (1.0 + results[0].0.abs()));
+}
