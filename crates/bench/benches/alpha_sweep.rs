@@ -21,9 +21,15 @@ fn bench_alpha(c: &mut Criterion) {
             &cfg,
             |b, cfg| {
                 b.iter(|| {
-                    run_workload(&file, &setup.init, cfg, &setup.workload, Method::Approx { phi: 0.05 })
-                        .expect("run")
-                        .total_objects_read()
+                    run_workload(
+                        &file,
+                        &setup.init,
+                        cfg,
+                        &setup.workload,
+                        Method::Approx { phi: 0.05 },
+                    )
+                    .expect("run")
+                    .total_objects_read()
                 })
             },
         );

@@ -17,15 +17,29 @@ fn bench_density(c: &mut Criterion) {
         ("uniform", PointDistribution::Uniform),
         (
             "clusters_s50",
-            PointDistribution::GaussianClusters { clusters: 5, sigma_frac: 0.05, background: 0.3 },
+            PointDistribution::GaussianClusters {
+                clusters: 5,
+                sigma_frac: 0.05,
+                background: 0.3,
+            },
         ),
         (
             "clusters_s20",
-            PointDistribution::GaussianClusters { clusters: 5, sigma_frac: 0.02, background: 0.1 },
+            PointDistribution::GaussianClusters {
+                clusters: 5,
+                sigma_frac: 0.02,
+                background: 0.1,
+            },
         ),
-        ("diagonal", PointDistribution::DiagonalBand { width_frac: 0.08 }),
+        (
+            "diagonal",
+            PointDistribution::DiagonalBand { width_frac: 0.08 },
+        ),
     ] {
-        let spec = DatasetSpec { distribution: dist, ..default_spec(60_000, 42) };
+        let spec = DatasetSpec {
+            distribution: dist,
+            ..default_spec(60_000, 42)
+        };
         let file = pai_bench::cached_csv(&spec);
         let init = InitConfig {
             grid: GridSpec::Fixed { nx: 8, ny: 8 },
@@ -36,7 +50,11 @@ fn bench_density(c: &mut Criterion) {
             .shifted(-150.0, -150.0)
             .clamped_into(&spec.domain);
         let wl = Workload::shifted_sequence(
-            &spec.domain, start, 12, vec![AggregateFunction::Mean(2)], 42,
+            &spec.domain,
+            start,
+            12,
+            vec![AggregateFunction::Mean(2)],
+            42,
         );
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {

@@ -36,11 +36,14 @@ fn bench_init(c: &mut Criterion) {
             domain: Some(spec.domain),
             metadata: MetadataPolicy::AllNumeric,
         };
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &t| b.iter(|| build_parallel(&file, &cfg, t).expect("init").0.total_objects()),
-        );
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| {
+                build_parallel(&file, &cfg, t)
+                    .expect("init")
+                    .0
+                    .total_objects()
+            })
+        });
     }
 
     for n in [8usize, 32] {

@@ -16,12 +16,21 @@ fn bench_policies(c: &mut Criterion) {
         ("cost_benefit", SelectionPolicy::CostBenefit),
         ("random", SelectionPolicy::Random { seed: 7 }),
     ] {
-        let cfg = EngineConfig { policy, ..setup.engine.clone() };
+        let cfg = EngineConfig {
+            policy,
+            ..setup.engine.clone()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| {
-                run_workload(&file, &setup.init, cfg, &setup.workload, Method::Approx { phi: 0.05 })
-                    .expect("run")
-                    .total_objects_read()
+                run_workload(
+                    &file,
+                    &setup.init,
+                    cfg,
+                    &setup.workload,
+                    Method::Approx { phi: 0.05 },
+                )
+                .expect("run")
+                .total_objects_read()
             })
         });
     }

@@ -20,14 +20,23 @@ fn bench_split(c: &mut Criterion) {
         ("no_split", SplitPolicy::NoSplit),
     ] {
         let cfg = EngineConfig {
-            adapt: AdaptConfig { split, ..Default::default() },
+            adapt: AdaptConfig {
+                split,
+                ..Default::default()
+            },
             ..setup.engine.clone()
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| {
-                run_workload(&file, &setup.init, cfg, &setup.workload, Method::Approx { phi: 0.05 })
-                    .expect("run")
-                    .total_objects_read()
+                run_workload(
+                    &file,
+                    &setup.init,
+                    cfg,
+                    &setup.workload,
+                    Method::Approx { phi: 0.05 },
+                )
+                .expect("run")
+                .total_objects_read()
             })
         });
     }
@@ -40,14 +49,23 @@ fn bench_split(c: &mut Criterion) {
         ("full_tile", ReadPolicy::FullTile),
     ] {
         let cfg = EngineConfig {
-            adapt: AdaptConfig { read, ..Default::default() },
+            adapt: AdaptConfig {
+                read,
+                ..Default::default()
+            },
             ..setup.engine.clone()
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| {
-                run_workload(&file, &setup.init, cfg, &setup.workload, Method::Approx { phi: 0.05 })
-                    .expect("run")
-                    .total_objects_read()
+                run_workload(
+                    &file,
+                    &setup.init,
+                    cfg,
+                    &setup.workload,
+                    Method::Approx { phi: 0.05 },
+                )
+                .expect("run")
+                .total_objects_read()
             })
         });
     }

@@ -86,7 +86,10 @@ fn main() {
         SelectionPolicy::CostBenefit,
         SelectionPolicy::Random { seed: 7 },
     ] {
-        let cfg = EngineConfig { policy, ..EngineConfig::paper_evaluation() };
+        let cfg = EngineConfig {
+            policy,
+            ..EngineConfig::paper_evaluation()
+        };
         run_line(&policy.name(), &file, &init, &cfg, &wl, phi);
     }
 
@@ -100,7 +103,10 @@ fn main() {
         ("no split", SplitPolicy::NoSplit),
     ] {
         let cfg = EngineConfig {
-            adapt: AdaptConfig { split, ..Default::default() },
+            adapt: AdaptConfig {
+                split,
+                ..Default::default()
+            },
             ..EngineConfig::paper_evaluation()
         };
         run_line(name, &file, &init, &cfg, &wl, phi);
@@ -111,7 +117,10 @@ fn main() {
         ("full-tile", ReadPolicy::FullTile),
     ] {
         let cfg = EngineConfig {
-            adapt: AdaptConfig { read, ..Default::default() },
+            adapt: AdaptConfig {
+                read,
+                ..Default::default()
+            },
             ..EngineConfig::paper_evaluation()
         };
         run_line(name, &file, &init, &cfg, &wl, phi);
@@ -124,7 +133,10 @@ fn main() {
         ("2 extra tiles", pai_core::EagerRefinement::ExtraTiles(2)),
         ("8 extra tiles", pai_core::EagerRefinement::ExtraTiles(8)),
     ] {
-        let cfg = EngineConfig { eager, ..EngineConfig::paper_evaluation() };
+        let cfg = EngineConfig {
+            eager,
+            ..EngineConfig::paper_evaluation()
+        };
         run_line(name, &file, &init, &cfg, &wl, phi);
     }
 
@@ -134,30 +146,79 @@ fn main() {
         ("uniform", PointDistribution::Uniform),
         (
             "clusters s=0.05",
-            PointDistribution::GaussianClusters { clusters: 5, sigma_frac: 0.05, background: 0.3 },
+            PointDistribution::GaussianClusters {
+                clusters: 5,
+                sigma_frac: 0.05,
+                background: 0.3,
+            },
         ),
         (
             "dense clusters s=0.02",
-            PointDistribution::GaussianClusters { clusters: 5, sigma_frac: 0.02, background: 0.1 },
+            PointDistribution::GaussianClusters {
+                clusters: 5,
+                sigma_frac: 0.02,
+                background: 0.1,
+            },
         ),
-        ("diagonal band", PointDistribution::DiagonalBand { width_frac: 0.08 }),
+        (
+            "diagonal band",
+            PointDistribution::DiagonalBand { width_frac: 0.08 },
+        ),
     ] {
-        let spec_d = DatasetSpec { distribution: dist, ..default_spec(rows, 42) };
+        let spec_d = DatasetSpec {
+            distribution: dist,
+            ..default_spec(rows, 42)
+        };
         let file_d = cached_csv(&spec_d);
         let wl_d = standard_workload(&spec_d, queries);
-        run_line(name, &file_d, &init_for(&spec_d), &EngineConfig::paper_evaluation(), &wl_d, phi);
+        run_line(
+            name,
+            &file_d,
+            &init_for(&spec_d),
+            &EngineConfig::paper_evaluation(),
+            &wl_d,
+            phi,
+        );
     }
 
     println!("\n[A4b] value model (phi=5%):");
     for (name, vm) in [
-        ("smooth field (default)", ValueModel::SmoothField { base: 50.0, amplitude: 40.0, noise: 5.0 }),
-        ("rough field (noise 20)", ValueModel::SmoothField { base: 50.0, amplitude: 40.0, noise: 20.0 }),
-        ("iid uniform [0,100]", ValueModel::UniformNoise { lo: 0.0, hi: 100.0 }),
+        (
+            "smooth field (default)",
+            ValueModel::SmoothField {
+                base: 50.0,
+                amplitude: 40.0,
+                noise: 5.0,
+            },
+        ),
+        (
+            "rough field (noise 20)",
+            ValueModel::SmoothField {
+                base: 50.0,
+                amplitude: 40.0,
+                noise: 20.0,
+            },
+        ),
+        (
+            "iid uniform [0,100]",
+            ValueModel::UniformNoise { lo: 0.0, hi: 100.0 },
+        ),
     ] {
-        let spec_v = DatasetSpec { value_model: vm, seed: 43, ..default_spec(rows, 43) };
+        let spec_v = DatasetSpec {
+            value_model: vm,
+            seed: 43,
+            ..default_spec(rows, 43)
+        };
         let file_v = cached_csv(&spec_v);
         let wl_v = standard_workload(&spec_v, queries);
-        run_line(name, &file_v, &init_for(&spec_v), &EngineConfig::paper_evaluation(), &wl_v, phi);
+        run_line(
+            name,
+            &file_v,
+            &init_for(&spec_v),
+            &EngineConfig::paper_evaluation(),
+            &wl_v,
+            phi,
+        );
     }
 
     // ---- A5: initial grid granularity --------------------------------------
@@ -167,9 +228,23 @@ fn main() {
             grid: GridSpec::Fixed { nx: n, ny: n },
             ..init_for(&spec)
         };
-        run_line(&format!("grid {n}x{n}"), &file, &init_n, &EngineConfig::paper_evaluation(), &wl, phi);
+        run_line(
+            &format!("grid {n}x{n}"),
+            &file,
+            &init_n,
+            &EngineConfig::paper_evaluation(),
+            &wl,
+            phi,
+        );
     }
 
     println!("\n(baseline for comparison)");
-    run_line("exact baseline", &file, &init, &EngineConfig::paper_evaluation(), &wl, Method::Exact);
+    run_line(
+        "exact baseline",
+        &file,
+        &init,
+        &EngineConfig::paper_evaluation(),
+        &wl,
+        Method::Exact,
+    );
 }

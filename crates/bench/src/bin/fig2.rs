@@ -14,9 +14,9 @@
 //! time-vs-objects correlation, early/late phase behaviour).
 
 use pai_bench::{cached_csv, fig2_setup};
-use pai_storage::RawFile;
 use pai_query::report::{ascii_chart, series_correlation, summarize, to_csv};
 use pai_query::{compare_methods, Method};
+use pai_storage::RawFile;
 
 fn main() {
     let setup = fig2_setup();
@@ -78,9 +78,7 @@ fn main() {
             s.phase_means_secs[2],
         );
     }
-    println!(
-        "paper (C1): at query 20, 5% ≈ 4x faster, 1% ≈ 2x faster than exact"
-    );
+    println!("paper (C1): at query 20, 5% ≈ 4x faster, 1% ≈ 2x faster than exact");
     println!("paper (C2): whole scenario, 5% ≈ 40% and 1% ≈ 30% faster overall");
 
     // C3: evaluation time closely follows objects read.

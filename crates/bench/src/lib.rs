@@ -51,7 +51,11 @@ pub fn default_spec(rows: u64, seed: u64) -> DatasetSpec {
             sigma_frac: 0.05,
             background: 0.3,
         },
-        value_model: ValueModel::SmoothField { base: 100.0, amplitude: 30.0, noise: 3.0 },
+        value_model: ValueModel::SmoothField {
+            base: 100.0,
+            amplitude: 30.0,
+            noise: 3.0,
+        },
         seed,
     }
 }
@@ -106,7 +110,11 @@ pub fn cache_dir() -> PathBuf {
 pub fn cached_csv(spec: &DatasetSpec) -> CsvFile {
     let dist_tag = match spec.distribution {
         PointDistribution::Uniform => "uni".to_string(),
-        PointDistribution::GaussianClusters { clusters, sigma_frac, .. } => {
+        PointDistribution::GaussianClusters {
+            clusters,
+            sigma_frac,
+            ..
+        } => {
             format!("g{clusters}s{}", (sigma_frac * 1000.0) as u64)
         }
         PointDistribution::DiagonalBand { width_frac } => {
@@ -114,7 +122,9 @@ pub fn cached_csv(spec: &DatasetSpec) -> CsvFile {
         }
     };
     let vm_tag = match spec.value_model {
-        ValueModel::SmoothField { amplitude, noise, .. } => {
+        ValueModel::SmoothField {
+            amplitude, noise, ..
+        } => {
             format!("sm{}n{}", amplitude as u64, noise as u64)
         }
         ValueModel::UniformNoise { lo, hi } => format!("un{}_{}", lo as i64, hi as i64),
@@ -167,6 +177,40 @@ mod tests {
         for q in &s.workload.queries {
             assert!(s.spec.domain.contains_rect(&q.window));
         }
+    }
+
+    #[test]
+    fn env_knobs_override_defaults() {
+        // The CI-friendly small-default contract: PAI_BENCH_ROWS /
+        // PAI_BENCH_QUERIES / PAI_BENCH_SEED scale every bench without a
+        // rebuild. Other tests in this module tolerate arbitrary knob
+        // values, so briefly setting them here is safe under parallel runs.
+        std::env::set_var("PAI_BENCH_ROWS", "1234");
+        std::env::set_var("PAI_BENCH_QUERIES", "7");
+        std::env::set_var("PAI_BENCH_SEED", "9");
+        let s = fig2_setup();
+        std::env::remove_var("PAI_BENCH_ROWS");
+        std::env::remove_var("PAI_BENCH_QUERIES");
+        std::env::remove_var("PAI_BENCH_SEED");
+        assert_eq!(s.spec.rows, 1234);
+        assert_eq!(s.workload.len(), 7);
+        assert_eq!(s.spec.seed, 9);
+
+        // Defaults kick back in once the knobs are gone.
+        assert_eq!(env_u64("PAI_BENCH_ROWS", 200_000), 200_000);
+        // Malformed values fall back to the default instead of panicking.
+        std::env::set_var("PAI_BENCH_ROWS", "not-a-number");
+        assert_eq!(env_u64("PAI_BENCH_ROWS", 200_000), 200_000);
+        std::env::remove_var("PAI_BENCH_ROWS");
+    }
+
+    #[test]
+    fn small_setup_scales_rows_only() {
+        let s = small_setup(2_000);
+        assert_eq!(s.spec.rows, 2_000);
+        assert_eq!(s.spec.columns, 10);
+        assert_eq!(s.workload.len(), 12);
+        assert!(s.init.domain.is_some());
     }
 
     #[test]

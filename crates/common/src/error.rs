@@ -51,7 +51,10 @@ impl PaiError {
 
     /// Shorthand for a parse error at a given 1-based line number.
     pub fn parse(line: u64, msg: impl Into<String>) -> Self {
-        PaiError::Parse { line, message: msg.into() }
+        PaiError::Parse {
+            line,
+            message: msg.into(),
+        }
     }
 }
 
@@ -91,7 +94,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(PaiError::schema("bad column").to_string().contains("schema"));
+        assert!(PaiError::schema("bad column")
+            .to_string()
+            .contains("schema"));
         assert!(PaiError::parse(7, "not a number")
             .to_string()
             .contains("line 7"));

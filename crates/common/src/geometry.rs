@@ -57,7 +57,12 @@ impl Rect {
         debug_assert!(y_min.is_finite() && y_max.is_finite());
         debug_assert!(x_min <= x_max, "inverted x bounds: {x_min} > {x_max}");
         debug_assert!(y_min <= y_max, "inverted y bounds: {y_min} > {y_max}");
-        Rect { x_min, x_max, y_min, y_max }
+        Rect {
+            x_min,
+            x_max,
+            y_min,
+            y_max,
+        }
     }
 
     /// Rectangle spanning two corner points (in any order).

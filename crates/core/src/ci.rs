@@ -47,11 +47,19 @@ impl AggregateEstimate {
     }
 
     fn empty() -> Self {
-        AggregateEstimate { value: AggregateValue::Empty, ci: None, unbounded: false }
+        AggregateEstimate {
+            value: AggregateValue::Empty,
+            ci: None,
+            unbounded: false,
+        }
     }
 
     fn unbounded_with(value: AggregateValue) -> Self {
-        AggregateEstimate { value, ci: None, unbounded: true }
+        AggregateEstimate {
+            value,
+            ci: None,
+            unbounded: true,
+        }
     }
 }
 
@@ -68,8 +76,12 @@ pub fn estimate_aggregate(
             AggregateValue::Count(state.selected_total),
             Some(state.selected_total as f64),
         ),
-        AggregateFunction::Sum(a) => sum_estimate(state, state.attr_pos(a), estimator, assume_non_null),
-        AggregateFunction::Mean(a) => mean_estimate(state, state.attr_pos(a), estimator, assume_non_null),
+        AggregateFunction::Sum(a) => {
+            sum_estimate(state, state.attr_pos(a), estimator, assume_non_null)
+        }
+        AggregateFunction::Mean(a) => {
+            mean_estimate(state, state.attr_pos(a), estimator, assume_non_null)
+        }
         AggregateFunction::Min(a) => {
             extremum_estimate(state, state.attr_pos(a), estimator, assume_non_null, true)
         }
@@ -205,7 +217,11 @@ fn extremum_estimate(
     };
 
     // Exact part: an achieved extremum (certain on both sides).
-    let exact_ext = if is_min { state.exact[i].min() } else { state.exact[i].max() };
+    let exact_ext = if is_min {
+        state.exact[i].min()
+    } else {
+        state.exact[i].max()
+    };
     if let Some(v) = exact_ext {
         fold(&mut outer, v);
         fold(&mut certain, v);
@@ -232,11 +248,15 @@ fn extremum_estimate(
         (Some(o), Some(c), false) => {
             let ci = Interval::from_unordered(o, c);
             let value = AggregateValue::Float(ci.clamp(est.unwrap_or(o)));
-            AggregateEstimate { value, ci: Some(ci), unbounded: false }
+            AggregateEstimate {
+                value,
+                ci: Some(ci),
+                unbounded: false,
+            }
         }
-        (Some(o), _, _) => AggregateEstimate::unbounded_with(AggregateValue::Float(
-            est.unwrap_or(o),
-        )),
+        (Some(o), _, _) => {
+            AggregateEstimate::unbounded_with(AggregateValue::Float(est.unwrap_or(o)))
+        }
         (None, _, _) => AggregateEstimate::empty(),
     }
 }
@@ -275,7 +295,11 @@ fn variance_estimate(
     };
     let hi_var = (h.width() / 2.0).powi(2);
     let ci_var = Interval::new(0.0, hi_var);
-    let ci = if sqrt { Interval::new(0.0, hi_var.sqrt()) } else { ci_var };
+    let ci = if sqrt {
+        Interval::new(0.0, hi_var.sqrt())
+    } else {
+        ci_var
+    };
     if unbounded {
         return AggregateEstimate::unbounded_with(AggregateValue::Float(estimator.pick(&ci)));
     }
@@ -487,14 +511,34 @@ mod tests {
             vec![RunningStats::from_values(&[1.0, 2.0, 6.0])],
             vec![],
         );
-        let sum = estimate_aggregate(&AggregateFunction::Sum(2), &s, ValueEstimator::Midpoint, true);
+        let sum = estimate_aggregate(
+            &AggregateFunction::Sum(2),
+            &s,
+            ValueEstimator::Midpoint,
+            true,
+        );
         assert_eq!(sum.ci, Some(Interval::point(9.0)));
-        let mean = estimate_aggregate(&AggregateFunction::Mean(2), &s, ValueEstimator::Midpoint, true);
+        let mean = estimate_aggregate(
+            &AggregateFunction::Mean(2),
+            &s,
+            ValueEstimator::Midpoint,
+            true,
+        );
         assert_eq!(mean.ci, Some(Interval::point(3.0)));
-        let var = estimate_aggregate(&AggregateFunction::Variance(2), &s, ValueEstimator::Midpoint, true);
+        let var = estimate_aggregate(
+            &AggregateFunction::Variance(2),
+            &s,
+            ValueEstimator::Midpoint,
+            true,
+        );
         let expected_var = s.exact[0].variance().unwrap();
         assert_eq!(var.ci, Some(Interval::point(expected_var)));
-        let sd = estimate_aggregate(&AggregateFunction::StdDev(2), &s, ValueEstimator::Midpoint, true);
+        let sd = estimate_aggregate(
+            &AggregateFunction::StdDev(2),
+            &s,
+            ValueEstimator::Midpoint,
+            true,
+        );
         assert_eq!(sd.value, AggregateValue::Float(expected_var.sqrt()));
     }
 

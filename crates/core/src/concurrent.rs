@@ -33,7 +33,11 @@ pub struct SharedIndex<F: RawFile> {
 impl<F: RawFile> SharedIndex<F> {
     pub fn new(index: ValinorIndex, file: F, config: EngineConfig) -> Result<Self> {
         config.validate()?;
-        Ok(SharedIndex { index: RwLock::new(index), file, config })
+        Ok(SharedIndex {
+            index: RwLock::new(index),
+            file,
+            config,
+        })
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -46,11 +50,7 @@ impl<F: RawFile> SharedIndex<F> {
 
     /// Metadata-only estimate under a read lock: any number of these run in
     /// parallel, never touch the file, never mutate the index.
-    pub fn estimate(
-        &self,
-        window: &Rect,
-        aggs: &[AggregateFunction],
-    ) -> Result<ApproxResult> {
+    pub fn estimate(&self, window: &Rect, aggs: &[AggregateFunction]) -> Result<ApproxResult> {
         let index = self.index.read();
         estimate_readonly(&index, &self.config, window, aggs)
     }
@@ -88,7 +88,12 @@ mod tests {
     use std::sync::Arc;
 
     fn shared(rows: u64) -> (Arc<SharedIndex<MemFile>>, DatasetSpec) {
-        let spec = DatasetSpec { rows, columns: 4, seed: 71, ..Default::default() };
+        let spec = DatasetSpec {
+            rows,
+            columns: 4,
+            seed: 71,
+            ..Default::default()
+        };
         let file = spec.build_mem(CsvFormat::default()).unwrap();
         let init = InitConfig {
             grid: GridSpec::Fixed { nx: 6, ny: 6 },
@@ -97,9 +102,7 @@ mod tests {
         };
         let (index, _) = build(&file, &init).unwrap();
         (
-            Arc::new(
-                SharedIndex::new(index, file, EngineConfig::paper_evaluation()).unwrap(),
-            ),
+            Arc::new(SharedIndex::new(index, file, EngineConfig::paper_evaluation()).unwrap()),
             spec,
         )
     }
@@ -109,7 +112,10 @@ mod tests {
         let (shared, _) = shared(2000);
         shared.file().counters().reset();
         let res = shared
-            .estimate(&Rect::new(100.0, 500.0, 100.0, 500.0), &[AggregateFunction::Mean(2)])
+            .estimate(
+                &Rect::new(100.0, 500.0, 100.0, 500.0),
+                &[AggregateFunction::Mean(2)],
+            )
             .unwrap();
         assert_eq!(shared.file().counters().objects_read(), 0);
         assert!(res.error_bound.is_finite());
@@ -142,13 +148,8 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..8 {
                         let off = (t * 50 + i * 40) as f64;
-                        let w = Rect::new(
-                            100.0 + off,
-                            400.0 + off,
-                            100.0 + off,
-                            400.0 + off,
-                        )
-                        .clamped_into(&domain);
+                        let w = Rect::new(100.0 + off, 400.0 + off, 100.0 + off, 400.0 + off)
+                            .clamped_into(&domain);
                         let res = shared
                             .evaluate(&w, &[AggregateFunction::Sum(2)], 0.05)
                             .unwrap();
@@ -162,11 +163,8 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..20 {
                         let off = (i * 17 % 500) as f64;
-                        let w = Rect::new(off, off + 300.0, off, off + 300.0)
-                            .clamped_into(&domain);
-                        let res = shared
-                            .estimate(&w, &[AggregateFunction::Mean(2)])
-                            .unwrap();
+                        let w = Rect::new(off, off + 300.0, off, off + 300.0).clamped_into(&domain);
+                        let res = shared.estimate(&w, &[AggregateFunction::Mean(2)]).unwrap();
                         assert!(res.error_bound >= 0.0);
                     }
                 });

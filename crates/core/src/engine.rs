@@ -137,8 +137,7 @@ impl EvalCtx<'_> {
                     if affordable.is_empty() {
                         break;
                     }
-                    let sub: Vec<CandidateView> =
-                        affordable.iter().map(|&i| views[i]).collect();
+                    let sub: Vec<CandidateView> = affordable.iter().map(|&i| views[i]).collect();
                     let chosen = affordable[self.config.policy.pick(&sub, step)];
                     *remaining = remaining.saturating_sub(views[chosen].cost);
                     chosen
@@ -179,7 +178,14 @@ impl EvalCtx<'_> {
         stats.io = self.file.counters().snapshot().since(&io0);
         stats.elapsed = t0.elapsed();
         let (values, cis) = estimates.into_iter().map(|e| (e.value, e.ci)).unzip();
-        Ok(ApproxResult { values, cis, error_bound: bound, phi, met_constraint, stats })
+        Ok(ApproxResult {
+            values,
+            cis,
+            error_bound: bound,
+            phi,
+            met_constraint,
+            stats,
+        })
     }
 
     /// Processes candidate `pick`: partial tiles go through the paper's
@@ -221,9 +227,7 @@ impl EvalCtx<'_> {
                             .get(a)
                             .and_then(|m| m.exact_stats())
                             .copied()
-                            .ok_or_else(|| {
-                                PaiError::internal("enrichment left metadata inexact")
-                            })
+                            .ok_or_else(|| PaiError::internal("enrichment left metadata inexact"))
                     })
                     .collect::<Result<_>>()?;
                 state.resolve(pick, &exact);
@@ -284,7 +288,11 @@ fn candidate_views(
             continue;
         }
         for (w, &raw) in widths.iter_mut().zip(&per_agg) {
-            let norm = if raw.is_infinite() { f64::INFINITY } else { raw / max };
+            let norm = if raw.is_infinite() {
+                f64::INFINITY
+            } else {
+                raw / max
+            };
             if norm > *w {
                 *w = norm;
             }
@@ -300,9 +308,7 @@ fn candidate_views(
             cost: match (c.kind, config.adapt.read) {
                 (CandidateKind::FullBounded, _) => index.tile(c.tile).object_count(),
                 (CandidateKind::Partial, ReadPolicy::WindowOnly) => c.selected,
-                (CandidateKind::Partial, ReadPolicy::FullTile) => {
-                    index.tile(c.tile).object_count()
-                }
+                (CandidateKind::Partial, ReadPolicy::FullTile) => index.tile(c.tile).object_count(),
             },
         })
         .collect()
@@ -372,7 +378,11 @@ pub struct ApproximateEngine<'f> {
 impl<'f> ApproximateEngine<'f> {
     pub fn new(index: ValinorIndex, file: &'f dyn RawFile, config: EngineConfig) -> Result<Self> {
         config.validate()?;
-        Ok(ApproximateEngine { index, file, config })
+        Ok(ApproximateEngine {
+            index,
+            file,
+            config,
+        })
     }
 
     pub fn index(&self) -> &ValinorIndex {
@@ -397,8 +407,12 @@ impl<'f> ApproximateEngine<'f> {
         phi: f64,
     ) -> Result<ApproxResult> {
         validate_phi(phi)?;
-        EvalCtx { index: &mut self.index, file: self.file, config: &self.config }
-            .run(window, aggs, StopRule::Accuracy { phi }, None)
+        EvalCtx {
+            index: &mut self.index,
+            file: self.file,
+            config: &self.config,
+        }
+        .run(window, aggs, StopRule::Accuracy { phi }, None)
     }
 
     /// Like [`Self::evaluate`], additionally returning the progressive
@@ -413,8 +427,12 @@ impl<'f> ApproximateEngine<'f> {
     ) -> Result<(ApproxResult, Vec<ProgressStep>)> {
         validate_phi(phi)?;
         let mut trace = Vec::new();
-        let res = EvalCtx { index: &mut self.index, file: self.file, config: &self.config }
-            .run(window, aggs, StopRule::Accuracy { phi }, Some(&mut trace))?;
+        let res = EvalCtx {
+            index: &mut self.index,
+            file: self.file,
+            config: &self.config,
+        }
+        .run(window, aggs, StopRule::Accuracy { phi }, Some(&mut trace))?;
         Ok((res, trace))
     }
 
@@ -441,8 +459,19 @@ impl<'f> ApproximateEngine<'f> {
         aggs: &[AggregateFunction],
         max_objects: u64,
     ) -> Result<ApproxResult> {
-        EvalCtx { index: &mut self.index, file: self.file, config: &self.config }
-            .run(window, aggs, StopRule::IoBudget { remaining: max_objects }, None)
+        EvalCtx {
+            index: &mut self.index,
+            file: self.file,
+            config: &self.config,
+        }
+        .run(
+            window,
+            aggs,
+            StopRule::IoBudget {
+                remaining: max_objects,
+            },
+            None,
+        )
     }
 
     /// Metadata-only estimate against the engine's current index state
@@ -464,7 +493,12 @@ pub fn evaluate_on(
 ) -> Result<ApproxResult> {
     config.validate()?;
     validate_phi(phi)?;
-    EvalCtx { index, file, config }.run(window, aggs, StopRule::Accuracy { phi }, None)
+    EvalCtx {
+        index,
+        file,
+        config,
+    }
+    .run(window, aggs, StopRule::Accuracy { phi }, None)
 }
 
 #[cfg(test)]
@@ -478,7 +512,12 @@ mod tests {
     use pai_storage::{CsvFormat, DatasetSpec, MemFile};
 
     fn dataset(rows: u64, seed: u64) -> (MemFile, DatasetSpec) {
-        let spec = DatasetSpec { rows, columns: 4, seed, ..Default::default() };
+        let spec = DatasetSpec {
+            rows,
+            columns: 4,
+            seed,
+            ..Default::default()
+        };
         (spec.build_mem(CsvFormat::default()).unwrap(), spec)
     }
 
@@ -528,10 +567,16 @@ mod tests {
         }
         // Monotone: tighter constraints cannot read fewer objects.
         for w in reads.windows(2) {
-            assert!(w[0] >= w[1], "reads must not increase with looser phi: {reads:?}");
+            assert!(
+                w[0] >= w[1],
+                "reads must not increase with looser phi: {reads:?}"
+            );
         }
         // And the extremes must actually differ on this workload.
-        assert!(reads[0] > reads[3], "exact should read more than 25%: {reads:?}");
+        assert!(
+            reads[0] > reads[3],
+            "exact should read more than 25%: {reads:?}"
+        );
     }
 
     #[test]
@@ -560,7 +605,10 @@ mod tests {
         for (i, (av, ev)) in a.values.iter().zip(&e.values).enumerate() {
             match (av.as_f64(), ev.as_f64()) {
                 (Some(x), Some(y)) => {
-                    assert!((x - y).abs() <= 1e-6 * (1.0 + y.abs()), "agg {i}: {x} vs {y}")
+                    assert!(
+                        (x - y).abs() <= 1e-6 * (1.0 + y.abs()),
+                        "agg {i}: {x} vs {y}"
+                    )
                 }
                 (None, None) => {}
                 other => panic!("agg {i}: {other:?}"),
@@ -575,7 +623,11 @@ mod tests {
         let mut eng = engine(&file, &spec, 4);
         file.counters().reset();
         let res = eng
-            .evaluate(&Rect::new(0.0, 400.0, 0.0, 400.0), &[AggregateFunction::Count], 0.0)
+            .evaluate(
+                &Rect::new(0.0, 400.0, 0.0, 400.0),
+                &[AggregateFunction::Count],
+                0.0,
+            )
             .unwrap();
         assert_eq!(res.stats.io.objects_read, 0, "counts come from the index");
         assert_eq!(res.error_bound, 0.0);
@@ -615,7 +667,10 @@ mod tests {
             ApproximateEngine::new(
                 idx,
                 &file,
-                EngineConfig { eager, ..EngineConfig::paper_evaluation() },
+                EngineConfig {
+                    eager,
+                    ..EngineConfig::paper_evaluation()
+                },
             )
             .unwrap()
         };
@@ -624,7 +679,10 @@ mod tests {
         let mut eager = mk(EagerRefinement::ExtraTiles(3));
         let re = eager.evaluate(&window, &aggs, 0.10).unwrap();
         assert!(re.stats.tiles_processed >= rl.stats.tiles_processed);
-        assert!(re.error_bound <= rl.error_bound + 1e-12, "extra work can only tighten");
+        assert!(
+            re.error_bound <= rl.error_bound + 1e-12,
+            "extra work can only tighten"
+        );
     }
 
     #[test]
@@ -648,7 +706,10 @@ mod tests {
             let mut eng = ApproximateEngine::new(
                 idx,
                 &file,
-                EngineConfig { policy, ..EngineConfig::paper_evaluation() },
+                EngineConfig {
+                    policy,
+                    ..EngineConfig::paper_evaluation()
+                },
             )
             .unwrap();
             let res = eng.evaluate(&window, &aggs, 0.05).unwrap();
@@ -671,8 +732,7 @@ mod tests {
             metadata: MetadataPolicy::None,
         };
         let (idx, _) = build(&file, &init).unwrap();
-        let mut eng =
-            ApproximateEngine::new(idx, &file, EngineConfig::paper_evaluation()).unwrap();
+        let mut eng = ApproximateEngine::new(idx, &file, EngineConfig::paper_evaluation()).unwrap();
         let window = Rect::new(100.0, 600.0, 100.0, 600.0);
         // Without init metadata or global bounds, every tile is unbounded:
         // the engine must process its way to a sound answer.
@@ -696,7 +756,9 @@ mod tests {
         let mut eng = engine(&file, &spec, 2);
         let w = Rect::new(0.0, 1.0, 0.0, 1.0);
         assert!(eng.evaluate(&w, &[AggregateFunction::Count], -0.5).is_err());
-        assert!(eng.evaluate(&w, &[AggregateFunction::Count], f64::NAN).is_err());
+        assert!(eng
+            .evaluate(&w, &[AggregateFunction::Count], f64::NAN)
+            .is_err());
     }
 
     #[test]
@@ -785,7 +847,11 @@ mod tests {
         let mut eng = engine(&file, &spec, 6);
         let (res, trace) = eng.evaluate_traced(&window, &aggs, 0.01).unwrap();
         assert!(res.met_constraint);
-        assert_eq!(trace.len(), res.stats.tiles_processed + 1, "one step per tile + initial");
+        assert_eq!(
+            trace.len(),
+            res.stats.tiles_processed + 1,
+            "one step per tile + initial"
+        );
         // Bounds tighten monotonically; I/O grows monotonically.
         for w in trace.windows(2) {
             assert!(w[1].error_bound <= w[0].error_bound + 1e-12);
@@ -817,7 +883,9 @@ mod tests {
         let eng = engine(&file, &spec, 5);
         let leaves_before = eng.index().leaf_count();
         file.counters().reset();
-        let res = eng.estimate(&window, &[AggregateFunction::Mean(2)]).unwrap();
+        let res = eng
+            .estimate(&window, &[AggregateFunction::Mean(2)])
+            .unwrap();
         assert_eq!(file.counters().objects_read(), 0);
         assert_eq!(eng.index().leaf_count(), leaves_before);
         assert!(res.error_bound.is_finite());

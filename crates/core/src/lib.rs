@@ -36,8 +36,8 @@ pub mod verify;
 
 pub use bound::{relative_error, upper_error_bound, NormalizationMode};
 pub use ci::AggregateEstimate;
-pub use config::{EagerRefinement, EngineConfig, ValueEstimator};
 pub use concurrent::SharedIndex;
+pub use config::{EagerRefinement, EngineConfig, ValueEstimator};
 pub use engine::{estimate_readonly, evaluate_on, ApproxResult, ApproximateEngine};
 pub use policy::SelectionPolicy;
 pub use state::{Candidate, CandidateKind, QueryState};

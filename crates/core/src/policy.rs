@@ -94,11 +94,9 @@ impl SelectionPolicy {
                     alpha * w_norm + (1.0 - alpha) * inv_cost
                 }))
             }
-            SelectionPolicy::CostBenefit => argmax(
-                candidates
-                    .iter()
-                    .map(|c| c.width / c.cost.max(1) as f64),
-            ),
+            SelectionPolicy::CostBenefit => {
+                argmax(candidates.iter().map(|c| c.width / c.cost.max(1) as f64))
+            }
             SelectionPolicy::Random { seed } => {
                 (splitmix64(seed ^ (step as u64).wrapping_mul(0x9E3779B97F4A7C15))
                     % candidates.len() as u64) as usize
@@ -135,16 +133,28 @@ mod tests {
     fn views(specs: &[(f64, u64)]) -> Vec<CandidateView> {
         specs
             .iter()
-            .map(|&(width, selected)| CandidateView { width, selected, cost: selected })
+            .map(|&(width, selected)| CandidateView {
+                width,
+                selected,
+                cost: selected,
+            })
             .collect()
     }
 
     #[test]
     fn validation() {
-        assert!(SelectionPolicy::ScoreGreedy { alpha: 0.5 }.validate().is_ok());
-        assert!(SelectionPolicy::ScoreGreedy { alpha: -0.1 }.validate().is_err());
-        assert!(SelectionPolicy::ScoreGreedy { alpha: 1.1 }.validate().is_err());
-        assert!(SelectionPolicy::ScoreGreedy { alpha: f64::NAN }.validate().is_err());
+        assert!(SelectionPolicy::ScoreGreedy { alpha: 0.5 }
+            .validate()
+            .is_ok());
+        assert!(SelectionPolicy::ScoreGreedy { alpha: -0.1 }
+            .validate()
+            .is_err());
+        assert!(SelectionPolicy::ScoreGreedy { alpha: 1.1 }
+            .validate()
+            .is_err());
+        assert!(SelectionPolicy::ScoreGreedy { alpha: f64::NAN }
+            .validate()
+            .is_err());
         assert!(SelectionPolicy::CostBenefit.validate().is_ok());
     }
 
@@ -166,17 +176,30 @@ mod tests {
     fn blended_alpha_trades_off() {
         // Candidate 0: widest but expensive. Candidate 1: cheap but narrow.
         let cands = views(&[(10.0, 1000), (6.0, 10)]);
-        assert_eq!(SelectionPolicy::ScoreGreedy { alpha: 1.0 }.pick(&cands, 0), 0);
-        assert_eq!(SelectionPolicy::ScoreGreedy { alpha: 0.0 }.pick(&cands, 0), 1);
+        assert_eq!(
+            SelectionPolicy::ScoreGreedy { alpha: 1.0 }.pick(&cands, 0),
+            0
+        );
+        assert_eq!(
+            SelectionPolicy::ScoreGreedy { alpha: 0.0 }.pick(&cands, 0),
+            1
+        );
         // Mid alpha: candidate 1 scores 0.5*0.6 + 0.5*1.0 = 0.8 vs
         // candidate 0: 0.5*1.0 + 0.5*0.01 = 0.505.
-        assert_eq!(SelectionPolicy::ScoreGreedy { alpha: 0.5 }.pick(&cands, 0), 1);
+        assert_eq!(
+            SelectionPolicy::ScoreGreedy { alpha: 0.5 }.pick(&cands, 0),
+            1
+        );
     }
 
     #[test]
     fn unbounded_goes_first_in_every_policy() {
         let mut cands = views(&[(5.0, 10), (7.0, 20)]);
-        cands.push(CandidateView { width: f64::INFINITY, selected: 9999, cost: 9999 });
+        cands.push(CandidateView {
+            width: f64::INFINITY,
+            selected: 9999,
+            cost: 9999,
+        });
         for p in [
             SelectionPolicy::ScoreGreedy { alpha: 1.0 },
             SelectionPolicy::CostBenefit,

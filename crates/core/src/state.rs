@@ -62,9 +62,9 @@ impl Candidate {
 
     /// True when any requested attribute has no bounds at all.
     pub fn is_unbounded(&self) -> bool {
-        self.meta.iter().any(|m| {
-            m.as_ref().and_then(|meta| meta.value_bounds()).is_none()
-        })
+        self.meta
+            .iter()
+            .any(|m| m.as_ref().and_then(|meta| meta.value_bounds()).is_none())
     }
 }
 

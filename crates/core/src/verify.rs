@@ -175,7 +175,9 @@ pub fn check_arity(aggs: &[AggregateFunction], result: &ApproxResult) -> Result<
     }
     for (agg, v) in aggs.iter().zip(&result.values) {
         if matches!(agg, AggregateFunction::Count) && !matches!(v, AggregateValue::Count(_)) {
-            return Err(PaiError::internal("count aggregate produced non-count value"));
+            return Err(PaiError::internal(
+                "count aggregate produced non-count value",
+            ));
         }
     }
     Ok(())
@@ -194,7 +196,12 @@ mod tests {
 
     #[test]
     fn fuzz_guarantees_over_random_queries_and_phis() {
-        let spec = DatasetSpec { rows: 2500, columns: 4, seed: 3, ..Default::default() };
+        let spec = DatasetSpec {
+            rows: 2500,
+            columns: 4,
+            seed: 3,
+            ..Default::default()
+        };
         let file = spec.build_mem(CsvFormat::default()).unwrap();
         let init = InitConfig {
             grid: GridSpec::Fixed { nx: 5, ny: 5 },
@@ -202,8 +209,7 @@ mod tests {
             metadata: MetadataPolicy::AllNumeric,
         };
         let (idx, _) = build(&file, &init).unwrap();
-        let mut eng =
-            ApproximateEngine::new(idx, &file, EngineConfig::paper_evaluation()).unwrap();
+        let mut eng = ApproximateEngine::new(idx, &file, EngineConfig::paper_evaluation()).unwrap();
         let aggs = [
             AggregateFunction::Count,
             AggregateFunction::Sum(2),
@@ -228,7 +234,12 @@ mod tests {
 
     #[test]
     fn report_shape() {
-        let spec = DatasetSpec { rows: 300, columns: 3, seed: 4, ..Default::default() };
+        let spec = DatasetSpec {
+            rows: 300,
+            columns: 3,
+            seed: 4,
+            ..Default::default()
+        };
         let file = spec.build_mem(CsvFormat::default()).unwrap();
         let init = InitConfig {
             grid: GridSpec::Fixed { nx: 3, ny: 3 },
@@ -236,14 +247,12 @@ mod tests {
             metadata: MetadataPolicy::AllNumeric,
         };
         let (idx, _) = build(&file, &init).unwrap();
-        let mut eng =
-            ApproximateEngine::new(idx, &file, EngineConfig::paper_evaluation()).unwrap();
+        let mut eng = ApproximateEngine::new(idx, &file, EngineConfig::paper_evaluation()).unwrap();
         let window = Rect::new(100.0, 800.0, 100.0, 800.0);
         let aggs = [AggregateFunction::Sum(2)];
         let res = eng.evaluate(&window, &aggs, 0.05).unwrap();
         let report =
-            verify_against_truth(&file, &window, &aggs, &res, NormalizationMode::Estimate)
-                .unwrap();
+            verify_against_truth(&file, &window, &aggs, &res, NormalizationMode::Estimate).unwrap();
         assert!(report.all_ok());
         assert_eq!(report.checks.len(), 1);
         assert!(report.max_realized_error() <= res.error_bound + 1e-9);
@@ -251,7 +260,12 @@ mod tests {
 
     #[test]
     fn empty_window_verifies() {
-        let spec = DatasetSpec { rows: 100, columns: 3, seed: 6, ..Default::default() };
+        let spec = DatasetSpec {
+            rows: 100,
+            columns: 3,
+            seed: 6,
+            ..Default::default()
+        };
         let file = spec.build_mem(CsvFormat::default()).unwrap();
         let init = InitConfig {
             grid: GridSpec::Fixed { nx: 2, ny: 2 },
@@ -259,14 +273,12 @@ mod tests {
             metadata: MetadataPolicy::AllNumeric,
         };
         let (idx, _) = build(&file, &init).unwrap();
-        let mut eng =
-            ApproximateEngine::new(idx, &file, EngineConfig::paper_evaluation()).unwrap();
+        let mut eng = ApproximateEngine::new(idx, &file, EngineConfig::paper_evaluation()).unwrap();
         let window = Rect::new(-50.0, -10.0, -50.0, -10.0);
         let aggs = [AggregateFunction::Count, AggregateFunction::Mean(2)];
         let res = eng.evaluate(&window, &aggs, 0.01).unwrap();
         let report =
-            verify_against_truth(&file, &window, &aggs, &res, NormalizationMode::Estimate)
-                .unwrap();
+            verify_against_truth(&file, &window, &aggs, &res, NormalizationMode::Estimate).unwrap();
         assert!(report.all_ok(), "{report:?}");
     }
 }

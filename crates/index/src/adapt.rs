@@ -77,9 +77,15 @@ pub fn process_tile(
             .collect(),
         ReadPolicy::FullTile => entries.iter().map(|e| e.offset).collect(),
     };
-    let values = file.read_rows(&offsets, &read_attrs)?;
-    let value_of: HashMap<u64, &Vec<f64>> =
-        offsets.iter().copied().zip(values.iter()).collect();
+    // A query over no attributes (e.g. COUNT-only) answers from the
+    // in-index axis values alone: splitting and selection need no file
+    // access, so charge no I/O.
+    let values = if read_attrs.is_empty() {
+        vec![Vec::new(); offsets.len()]
+    } else {
+        file.read_rows(&offsets, &read_attrs)?
+    };
+    let value_of: HashMap<u64, &Vec<f64>> = offsets.iter().copied().zip(values.iter()).collect();
 
     // Exact in-window statistics for the query's attributes.
     let mut stats = vec![RunningStats::new(); attrs.len()];
@@ -113,9 +119,9 @@ pub fn process_tile(
     let mut new_leaves = Vec::new();
     if within_budget && entries.len() as u64 >= cfg.min_split_objects && depth < cfg.max_depth {
         if let Some(rects) = cfg.split.child_rects(&tile_rect, query, &entries) {
-            let extent_ok = rects.iter().all(|r| {
-                r.width() >= cfg.min_tile_extent && r.height() >= cfg.min_tile_extent
-            });
+            let extent_ok = rects
+                .iter()
+                .all(|r| r.width() >= cfg.min_tile_extent && r.height() >= cfg.min_tile_extent);
             if extent_ok && rects.len() >= 2 {
                 new_leaves = index.split_leaf(tile_id, rects)?;
                 did_split = true;
@@ -132,7 +138,9 @@ pub fn process_tile(
             if child_entries.is_empty() {
                 continue;
             }
-            let all_read = child_entries.iter().all(|e| value_of.contains_key(&e.offset));
+            let all_read = child_entries
+                .iter()
+                .all(|e| value_of.contains_key(&e.offset));
             if !all_read {
                 continue;
             }
@@ -172,7 +180,11 @@ pub fn process_tile(
     Ok(ProcessOutcome {
         in_window: stats,
         selected,
-        objects_read: offsets.len() as u64,
+        objects_read: if read_attrs.is_empty() {
+            0
+        } else {
+            offsets.len() as u64
+        },
         did_split,
         new_leaves,
     })
@@ -282,7 +294,10 @@ mod tests {
         let cfg = adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::WindowOnly);
         let out = process_tile(&mut idx, &f, centre, &q, &[2], &cfg).unwrap();
         assert_eq!(out.selected, 1);
-        assert_eq!(out.objects_read, 1, "window-only reads just the selected object");
+        assert_eq!(
+            out.objects_read, 1,
+            "window-only reads just the selected object"
+        );
         assert_eq!(out.in_window[0].sum(), 40.0);
         assert!(out.did_split);
         idx.validate_invariants().unwrap();
@@ -328,14 +343,15 @@ mod tests {
             }
         }
         assert_eq!(exact_children, 1, "in-window child has exact stats");
-        assert_eq!(bounded_children, 1, "out-of-window child keeps parent bounds");
+        assert_eq!(
+            bounded_children, 1,
+            "out-of-window child keeps parent bounds"
+        );
         // Inherited bounds equal the parent's pre-split [min,max] = [10,20].
         let bounded = out
             .new_leaves
             .iter()
-            .find(|&&c| {
-                idx.tile(c).object_count() > 0 && !idx.tile(c).meta.has_exact(2)
-            })
+            .find(|&&c| idx.tile(c).object_count() > 0 && !idx.tile(c).meta.has_exact(2))
             .copied()
             .unwrap();
         assert_eq!(
@@ -394,7 +410,10 @@ mod tests {
         let (f, mut idx) = setup();
         let q = Rect::new(11.0, 15.0, 11.0, 16.0);
         let centre = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
-        let cfg = AdaptConfig { max_depth: 0, ..adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::WindowOnly) };
+        let cfg = AdaptConfig {
+            max_depth: 0,
+            ..adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::WindowOnly)
+        };
         let out = process_tile(&mut idx, &f, centre, &q, &[2], &cfg).unwrap();
         assert!(!out.did_split, "depth 0 tiles are at max_depth already");
     }
@@ -435,7 +454,11 @@ mod tests {
         };
         let out = process_tile(&mut idx, &f, centre, &q, &[2], &cfg).unwrap();
         assert!(!out.did_split, "budget exhausted: no structural growth");
-        assert_eq!(out.in_window[0].sum(), 40.0, "reads still happen; answers exact");
+        assert_eq!(
+            out.in_window[0].sum(),
+            40.0,
+            "reads still happen; answers exact"
+        );
         assert!(idx.tile(centre).is_leaf());
     }
 
@@ -457,7 +480,10 @@ mod tests {
         let (f, mut idx) = setup();
         let q = Rect::new(0.0, 30.0, 0.0, 30.0); // everything
         let t = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
-        let cfg = adapt_cfg(SplitPolicy::Grid { rows: 2, cols: 2 }, ReadPolicy::WindowOnly);
+        let cfg = adapt_cfg(
+            SplitPolicy::Grid { rows: 2, cols: 2 },
+            ReadPolicy::WindowOnly,
+        );
         let out = process_tile(&mut idx, &f, t, &q, &[2], &cfg).unwrap();
         assert_eq!(out.selected, 2);
         assert_eq!(out.in_window[0].count(), 2);

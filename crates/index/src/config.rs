@@ -149,10 +149,7 @@ mod tests {
             MetadataPolicy::AllNumeric.resolve(&s).unwrap(),
             vec![2, 3, 4]
         );
-        assert_eq!(
-            MetadataPolicy::Attrs(vec![3]).resolve(&s).unwrap(),
-            vec![3]
-        );
+        assert_eq!(MetadataPolicy::Attrs(vec![3]).resolve(&s).unwrap(), vec![3]);
         assert!(MetadataPolicy::None.resolve(&s).unwrap().is_empty());
         assert!(MetadataPolicy::Attrs(vec![0]).resolve(&s).is_err(), "axis");
         assert!(MetadataPolicy::Attrs(vec![99]).resolve(&s).is_err());
@@ -174,7 +171,10 @@ mod tests {
 
     #[test]
     fn negative_extent_rejected() {
-        let cfg = AdaptConfig { min_tile_extent: -1.0, ..Default::default() };
+        let cfg = AdaptConfig {
+            min_tile_extent: -1.0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

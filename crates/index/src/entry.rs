@@ -48,7 +48,10 @@ mod tests {
     fn window_membership() {
         let e = ObjectEntry::new(1.0, 2.0, 99);
         assert!(e.in_window(&Rect::new(0.0, 2.0, 0.0, 3.0)));
-        assert!(!e.in_window(&Rect::new(0.0, 1.0, 0.0, 3.0)), "x on open edge");
+        assert!(
+            !e.in_window(&Rect::new(0.0, 1.0, 0.0, 3.0)),
+            "x on open edge"
+        );
         assert_eq!(e.point(), Point2::new(1.0, 2.0));
     }
 }

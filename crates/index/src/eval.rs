@@ -12,9 +12,7 @@ use std::time::{Duration, Instant};
 
 use pai_common::counters::IoSnapshot;
 use pai_common::geometry::Rect;
-use pai_common::{
-    AggregateFunction, AggregateValue, AttrId, PaiError, Result, RunningStats,
-};
+use pai_common::{AggregateFunction, AggregateValue, AttrId, PaiError, Result, RunningStats};
 use pai_storage::raw::RawFile;
 
 use crate::adapt::{enrich_tile, process_tile};
@@ -86,7 +84,10 @@ pub fn finalize_aggregates(
     selected: u64,
 ) -> Vec<AggregateValue> {
     let stat_for = |a: AttrId| {
-        let i = attrs.iter().position(|&x| x == a).expect("attr was collected");
+        let i = attrs
+            .iter()
+            .position(|&x| x == a)
+            .expect("attr was collected");
         &stats[i]
     };
     aggs.iter()
@@ -135,11 +136,7 @@ impl<'f> ExactEngine<'f> {
     }
 
     /// Evaluates a window-aggregate query exactly, adapting the index.
-    pub fn evaluate(
-        &mut self,
-        window: &Rect,
-        aggs: &[AggregateFunction],
-    ) -> Result<ExactResult> {
+    pub fn evaluate(&mut self, window: &Rect, aggs: &[AggregateFunction]) -> Result<ExactResult> {
         let t0 = Instant::now();
         let io0 = self.file.counters().snapshot();
         let attrs = query_attrs(self.index.schema(), aggs)?;
@@ -173,7 +170,14 @@ impl<'f> ExactEngine<'f> {
 
         // Partially-contained tiles: process every one (exact answering).
         for pt in &classification.partial {
-            let out = process_tile(&mut self.index, self.file, pt.tile, window, &attrs, &self.cfg)?;
+            let out = process_tile(
+                &mut self.index,
+                self.file,
+                pt.tile,
+                window,
+                &attrs,
+                &self.cfg,
+            )?;
             stats.tiles_processed += 1;
             stats.tiles_split += usize::from(out.did_split);
             for (m, s) in merged.iter_mut().zip(&out.in_window) {
@@ -205,8 +209,15 @@ mod tests {
             metadata,
         };
         let (idx, _) = build(file, &cfg).unwrap();
-        ExactEngine::new(idx, file, AdaptConfig { min_split_objects: 4, ..Default::default() })
-            .unwrap()
+        ExactEngine::new(
+            idx,
+            file,
+            AdaptConfig {
+                min_split_objects: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     fn random_file(rows: u64, seed: u64) -> MemFile {
@@ -314,7 +325,10 @@ mod tests {
         let truth = window_truth(&file, &window, &[3]).unwrap();
         let sum = res.values[0].as_f64().unwrap();
         assert!((sum - truth[0].stats.sum()).abs() < 1e-6 * (1.0 + sum.abs()));
-        assert!(res.stats.tiles_enriched > 0, "missing metadata forces enrichment");
+        assert!(
+            res.stats.tiles_enriched > 0,
+            "missing metadata forces enrichment"
+        );
     }
 
     #[test]
@@ -371,7 +385,10 @@ mod tests {
             let h = rng.gen_range(10.0..400.0);
             let window = Rect::new(x0, (x0 + w).min(1000.0), y0, (y0 + h).min(1000.0));
             let res = engine
-                .evaluate(&window, &[AggregateFunction::Count, AggregateFunction::Sum(2)])
+                .evaluate(
+                    &window,
+                    &[AggregateFunction::Count, AggregateFunction::Sum(2)],
+                )
                 .unwrap();
             let truth = window_truth(&file, &window, &[2]).unwrap();
             assert_eq!(res.values[0], AggregateValue::Count(truth[0].selected));

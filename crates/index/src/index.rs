@@ -360,7 +360,9 @@ impl ValinorIndex {
             }
         }
 
-        self.tile_mut(id).state = TileState::Inner { children: child_ids.clone() };
+        self.tile_mut(id).state = TileState::Inner {
+            children: child_ids.clone(),
+        };
         self.splits_performed += 1;
         Ok(child_ids)
     }
@@ -448,17 +450,18 @@ mod tests {
 
     fn small_index() -> ValinorIndex {
         // 3x3 grid over [0,30)^2 — the Figure 1 layout.
-        let mut idx = ValinorIndex::new(
-            Schema::synthetic(3),
-            Rect::new(0.0, 30.0, 0.0, 30.0),
-            3,
-            3,
-        )
-        .unwrap();
+        let mut idx =
+            ValinorIndex::new(Schema::synthetic(3), Rect::new(0.0, 30.0, 0.0, 30.0), 3, 3).unwrap();
         // A few objects: (x, y, offset).
-        for (i, (x, y)) in [(5.0, 5.0), (15.0, 5.0), (25.0, 25.0), (5.0, 25.0), (14.0, 15.0)]
-            .iter()
-            .enumerate()
+        for (i, (x, y)) in [
+            (5.0, 5.0),
+            (15.0, 5.0),
+            (25.0, 25.0),
+            (5.0, 25.0),
+            (14.0, 15.0),
+        ]
+        .iter()
+        .enumerate()
         {
             idx.insert_entry(ObjectEntry::new(*x, *y, i as u64 * 10));
         }

@@ -114,7 +114,9 @@ pub fn discover_domain(file: &dyn RawFile) -> Result<Rect> {
         Ok(())
     })?;
     if xs.is_empty() {
-        return Err(PaiError::schema("cannot discover a domain on an empty file"));
+        return Err(PaiError::schema(
+            "cannot discover a domain on an empty file",
+        ));
     }
     let (x0, x1) = (xs.min().expect("nonempty"), xs.max().expect("nonempty"));
     let (y0, y1) = (ys.min().expect("nonempty"), ys.max().expect("nonempty"));
@@ -249,8 +251,9 @@ pub fn build_parallel(
             .iter()
             .map(|&range| {
                 scope.spawn(move || -> Result<(Vec<CellAcc>, u64)> {
-                    let mut accs: Vec<CellAcc> =
-                        (0..n_cells).map(|_| CellAcc::new(attrs_ref.len())).collect();
+                    let mut accs: Vec<CellAcc> = (0..n_cells)
+                        .map(|_| CellAcc::new(attrs_ref.len()))
+                        .collect();
                     let mut vals = Vec::with_capacity(attrs_ref.len());
                     let mut rows = 0u64;
                     scan_range(
@@ -321,10 +324,13 @@ fn install_cells(index: &mut ValinorIndex, accs: Vec<CellAcc>, attrs: &[usize]) 
         }
         let tile_id = index.root_tile(cell);
         for (i, (stats, nulls)) in acc.stats.iter().zip(&acc.nulls).enumerate() {
-            index
-                .tile_mut(tile_id)
-                .meta
-                .set(attrs[i], AttrMeta::Exact { stats: *stats, nulls: *nulls });
+            index.tile_mut(tile_id).meta.set(
+                attrs[i],
+                AttrMeta::Exact {
+                    stats: *stats,
+                    nulls: *nulls,
+                },
+            );
         }
         index.extend_cell(cell, acc.entries);
     }
@@ -413,8 +419,14 @@ mod tests {
 
     #[test]
     fn target_objects_grid_sizing() {
-        assert_eq!(resolve_grid(GridSpec::TargetObjectsPerTile(25), Some(100)).unwrap(), (2, 2));
-        assert_eq!(resolve_grid(GridSpec::TargetObjectsPerTile(1000), Some(10)).unwrap(), (1, 1));
+        assert_eq!(
+            resolve_grid(GridSpec::TargetObjectsPerTile(25), Some(100)).unwrap(),
+            (2, 2)
+        );
+        assert_eq!(
+            resolve_grid(GridSpec::TargetObjectsPerTile(1000), Some(10)).unwrap(),
+            (1, 1)
+        );
         assert!(resolve_grid(GridSpec::TargetObjectsPerTile(10), None).is_err());
         assert!(resolve_grid(GridSpec::TargetObjectsPerTile(0), Some(10)).is_err());
         assert!(resolve_grid(GridSpec::Fixed { nx: 0, ny: 1 }, None).is_err());
@@ -446,7 +458,12 @@ mod tests {
         let dir = std::env::temp_dir().join("pai_init_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("par.csv");
-        let spec = DatasetSpec { rows: 5000, columns: 4, seed: 7, ..Default::default() };
+        let spec = DatasetSpec {
+            rows: 5000,
+            columns: 4,
+            seed: 7,
+            ..Default::default()
+        };
         let file = spec.write_csv(&path, CsvFormat::default()).unwrap();
 
         let cfg = InitConfig {
@@ -494,7 +511,11 @@ mod tests {
         let dir = std::env::temp_dir().join("pai_init_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("single.csv");
-        let spec = DatasetSpec { rows: 100, columns: 3, ..Default::default() };
+        let spec = DatasetSpec {
+            rows: 100,
+            columns: 3,
+            ..Default::default()
+        };
         let file = spec.write_csv(&path, CsvFormat::default()).unwrap();
         let cfg = InitConfig {
             grid: GridSpec::Fixed { nx: 2, ny: 2 },

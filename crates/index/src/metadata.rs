@@ -128,7 +128,9 @@ pub struct TileMetadata {
 impl TileMetadata {
     /// Empty metadata sized for `n_columns` slots.
     pub fn new(n_columns: usize) -> Self {
-        TileMetadata { slots: vec![None; n_columns] }
+        TileMetadata {
+            slots: vec![None; n_columns],
+        }
     }
 
     /// Metadata for `attr`, if any.
@@ -251,7 +253,9 @@ mod tests {
         let m = AttrMeta::exact_from_values(&[1.0, 5.0]);
         let d = m.demote_to_bounds().unwrap();
         assert_eq!(d, AttrMeta::Bounded(Interval::new(1.0, 5.0)));
-        assert!(AttrMeta::exact_from_values(&[]).demote_to_bounds().is_none());
+        assert!(AttrMeta::exact_from_values(&[])
+            .demote_to_bounds()
+            .is_none());
     }
 
     #[test]
@@ -284,8 +288,14 @@ mod tests {
         tm.set(1, AttrMeta::exact_from_values(&[1.0, 9.0]));
         tm.set(2, AttrMeta::Bounded(Interval::new(-1.0, 1.0)));
         let inh = tm.inherited();
-        assert_eq!(inh.get(1), Some(&AttrMeta::Bounded(Interval::new(1.0, 9.0))));
-        assert_eq!(inh.get(2), Some(&AttrMeta::Bounded(Interval::new(-1.0, 1.0))));
+        assert_eq!(
+            inh.get(1),
+            Some(&AttrMeta::Bounded(Interval::new(1.0, 9.0)))
+        );
+        assert_eq!(
+            inh.get(2),
+            Some(&AttrMeta::Bounded(Interval::new(-1.0, 1.0)))
+        );
         assert_eq!(inh.get(0), None);
     }
 

@@ -33,25 +33,26 @@ pub fn render_ascii(
         r.clamp(0, height as isize - 1) as usize
     };
 
-    let draw_rect = |grid: &mut Vec<Vec<char>>, r: &Rect, edge_h: char, edge_v: char, corner: char| {
-        let (c0, c1) = (to_col(r.x_min), to_col(r.x_max));
-        let (r0, r1) = (to_row(r.y_max), to_row(r.y_min));
-        for rr in [r0, r1] {
-            for cell in grid[rr][c0..=c1].iter_mut() {
-                *cell = edge_h;
+    let draw_rect =
+        |grid: &mut Vec<Vec<char>>, r: &Rect, edge_h: char, edge_v: char, corner: char| {
+            let (c0, c1) = (to_col(r.x_min), to_col(r.x_max));
+            let (r0, r1) = (to_row(r.y_max), to_row(r.y_min));
+            for rr in [r0, r1] {
+                for cell in grid[rr][c0..=c1].iter_mut() {
+                    *cell = edge_h;
+                }
             }
-        }
-        for row in grid[r0..=r1].iter_mut() {
-            for c in [c0, c1] {
-                row[c] = edge_v;
+            for row in grid[r0..=r1].iter_mut() {
+                for c in [c0, c1] {
+                    row[c] = edge_v;
+                }
             }
-        }
-        for rr in [r0, r1] {
-            for c in [c0, c1] {
-                grid[rr][c] = corner;
+            for rr in [r0, r1] {
+                for c in [c0, c1] {
+                    grid[rr][c] = corner;
+                }
             }
-        }
-    };
+        };
 
     for id in index.leaves_overlapping(&domain) {
         let rect = index.tile(id).rect;

@@ -186,7 +186,9 @@ mod tests {
     fn kd_median_prefers_wider_axis() {
         let tall = Rect::new(0.0, 1.0, 0.0, 10.0);
         let es = entries(&[(0.5, 1.0), (0.5, 9.0)]);
-        let rects = SplitPolicy::KdMedian.child_rects(&tall, &tall, &es).unwrap();
+        let rects = SplitPolicy::KdMedian
+            .child_rects(&tall, &tall, &es)
+            .unwrap();
         // Cut must be horizontal (y axis is longer).
         assert_eq!(rects[0].x_min, tall.x_min);
         assert_eq!(rects[0].x_max, tall.x_max);

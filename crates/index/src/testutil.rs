@@ -60,13 +60,8 @@ fn row_offsets(file: &MemFile) -> Vec<u64> {
 pub fn build_test_index(spec: &TestIndexSpec) -> ValinorIndex {
     let file = test_file(spec);
     let offsets = row_offsets(&file);
-    let mut index = ValinorIndex::new(
-        Schema::synthetic(3),
-        spec.domain,
-        spec.grid.0,
-        spec.grid.1,
-    )
-    .expect("valid test index spec");
+    let mut index = ValinorIndex::new(Schema::synthetic(3), spec.domain, spec.grid.0, spec.grid.1)
+        .expect("valid test index spec");
     for (i, &(x, y, _)) in spec.objects.iter().enumerate() {
         index.insert_entry(ObjectEntry::new(x, y, offsets[i]));
     }
@@ -81,9 +76,7 @@ pub fn build_test_index(spec: &TestIndexSpec) -> ValinorIndex {
             let values: Vec<f64> = spec
                 .objects
                 .iter()
-                .filter(|&&(x, y, _)| {
-                    rect.contains_point(pai_common::geometry::Point2::new(x, y))
-                })
+                .filter(|&&(x, y, _)| rect.contains_point(pai_common::geometry::Point2::new(x, y)))
                 .map(|&(_, _, v)| v)
                 .collect();
             if !values.is_empty() {
@@ -137,7 +130,10 @@ mod tests {
 
     #[test]
     fn metadata_optional() {
-        let index = build_test_index(&TestIndexSpec { with_metadata: false, ..spec() });
+        let index = build_test_index(&TestIndexSpec {
+            with_metadata: false,
+            ..spec()
+        });
         let t = index.leaf_for_point(Point2::new(1.0, 1.0)).unwrap();
         assert!(index.tile(t).meta.get(2).is_none());
         assert!(index.global_bounds(2).is_some());

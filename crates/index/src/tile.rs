@@ -47,7 +47,9 @@ impl Tile {
     pub fn leaf(rect: Rect, n_columns: usize, depth: u16) -> Self {
         Tile {
             rect,
-            state: TileState::Leaf { entries: Vec::new() },
+            state: TileState::Leaf {
+                entries: Vec::new(),
+            },
             meta: TileMetadata::new(n_columns),
             depth,
         }
@@ -132,7 +134,9 @@ mod tests {
     fn inner_has_no_entries() {
         let t = Tile {
             rect: Rect::new(0.0, 1.0, 0.0, 1.0),
-            state: TileState::Inner { children: vec![TileId(1), TileId(2)] },
+            state: TileState::Inner {
+                children: vec![TileId(1), TileId(2)],
+            },
             meta: TileMetadata::new(2),
             depth: 0,
         };

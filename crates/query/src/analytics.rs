@@ -152,11 +152,7 @@ pub fn histogram(
     index.schema().require_numeric(attr)?;
     let offsets = selected_offsets(index, window);
     let rows = file.read_rows(&offsets, &[attr])?;
-    let vals: Vec<f64> = rows
-        .iter()
-        .map(|r| r[0])
-        .filter(|v| !v.is_nan())
-        .collect();
+    let vals: Vec<f64> = rows.iter().map(|r| r[0]).filter(|v| !v.is_nan()).collect();
 
     let range = match range {
         Some(r) => r,
@@ -184,7 +180,11 @@ pub fn histogram(
     let edges = (0..=bins)
         .map(|i| lo + width * i as f64 / bins as f64)
         .collect();
-    Ok(Histogram { edges, counts, out_of_range })
+    Ok(Histogram {
+        edges,
+        counts,
+        out_of_range,
+    })
 }
 
 /// Pearson correlation between two non-axis attributes over the selected
@@ -258,7 +258,12 @@ mod tests {
     use pai_storage::{CsvFormat, DatasetSpec, MemFile};
 
     fn setup(rows: u64) -> (MemFile, DatasetSpec, ValinorIndex) {
-        let spec = DatasetSpec { rows, columns: 4, seed: 12, ..Default::default() };
+        let spec = DatasetSpec {
+            rows,
+            columns: 4,
+            seed: 12,
+            ..Default::default()
+        };
         let file = spec.build_mem(CsvFormat::default()).unwrap();
         let init = InitConfig {
             grid: GridSpec::Fixed { nx: 6, ny: 6 },
@@ -352,10 +357,13 @@ mod tests {
         let total: u64 = h.counts.iter().sum();
         assert_eq!(total, 1200);
         // Explicit narrow range: some values fall outside.
-        let narrow = histogram(&idx, &file, &window, 2, 4, Some(Interval::new(45.0, 55.0)))
-            .unwrap();
+        let narrow =
+            histogram(&idx, &file, &window, 2, 4, Some(Interval::new(45.0, 55.0))).unwrap();
         assert!(narrow.out_of_range > 0);
-        assert_eq!(narrow.counts.iter().sum::<u64>() + narrow.out_of_range, 1200);
+        assert_eq!(
+            narrow.counts.iter().sum::<u64>() + narrow.out_of_range,
+            1200
+        );
     }
 
     #[test]
@@ -383,9 +391,12 @@ mod tests {
                 vec![v * 10.0 % 1000.0, (v * 7.0) % 1000.0, v, 2.0 * v]
             })
             .collect();
-        let file =
-            MemFile::from_rows(pai_storage::Schema::synthetic(4), CsvFormat::default(), rows)
-                .unwrap();
+        let file = MemFile::from_rows(
+            pai_storage::Schema::synthetic(4),
+            CsvFormat::default(),
+            rows,
+        )
+        .unwrap();
         let init = InitConfig {
             grid: GridSpec::Fixed { nx: 3, ny: 3 },
             domain: Some(Rect::new(0.0, 1000.0, 0.0, 1000.0)),
@@ -396,10 +407,15 @@ mod tests {
         let r = pearson(&idx, &file, &window, 2, 3).unwrap().unwrap();
         assert!((r - 1.0).abs() < 1e-9, "perfect correlation, got {r}");
         // Constant attribute -> undefined.
-        let rows2: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 0.0, 5.0, i as f64]).collect();
-        let file2 =
-            MemFile::from_rows(pai_storage::Schema::synthetic(4), CsvFormat::default(), rows2)
-                .unwrap();
+        let rows2: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64, 0.0, 5.0, i as f64])
+            .collect();
+        let file2 = MemFile::from_rows(
+            pai_storage::Schema::synthetic(4),
+            CsvFormat::default(),
+            rows2,
+        )
+        .unwrap();
         let (idx2, _) = build(
             &file2,
             &InitConfig {

@@ -20,7 +20,10 @@ pub struct Filter {
 
 impl Filter {
     pub fn new(attr: AttrId, lo: f64, hi: f64) -> Self {
-        Filter { attr, range: Interval::from_unordered(lo, hi) }
+        Filter {
+            attr,
+            range: Interval::from_unordered(lo, hi),
+        }
     }
 
     #[inline]
@@ -40,7 +43,11 @@ pub struct WindowQuery {
 impl WindowQuery {
     /// A filter-free query.
     pub fn new(window: Rect, aggs: Vec<AggregateFunction>) -> Self {
-        WindowQuery { window, aggs, filters: Vec::new() }
+        WindowQuery {
+            window,
+            aggs,
+            filters: Vec::new(),
+        }
     }
 
     /// Adds a filter (builder style).
@@ -123,7 +130,10 @@ mod tests {
         assert!(q().validate(&schema, false).is_ok());
         let filtered = q().with_filter(Filter::new(3, 0.0, 1.0));
         assert!(filtered.validate(&schema, true).is_ok());
-        assert!(filtered.validate(&schema, false).is_err(), "AQP rejects filters");
+        assert!(
+            filtered.validate(&schema, false).is_err(),
+            "AQP rejects filters"
+        );
         let axis = WindowQuery::new(q().window, vec![AggregateFunction::Sum(0)]);
         assert!(axis.validate(&schema, true).is_err());
         let empty = WindowQuery::new(q().window, vec![]);

@@ -43,9 +43,7 @@ pub fn time_table(runs: &[MethodRun]) -> String {
         out.push_str(&format!("{:>5} ", i + 1));
         for r in runs {
             match r.records.get(i) {
-                Some(rec) => {
-                    out.push_str(&format!("{:>14.3} ", rec.elapsed.as_secs_f64() * 1e3))
-                }
+                Some(rec) => out.push_str(&format!("{:>14.3} ", rec.elapsed.as_secs_f64() * 1e3)),
                 None => out.push_str(&format!("{:>14} ", "-")),
             }
         }
@@ -181,7 +179,11 @@ pub fn summarize(exact: &MethodRun, approx: &MethodRun, focus_query: usize) -> C
     let total_a: f64 = at.iter().sum();
     ComparisonSummary {
         label: approx.label.clone(),
-        overall_speedup: if total_a > 0.0 { total_e / total_a } else { f64::INFINITY },
+        overall_speedup: if total_a > 0.0 {
+            total_e / total_a
+        } else {
+            f64::INFINITY
+        },
         speedup_at_focus,
         focus_query,
         phase_means_secs: thirds(&at),
@@ -241,7 +243,10 @@ mod tests {
 
     #[test]
     fn table_contains_all_methods() {
-        let runs = vec![fake_run("exact", &[10], &[1]), fake_run("phi=1%", &[3], &[1])];
+        let runs = vec![
+            fake_run("exact", &[10], &[1]),
+            fake_run("phi=1%", &[3], &[1]),
+        ];
         let t = time_table(&runs);
         assert!(t.contains("exact (ms)"));
         assert!(t.contains("phi=1% (ms)"));

@@ -173,7 +173,12 @@ mod tests {
     use pai_storage::{CsvFormat, DatasetSpec};
 
     fn setup() -> (pai_storage::MemFile, DatasetSpec, InitConfig, Workload) {
-        let spec = DatasetSpec { rows: 4000, columns: 4, seed: 99, ..Default::default() };
+        let spec = DatasetSpec {
+            rows: 4000,
+            columns: 4,
+            seed: 99,
+            ..Default::default()
+        };
         let file = spec.build_mem(CsvFormat::default()).unwrap();
         let init = InitConfig {
             grid: GridSpec::Fixed { nx: 6, ny: 6 },

@@ -81,7 +81,11 @@ impl<'f> ExplorationSession<'f> {
     /// result.
     pub fn evaluate(&mut self) -> Result<&ApproxResult> {
         let result = self.engine.evaluate(&self.window, &self.aggs, self.phi)?;
-        self.history.push(SessionStep { window: self.window, phi: self.phi, result });
+        self.history.push(SessionStep {
+            window: self.window,
+            phi: self.phi,
+            result,
+        });
         Ok(&self.history.last().expect("just pushed").result)
     }
 
@@ -90,7 +94,10 @@ impl<'f> ExplorationSession<'f> {
     pub fn pan(&mut self, frac_dx: f64, frac_dy: f64) -> Result<&ApproxResult> {
         self.window = self
             .window
-            .shifted(frac_dx * self.window.width(), frac_dy * self.window.height())
+            .shifted(
+                frac_dx * self.window.width(),
+                frac_dy * self.window.height(),
+            )
             .clamped_into(&self.domain);
         self.evaluate()
     }
@@ -145,7 +152,12 @@ mod tests {
 
     #[test]
     fn pan_zoom_jump_flow() {
-        let spec = DatasetSpec { rows: 3000, columns: 3, seed: 8, ..Default::default() };
+        let spec = DatasetSpec {
+            rows: 3000,
+            columns: 3,
+            seed: 8,
+            ..Default::default()
+        };
         let file = spec.build_mem(CsvFormat::default()).unwrap();
         let mut s = session(&file, &spec);
         s.evaluate().unwrap();
@@ -165,7 +177,12 @@ mod tests {
 
     #[test]
     fn phi_can_tighten_mid_session() {
-        let spec = DatasetSpec { rows: 2000, columns: 3, seed: 9, ..Default::default() };
+        let spec = DatasetSpec {
+            rows: 2000,
+            columns: 3,
+            seed: 9,
+            ..Default::default()
+        };
         let file = spec.build_mem(CsvFormat::default()).unwrap();
         let mut s = session(&file, &spec);
         s.evaluate().unwrap();
@@ -177,7 +194,12 @@ mod tests {
 
     #[test]
     fn window_clamps_to_domain() {
-        let spec = DatasetSpec { rows: 500, columns: 3, seed: 10, ..Default::default() };
+        let spec = DatasetSpec {
+            rows: 500,
+            columns: 3,
+            seed: 10,
+            ..Default::default()
+        };
         let file = spec.build_mem(CsvFormat::default()).unwrap();
         let mut s = session(&file, &spec);
         // Pan far beyond the domain edge repeatedly.

@@ -22,12 +22,7 @@ pub fn to_text(workload: &Workload) -> String {
     let mut out = String::new();
     out.push_str(&format!("# workload {}\n", workload.name));
     for q in &workload.queries {
-        let aggs = q
-            .aggs
-            .iter()
-            .map(agg_token)
-            .collect::<Vec<_>>()
-            .join(",");
+        let aggs = q.aggs.iter().map(agg_token).collect::<Vec<_>>().join(",");
         let filters = if q.filters.is_empty() {
             "-".to_string()
         } else {
@@ -182,11 +177,11 @@ mod tests {
     #[test]
     fn malformed_lines_error_with_line_number() {
         for bad in [
-            "query\t0\t1\t0\t1\tcount",       // missing filters field
-            "query\t0\tX\t0\t1\tcount\t-",    // bad number
-            "query\t0\t1\t0\t1\tfoo:2\t-",    // unknown aggregate
-            "query\t0\t1\t0\t1\tcount\t1:2",  // bad filter
-            "query\t0\t1\t0\t1\tsum\t-",      // sum without attr
+            "query\t0\t1\t0\t1\tcount",      // missing filters field
+            "query\t0\tX\t0\t1\tcount\t-",   // bad number
+            "query\t0\t1\t0\t1\tfoo:2\t-",   // unknown aggregate
+            "query\t0\t1\t0\t1\tcount\t1:2", // bad filter
+            "query\t0\t1\t0\t1\tsum\t-",     // sum without attr
         ] {
             let err = from_text(bad).unwrap_err();
             assert!(err.to_string().contains("line 1"), "{bad} -> {err}");

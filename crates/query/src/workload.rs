@@ -23,7 +23,10 @@ pub struct Workload {
 
 impl Workload {
     pub fn new(name: impl Into<String>, queries: Vec<WindowQuery>) -> Self {
-        Workload { name: name.into(), queries }
+        Workload {
+            name: name.into(),
+            queries,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -235,7 +238,13 @@ mod tests {
             0.01,
             aggs(),
         );
-        assert_eq!(wl.queries[0].window.center().x, wl.queries[2].window.center().x);
-        assert_ne!(wl.queries[0].window.center().x, wl.queries[1].window.center().x);
+        assert_eq!(
+            wl.queries[0].window.center().x,
+            wl.queries[2].window.center().x
+        );
+        assert_ne!(
+            wl.queries[0].window.center().x,
+            wl.queries[1].window.center().x
+        );
     }
 }

@@ -26,7 +26,11 @@ pub struct CsvFormat {
 
 impl Default for CsvFormat {
     fn default() -> Self {
-        CsvFormat { delimiter: b',', has_header: true, quote: b'"' }
+        CsvFormat {
+            delimiter: b',',
+            has_header: true,
+            quote: b'"',
+        }
     }
 }
 
@@ -34,7 +38,10 @@ impl CsvFormat {
     /// Headerless comma-separated, the format the synthetic generator can be
     /// asked to emit for minimal file size.
     pub fn headerless() -> Self {
-        CsvFormat { has_header: false, ..Self::default() }
+        CsvFormat {
+            has_header: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -171,7 +178,11 @@ impl<W: Write> CsvWriter<W> {
                 .collect();
             writeln!(out, "{}", names.join(&(fmt.delimiter as char).to_string()))?;
         }
-        Ok(CsvWriter { out, fmt, rows_written: 0 })
+        Ok(CsvWriter {
+            out,
+            fmt,
+            rows_written: 0,
+        })
     }
 
     /// Writes one all-numeric record.
@@ -194,10 +205,7 @@ impl<W: Write> CsvWriter<W> {
     /// Writes one record of pre-rendered string fields (text columns).
     pub fn write_string_row(&mut self, fields: &[&str]) -> Result<()> {
         let d = self.fmt.delimiter as char;
-        let rendered: Vec<String> = fields
-            .iter()
-            .map(|f| escape_field(f, &self.fmt))
-            .collect();
+        let rendered: Vec<String> = fields.iter().map(|f| escape_field(f, &self.fmt)).collect();
         writeln!(self.out, "{}", rendered.join(&d.to_string()))?;
         self.rows_written += 1;
         Ok(())
@@ -249,7 +257,10 @@ mod tests {
     #[test]
     fn split_quoted() {
         assert_eq!(fields(r#""hello, world",2"#), vec!["hello, world", "2"]);
-        assert_eq!(fields(r#"1,"say ""hi""",3"#), vec!["1", r#"say ""hi"""#, "3"]);
+        assert_eq!(
+            fields(r#"1,"say ""hi""",3"#),
+            vec!["1", r#"say ""hi"""#, "3"]
+        );
     }
 
     #[test]
@@ -327,11 +338,7 @@ mod tests {
             w.finish().unwrap();
         }
         let text = String::from_utf8(buf).unwrap();
-        let parsed: Vec<f64> = text
-            .trim()
-            .split(',')
-            .map(|f| f.parse().unwrap())
-            .collect();
+        let parsed: Vec<f64> = text.trim().split(',').map(|f| f.parse().unwrap()).collect();
         assert_eq!(parsed, vals, "shortest-repr floats must round-trip exactly");
     }
 

@@ -73,7 +73,11 @@ pub enum ValueModel {
 impl Default for ValueModel {
     fn default() -> Self {
         // Ratings-like values: mean 50, smooth spatial trend ±40, ±5 noise.
-        ValueModel::SmoothField { base: 50.0, amplitude: 40.0, noise: 5.0 }
+        ValueModel::SmoothField {
+            base: 50.0,
+            amplitude: 40.0,
+            noise: 5.0,
+        }
     }
 }
 
@@ -121,7 +125,10 @@ impl DatasetSpec {
 
     /// Clustered ("dense areas") variant of the default spec.
     pub fn clustered(rows: u64) -> Self {
-        DatasetSpec { rows, ..Default::default() }
+        DatasetSpec {
+            rows,
+            ..Default::default()
+        }
     }
 
     /// Schema matching this spec.
@@ -195,7 +202,11 @@ impl RowGenerator {
                 self.rng.gen_range(d.x_min..d.x_max),
                 self.rng.gen_range(d.y_min..d.y_max),
             ),
-            PointDistribution::GaussianClusters { sigma_frac, background, .. } => {
+            PointDistribution::GaussianClusters {
+                sigma_frac,
+                background,
+                ..
+            } => {
                 if self.centers.is_empty() || self.rng.gen::<f64>() < *background {
                     return Point2::new(
                         self.rng.gen_range(d.x_min..d.x_max),
@@ -255,10 +266,11 @@ impl Iterator for RowGenerator {
         row.push(p.y);
         for col in 2..self.spec.columns {
             let v = match self.spec.value_model {
-                ValueModel::SmoothField { base, amplitude, noise } => {
-                    base + amplitude * self.field(col, p)
-                        + self.rng.gen_range(-noise..=noise)
-                }
+                ValueModel::SmoothField {
+                    base,
+                    amplitude,
+                    noise,
+                } => base + amplitude * self.field(col, p) + self.rng.gen_range(-noise..=noise),
                 ValueModel::UniformNoise { lo, hi } => self.rng.gen_range(lo..hi),
             };
             row.push(v);
@@ -288,7 +300,11 @@ mod tests {
 
     #[test]
     fn generates_requested_shape() {
-        let spec = DatasetSpec { rows: 100, columns: 5, ..Default::default() };
+        let spec = DatasetSpec {
+            rows: 100,
+            columns: 5,
+            ..Default::default()
+        };
         let rows: Vec<_> = spec.rows_iter().collect();
         assert_eq!(rows.len(), 100);
         assert!(rows.iter().all(|r| r.len() == 5));
@@ -298,7 +314,11 @@ mod tests {
     fn points_stay_in_domain() {
         for dist in [
             PointDistribution::Uniform,
-            PointDistribution::GaussianClusters { clusters: 3, sigma_frac: 0.05, background: 0.2 },
+            PointDistribution::GaussianClusters {
+                clusters: 3,
+                sigma_frac: 0.05,
+                background: 0.2,
+            },
             PointDistribution::DiagonalBand { width_frac: 0.05 },
         ] {
             let spec = DatasetSpec {
@@ -318,7 +338,10 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let spec = DatasetSpec { rows: 50, ..Default::default() };
+        let spec = DatasetSpec {
+            rows: 50,
+            ..Default::default()
+        };
         let a: Vec<_> = spec.rows_iter().collect();
         let b: Vec<_> = spec.rows_iter().collect();
         assert_eq!(a, b);
@@ -331,7 +354,11 @@ mod tests {
     fn smooth_field_values_bounded() {
         let spec = DatasetSpec {
             rows: 500,
-            value_model: ValueModel::SmoothField { base: 50.0, amplitude: 40.0, noise: 5.0 },
+            value_model: ValueModel::SmoothField {
+                base: 50.0,
+                amplitude: 40.0,
+                noise: 5.0,
+            },
             ..Default::default()
         };
         for row in spec.rows_iter() {
@@ -388,7 +415,11 @@ mod tests {
 
     #[test]
     fn mem_build_matches_spec() {
-        let spec = DatasetSpec { rows: 20, columns: 4, ..Default::default() };
+        let spec = DatasetSpec {
+            rows: 20,
+            columns: 4,
+            ..Default::default()
+        };
         let mem = spec.build_mem(CsvFormat::default()).unwrap();
         let mut n = 0;
         mem.scan(&mut |_, _, rec| {
@@ -405,7 +436,11 @@ mod tests {
         let dir = std::env::temp_dir().join("pai_gen_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("gen.csv");
-        let spec = DatasetSpec { rows: 30, columns: 3, ..Default::default() };
+        let spec = DatasetSpec {
+            rows: 30,
+            columns: 3,
+            ..Default::default()
+        };
         let file = spec.write_csv(&path, CsvFormat::default()).unwrap();
         let expected: Vec<_> = spec.rows_iter().collect();
         let mut i = 0;

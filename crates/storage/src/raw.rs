@@ -35,12 +35,12 @@ pub struct Record<'a> {
 impl<'a> Record<'a> {
     /// Assembles a record view from pre-split parts (crate-internal; used by
     /// the chunked scanner).
-    pub(crate) fn from_parts(
-        line: &'a [u8],
-        ranges: &'a [(usize, usize)],
-        line_no: u64,
-    ) -> Self {
-        Record { line, ranges, line_no }
+    pub(crate) fn from_parts(line: &'a [u8], ranges: &'a [(usize, usize)], line_no: u64) -> Self {
+        Record {
+            line,
+            ranges,
+            line_no,
+        }
     }
 
     /// Number of fields in the record.
@@ -53,7 +53,10 @@ impl<'a> Record<'a> {
         let (a, b) = *self.ranges.get(col).ok_or_else(|| {
             PaiError::parse(
                 self.line_no,
-                format!("record has {} fields, wanted column {col}", self.ranges.len()),
+                format!(
+                    "record has {} fields, wanted column {col}",
+                    self.ranges.len()
+                ),
             )
         })?;
         csv::parse_f64_field(&self.line[a..b], self.line_no)
@@ -66,9 +69,10 @@ impl<'a> Record<'a> {
 
     /// Raw text of field `col` (quotes stripped, `""` escapes not undone).
     pub fn text(&self, col: usize) -> Result<&'a str> {
-        let (a, b) = *self.ranges.get(col).ok_or_else(|| {
-            PaiError::parse(self.line_no, format!("no column {col}"))
-        })?;
+        let (a, b) = *self
+            .ranges
+            .get(col)
+            .ok_or_else(|| PaiError::parse(self.line_no, format!("no column {col}")))?;
         std::str::from_utf8(&self.line[a..b])
             .map_err(|_| PaiError::parse(self.line_no, "field is not valid UTF-8"))
     }
@@ -148,7 +152,11 @@ fn scan_impl<R: BufRead>(
         let body = trim_newline(&line);
         if !body.is_empty() {
             csv::split_fields(body, fmt, &mut ranges);
-            let rec = Record { line: body, ranges: &ranges, line_no };
+            let rec = Record {
+                line: body,
+                ranges: &ranges,
+                line_no,
+            };
             handler(row, offset, &rec)?;
             row += 1;
         }
@@ -249,7 +257,10 @@ impl CsvFile {
     fn reader(&self) -> Result<BufReader<File>> {
         // 256 KiB buffer: positional reads of clustered offsets then mostly
         // stay inside the buffer and need no OS-level seeks.
-        Ok(BufReader::with_capacity(256 * 1024, File::open(&self.path)?))
+        Ok(BufReader::with_capacity(
+            256 * 1024,
+            File::open(&self.path)?,
+        ))
     }
 }
 

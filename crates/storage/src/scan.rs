@@ -64,7 +64,10 @@ pub fn chunk_ranges(path: &Path, fmt: &CsvFormat, n: usize) -> Result<Vec<ChunkR
     Ok(cuts
         .windows(2)
         .filter(|w| w[1] > w[0])
-        .map(|w| ChunkRange { start: w[0], end: w[1] })
+        .map(|w| ChunkRange {
+            start: w[0],
+            end: w[1],
+        })
         .collect())
 }
 
@@ -140,7 +143,10 @@ mod tests {
         for w in ranges.windows(2) {
             assert_eq!(w[0].end, w[1].start);
         }
-        assert_eq!(ranges.last().unwrap().end, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(
+            ranges.last().unwrap().end,
+            std::fs::metadata(&path).unwrap().len()
+        );
         std::fs::remove_file(&path).ok();
     }
 

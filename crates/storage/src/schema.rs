@@ -37,7 +37,10 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 
     pub fn float(name: impl Into<String>) -> Self {
@@ -97,7 +100,11 @@ impl Schema {
                 )));
             }
         }
-        Ok(Schema { columns, x_axis, y_axis })
+        Ok(Schema {
+            columns,
+            x_axis,
+            y_axis,
+        })
     }
 
     /// The paper's synthetic schema: `n_cols` float columns named

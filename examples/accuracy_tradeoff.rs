@@ -8,11 +8,16 @@
 //! cargo run --release --example accuracy_tradeoff
 //! ```
 
-use partial_adaptive_indexing::prelude::*;
 use pai_core::verify::verify_against_truth;
+use partial_adaptive_indexing::prelude::*;
 
 fn main() -> Result<()> {
-    let spec = DatasetSpec { rows: 60_000, columns: 4, seed: 99, ..Default::default() };
+    let spec = DatasetSpec {
+        rows: 60_000,
+        columns: 4,
+        seed: 99,
+        ..Default::default()
+    };
     let file = spec.build_mem(CsvFormat::default())?;
     let init = InitConfig {
         grid: GridSpec::Fixed { nx: 12, ny: 12 },
@@ -29,8 +34,7 @@ fn main() -> Result<()> {
     );
     for phi in [0.0, 0.001, 0.01, 0.05, 0.10, 0.25] {
         let (index, _) = build(&file, &init)?;
-        let mut engine =
-            ApproximateEngine::new(index, &file, EngineConfig::paper_evaluation())?;
+        let mut engine = ApproximateEngine::new(index, &file, EngineConfig::paper_evaluation())?;
         let mut total_time = 0.0f64;
         let mut total_objects = 0u64;
         let mut total_processed = 0usize;

@@ -13,11 +13,16 @@
 
 use std::sync::Arc;
 
-use partial_adaptive_indexing::prelude::*;
 use pai_core::SharedIndex;
+use partial_adaptive_indexing::prelude::*;
 
 fn main() -> Result<()> {
-    let spec = DatasetSpec { rows: 150_000, columns: 6, seed: 5, ..Default::default() };
+    let spec = DatasetSpec {
+        rows: 150_000,
+        columns: 6,
+        seed: 5,
+        ..Default::default()
+    };
     let file = spec.build_mem(CsvFormat::default())?;
     let init = InitConfig {
         grid: GridSpec::Fixed { nx: 12, ny: 12 },
@@ -57,8 +62,7 @@ fn main() -> Result<()> {
             s.spawn(move || {
                 for i in 0..10 {
                     let off = (view * 120 + i * 35) as f64 % 600.0;
-                    let w = Rect::new(off, off + 300.0, off, off + 300.0)
-                        .clamped_into(&domain);
+                    let w = Rect::new(off, off + 300.0, off, off + 300.0).clamped_into(&domain);
                     let res = reader
                         .estimate(&w, &[AggregateFunction::Mean(2)])
                         .expect("linked view estimate");

@@ -54,7 +54,10 @@ fn build_figure1_index(file: &MemFile) -> Result<ValinorIndex> {
     // cross the t4 cell at (15, 15) does exactly that under the
     // query-aligned split policy.
     let cfg = EngineConfig {
-        adapt: AdaptConfig { min_split_objects: 1, ..Default::default() },
+        adapt: AdaptConfig {
+            min_split_objects: 1,
+            ..Default::default()
+        },
         ..EngineConfig::paper_evaluation()
     };
     let mut engine = ApproximateEngine::new(index, file, cfg)?;
@@ -69,14 +72,20 @@ fn main() -> Result<()> {
     let q = Rect::new(5.0, 18.0, 5.0, 18.0);
     let aggs = [AggregateFunction::Mean(2)];
     let cfg = EngineConfig {
-        adapt: AdaptConfig { min_split_objects: 1, ..Default::default() },
+        adapt: AdaptConfig {
+            min_split_objects: 1,
+            ..Default::default()
+        },
         ..EngineConfig::paper_evaluation()
     };
 
     // ---------------------------------------------------------- (a) initial
     let index_a = build_figure1_index(&file)?;
     println!("(a) initial index — t4 pre-split into t4a..t4d");
-    println!("{}", pai_index::render::render_ascii(&index_a, Some(&q), 61, 31));
+    println!(
+        "{}",
+        pai_index::render::render_ascii(&index_a, Some(&q), 61, 31)
+    );
     let classification = index_a.classify(&q);
     println!(
         "classification of Q: {} fully contained, {} partial, {} empty skipped\n",
@@ -96,7 +105,10 @@ fn main() -> Result<()> {
         "(b) exact answering: mean = {}, read {} objects, split {} tiles",
         res_b.values[0], res_b.stats.io.objects_read, res_b.stats.tiles_split
     );
-    println!("{}", pai_index::render::render_ascii(exact.index(), Some(&q), 61, 31));
+    println!(
+        "{}",
+        pai_index::render::render_ascii(exact.index(), Some(&q), 61, 31)
+    );
     assert_eq!(
         res_b.stats.io.objects_read, 3,
         "the paper reads exactly three objects in the exact case"
@@ -115,7 +127,10 @@ fn main() -> Result<()> {
         res_c.stats.io.objects_read,
         res_c.stats.tiles_split
     );
-    println!("{}", pai_index::render::render_ascii(approx.index(), Some(&q), 61, 31));
+    println!(
+        "{}",
+        pai_index::render::render_ascii(approx.index(), Some(&q), 61, 31)
+    );
 
     assert!(res_c.met_constraint);
     assert_eq!(

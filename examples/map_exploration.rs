@@ -24,7 +24,11 @@ fn main() -> Result<()> {
             sigma_frac: 0.04,
             background: 0.25,
         },
-        value_model: ValueModel::SmoothField { base: 60.0, amplitude: 30.0, noise: 4.0 },
+        value_model: ValueModel::SmoothField {
+            base: 60.0,
+            amplitude: 30.0,
+            noise: 4.0,
+        },
         seed: 2024,
         ..Default::default()
     };
@@ -89,7 +93,11 @@ fn main() -> Result<()> {
     println!("\n-- 6x4 mean-rating heatmap of the viewport (no file reads) --");
     let before = file.counters().objects_read();
     let cells = analytics::heatmap(session.index(), session.window(), 6, 4, rating)?;
-    assert_eq!(file.counters().objects_read(), before, "heatmap is metadata-only");
+    assert_eq!(
+        file.counters().objects_read(),
+        before,
+        "heatmap is metadata-only"
+    );
     for row in cells.chunks(6).rev() {
         let line: Vec<String> = row
             .iter()
@@ -113,7 +121,10 @@ fn main() -> Result<()> {
     )
     .with_filter(Filter::new(2, 60.0, 100.0)); // only highly-rated hotels
     let vals = analytics::filtered_aggregate(idx, &file, &q)?;
-    println!("hotels rated 60+: {}  mean price among them: {}", vals[0], vals[1]);
+    println!(
+        "hotels rated 60+: {}  mean price among them: {}",
+        vals[0], vals[1]
+    );
     if let Some(r) = analytics::pearson(idx, &file, &window, 2, 3)? {
         println!("rating-price Pearson correlation: {r:.3}");
     }

@@ -12,13 +12,21 @@ fn main() -> Result<()> {
     // --- 1. A raw data file -------------------------------------------------
     // 100 K objects, 10 numeric columns (the paper's synthetic layout),
     // Gaussian clusters over a uniform background ("dense areas").
-    let spec = DatasetSpec { rows: 100_000, columns: 10, seed: 7, ..Default::default() };
+    let spec = DatasetSpec {
+        rows: 100_000,
+        columns: 10,
+        seed: 7,
+        ..Default::default()
+    };
     let dir = std::env::temp_dir().join("pai_quickstart");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("quickstart.csv");
     println!("generating {} rows into {} ...", spec.rows, path.display());
     let file = spec.write_csv(&path, CsvFormat::default())?;
-    println!("raw file size: {:.1} MiB", file.size_bytes() as f64 / (1024.0 * 1024.0));
+    println!(
+        "raw file size: {:.1} MiB",
+        file.size_bytes() as f64 / (1024.0 * 1024.0)
+    );
 
     // --- 2. Crude initial index (single scan) -------------------------------
     let init = InitConfig {
@@ -73,9 +81,11 @@ fn main() -> Result<()> {
     println!("exact : {t_exact:.4}s, {io_exact} objects read");
     println!("approx: {t_approx:.4}s, {io_approx} objects read");
     if t_approx > 0.0 {
-        println!("speedup: {:.2}x, I/O saved: {:.1}%",
+        println!(
+            "speedup: {:.2}x, I/O saved: {:.1}%",
             t_exact / t_approx,
-            100.0 * (1.0 - io_approx as f64 / io_exact.max(1) as f64));
+            100.0 * (1.0 - io_approx as f64 / io_exact.max(1) as f64)
+        );
     }
 
     std::fs::remove_file(&path).ok();
@@ -85,7 +95,11 @@ fn main() -> Result<()> {
 fn print_result(aggs: &[AggregateFunction], res: &ApproxResult) {
     for ((agg, value), ci) in aggs.iter().zip(&res.values).zip(&res.cis) {
         match ci {
-            Some(ci) => println!("  {agg} = {value}  (exact within [{:.4}, {:.4}])", ci.lo(), ci.hi()),
+            Some(ci) => println!(
+                "  {agg} = {value}  (exact within [{:.4}, {:.4}])",
+                ci.lo(),
+                ci.hi()
+            ),
             None => println!("  {agg} = {value}"),
         }
     }

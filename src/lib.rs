@@ -75,7 +75,7 @@ pub mod prelude {
         ValinorIndex,
     };
     pub use pai_query::{
-        analytics, report, trace, ExplorationSession, Filter, Method, Workload, WindowQuery,
+        analytics, report, trace, ExplorationSession, Filter, Method, WindowQuery, Workload,
     };
     pub use pai_storage::{
         CsvFile, CsvFormat, DatasetSpec, MemFile, PointDistribution, RawFile, Schema, ValueModel,

@@ -1,9 +1,9 @@
 //! End-to-end integration: raw file on disk → index → both engines →
 //! answers checked against full-scan ground truth.
 
-use partial_adaptive_indexing::prelude::*;
 use pai_core::verify::verify_against_truth;
 use pai_storage::ground_truth::window_truth;
+use partial_adaptive_indexing::prelude::*;
 
 fn temp_csv(name: &str, spec: &DatasetSpec) -> CsvFile {
     let dir = std::env::temp_dir().join("pai_integration");
@@ -22,7 +22,12 @@ fn init_cfg(spec: &DatasetSpec, n: usize) -> InitConfig {
 
 #[test]
 fn on_disk_exact_engine_matches_ground_truth() {
-    let spec = DatasetSpec { rows: 20_000, columns: 5, seed: 101, ..Default::default() };
+    let spec = DatasetSpec {
+        rows: 20_000,
+        columns: 5,
+        seed: 101,
+        ..Default::default()
+    };
     let file = temp_csv("e2e_exact.csv", &spec);
     let (index, report) = build(&file, &init_cfg(&spec, 8)).unwrap();
     assert_eq!(report.rows, 20_000);
@@ -48,7 +53,11 @@ fn on_disk_exact_engine_matches_ground_truth() {
             )
             .unwrap();
         let truth = window_truth(&file, w, &[2, 3, 4]).unwrap();
-        assert_eq!(res.values[0], AggregateValue::Count(truth[0].selected), "{w}");
+        assert_eq!(
+            res.values[0],
+            AggregateValue::Count(truth[0].selected),
+            "{w}"
+        );
         if truth[0].selected > 0 {
             let sum = res.values[1].as_f64().unwrap();
             assert!((sum - truth[0].stats.sum()).abs() < 1e-6 * (1.0 + sum.abs()));
@@ -63,7 +72,12 @@ fn on_disk_exact_engine_matches_ground_truth() {
 
 #[test]
 fn on_disk_approximate_engine_guarantees_hold() {
-    let spec = DatasetSpec { rows: 30_000, columns: 4, seed: 202, ..Default::default() };
+    let spec = DatasetSpec {
+        rows: 30_000,
+        columns: 4,
+        seed: 202,
+        ..Default::default()
+    };
     let file = temp_csv("e2e_approx.csv", &spec);
     let (index, _) = build(&file, &init_cfg(&spec, 10)).unwrap();
     let mut engine =
@@ -92,7 +106,12 @@ fn on_disk_approximate_engine_guarantees_hold() {
 
 #[test]
 fn parallel_and_serial_init_answer_identically() {
-    let spec = DatasetSpec { rows: 15_000, columns: 4, seed: 303, ..Default::default() };
+    let spec = DatasetSpec {
+        rows: 15_000,
+        columns: 4,
+        seed: 303,
+        ..Default::default()
+    };
     let file = temp_csv("e2e_parallel.csv", &spec);
     let cfg = init_cfg(&spec, 6);
     let (serial, _) = build(&file, &cfg).unwrap();
@@ -101,20 +120,27 @@ fn parallel_and_serial_init_answer_identically() {
     let window = Rect::new(200.0, 700.0, 150.0, 650.0);
     let aggs = [AggregateFunction::Sum(2), AggregateFunction::Count];
     let mut e1 = ApproximateEngine::new(serial, &file, EngineConfig::paper_evaluation()).unwrap();
-    let mut e2 =
-        ApproximateEngine::new(parallel, &file, EngineConfig::paper_evaluation()).unwrap();
+    let mut e2 = ApproximateEngine::new(parallel, &file, EngineConfig::paper_evaluation()).unwrap();
     let r1 = e1.evaluate(&window, &aggs, 0.05).unwrap();
     let r2 = e2.evaluate(&window, &aggs, 0.05).unwrap();
     // Same classification and metadata -> same counts; sums agree to
     // floating-point merge order.
     assert_eq!(r1.values[1], r2.values[1]);
-    let (s1, s2) = (r1.values[0].as_f64().unwrap(), r2.values[0].as_f64().unwrap());
+    let (s1, s2) = (
+        r1.values[0].as_f64().unwrap(),
+        r2.values[0].as_f64().unwrap(),
+    );
     assert!((s1 - s2).abs() < 1e-6 * (1.0 + s1.abs()));
 }
 
 #[test]
 fn approximate_engine_never_reads_more_than_exact() {
-    let spec = DatasetSpec { rows: 25_000, columns: 4, seed: 404, ..Default::default() };
+    let spec = DatasetSpec {
+        rows: 25_000,
+        columns: 4,
+        seed: 404,
+        ..Default::default()
+    };
     let file = temp_csv("e2e_io.csv", &spec);
     let aggs = vec![AggregateFunction::Mean(2)];
     let start = Workload::centered_window(&spec.domain, 0.02);
@@ -135,32 +161,51 @@ fn approximate_engine_never_reads_more_than_exact() {
     let exact_io = runs[0].total_objects_read();
     let io_1 = runs[1].total_objects_read();
     let io_5 = runs[2].total_objects_read();
-    assert!(io_1 <= exact_io, "1% should not out-read exact: {io_1} vs {exact_io}");
+    assert!(
+        io_1 <= exact_io,
+        "1% should not out-read exact: {io_1} vs {exact_io}"
+    );
     assert!(io_5 <= io_1, "5% should not out-read 1%: {io_5} vs {io_1}");
     assert!(io_5 < exact_io, "5% must save I/O on a fresh index");
 }
 
 #[test]
 fn headerless_and_custom_delimiter_files_work() {
-    let spec = DatasetSpec { rows: 2_000, columns: 3, seed: 505, ..Default::default() };
+    let spec = DatasetSpec {
+        rows: 2_000,
+        columns: 3,
+        seed: 505,
+        ..Default::default()
+    };
     let dir = std::env::temp_dir().join("pai_integration");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("e2e_headerless.csv");
-    let fmt = CsvFormat { delimiter: b';', has_header: false, quote: b'"' };
+    let fmt = CsvFormat {
+        delimiter: b';',
+        has_header: false,
+        quote: b'"',
+    };
     let file = spec.write_csv(&path, fmt).unwrap();
     let (index, report) = build(&file, &init_cfg(&spec, 4)).unwrap();
     assert_eq!(report.rows, 2_000);
     let mut engine =
         ApproximateEngine::new(index, &file, EngineConfig::paper_evaluation()).unwrap();
     let window = Rect::new(100.0, 900.0, 100.0, 900.0);
-    let res = engine.evaluate(&window, &[AggregateFunction::Sum(2)], 0.05).unwrap();
+    let res = engine
+        .evaluate(&window, &[AggregateFunction::Sum(2)], 0.05)
+        .unwrap();
     let truth = window_truth(&file, &window, &[2]).unwrap();
     assert!(res.cis[0].unwrap().contains(truth[0].stats.sum()));
 }
 
 #[test]
 fn discovered_domain_round_trip() {
-    let spec = DatasetSpec { rows: 5_000, columns: 3, seed: 606, ..Default::default() };
+    let spec = DatasetSpec {
+        rows: 5_000,
+        columns: 3,
+        seed: 606,
+        ..Default::default()
+    };
     let file = temp_csv("e2e_discover.csv", &spec);
     let cfg = InitConfig {
         grid: GridSpec::TargetObjectsPerTile(200),

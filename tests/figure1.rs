@@ -19,7 +19,10 @@ fn hotels() -> Vec<Vec<f64>> {
 
 fn engine_cfg() -> EngineConfig {
     EngineConfig {
-        adapt: AdaptConfig { min_split_objects: 1, ..Default::default() },
+        adapt: AdaptConfig {
+            min_split_objects: 1,
+            ..Default::default()
+        },
         ..EngineConfig::paper_evaluation()
     }
 }
@@ -34,12 +37,21 @@ fn prepared_index(file: &MemFile) -> ValinorIndex {
     // Pre-split t4 into quads (Figure 1(a) state).
     let mut engine = ApproximateEngine::new(index, file, engine_cfg()).unwrap();
     engine
-        .evaluate(&Rect::new(10.0, 15.0, 10.0, 15.0), &[AggregateFunction::Mean(2)], 0.0)
+        .evaluate(
+            &Rect::new(10.0, 15.0, 10.0, 15.0),
+            &[AggregateFunction::Mean(2)],
+            0.0,
+        )
         .unwrap();
     engine.into_index()
 }
 
-const Q: Rect = Rect { x_min: 5.0, x_max: 18.0, y_min: 5.0, y_max: 18.0 };
+const Q: Rect = Rect {
+    x_min: 5.0,
+    x_max: 18.0,
+    y_min: 5.0,
+    y_max: 18.0,
+};
 
 #[test]
 fn figure1_classification() {
@@ -49,7 +61,10 @@ fn figure1_classification() {
     assert_eq!(c.full.len(), 1, "t4a is fully contained with objects");
     assert_eq!(c.partial.len(), 2, "t1 and t3");
     assert_eq!(c.selected_total, 5, "1 (t1) + 2 (t3) + 2 (t4a)");
-    assert!(c.skipped_empty >= 3, "t2 and the empty t4 quads are skipped");
+    assert!(
+        c.skipped_empty >= 3,
+        "t2 and the empty t4 quads are skipped"
+    );
 }
 
 #[test]
@@ -74,10 +89,15 @@ fn figure1_partial_adaptation_processes_only_t3() {
     let index = prepared_index(&file);
     file.counters().reset();
     let mut approx = ApproximateEngine::new(index, &file, engine_cfg()).unwrap();
-    let res = approx.evaluate(&Q, &[AggregateFunction::Mean(2)], 0.05).unwrap();
+    let res = approx
+        .evaluate(&Q, &[AggregateFunction::Mean(2)], 0.05)
+        .unwrap();
 
     assert!(res.met_constraint);
-    assert_eq!(res.stats.tiles_processed, 1, "only t3 (larger score) processed");
+    assert_eq!(
+        res.stats.tiles_processed, 1,
+        "only t3 (larger score) processed"
+    );
     assert_eq!(res.stats.tiles_split, 1, "only t3 split");
     assert_eq!(res.stats.io.objects_read, 2, "t1's file access avoided");
 
@@ -99,8 +119,13 @@ fn figure1_initial_bound_too_wide_without_processing() {
     let index = prepared_index(&file);
     file.counters().reset();
     let mut approx = ApproximateEngine::new(index, &file, engine_cfg()).unwrap();
-    let res = approx.evaluate(&Q, &[AggregateFunction::Mean(2)], 0.5).unwrap();
+    let res = approx
+        .evaluate(&Q, &[AggregateFunction::Mean(2)], 0.5)
+        .unwrap();
     assert_eq!(res.stats.tiles_processed, 0);
-    assert_eq!(res.stats.io.objects_read, 0, "answered purely from metadata");
+    assert_eq!(
+        res.stats.io.objects_read, 0,
+        "answered purely from metadata"
+    );
     assert!(res.cis[0].unwrap().contains(48.6));
 }

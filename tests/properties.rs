@@ -7,9 +7,9 @@
 //!   4. index structural invariants survive arbitrary query sequences;
 //!   5. exact engine ≡ full-scan ground truth.
 
-use partial_adaptive_indexing::prelude::*;
 use pai_core::verify::verify_against_truth;
 use pai_storage::ground_truth::window_truth;
+use partial_adaptive_indexing::prelude::*;
 use proptest::prelude::*;
 
 /// A small clustered dataset; proptest shrinks over windows/phis, not data.
@@ -34,9 +34,8 @@ fn build_index(file: &MemFile, spec: &DatasetSpec, n: usize) -> ValinorIndex {
 }
 
 fn window_strategy() -> impl Strategy<Value = Rect> {
-    (0.0f64..900.0, 0.0f64..900.0, 10.0f64..600.0, 10.0f64..600.0).prop_map(
-        |(x0, y0, w, h)| Rect::new(x0, (x0 + w).min(1000.0), y0, (y0 + h).min(1000.0)),
-    )
+    (0.0f64..900.0, 0.0f64..900.0, 10.0f64..600.0, 10.0f64..600.0)
+        .prop_map(|(x0, y0, w, h)| Rect::new(x0, (x0 + w).min(1000.0), y0, (y0 + h).min(1000.0)))
 }
 
 proptest! {
@@ -169,7 +168,10 @@ fn read_policies_agree_on_answers() {
     for read in [ReadPolicy::WindowOnly, ReadPolicy::FullTile] {
         let index = build_index(&file, &spec, 5);
         let cfg = EngineConfig {
-            adapt: AdaptConfig { read, ..Default::default() },
+            adapt: AdaptConfig {
+                read,
+                ..Default::default()
+            },
             ..EngineConfig::paper_evaluation()
         };
         let mut engine = ApproximateEngine::new(index, &file, cfg).unwrap();

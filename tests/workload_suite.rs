@@ -2,12 +2,17 @@
 //! trace round-trips through the runner, and the report summary math over
 //! real runs.
 
-use partial_adaptive_indexing::prelude::*;
 use pai_query::report::{series_correlation, summarize, to_csv};
 use pai_query::{compare_methods, run_workload};
+use partial_adaptive_indexing::prelude::*;
 
 fn setup() -> (MemFile, DatasetSpec, InitConfig, Workload) {
-    let spec = DatasetSpec { rows: 12_000, columns: 4, seed: 33, ..Default::default() };
+    let spec = DatasetSpec {
+        rows: 12_000,
+        columns: 4,
+        seed: 33,
+        ..Default::default()
+    };
     let file = spec.build_mem(CsvFormat::default()).unwrap();
     let init = InitConfig {
         grid: GridSpec::Fixed { nx: 8, ny: 8 },
@@ -15,13 +20,8 @@ fn setup() -> (MemFile, DatasetSpec, InitConfig, Workload) {
         metadata: MetadataPolicy::AllNumeric,
     };
     let start = Workload::centered_window(&spec.domain, 0.02);
-    let wl = Workload::shifted_sequence(
-        &spec.domain,
-        start,
-        20,
-        vec![AggregateFunction::Mean(2)],
-        9,
-    );
+    let wl =
+        Workload::shifted_sequence(&spec.domain, start, 20, vec![AggregateFunction::Mean(2)], 9);
     (file, spec, init, wl)
 }
 
@@ -73,7 +73,10 @@ fn summary_and_csv_over_real_runs() {
     assert!(csv.starts_with("query,exact_time_ms,exact_objects,phi=5%_time_ms,phi=5%_objects"));
 
     let summary = summarize(&runs[0], &runs[1], 10);
-    assert!(summary.objects_ratio <= 1.0, "approx reads at most what exact reads");
+    assert!(
+        summary.objects_ratio <= 1.0,
+        "approx reads at most what exact reads"
+    );
     assert!(summary.overall_speedup > 0.0);
     assert_eq!(summary.focus_query, 10);
 
@@ -93,7 +96,13 @@ fn zoom_and_jump_workloads_complete_under_all_methods() {
     for wl in [
         Workload::zoom_sequence(&spec.domain, 8, 0.6, aggs.clone()),
         Workload::random_jumps(&spec.domain, 8, 0.01, aggs.clone(), 4),
-        Workload::dense_focus(&spec.domain, &[(250.0, 250.0), (750.0, 750.0)], 8, 0.01, aggs),
+        Workload::dense_focus(
+            &spec.domain,
+            &[(250.0, 250.0), (750.0, 750.0)],
+            8,
+            0.01,
+            aggs,
+        ),
     ] {
         let runs = compare_methods(
             &file,

@@ -1,0 +1,529 @@
+//! Offline stand-in for the subset of `proptest` this workspace's property
+//! tests use.
+//!
+//! The build environment has no crates.io access. This shim runs each
+//! property over `ProptestConfig::cases` deterministically-seeded random
+//! inputs (seed = FNV hash of the test name, so failures reproduce across
+//! runs) and panics on the first failing case. There is **no shrinking** —
+//! a failing case prints its inputs via the panic message only. Point the
+//! workspace dependency back at crates.io to get real shrinking.
+
+use rand::rngs::StdRng;
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Object-safe value generator (shim of `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// `&str` as a strategy, shim-style: supports the `.{m,n}` pattern form
+    /// (m..=n arbitrary non-newline chars) and plain literals without regex
+    /// metacharacters. Anything fancier needs the real proptest.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            if let Some(rest) = self.strip_prefix(".{") {
+                if let Some(body) = rest.strip_suffix('}') {
+                    if let Some((m, n)) = body.split_once(',') {
+                        if let (Ok(m), Ok(n)) = (m.trim().parse(), n.trim().parse()) {
+                            return random_text(rng, m, n);
+                        }
+                    }
+                }
+            }
+            assert!(
+                !self.contains(['\\', '[', '(', '{', '*', '+', '?', '|', '$', '^']),
+                "proptest shim: unsupported regex pattern {self:?} (only `.{{m,n}}` and literals)"
+            );
+            self.to_string()
+        }
+    }
+
+    fn random_text(rng: &mut StdRng, min_len: usize, max_len: usize) -> String {
+        let len = rng.gen_range(min_len..=max_len);
+        (0..len)
+            .map(|_| {
+                // ASCII-heavy (including delimiters/quotes, the interesting
+                // CSV cases) with some multi-byte chars mixed in.
+                match rng.gen_range(0..10usize) {
+                    0..=6 => char::from(rng.gen_range(0x20u8..0x7F)),
+                    7 => ['"', ',', ';', '\t', '\\'][rng.gen_range(0..5usize)],
+                    _ => loop {
+                        if let Some(c) = char::from_u32(rng.gen_range(0x80u32..0x2FFF)) {
+                            break c;
+                        }
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut StdRng) -> f32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u64, u32, i64, i32);
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for RangeInclusive<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut StdRng) -> f32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let ix = rng.gen_range(0..self.options.len());
+            self.options[ix].generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Shim of `proptest::arbitrary::Arbitrary` for primitives: the full
+    /// value range of the type.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut StdRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut StdRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut StdRng) -> Self {
+            loop {
+                if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x10FFFF)) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    /// `proptest::prelude::any::<T>()`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+}
+
+pub mod num {
+    /// Shim of `proptest::num::f64`: bitmask-of-float-classes strategies
+    /// combinable with `|`, generating values of the selected classes.
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::BitOr;
+
+        #[derive(Debug, Clone, Copy)]
+        pub struct FloatClasses(u8);
+
+        pub const NORMAL: FloatClasses = FloatClasses(1);
+        pub const ZERO: FloatClasses = FloatClasses(2);
+        pub const SUBNORMAL: FloatClasses = FloatClasses(4);
+
+        impl BitOr for FloatClasses {
+            type Output = FloatClasses;
+            fn bitor(self, rhs: Self) -> Self {
+                FloatClasses(self.0 | rhs.0)
+            }
+        }
+
+        impl Strategy for FloatClasses {
+            type Value = f64;
+            fn generate(&self, rng: &mut StdRng) -> f64 {
+                let classes: Vec<u8> = [1u8, 2, 4]
+                    .into_iter()
+                    .filter(|c| self.0 & c != 0)
+                    .collect();
+                assert!(!classes.is_empty(), "empty float class mask");
+                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                match classes[rng.gen_range(0..classes.len())] {
+                    1 => {
+                        // Normal: random exponent across the full normal
+                        // range, random mantissa.
+                        let exp = rng.gen_range(1u64..2047);
+                        let mantissa = rng.gen::<u64>() & ((1u64 << 52) - 1);
+                        let bits = (exp << 52) | mantissa;
+                        let v = f64::from_bits(bits);
+                        if v.is_finite() {
+                            sign * v
+                        } else {
+                            sign * 1.5
+                        }
+                    }
+                    2 => sign * 0.0,
+                    _ => {
+                        let mantissa = rng.gen::<u64>() & ((1u64 << 52) - 1);
+                        sign * f64::from_bits(mantissa.max(1))
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: a Vec with length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Shim of `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic per-test RNG: FNV-1a over the test name, overridable with
+/// `PROPTEST_SEED` for reproducing a CI failure locally.
+pub fn rng_for_test(name: &str) -> StdRng {
+    use rand::SeedableRng;
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(v) => v.parse().unwrap_or(0),
+        Err(_) => {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        }
+    };
+    StdRng::seed_from_u64(seed)
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop` (module of re-exports).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strategy) as Box<dyn $crate::strategy::Strategy<Value = _>>,)+
+        ])
+    };
+}
+
+/// The shim `proptest!` block: each `#[test]` fn becomes a loop over
+/// `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::rng_for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                let run = || -> () { $body };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest shim: case {}/{} of `{}` failed (seed fixed per test name; \
+                         set PROPTEST_SEED to override)",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = crate::rng_for_test("strategies_generate_in_bounds");
+        let s = (0.0f64..10.0, 5usize..9).prop_map(|(x, n)| (x * 2.0, n));
+        for _ in 0..200 {
+            let (x, n) = s.generate(&mut rng);
+            assert!((0.0..20.0).contains(&x));
+            assert!((5..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn oneof_and_flat_map_cover_options() {
+        let mut rng = crate::rng_for_test("oneof");
+        let s = prop_oneof![Just(0.0), 0.5f64..1.0];
+        let mut saw_zero = false;
+        let mut saw_range = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            if v == 0.0 {
+                saw_zero = true;
+            } else {
+                assert!((0.5..1.0).contains(&v));
+                saw_range = true;
+            }
+        }
+        assert!(saw_zero && saw_range);
+
+        let fm = (1.0f64..2.0).prop_flat_map(|hi| (Just(hi), 0.0f64..hi));
+        for _ in 0..100 {
+            let (hi, lo) = fm.generate(&mut rng);
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn collection_vec_respects_len() {
+        let mut rng = crate::rng_for_test("vec");
+        let s = collection::vec(0usize..3, 1..8);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn proptest_macro_runs(x in 0.0f64..1.0, n in 1usize..4) {
+            prop_assert!(x < 1.0);
+            prop_assert_eq!(n.min(3), n);
+        }
+    }
+}
