@@ -8,7 +8,7 @@ use pai_query::{run_workload, Method};
 
 fn bench_alpha(c: &mut Criterion) {
     let setup = small_setup(60_000);
-    let file = pai_bench::cached_csv(&setup.spec);
+    let file = pai_bench::cached_file(&setup.spec);
     let mut group = c.benchmark_group("alpha_sweep");
     group.sample_size(10);
     for alpha in [0.0, 0.5, 1.0] {

@@ -40,7 +40,7 @@ fn bench_density(c: &mut Criterion) {
             distribution: dist,
             ..default_spec(60_000, 42)
         };
-        let file = pai_bench::cached_csv(&spec);
+        let file = pai_bench::cached_file(&spec);
         let init = InitConfig {
             grid: GridSpec::Fixed { nx: 8, ny: 8 },
             domain: Some(spec.domain),

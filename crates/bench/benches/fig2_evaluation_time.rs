@@ -11,7 +11,7 @@ use pai_query::{run_workload, Method};
 
 fn bench_fig2(c: &mut Criterion) {
     let setup = small_setup(60_000);
-    let file = pai_bench::cached_csv(&setup.spec);
+    let file = pai_bench::cached_file(&setup.spec);
     let mut group = c.benchmark_group("fig2_sequence");
     group.sample_size(10);
     for (name, method) in [

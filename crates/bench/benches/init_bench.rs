@@ -9,7 +9,7 @@ use pai_index::MetadataPolicy;
 
 fn bench_init(c: &mut Criterion) {
     let spec = default_spec(120_000, 42);
-    let file = pai_bench::cached_csv(&spec);
+    let file = pai_bench::cached_file(&spec);
 
     let mut group = c.benchmark_group("init");
     group.sample_size(10);

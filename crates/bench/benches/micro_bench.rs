@@ -16,7 +16,7 @@ use pai_index::init::build;
 
 fn bench_micro(c: &mut Criterion) {
     let setup = small_setup(60_000);
-    let file = pai_bench::cached_csv(&setup.spec);
+    let file = pai_bench::cached_file(&setup.spec);
     let (index, _) = build(&file, &setup.init).expect("init");
     let window = Rect::new(300.0, 500.0, 300.0, 500.0);
 

@@ -7,7 +7,7 @@ use pai_query::{run_workload, Method};
 
 fn bench_policies(c: &mut Criterion) {
     let setup = small_setup(60_000);
-    let file = pai_bench::cached_csv(&setup.spec);
+    let file = pai_bench::cached_file(&setup.spec);
     let mut group = c.benchmark_group("selection_policy");
     group.sample_size(10);
     for (name, policy) in [

@@ -11,7 +11,7 @@ fn bench_scale(c: &mut Criterion) {
     group.sample_size(10);
     for rows in [30_000u64, 60_000, 120_000] {
         let setup = small_setup(rows);
-        let file = pai_bench::cached_csv(&setup.spec);
+        let file = pai_bench::cached_file(&setup.spec);
         group.throughput(Throughput::Elements(rows));
         group.bench_function(BenchmarkId::from_parameter(rows), |b| {
             b.iter(|| {

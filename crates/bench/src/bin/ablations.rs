@@ -7,7 +7,7 @@
 //! cargo run -p pai-bench --release --bin ablations
 //! ```
 
-use pai_bench::{cached_csv, default_spec};
+use pai_bench::{cached_file, default_spec};
 use pai_common::AggregateFunction;
 use pai_core::{EngineConfig, SelectionPolicy};
 use pai_index::init::{GridSpec, InitConfig};
@@ -39,7 +39,7 @@ fn init_for(spec: &DatasetSpec) -> InitConfig {
 
 fn run_line(
     label: &str,
-    file: &pai_storage::CsvFile,
+    file: &dyn pai_storage::RawFile,
     init: &InitConfig,
     cfg: &EngineConfig,
     wl: &Workload,
@@ -59,7 +59,7 @@ fn main() {
     let rows = env_u64("PAI_BENCH_ROWS", 100_000);
     let queries = env_u64("PAI_BENCH_QUERIES", 30) as usize;
     let spec = default_spec(rows, 42);
-    let file = cached_csv(&spec);
+    let file = cached_file(&spec);
     let init = init_for(&spec);
     let wl = standard_workload(&spec, queries);
     let phi = Method::Approx { phi: 0.05 };
@@ -169,7 +169,7 @@ fn main() {
             distribution: dist,
             ..default_spec(rows, 42)
         };
-        let file_d = cached_csv(&spec_d);
+        let file_d = cached_file(&spec_d);
         let wl_d = standard_workload(&spec_d, queries);
         run_line(
             name,
@@ -209,7 +209,7 @@ fn main() {
             seed: 43,
             ..default_spec(rows, 43)
         };
-        let file_v = cached_csv(&spec_v);
+        let file_v = cached_file(&spec_v);
         let wl_v = standard_workload(&spec_v, queries);
         run_line(
             name,

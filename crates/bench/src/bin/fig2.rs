@@ -13,7 +13,7 @@
 //! the paper quotes in §4 (speedups at query 20, overall speedups, the
 //! time-vs-objects correlation, early/late phase behaviour).
 
-use pai_bench::{cached_csv, fig2_setup};
+use pai_bench::{cached_file, fig2_setup};
 use pai_query::report::{ascii_chart, series_correlation, summarize, to_csv};
 use pai_query::{compare_methods, Method};
 use pai_storage::RawFile;
@@ -27,10 +27,10 @@ fn main() {
         setup.workload.len(),
         setup.window_fraction * 100.0,
     );
-    let file = cached_csv(&setup.spec);
+    let file = cached_file(&setup.spec);
     println!(
-        "dataset: {} ({:.1} MiB)\n",
-        file.path().display(),
+        "dataset: backend={} ({:.1} MiB)\n",
+        pai_bench::backend(),
         file.size_bytes() as f64 / (1024.0 * 1024.0)
     );
 

@@ -9,7 +9,10 @@
 //! * `PAI_BENCH_ROWS`    — dataset rows (default 200 000; the paper used
 //!   ~10⁸ rows / 11 GB — see DESIGN.md on scaling);
 //! * `PAI_BENCH_QUERIES` — queries in the Figure 2 sequence (default 50);
-//! * `PAI_BENCH_SEED`    — RNG seed for data + workload (default 42).
+//! * `PAI_BENCH_SEED`    — RNG seed for data + workload (default 42);
+//! * `PAI_BENCH_BACKEND` — storage backend every bench runs against:
+//!   `csv` (default) or `bin` (the binary columnar format). Benches obtain
+//!   their dataset through [`cached_file`], so one knob flips them all.
 
 use std::path::PathBuf;
 
@@ -19,7 +22,10 @@ use pai_core::EngineConfig;
 use pai_index::init::{GridSpec, InitConfig};
 use pai_index::MetadataPolicy;
 use pai_query::Workload;
-use pai_storage::{CsvFile, CsvFormat, DatasetSpec, PointDistribution, RawFile, ValueModel};
+use pai_storage::{
+    BinFile, CsvFile, CsvFormat, DatasetSpec, PointDistribution, RawFile, StorageBackend,
+    ValueModel,
+};
 
 /// Everything a Figure 2 style run needs.
 #[derive(Debug, Clone)]
@@ -104,10 +110,18 @@ pub fn cache_dir() -> PathBuf {
     dir
 }
 
-/// Writes (or reuses) the CSV for `spec` and opens it. Cache key covers the
-/// generation parameters; a stale/partial file is regenerated when its size
-/// is implausible for the row count.
-pub fn cached_csv(spec: &DatasetSpec) -> CsvFile {
+/// Storage backend the benches run against, from `PAI_BENCH_BACKEND`
+/// (default CSV; malformed values fall back to the default).
+pub fn backend() -> StorageBackend {
+    std::env::var("PAI_BENCH_BACKEND")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_default()
+}
+
+/// Cache file name for `spec` under `backend` (extension encodes the
+/// backend, so both representations of one dataset can coexist).
+fn cache_key(spec: &DatasetSpec, backend: StorageBackend) -> String {
     let dist_tag = match spec.distribution {
         PointDistribution::Uniform => "uni".to_string(),
         PointDistribution::GaussianClusters {
@@ -129,11 +143,21 @@ pub fn cached_csv(spec: &DatasetSpec) -> CsvFile {
         }
         ValueModel::UniformNoise { lo, hi } => format!("un{}_{}", lo as i64, hi as i64),
     };
-    let key = format!(
-        "pai_{}r_{}c_{}s_{dist_tag}_{vm_tag}.csv",
+    let ext = match backend {
+        StorageBackend::Csv => "csv",
+        StorageBackend::Bin => "paibin",
+    };
+    format!(
+        "pai_{}r_{}c_{}s_{dist_tag}_{vm_tag}.{ext}",
         spec.rows, spec.columns, spec.seed
-    );
-    let path = cache_dir().join(key);
+    )
+}
+
+/// Writes (or reuses) the CSV for `spec` and opens it. Cache key covers the
+/// generation parameters; a stale/partial file is regenerated when its size
+/// is implausible for the row count.
+pub fn cached_csv(spec: &DatasetSpec) -> CsvFile {
+    let path = cache_dir().join(cache_key(spec, StorageBackend::Csv));
     if path.exists() {
         if let Ok(file) = CsvFile::open(&path, spec.schema(), CsvFormat::default()) {
             // Quick sanity: plausibly complete (more bytes than rows).
@@ -144,6 +168,31 @@ pub fn cached_csv(spec: &DatasetSpec) -> CsvFile {
     }
     spec.write_csv(&path, CsvFormat::default())
         .expect("write bench dataset")
+}
+
+/// Writes (or reuses) the binary columnar file for `spec` and opens it.
+/// Opening validates header and exact size, so a stale/partial file is
+/// simply regenerated.
+pub fn cached_bin(spec: &DatasetSpec) -> BinFile {
+    let path = cache_dir().join(cache_key(spec, StorageBackend::Bin));
+    if path.exists() {
+        if let Ok(file) = BinFile::open(&path) {
+            if file.n_rows() == spec.rows {
+                return file;
+            }
+        }
+    }
+    spec.write_bin(&path).expect("write bench dataset")
+}
+
+/// The dataset for `spec` behind whichever backend `PAI_BENCH_BACKEND`
+/// selects. Every bench target goes through this, so the whole suite can be
+/// re-run against the binary backend with one environment variable.
+pub fn cached_file(spec: &DatasetSpec) -> Box<dyn RawFile> {
+    match backend() {
+        StorageBackend::Csv => Box::new(cached_csv(spec)),
+        StorageBackend::Bin => Box::new(cached_bin(spec)),
+    }
 }
 
 /// A smaller setup for criterion micro/mid benches (fast iterations).
@@ -202,6 +251,58 @@ mod tests {
         std::env::set_var("PAI_BENCH_ROWS", "not-a-number");
         assert_eq!(env_u64("PAI_BENCH_ROWS", 200_000), 200_000);
         std::env::remove_var("PAI_BENCH_ROWS");
+    }
+
+    #[test]
+    fn backend_knob_selects_storage_backend() {
+        // Same contract as the numeric knobs: unset → default, valid value
+        // → honored, malformed → default (never a panic mid-bench).
+        std::env::remove_var("PAI_BENCH_BACKEND");
+        assert_eq!(backend(), pai_storage::StorageBackend::Csv);
+        std::env::set_var("PAI_BENCH_BACKEND", "bin");
+        assert_eq!(backend(), pai_storage::StorageBackend::Bin);
+        let spec = default_spec(300, 11);
+        let file = cached_file(&spec);
+        assert_eq!(file.schema().len(), spec.columns);
+        let mut rows = 0;
+        file.scan(&mut |_, _, _| {
+            rows += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, 300, "bin-backed cached_file serves the dataset");
+        std::env::set_var("PAI_BENCH_BACKEND", "duckdb");
+        assert_eq!(backend(), pai_storage::StorageBackend::Csv);
+        std::env::remove_var("PAI_BENCH_BACKEND");
+    }
+
+    #[test]
+    fn csv_and_bin_caches_coexist_with_equal_content() {
+        let spec = default_spec(400, 23);
+        let csv = cached_csv(&spec);
+        let bin = cached_bin(&spec);
+        assert_eq!(bin.n_rows(), 400);
+        assert!(
+            bin.size_bytes() < csv.size_bytes() * 2,
+            "sanity: both caches materialized"
+        );
+        // Same rows in the same order under both representations.
+        let collect = |f: &dyn RawFile| {
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            let wanted: Vec<usize> = (0..spec.columns).collect();
+            f.scan(&mut |_, _, rec| {
+                let mut vals = Vec::new();
+                rec.extract_f64(&wanted, &mut vals)?;
+                rows.push(vals);
+                Ok(())
+            })
+            .unwrap();
+            rows
+        };
+        assert_eq!(collect(&csv), collect(&bin));
+        // Second call hits the cache (open validates, no rewrite).
+        let again = cached_bin(&spec);
+        assert_eq!(again.size_bytes(), bin.size_bytes());
     }
 
     #[test]

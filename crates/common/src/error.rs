@@ -22,7 +22,7 @@ pub enum PaiError {
     /// A query referenced something the engine cannot satisfy
     /// (e.g. an AQP query with non-axis filters).
     UnsupportedQuery(String),
-    /// Invalid configuration (α outside [0,1], φ ≤ 0, degenerate grid, ...).
+    /// Invalid configuration (α outside \[0,1\], φ ≤ 0, degenerate grid, ...).
     Config(String),
     /// Internal invariant violation; indicates a bug, not user error.
     Internal(String),

@@ -38,3 +38,35 @@ pub type AttrId = usize;
 
 /// Zero-based row number of an object inside the raw data file.
 pub type RowId = u64;
+
+/// Backend-defined position of one record inside a raw data file.
+///
+/// The index stores one locator per object and hands batches of them back to
+/// the storage layer to materialize attribute values. What the inner `u64`
+/// means is private to the backend that issued it: the CSV backend hands out
+/// byte offsets, the binary columnar backend hands out row ids. Consumers
+/// must treat locators as opaque tickets — only the file that produced a
+/// locator can redeem it.
+#[repr(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RowLocator(u64);
+
+impl RowLocator {
+    /// Wraps a backend-defined raw position.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        RowLocator(raw)
+    }
+
+    /// The backend-defined raw position (byte offset, row id, ...).
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for RowLocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}

@@ -43,6 +43,10 @@ pub struct ProgressStep {
     pub estimate: Option<f64>,
     /// Cumulative objects read from the file for this query.
     pub objects_read: u64,
+    /// Cumulative bytes read from the file for this query — the metric that
+    /// separates storage backends (a binary columnar read fetches a few
+    /// values where CSV re-reads a whole text record).
+    pub bytes_read: u64,
 }
 
 /// Result of one approximate evaluation.
@@ -111,6 +115,7 @@ impl EvalCtx<'_> {
                 error_bound: bound,
                 estimate: estimates.first().and_then(|e| e.value.as_f64()),
                 objects_read: 0,
+                bytes_read: 0,
             });
         }
         loop {
@@ -147,11 +152,13 @@ impl EvalCtx<'_> {
             step += 1;
             (estimates, bound) = assess(self.config, aggs, &state);
             if let Some(t) = trace.as_deref_mut() {
+                let io = self.file.counters().snapshot().since(&io0);
                 t.push(ProgressStep {
                     tiles_processed: step,
                     error_bound: bound,
                     estimate: estimates.first().and_then(|e| e.value.as_f64()),
-                    objects_read: self.file.counters().snapshot().since(&io0).objects_read,
+                    objects_read: io.objects_read,
+                    bytes_read: io.bytes_read,
                 });
             }
         }
@@ -856,8 +863,13 @@ mod tests {
         for w in trace.windows(2) {
             assert!(w[1].error_bound <= w[0].error_bound + 1e-12);
             assert!(w[1].objects_read >= w[0].objects_read);
+            assert!(w[1].bytes_read >= w[0].bytes_read);
             assert_eq!(w[1].tiles_processed, w[0].tiles_processed + 1);
         }
+        // The final step's meters match the result's I/O accounting.
+        let last = trace.last().unwrap();
+        assert_eq!(last.objects_read, res.stats.io.objects_read);
+        assert_eq!(last.bytes_read, res.stats.io.bytes_read);
         assert_eq!(trace.last().unwrap().error_bound, res.error_bound);
         // Every intermediate estimate is within its own (wider) bound of
         // the final answer — the progressive rendering never lies.
@@ -874,6 +886,54 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn binary_backend_matches_csv_with_less_io() {
+        let spec = DatasetSpec {
+            rows: 3000,
+            columns: 4,
+            seed: 7,
+            ..Default::default()
+        };
+        let csv = spec.build_mem(CsvFormat::default()).unwrap();
+        let bin = spec.build_bin_mem().unwrap();
+        let init = InitConfig {
+            grid: GridSpec::Fixed { nx: 6, ny: 6 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let window = Rect::new(150.0, 650.0, 200.0, 700.0);
+        let aggs = [AggregateFunction::Sum(2), AggregateFunction::Mean(3)];
+
+        let (ci, _) = build(&csv, &init).unwrap();
+        let mut ce = ApproximateEngine::new(ci, &csv, EngineConfig::paper_evaluation()).unwrap();
+        let rc = ce.evaluate(&window, &aggs, 0.05).unwrap();
+
+        let (bi, _) = build(&bin, &init).unwrap();
+        let mut be = ApproximateEngine::new(bi, &bin, EngineConfig::paper_evaluation()).unwrap();
+        let rb = be.evaluate(&window, &aggs, 0.05).unwrap();
+
+        // Same scan order, same values, same adaptation loop: identical
+        // approximate answers and trajectory on either backend.
+        for (c, b) in rc.values.iter().zip(&rb.values) {
+            assert_eq!(c.as_f64(), b.as_f64());
+        }
+        assert_eq!(rc.error_bound, rb.error_bound);
+        assert_eq!(rc.stats.tiles_processed, rb.stats.tiles_processed);
+        assert_eq!(rc.stats.tiles_split, rb.stats.tiles_split);
+        assert_eq!(rc.stats.io.objects_read, rb.stats.io.objects_read);
+        // The binary backend fetches values, not whole text records.
+        assert!(rb.stats.io.objects_read > 0, "workload must adapt");
+        assert!(
+            rb.stats.io.bytes_read < rc.stats.io.bytes_read,
+            "binary adaptation reads must be cheaper: {} vs {}",
+            rb.stats.io.bytes_read,
+            rc.stats.io.bytes_read
+        );
+        // The CI really contains the truth on the binary path too.
+        let truth = window_truth(&bin, &window, &[2]).unwrap();
+        assert!(rb.cis[0].unwrap().contains(truth[0].stats.sum()));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use pai_common::geometry::Rect;
-use pai_common::{AttrId, PaiError, Result, RunningStats};
+use pai_common::{AttrId, PaiError, Result, RowLocator, RunningStats};
 use pai_storage::raw::RawFile;
 
 use crate::config::{AdaptConfig, ReadPolicy};
@@ -68,24 +68,25 @@ pub fn process_tile(
     let selected = in_window.iter().filter(|&&b| b).count() as u64;
 
     // Which objects to read from the file.
-    let offsets: Vec<u64> = match cfg.read {
+    let locators: Vec<RowLocator> = match cfg.read {
         ReadPolicy::WindowOnly => entries
             .iter()
             .zip(&in_window)
             .filter(|&(_, &sel)| sel)
-            .map(|(e, _)| e.offset)
+            .map(|(e, _)| e.locator)
             .collect(),
-        ReadPolicy::FullTile => entries.iter().map(|e| e.offset).collect(),
+        ReadPolicy::FullTile => entries.iter().map(|e| e.locator).collect(),
     };
     // A query over no attributes (e.g. COUNT-only) answers from the
     // in-index axis values alone: splitting and selection need no file
     // access, so charge no I/O.
     let values = if read_attrs.is_empty() {
-        vec![Vec::new(); offsets.len()]
+        vec![Vec::new(); locators.len()]
     } else {
-        file.read_rows(&offsets, &read_attrs)?
+        file.read_rows(&locators, &read_attrs)?
     };
-    let value_of: HashMap<u64, &Vec<f64>> = offsets.iter().copied().zip(values.iter()).collect();
+    let value_of: HashMap<RowLocator, &Vec<f64>> =
+        locators.iter().copied().zip(values.iter()).collect();
 
     // Exact in-window statistics for the query's attributes.
     let mut stats = vec![RunningStats::new(); attrs.len()];
@@ -103,7 +104,7 @@ pub fn process_tile(
             continue;
         }
         let vals = value_of
-            .get(&e.offset)
+            .get(&e.locator)
             .ok_or_else(|| PaiError::internal("selected entry missing from read batch"))?;
         for (s, &pos) in stats.iter_mut().zip(&attr_pos) {
             s.push(vals[pos]);
@@ -140,14 +141,14 @@ pub fn process_tile(
             }
             let all_read = child_entries
                 .iter()
-                .all(|e| value_of.contains_key(&e.offset));
+                .all(|e| value_of.contains_key(&e.locator));
             if !all_read {
                 continue;
             }
             let mut per_attr: Vec<Vec<f64>> =
                 vec![Vec::with_capacity(child_entries.len()); read_attrs.len()];
             for e in child_entries {
-                let vals = value_of[&e.offset];
+                let vals = value_of[&e.locator];
                 for (bucket, &v) in per_attr.iter_mut().zip(vals.iter()) {
                     bucket.push(v);
                 }
@@ -159,12 +160,12 @@ pub fn process_tile(
                     .set(*attr, AttrMeta::exact_from_values(&per_attr[i]));
             }
         }
-    } else if offsets.len() == entries.len() && !entries.is_empty() {
+    } else if locators.len() == entries.len() && !entries.is_empty() {
         // No split, but the whole tile was read (FullTile policy, or a
         // window that happens to select every object): enrich in place.
         let mut per_attr: Vec<Vec<f64>> = vec![Vec::with_capacity(entries.len()); read_attrs.len()];
         for e in &entries {
-            let vals = value_of[&e.offset];
+            let vals = value_of[&e.locator];
             for (bucket, &v) in per_attr.iter_mut().zip(vals.iter()) {
                 bucket.push(v);
             }
@@ -183,7 +184,7 @@ pub fn process_tile(
         objects_read: if read_attrs.is_empty() {
             0
         } else {
-            offsets.len() as u64
+            locators.len() as u64
         },
         did_split,
         new_leaves,
@@ -215,9 +216,9 @@ pub fn enrich_tile(
     if missing.is_empty() || tile.entries().is_empty() {
         return Ok(0);
     }
-    let offsets: Vec<u64> = tile.entries().iter().map(|e| e.offset).collect();
-    let values = file.read_rows(&offsets, &missing)?;
-    let mut per_attr: Vec<Vec<f64>> = vec![Vec::with_capacity(offsets.len()); missing.len()];
+    let locators: Vec<RowLocator> = tile.entries().iter().map(|e| e.locator).collect();
+    let values = file.read_rows(&locators, &missing)?;
+    let mut per_attr: Vec<Vec<f64>> = vec![Vec::with_capacity(locators.len()); missing.len()];
     for vals in &values {
         for (bucket, &v) in per_attr.iter_mut().zip(vals.iter()) {
             bucket.push(v);
@@ -229,7 +230,7 @@ pub fn enrich_tile(
             .meta
             .set(*attr, AttrMeta::exact_from_values(&per_attr[i]));
     }
-    Ok(offsets.len() as u64)
+    Ok(locators.len() as u64)
 }
 
 /// Test/diagnostic helper: entry counts per leaf under a rectangle.

@@ -2,24 +2,28 @@
 //!
 //! An entry is deliberately tiny (24 bytes): the two axis values, which let
 //! the index answer *where* questions (window containment, selected counts)
-//! without touching the file, and the byte offset of the record, which is
-//! the ticket for fetching non-axis values when a query really needs them.
+//! without touching the file, and the backend-issued [`RowLocator`] of the
+//! record, which is the ticket for fetching non-axis values when a query
+//! really needs them. What the locator encodes (byte offset, row id, ...) is
+//! the storage backend's business — the index only stores and returns it.
 
 use pai_common::geometry::{Point2, Rect};
+use pai_common::RowLocator;
 
-/// One indexed object: axis values + position of its record in the raw file.
+/// One indexed object: axis values + locator of its record in the raw file.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ObjectEntry {
     pub x: f64,
     pub y: f64,
-    /// Byte offset of the first byte of this object's record in the file.
-    pub offset: u64,
+    /// Opaque position of this object's record, as issued by the raw file's
+    /// scan; redeemable only at the file that produced it.
+    pub locator: RowLocator,
 }
 
 impl ObjectEntry {
     #[inline]
-    pub fn new(x: f64, y: f64, offset: u64) -> Self {
-        ObjectEntry { x, y, offset }
+    pub fn new(x: f64, y: f64, locator: RowLocator) -> Self {
+        ObjectEntry { x, y, locator }
     }
 
     #[inline]
@@ -46,12 +50,13 @@ mod tests {
 
     #[test]
     fn window_membership() {
-        let e = ObjectEntry::new(1.0, 2.0, 99);
+        let e = ObjectEntry::new(1.0, 2.0, RowLocator::new(99));
         assert!(e.in_window(&Rect::new(0.0, 2.0, 0.0, 3.0)));
         assert!(
             !e.in_window(&Rect::new(0.0, 1.0, 0.0, 3.0)),
             "x on open edge"
         );
         assert_eq!(e.point(), Point2::new(1.0, 2.0));
+        assert_eq!(e.locator, RowLocator::new(99));
     }
 }

@@ -447,12 +447,13 @@ impl ValinorIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pai_common::RowLocator;
 
     fn small_index() -> ValinorIndex {
         // 3x3 grid over [0,30)^2 — the Figure 1 layout.
         let mut idx =
             ValinorIndex::new(Schema::synthetic(3), Rect::new(0.0, 30.0, 0.0, 30.0), 3, 3).unwrap();
-        // A few objects: (x, y, offset).
+        // A few objects: (x, y, locator).
         for (i, (x, y)) in [
             (5.0, 5.0),
             (15.0, 5.0),
@@ -463,7 +464,7 @@ mod tests {
         .iter()
         .enumerate()
         {
-            idx.insert_entry(ObjectEntry::new(*x, *y, i as u64 * 10));
+            idx.insert_entry(ObjectEntry::new(*x, *y, RowLocator::new(i as u64 * 10)));
         }
         idx
     }

@@ -2,22 +2,23 @@
 //!
 //! The initial index is a uniform grid over the axis domain. One sequential
 //! scan of the raw file fills it: every record contributes an
-//! [`ObjectEntry`] (axis values + byte offset), and — per the configured
+//! [`ObjectEntry`] (axis values + row locator), and — per the configured
 //! [`MetadataPolicy`] — exact per-tile aggregate stats for the chosen
 //! non-axis columns, plus global per-column bounds (the fallback envelope
 //! for confidence intervals).
 //!
-//! For on-disk files the scan can run on several threads
-//! ([`build_parallel`]): the file is chunked at record boundaries
-//! (`pai-storage::scan`), each worker bins its chunk into per-cell batches,
-//! and the batches merge associatively.
+//! The scan can run on several threads ([`build_parallel`]) over any
+//! backend that shards its sequential pass: workers scan the partitions the
+//! backend hands out via [`RawFile::partitions`], bin their records into
+//! per-cell batches, and the batches merge associatively. CSV files shard
+//! at record boundaries, binary columnar files at row ranges; backends that
+//! cannot shard degrade gracefully to a serial scan.
 
 use std::time::{Duration, Instant};
 
 use pai_common::geometry::{Point2, Rect};
 use pai_common::{PaiError, Result, RunningStats};
-use pai_storage::raw::{CsvFile, RawFile};
-use pai_storage::scan::{chunk_ranges, scan_range};
+use pai_storage::raw::RawFile;
 
 use crate::config::MetadataPolicy;
 use crate::entry::ObjectEntry;
@@ -180,7 +181,7 @@ pub fn build(file: &dyn RawFile, config: &InitConfig) -> Result<(ValinorIndex, I
     let mut accs: Vec<CellAcc> = (0..n_cells).map(|_| CellAcc::new(attrs.len())).collect();
     let mut vals = Vec::with_capacity(attrs.len());
     let mut rows = 0u64;
-    file.scan(&mut |_, offset, rec| {
+    file.scan(&mut |_, locator, rec| {
         let x = rec.f64(xi)?;
         let y = rec.f64(yi)?;
         let p = Point2::new(x, y);
@@ -191,7 +192,7 @@ pub fn build(file: &dyn RawFile, config: &InitConfig) -> Result<(ValinorIndex, I
         }
         rec.extract_f64(&attrs, &mut vals)?;
         let cell = index.root_cell_of(p);
-        accs[cell].push(ObjectEntry::new(x, y, offset), &vals);
+        accs[cell].push(ObjectEntry::new(x, y, locator), &vals);
         rows += 1;
         Ok(())
     })?;
@@ -211,9 +212,11 @@ pub fn build(file: &dyn RawFile, config: &InitConfig) -> Result<(ValinorIndex, I
 /// Builds the initial index scanning the file with `threads` workers.
 ///
 /// Functionally identical to [`build`] (same index modulo entry order inside
-/// each tile); the domain must be known or discoverable first.
+/// each tile); the domain must be known or discoverable first. Works over
+/// any backend: the file decides how (and whether) its scan shards via
+/// [`RawFile::partitions`].
 pub fn build_parallel(
-    file: &CsvFile,
+    file: &dyn RawFile,
     config: &InitConfig,
     threads: usize,
 ) -> Result<(ValinorIndex, InitReport)> {
@@ -238,45 +241,39 @@ pub fn build_parallel(
     let (nx, ny) = resolve_grid(config.grid, row_hint)?;
     let mut index = ValinorIndex::new(schema.clone(), domain, nx, ny)?;
 
-    let ranges = chunk_ranges(file.path(), file.format(), threads)?;
+    let parts = file.partitions(threads)?;
     let (xi, yi) = (schema.x_axis(), schema.y_axis());
     let n_cells = index.root_cells();
 
-    // Workers bin their chunk into per-cell accumulators; the shared &index
-    // is only used for the (immutable) cell mapping.
+    // Workers bin their partition into per-cell accumulators; the shared
+    // &index is only used for the (immutable) cell mapping.
     let index_ref = &index;
     let attrs_ref = &attrs;
     let results: Vec<Result<(Vec<CellAcc>, u64)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
+        let handles: Vec<_> = parts
             .iter()
-            .map(|&range| {
+            .map(|&part| {
                 scope.spawn(move || -> Result<(Vec<CellAcc>, u64)> {
                     let mut accs: Vec<CellAcc> = (0..n_cells)
                         .map(|_| CellAcc::new(attrs_ref.len()))
                         .collect();
                     let mut vals = Vec::with_capacity(attrs_ref.len());
                     let mut rows = 0u64;
-                    scan_range(
-                        file.path(),
-                        file.format(),
-                        range,
-                        file.counters(),
-                        &mut |_, offset, rec| {
-                            let x = rec.f64(xi)?;
-                            let y = rec.f64(yi)?;
-                            let p = Point2::new(x, y);
-                            if !domain.contains_point_closed(p) {
-                                return Err(PaiError::schema(format!(
-                                    "object at {p:?} outside domain {domain}"
-                                )));
-                            }
-                            rec.extract_f64(attrs_ref, &mut vals)?;
-                            let cell = index_ref.root_cell_of(p);
-                            accs[cell].push(ObjectEntry::new(x, y, offset), &vals);
-                            rows += 1;
-                            Ok(())
-                        },
-                    )?;
+                    file.scan_partition(part, &mut |_, locator, rec| {
+                        let x = rec.f64(xi)?;
+                        let y = rec.f64(yi)?;
+                        let p = Point2::new(x, y);
+                        if !domain.contains_point_closed(p) {
+                            return Err(PaiError::schema(format!(
+                                "object at {p:?} outside domain {domain}"
+                            )));
+                        }
+                        rec.extract_f64(attrs_ref, &mut vals)?;
+                        let cell = index_ref.root_cell_of(p);
+                        accs[cell].push(ObjectEntry::new(x, y, locator), &vals);
+                        rows += 1;
+                        Ok(())
+                    })?;
                     Ok((accs, rows))
                 })
             })
@@ -504,6 +501,37 @@ mod tests {
         }
         assert_eq!(serial.global_bounds(2), parallel.global_bounds(2));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_on_bin_backend() {
+        let spec = DatasetSpec {
+            rows: 5000,
+            columns: 4,
+            seed: 7,
+            ..Default::default()
+        };
+        let file = spec.build_bin_mem().unwrap();
+        let cfg = InitConfig {
+            grid: GridSpec::Fixed { nx: 8, ny: 8 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let (serial, r1) = build(&file, &cfg).unwrap();
+        let (parallel, r2) = build_parallel(&file, &cfg, 4).unwrap();
+        assert_eq!(r1.rows, r2.rows);
+        assert_eq!(serial.total_objects(), parallel.total_objects());
+        assert_eq!(serial.leaf_count(), parallel.leaf_count());
+        parallel.validate_invariants().unwrap();
+        for cell in 0..serial.root_cells() {
+            let (a, b) = (serial.root_tile(cell), parallel.root_tile(cell));
+            assert_eq!(
+                serial.tile(a).object_count(),
+                parallel.tile(b).object_count(),
+                "cell {cell}"
+            );
+        }
+        assert_eq!(serial.global_bounds(2), parallel.global_bounds(2));
     }
 
     #[test]

@@ -106,12 +106,13 @@ impl SplitPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pai_common::RowLocator;
 
     fn entries(points: &[(f64, f64)]) -> Vec<ObjectEntry> {
         points
             .iter()
             .enumerate()
-            .map(|(i, &(x, y))| ObjectEntry::new(x, y, i as u64))
+            .map(|(i, &(x, y))| ObjectEntry::new(x, y, RowLocator::new(i as u64)))
             .collect()
     }
 

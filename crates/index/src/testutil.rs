@@ -6,6 +6,7 @@
 //! repeating boilerplate. Not intended for production use.
 
 use pai_common::geometry::Rect;
+use pai_common::RowLocator;
 use pai_storage::{CsvFormat, MemFile, Schema};
 
 use crate::entry::ObjectEntry;
@@ -20,7 +21,7 @@ pub struct TestIndexSpec {
     pub domain: Rect,
     /// Root grid `(nx, ny)`.
     pub grid: (usize, usize),
-    /// `(x, y, value)` triples; the byte offset of object `i` is the offset
+    /// `(x, y, value)` triples; the locator of object `i` is the locator
     /// of row `i` in the file produced by [`test_file`].
     pub objects: Vec<(f64, f64, f64)>,
     /// Install exact per-tile metadata for `col2` (and global bounds).
@@ -30,7 +31,7 @@ pub struct TestIndexSpec {
 }
 
 /// The in-memory raw file matching a [`TestIndexSpec`] (headerless CSV so
-/// offsets are easy to reason about).
+/// locators are easy to reason about).
 pub fn test_file(spec: &TestIndexSpec) -> MemFile {
     let rows = spec
         .objects
@@ -41,29 +42,29 @@ pub fn test_file(spec: &TestIndexSpec) -> MemFile {
         .expect("test rows render")
 }
 
-/// Byte offsets of each row in [`test_file`]'s output.
-fn row_offsets(file: &MemFile) -> Vec<u64> {
+/// Locators of each row in [`test_file`]'s output.
+fn row_locators(file: &MemFile) -> Vec<RowLocator> {
     use pai_storage::RawFile;
-    let mut offs = Vec::new();
-    file.scan(&mut |_, off, _| {
-        offs.push(off);
+    let mut locs = Vec::new();
+    file.scan(&mut |_, loc, _| {
+        locs.push(loc);
         Ok(())
     })
     .expect("scan test file");
     // Scanning counts I/O; a test fixture should start with clean meters.
     file.counters().reset();
-    offs
+    locs
 }
 
-/// Builds the index described by `spec`, with offsets consistent with
+/// Builds the index described by `spec`, with locators consistent with
 /// [`test_file`].
 pub fn build_test_index(spec: &TestIndexSpec) -> ValinorIndex {
     let file = test_file(spec);
-    let offsets = row_offsets(&file);
+    let locators = row_locators(&file);
     let mut index = ValinorIndex::new(Schema::synthetic(3), spec.domain, spec.grid.0, spec.grid.1)
         .expect("valid test index spec");
     for (i, &(x, y, _)) in spec.objects.iter().enumerate() {
-        index.insert_entry(ObjectEntry::new(x, y, offsets[i]));
+        index.insert_entry(ObjectEntry::new(x, y, locators[i]));
     }
     for &(_, _, v) in &spec.objects {
         index.fold_global_bound(2, v);
@@ -118,10 +119,10 @@ mod tests {
     fn builds_consistent_index() {
         let (index, file) = build_test_index_with_file(&spec());
         assert_eq!(index.total_objects(), 3);
-        // Offsets line up: reading the entry of (1,1) yields value 5.
+        // Locators line up: reading the entry of (1,1) yields value 5.
         let t = index.leaf_for_point(Point2::new(1.0, 1.0)).unwrap();
-        let off = index.tile(t).entries()[0].offset;
-        let vals = file.read_rows(&[off], &[2]).unwrap();
+        let loc = index.tile(t).entries()[0].locator;
+        let vals = file.read_rows(&[loc], &[2]).unwrap();
         assert_eq!(vals[0][0], 5.0);
         // Metadata installed.
         assert!(index.tile(t).meta.has_exact(2));

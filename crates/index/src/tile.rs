@@ -8,6 +8,7 @@
 //! adaptation steps of a single query.
 
 use pai_common::geometry::Rect;
+use pai_common::RowLocator;
 
 use crate::entry::ObjectEntry;
 use crate::metadata::TileMetadata;
@@ -89,12 +90,12 @@ impl Tile {
             .count() as u64
     }
 
-    /// File offsets of the entries selected by `window`.
-    pub fn selected_offsets(&self, window: &Rect) -> Vec<u64> {
+    /// Raw-file locators of the entries selected by `window`.
+    pub fn selected_locators(&self, window: &Rect) -> Vec<RowLocator> {
         self.entries()
             .iter()
             .filter(|e| e.in_window(window))
-            .map(|e| e.offset)
+            .map(|e| e.locator)
             .collect()
     }
 }
@@ -107,7 +108,7 @@ mod tests {
         let mut t = Tile::leaf(Rect::new(0.0, 10.0, 0.0, 10.0), 3, 0);
         if let TileState::Leaf { entries } = &mut t.state {
             for (i, &(x, y)) in points.iter().enumerate() {
-                entries.push(ObjectEntry::new(x, y, i as u64 * 100));
+                entries.push(ObjectEntry::new(x, y, RowLocator::new(i as u64 * 100)));
             }
         }
         t
@@ -122,11 +123,14 @@ mod tests {
     }
 
     #[test]
-    fn selected_count_and_offsets() {
+    fn selected_count_and_locators() {
         let t = leaf_with_points(&[(1.0, 1.0), (5.0, 5.0), (9.0, 9.0)]);
         let w = Rect::new(0.0, 6.0, 0.0, 6.0);
         assert_eq!(t.selected_count(&w), 2);
-        assert_eq!(t.selected_offsets(&w), vec![0, 100]);
+        assert_eq!(
+            t.selected_locators(&w),
+            vec![RowLocator::new(0), RowLocator::new(100)]
+        );
         assert_eq!(t.selected_count(&Rect::new(20.0, 30.0, 20.0, 30.0)), 0);
     }
 

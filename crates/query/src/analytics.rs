@@ -13,7 +13,7 @@
 
 use pai_common::geometry::Rect;
 use pai_common::{
-    AggregateFunction, AggregateValue, AttrId, Interval, PaiError, Result, RunningStats,
+    AggregateFunction, AggregateValue, AttrId, Interval, PaiError, Result, RowLocator, RunningStats,
 };
 use pai_core::ci::estimate_aggregate;
 use pai_core::config::ValueEstimator;
@@ -71,18 +71,19 @@ pub fn heatmap(
     Ok(cells)
 }
 
-/// File offsets of every object inside `window`, gathered via the index.
-fn selected_offsets(index: &ValinorIndex, window: &Rect) -> Vec<u64> {
-    let mut offsets = Vec::new();
+/// Raw-file locators of every object inside `window`, gathered via the
+/// index.
+fn selected_locators(index: &ValinorIndex, window: &Rect) -> Vec<RowLocator> {
+    let mut locators = Vec::new();
     for id in index.leaves_overlapping(window) {
         let tile = index.tile(id);
         if window.contains_rect(&tile.rect) {
-            offsets.extend(tile.entries().iter().map(|e| e.offset));
+            locators.extend(tile.entries().iter().map(|e| e.locator));
         } else {
-            offsets.extend(tile.selected_offsets(window));
+            locators.extend(tile.selected_locators(window));
         }
     }
-    offsets
+    locators
 }
 
 /// Exact evaluation of a (possibly filtered) window query by reading the
@@ -95,8 +96,8 @@ pub fn filtered_aggregate(
 ) -> Result<Vec<AggregateValue>> {
     query.validate(index.schema(), true)?;
     let attrs = query.attrs();
-    let offsets = selected_offsets(index, &query.window);
-    let values = file.read_rows(&offsets, &attrs)?;
+    let locators = selected_locators(index, &query.window);
+    let values = file.read_rows(&locators, &attrs)?;
 
     let filter_pos: Vec<(usize, crate::query::Filter)> = query
         .filters
@@ -150,8 +151,8 @@ pub fn histogram(
         return Err(PaiError::config("histogram needs at least one bin"));
     }
     index.schema().require_numeric(attr)?;
-    let offsets = selected_offsets(index, window);
-    let rows = file.read_rows(&offsets, &[attr])?;
+    let locators = selected_locators(index, window);
+    let rows = file.read_rows(&locators, &[attr])?;
     let vals: Vec<f64> = rows.iter().map(|r| r[0]).filter(|v| !v.is_nan()).collect();
 
     let range = match range {
@@ -199,8 +200,8 @@ pub fn pearson(
 ) -> Result<Option<f64>> {
     index.schema().require_numeric(attr_a)?;
     index.schema().require_numeric(attr_b)?;
-    let offsets = selected_offsets(index, window);
-    let rows = file.read_rows(&offsets, &[attr_a, attr_b])?;
+    let locators = selected_locators(index, window);
+    let rows = file.read_rows(&locators, &[attr_a, attr_b])?;
 
     let mut n = 0u64;
     let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
@@ -238,8 +239,8 @@ pub fn summary(
     attr: AttrId,
 ) -> Result<RunningStats> {
     index.schema().require_numeric(attr)?;
-    let offsets = selected_offsets(index, window);
-    let rows = file.read_rows(&offsets, &[attr])?;
+    let locators = selected_locators(index, window);
+    let rows = file.read_rows(&locators, &[attr])?;
     let mut s = RunningStats::new();
     for r in &rows {
         s.push(r[0]);

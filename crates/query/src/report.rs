@@ -4,12 +4,16 @@
 
 use crate::runner::MethodRun;
 
-/// Per-query CSV with one time and objects column per method; loadable into
-/// any plotting tool to re-draw Figure 2.
+/// Per-query CSV with one time, objects, and bytes column per method;
+/// loadable into any plotting tool to re-draw Figure 2 (times/objects) or to
+/// compare storage backends (bytes).
 pub fn to_csv(runs: &[MethodRun]) -> String {
     let mut header = String::from("query");
     for r in runs {
-        header.push_str(&format!(",{}_time_ms,{}_objects", r.label, r.label));
+        header.push_str(&format!(
+            ",{}_time_ms,{}_objects,{}_bytes",
+            r.label, r.label, r.label
+        ));
     }
     let n = runs.iter().map(|r| r.records.len()).max().unwrap_or(0);
     let mut out = header;
@@ -19,11 +23,12 @@ pub fn to_csv(runs: &[MethodRun]) -> String {
         for r in runs {
             match r.records.get(i) {
                 Some(rec) => out.push_str(&format!(
-                    ",{:.3},{}",
+                    ",{:.3},{},{}",
                     rec.elapsed.as_secs_f64() * 1e3,
-                    rec.objects_read
+                    rec.objects_read,
+                    rec.bytes_read
                 )),
-                None => out.push_str(",,"),
+                None => out.push_str(",,,"),
             }
         }
         out.push('\n');
@@ -106,6 +111,9 @@ pub struct ComparisonSummary {
     pub phase_means_secs: [f64; 3],
     /// Ratio of total objects read vs. the exact run.
     pub objects_ratio: f64,
+    /// Ratio of total bytes read vs. the exact run (the meter that moves
+    /// when the same workload runs against a different storage backend).
+    pub bytes_ratio: f64,
 }
 
 /// Pearson correlation between two equal-length series (used to check the
@@ -189,6 +197,7 @@ pub fn summarize(exact: &MethodRun, approx: &MethodRun, focus_query: usize) -> C
         phase_means_secs: thirds(&at),
         objects_ratio: approx.total_objects_read() as f64
             / exact.total_objects_read().max(1) as f64,
+        bytes_ratio: approx.total_bytes_read() as f64 / exact.total_bytes_read().max(1) as f64,
     }
 }
 
@@ -199,16 +208,21 @@ mod tests {
     use pai_common::AggregateValue;
     use std::time::Duration;
 
-    fn fake_run(label: &str, times_ms: &[u64], objects: &[u64]) -> MethodRun {
+    /// Synthetic run for the pure-math helpers (charts, correlation,
+    /// summaries). Byte counts are explicit inputs, never derived from
+    /// object counts — real runs carry real meter values (see
+    /// `csv_embeds_real_meter_bytes`).
+    fn fake_run(label: &str, times_ms: &[u64], objects: &[u64], bytes: &[u64]) -> MethodRun {
         let records = times_ms
             .iter()
             .zip(objects)
+            .zip(bytes)
             .enumerate()
-            .map(|(i, (&t, &o))| QueryRecord {
+            .map(|(i, ((&t, &o), &b))| QueryRecord {
                 query_index: i,
                 elapsed: Duration::from_millis(t),
                 objects_read: o,
-                bytes_read: o * 50,
+                bytes_read: b,
                 selected: 100,
                 tiles_partial: 4,
                 tiles_processed: 2,
@@ -228,24 +242,75 @@ mod tests {
     #[test]
     fn csv_shape() {
         let runs = vec![
-            fake_run("exact", &[10, 20], &[100, 200]),
-            fake_run("phi=5%", &[5, 5], &[50, 40]),
+            fake_run("exact", &[10, 20], &[100, 200], &[4096, 8192]),
+            fake_run("phi=5%", &[5, 5], &[50, 40], &[2048, 1600]),
         ];
         let csv = to_csv(&runs);
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "query,exact_time_ms,exact_objects,phi=5%_time_ms,phi=5%_objects"
+            "query,exact_time_ms,exact_objects,exact_bytes,phi=5%_time_ms,phi=5%_objects,phi=5%_bytes"
         );
-        assert_eq!(lines.next().unwrap(), "1,10.000,100,5.000,50");
+        assert_eq!(lines.next().unwrap(), "1,10.000,100,4096,5.000,50,2048");
         assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_embeds_real_meter_bytes() {
+        use pai_core::EngineConfig;
+        use pai_index::init::{GridSpec, InitConfig};
+        use pai_index::MetadataPolicy;
+        use pai_storage::{CsvFormat, DatasetSpec, RawFile};
+
+        // A real mini-run: the bytes column must mirror the file's meters,
+        // not any objects-derived placeholder.
+        let spec = DatasetSpec {
+            rows: 2500,
+            columns: 4,
+            seed: 19,
+            ..Default::default()
+        };
+        let file = spec.build_mem(CsvFormat::default()).unwrap();
+        let init = InitConfig {
+            grid: GridSpec::Fixed { nx: 5, ny: 5 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let wl = crate::Workload::shifted_sequence(
+            &spec.domain,
+            crate::Workload::centered_window(&spec.domain, 0.05),
+            6,
+            vec![pai_common::AggregateFunction::Mean(2)],
+            3,
+        );
+        file.counters().reset();
+        let run = crate::runner::run_workload(
+            &file,
+            &init,
+            &EngineConfig::paper_evaluation(),
+            &wl,
+            Method::Approx { phi: 0.05 },
+        )
+        .unwrap();
+        let metered = file.counters().bytes_read() - file.size_bytes(); // minus init scan
+        assert_eq!(run.total_bytes_read(), metered);
+        assert!(metered > 0);
+        let csv = to_csv(std::slice::from_ref(&run));
+        assert!(csv.lines().next().unwrap().ends_with("phi=5%_bytes"));
+        for (i, rec) in run.records.iter().enumerate() {
+            let line = csv.lines().nth(i + 1).unwrap();
+            assert!(
+                line.ends_with(&format!(",{}", rec.bytes_read)),
+                "row {i} must end with the metered byte count: {line}"
+            );
+        }
     }
 
     #[test]
     fn table_contains_all_methods() {
         let runs = vec![
-            fake_run("exact", &[10], &[1]),
-            fake_run("phi=1%", &[3], &[1]),
+            fake_run("exact", &[10], &[1], &[64]),
+            fake_run("phi=1%", &[3], &[1], &[64]),
         ];
         let t = time_table(&runs);
         assert!(t.contains("exact (ms)"));
@@ -280,12 +345,13 @@ mod tests {
     #[test]
     fn summary_speedups() {
         // Exact run: 10 ms/query; approx: 2 ms/query -> overall speedup 5.
-        let exact = fake_run("exact", &[10; 30], &[1000; 30]);
-        let approx = fake_run("phi=5%", &[2; 30], &[100; 30]);
+        let exact = fake_run("exact", &[10; 30], &[1000; 30], &[50_000; 30]);
+        let approx = fake_run("phi=5%", &[2; 30], &[100; 30], &[4_000; 30]);
         let s = summarize(&exact, &approx, 20);
         assert!((s.overall_speedup - 5.0).abs() < 1e-9);
         assert!((s.speedup_at_focus - 5.0).abs() < 1e-9);
         assert!((s.objects_ratio - 0.1).abs() < 1e-9);
+        assert!((s.bytes_ratio - 0.08).abs() < 1e-9);
         assert_eq!(s.focus_query, 20);
         for m in s.phase_means_secs {
             assert!((m - 0.002).abs() < 1e-9);

@@ -70,6 +70,12 @@ impl MethodRun {
         self.records.iter().map(|r| r.objects_read).sum()
     }
 
+    /// Total bytes pulled from the raw file across the run — the meter that
+    /// separates storage backends for the same query sequence.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes_read).sum()
+    }
+
     /// Per-query evaluation times in seconds (the Figure 2 series).
     pub fn time_series_secs(&self) -> Vec<f64> {
         self.records
@@ -81,6 +87,11 @@ impl MethodRun {
     /// Per-query objects-read series (the paper's cost proxy).
     pub fn objects_series(&self) -> Vec<f64> {
         self.records.iter().map(|r| r.objects_read as f64).collect()
+    }
+
+    /// Per-query bytes-read series (the backend-comparison cost metric).
+    pub fn bytes_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.bytes_read as f64).collect()
     }
 }
 
@@ -251,6 +262,23 @@ mod tests {
         assert_eq!(run.time_series_secs().len(), wl.len());
         assert_eq!(run.objects_series().len(), wl.len());
         assert!(run.total_elapsed() > Duration::ZERO);
+    }
+
+    #[test]
+    fn records_carry_real_meter_bytes() {
+        let (file, _, init, wl) = setup();
+        file.counters().reset();
+        let cfg = EngineConfig::paper_evaluation();
+        let run = run_workload(&file, &init, &cfg, &wl, Method::Approx { phi: 0.05 }).unwrap();
+        let total = file.counters().snapshot();
+        assert_eq!(total.full_scans, 1, "init is the only full scan");
+        // Everything the meters saw beyond the init scan is attributed to
+        // exactly one query record: per-record bytes are real, not derived.
+        assert_eq!(run.total_bytes_read(), total.bytes_read - file.size_bytes());
+        assert!(run.total_bytes_read() > 0);
+        // Same accounting for objects: the init scan touched every row once.
+        assert_eq!(run.total_objects_read(), total.objects_read - 4000);
+        assert_eq!(run.bytes_series().len(), wl.len());
     }
 
     #[test]

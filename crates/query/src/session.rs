@@ -122,6 +122,16 @@ impl<'f> ExplorationSession<'f> {
             .map(|s| s.result.stats.io.objects_read)
             .sum()
     }
+
+    /// Total bytes read from the raw file across the session so far —
+    /// the meter to compare when the same exploration runs against
+    /// different storage backends.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.history
+            .iter()
+            .map(|s| s.result.stats.io.bytes_read)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +182,10 @@ mod tests {
             assert!(spec.domain.contains_rect(&step.window));
         }
         assert!(s.total_objects_read() > 0);
+        assert!(
+            s.total_bytes_read() > 0,
+            "adaptive steps must surface their byte cost"
+        );
         s.index().validate_invariants().unwrap();
     }
 

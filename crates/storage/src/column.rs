@@ -1,0 +1,842 @@
+//! `PaiBin`: a fixed-stride binary columnar raw-file format.
+//!
+//! The paper's adaptation cost is dominated by positional reads of raw-file
+//! objects. Over CSV every such read re-parses a whole variable-length text
+//! line; this module provides the production alternative: values stored as
+//! little-endian `f64` in column-major order, so the byte position of any
+//! value is pure arithmetic —
+//!
+//! ```text
+//! position(row, col) = data_start + (col · n_rows + row) · 8
+//! ```
+//!
+//! — O(1) row addressing (`row_id * stride`, stride = 8 inside a column), no
+//! parsing, and positional reads that fetch exactly the 8 bytes per
+//! requested value instead of a full record. Locators handed out by
+//! [`BinFile`] are therefore plain row ids, not byte offsets.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! magic      8  bytes   b"PAIBIN01"
+//! n_cols     u32 LE
+//! x_axis     u32 LE     axis column ids (see `Schema`)
+//! y_axis     u32 LE
+//! n_rows     u64 LE
+//! per column: name_len u16 LE, then `name_len` UTF-8 bytes
+//! data       n_cols · n_rows · 8 bytes, column-major f64 LE
+//! ```
+//!
+//! Only numeric columns are representable (integers ride along as `f64`,
+//! NaN encodes NULL, same convention as the CSV parser). Text columns must
+//! stay in CSV.
+//!
+//! ## Access paths
+//!
+//! * **Sequential scan** — a paged reader pulls `PAGE_ROWS` rows of every
+//!   column per step (contiguous per-column reads), reassembles rows, and
+//!   lends them to the handler as decoded-value [`Record`]s. The scan shards
+//!   cleanly on row ranges, so parallel initialization works out of the box.
+//! * **Positional reads** — requested row ids are sorted and coalesced into
+//!   maximal runs of adjacent rows per column; each run is one seek + one
+//!   read of exactly `8 · run_len` bytes. Clustered tiles degrade to
+//!   near-sequential I/O, scattered ones pay 8 bytes per value instead of a
+//!   full CSV line.
+
+use std::fs::File;
+use std::io::{BufReader, Cursor, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::Arc;
+
+use pai_common::{AttrId, IoCounters, PaiError, Result, RowId, RowLocator};
+
+use crate::raw::{RawFile, Record, RowHandler, ScanPartition};
+use crate::schema::{Column, Schema};
+
+/// File magic, including the format version.
+pub const PAIBIN_MAGIC: [u8; 8] = *b"PAIBIN01";
+
+/// Rows fetched per column per step of a sequential scan (the page size of
+/// the paged reader, in rows; 4096 rows = 32 KiB per column page).
+const PAGE_ROWS: u64 = 4096;
+
+/// Upper bound on the column count a header may declare; anything above is
+/// treated as corruption (real schemas top out in the dozens).
+const MAX_COLUMNS: usize = 65_536;
+
+/// Which raw-file representation backs a dataset.
+///
+/// Used by benches and tools that must construct "the same dataset" behind
+/// either backend (e.g. the `PAI_BENCH_BACKEND` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageBackend {
+    /// Text CSV, accessed in situ ([`crate::CsvFile`] / [`crate::MemFile`]).
+    #[default]
+    Csv,
+    /// Binary columnar `PaiBin` ([`BinFile`]).
+    Bin,
+}
+
+impl StorageBackend {
+    /// Short lowercase tag (`csv` / `bin`), stable for cache keys and CLI
+    /// output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StorageBackend::Csv => "csv",
+            StorageBackend::Bin => "bin",
+        }
+    }
+}
+
+impl std::fmt::Display for StorageBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+impl FromStr for StorageBackend {
+    type Err = PaiError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "csv" => Ok(StorageBackend::Csv),
+            "bin" | "paibin" | "binary" => Ok(StorageBackend::Bin),
+            other => Err(PaiError::config(format!(
+                "unknown storage backend '{other}' (expected 'csv' or 'bin')"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Header encoding/decoding.
+// ---------------------------------------------------------------------------
+
+fn encode_header(schema: &Schema, n_rows: u64) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&PAIBIN_MAGIC);
+    out.extend_from_slice(&(schema.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(schema.x_axis() as u32).to_le_bytes());
+    out.extend_from_slice(&(schema.y_axis() as u32).to_le_bytes());
+    out.extend_from_slice(&n_rows.to_le_bytes());
+    for col in schema.columns() {
+        if !col.ty.is_numeric() {
+            return Err(PaiError::schema(format!(
+                "column '{}' is not numeric; text columns cannot be stored in PaiBin",
+                col.name
+            )));
+        }
+        let name = col.name.as_bytes();
+        if name.len() > u16::MAX as usize {
+            return Err(PaiError::schema(format!(
+                "column name '{}…' too long for the PaiBin header",
+                &col.name[..32.min(col.name.len())]
+            )));
+        }
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+    }
+    Ok(out)
+}
+
+/// Decoded header: schema, row count, and where the column data begins.
+struct BinHeader {
+    schema: Schema,
+    n_rows: u64,
+    data_start: u64,
+}
+
+fn corrupt(what: impl Into<String>) -> PaiError {
+    PaiError::internal(format!("corrupt PaiBin file: {}", what.into()))
+}
+
+fn decode_header<R: Read>(reader: &mut R) -> Result<BinHeader> {
+    let mut magic = [0u8; 8];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|_| corrupt("truncated magic"))?;
+    if magic != PAIBIN_MAGIC {
+        return Err(corrupt("bad magic (not a PaiBin file?)"));
+    }
+    let mut u32buf = [0u8; 4];
+    let mut read_u32 = |reader: &mut R, what: &str| -> Result<u32> {
+        reader
+            .read_exact(&mut u32buf)
+            .map_err(|_| corrupt(format!("truncated {what}")))?;
+        Ok(u32::from_le_bytes(u32buf))
+    };
+    let n_cols = read_u32(reader, "column count")? as usize;
+    // Guard the allocation below: a corrupt/crafted count must surface as
+    // the usual corruption error, not an out-of-memory abort.
+    if n_cols == 0 || n_cols > MAX_COLUMNS {
+        return Err(corrupt(format!(
+            "implausible column count {n_cols} (max {MAX_COLUMNS})"
+        )));
+    }
+    let x_axis = read_u32(reader, "x-axis id")? as usize;
+    let y_axis = read_u32(reader, "y-axis id")? as usize;
+    let mut u64buf = [0u8; 8];
+    reader
+        .read_exact(&mut u64buf)
+        .map_err(|_| corrupt("truncated row count"))?;
+    let n_rows = u64::from_le_bytes(u64buf);
+
+    let mut data_start = (8 + 4 + 4 + 4 + 8) as u64;
+    let mut columns = Vec::with_capacity(n_cols);
+    for i in 0..n_cols {
+        let mut lenbuf = [0u8; 2];
+        reader
+            .read_exact(&mut lenbuf)
+            .map_err(|_| corrupt(format!("truncated name of column {i}")))?;
+        let len = u16::from_le_bytes(lenbuf) as usize;
+        let mut name = vec![0u8; len];
+        reader
+            .read_exact(&mut name)
+            .map_err(|_| corrupt(format!("truncated name of column {i}")))?;
+        let name =
+            String::from_utf8(name).map_err(|_| corrupt(format!("column {i} name not UTF-8")))?;
+        columns.push(Column::float(name));
+        data_start += 2 + len as u64;
+    }
+    let schema = Schema::new(columns, x_axis, y_axis)?;
+    Ok(BinHeader {
+        schema,
+        n_rows,
+        data_start,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Encoding (the CSV → binary converter).
+// ---------------------------------------------------------------------------
+
+/// Serializes fully-buffered columns plus header into PaiBin bytes.
+fn encode_columns(schema: &Schema, columns: Vec<Vec<f64>>) -> Result<Vec<u8>> {
+    let n_rows = columns.first().map_or(0, |c| c.len()) as u64;
+    debug_assert!(columns.iter().all(|c| c.len() as u64 == n_rows));
+    let mut out = encode_header(schema, n_rows)?;
+    out.reserve(columns.len() * n_rows as usize * 8);
+    for col in &columns {
+        for &v in col {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Encodes an iterator of numeric rows (each `schema.len()` wide) as PaiBin
+/// bytes. The transpose to column-major happens in memory.
+pub fn encode_rows<I>(schema: &Schema, rows: I) -> Result<Vec<u8>>
+where
+    I: IntoIterator<Item = Vec<f64>>,
+{
+    let n_cols = schema.len();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n_cols];
+    for (i, row) in rows.into_iter().enumerate() {
+        if row.len() != n_cols {
+            return Err(PaiError::schema(format!(
+                "row {i} has {} values, schema has {n_cols} columns",
+                row.len()
+            )));
+        }
+        for (col, &v) in columns.iter_mut().zip(&row) {
+            col.push(v);
+        }
+    }
+    encode_columns(schema, columns)
+}
+
+/// The single conversion pass: scans `src` once, transposing rows into
+/// per-column buffers (the row-major → column-major turn needs either full
+/// buffering or one pass per column; we spend memory — one `f64` per value —
+/// to keep the scan single).
+fn buffer_columns(src: &dyn RawFile) -> Result<(Schema, Vec<Vec<f64>>)> {
+    let schema = src.schema().clone();
+    for col in schema.columns() {
+        if !col.ty.is_numeric() {
+            return Err(PaiError::schema(format!(
+                "cannot convert column '{}' to PaiBin: not numeric",
+                col.name
+            )));
+        }
+    }
+    let wanted: Vec<AttrId> = (0..schema.len()).collect();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); schema.len()];
+    let mut vals = Vec::with_capacity(schema.len());
+    src.scan(&mut |_, _, rec| {
+        rec.extract_f64(&wanted, &mut vals)?;
+        for (col, &v) in columns.iter_mut().zip(&vals) {
+            col.push(v);
+        }
+        Ok(())
+    })?;
+    Ok((schema, columns))
+}
+
+/// One-pass CSV → binary converter: scans `src` once, buffering each column,
+/// and returns the dataset re-encoded as PaiBin bytes.
+///
+/// Fails on schemas with text columns (PaiBin is numeric-only). The scan is
+/// metered on `src`'s counters like any other full pass. Peak memory is
+/// roughly twice the dataset's binary size (column buffers + the returned
+/// bytes); prefer [`write_bin`] for large datasets, which streams the
+/// encoded bytes to disk instead of materializing them.
+pub fn convert_to_bin(src: &dyn RawFile) -> Result<Vec<u8>> {
+    let (schema, columns) = buffer_columns(src)?;
+    encode_columns(&schema, columns)
+}
+
+/// Converts `src` to PaiBin on disk at `path` and opens the result.
+///
+/// Same single conversion pass as [`convert_to_bin`], but the encoded bytes
+/// stream straight to the file: peak memory is one `f64` per dataset value
+/// (the column buffers), not that plus a full serialized copy.
+pub fn write_bin(src: &dyn RawFile, path: impl AsRef<Path>) -> Result<BinFile> {
+    let (schema, columns) = buffer_columns(src)?;
+    let n_rows = columns.first().map_or(0, |c| c.len()) as u64;
+    let mut out = std::io::BufWriter::with_capacity(1 << 20, File::create(path.as_ref())?);
+    use std::io::Write;
+    out.write_all(&encode_header(&schema, n_rows)?)?;
+    for col in &columns {
+        for &v in col {
+            out.write_all(&v.to_le_bytes())?;
+        }
+    }
+    out.flush()?;
+    drop(out);
+    BinFile::open(path)
+}
+
+// ---------------------------------------------------------------------------
+// BinFile.
+// ---------------------------------------------------------------------------
+
+/// Where the PaiBin bytes live.
+#[derive(Debug, Clone)]
+enum BinSource {
+    Disk(PathBuf),
+    Mem(Arc<Vec<u8>>),
+}
+
+/// Positional byte source: one trait for file- and buffer-backed readers.
+trait ReadSeek: Read + Seek {}
+impl<T: Read + Seek> ReadSeek for T {}
+
+/// A PaiBin binary columnar file. Locators are row ids.
+///
+/// Cloning is cheap and clones share the same [`IoCounters`]; each access
+/// opens its own handle, so a `BinFile` can serve concurrent readers just
+/// like [`crate::CsvFile`].
+#[derive(Debug, Clone)]
+pub struct BinFile {
+    source: BinSource,
+    schema: Schema,
+    n_rows: u64,
+    data_start: u64,
+    size_bytes: u64,
+    counters: IoCounters,
+}
+
+impl BinFile {
+    /// Opens an existing PaiBin file, validating header and size.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let size = std::fs::metadata(&path)?.len();
+        let mut reader = BufReader::new(File::open(&path)?);
+        let header = decode_header(&mut reader)?;
+        let file = BinFile {
+            source: BinSource::Disk(path),
+            schema: header.schema,
+            n_rows: header.n_rows,
+            data_start: header.data_start,
+            size_bytes: size,
+            counters: IoCounters::new(),
+        };
+        file.validate_size()?;
+        Ok(file)
+    }
+
+    /// Wraps in-memory PaiBin bytes (tests, examples, converters).
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Result<Self> {
+        let bytes: Vec<u8> = bytes.into();
+        let size = bytes.len() as u64;
+        let header = decode_header(&mut Cursor::new(bytes.as_slice()))?;
+        let file = BinFile {
+            source: BinSource::Mem(Arc::new(bytes)),
+            schema: header.schema,
+            n_rows: header.n_rows,
+            data_start: header.data_start,
+            size_bytes: size,
+            counters: IoCounters::new(),
+        };
+        file.validate_size()?;
+        Ok(file)
+    }
+
+    /// Encodes numeric rows directly into an in-memory PaiBin file.
+    pub fn from_rows<I>(schema: &Schema, rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = Vec<f64>>,
+    {
+        BinFile::from_bytes(encode_rows(schema, rows)?)
+    }
+
+    /// Number of data rows in the file.
+    pub fn n_rows(&self) -> u64 {
+        self.n_rows
+    }
+
+    /// Location on disk, when file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        match &self.source {
+            BinSource::Disk(p) => Some(p),
+            BinSource::Mem(_) => None,
+        }
+    }
+
+    fn validate_size(&self) -> Result<()> {
+        // Checked arithmetic: a crafted row count must fail as corruption,
+        // not overflow. Once this passes, every position() computed for
+        // in-range (row, col) fits in u64.
+        let expect = (self.schema.len() as u64)
+            .checked_mul(self.n_rows)
+            .and_then(|v| v.checked_mul(8))
+            .and_then(|v| v.checked_add(self.data_start))
+            .ok_or_else(|| corrupt("row count overflows the addressable size"))?;
+        if self.size_bytes != expect {
+            return Err(corrupt(format!(
+                "size {} does not match header (expected {expect})",
+                self.size_bytes
+            )));
+        }
+        Ok(())
+    }
+
+    fn reader(&self) -> Result<Box<dyn ReadSeek + '_>> {
+        Ok(match &self.source {
+            BinSource::Disk(path) => Box::new(File::open(path)?),
+            BinSource::Mem(bytes) => Box::new(Cursor::new(bytes.as_slice())),
+        })
+    }
+
+    /// Byte position of `(row, col)` — the O(1) addressing PaiBin exists for.
+    #[inline]
+    fn position(&self, row: u64, col: usize) -> u64 {
+        self.data_start + (col as u64 * self.n_rows + row) * 8
+    }
+
+    /// Scans rows `[start, end)`, the engine of both `scan` and
+    /// `scan_partition`. `counters` bytes/seeks/objects are metered here;
+    /// the full-scan tick is the caller's business.
+    fn scan_rows(&self, start: u64, end: u64, handler: &mut RowHandler<'_>) -> Result<()> {
+        if start >= end {
+            return Ok(());
+        }
+        if end > self.n_rows {
+            return Err(PaiError::internal(format!(
+                "scan range [{start}, {end}) exceeds {} rows",
+                self.n_rows
+            )));
+        }
+        let n_cols = self.schema.len();
+        let mut reader = self.reader()?;
+        // Paged reading: per step, one contiguous fetch per column.
+        let mut pages: Vec<Vec<f64>> = vec![Vec::new(); n_cols];
+        let mut buf: Vec<u8> = Vec::new();
+        let mut values = vec![0.0f64; n_cols];
+        let mut local_row: RowId = 0;
+        let mut row0 = start;
+        while row0 < end {
+            let batch = PAGE_ROWS.min(end - row0);
+            for (col, page) in pages.iter_mut().enumerate() {
+                buf.resize(batch as usize * 8, 0);
+                reader.seek(SeekFrom::Start(self.position(row0, col)))?;
+                reader
+                    .read_exact(&mut buf)
+                    .map_err(|_| corrupt("data region shorter than header claims"))?;
+                self.counters.add_seeks(1);
+                self.counters.add_bytes(buf.len() as u64);
+                page.clear();
+                page.extend(
+                    buf.chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+                );
+            }
+            for i in 0..batch as usize {
+                for (v, page) in values.iter_mut().zip(&pages) {
+                    *v = page[i];
+                }
+                let row = row0 + i as u64;
+                let rec = Record::from_values(&values, row);
+                handler(local_row, RowLocator::new(row), &rec)?;
+                local_row += 1;
+                self.counters.add_objects(1);
+            }
+            row0 += batch;
+        }
+        Ok(())
+    }
+}
+
+impl RawFile for BinFile {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn counters(&self) -> &IoCounters {
+        &self.counters
+    }
+
+    fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    fn scan(&self, handler: &mut RowHandler<'_>) -> Result<()> {
+        self.counters.add_full_scan();
+        self.scan_rows(0, self.n_rows, handler)
+    }
+
+    fn read_rows(&self, locators: &[RowLocator], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>> {
+        for &a in attrs {
+            if a >= self.schema.len() {
+                return Err(PaiError::schema(format!(
+                    "column id {a} out of range ({} columns)",
+                    self.schema.len()
+                )));
+            }
+        }
+        // Sort requests by row id; remember each request's output slot.
+        let mut order: Vec<(usize, u64)> = locators.iter().map(|l| l.raw()).enumerate().collect();
+        order.sort_by_key(|&(_, row)| row);
+        if let Some(&(_, max_row)) = order.last() {
+            if max_row >= self.n_rows {
+                return Err(PaiError::internal(format!(
+                    "positional read of row {max_row} hit EOF ({} rows)",
+                    self.n_rows
+                )));
+            }
+        }
+
+        let mut out: Vec<Vec<f64>> = vec![vec![0.0; attrs.len()]; locators.len()];
+        if locators.is_empty() || attrs.is_empty() {
+            self.counters.add_objects(locators.len() as u64);
+            return Ok(out);
+        }
+
+        let mut reader = self.reader()?;
+        let mut buf: Vec<u8> = Vec::new();
+        let mut bytes = 0u64;
+        let mut seeks = 0u64;
+        for (ai, &attr) in attrs.iter().enumerate() {
+            // Coalesce sorted rows into maximal runs of adjacent rows: one
+            // seek + one exact read of 8·run_len bytes per run.
+            let mut i = 0;
+            while i < order.len() {
+                let mut j = i + 1;
+                while j < order.len() && order[j].1 == order[j - 1].1 + 1 {
+                    j += 1;
+                }
+                let run_rows = (order[j - 1].1 - order[i].1 + 1) as usize;
+                buf.resize(run_rows * 8, 0);
+                reader.seek(SeekFrom::Start(self.position(order[i].1, attr)))?;
+                reader
+                    .read_exact(&mut buf)
+                    .map_err(|_| corrupt("data region shorter than header claims"))?;
+                seeks += 1;
+                bytes += buf.len() as u64;
+                for &(slot, row) in &order[i..j] {
+                    let o = (row - order[i].1) as usize * 8;
+                    out[slot][ai] =
+                        f64::from_le_bytes(buf[o..o + 8].try_into().expect("8-byte value"));
+                }
+                i = j;
+            }
+        }
+        self.counters.add_objects(locators.len() as u64);
+        self.counters.add_bytes(bytes);
+        self.counters.add_seeks(seeks);
+        Ok(out)
+    }
+
+    fn partitions(&self, n: usize) -> Result<Vec<ScanPartition>> {
+        assert!(n >= 1, "need at least one partition");
+        if self.n_rows == 0 {
+            return Ok(Vec::new());
+        }
+        let n = (n as u64).min(self.n_rows);
+        let per = self.n_rows.div_ceil(n);
+        Ok((0..n)
+            .map(|i| ScanPartition {
+                start: i * per,
+                end: ((i + 1) * per).min(self.n_rows),
+            })
+            .filter(|p| p.end > p.start)
+            .collect())
+    }
+
+    fn scan_partition(&self, partition: ScanPartition, handler: &mut RowHandler<'_>) -> Result<()> {
+        // Honor the trait-level "everything" sentinel so generic callers can
+        // treat all backends uniformly.
+        if partition == ScanPartition::WHOLE {
+            return self.scan_rows(0, self.n_rows, handler);
+        }
+        self.scan_rows(partition.start, partition.end, handler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::CsvFormat;
+    use crate::raw::MemFile;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 10.0, 100.0],
+            vec![2.0, 20.0, 200.0],
+            vec![3.0, 30.0, 300.0],
+            vec![4.0, 40.0, 400.0],
+        ]
+    }
+
+    fn sample() -> BinFile {
+        BinFile::from_rows(&Schema::synthetic(3), rows()).unwrap()
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let f = sample();
+        assert_eq!(f.n_rows(), 4);
+        assert_eq!(f.schema().len(), 3);
+        assert_eq!(f.schema().x_axis(), 0);
+        assert_eq!(f.schema().y_axis(), 1);
+        assert_eq!(f.schema().columns()[2].name, "col2");
+        assert!(f.path().is_none());
+    }
+
+    #[test]
+    fn scan_yields_row_id_locators() {
+        let f = sample();
+        let mut seen = Vec::new();
+        f.scan(&mut |row, loc, rec| {
+            seen.push((row, loc.raw(), rec.f64(0)?, rec.f64(2)?));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[0], (0, 0, 1.0, 100.0));
+        assert_eq!(seen[3], (3, 3, 4.0, 400.0));
+        assert_eq!(f.counters().full_scans(), 1);
+        assert_eq!(f.counters().objects_read(), 4);
+        // The scan fetches exactly the data region.
+        assert_eq!(f.counters().bytes_read(), 3 * 4 * 8);
+    }
+
+    #[test]
+    fn read_rows_by_row_id_in_request_order() {
+        let f = sample();
+        let locs: Vec<RowLocator> = [3u64, 0, 2].iter().map(|&r| RowLocator::new(r)).collect();
+        let vals = f.read_rows(&locs, &[2, 0]).unwrap();
+        assert_eq!(
+            vals,
+            vec![vec![400.0, 4.0], vec![100.0, 1.0], vec![300.0, 3.0]]
+        );
+        assert_eq!(f.counters().objects_read(), 3);
+        // 3 rows × 2 attrs × 8 bytes: positional reads fetch values only.
+        assert_eq!(f.counters().bytes_read(), 3 * 2 * 8);
+    }
+
+    #[test]
+    fn adjacent_rows_coalesce_into_one_run() {
+        let f = sample();
+        f.counters().reset();
+        let locs: Vec<RowLocator> = (0..4).map(RowLocator::new).collect();
+        let vals = f.read_rows(&locs, &[1]).unwrap();
+        assert_eq!(vals.iter().flatten().copied().sum::<f64>(), 100.0);
+        assert_eq!(
+            f.counters().seeks(),
+            1,
+            "a fully-adjacent batch is one run = one seek"
+        );
+        assert_eq!(f.counters().bytes_read(), 4 * 8);
+    }
+
+    #[test]
+    fn duplicate_locators_read_twice() {
+        let f = sample();
+        let locs = [RowLocator::new(1), RowLocator::new(1)];
+        let vals = f.read_rows(&locs, &[2]).unwrap();
+        assert_eq!(vals, vec![vec![200.0], vec![200.0]]);
+    }
+
+    #[test]
+    fn out_of_range_row_is_internal_error() {
+        let f = sample();
+        let err = f.read_rows(&[RowLocator::new(99)], &[0]).unwrap_err();
+        assert!(err.to_string().contains("EOF"), "{err}");
+        assert!(f.read_rows(&[RowLocator::new(0)], &[17]).is_err());
+    }
+
+    #[test]
+    fn nan_values_round_trip() {
+        let f = BinFile::from_rows(
+            &Schema::synthetic(3),
+            vec![vec![1.0, 2.0, f64::NAN], vec![3.0, 4.0, 5.0]],
+        )
+        .unwrap();
+        let vals = f
+            .read_rows(&[RowLocator::new(0), RowLocator::new(1)], &[2])
+            .unwrap();
+        assert!(vals[0][0].is_nan(), "NaN (NULL) survives the binary format");
+        assert_eq!(vals[1][0], 5.0);
+    }
+
+    #[test]
+    fn convert_from_csv_preserves_values() {
+        let schema = Schema::synthetic(3);
+        let csv = MemFile::from_rows(schema, CsvFormat::default(), rows()).unwrap();
+        let bin = BinFile::from_bytes(convert_to_bin(&csv).unwrap()).unwrap();
+        assert_eq!(bin.n_rows(), 4);
+        let mut got = Vec::new();
+        bin.scan(&mut |_, _, rec| {
+            let mut vals = Vec::new();
+            rec.extract_f64(&[0, 1, 2], &mut vals)?;
+            got.push(vals);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got, rows());
+        // The conversion scan was metered on the CSV source.
+        assert_eq!(csv.counters().full_scans(), 1);
+    }
+
+    #[test]
+    fn convert_rejects_text_columns() {
+        let schema = Schema::new(
+            vec![Column::float("x"), Column::float("y"), Column::text("t")],
+            0,
+            1,
+        )
+        .unwrap();
+        let csv = MemFile::from_text("x,y,t\n1,2,hi\n", schema.clone(), CsvFormat::default());
+        assert!(convert_to_bin(&csv).is_err());
+        assert!(encode_rows(&schema, vec![vec![1.0, 2.0, 3.0]]).is_err());
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let dir = std::env::temp_dir().join("pai_column_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.paibin");
+        let csv = MemFile::from_rows(Schema::synthetic(3), CsvFormat::default(), rows()).unwrap();
+        let bin = write_bin(&csv, &path).unwrap();
+        assert_eq!(bin.path(), Some(path.as_path()));
+        assert_eq!(bin.n_rows(), 4);
+        let vals = bin.read_rows(&[RowLocator::new(2)], &[2]).unwrap();
+        assert_eq!(vals, vec![vec![300.0]]);
+        // Reopening validates header + size.
+        let reopened = BinFile::open(&path).unwrap();
+        assert_eq!(reopened.n_rows(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let bytes = encode_rows(&Schema::synthetic(2), vec![vec![1.0, 2.0]]).unwrap();
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 4);
+        assert!(BinFile::from_bytes(truncated).is_err());
+        let mut bad_magic = bytes;
+        bad_magic[0] = b'X';
+        assert!(BinFile::from_bytes(bad_magic).is_err());
+    }
+
+    #[test]
+    fn absurd_column_count_is_an_error_not_an_abort() {
+        // A crafted header claiming u32::MAX columns must fail cleanly
+        // before any column-table allocation happens.
+        let mut bytes = encode_rows(&Schema::synthetic(2), vec![vec![1.0, 2.0]]).unwrap();
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = BinFile::from_bytes(bytes).unwrap_err();
+        assert!(err.to_string().contains("column count"), "{err}");
+    }
+
+    #[test]
+    fn absurd_row_count_is_an_error_not_an_overflow() {
+        // A crafted row count near u64::MAX must trip the checked size
+        // validation (not wrap around and pass it).
+        let mut bytes = encode_rows(&Schema::synthetic(2), vec![vec![1.0, 2.0]]).unwrap();
+        bytes[20..28].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let err = BinFile::from_bytes(bytes).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+    }
+
+    #[test]
+    fn whole_partition_scans_everything() {
+        let f = sample();
+        let mut rows = 0;
+        f.scan_partition(crate::raw::ScanPartition::WHOLE, &mut |_, _, _| {
+            rows += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, 4, "the trait-level WHOLE sentinel must be honored");
+    }
+
+    #[test]
+    fn partitions_cover_rows_exactly_once() {
+        let many: Vec<Vec<f64>> = (0..1000).map(|i| vec![i as f64, 0.5, 1.0]).collect();
+        let f = BinFile::from_rows(&Schema::synthetic(3), many).unwrap();
+        for n in [1usize, 3, 7] {
+            let parts = f.partitions(n).unwrap();
+            let mut xs: Vec<f64> = Vec::new();
+            for p in &parts {
+                f.scan_partition(*p, &mut |_, _, rec| {
+                    xs.push(rec.f64(0)?);
+                    Ok(())
+                })
+                .unwrap();
+            }
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(xs.len(), 1000, "n={n}");
+            assert_eq!(xs[999], 999.0);
+        }
+        // More partitions than rows degrades gracefully.
+        let tiny = BinFile::from_rows(&Schema::synthetic(2), vec![vec![1.0, 2.0]]).unwrap();
+        assert_eq!(tiny.partitions(16).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_file_scans_nothing() {
+        let f = BinFile::from_rows(&Schema::synthetic(2), Vec::<Vec<f64>>::new()).unwrap();
+        assert_eq!(f.n_rows(), 0);
+        let mut rows = 0;
+        f.scan(&mut |_, _, _| {
+            rows += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, 0);
+        assert!(f.partitions(4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn backend_parses_and_prints() {
+        assert_eq!(
+            "csv".parse::<StorageBackend>().unwrap(),
+            StorageBackend::Csv
+        );
+        assert_eq!(
+            "BIN".parse::<StorageBackend>().unwrap(),
+            StorageBackend::Bin
+        );
+        assert_eq!(
+            "paibin".parse::<StorageBackend>().unwrap(),
+            StorageBackend::Bin
+        );
+        assert!("parquet".parse::<StorageBackend>().is_err());
+        assert_eq!(StorageBackend::Bin.to_string(), "bin");
+        assert_eq!(StorageBackend::default(), StorageBackend::Csv);
+    }
+}

@@ -1,23 +1,38 @@
 //! Raw-file storage substrate for in-situ exploration.
 //!
 //! This crate is the "raw data file" half of the paper's setting: data lives
-//! in a CSV file that is **never loaded into a DBMS**. The index above it
-//! (see `pai-index`) keeps only axis values and byte offsets; whenever a
-//! query needs non-axis attribute values, it comes back here and pays real
-//! I/O, which the [`pai_common::IoCounters`] meter.
+//! in a raw file that is **never loaded into a DBMS**. The index above it
+//! (see `pai-index`) keeps only axis values and opaque row locators;
+//! whenever a query needs non-axis attribute values, it comes back here and
+//! pays real I/O, which the [`pai_common::IoCounters`] meter.
+//!
+//! Everything above this crate speaks the backend-agnostic [`RawFile`]
+//! trait. Two production backends implement it:
+//!
+//! * **CSV** ([`CsvFile`] on disk, [`MemFile`] in memory) — text records
+//!   accessed in situ, locators are byte offsets, every positional read
+//!   re-parses a line;
+//! * **PaiBin** ([`BinFile`], [`mod@column`]) — fixed-stride binary columnar,
+//!   locators are row ids, positional reads are `row_id * stride`
+//!   arithmetic fetching exactly the requested values.
 //!
 //! Modules:
 //! * [`schema`] — column definitions and the axis-attribute pair;
 //! * [`csv`] — CSV format config, line splitting/escaping, streaming writer;
-//! * [`raw`] — the [`RawFile`] abstraction: sequential scan plus batched
-//!   offset-based random access, implemented for on-disk files
-//!   ([`CsvFile`]) and in-memory buffers ([`MemFile`]);
-//! * [`scan`] — newline-aligned chunking for parallel initialization scans;
+//! * [`raw`] — the [`RawFile`] abstraction: sequential (and partitioned)
+//!   scans plus batched locator-based random access, with the CSV
+//!   implementations;
+//! * [`mod@column`] — the binary columnar backend and the one-pass CSV→binary
+//!   converter ([`column::convert_to_bin`] / [`column::write_bin`]);
+//! * [`scan`] — newline-aligned chunking, the CSV backend's partitioned
+//!   scan machinery;
 //! * [`gen`] — synthetic dataset generation (the paper's 10-numeric-column
-//!   dataset family: uniform, Gaussian-cluster "dense areas", skewed);
+//!   dataset family: uniform, Gaussian-cluster "dense areas", skewed),
+//!   writable to either backend;
 //! * [`ground_truth`] — full-scan exact evaluation used to validate engines
 //!   and to measure true (not just bounded) approximation error.
 
+pub mod column;
 pub mod csv;
 pub mod gen;
 pub mod ground_truth;
@@ -25,7 +40,8 @@ pub mod raw;
 pub mod scan;
 pub mod schema;
 
+pub use column::{convert_to_bin, write_bin, BinFile, StorageBackend};
 pub use csv::{CsvFormat, CsvWriter};
 pub use gen::{DatasetSpec, PointDistribution, ValueModel};
-pub use raw::{CsvFile, MemFile, RawFile};
+pub use raw::{CsvFile, MemFile, RawFile, Record, ScanPartition};
 pub use schema::{Column, ColumnType, Schema};

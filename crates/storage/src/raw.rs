@@ -1,96 +1,193 @@
-//! The raw-file abstraction: in-situ access to CSV data.
+//! The raw-file abstraction: backend-agnostic in-situ access to data files.
 //!
-//! Two access paths, mirroring how the index uses the file:
+//! The index never materializes the dataset; it remembers, per object, only
+//! the axis values and an opaque [`RowLocator`] handed out by the storage
+//! backend. Two access paths mirror how the index uses a file:
 //!
 //! * [`RawFile::scan`] — one sequential pass over every record. Used exactly
 //!   once per dataset, by index initialization ("crude index" construction),
-//!   and by the ground-truth evaluator in tests/benches.
+//!   and by the ground-truth evaluator in tests/benches. Backends that can
+//!   shard the pass expose [`RawFile::partitions`] +
+//!   [`RawFile::scan_partition`] so initialization can run on several
+//!   threads.
 //! * [`RawFile::read_rows`] — batched positional reads of specific records
-//!   by byte offset. This is the I/O that adaptation pays for: when a
+//!   by locator. This is the I/O that adaptation pays for: when a
 //!   partially-contained tile is processed, the engine reads the non-axis
-//!   values of the objects inside it. Offsets are internally sorted so the
+//!   values of the objects inside it. Locators are internally sorted so the
 //!   access pattern degrades gracefully to near-sequential for clustered
 //!   tiles; every materialized row is metered.
 //!
-//! [`CsvFile`] is the real on-disk implementation; [`MemFile`] serves tests
-//! and examples with identical semantics (including metering).
+//! What a locator *means* is private to the backend: [`CsvFile`] hands out
+//! byte offsets (records are variable-length text), while the binary
+//! columnar backend ([`crate::column::BinFile`]) hands out row ids and
+//! resolves them with `row_id * stride` arithmetic. [`MemFile`] serves tests
+//! and examples with CSV semantics over an in-memory buffer (including
+//! metering).
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, Cursor, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use pai_common::{AttrId, IoCounters, PaiError, Result, RowId};
+use pai_common::{AttrId, IoCounters, PaiError, Result, RowId, RowLocator};
 
 use crate::csv::{self, CsvFormat};
 use crate::schema::Schema;
 
-/// A parsed view over one CSV record, lending field access without copying.
+/// A borrowed view over one record, lending field access without copying.
+///
+/// Backends produce records in their native representation: the CSV backends
+/// lend pre-split byte ranges of a text line; binary backends lend a decoded
+/// `f64` row. Consumers see one uniform accessor surface either way.
 pub struct Record<'a> {
-    line: &'a [u8],
-    ranges: &'a [(usize, usize)],
-    line_no: u64,
+    inner: RecordInner<'a>,
+}
+
+enum RecordInner<'a> {
+    /// A CSV line split into field byte ranges.
+    Csv {
+        line: &'a [u8],
+        ranges: &'a [(usize, usize)],
+        line_no: u64,
+    },
+    /// An already-decoded numeric row (binary columnar backends).
+    Values { values: &'a [f64], row: RowId },
 }
 
 impl<'a> Record<'a> {
-    /// Assembles a record view from pre-split parts (crate-internal; used by
-    /// the chunked scanner).
+    /// Assembles a record view from pre-split CSV parts (crate-internal;
+    /// used by the CSV scanners).
     pub(crate) fn from_parts(line: &'a [u8], ranges: &'a [(usize, usize)], line_no: u64) -> Self {
         Record {
-            line,
-            ranges,
-            line_no,
+            inner: RecordInner::Csv {
+                line,
+                ranges,
+                line_no,
+            },
+        }
+    }
+
+    /// Assembles a record view over an already-decoded numeric row. This is
+    /// the constructor binary backends use; `row` only labels errors.
+    pub fn from_values(values: &'a [f64], row: RowId) -> Self {
+        Record {
+            inner: RecordInner::Values { values, row },
         }
     }
 
     /// Number of fields in the record.
     pub fn num_fields(&self) -> usize {
-        self.ranges.len()
+        match &self.inner {
+            RecordInner::Csv { ranges, .. } => ranges.len(),
+            RecordInner::Values { values, .. } => values.len(),
+        }
     }
 
     /// Parses field `col` as f64 (empty → NaN).
     pub fn f64(&self, col: usize) -> Result<f64> {
-        let (a, b) = *self.ranges.get(col).ok_or_else(|| {
-            PaiError::parse(
-                self.line_no,
-                format!(
-                    "record has {} fields, wanted column {col}",
-                    self.ranges.len()
-                ),
-            )
-        })?;
-        csv::parse_f64_field(&self.line[a..b], self.line_no)
+        match &self.inner {
+            RecordInner::Csv {
+                line,
+                ranges,
+                line_no,
+            } => {
+                let (a, b) = *ranges.get(col).ok_or_else(|| {
+                    PaiError::parse(
+                        *line_no,
+                        format!("record has {} fields, wanted column {col}", ranges.len()),
+                    )
+                })?;
+                csv::parse_f64_field(&line[a..b], *line_no)
+            }
+            RecordInner::Values { values, row } => values.get(col).copied().ok_or_else(|| {
+                PaiError::parse(
+                    *row,
+                    format!("record has {} fields, wanted column {col}", values.len()),
+                )
+            }),
+        }
     }
 
     /// Extracts several columns as f64 into `out` (cleared first).
     pub fn extract_f64(&self, wanted: &[usize], out: &mut Vec<f64>) -> Result<()> {
-        csv::extract_f64(self.line, self.ranges, wanted, self.line_no, out)
+        match &self.inner {
+            RecordInner::Csv {
+                line,
+                ranges,
+                line_no,
+            } => csv::extract_f64(line, ranges, wanted, *line_no, out),
+            RecordInner::Values { .. } => {
+                out.clear();
+                for &col in wanted {
+                    out.push(self.f64(col)?);
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Raw text of field `col` (quotes stripped, `""` escapes not undone).
+    ///
+    /// Only text-capable backends (CSV) support this; binary columnar files
+    /// store pure numeric data and return an error.
     pub fn text(&self, col: usize) -> Result<&'a str> {
-        let (a, b) = *self
-            .ranges
-            .get(col)
-            .ok_or_else(|| PaiError::parse(self.line_no, format!("no column {col}")))?;
-        std::str::from_utf8(&self.line[a..b])
-            .map_err(|_| PaiError::parse(self.line_no, "field is not valid UTF-8"))
+        match &self.inner {
+            RecordInner::Csv {
+                line,
+                ranges,
+                line_no,
+            } => {
+                let (a, b) = *ranges
+                    .get(col)
+                    .ok_or_else(|| PaiError::parse(*line_no, format!("no column {col}")))?;
+                std::str::from_utf8(&line[a..b])
+                    .map_err(|_| PaiError::parse(*line_no, "field is not valid UTF-8"))
+            }
+            RecordInner::Values { .. } => Err(PaiError::unsupported(
+                "binary records hold numeric values only; no text fields",
+            )),
+        }
     }
 }
 
 /// Visitor invoked per record during a sequential scan.
 ///
-/// Arguments: row id (0-based over data rows), byte offset of the record's
-/// first byte, and the parsed record.
-pub type RowHandler<'h> = dyn FnMut(RowId, u64, &Record<'_>) -> Result<()> + 'h;
+/// Arguments: row id (0-based over the scanned records), the record's
+/// [`RowLocator`] (redeemable via [`RawFile::read_rows`]), and the parsed
+/// record.
+pub type RowHandler<'h> = dyn FnMut(RowId, RowLocator, &Record<'_>) -> Result<()> + 'h;
+
+/// One backend-defined shard of a sequential scan.
+///
+/// The `start`/`end` units are opaque to callers (byte offsets for CSV, row
+/// ids for binary columnar files); a partition is only meaningful to the
+/// file that produced it via [`RawFile::partitions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanPartition {
+    /// Inclusive start of the shard, in backend-defined units.
+    pub start: u64,
+    /// Exclusive end of the shard, in backend-defined units.
+    pub end: u64,
+}
+
+impl ScanPartition {
+    /// The degenerate "everything" partition used by backends that cannot
+    /// (or need not) shard their scan.
+    pub const WHOLE: ScanPartition = ScanPartition {
+        start: 0,
+        end: u64::MAX,
+    };
+}
 
 /// In-situ raw data file: schema-aware sequential and positional access.
+///
+/// This is the seam between the AQP engine and the bytes on disk. Everything
+/// above `pai-storage` speaks only this trait; CSV text files, binary
+/// columnar files, and in-memory buffers all slot in behind it, as can any
+/// future backend (mmap, compressed columns, remote object stores).
 pub trait RawFile: Send + Sync {
     /// Column schema of the file.
     fn schema(&self) -> &Schema;
-
-    /// CSV dialect of the file.
-    fn format(&self) -> &CsvFormat;
 
     /// Shared I/O meters; every access path below increments them.
     fn counters(&self) -> &IoCounters;
@@ -101,16 +198,72 @@ pub trait RawFile: Send + Sync {
     /// Full sequential scan, invoking `handler` for every data record.
     fn scan(&self, handler: &mut RowHandler<'_>) -> Result<()>;
 
-    /// Reads the records starting at each byte offset in `offsets` and
-    /// returns, for each (in input order), the values of `attrs`.
+    /// Reads the records named by `locators` and returns, for each (in input
+    /// order), the values of `attrs`.
     ///
-    /// Offsets must point at the first byte of a record, i.e. values handed
-    /// out by [`RawFile::scan`]. This is the metered random-access path.
-    fn read_rows(&self, offsets: &[u64], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>>;
+    /// Locators must have been handed out by this file's [`RawFile::scan`]
+    /// (or [`RawFile::scan_partition`]). This is the metered random-access
+    /// path that adaptation pays for.
+    fn read_rows(&self, locators: &[RowLocator], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>>;
+
+    /// Splits the sequential scan into at most `n` independently scannable
+    /// shards (for parallel initialization). Backends that cannot shard
+    /// return the single [`ScanPartition::WHOLE`] partition, which makes a
+    /// parallel scan degrade gracefully to a serial one.
+    fn partitions(&self, n: usize) -> Result<Vec<ScanPartition>> {
+        let _ = n;
+        Ok(vec![ScanPartition::WHOLE])
+    }
+
+    /// Scans the records inside one partition returned by
+    /// [`RawFile::partitions`]. Row ids passed to the handler are *local* to
+    /// the partition; locators are global, exactly as in a full scan.
+    fn scan_partition(&self, partition: ScanPartition, handler: &mut RowHandler<'_>) -> Result<()> {
+        if partition == ScanPartition::WHOLE {
+            self.scan(handler)
+        } else {
+            Err(PaiError::internal(
+                "this backend only supports the WHOLE scan partition",
+            ))
+        }
+    }
+}
+
+/// Boxed files are files: lets APIs hold `Box<dyn RawFile>` (e.g. a
+/// backend chosen at runtime) and still pass `&file` everywhere a
+/// `&dyn RawFile` is expected.
+impl<T: RawFile + ?Sized> RawFile for Box<T> {
+    fn schema(&self) -> &Schema {
+        (**self).schema()
+    }
+
+    fn counters(&self) -> &IoCounters {
+        (**self).counters()
+    }
+
+    fn size_bytes(&self) -> u64 {
+        (**self).size_bytes()
+    }
+
+    fn scan(&self, handler: &mut RowHandler<'_>) -> Result<()> {
+        (**self).scan(handler)
+    }
+
+    fn read_rows(&self, locators: &[RowLocator], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>> {
+        (**self).read_rows(locators, attrs)
+    }
+
+    fn partitions(&self, n: usize) -> Result<Vec<ScanPartition>> {
+        (**self).partitions(n)
+    }
+
+    fn scan_partition(&self, partition: ScanPartition, handler: &mut RowHandler<'_>) -> Result<()> {
+        (**self).scan_partition(partition, handler)
+    }
 }
 
 // ---------------------------------------------------------------------------
-// Shared implementation over any BufRead + Seek source.
+// Shared CSV implementation over any BufRead + Seek source.
 // ---------------------------------------------------------------------------
 
 fn skip_header<R: BufRead>(reader: &mut R, fmt: &CsvFormat) -> Result<u64> {
@@ -152,12 +305,8 @@ fn scan_impl<R: BufRead>(
         let body = trim_newline(&line);
         if !body.is_empty() {
             csv::split_fields(body, fmt, &mut ranges);
-            let rec = Record {
-                line: body,
-                ranges: &ranges,
-                line_no,
-            };
-            handler(row, offset, &rec)?;
+            let rec = Record::from_parts(body, &ranges, line_no);
+            handler(row, RowLocator::new(offset), &rec)?;
             row += 1;
         }
         counters.add_bytes(n as u64);
@@ -172,15 +321,15 @@ fn read_rows_impl<R: BufRead + Seek>(
     reader: &mut R,
     fmt: &CsvFormat,
     counters: &IoCounters,
-    offsets: &[u64],
+    locators: &[RowLocator],
     attrs: &[AttrId],
 ) -> Result<Vec<Vec<f64>>> {
     // Sort the requests by offset so the access pattern is monotone; remember
     // each request's slot in the output.
-    let mut order: Vec<(usize, u64)> = offsets.iter().copied().enumerate().collect();
+    let mut order: Vec<(usize, u64)> = locators.iter().map(|l| l.raw()).enumerate().collect();
     order.sort_by_key(|&(_, off)| off);
 
-    let mut out: Vec<Vec<f64>> = vec![Vec::new(); offsets.len()];
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); locators.len()];
     let mut line = Vec::with_capacity(256);
     let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(16);
     let mut pos: Option<u64> = None; // current stream position, if known
@@ -213,7 +362,7 @@ fn read_rows_impl<R: BufRead + Seek>(
         pos = Some(off + n as u64);
     }
 
-    counters.add_objects(offsets.len() as u64);
+    counters.add_objects(locators.len() as u64);
     counters.add_bytes(bytes);
     counters.add_seeks(seeks);
     Ok(out)
@@ -223,7 +372,7 @@ fn read_rows_impl<R: BufRead + Seek>(
 // CsvFile: on-disk implementation.
 // ---------------------------------------------------------------------------
 
-/// A CSV file on disk, accessed in situ.
+/// A CSV file on disk, accessed in situ. Locators are byte offsets.
 ///
 /// Cloning is cheap and clones share the same [`IoCounters`]; each access
 /// opens its own file handle, so a `CsvFile` can serve concurrent readers.
@@ -250,8 +399,14 @@ impl CsvFile {
         })
     }
 
+    /// Location of the file on disk.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// CSV dialect of the file.
+    pub fn format(&self) -> &CsvFormat {
+        &self.fmt
     }
 
     fn reader(&self) -> Result<BufReader<File>> {
@@ -269,10 +424,6 @@ impl RawFile for CsvFile {
         &self.schema
     }
 
-    fn format(&self) -> &CsvFormat {
-        &self.fmt
-    }
-
     fn counters(&self) -> &IoCounters {
         &self.counters
     }
@@ -286,9 +437,22 @@ impl RawFile for CsvFile {
         scan_impl(&mut reader, &self.fmt, &self.counters, handler)
     }
 
-    fn read_rows(&self, offsets: &[u64], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>> {
+    fn read_rows(&self, locators: &[RowLocator], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>> {
         let mut reader = self.reader()?;
-        read_rows_impl(&mut reader, &self.fmt, &self.counters, offsets, attrs)
+        read_rows_impl(&mut reader, &self.fmt, &self.counters, locators, attrs)
+    }
+
+    fn partitions(&self, n: usize) -> Result<Vec<ScanPartition>> {
+        crate::scan::chunk_ranges(&self.path, &self.fmt, n)
+    }
+
+    fn scan_partition(&self, partition: ScanPartition, handler: &mut RowHandler<'_>) -> Result<()> {
+        // Honor the trait-level "everything" sentinel uniformly: a full scan
+        // must skip the header line, which scan_range never does.
+        if partition == ScanPartition::WHOLE {
+            return self.scan(handler);
+        }
+        crate::scan::scan_range(&self.path, &self.fmt, partition, &self.counters, handler)
     }
 }
 
@@ -296,9 +460,9 @@ impl RawFile for CsvFile {
 // MemFile: in-memory implementation with identical semantics.
 // ---------------------------------------------------------------------------
 
-/// An in-memory "raw file" — the same byte-oriented access (offsets, seeks,
-/// metering) over a buffer. Behaviourally indistinguishable from [`CsvFile`],
-/// which is exactly what makes it useful in tests.
+/// An in-memory "raw file" — the same byte-oriented access (offset locators,
+/// seeks, metering) over a buffer. Behaviourally indistinguishable from
+/// [`CsvFile`], which is exactly what makes it useful in tests.
 #[derive(Debug, Clone)]
 pub struct MemFile {
     data: Arc<Vec<u8>>,
@@ -338,15 +502,16 @@ impl MemFile {
     pub fn bytes(&self) -> &[u8] {
         &self.data
     }
+
+    /// CSV dialect of the buffer.
+    pub fn format(&self) -> &CsvFormat {
+        &self.fmt
+    }
 }
 
 impl RawFile for MemFile {
     fn schema(&self) -> &Schema {
         &self.schema
-    }
-
-    fn format(&self) -> &CsvFormat {
-        &self.fmt
     }
 
     fn counters(&self) -> &IoCounters {
@@ -362,9 +527,9 @@ impl RawFile for MemFile {
         scan_impl(&mut reader, &self.fmt, &self.counters, handler)
     }
 
-    fn read_rows(&self, offsets: &[u64], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>> {
+    fn read_rows(&self, locators: &[RowLocator], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>> {
         let mut reader = Cursor::new(self.data.as_slice());
-        read_rows_impl(&mut reader, &self.fmt, &self.counters, offsets, attrs)
+        read_rows_impl(&mut reader, &self.fmt, &self.counters, locators, attrs)
     }
 }
 
@@ -386,8 +551,8 @@ mod tests {
     fn scan_visits_all_rows_with_offsets() {
         let f = sample();
         let mut seen = Vec::new();
-        f.scan(&mut |row, off, rec| {
-            seen.push((row, off, rec.f64(0)?, rec.f64(2)?));
+        f.scan(&mut |row, loc, rec| {
+            seen.push((row, loc.raw(), rec.f64(0)?, rec.f64(2)?));
             Ok(())
         })
         .unwrap();
@@ -414,37 +579,37 @@ mod tests {
     }
 
     #[test]
-    fn read_rows_by_offset_in_request_order() {
+    fn read_rows_by_locator_in_request_order() {
         let f = sample();
-        // Collect offsets via scan.
-        let mut offs = Vec::new();
-        f.scan(&mut |_, off, _| {
-            offs.push(off);
+        // Collect locators via scan.
+        let mut locs = Vec::new();
+        f.scan(&mut |_, loc, _| {
+            locs.push(loc);
             Ok(())
         })
         .unwrap();
         f.counters().reset();
 
         // Request out of order; expect results in request order.
-        let vals = f.read_rows(&[offs[2], offs[0]], &[2]).unwrap();
+        let vals = f.read_rows(&[locs[2], locs[0]], &[2]).unwrap();
         assert_eq!(vals, vec![vec![300.0], vec![100.0]]);
         assert_eq!(f.counters().objects_read(), 2);
-        // Sorted internally: first seek to offs[0], read, then offs[2] needs
+        // Sorted internally: first seek to locs[0], read, then locs[2] needs
         // a second seek (rows are not adjacent).
         assert_eq!(f.counters().seeks(), 2);
     }
 
     #[test]
-    fn consecutive_offsets_need_one_seek() {
+    fn consecutive_locators_need_one_seek() {
         let f = sample();
-        let mut offs = Vec::new();
-        f.scan(&mut |_, off, _| {
-            offs.push(off);
+        let mut locs = Vec::new();
+        f.scan(&mut |_, loc, _| {
+            locs.push(loc);
             Ok(())
         })
         .unwrap();
         f.counters().reset();
-        let vals = f.read_rows(&[offs[0], offs[1], offs[2]], &[0]).unwrap();
+        let vals = f.read_rows(&[locs[0], locs[1], locs[2]], &[0]).unwrap();
         assert_eq!(vals.len(), 3);
         assert_eq!(
             f.counters().seeks(),
@@ -456,13 +621,13 @@ mod tests {
     #[test]
     fn read_rows_multiple_attrs() {
         let f = sample();
-        let mut offs = Vec::new();
-        f.scan(&mut |_, off, _| {
-            offs.push(off);
+        let mut locs = Vec::new();
+        f.scan(&mut |_, loc, _| {
+            locs.push(loc);
             Ok(())
         })
         .unwrap();
-        let vals = f.read_rows(&[offs[1]], &[2, 0, 1]).unwrap();
+        let vals = f.read_rows(&[locs[1]], &[2, 0, 1]).unwrap();
         assert_eq!(vals, vec![vec![200.0, 2.0, 20.0]]);
     }
 
@@ -483,24 +648,26 @@ mod tests {
         let f = CsvFile::open(&path, Schema::synthetic(3), CsvFormat::default()).unwrap();
         assert_eq!(f.size_bytes(), 33);
 
-        let mut offs = Vec::new();
+        let mut locs = Vec::new();
         let mut xs = Vec::new();
-        f.scan(&mut |_, off, rec| {
-            offs.push(off);
+        f.scan(&mut |_, loc, rec| {
+            locs.push(loc);
             xs.push(rec.f64(0)?);
             Ok(())
         })
         .unwrap();
         assert_eq!(xs, vec![1.0, 2.0]);
-        let vals = f.read_rows(&[offs[1]], &[2]).unwrap();
+        let vals = f.read_rows(&[locs[1]], &[2]).unwrap();
         assert_eq!(vals, vec![vec![200.0]]);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn bad_offset_is_internal_error() {
+    fn bad_locator_is_internal_error() {
         let f = sample();
-        let err = f.read_rows(&[9_999_999], &[0]).unwrap_err();
+        let err = f
+            .read_rows(&[RowLocator::new(9_999_999)], &[0])
+            .unwrap_err();
         assert!(err.to_string().contains("EOF"));
     }
 
@@ -537,5 +704,80 @@ mod tests {
             })
             .unwrap_err();
         assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn value_records_answer_like_csv_records() {
+        let values = [1.5, -2.0, f64::NAN];
+        let rec = Record::from_values(&values, 7);
+        assert_eq!(rec.num_fields(), 3);
+        assert_eq!(rec.f64(0).unwrap(), 1.5);
+        assert!(rec.f64(2).unwrap().is_nan());
+        assert!(rec.f64(9).is_err(), "out-of-range column is an error");
+        let mut out = Vec::new();
+        rec.extract_f64(&[1, 0], &mut out).unwrap();
+        assert_eq!(out, vec![-2.0, 1.5]);
+        assert!(rec.text(0).is_err(), "binary records carry no text");
+    }
+
+    #[test]
+    fn default_partitions_degrade_to_serial_scan() {
+        let f = sample();
+        let parts = f.partitions(8).unwrap();
+        assert_eq!(parts, vec![ScanPartition::WHOLE]);
+        let mut rows = 0;
+        f.scan_partition(parts[0], &mut |_, _, _| {
+            rows += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, 3);
+        // A partition this file never handed out is rejected.
+        let bogus = ScanPartition { start: 1, end: 2 };
+        assert!(f.scan_partition(bogus, &mut |_, _, _| Ok(())).is_err());
+    }
+
+    #[test]
+    fn csv_whole_partition_skips_the_header() {
+        let dir = std::env::temp_dir().join("pai_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("whole.csv");
+        std::fs::write(&path, "col0,col1\n1,2\n3,4\n").unwrap();
+        let f = CsvFile::open(&path, Schema::synthetic(2), CsvFormat::default()).unwrap();
+        let mut xs = Vec::new();
+        f.scan_partition(ScanPartition::WHOLE, &mut |_, _, rec| {
+            xs.push(rec.f64(0)?);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(xs, vec![1.0, 3.0], "header must not leak as a record");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_file_partitions_cover_all_rows() {
+        let dir = std::env::temp_dir().join("pai_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("partitions.csv");
+        let mut text = String::from("col0,col1\n");
+        for i in 0..100 {
+            text.push_str(&format!("{i},{}\n", i * 2));
+        }
+        std::fs::write(&path, text).unwrap();
+        let f = CsvFile::open(&path, Schema::synthetic(2), CsvFormat::default()).unwrap();
+        let parts = f.partitions(4).unwrap();
+        assert!(parts.len() > 1, "100 rows should shard into several parts");
+        let mut xs: Vec<f64> = Vec::new();
+        for p in parts {
+            f.scan_partition(p, &mut |_, _, rec| {
+                xs.push(rec.f64(0)?);
+                Ok(())
+            })
+            .unwrap();
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(xs.len(), 100);
+        assert_eq!(xs[99], 99.0);
+        std::fs::remove_file(&path).ok();
     }
 }

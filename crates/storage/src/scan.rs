@@ -10,17 +10,15 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, Seek, SeekFrom};
 use std::path::Path;
 
-use pai_common::{IoCounters, Result, RowId};
+use pai_common::{IoCounters, Result, RowId, RowLocator};
 
 use crate::csv::{self, CsvFormat};
 use crate::raw::{Record, RowHandler};
 
-/// A byte range `[start, end)` of a file that begins at a record boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ChunkRange {
-    pub start: u64,
-    pub end: u64,
-}
+/// A byte range `[start, end)` of a file that begins at a record boundary —
+/// the CSV backend's concrete reading of the backend-agnostic
+/// [`ScanPartition`](crate::raw::ScanPartition) (same type, no conversion).
+pub use crate::raw::ScanPartition as ChunkRange;
 
 /// Splits `path` into at most `n` ranges aligned at line boundaries.
 ///
@@ -72,9 +70,9 @@ pub fn chunk_ranges(path: &Path, fmt: &CsvFormat, n: usize) -> Result<Vec<ChunkR
 }
 
 /// Scans the records inside one chunk, invoking `handler` per record with
-/// byte offsets relative to the whole file. Row ids are *local* to the chunk
-/// (0-based); callers that need global row ids should use offsets instead,
-/// which is what the index does.
+/// byte-offset locators relative to the whole file. Row ids are *local* to
+/// the chunk (0-based); callers that need a stable per-object identity
+/// should use the locators instead, which is what the index does.
 pub fn scan_range(
     path: &Path,
     fmt: &CsvFormat,
@@ -98,7 +96,7 @@ pub fn scan_range(
         if !body.is_empty() {
             csv::split_fields(body, fmt, &mut ranges);
             let rec = Record::from_parts(body, &ranges, 0);
-            handler(row, offset, &rec)?;
+            handler(row, RowLocator::new(offset), &rec)?;
             row += 1;
             counters.add_objects(1);
         }
@@ -205,14 +203,14 @@ mod tests {
     }
 
     #[test]
-    fn offsets_match_sequential_scan() {
+    fn locators_match_sequential_scan() {
         let path = write_temp("offsets.csv", 100);
         let fmt = CsvFormat::default();
         let file =
             crate::raw::CsvFile::open(&path, crate::schema::Schema::synthetic(2), fmt).unwrap();
         let mut seq = Vec::new();
-        crate::raw::RawFile::scan(&file, &mut |_, off, _| {
-            seq.push(off);
+        crate::raw::RawFile::scan(&file, &mut |_, loc, _| {
+            seq.push(loc);
             Ok(())
         })
         .unwrap();
@@ -220,8 +218,8 @@ mod tests {
         let counters = IoCounters::new();
         let mut par = Vec::new();
         for r in chunk_ranges(&path, &fmt, 5).unwrap() {
-            scan_range(&path, &fmt, r, &counters, &mut |_, off, _| {
-                par.push(off);
+            scan_range(&path, &fmt, r, &counters, &mut |_, loc, _| {
+                par.push(loc);
                 Ok(())
             })
             .unwrap();

@@ -63,7 +63,8 @@ pub use pai_storage;
 pub mod prelude {
     pub use pai_common::geometry::{Point2, Rect};
     pub use pai_common::{
-        AggregateFunction, AggregateValue, Interval, IoCounters, PaiError, Result, RunningStats,
+        AggregateFunction, AggregateValue, Interval, IoCounters, PaiError, Result, RowLocator,
+        RunningStats,
     };
     pub use pai_core::{
         ApproxResult, ApproximateEngine, EagerRefinement, EngineConfig, NormalizationMode,
@@ -78,7 +79,8 @@ pub mod prelude {
         analytics, report, trace, ExplorationSession, Filter, Method, WindowQuery, Workload,
     };
     pub use pai_storage::{
-        CsvFile, CsvFormat, DatasetSpec, MemFile, PointDistribution, RawFile, Schema, ValueModel,
+        convert_to_bin, write_bin, BinFile, CsvFile, CsvFormat, DatasetSpec, MemFile,
+        PointDistribution, RawFile, Schema, StorageBackend, ValueModel,
     };
 }
 

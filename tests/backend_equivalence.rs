@@ -1,0 +1,137 @@
+//! Backend-equivalence properties: the engine must not be able to tell the
+//! storage backends apart — except through the I/O meters.
+//!
+//! For generated datasets, the CSV representation and its binary columnar
+//! conversion must yield, under the same configuration and query sequence:
+//!   1. identical approximate answers and error bounds;
+//!   2. the same adaptation trajectory (tiles processed/split, objects
+//!      read, final leaf count);
+//!   3. fewer (or equal) bytes read on the binary backend — strictly fewer
+//!      whenever the workload actually reads objects.
+//!
+//! Both backends scan rows in the same order and round-trip `f64` values
+//! bit-exactly (CSV via shortest-repr printing, PaiBin natively), so the
+//! comparisons below are exact, not approximate.
+
+use partial_adaptive_indexing::prelude::*;
+use proptest::prelude::*;
+
+fn dataset(rows: u64, seed: u64, columns: usize) -> DatasetSpec {
+    DatasetSpec {
+        rows,
+        columns,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn window_strategy() -> impl Strategy<Value = Rect> {
+    (0.0f64..800.0, 0.0f64..800.0, 50.0f64..700.0, 50.0f64..700.0)
+        .prop_map(|(x0, y0, w, h)| Rect::new(x0, (x0 + w).min(1000.0), y0, (y0 + h).min(1000.0)))
+}
+
+/// Runs the same window sequence on one backend; returns per-query results
+/// plus the I/O meters and final index shape.
+#[allow(clippy::type_complexity)]
+fn run_sequence(
+    file: &dyn RawFile,
+    spec: &DatasetSpec,
+    grid: usize,
+    windows: &[Rect],
+    phi: f64,
+) -> (Vec<ApproxResult>, u64, u64, usize) {
+    let init = InitConfig {
+        grid: GridSpec::Fixed { nx: grid, ny: grid },
+        domain: Some(spec.domain),
+        metadata: MetadataPolicy::AllNumeric,
+    };
+    let (index, _) = build(file, &init).expect("init");
+    let mut engine =
+        ApproximateEngine::new(index, file, EngineConfig::paper_evaluation()).expect("engine");
+    file.counters().reset();
+    let aggs = [
+        AggregateFunction::Count,
+        AggregateFunction::Sum(2),
+        AggregateFunction::Mean(2),
+    ];
+    let results: Vec<ApproxResult> = windows
+        .iter()
+        .map(|w| engine.evaluate(w, &aggs, phi).expect("evaluate"))
+        .collect();
+    let objects = file.counters().objects_read();
+    let bytes = file.counters().bytes_read();
+    let leaves = engine.index().leaf_count();
+    (results, objects, bytes, leaves)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Query-result and adaptation-trajectory equivalence between the CSV
+    /// backend and its binary conversion, plus the byte advantage.
+    #[test]
+    fn prop_backends_equivalent(
+        rows in 200u64..900,
+        seed in 0u64..5,
+        grid in 3usize..7,
+        phi in prop_oneof![Just(0.0), 0.01f64..0.2],
+        w1 in window_strategy(),
+        w2 in window_strategy(),
+        w3 in window_strategy(),
+    ) {
+        let spec = dataset(rows, seed, 4);
+        let csv = spec.build_mem(CsvFormat::default()).unwrap();
+        // Convert the *CSV file* (not the generator) so the converter path
+        // itself is under test.
+        let bin = BinFile::from_bytes(convert_to_bin(&csv).unwrap()).unwrap();
+        prop_assert_eq!(bin.n_rows(), rows);
+
+        let windows = [w1, w2, w3];
+        let (rc, co, cb, cl) = run_sequence(&csv, &spec, grid, &windows, phi);
+        let (rb, bo, bb, bl) = run_sequence(&bin, &spec, grid, &windows, phi);
+
+        for (i, (c, b)) in rc.iter().zip(&rb).enumerate() {
+            for (cv, bv) in c.values.iter().zip(&b.values) {
+                prop_assert_eq!(cv.as_f64(), bv.as_f64(), "query {} answer", i);
+            }
+            for (cc, bc) in c.cis.iter().zip(&b.cis) {
+                prop_assert_eq!(cc, bc, "query {} CI", i);
+            }
+            prop_assert_eq!(c.error_bound, b.error_bound, "query {} bound", i);
+            prop_assert_eq!(
+                c.stats.tiles_processed, b.stats.tiles_processed,
+                "query {} trajectory", i
+            );
+            prop_assert_eq!(c.stats.tiles_split, b.stats.tiles_split, "query {} splits", i);
+            prop_assert_eq!(c.stats.selected, b.stats.selected, "query {} selection", i);
+        }
+        // Same splits in, same tree out.
+        prop_assert_eq!(cl, bl, "final leaf counts must match");
+        prop_assert_eq!(co, bo, "object meters must match");
+        // The tentpole claim: binary positional reads are never more
+        // expensive in bytes, and strictly cheaper once anything is read.
+        prop_assert!(bb <= cb, "bin bytes {} > csv bytes {}", bb, cb);
+        if co > 0 {
+            prop_assert!(bb < cb, "expected a strict byte advantage: {} vs {}", bb, cb);
+        }
+    }
+
+    /// Ground truth is backend-independent: a full scan of the conversion
+    /// sees exactly the rows the CSV scan sees.
+    #[test]
+    fn prop_conversion_preserves_ground_truth(
+        rows in 100u64..500,
+        seed in 0u64..5,
+        window in window_strategy(),
+    ) {
+        let spec = dataset(rows, seed, 3);
+        let csv = spec.build_mem(CsvFormat::default()).unwrap();
+        let bin = BinFile::from_bytes(convert_to_bin(&csv).unwrap()).unwrap();
+        let tc = pai_storage::ground_truth::window_truth(&csv, &window, &[2]).unwrap();
+        let tb = pai_storage::ground_truth::window_truth(&bin, &window, &[2]).unwrap();
+        prop_assert_eq!(tc[0].selected, tb[0].selected);
+        prop_assert_eq!(tc[0].stats.sum(), tb[0].stats.sum());
+        prop_assert_eq!(tc[0].stats.min(), tb[0].stats.min());
+        prop_assert_eq!(tc[0].stats.max(), tb[0].stats.max());
+    }
+}

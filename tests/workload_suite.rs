@@ -70,12 +70,18 @@ fn summary_and_csv_over_real_runs() {
 
     let csv = to_csv(&runs);
     assert_eq!(csv.lines().count(), wl.len() + 1);
-    assert!(csv.starts_with("query,exact_time_ms,exact_objects,phi=5%_time_ms,phi=5%_objects"));
+    assert!(csv.starts_with(
+        "query,exact_time_ms,exact_objects,exact_bytes,phi=5%_time_ms,phi=5%_objects,phi=5%_bytes"
+    ));
 
     let summary = summarize(&runs[0], &runs[1], 10);
     assert!(
         summary.objects_ratio <= 1.0,
         "approx reads at most what exact reads"
+    );
+    assert!(
+        summary.bytes_ratio <= 1.0,
+        "fewer objects on the same backend means fewer bytes"
     );
     assert!(summary.overall_speedup > 0.0);
     assert_eq!(summary.focus_query, 10);
