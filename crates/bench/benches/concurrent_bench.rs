@@ -1,0 +1,152 @@
+//! Concurrency comparison: reader (`SharedIndex::estimate`) latency while a
+//! writer adapts the shared index, under the two write protocols —
+//! `evaluate_locked` (the pre-pipeline behaviour: write lock held across
+//! all file I/O) vs the pipelined `evaluate` (plan under the read lock,
+//! fetch with no lock, apply under a short write lock).
+//!
+//! Two parts:
+//! * a correctness gate run once at startup: with the pipelined protocol,
+//!   reader estimates must **complete strictly inside a writer's evaluate
+//!   span** — i.e. readers really do run during writer file I/O. A
+//!   regression (a lock reintroduced around the fetch stage) aborts the
+//!   bench run;
+//! * criterion groups timing `estimate` latency while a background writer
+//!   continuously adapts, one group per protocol.
+//!
+//! Honors `PAI_BENCH_BACKEND` / `PAI_BENCH_BATCH` like every other bench.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pai_bench::{cached_file, small_setup};
+use pai_common::geometry::Rect;
+use pai_common::AggregateFunction;
+use pai_core::SharedIndex;
+use pai_index::init::build;
+use pai_storage::RawFile;
+
+const AGGS: [AggregateFunction; 1] = [AggregateFunction::Mean(2)];
+const WRITER_PHI: f64 = 0.005;
+
+fn fresh_shared(rows: u64) -> (Arc<SharedIndex<Box<dyn RawFile>>>, Vec<Rect>) {
+    let setup = small_setup(rows);
+    let file = cached_file(&setup.spec);
+    let (index, _) = build(&file, &setup.init).expect("init");
+    let windows: Vec<Rect> = setup.workload.queries.iter().map(|q| q.window).collect();
+    (
+        Arc::new(SharedIndex::new(index, file, setup.engine.clone()).expect("shared index")),
+        windows,
+    )
+}
+
+/// Runs a writer over `n_queries` fresh windows while the calling thread
+/// spins reader estimates; returns how many estimates completed strictly
+/// inside a writer evaluate span, and how many ran overall.
+fn readers_during_writer(
+    shared: &Arc<SharedIndex<Box<dyn RawFile>>>,
+    windows: &[Rect],
+    n_queries: usize,
+    pipelined: bool,
+) -> (usize, usize) {
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            let mut spans = Vec::with_capacity(n_queries);
+            for w in windows.iter().take(n_queries) {
+                let t0 = Instant::now();
+                let res = if pipelined {
+                    shared.evaluate(w, &AGGS, WRITER_PHI)
+                } else {
+                    shared.evaluate_locked(w, &AGGS, WRITER_PHI)
+                };
+                res.expect("writer evaluate");
+                spans.push((t0, Instant::now()));
+            }
+            done.store(true, Ordering::Release);
+            spans
+        });
+        let mut completions = Vec::new();
+        while !done.load(Ordering::Acquire) {
+            shared.estimate(&windows[0], &AGGS).expect("estimate");
+            completions.push(Instant::now());
+        }
+        let spans = writer.join().expect("writer thread");
+        let during = completions
+            .iter()
+            .filter(|&&c| spans.iter().any(|&(a, b)| c > a && c < b))
+            .count();
+        (during, completions.len())
+    })
+}
+
+/// Gate: under the pipelined protocol, readers complete while the writer is
+/// mid-evaluate (i.e. during its file I/O — a first-touch evaluate over a
+/// fresh crude index is I/O-dominated).
+fn assert_readers_complete_during_writer_io() {
+    let mut best = (0usize, 0usize);
+    for _ in 0..3 {
+        let (shared, windows) = fresh_shared(60_000);
+        let (during, total) = readers_during_writer(&shared, &windows, 6, true);
+        best = (best.0.max(during), total);
+        if during > 0 {
+            println!(
+                "concurrency gate: {during}/{total} reader estimates completed \
+                 inside pipelined writer evaluate spans"
+            );
+            return;
+        }
+    }
+    panic!(
+        "no reader estimate completed during a pipelined writer evaluate \
+         ({}/{} overlapped) — is a lock being held across file I/O again?",
+        best.0, best.1
+    );
+}
+
+fn bench_reader_latency(c: &mut Criterion) {
+    assert_readers_complete_during_writer_io();
+
+    let mut group = c.benchmark_group("reader_latency_under_writer");
+    for (label, pipelined) in [("pipelined", true), ("locked", false)] {
+        let (shared, windows) = fresh_shared(60_000);
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            let windows = windows.clone();
+            std::thread::spawn(move || {
+                // Keep adapting across the whole window sequence; small
+                // tiles below the split threshold keep paying window reads
+                // on every revisit, so the writer stays I/O-active even
+                // after the first pass.
+                let mut i = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let w = windows[i % windows.len()];
+                    let res = if pipelined {
+                        shared.evaluate(&w, &AGGS, WRITER_PHI)
+                    } else {
+                        shared.evaluate_locked(&w, &AGGS, WRITER_PHI)
+                    };
+                    res.expect("writer evaluate");
+                    i += 1;
+                }
+            })
+        };
+        group.bench_function(BenchmarkId::new("estimate", label), |b| {
+            b.iter(|| {
+                shared
+                    .estimate(&windows[0], &AGGS)
+                    .expect("estimate")
+                    .error_bound
+            })
+        });
+        stop.store(true, Ordering::Release);
+        writer.join().expect("writer thread");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reader_latency);
+criterion_main!(benches);

@@ -13,6 +13,11 @@
 //! * `PAI_BENCH_BACKEND` — storage backend every bench runs against:
 //!   `csv` (default) or `bin` (the binary columnar format). Benches obtain
 //!   their dataset through [`cached_file`], so one knob flips them all.
+//! * `PAI_BENCH_BATCH` — adaptation batch size (`EngineConfig::adapt_batch`)
+//!   every bench runs with: `1` (default) is the sequential-equivalent
+//!   tile-at-a-time pipeline, larger values coalesce that many tiles per
+//!   `read_rows` call. Benches obtain their engine config through
+//!   [`fig2_setup`]/[`small_setup`], so one knob flips them all.
 
 use std::path::PathBuf;
 
@@ -97,7 +102,10 @@ pub fn fig2_setup() -> Fig2Setup {
     Fig2Setup {
         spec,
         init,
-        engine: EngineConfig::paper_evaluation(),
+        engine: EngineConfig {
+            adapt_batch: batch(),
+            ..EngineConfig::paper_evaluation()
+        },
         workload,
         window_fraction,
     }
@@ -117,6 +125,17 @@ pub fn backend() -> StorageBackend {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or_default()
+}
+
+/// Adaptation batch size the benches run with, from `PAI_BENCH_BATCH`
+/// (default 1 = sequential-equivalent; malformed or zero values fall back
+/// to the default).
+pub fn batch() -> usize {
+    std::env::var("PAI_BENCH_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&b| b >= 1)
+        .unwrap_or(1)
 }
 
 /// Cache file name for `spec` under `backend` (extension encodes the
@@ -303,6 +322,25 @@ mod tests {
         // Second call hits the cache (open validates, no rewrite).
         let again = cached_bin(&spec);
         assert_eq!(again.size_bytes(), bin.size_bytes());
+    }
+
+    #[test]
+    fn batch_knob_selects_adapt_batch() {
+        // Same contract as the other knobs: unset → default, valid value →
+        // honored, malformed/zero → default (never a panic mid-bench).
+        std::env::remove_var("PAI_BENCH_BATCH");
+        assert_eq!(batch(), 1);
+        assert_eq!(fig2_setup().engine.adapt_batch, 1);
+        std::env::set_var("PAI_BENCH_BATCH", "8");
+        assert_eq!(batch(), 8);
+        let s = fig2_setup();
+        assert_eq!(s.engine.adapt_batch, 8);
+        assert!(s.engine.validate().is_ok());
+        std::env::set_var("PAI_BENCH_BATCH", "0");
+        assert_eq!(batch(), 1);
+        std::env::set_var("PAI_BENCH_BATCH", "not-a-number");
+        assert_eq!(batch(), 1);
+        std::env::remove_var("PAI_BENCH_BATCH");
     }
 
     #[test]

@@ -25,6 +25,10 @@ struct Inner {
     seeks: AtomicU64,
     /// Full-file sequential scans performed (initialization, ground truth).
     full_scans: AtomicU64,
+    /// `read_rows` invocations issued against the file. The batched
+    /// adaptation pipeline coalesces many tiles into one call, so this
+    /// meter (not `objects_read`) is what batching improves.
+    read_calls: AtomicU64,
 }
 
 /// A point-in-time copy of the counter values.
@@ -34,6 +38,7 @@ pub struct IoSnapshot {
     pub bytes_read: u64,
     pub seeks: u64,
     pub full_scans: u64,
+    pub read_calls: u64,
 }
 
 impl IoSnapshot {
@@ -45,6 +50,7 @@ impl IoSnapshot {
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             seeks: self.seeks.saturating_sub(earlier.seeks),
             full_scans: self.full_scans.saturating_sub(earlier.full_scans),
+            read_calls: self.read_calls.saturating_sub(earlier.read_calls),
         }
     }
 }
@@ -74,6 +80,11 @@ impl IoCounters {
         self.inner.full_scans.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub fn add_read_call(&self) {
+        self.inner.read_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn objects_read(&self) -> u64 {
         self.inner.objects_read.load(Ordering::Relaxed)
     }
@@ -90,6 +101,10 @@ impl IoCounters {
         self.inner.full_scans.load(Ordering::Relaxed)
     }
 
+    pub fn read_calls(&self) -> u64 {
+        self.inner.read_calls.load(Ordering::Relaxed)
+    }
+
     /// Captures current values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -97,6 +112,7 @@ impl IoCounters {
             bytes_read: self.bytes_read(),
             seeks: self.seeks(),
             full_scans: self.full_scans(),
+            read_calls: self.read_calls(),
         }
     }
 
@@ -106,6 +122,7 @@ impl IoCounters {
         self.inner.bytes_read.store(0, Ordering::Relaxed);
         self.inner.seeks.store(0, Ordering::Relaxed);
         self.inner.full_scans.store(0, Ordering::Relaxed);
+        self.inner.read_calls.store(0, Ordering::Relaxed);
     }
 }
 
@@ -121,10 +138,13 @@ mod tests {
         c.add_bytes(100);
         c.add_seeks(2);
         c.add_full_scan();
+        c.add_read_call();
+        c.add_read_call();
         assert_eq!(c.objects_read(), 15);
         assert_eq!(c.bytes_read(), 100);
         assert_eq!(c.seeks(), 2);
         assert_eq!(c.full_scans(), 1);
+        assert_eq!(c.read_calls(), 2);
     }
 
     #[test]

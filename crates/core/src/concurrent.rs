@@ -3,25 +3,50 @@
 //! An exploration dashboard typically renders several linked views at once
 //! (map window, heatmap, summary panel) while the user keeps interacting.
 //! [`SharedIndex`] supports that pattern with a `parking_lot` read-write
-//! lock:
+//! lock and the **plan → fetch → apply** pipeline:
 //!
 //! * any number of **readers** run [`SharedIndex::estimate`] concurrently —
 //!   metadata-only answers with confidence intervals, zero file I/O;
-//! * **adaptive queries** ([`SharedIndex::evaluate`]) take the write lock,
-//!   run the partial-adaptation loop, and leave the index better for every
-//!   subsequent reader.
+//! * **adaptive queries** ([`SharedIndex::evaluate`]) never hold a lock
+//!   across file I/O. Each refinement round
+//!   1. *plans* under the **read lock**: classifies the window, selects a
+//!      batch of candidate tiles, and computes their pure refinement plans
+//!      (entry snapshots + locators) — readers keep running;
+//!   2. *fetches* the batched values with **no lock held** — the expensive
+//!      stage, and the one that used to stall every reader;
+//!   3. *applies* under a **short write lock** with an optimistic version
+//!      check: if the index changed underneath a plan (another writer split
+//!      the tile), the plan is discarded and the affected region re-plans
+//!      from the refined children on the next round. Answers stay sound
+//!      either way; the conflicted fetch is the price of optimism, bounded
+//!      by one batch per losing writer and surfaced in the stats.
+//!
+//! Lock-wait time and plan conflicts are surfaced in
+//! [`QueryStats::lock_wait`] / [`QueryStats::plan_conflicts`] so dashboards
+//! can watch contention. [`SharedIndex::evaluate_locked`] retains the
+//! pre-pipeline behaviour (write lock across the whole query) as the
+//! sequential-consistency baseline the concurrency benchmarks compare
+//! against.
 //!
 //! The raw file itself needs no locking: [`RawFile`] implementations open
 //! independent handles per batch and their meters are atomic.
 
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
 use pai_common::geometry::Rect;
-use pai_common::{AggregateFunction, Result};
-use pai_index::ValinorIndex;
+use pai_common::{AggregateFunction, Result, RunningStats};
+use pai_index::eval::{query_attrs, QueryStats};
+use pai_index::{apply_enrich, apply_plan, TileId, ValinorIndex};
 use pai_storage::raw::RawFile;
 use parking_lot::RwLock;
 
-use crate::config::EngineConfig;
-use crate::engine::{estimate_readonly, evaluate_on, ApproxResult};
+use crate::config::{validate_phi, EngineConfig};
+use crate::engine::{
+    assess, candidate_views, estimate_readonly, evaluate_on, fetch_plans, plan_candidate,
+    ApproxResult, BatchPlan,
+};
+use crate::state::QueryState;
 
 /// A thread-safe wrapper around one index + raw file + engine config.
 pub struct SharedIndex<F: RawFile> {
@@ -49,22 +74,178 @@ impl<F: RawFile> SharedIndex<F> {
     }
 
     /// Metadata-only estimate under a read lock: any number of these run in
-    /// parallel, never touch the file, never mutate the index.
+    /// parallel, never touch the file, never mutate the index — and, since
+    /// adaptive writers only take the write lock for the brief apply stage,
+    /// they are never blocked behind a writer's file I/O either.
     pub fn estimate(&self, window: &Rect, aggs: &[AggregateFunction]) -> Result<ApproxResult> {
+        let t0 = Instant::now();
         let index = self.index.read();
-        estimate_readonly(&index, &self.config, window, aggs)
+        let wait = t0.elapsed();
+        let mut res = estimate_readonly(&index, &self.config, window, aggs)?;
+        res.stats.lock_wait = wait;
+        Ok(res)
     }
 
-    /// Accuracy-constrained evaluation under the write lock; adapts the
-    /// shared index exactly like [`crate::ApproximateEngine::evaluate`].
+    /// Accuracy-constrained evaluation through the non-blocking pipeline;
+    /// adapts the shared index so every subsequent reader starts tighter.
+    ///
+    /// Readers are never blocked by this method's file I/O: locks are held
+    /// only for pure planning (read lock) and the in-memory apply (write
+    /// lock). Concurrent writers may refine the same region; plans whose
+    /// tile changed underneath them are detected by an index version check
+    /// and discarded (counted in `QueryStats::plan_conflicts`), and the
+    /// affected region re-plans against the winner's refined tiles on the
+    /// next round.
+    ///
+    /// The per-round state rebuild means the exact float merge order can
+    /// differ in the last ulp from [`crate::ApproximateEngine::evaluate`];
+    /// the confidence intervals remain sound bounds either way.
     pub fn evaluate(
         &self,
         window: &Rect,
         aggs: &[AggregateFunction],
         phi: f64,
     ) -> Result<ApproxResult> {
+        validate_phi(phi)?;
+        let t0 = Instant::now();
+        let io0 = self.file.counters().snapshot();
+        let attrs = query_attrs(self.file.schema(), aggs)?;
+        let config = &self.config;
+
+        let mut lock_wait = Duration::ZERO;
+        let mut plan_conflicts = 0usize;
+        // In-window stats of partial tiles this query already processed,
+        // keyed by tile. Rebuilding the state from a fresh snapshot each
+        // round folds these instead of re-reading (tile ids are never
+        // reused, so stale keys are merely ignored).
+        let mut resolved: HashMap<TileId, Vec<RunningStats>> = HashMap::new();
+        let mut step = 0usize;
+        let (mut tiles_processed, mut tiles_split, mut tiles_enriched) = (0usize, 0usize, 0usize);
+        // Initial-classification shape, captured on the first round so the
+        // reported stats mean the same thing as the sequential engine's
+        // (what the query *found*, not what it left behind).
+        let mut initial_shape: Option<(u64, usize, usize)> = None;
+
+        loop {
+            // ---- Stage 1: plan under the read lock (pure). ----
+            let lw = Instant::now();
+            let index = self.index.read();
+            lock_wait += lw.elapsed();
+            let classification = index.classify(window);
+            let (selected, tiles_full, tiles_partial) = *initial_shape.get_or_insert((
+                classification.selected_total,
+                classification.full.len(),
+                classification.partial.len(),
+            ));
+            let state = QueryState::from_classification_resolved(
+                &index,
+                &classification,
+                &attrs,
+                &resolved,
+            )?;
+            let (estimates, bound) = assess(config, aggs, &state);
+            if state.candidates.is_empty() || bound <= phi {
+                let met_constraint = bound <= phi;
+                let (values, cis) = estimates.into_iter().map(|e| (e.value, e.ci)).unzip();
+                let stats = QueryStats {
+                    selected,
+                    tiles_full,
+                    tiles_partial,
+                    tiles_processed,
+                    tiles_split,
+                    tiles_enriched,
+                    io: self.file.counters().snapshot().since(&io0),
+                    elapsed: t0.elapsed(),
+                    lock_wait,
+                    plan_conflicts,
+                };
+                return Ok(ApproxResult {
+                    values,
+                    cis,
+                    error_bound: bound,
+                    phi,
+                    met_constraint,
+                    stats,
+                });
+            }
+            let picks = config.policy.pick_batch(
+                state.candidates.len(),
+                step,
+                config.adapt_batch,
+                |alive| candidate_views(&index, config, aggs, &state, alive),
+            );
+            let plans: Vec<BatchPlan> = picks
+                .iter()
+                .map(|&p| plan_candidate(&index, &state.candidates[p], window, &attrs, config))
+                .collect::<Result<_>>()?;
+            drop(index);
+
+            // ---- Stage 2: fetch with no lock held. ----
+            let fetched = fetch_plans(&self.file, &plans, config.fetch_parallelism)?;
+
+            // ---- Stage 3: apply under a short write lock, optimistically. ----
+            let lw = Instant::now();
+            let mut index = self.index.write();
+            lock_wait += lw.elapsed();
+            for (plan, values) in plans.iter().zip(&fetched) {
+                // Fast path: nothing changed since planning. Slow path: the
+                // plan survives as long as its tile is still a leaf (leaf
+                // entries never change except by splitting the leaf).
+                let applicable =
+                    index.version() == plan.planned_version() || index.tile(plan.tile()).is_leaf();
+                match plan {
+                    BatchPlan::Partial(p) => {
+                        if applicable {
+                            let out = apply_plan(&mut index, p, window, &config.adapt, values)?;
+                            tiles_split += usize::from(out.did_split);
+                            resolved.insert(p.tile, out.in_window);
+                            tiles_processed += 1;
+                        } else {
+                            // Concurrently split: the other writer already
+                            // refined this tile, so discard the plan — its
+                            // id never classifies again (children carry new
+                            // ids), and the region re-plans from the
+                            // refined children next round. The conflicted
+                            // fetch is the price of optimism, bounded by
+                            // one batch per losing writer.
+                            plan_conflicts += 1;
+                        }
+                    }
+                    BatchPlan::Enrich(p) => {
+                        if applicable {
+                            apply_enrich(&mut index, p, values)?;
+                            tiles_processed += 1;
+                            tiles_enriched += 1;
+                        } else {
+                            // The tile's children will be re-planned from
+                            // the fresh view next round.
+                            plan_conflicts += 1;
+                        }
+                    }
+                }
+                step += 1;
+            }
+        }
+    }
+
+    /// Accuracy-constrained evaluation holding the **write lock for the
+    /// whole query** — the pre-pipeline behaviour, preserved as the strict
+    /// sequential baseline. Readers stall for the full evaluation,
+    /// including all file I/O; `concurrent_bench` measures exactly that
+    /// difference. Use [`SharedIndex::evaluate`] unless you need the
+    /// single-owner engine's byte-for-byte trajectory on a shared index.
+    pub fn evaluate_locked(
+        &self,
+        window: &Rect,
+        aggs: &[AggregateFunction],
+        phi: f64,
+    ) -> Result<ApproxResult> {
+        let lw = Instant::now();
         let mut index = self.index.write();
-        evaluate_on(&mut index, &self.file, &self.config, window, aggs, phi)
+        let wait = lw.elapsed();
+        let mut res = evaluate_on(&mut index, &self.file, &self.config, window, aggs, phi)?;
+        res.stats.lock_wait = wait;
+        Ok(res)
     }
 
     /// Runs a closure against a read-locked snapshot of the index (for
@@ -84,10 +265,11 @@ mod tests {
     use super::*;
     use pai_index::init::{build, GridSpec, InitConfig};
     use pai_index::MetadataPolicy;
+    use pai_storage::ground_truth::window_truth;
     use pai_storage::{CsvFormat, DatasetSpec, MemFile};
     use std::sync::Arc;
 
-    fn shared(rows: u64) -> (Arc<SharedIndex<MemFile>>, DatasetSpec) {
+    fn shared_with(rows: u64, config: EngineConfig) -> (Arc<SharedIndex<MemFile>>, DatasetSpec) {
         let spec = DatasetSpec {
             rows,
             columns: 4,
@@ -102,9 +284,13 @@ mod tests {
         };
         let (index, _) = build(&file, &init).unwrap();
         (
-            Arc::new(SharedIndex::new(index, file, EngineConfig::paper_evaluation()).unwrap()),
+            Arc::new(SharedIndex::new(index, file, config).unwrap()),
             spec,
         )
+    }
+
+    fn shared(rows: u64) -> (Arc<SharedIndex<MemFile>>, DatasetSpec) {
+        shared_with(rows, EngineConfig::paper_evaluation())
     }
 
     #[test]
@@ -135,6 +321,62 @@ mod tests {
             before.error_bound,
             after.error_bound
         );
+    }
+
+    #[test]
+    fn pipelined_evaluate_is_sound_and_meets_phi() {
+        let (shared, _) = shared(4000);
+        let window = Rect::new(150.0, 650.0, 200.0, 700.0);
+        let aggs = [AggregateFunction::Sum(2), AggregateFunction::Mean(2)];
+        let res = shared.evaluate(&window, &aggs, 0.05).unwrap();
+        assert!(res.met_constraint);
+        assert!(res.error_bound <= 0.05);
+        let truth = window_truth(shared.file(), &window, &[2]).unwrap();
+        assert!(
+            res.cis[0].unwrap().contains(truth[0].stats.sum()),
+            "sum CI {} must contain truth {}",
+            res.cis[0].unwrap(),
+            truth[0].stats.sum()
+        );
+        assert!(res.cis[1].unwrap().contains(truth[0].stats.mean().unwrap()));
+        shared.with_index(|idx| idx.validate_invariants().unwrap());
+    }
+
+    #[test]
+    fn pipelined_exact_matches_locked_exact() {
+        // phi = 0 fully resolves every tile under both protocols, so the
+        // values must agree to float-merge tolerance.
+        let (a, _) = shared(2500);
+        let (b, _) = shared(2500);
+        let window = Rect::new(120.0, 640.0, 120.0, 640.0);
+        let aggs = [AggregateFunction::Sum(3), AggregateFunction::Count];
+        let ra = a.evaluate(&window, &aggs, 0.0).unwrap();
+        let rb = b.evaluate_locked(&window, &aggs, 0.0).unwrap();
+        assert_eq!(ra.error_bound, 0.0);
+        assert_eq!(rb.error_bound, 0.0);
+        let (x, y) = (
+            ra.values[0].as_f64().unwrap(),
+            rb.values[0].as_f64().unwrap(),
+        );
+        assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()), "{x} vs {y}");
+        assert_eq!(ra.values[1].as_f64(), rb.values[1].as_f64());
+    }
+
+    #[test]
+    fn repeated_pipelined_query_needs_no_io() {
+        let (shared, _) = shared(3000);
+        let window = Rect::new(100.0, 500.0, 100.0, 500.0);
+        let aggs = [AggregateFunction::Mean(2)];
+        let r1 = shared.evaluate(&window, &aggs, 0.0).unwrap();
+        assert!(r1.stats.io.objects_read > 0, "first pass adapts");
+        let r2 = shared.evaluate(&window, &aggs, 0.0).unwrap();
+        assert!(
+            r2.stats.io.objects_read < r1.stats.io.objects_read,
+            "adaptation persisted: the repeat is cheaper ({} vs {})",
+            r2.stats.io.objects_read,
+            r1.stats.io.objects_read
+        );
+        assert_eq!(r2.stats.plan_conflicts, 0, "single writer never conflicts");
     }
 
     #[test]
@@ -170,6 +412,34 @@ mod tests {
                 });
             }
         });
+        shared.with_index(|idx| idx.validate_invariants().unwrap());
+    }
+
+    #[test]
+    fn batched_shared_evaluate_is_sound() {
+        let (shared, _) = shared_with(
+            4000,
+            EngineConfig {
+                adapt_batch: 6,
+                ..EngineConfig::paper_evaluation()
+            },
+        );
+        let window = Rect::new(180.0, 700.0, 150.0, 620.0);
+        let aggs = [AggregateFunction::Sum(2)];
+        let res = shared.evaluate(&window, &aggs, 0.02).unwrap();
+        assert!(res.met_constraint);
+        let truth = window_truth(shared.file(), &window, &[2]).unwrap();
+        // Fully-resolved answers give point CIs whose float merge order can
+        // differ from the sequential scan's; compare with endpoint slack
+        // (same tolerance the I/O-budget engine test uses).
+        let ci = res.cis[0].unwrap();
+        let t = truth[0].stats.sum();
+        assert!(
+            ci.contains(t)
+                || (t - ci.lo()).abs() < 1e-9 * (1.0 + ci.lo().abs())
+                || (t - ci.hi()).abs() < 1e-9 * (1.0 + ci.hi().abs()),
+            "truth {t} escaped CI {ci}"
+        );
         shared.with_index(|idx| idx.validate_invariants().unwrap());
     }
 

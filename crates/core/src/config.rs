@@ -64,6 +64,19 @@ pub struct EngineConfig {
     pub assume_non_null: bool,
     /// Post-constraint adaptation (paper future work; default off).
     pub eager: EagerRefinement,
+    /// Candidate tiles planned and fetched together per adaptation
+    /// iteration. `1` (the default) reproduces the sequential
+    /// tile-at-a-time loop byte-for-byte; larger batches coalesce many
+    /// tiles' locators into one `read_rows` call (fewer syscalls,
+    /// cross-tile run coalescing on binary backends) while the apply stage
+    /// still re-checks the accuracy stop rule after every tile, so answers
+    /// and confidence intervals are identical to the sequential loop.
+    pub adapt_batch: usize,
+    /// Threads the batched fetch may shard a large locator batch across
+    /// (`std::thread::scope`). `1` (the default) keeps the one-call
+    /// guarantee that the equivalence tests gate on; raise it to trade
+    /// call count for wall-clock on high-latency backends.
+    pub fetch_parallelism: usize,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +88,8 @@ impl Default for EngineConfig {
             estimator: ValueEstimator::default(),
             assume_non_null: true,
             eager: EagerRefinement::Off,
+            adapt_batch: 1,
+            fetch_parallelism: 1,
         }
     }
 }
@@ -97,6 +112,16 @@ impl EngineConfig {
         if let EagerRefinement::ExtraTiles(0) = self.eager {
             return Err(PaiError::config(
                 "EagerRefinement::ExtraTiles(0) is EagerRefinement::Off; pick one",
+            ));
+        }
+        if self.adapt_batch == 0 {
+            return Err(PaiError::config(
+                "adapt_batch must be >= 1 (1 = sequential tile-at-a-time)",
+            ));
+        }
+        if self.fetch_parallelism == 0 {
+            return Err(PaiError::config(
+                "fetch_parallelism must be >= 1 (1 = single batched call)",
             ));
         }
         Ok(())
@@ -131,6 +156,26 @@ mod tests {
     fn default_config_valid() {
         assert!(EngineConfig::default().validate().is_ok());
         assert!(EngineConfig::paper_evaluation().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_batch_and_parallelism_rejected() {
+        let cfg = EngineConfig {
+            adapt_batch: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = EngineConfig {
+            fetch_parallelism: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = EngineConfig {
+            adapt_batch: 8,
+            fetch_parallelism: 4,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

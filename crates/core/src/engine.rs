@@ -19,16 +19,22 @@
 use std::time::Instant;
 
 use pai_common::geometry::Rect;
-use pai_common::{AggregateFunction, AggregateValue, Interval, PaiError, Result, RunningStats};
+use pai_common::{
+    AggregateFunction, AggregateValue, AttrId, Interval, PaiError, Result, RowLocator,
+};
 use pai_index::eval::{query_attrs, QueryStats};
-use pai_index::{enrich_tile, process_tile, ReadPolicy, ValinorIndex};
+use pai_index::{
+    apply_enrich, apply_plan, plan_enrich, plan_tile, EnrichPlan, ReadPolicy, TileId, TilePlan,
+    ValinorIndex,
+};
+use pai_storage::batch::read_row_groups;
 use pai_storage::raw::RawFile;
 
 use crate::bound::upper_error_bound;
 use crate::ci::{estimate_aggregate, AggregateEstimate};
 use crate::config::{validate_phi, EagerRefinement, EngineConfig};
 use crate::policy::CandidateView;
-use crate::state::{CandidateKind, QueryState};
+use crate::state::{Candidate, CandidateKind, QueryState};
 
 /// One step of a progressive evaluation trace: the state of the answer
 /// after `tiles_processed` tiles — what a progressive-visualization client
@@ -47,6 +53,9 @@ pub struct ProgressStep {
     /// separates storage backends (a binary columnar read fetches a few
     /// values where CSV re-reads a whole text record).
     pub bytes_read: u64,
+    /// Cumulative `read_rows` calls issued for this query — the metric the
+    /// batched adaptation pipeline improves (many tiles per call).
+    pub read_calls: u64,
 }
 
 /// Result of one approximate evaluation.
@@ -106,7 +115,8 @@ impl EvalCtx<'_> {
             ..Default::default()
         };
 
-        // The partial-adaptation loop.
+        // The partial-adaptation loop, pipelined per iteration as
+        // plan (pure) → coalesced fetch → apply + re-check.
         let mut step = 0usize;
         let (mut estimates, mut bound) = assess(self.config, aggs, &state);
         if let Some(t) = trace.as_deref_mut() {
@@ -116,26 +126,38 @@ impl EvalCtx<'_> {
                 estimate: estimates.first().and_then(|e| e.value.as_f64()),
                 objects_read: 0,
                 bytes_read: 0,
+                read_calls: 0,
             });
         }
-        loop {
+        'outer: loop {
             if state.candidates.is_empty() {
                 break;
             }
-            let views = candidate_views(self.index, self.config, aggs, &state);
-            let pick = match stop {
+            // Stage 1 — plan: select the batch the sequential loop would
+            // process next and compute each tile's pure refinement plan.
+            let picks = match stop {
                 StopRule::Accuracy { phi } => {
                     if bound <= phi {
                         break;
                     }
-                    self.config.policy.pick(&views, step)
+                    let (index, config) = (&*self.index, self.config);
+                    config.policy.pick_batch(
+                        state.candidates.len(),
+                        step,
+                        config.adapt_batch,
+                        |alive| candidate_views(index, config, aggs, &state, alive),
+                    )
                 }
                 StopRule::IoBudget { ref mut remaining } => {
                     if bound <= 0.0 {
                         break;
                     }
+                    // Costs must be re-checked against the shrinking budget
+                    // per tile, so budgeted evaluation stays tile-at-a-time.
                     // Among candidates that fit the budget, let the policy
                     // choose; stop when nothing fits.
+                    let all: Vec<usize> = (0..state.candidates.len()).collect();
+                    let views = candidate_views(self.index, self.config, aggs, &state, &all);
                     let affordable: Vec<usize> = (0..views.len())
                         .filter(|&i| views[i].cost <= *remaining)
                         .collect();
@@ -145,21 +167,58 @@ impl EvalCtx<'_> {
                     let sub: Vec<CandidateView> = affordable.iter().map(|&i| views[i]).collect();
                     let chosen = affordable[self.config.policy.pick(&sub, step)];
                     *remaining = remaining.saturating_sub(views[chosen].cost);
-                    chosen
+                    vec![chosen]
                 }
             };
-            self.process_candidate(&mut state, pick, window, &attrs, &mut stats)?;
-            step += 1;
-            (estimates, bound) = assess(self.config, aggs, &state);
-            if let Some(t) = trace.as_deref_mut() {
-                let io = self.file.counters().snapshot().since(&io0);
-                t.push(ProgressStep {
-                    tiles_processed: step,
-                    error_bound: bound,
-                    estimate: estimates.first().and_then(|e| e.value.as_f64()),
-                    objects_read: io.objects_read,
-                    bytes_read: io.bytes_read,
-                });
+            let plans: Vec<BatchPlan> = picks
+                .iter()
+                .map(|&p| {
+                    plan_candidate(
+                        self.index,
+                        &state.candidates[p],
+                        window,
+                        &attrs,
+                        self.config,
+                    )
+                })
+                .collect::<Result<_>>()?;
+
+            // Stage 2 — fetch: one coalesced read covers every tile in the
+            // batch (per distinct attribute set).
+            let fetched = fetch_plans(self.file, &plans, self.config.fetch_parallelism)?;
+
+            // Stage 3 — apply + re-check: install each plan in sequential
+            // order, re-evaluating the stop rule after every tile. Plans
+            // fetched past the stop point are discarded unapplied, so the
+            // processed-tile trajectory (and with it every answer and CI)
+            // is identical to the tile-at-a-time loop.
+            for (plan, values) in plans.iter().zip(&fetched) {
+                self.apply_one(&mut state, plan, values, window, &mut stats)?;
+                step += 1;
+                (estimates, bound) = assess(self.config, aggs, &state);
+                if let Some(t) = trace.as_deref_mut() {
+                    let io = self.file.counters().snapshot().since(&io0);
+                    t.push(ProgressStep {
+                        tiles_processed: step,
+                        error_bound: bound,
+                        estimate: estimates.first().and_then(|e| e.value.as_f64()),
+                        objects_read: io.objects_read,
+                        bytes_read: io.bytes_read,
+                        read_calls: io.read_calls,
+                    });
+                }
+                match stop {
+                    StopRule::Accuracy { phi } => {
+                        if bound <= phi {
+                            break 'outer;
+                        }
+                    }
+                    StopRule::IoBudget { .. } => {
+                        if bound <= 0.0 {
+                            break 'outer;
+                        }
+                    }
+                }
             }
         }
         let (phi, met_constraint) = match stop {
@@ -171,7 +230,8 @@ impl EvalCtx<'_> {
         if let (EagerRefinement::ExtraTiles(extra), true) = (self.config.eager, met_constraint) {
             let mut done = 0;
             while done < extra && !state.candidates.is_empty() {
-                let views = candidate_views(self.index, self.config, aggs, &state);
+                let all: Vec<usize> = (0..state.candidates.len()).collect();
+                let views = candidate_views(self.index, self.config, aggs, &state, &all);
                 let pick = self.config.policy.pick(&views, step);
                 self.process_candidate(&mut state, pick, window, &attrs, &mut stats)?;
                 step += 1;
@@ -195,10 +255,11 @@ impl EvalCtx<'_> {
         })
     }
 
-    /// Processes candidate `pick`: partial tiles go through the paper's
-    /// `process(t)` (read + split + reorganize + metadata); full-but-bounded
-    /// tiles get an enrichment read. Either way the candidate's contribution
-    /// becomes exact.
+    /// Processes candidate `pick` as a one-tile batch: partial tiles go
+    /// through the paper's `process(t)` (plan + read + split + reorganize +
+    /// metadata); full-but-bounded tiles get an enrichment read. Either way
+    /// the candidate's contribution becomes exact. Used by the sequential
+    /// paths (eager refinement) that pick one tile at a time.
     fn process_candidate(
         &mut self,
         state: &mut QueryState,
@@ -207,36 +268,48 @@ impl EvalCtx<'_> {
         attrs: &[usize],
         stats: &mut QueryStats,
     ) -> Result<()> {
-        let cand = state.candidates[pick].clone();
-        match cand.kind {
-            CandidateKind::Partial => {
-                let out = process_tile(
-                    self.index,
-                    self.file,
-                    cand.tile,
-                    window,
-                    attrs,
-                    &self.config.adapt,
-                )?;
+        let plan = plan_candidate(
+            self.index,
+            &state.candidates[pick],
+            window,
+            attrs,
+            self.config,
+        )?;
+        let fetched = fetch_plans(
+            self.file,
+            std::slice::from_ref(&plan),
+            self.config.fetch_parallelism,
+        )?;
+        self.apply_one(state, &plan, &fetched[0], window, stats)
+    }
+
+    /// Applies one fetched plan, folding the now-exact contribution into
+    /// the query state.
+    fn apply_one(
+        &mut self,
+        state: &mut QueryState,
+        plan: &BatchPlan,
+        values: &[Vec<f64>],
+        window: &Rect,
+        stats: &mut QueryStats,
+    ) -> Result<()> {
+        let pick = state
+            .candidates
+            .iter()
+            .position(|c| c.tile == plan.tile())
+            .ok_or_else(|| PaiError::internal("batch plan names an already-resolved candidate"))?;
+        match plan {
+            BatchPlan::Partial(p) => {
+                let out = apply_plan(self.index, p, window, &self.config.adapt, values)?;
                 stats.tiles_processed += 1;
                 stats.tiles_split += usize::from(out.did_split);
                 state.resolve(pick, &out.in_window);
             }
-            CandidateKind::FullBounded => {
-                enrich_tile(self.index, self.file, cand.tile, attrs)?;
+            BatchPlan::Enrich(p) => {
+                apply_enrich(self.index, p, values)?;
                 stats.tiles_processed += 1;
                 stats.tiles_enriched += 1;
-                let tile = self.index.tile(cand.tile);
-                let exact: Vec<RunningStats> = attrs
-                    .iter()
-                    .map(|&a| {
-                        tile.meta
-                            .get(a)
-                            .and_then(|m| m.exact_stats())
-                            .copied()
-                            .ok_or_else(|| PaiError::internal("enrichment left metadata inexact"))
-                    })
-                    .collect::<Result<_>>()?;
+                let exact = p.resolved_stats(values)?;
                 state.resolve(pick, &exact);
             }
         }
@@ -244,8 +317,101 @@ impl EvalCtx<'_> {
     }
 }
 
+/// One candidate's refinement plan: either the full `process(t)` of a
+/// partially-contained tile or the enrichment read of a fully-contained
+/// tile with missing metadata. Both variants are pure plans computed
+/// against an immutable index view; `pai-core::concurrent` fetches them
+/// without holding any lock.
+pub(crate) enum BatchPlan {
+    Partial(TilePlan),
+    Enrich(EnrichPlan),
+}
+
+impl BatchPlan {
+    pub(crate) fn tile(&self) -> TileId {
+        match self {
+            BatchPlan::Partial(p) => p.tile,
+            BatchPlan::Enrich(p) => p.tile,
+        }
+    }
+
+    pub(crate) fn planned_version(&self) -> u64 {
+        match self {
+            BatchPlan::Partial(p) => p.planned_version,
+            BatchPlan::Enrich(p) => p.planned_version,
+        }
+    }
+
+    fn locators(&self) -> &[RowLocator] {
+        match self {
+            BatchPlan::Partial(p) => &p.locators,
+            BatchPlan::Enrich(p) => &p.locators,
+        }
+    }
+
+    fn read_attrs(&self) -> &[AttrId] {
+        match self {
+            BatchPlan::Partial(p) => &p.read_attrs,
+            BatchPlan::Enrich(p) => &p.read_attrs,
+        }
+    }
+}
+
+/// Plans the processing of one candidate (pure, `&index`).
+pub(crate) fn plan_candidate(
+    index: &ValinorIndex,
+    cand: &Candidate,
+    window: &Rect,
+    attrs: &[AttrId],
+    config: &EngineConfig,
+) -> Result<BatchPlan> {
+    Ok(match cand.kind {
+        CandidateKind::Partial => {
+            BatchPlan::Partial(plan_tile(index, cand.tile, window, attrs, &config.adapt)?)
+        }
+        CandidateKind::FullBounded => BatchPlan::Enrich(plan_enrich(index, cand.tile, attrs)?),
+    })
+}
+
+/// Stage 2 of the pipeline: fetches every plan's locators with as few
+/// `read_rows` calls as possible — one coalesced cross-tile call per
+/// distinct attribute set (plans with no attributes to read are answered
+/// without touching the file). Returns per-plan value rows, positionally
+/// aligned with each plan's locators.
+pub(crate) fn fetch_plans(
+    file: &dyn RawFile,
+    plans: &[BatchPlan],
+    parallelism: usize,
+) -> Result<Vec<Vec<Vec<f64>>>> {
+    let mut out: Vec<Option<Vec<Vec<f64>>>> = plans.iter().map(|_| None).collect();
+    // Group plan indices by attribute set, preserving first-seen order.
+    let mut groups: Vec<(&[AttrId], Vec<usize>)> = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        if plan.read_attrs().is_empty() {
+            // COUNT-only style plans charge no I/O: synthesize empty rows.
+            out[i] = Some(vec![Vec::new(); plan.locators().len()]);
+            continue;
+        }
+        match groups.iter_mut().find(|(a, _)| *a == plan.read_attrs()) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((plan.read_attrs(), vec![i])),
+        }
+    }
+    for (attrs, members) in groups {
+        let locs: Vec<&[RowLocator]> = members.iter().map(|&i| plans[i].locators()).collect();
+        let fetched = read_row_groups(file, &locs, attrs, parallelism)?;
+        for (i, rows) in members.into_iter().zip(fetched) {
+            out[i] = Some(rows);
+        }
+    }
+    Ok(out
+        .into_iter()
+        .map(|o| o.expect("every plan fetched"))
+        .collect())
+}
+
 /// Current estimates and the combined (max-over-aggregates) bound.
-fn assess(
+pub(crate) fn assess(
     config: &EngineConfig,
     aggs: &[AggregateFunction],
     state: &QueryState,
@@ -272,23 +438,28 @@ fn bound_of(config: &EngineConfig, e: &AggregateEstimate) -> f64 {
     }
 }
 
-/// Builds the policy's view of each candidate: a per-candidate interval
-/// width reduced over the query's aggregates (each aggregate's widths
-/// normalized across candidates first, so attributes with different scales
-/// contribute comparably), plus cost proxies.
-fn candidate_views(
+/// Builds the policy's view of a subset of candidates (`subset` holds
+/// indices into `state.candidates`): a per-candidate interval width reduced
+/// over the query's aggregates (each aggregate's widths normalized across
+/// the subset first, so attributes with different scales contribute
+/// comparably), plus cost proxies.
+///
+/// Normalization over the *subset* — not all candidates — is what lets
+/// [`crate::SelectionPolicy::pick_batch`] reproduce the sequential pick
+/// order exactly: after each simulated removal the remaining candidates are
+/// re-normalized just as the one-at-a-time loop would.
+pub(crate) fn candidate_views(
     index: &ValinorIndex,
     config: &EngineConfig,
     aggs: &[AggregateFunction],
     state: &QueryState,
+    subset: &[usize],
 ) -> Vec<CandidateView> {
-    let n = state.candidates.len();
-    let mut widths = vec![0.0f64; n];
+    let mut widths = vec![0.0f64; subset.len()];
     for agg in aggs {
-        let per_agg: Vec<f64> = state
-            .candidates
+        let per_agg: Vec<f64> = subset
             .iter()
-            .map(|c| contribution_width(config, agg, state, c))
+            .map(|&i| contribution_width(config, agg, state, &state.candidates[i]))
             .collect();
         let max = per_agg.iter().copied().fold(0.0f64, f64::max);
         if max == 0.0 {
@@ -305,18 +476,22 @@ fn candidate_views(
             }
         }
     }
-    state
-        .candidates
+    subset
         .iter()
         .zip(widths)
-        .map(|(c, width)| CandidateView {
-            width,
-            selected: c.selected,
-            cost: match (c.kind, config.adapt.read) {
-                (CandidateKind::FullBounded, _) => index.tile(c.tile).object_count(),
-                (CandidateKind::Partial, ReadPolicy::WindowOnly) => c.selected,
-                (CandidateKind::Partial, ReadPolicy::FullTile) => index.tile(c.tile).object_count(),
-            },
+        .map(|(&i, width)| {
+            let c = &state.candidates[i];
+            CandidateView {
+                width,
+                selected: c.selected,
+                cost: match (c.kind, config.adapt.read) {
+                    (CandidateKind::FullBounded, _) => index.tile(c.tile).object_count(),
+                    (CandidateKind::Partial, ReadPolicy::WindowOnly) => c.selected,
+                    (CandidateKind::Partial, ReadPolicy::FullTile) => {
+                        index.tile(c.tile).object_count()
+                    }
+                },
+            }
         })
         .collect()
 }

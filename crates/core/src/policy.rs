@@ -105,6 +105,42 @@ impl SelectionPolicy {
     }
 }
 
+impl SelectionPolicy {
+    /// Picks up to `k` of `n` candidates in **sequential processing
+    /// order**: the batch is exactly the prefix the one-at-a-time loop
+    /// would have processed, so a batched engine that applies the picks in
+    /// order (re-checking its stop rule after each) reproduces the
+    /// sequential trajectory.
+    ///
+    /// Because processing a tile changes the relative scores of the
+    /// remaining candidates (score normalization is computed over the
+    /// still-open set), the caller supplies `views_for`, which builds the
+    /// policy views for any subset of candidates — `alive` holds original
+    /// candidate indices, in the same swap-remove order the engine's state
+    /// uses, so deterministic policies (e.g. [`SelectionPolicy::Random`])
+    /// see exactly the slices the sequential loop would have seen.
+    pub fn pick_batch(
+        &self,
+        n: usize,
+        step: usize,
+        k: usize,
+        mut views_for: impl FnMut(&[usize]) -> Vec<CandidateView>,
+    ) -> Vec<usize> {
+        let mut alive: Vec<usize> = (0..n).collect();
+        let mut out = Vec::with_capacity(k.min(n));
+        let mut step = step;
+        while out.len() < k && !alive.is_empty() {
+            let views = views_for(&alive);
+            debug_assert_eq!(views.len(), alive.len());
+            let i = self.pick(&views, step);
+            out.push(alive[i]);
+            alive.swap_remove(i);
+            step += 1;
+        }
+        out
+    }
+}
+
 fn argmax(scores: impl Iterator<Item = f64>) -> usize {
     let mut best = 0;
     let mut best_score = f64::NEG_INFINITY;
@@ -240,5 +276,52 @@ mod tests {
     #[should_panic(expected = "pick from nothing")]
     fn empty_candidates_panic() {
         SelectionPolicy::default().pick(&[], 0);
+    }
+
+    /// Simulates the engine's swap-remove bookkeeping for a candidate set
+    /// whose views do not change as candidates are removed.
+    fn static_views_for(all: &[CandidateView]) -> impl FnMut(&[usize]) -> Vec<CandidateView> + '_ {
+        move |alive: &[usize]| alive.iter().map(|&i| all[i]).collect()
+    }
+
+    #[test]
+    fn pick_batch_is_sequential_prefix() {
+        let all = views(&[(5.0, 100), (20.0, 1000), (1.0, 1), (7.0, 10)]);
+        for policy in [
+            SelectionPolicy::ScoreGreedy { alpha: 1.0 },
+            SelectionPolicy::ScoreGreedy { alpha: 0.5 },
+            SelectionPolicy::CostBenefit,
+            SelectionPolicy::Random { seed: 9 },
+        ] {
+            // Reference: run the sequential loop by hand.
+            let mut alive: Vec<usize> = (0..all.len()).collect();
+            let mut sequential = Vec::new();
+            for step in 0..all.len() {
+                let sub: Vec<CandidateView> = alive.iter().map(|&i| all[i]).collect();
+                let i = policy.pick(&sub, step);
+                sequential.push(alive[i]);
+                alive.swap_remove(i);
+            }
+            for k in 1..=all.len() {
+                let batch = policy.pick_batch(all.len(), 0, k, static_views_for(&all));
+                assert_eq!(batch, sequential[..k], "{} k={k}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn pick_batch_clamps_to_candidate_count() {
+        let all = views(&[(5.0, 10), (2.0, 20)]);
+        let p = SelectionPolicy::default();
+        let batch = p.pick_batch(all.len(), 0, 99, static_views_for(&all));
+        assert_eq!(batch.len(), 2);
+        assert_eq!(
+            batch.iter().collect::<std::collections::HashSet<_>>().len(),
+            2,
+            "no duplicates"
+        );
+        assert!(p
+            .pick_batch(0, 0, 4, |_alive| unreachable!("no candidates to view"))
+            .is_empty());
     }
 }

@@ -91,6 +91,24 @@ impl QueryState {
         classification: &Classification,
         attrs: &[AttrId],
     ) -> Result<QueryState> {
+        Self::from_classification_resolved(index, classification, attrs, &Default::default())
+    }
+
+    /// Like [`Self::from_classification`], but partial tiles present in
+    /// `resolved` fold their (previously computed) exact in-window stats
+    /// into the exact part instead of becoming candidates again.
+    ///
+    /// This is the re-planning primitive of the concurrent pipeline
+    /// (`crate::concurrent::SharedIndex`): an evaluation that rebuilds its
+    /// state from a fresh index snapshot each round must not re-read tiles
+    /// it already processed — values in the raw file are immutable, so the
+    /// remembered stats stay exact forever.
+    pub(crate) fn from_classification_resolved(
+        index: &ValinorIndex,
+        classification: &Classification,
+        attrs: &[AttrId],
+        resolved: &std::collections::HashMap<TileId, Vec<RunningStats>>,
+    ) -> Result<QueryState> {
         let mut state = QueryState {
             attrs: attrs.to_vec(),
             selected_total: classification.selected_total,
@@ -123,6 +141,13 @@ impl QueryState {
         }
 
         for pt in &classification.partial {
+            if let Some(stats) = resolved.get(&pt.tile) {
+                debug_assert_eq!(stats.len(), attrs.len());
+                for (acc, s) in state.exact.iter_mut().zip(stats) {
+                    acc.merge(s);
+                }
+                continue;
+            }
             state.candidates.push(Candidate {
                 tile: pt.tile,
                 selected: pt.selected,

@@ -1,18 +1,34 @@
-//! Tile processing: the `process(t)` operation of the paper.
+//! Tile processing: the `process(t)` operation of the paper, split into a
+//! **plan → fetch → apply** pipeline.
 //!
 //! Processing a partially-contained tile does everything the problem
 //! definition in §3.1 charges for: read the needed attribute values of the
 //! tile's objects from the raw file, split the tile into subtiles
 //! (policy-driven), reorganize its entries, and compute metadata for the new
-//! subtiles. The returned [`ProcessOutcome`] carries the *exact* in-window
-//! statistics, so the calling engine can swap this tile's contribution from
-//! a bounded interval to an exact value.
+//! subtiles. Since the refinement pipeline refactor those steps are three
+//! separable stages:
 //!
-//! [`enrich_tile`] is the companion used for fully-contained tiles whose
-//! metadata lacks the requested attribute: it reads the whole tile once and
-//! installs exact stats (the "index enrichment" of §2.2).
-
-use std::collections::HashMap;
+//! 1. [`plan_tile`] — **pure**, `&index` only: snapshots the tile's entries,
+//!    decides window membership and which locators/attributes must be read.
+//!    Plans from several tiles can be fetched together in one batched read
+//!    (`pai_storage::batch`), and planning never blocks concurrent readers.
+//! 2. The caller fetches the plan's `locators`/`read_attrs` however it likes
+//!    (single call, cross-tile batch, sharded threads).
+//! 3. [`apply_plan`] — installs the split, reorganized entries, and subtile
+//!    metadata, returning the [`ProcessOutcome`] with the *exact* in-window
+//!    statistics so the engine can swap this tile's contribution from a
+//!    bounded interval to an exact value. The statistics themselves are also
+//!    available without mutating anything via [`TilePlan::in_window_stats`]
+//!    (the optimistic concurrent applier uses this when the index changed
+//!    underneath a plan).
+//!
+//! [`process_tile`] composes the three stages for one tile — the paper's
+//! original `process(t)` — and is what the exact engine uses.
+//!
+//! [`enrich_tile`] (and its [`plan_enrich`]/[`apply_enrich`] stages) is the
+//! companion for fully-contained tiles whose metadata lacks the requested
+//! attribute: one whole-tile read installs exact stats (the "index
+//! enrichment" of §2.2).
 
 use pai_common::geometry::Rect;
 use pai_common::{AttrId, PaiError, Result, RowLocator, RunningStats};
@@ -39,27 +55,99 @@ pub struct ProcessOutcome {
     pub new_leaves: Vec<TileId>,
 }
 
-/// Processes one partially-contained leaf tile against `query`.
+/// A pure refinement plan for one partially-contained leaf tile: everything
+/// `process(t)` needs to know *before* touching the raw file, computed
+/// against an immutable index view.
+///
+/// The plan snapshots the tile's entries (cheap 24-byte copies), so its
+/// statistics can be computed from fetched values alone even if the index
+/// is mutated between planning and applying (see
+/// `pai-core::concurrent::SharedIndex`).
+#[derive(Debug, Clone)]
+pub struct TilePlan {
+    /// The planned tile.
+    pub tile: TileId,
+    /// Objects selected by the query inside this tile (`count(t∩Q)`).
+    pub selected: u64,
+    /// Locators to fetch, in entry order (selected entries under
+    /// [`ReadPolicy::WindowOnly`], every entry under
+    /// [`ReadPolicy::FullTile`]).
+    pub locators: Vec<RowLocator>,
+    /// Attributes to read for each locator (enrich policy already applied);
+    /// empty for COUNT-only queries, which charge no I/O.
+    pub read_attrs: Vec<AttrId>,
+    /// Index mutation counter at plan time (optimistic-concurrency stamp).
+    pub planned_version: u64,
+    /// Snapshot of the tile's entries at plan time.
+    entries: Vec<crate::entry::ObjectEntry>,
+    /// Per-entry window membership, aligned with `entries`.
+    in_window: Vec<bool>,
+    /// For each locator, the position of its entry in `entries` — the
+    /// positional alignment that replaces any per-object keyed lookup.
+    entry_of: Vec<u32>,
+    /// For each query attribute, its column within `read_attrs`.
+    attr_pos: Vec<usize>,
+}
+
+impl TilePlan {
+    /// Objects the fetch stage will read for this plan (0 when no
+    /// attributes are needed).
+    pub fn objects_to_read(&self) -> u64 {
+        if self.read_attrs.is_empty() {
+            0
+        } else {
+            self.locators.len() as u64
+        }
+    }
+
+    /// Exact in-window statistics for the query's attributes, computed
+    /// purely from the fetched `values` (one row per locator, in locator
+    /// order). Never touches the index — the data in the raw file is
+    /// immutable, so these statistics are correct even if the tile was
+    /// concurrently split after planning.
+    pub fn in_window_stats(&self, values: &[Vec<f64>]) -> Result<Vec<RunningStats>> {
+        if values.len() != self.locators.len() {
+            return Err(PaiError::internal(format!(
+                "plan for {:?} expected {} fetched rows, got {}",
+                self.tile,
+                self.locators.len(),
+                values.len()
+            )));
+        }
+        let mut stats = vec![RunningStats::new(); self.attr_pos.len()];
+        for (vals, &ei) in values.iter().zip(&self.entry_of) {
+            if !self.in_window[ei as usize] {
+                continue;
+            }
+            for (s, &pos) in stats.iter_mut().zip(&self.attr_pos) {
+                let v = *vals.get(pos).ok_or_else(|| {
+                    PaiError::internal("fetched row shorter than the plan's attribute list")
+                })?;
+                s.push(v);
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Plans the processing of one partially-contained leaf tile against
+/// `query` — the pure first stage of `process(t)`.
 ///
 /// `attrs` are the query's aggregate attributes; the [`AdaptConfig`] decides
-/// how much to read ([`ReadPolicy`]), whether/how to split
-/// ([`crate::SplitPolicy`]), and which attributes get metadata.
-pub fn process_tile(
-    index: &mut ValinorIndex,
-    file: &dyn RawFile,
+/// how much to read ([`ReadPolicy`]) and which attributes get metadata.
+pub fn plan_tile(
+    index: &ValinorIndex,
     tile_id: TileId,
     query: &Rect,
     attrs: &[AttrId],
     cfg: &AdaptConfig,
-) -> Result<ProcessOutcome> {
+) -> Result<TilePlan> {
     let tile = index.tile(tile_id);
     if !tile.is_leaf() {
         return Err(PaiError::internal(format!(
             "process_tile on non-leaf {tile_id:?}"
         )));
     }
-    let tile_rect = tile.rect;
-    let depth = tile.depth;
     // Snapshot entries: cheap copies, and they stay valid across the split.
     let entries = tile.entries().to_vec();
 
@@ -67,29 +155,22 @@ pub fn process_tile(
     let in_window: Vec<bool> = entries.iter().map(|e| e.in_window(query)).collect();
     let selected = in_window.iter().filter(|&&b| b).count() as u64;
 
-    // Which objects to read from the file.
-    let locators: Vec<RowLocator> = match cfg.read {
+    // Which objects to read from the file, remembering each locator's
+    // entry so fetched rows align back positionally.
+    let (locators, entry_of): (Vec<RowLocator>, Vec<u32>) = match cfg.read {
         ReadPolicy::WindowOnly => entries
             .iter()
+            .enumerate()
             .zip(&in_window)
             .filter(|&(_, &sel)| sel)
-            .map(|(e, _)| e.locator)
-            .collect(),
-        ReadPolicy::FullTile => entries.iter().map(|e| e.locator).collect(),
+            .map(|((i, e), _)| (e.locator, i as u32))
+            .unzip(),
+        ReadPolicy::FullTile => entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.locator, i as u32))
+            .unzip(),
     };
-    // A query over no attributes (e.g. COUNT-only) answers from the
-    // in-index axis values alone: splitting and selection need no file
-    // access, so charge no I/O.
-    let values = if read_attrs.is_empty() {
-        vec![Vec::new(); locators.len()]
-    } else {
-        file.read_rows(&locators, &read_attrs)?
-    };
-    let value_of: HashMap<RowLocator, &Vec<f64>> =
-        locators.iter().copied().zip(values.iter()).collect();
-
-    // Exact in-window statistics for the query's attributes.
-    let mut stats = vec![RunningStats::new(); attrs.len()];
     let attr_pos: Vec<usize> = attrs
         .iter()
         .map(|a| {
@@ -99,17 +180,65 @@ pub fn process_tile(
                 .expect("attrs is a subset of read_attrs by construction")
         })
         .collect();
-    for (e, &sel) in entries.iter().zip(&in_window) {
-        if !sel {
-            continue;
-        }
-        let vals = value_of
-            .get(&e.locator)
-            .ok_or_else(|| PaiError::internal("selected entry missing from read batch"))?;
-        for (s, &pos) in stats.iter_mut().zip(&attr_pos) {
-            s.push(vals[pos]);
-        }
+    Ok(TilePlan {
+        tile: tile_id,
+        selected,
+        locators,
+        read_attrs,
+        planned_version: index.version(),
+        entries,
+        in_window,
+        entry_of,
+        attr_pos,
+    })
+}
+
+/// Applies a fetched plan: performs the split decision, reorganizes
+/// entries, and installs subtile/in-place metadata — the mutation stage of
+/// `process(t)`.
+///
+/// `values` must be the rows fetched for `plan.locators` (in order) with
+/// `plan.read_attrs` as columns. The caller is responsible for the tile
+/// still being a leaf; under optimistic concurrency, check
+/// `index.version()` against [`TilePlan::planned_version`] (or
+/// `index.tile(plan.tile).is_leaf()`) first and fall back to
+/// [`TilePlan::in_window_stats`] when the plan no longer applies.
+pub fn apply_plan(
+    index: &mut ValinorIndex,
+    plan: &TilePlan,
+    query: &Rect,
+    cfg: &AdaptConfig,
+    values: &[Vec<f64>],
+) -> Result<ProcessOutcome> {
+    let tile = index.tile(plan.tile);
+    if !tile.is_leaf() {
+        return Err(PaiError::internal(format!(
+            "apply_plan on non-leaf {:?} (tile split since planning?)",
+            plan.tile
+        )));
     }
+    let tile_rect = tile.rect;
+    let depth = tile.depth;
+
+    // Exact in-window statistics, from the positionally aligned rows.
+    let stats = plan.in_window_stats(values)?;
+
+    // Locator -> fetched-row lookup for redistributing values onto split
+    // children: one sort of the (small) locator batch, then binary search —
+    // no per-object hashing.
+    let mut by_locator: Vec<(u64, u32)> = plan
+        .locators
+        .iter()
+        .enumerate()
+        .map(|(vi, l)| (l.raw(), vi as u32))
+        .collect();
+    by_locator.sort_unstable_by_key(|&(raw, _)| raw);
+    let value_of = |loc: RowLocator| -> Option<&Vec<f64>> {
+        by_locator
+            .binary_search_by_key(&loc.raw(), |&(raw, _)| raw)
+            .ok()
+            .map(|i| &values[by_locator[i].1 as usize])
+    };
 
     // Split decision: worth it only for populous, still-divisible tiles,
     // and only while the memory budget (if any) has headroom.
@@ -118,13 +247,14 @@ pub fn process_tile(
         .is_none_or(|budget| index.memory_bytes() < budget);
     let mut did_split = false;
     let mut new_leaves = Vec::new();
-    if within_budget && entries.len() as u64 >= cfg.min_split_objects && depth < cfg.max_depth {
-        if let Some(rects) = cfg.split.child_rects(&tile_rect, query, &entries) {
+    if within_budget && plan.entries.len() as u64 >= cfg.min_split_objects && depth < cfg.max_depth
+    {
+        if let Some(rects) = cfg.split.child_rects(&tile_rect, query, &plan.entries) {
             let extent_ok = rects
                 .iter()
                 .all(|r| r.width() >= cfg.min_tile_extent && r.height() >= cfg.min_tile_extent);
             if extent_ok && rects.len() >= 2 {
-                new_leaves = index.split_leaf(tile_id, rects)?;
+                new_leaves = index.split_leaf(plan.tile, rects)?;
                 did_split = true;
             }
         }
@@ -139,40 +269,39 @@ pub fn process_tile(
             if child_entries.is_empty() {
                 continue;
             }
-            let all_read = child_entries
-                .iter()
-                .all(|e| value_of.contains_key(&e.locator));
+            let all_read = child_entries.iter().all(|e| value_of(e.locator).is_some());
             if !all_read {
                 continue;
             }
             let mut per_attr: Vec<Vec<f64>> =
-                vec![Vec::with_capacity(child_entries.len()); read_attrs.len()];
+                vec![Vec::with_capacity(child_entries.len()); plan.read_attrs.len()];
             for e in child_entries {
-                let vals = value_of[&e.locator];
+                let vals = value_of(e.locator).expect("all_read checked above");
                 for (bucket, &v) in per_attr.iter_mut().zip(vals.iter()) {
                     bucket.push(v);
                 }
             }
-            for (i, attr) in read_attrs.iter().enumerate() {
+            for (i, attr) in plan.read_attrs.iter().enumerate() {
                 index
                     .tile_mut(child)
                     .meta
                     .set(*attr, AttrMeta::exact_from_values(&per_attr[i]));
             }
         }
-    } else if locators.len() == entries.len() && !entries.is_empty() {
+    } else if plan.locators.len() == plan.entries.len() && !plan.entries.is_empty() {
         // No split, but the whole tile was read (FullTile policy, or a
         // window that happens to select every object): enrich in place.
-        let mut per_attr: Vec<Vec<f64>> = vec![Vec::with_capacity(entries.len()); read_attrs.len()];
-        for e in &entries {
-            let vals = value_of[&e.locator];
+        let mut per_attr: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(plan.entries.len()); plan.read_attrs.len()];
+        // Locators cover every entry here, in entry order.
+        for vals in values {
             for (bucket, &v) in per_attr.iter_mut().zip(vals.iter()) {
                 bucket.push(v);
             }
         }
-        for (i, attr) in read_attrs.iter().enumerate() {
+        for (i, attr) in plan.read_attrs.iter().enumerate() {
             index
-                .tile_mut(tile_id)
+                .tile_mut(plan.tile)
                 .meta
                 .set(*attr, AttrMeta::exact_from_values(&per_attr[i]));
         }
@@ -180,18 +309,198 @@ pub fn process_tile(
 
     Ok(ProcessOutcome {
         in_window: stats,
-        selected,
-        objects_read: if read_attrs.is_empty() {
-            0
-        } else {
-            locators.len() as u64
-        },
+        selected: plan.selected,
+        objects_read: plan.objects_to_read(),
         did_split,
         new_leaves,
     })
 }
 
-/// Reads a whole leaf tile and installs exact metadata for `attrs`.
+/// Reads a plan's locators, synthesizing empty rows when no attributes are
+/// needed (a COUNT-only query answers from in-index axis values alone, so
+/// it charges no I/O).
+pub fn fetch_values(
+    file: &dyn RawFile,
+    locators: &[RowLocator],
+    read_attrs: &[AttrId],
+) -> Result<Vec<Vec<f64>>> {
+    if read_attrs.is_empty() {
+        Ok(vec![Vec::new(); locators.len()])
+    } else {
+        file.read_rows(locators, read_attrs)
+    }
+}
+
+/// Processes one partially-contained leaf tile against `query`: the
+/// original single-tile `process(t)`, composed as plan → fetch → apply.
+///
+/// `attrs` are the query's aggregate attributes; the [`AdaptConfig`] decides
+/// how much to read ([`ReadPolicy`]), whether/how to split
+/// ([`crate::SplitPolicy`]), and which attributes get metadata.
+pub fn process_tile(
+    index: &mut ValinorIndex,
+    file: &dyn RawFile,
+    tile_id: TileId,
+    query: &Rect,
+    attrs: &[AttrId],
+    cfg: &AdaptConfig,
+) -> Result<ProcessOutcome> {
+    let plan = plan_tile(index, tile_id, query, attrs, cfg)?;
+    let values = fetch_values(file, &plan.locators, &plan.read_attrs)?;
+    apply_plan(index, &plan, query, cfg, &values)
+}
+
+/// Where one query attribute's exact statistics come from when an
+/// enrichment plan resolves.
+#[derive(Debug, Clone)]
+enum EnrichSource {
+    /// Already exact in the tile's metadata at plan time (snapshot).
+    Exact(RunningStats),
+    /// Column `i` of the fetched values.
+    Fetched(usize),
+}
+
+/// A pure enrichment plan for one fully-contained leaf tile whose metadata
+/// is missing (or only bounded for) some requested attribute.
+///
+/// Like [`TilePlan`], the plan is computed against an immutable index view
+/// and carries enough snapshot state ([`EnrichPlan::resolved_stats`]) to
+/// resolve the tile's contribution even if the index changed underneath.
+#[derive(Debug, Clone)]
+pub struct EnrichPlan {
+    /// The planned tile.
+    pub tile: TileId,
+    /// Locators of every entry, in entry order (empty when nothing needs
+    /// reading).
+    pub locators: Vec<RowLocator>,
+    /// The attributes whose metadata must be read (the missing subset of
+    /// the query's attributes); empty when the tile is already fully exact.
+    pub read_attrs: Vec<AttrId>,
+    /// Index mutation counter at plan time (optimistic-concurrency stamp).
+    pub planned_version: u64,
+    /// Per query attribute: where its exact stats come from.
+    sources: Vec<EnrichSource>,
+}
+
+impl EnrichPlan {
+    /// Objects the fetch stage will read for this plan.
+    pub fn objects_to_read(&self) -> u64 {
+        if self.read_attrs.is_empty() {
+            0
+        } else {
+            self.locators.len() as u64
+        }
+    }
+
+    /// Exact whole-tile statistics per query attribute, combining the
+    /// plan-time metadata snapshot with the fetched columns. Pure — usable
+    /// even when the structural apply was skipped due to a concurrent
+    /// split.
+    pub fn resolved_stats(&self, values: &[Vec<f64>]) -> Result<Vec<RunningStats>> {
+        self.sources
+            .iter()
+            .map(|src| match src {
+                EnrichSource::Exact(stats) => Ok(*stats),
+                EnrichSource::Fetched(col) => {
+                    let mut s = RunningStats::new();
+                    for row in values {
+                        s.push(*row.get(*col).ok_or_else(|| {
+                            PaiError::internal("fetched row shorter than the enrich attribute list")
+                        })?);
+                    }
+                    Ok(s)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Plans the enrichment read for a fully-contained tile — the pure first
+/// stage of [`enrich_tile`]. The plan is empty (nothing to fetch) when
+/// every requested attribute already has exact stats, or the tile holds no
+/// objects.
+pub fn plan_enrich(index: &ValinorIndex, tile_id: TileId, attrs: &[AttrId]) -> Result<EnrichPlan> {
+    let tile = index.tile(tile_id);
+    if !tile.is_leaf() {
+        return Err(PaiError::internal(format!(
+            "enrich_tile on non-leaf {tile_id:?}"
+        )));
+    }
+    let mut read_attrs = Vec::new();
+    let mut sources = Vec::with_capacity(attrs.len());
+    for &a in attrs {
+        match tile.meta.get(a).and_then(AttrMeta::exact_stats) {
+            Some(stats) => sources.push(EnrichSource::Exact(*stats)),
+            None => {
+                sources.push(EnrichSource::Fetched(read_attrs.len()));
+                read_attrs.push(a);
+            }
+        }
+    }
+    // An empty tile needs no read and must not have empty stats installed
+    // (mirrors the pre-pipeline behaviour of skipping empty tiles).
+    let locators: Vec<RowLocator> = if read_attrs.is_empty() || tile.entries().is_empty() {
+        read_attrs.clear();
+        for src in &mut sources {
+            if matches!(src, EnrichSource::Fetched(_)) {
+                *src = EnrichSource::Exact(RunningStats::new());
+            }
+        }
+        Vec::new()
+    } else {
+        tile.entries().iter().map(|e| e.locator).collect()
+    };
+    Ok(EnrichPlan {
+        tile: tile_id,
+        locators,
+        read_attrs,
+        planned_version: index.version(),
+        sources,
+    })
+}
+
+/// Installs the fetched enrichment values as exact metadata — the mutation
+/// stage of [`enrich_tile`]. Returns the number of objects the plan read.
+pub fn apply_enrich(
+    index: &mut ValinorIndex,
+    plan: &EnrichPlan,
+    values: &[Vec<f64>],
+) -> Result<u64> {
+    if plan.read_attrs.is_empty() {
+        return Ok(0);
+    }
+    if !index.tile(plan.tile).is_leaf() {
+        return Err(PaiError::internal(format!(
+            "apply_enrich on non-leaf {:?} (tile split since planning?)",
+            plan.tile
+        )));
+    }
+    if values.len() != plan.locators.len() {
+        return Err(PaiError::internal(format!(
+            "enrich plan for {:?} expected {} fetched rows, got {}",
+            plan.tile,
+            plan.locators.len(),
+            values.len()
+        )));
+    }
+    let mut per_attr: Vec<Vec<f64>> =
+        vec![Vec::with_capacity(plan.locators.len()); plan.read_attrs.len()];
+    for vals in values {
+        for (bucket, &v) in per_attr.iter_mut().zip(vals.iter()) {
+            bucket.push(v);
+        }
+    }
+    for (i, attr) in plan.read_attrs.iter().enumerate() {
+        index
+            .tile_mut(plan.tile)
+            .meta
+            .set(*attr, AttrMeta::exact_from_values(&per_attr[i]));
+    }
+    Ok(plan.locators.len() as u64)
+}
+
+/// Reads a whole leaf tile and installs exact metadata for `attrs`:
+/// plan → fetch → apply for the enrichment path.
 ///
 /// Used for fully-contained tiles whose metadata is missing or only bounded
 /// for a requested attribute. Returns the number of objects read (0 when the
@@ -202,35 +511,12 @@ pub fn enrich_tile(
     tile_id: TileId,
     attrs: &[AttrId],
 ) -> Result<u64> {
-    let tile = index.tile(tile_id);
-    if !tile.is_leaf() {
-        return Err(PaiError::internal(format!(
-            "enrich_tile on non-leaf {tile_id:?}"
-        )));
-    }
-    let missing: Vec<AttrId> = attrs
-        .iter()
-        .copied()
-        .filter(|&a| !tile.meta.has_exact(a))
-        .collect();
-    if missing.is_empty() || tile.entries().is_empty() {
+    let plan = plan_enrich(index, tile_id, attrs)?;
+    if plan.read_attrs.is_empty() {
         return Ok(0);
     }
-    let locators: Vec<RowLocator> = tile.entries().iter().map(|e| e.locator).collect();
-    let values = file.read_rows(&locators, &missing)?;
-    let mut per_attr: Vec<Vec<f64>> = vec![Vec::with_capacity(locators.len()); missing.len()];
-    for vals in &values {
-        for (bucket, &v) in per_attr.iter_mut().zip(vals.iter()) {
-            bucket.push(v);
-        }
-    }
-    for (i, attr) in missing.iter().enumerate() {
-        index
-            .tile_mut(tile_id)
-            .meta
-            .set(*attr, AttrMeta::exact_from_values(&per_attr[i]));
-    }
-    Ok(locators.len() as u64)
+    let values = file.read_rows(&plan.locators, &plan.read_attrs)?;
+    apply_enrich(index, &plan, &values)
 }
 
 /// Test/diagnostic helper: entry counts per leaf under a rectangle.
@@ -431,6 +717,101 @@ mod tests {
         assert!(idx.tile(t).meta.has_exact(2));
         let again = enrich_tile(&mut idx, &f, t, &[2]).unwrap();
         assert_eq!(again, 0, "second enrichment is free");
+    }
+
+    #[test]
+    fn plan_is_pure_and_apply_matches_process() {
+        // plan_tile must not touch the index or the file; applying the plan
+        // with fetched values must equal the one-shot process_tile.
+        let (f, mut idx) = setup();
+        let q = Rect::new(11.0, 15.0, 11.0, 16.0);
+        let centre = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
+        let cfg = adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::WindowOnly);
+
+        f.counters().reset();
+        let version_before = idx.version();
+        let plan = plan_tile(&idx, centre, &q, &[2], &cfg).unwrap();
+        assert_eq!(
+            f.counters().snapshot(),
+            Default::default(),
+            "planning is free"
+        );
+        assert_eq!(idx.version(), version_before, "planning mutates nothing");
+        assert_eq!(plan.selected, 1);
+        assert_eq!(plan.objects_to_read(), 1);
+        assert_eq!(plan.read_attrs, vec![2]);
+
+        let values = fetch_values(&f, &plan.locators, &plan.read_attrs).unwrap();
+        // The pure stats match what apply reports.
+        let pure = plan.in_window_stats(&values).unwrap();
+        let out = apply_plan(&mut idx, &plan, &q, &cfg, &values).unwrap();
+        assert_eq!(out.in_window, pure);
+        assert_eq!(out.in_window[0].sum(), 40.0);
+        assert!(out.did_split);
+        assert!(idx.version() > version_before, "apply bumps the version");
+        idx.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn stale_plan_apply_is_rejected_but_stats_survive() {
+        let (f, mut idx) = setup();
+        let q = Rect::new(11.0, 15.0, 11.0, 16.0);
+        let centre = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
+        let cfg = adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::WindowOnly);
+        let plan = plan_tile(&idx, centre, &q, &[2], &cfg).unwrap();
+        let values = fetch_values(&f, &plan.locators, &plan.read_attrs).unwrap();
+        // Another writer splits the tile between plan and apply.
+        process_tile(&mut idx, &f, centre, &q, &[2], &cfg).unwrap();
+        assert!(idx.version() != plan.planned_version);
+        let err = apply_plan(&mut idx, &plan, &q, &cfg, &values).unwrap_err();
+        assert!(err.to_string().contains("non-leaf"), "{err}");
+        // The fetched values still resolve the contribution purely.
+        let stats = plan.in_window_stats(&values).unwrap();
+        assert_eq!(stats[0].sum(), 40.0);
+    }
+
+    #[test]
+    fn enrich_plan_resolves_from_snapshot_and_fetch() {
+        let (f, mut idx) = setup();
+        let t = idx.leaf_for_point(Point2::new(25.0, 5.0)).unwrap();
+        // Attr 2 already exact from init metadata; plan over it is free.
+        let free = plan_enrich(&idx, t, &[2]).unwrap();
+        assert_eq!(free.objects_to_read(), 0);
+        let resolved = free.resolved_stats(&[]).unwrap();
+        assert_eq!(resolved[0].sum(), 130.0, "snapshot path");
+
+        // Wipe metadata: the plan now fetches, and apply installs it.
+        idx.tile_mut(t).meta = crate::metadata::TileMetadata::new(3);
+        let plan = plan_enrich(&idx, t, &[2]).unwrap();
+        assert_eq!(plan.objects_to_read(), 2);
+        let values = f.read_rows(&plan.locators, &plan.read_attrs).unwrap();
+        let read = apply_enrich(&mut idx, &plan, &values).unwrap();
+        assert_eq!(read, 2);
+        assert!(idx.tile(t).meta.has_exact(2));
+        let resolved = plan.resolved_stats(&values).unwrap();
+        assert_eq!(
+            Some(&resolved[0]),
+            idx.tile(t).meta.get(2).unwrap().exact_stats(),
+            "pure resolution equals the installed metadata"
+        );
+    }
+
+    #[test]
+    fn plan_values_align_positionally() {
+        // Fetched rows must line up with locators in request order — the
+        // positional alignment that replaced per-object hashing.
+        let (f, idx) = setup();
+        let q = Rect::new(0.0, 30.0, 0.0, 30.0);
+        let t = idx.leaf_for_point(Point2::new(25.0, 5.0)).unwrap();
+        let cfg = adapt_cfg(SplitPolicy::NoSplit, ReadPolicy::FullTile);
+        let plan = plan_tile(&idx, t, &q, &[2], &cfg).unwrap();
+        assert_eq!(plan.locators.len(), 2);
+        let values = f.read_rows(&plan.locators, &plan.read_attrs).unwrap();
+        let stats = plan.in_window_stats(&values).unwrap();
+        assert_eq!(stats[0].sum(), 130.0);
+        assert_eq!(stats[0].count(), 2);
+        // Wrong-shaped values are an error, not a misalignment.
+        assert!(plan.in_window_stats(&values[..1]).is_err());
     }
 
     #[test]

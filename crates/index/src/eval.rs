@@ -37,6 +37,13 @@ pub struct QueryStats {
     pub tiles_split: usize,
     /// Fully-contained tiles that needed an enrichment read.
     pub tiles_enriched: usize,
+    /// Time spent waiting to acquire index locks (zero for engines that
+    /// own their index; populated by `pai-core`'s `SharedIndex`).
+    pub lock_wait: Duration,
+    /// Refinement plans whose structural apply was skipped because the
+    /// index changed between planning and applying (optimistic-concurrency
+    /// conflicts; always zero for single-owner engines).
+    pub plan_conflicts: usize,
 }
 
 /// Result of an exact evaluation: one value per requested aggregate.

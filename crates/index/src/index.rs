@@ -50,6 +50,11 @@ pub struct ValinorIndex {
     total_objects: u64,
     /// Cumulative number of leaf splits performed (adaptation effort).
     splits_performed: u64,
+    /// Monotone mutation counter: bumped on every structural or metadata
+    /// change. Refinement plans record it so an optimistic applier can
+    /// detect whether the index changed underneath a plan (see
+    /// `pai-core::concurrent`).
+    version: u64,
 }
 
 impl ValinorIndex {
@@ -80,6 +85,7 @@ impl ValinorIndex {
             global_bounds: vec![None; n_cols],
             total_objects: 0,
             splits_performed: 0,
+            version: 0,
         })
     }
 
@@ -106,6 +112,13 @@ impl ValinorIndex {
         self.splits_performed
     }
 
+    /// Monotone mutation counter. Two equal readings with no writer in
+    /// between guarantee the index did not change; a changed reading means
+    /// some tile may have been split or re-enriched.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// All tiles ever created (leaves and inner).
     pub fn tile_count(&self) -> usize {
         self.tiles.len()
@@ -125,6 +138,8 @@ impl ValinorIndex {
     }
 
     pub(crate) fn tile_mut(&mut self, id: TileId) -> &mut Tile {
+        // Conservative: any mutable tile access counts as a change.
+        self.version = self.version.wrapping_add(1);
         &mut self.tiles[id.index()]
     }
 
@@ -174,6 +189,7 @@ impl ValinorIndex {
     pub(crate) fn insert_entry(&mut self, entry: ObjectEntry) {
         let cell = self.root_cell(entry.point());
         let tid = self.root[cell];
+        self.version = self.version.wrapping_add(1);
         match &mut self.tiles[tid.index()].state {
             TileState::Leaf { entries } => entries.push(entry),
             TileState::Inner { .. } => {
@@ -188,6 +204,7 @@ impl ValinorIndex {
     pub(crate) fn extend_cell(&mut self, cell: usize, batch: Vec<ObjectEntry>) {
         let tid = self.root[cell];
         let n = batch.len() as u64;
+        self.version = self.version.wrapping_add(1);
         match &mut self.tiles[tid.index()].state {
             TileState::Leaf { entries } => entries.extend(batch),
             TileState::Inner { .. } => unreachable!("init-time cells are leaves"),

@@ -33,7 +33,10 @@ pub mod split;
 pub mod testutil;
 pub mod tile;
 
-pub use adapt::{enrich_tile, process_tile, ProcessOutcome};
+pub use adapt::{
+    apply_enrich, apply_plan, enrich_tile, fetch_values, plan_enrich, plan_tile, process_tile,
+    EnrichPlan, ProcessOutcome, TilePlan,
+};
 pub use config::{AdaptConfig, EnrichPolicy, MetadataPolicy, ReadPolicy};
 pub use entry::ObjectEntry;
 pub use eval::{ExactEngine, ExactResult, QueryStats};

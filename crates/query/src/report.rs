@@ -4,15 +4,16 @@
 
 use crate::runner::MethodRun;
 
-/// Per-query CSV with one time, objects, and bytes column per method;
-/// loadable into any plotting tool to re-draw Figure 2 (times/objects) or to
-/// compare storage backends (bytes).
+/// Per-query CSV with one time, objects, bytes, read-calls, and lock-wait
+/// column per method; loadable into any plotting tool to re-draw Figure 2
+/// (times/objects), compare storage backends (bytes), or quantify the
+/// batched-pipeline win (read_calls, lock_wait_ms).
 pub fn to_csv(runs: &[MethodRun]) -> String {
     let mut header = String::from("query");
     for r in runs {
         header.push_str(&format!(
-            ",{}_time_ms,{}_objects,{}_bytes",
-            r.label, r.label, r.label
+            ",{l}_time_ms,{l}_objects,{l}_bytes,{l}_read_calls,{l}_lock_wait_ms",
+            l = r.label
         ));
     }
     let n = runs.iter().map(|r| r.records.len()).max().unwrap_or(0);
@@ -23,12 +24,14 @@ pub fn to_csv(runs: &[MethodRun]) -> String {
         for r in runs {
             match r.records.get(i) {
                 Some(rec) => out.push_str(&format!(
-                    ",{:.3},{},{}",
+                    ",{:.3},{},{},{},{:.3}",
                     rec.elapsed.as_secs_f64() * 1e3,
                     rec.objects_read,
-                    rec.bytes_read
+                    rec.bytes_read,
+                    rec.read_calls,
+                    rec.lock_wait.as_secs_f64() * 1e3
                 )),
-                None => out.push_str(",,,"),
+                None => out.push_str(",,,,,"),
             }
         }
         out.push('\n');
@@ -114,6 +117,9 @@ pub struct ComparisonSummary {
     /// Ratio of total bytes read vs. the exact run (the meter that moves
     /// when the same workload runs against a different storage backend).
     pub bytes_ratio: f64,
+    /// Ratio of total `read_rows` calls vs. the exact run (the meter that
+    /// moves when the same workload runs with a different `adapt_batch`).
+    pub read_calls_ratio: f64,
 }
 
 /// Pearson correlation between two equal-length series (used to check the
@@ -198,6 +204,7 @@ pub fn summarize(exact: &MethodRun, approx: &MethodRun, focus_query: usize) -> C
         objects_ratio: approx.total_objects_read() as f64
             / exact.total_objects_read().max(1) as f64,
         bytes_ratio: approx.total_bytes_read() as f64 / exact.total_bytes_read().max(1) as f64,
+        read_calls_ratio: approx.total_read_calls() as f64 / exact.total_read_calls().max(1) as f64,
     }
 }
 
@@ -223,6 +230,8 @@ mod tests {
                 elapsed: Duration::from_millis(t),
                 objects_read: o,
                 bytes_read: b,
+                read_calls: 2,
+                lock_wait: Duration::ZERO,
                 selected: 100,
                 tiles_partial: 4,
                 tiles_processed: 2,
@@ -249,9 +258,13 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "query,exact_time_ms,exact_objects,exact_bytes,phi=5%_time_ms,phi=5%_objects,phi=5%_bytes"
+            "query,exact_time_ms,exact_objects,exact_bytes,exact_read_calls,exact_lock_wait_ms,\
+             phi=5%_time_ms,phi=5%_objects,phi=5%_bytes,phi=5%_read_calls,phi=5%_lock_wait_ms"
         );
-        assert_eq!(lines.next().unwrap(), "1,10.000,100,4096,5.000,50,2048");
+        assert_eq!(
+            lines.next().unwrap(),
+            "1,10.000,100,4096,2,0.000,5.000,50,2048,2,0.000"
+        );
         assert_eq!(csv.lines().count(), 3);
     }
 
@@ -295,13 +308,17 @@ mod tests {
         let metered = file.counters().bytes_read() - file.size_bytes(); // minus init scan
         assert_eq!(run.total_bytes_read(), metered);
         assert!(metered > 0);
+        assert!(
+            run.total_read_calls() > 0,
+            "adaptive runs issue positional reads"
+        );
         let csv = to_csv(std::slice::from_ref(&run));
-        assert!(csv.lines().next().unwrap().ends_with("phi=5%_bytes"));
+        assert!(csv.lines().next().unwrap().ends_with("phi=5%_lock_wait_ms"));
         for (i, rec) in run.records.iter().enumerate() {
             let line = csv.lines().nth(i + 1).unwrap();
             assert!(
-                line.ends_with(&format!(",{}", rec.bytes_read)),
-                "row {i} must end with the metered byte count: {line}"
+                line.contains(&format!(",{},{},", rec.bytes_read, rec.read_calls)),
+                "row {i} must carry the metered byte and call counts: {line}"
             );
         }
     }
@@ -352,6 +369,7 @@ mod tests {
         assert!((s.speedup_at_focus - 5.0).abs() < 1e-9);
         assert!((s.objects_ratio - 0.1).abs() < 1e-9);
         assert!((s.bytes_ratio - 0.08).abs() < 1e-9);
+        assert!((s.read_calls_ratio - 1.0).abs() < 1e-9);
         assert_eq!(s.focus_query, 20);
         for m in s.phase_means_secs {
             assert!((m - 0.002).abs() < 1e-9);

@@ -42,6 +42,11 @@ pub struct QueryRecord {
     pub elapsed: Duration,
     pub objects_read: u64,
     pub bytes_read: u64,
+    /// `read_rows` calls issued — the meter the batched adaptation
+    /// pipeline shrinks (many tiles per call).
+    pub read_calls: u64,
+    /// Time spent waiting on index locks (zero for single-owner engines).
+    pub lock_wait: Duration,
     pub selected: u64,
     pub tiles_partial: usize,
     pub tiles_processed: usize,
@@ -74,6 +79,18 @@ impl MethodRun {
     /// separates storage backends for the same query sequence.
     pub fn total_bytes_read(&self) -> u64 {
         self.records.iter().map(|r| r.bytes_read).sum()
+    }
+
+    /// Total `read_rows` calls across the run — the meter that separates
+    /// batched from tile-at-a-time adaptation for the same query sequence.
+    pub fn total_read_calls(&self) -> u64 {
+        self.records.iter().map(|r| r.read_calls).sum()
+    }
+
+    /// Total time spent waiting on index locks across the run (zero unless
+    /// the run went through a shared, concurrently accessed index).
+    pub fn total_lock_wait(&self) -> Duration {
+        self.records.iter().map(|r| r.lock_wait).sum()
     }
 
     /// Per-query evaluation times in seconds (the Figure 2 series).
@@ -119,6 +136,8 @@ pub fn run_workload(
                     elapsed: res.stats.elapsed,
                     objects_read: res.stats.io.objects_read,
                     bytes_read: res.stats.io.bytes_read,
+                    read_calls: res.stats.io.read_calls,
+                    lock_wait: res.stats.lock_wait,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,
                     tiles_processed: res.stats.tiles_processed,
@@ -142,6 +161,8 @@ pub fn run_workload(
                     elapsed: res.stats.elapsed,
                     objects_read: res.stats.io.objects_read,
                     bytes_read: res.stats.io.bytes_read,
+                    read_calls: res.stats.io.read_calls,
+                    lock_wait: res.stats.lock_wait,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,
                     tiles_processed: res.stats.tiles_processed,

@@ -498,6 +498,7 @@ impl RawFile for BinFile {
     }
 
     fn read_rows(&self, locators: &[RowLocator], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>> {
+        self.counters.add_read_call();
         for &a in attrs {
             if a >= self.schema.len() {
                 return Err(PaiError::schema(format!(

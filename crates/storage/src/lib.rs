@@ -24,6 +24,8 @@
 //!   implementations;
 //! * [`mod@column`] — the binary columnar backend and the one-pass CSV→binary
 //!   converter ([`column::convert_to_bin`] / [`column::write_bin`]);
+//! * [`batch`] — cross-tile batched positional reads: many locator groups,
+//!   one coalesced `read_rows` call (optionally sharded across threads);
 //! * [`scan`] — newline-aligned chunking, the CSV backend's partitioned
 //!   scan machinery;
 //! * [`gen`] — synthetic dataset generation (the paper's 10-numeric-column
@@ -32,6 +34,7 @@
 //! * [`ground_truth`] — full-scan exact evaluation used to validate engines
 //!   and to measure true (not just bounded) approximation error.
 
+pub mod batch;
 pub mod column;
 pub mod csv;
 pub mod gen;
@@ -40,6 +43,7 @@ pub mod raw;
 pub mod scan;
 pub mod schema;
 
+pub use batch::read_row_groups;
 pub use column::{convert_to_bin, write_bin, BinFile, StorageBackend};
 pub use csv::{CsvFormat, CsvWriter};
 pub use gen::{DatasetSpec, PointDistribution, ValueModel};

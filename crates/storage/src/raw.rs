@@ -324,6 +324,7 @@ fn read_rows_impl<R: BufRead + Seek>(
     locators: &[RowLocator],
     attrs: &[AttrId],
 ) -> Result<Vec<Vec<f64>>> {
+    counters.add_read_call();
     // Sort the requests by offset so the access pattern is monotone; remember
     // each request's slot in the output.
     let mut order: Vec<(usize, u64)> = locators.iter().map(|l| l.raw()).enumerate().collect();

@@ -32,10 +32,15 @@ fn main() -> Result<()> {
     let (index, _) = build(&file, &init)?;
 
     // --- shared index: one writer, several reader views ---------------------
+    // Batched pipeline: 4 tiles per plan→fetch→apply round, so the brush
+    // coalesces its reads while linked views keep rendering during its I/O.
     let shared = Arc::new(SharedIndex::new(
         index,
         file.clone(),
-        EngineConfig::paper_evaluation(),
+        EngineConfig {
+            adapt_batch: 4,
+            ..EngineConfig::paper_evaluation()
+        },
     )?);
     let domain = spec.domain;
 
@@ -50,10 +55,14 @@ fn main() -> Result<()> {
                     .evaluate(&w, &[AggregateFunction::Mean(2)], 0.02)
                     .expect("brush query");
                 println!(
-                    "  [brush {i}] mean {}  bound {:.3}%  {} objects read",
+                    "  [brush {i}] mean {}  bound {:.3}%  {} objects in {} reads  \
+                     (lock wait {:?}, {} plan conflicts)",
                     res.values[0],
                     res.error_bound * 100.0,
-                    res.stats.io.objects_read
+                    res.stats.io.objects_read,
+                    res.stats.io.read_calls,
+                    res.stats.lock_wait,
+                    res.stats.plan_conflicts
                 );
             }
         });

@@ -68,7 +68,7 @@ pub mod prelude {
     };
     pub use pai_core::{
         ApproxResult, ApproximateEngine, EagerRefinement, EngineConfig, NormalizationMode,
-        SelectionPolicy, ValueEstimator,
+        SelectionPolicy, SharedIndex, ValueEstimator,
     };
     pub use pai_index::init::{build, build_parallel, GridSpec, InitConfig};
     pub use pai_index::{

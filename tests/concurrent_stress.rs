@@ -1,0 +1,177 @@
+//! Concurrency stress for the optimistic plan/fetch/apply path.
+//!
+//! Several writers adapt one `SharedIndex` over *overlapping* windows —
+//! maximizing plan conflicts (a tile split by one writer while another
+//! holds a fetched plan for it) — while readers hammer metadata estimates.
+//! Every answer must stay sound: the deterministic CI contains the ground
+//! truth no matter how the schedules interleave, and the index invariants
+//! hold afterwards.
+//!
+//! CI runs this suite in **release mode** as a dedicated step so
+//! lock-ordering and optimistic-apply bugs surface under optimized timing,
+//! not just the forgiving debug-build interleavings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pai_core::SharedIndex;
+use pai_storage::ground_truth::window_truth;
+use partial_adaptive_indexing::prelude::*;
+
+fn build_shared(rows: u64, seed: u64, adapt_batch: usize) -> Arc<SharedIndex<MemFile>> {
+    let spec = DatasetSpec {
+        rows,
+        columns: 4,
+        seed,
+        ..Default::default()
+    };
+    let file = spec.build_mem(CsvFormat::default()).unwrap();
+    let init = InitConfig {
+        grid: GridSpec::Fixed { nx: 6, ny: 6 },
+        domain: Some(spec.domain),
+        metadata: MetadataPolicy::AllNumeric,
+    };
+    let (index, _) = build(&file, &init).unwrap();
+    let config = EngineConfig {
+        adapt_batch,
+        ..EngineConfig::paper_evaluation()
+    };
+    Arc::new(SharedIndex::new(index, file, config).unwrap())
+}
+
+/// Truth-containment with endpoint slack for fully-resolved (point) CIs,
+/// whose float merge order may differ from the sequential scan's.
+fn ci_sound(ci: Option<Interval>, truth: f64) -> bool {
+    match ci {
+        Some(ci) => {
+            ci.contains(truth)
+                || (truth - ci.lo()).abs() < 1e-9 * (1.0 + ci.lo().abs())
+                || (truth - ci.hi()).abs() < 1e-9 * (1.0 + ci.hi().abs())
+        }
+        None => false,
+    }
+}
+
+/// The heart of the stress: N writers over overlapping windows + M readers,
+/// all answers checked against precomputed ground truth.
+fn stress(adapt_batch: usize, phi: f64, seed: u64) {
+    let shared = build_shared(6000, seed, adapt_batch);
+    // Overlapping window ladder: every consecutive pair shares most of its
+    // area, so writers constantly re-plan tiles their peers are splitting.
+    let windows: Vec<Rect> = (0..6)
+        .map(|i| {
+            let off = i as f64 * 60.0;
+            Rect::new(120.0 + off, 560.0 + off, 120.0 + off, 560.0 + off)
+        })
+        .collect();
+    let truths: Vec<f64> = windows
+        .iter()
+        .map(|w| window_truth(shared.file(), w, &[2]).unwrap()[0].stats.sum())
+        .collect();
+    let aggs = [AggregateFunction::Sum(2)];
+    let conflicts = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for writer in 0..4usize {
+            let shared = Arc::clone(&shared);
+            let (windows, truths, aggs) = (&windows, &truths, &aggs);
+            let conflicts = &conflicts;
+            s.spawn(move || {
+                // Each writer walks the ladder from a different start, so
+                // at any instant several writers work the same region.
+                for step in 0..windows.len() * 2 {
+                    let i = (writer + step) % windows.len();
+                    let res = shared.evaluate(&windows[i], aggs, phi).unwrap();
+                    assert!(res.met_constraint, "writer {writer} window {i}");
+                    assert!(res.error_bound <= phi + 1e-12);
+                    assert!(
+                        ci_sound(res.cis[0], truths[i]),
+                        "writer {writer} window {i}: CI {:?} lost truth {}",
+                        res.cis[0],
+                        truths[i]
+                    );
+                    conflicts.fetch_add(res.stats.plan_conflicts as u64, Ordering::Relaxed);
+                }
+            });
+        }
+        for _ in 0..4usize {
+            let shared = Arc::clone(&shared);
+            let (windows, aggs) = (&windows, &aggs);
+            s.spawn(move || {
+                for step in 0..60 {
+                    let w = &windows[step % windows.len()];
+                    let res = shared.estimate(w, aggs).unwrap();
+                    // A metadata estimate's CI is sound at whatever
+                    // adaptation state it observed.
+                    assert!(res.error_bound >= 0.0);
+                }
+            });
+        }
+    });
+
+    shared.with_index(|idx| idx.validate_invariants().unwrap());
+    // After the dust settles, every window answers tightly from metadata.
+    for (w, &t) in windows.iter().zip(&truths) {
+        let res = shared.evaluate(w, &aggs, phi).unwrap();
+        assert!(res.met_constraint);
+        assert!(ci_sound(res.cis[0], t));
+    }
+    println!(
+        "stress(batch={adapt_batch}, phi={phi}): {} plan conflicts absorbed",
+        conflicts.load(Ordering::Relaxed)
+    );
+}
+
+#[test]
+fn writers_race_sequentially_batched() {
+    stress(1, 0.05, 17);
+}
+
+#[test]
+fn writers_race_with_batched_pipeline() {
+    stress(4, 0.05, 23);
+}
+
+#[test]
+fn writers_race_exact_answering() {
+    // φ = 0: every contested tile must end fully resolved despite
+    // conflicting plans; answers are exact.
+    stress(3, 0.0, 29);
+}
+
+#[test]
+fn locked_and_pipelined_writers_interleave() {
+    // The sequential-baseline protocol and the pipeline must compose: a
+    // writer holding the whole-query write lock cannot corrupt plans made
+    // by pipelined writers and vice versa.
+    let shared = build_shared(4000, 31, 2);
+    let window_a = Rect::new(100.0, 600.0, 100.0, 600.0);
+    let window_b = Rect::new(300.0, 800.0, 300.0, 800.0);
+    let aggs = [AggregateFunction::Sum(2)];
+    let truth_a = window_truth(shared.file(), &window_a, &[2]).unwrap()[0]
+        .stats
+        .sum();
+    let truth_b = window_truth(shared.file(), &window_b, &[2]).unwrap()[0]
+        .stats
+        .sum();
+
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let pipelined = Arc::clone(&shared);
+            s.spawn(move || {
+                for _ in 0..6 {
+                    let res = pipelined.evaluate(&window_a, &aggs, 0.05).unwrap();
+                    assert!(ci_sound(res.cis[0], truth_a));
+                }
+            });
+            let locked = Arc::clone(&shared);
+            s.spawn(move || {
+                for _ in 0..6 {
+                    let res = locked.evaluate_locked(&window_b, &aggs, 0.05).unwrap();
+                    assert!(ci_sound(res.cis[0], truth_b));
+                }
+            });
+        }
+    });
+    shared.with_index(|idx| idx.validate_invariants().unwrap());
+}

@@ -1,0 +1,208 @@
+//! Pipeline-equivalence properties: batching the adaptation loop must be
+//! invisible to the query answers — only the I/O call pattern may change.
+//!
+//! The two-phase pipeline (plan → coalesced fetch → apply + re-check)
+//! guarantees, by construction:
+//!
+//! 1. `adapt_batch = 1` reproduces the sequential tile-at-a-time loop
+//!    **byte-for-byte**: one plan per iteration, one `read_rows` call with
+//!    the same locators and attributes, identical meters and trajectory
+//!    (this is also pinned by every pre-pipeline engine test still passing
+//!    unchanged);
+//! 2. `adapt_batch > 1` yields **identical answers, CIs, error bounds, and
+//!    processed-tile trajectory** for *any* φ — the apply stage re-checks
+//!    the stop rule after every tile and discards plans fetched past the
+//!    stop point — while issuing **strictly fewer `read_rows` calls**
+//!    whenever any query processes two or more tiles;
+//! 3. both hold on both storage backends, and the backends still agree
+//!    with each other at every batch size.
+
+use partial_adaptive_indexing::prelude::*;
+use proptest::prelude::*;
+
+fn dataset(rows: u64, seed: u64, columns: usize) -> DatasetSpec {
+    DatasetSpec {
+        rows,
+        columns,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn window_strategy() -> impl Strategy<Value = Rect> {
+    (0.0f64..800.0, 0.0f64..800.0, 50.0f64..700.0, 50.0f64..700.0)
+        .prop_map(|(x0, y0, w, h)| Rect::new(x0, (x0 + w).min(1000.0), y0, (y0 + h).min(1000.0)))
+}
+
+/// Per-query measurements of one sequence run at a given batch size.
+struct BatchRun {
+    results: Vec<ApproxResult>,
+    /// Per-query (read_calls, tiles_processed).
+    per_query: Vec<(u64, usize)>,
+    objects_read: u64,
+    leaf_count: usize,
+}
+
+fn run_sequence(
+    file: &dyn RawFile,
+    spec: &DatasetSpec,
+    windows: &[Rect],
+    phi: f64,
+    batch: usize,
+) -> BatchRun {
+    let init = InitConfig {
+        grid: GridSpec::Fixed { nx: 5, ny: 5 },
+        domain: Some(spec.domain),
+        metadata: MetadataPolicy::AllNumeric,
+    };
+    let (index, _) = build(file, &init).expect("init");
+    let config = EngineConfig {
+        adapt_batch: batch,
+        ..EngineConfig::paper_evaluation()
+    };
+    let mut engine = ApproximateEngine::new(index, file, config).expect("engine");
+    file.counters().reset();
+    let aggs = [
+        AggregateFunction::Count,
+        AggregateFunction::Sum(2),
+        AggregateFunction::Mean(2),
+    ];
+    let mut results = Vec::with_capacity(windows.len());
+    let mut per_query = Vec::with_capacity(windows.len());
+    for w in windows {
+        let res = engine.evaluate(w, &aggs, phi).expect("evaluate");
+        per_query.push((res.stats.io.read_calls, res.stats.tiles_processed));
+        results.push(res);
+    }
+    BatchRun {
+        results,
+        per_query,
+        objects_read: file.counters().objects_read(),
+        leaf_count: engine.index().leaf_count(),
+    }
+}
+
+/// Asserts the equivalence contract between a batch-1 run and a batch-k run
+/// on the same backend.
+fn assert_batch_equivalent(seq: &BatchRun, batched: &BatchRun, batch: usize) {
+    for (i, (a, b)) in seq.results.iter().zip(&batched.results).enumerate() {
+        for (av, bv) in a.values.iter().zip(&b.values) {
+            assert_eq!(av.as_f64(), bv.as_f64(), "query {i} answer, batch {batch}");
+        }
+        for (ac, bc) in a.cis.iter().zip(&b.cis) {
+            assert_eq!(ac, bc, "query {i} CI, batch {batch}");
+        }
+        assert_eq!(
+            a.error_bound, b.error_bound,
+            "query {i} bound, batch {batch}"
+        );
+        assert_eq!(
+            a.met_constraint, b.met_constraint,
+            "query {i} met, batch {batch}"
+        );
+        assert_eq!(
+            a.stats.tiles_processed, b.stats.tiles_processed,
+            "query {i} trajectory, batch {batch}"
+        );
+        assert_eq!(
+            a.stats.tiles_split, b.stats.tiles_split,
+            "query {i} splits, batch {batch}"
+        );
+    }
+    // Discarded plans never mutate: the same tree comes out.
+    assert_eq!(
+        seq.leaf_count, batched.leaf_count,
+        "leaf counts, batch {batch}"
+    );
+    // Speculation may read extra objects past the stop point, never fewer.
+    assert!(
+        batched.objects_read >= seq.objects_read,
+        "batching cannot reduce objects: {} vs {}",
+        batched.objects_read,
+        seq.objects_read
+    );
+    // The batching win: strictly fewer read_rows calls on any query that
+    // processed >= 2 tiles (they share one coalesced call per batch), and
+    // never more calls on any query.
+    for (i, (&(c1, p1), &(ck, _))) in seq.per_query.iter().zip(&batched.per_query).enumerate() {
+        assert!(
+            ck <= c1,
+            "query {i}: batch {batch} made more calls ({ck}) than sequential ({c1})"
+        );
+        if p1 >= 2 && c1 >= 2 {
+            assert!(
+                ck < c1,
+                "query {i}: {p1} tiles processed but batch {batch} did not \
+                 coalesce calls ({ck} vs {c1})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Batched vs sequential equivalence on both backends, plus the
+    /// cross-backend agreement at every batch size.
+    #[test]
+    fn prop_batched_pipeline_equivalent(
+        rows in 300u64..900,
+        seed in 0u64..5,
+        batch in 2usize..9,
+        phi in prop_oneof![Just(0.0), 0.005f64..0.1],
+        w1 in window_strategy(),
+        w2 in window_strategy(),
+        w3 in window_strategy(),
+    ) {
+        let spec = dataset(rows, seed, 4);
+        let csv = spec.build_mem(CsvFormat::default()).unwrap();
+        let bin = BinFile::from_bytes(convert_to_bin(&csv).unwrap()).unwrap();
+        let windows = [w1, w2, w3];
+
+        let csv_seq = run_sequence(&csv, &spec, &windows, phi, 1);
+        let csv_batch = run_sequence(&csv, &spec, &windows, phi, batch);
+        assert_batch_equivalent(&csv_seq, &csv_batch, batch);
+
+        let bin_seq = run_sequence(&bin, &spec, &windows, phi, 1);
+        let bin_batch = run_sequence(&bin, &spec, &windows, phi, batch);
+        assert_batch_equivalent(&bin_seq, &bin_batch, batch);
+
+        // Backends agree with each other at the batched size too (the
+        // sequential cross-backend agreement is backend_equivalence.rs's
+        // job).
+        for (i, (c, b)) in csv_batch.results.iter().zip(&bin_batch.results).enumerate() {
+            for (cv, bv) in c.values.iter().zip(&b.values) {
+                prop_assert_eq!(cv.as_f64(), bv.as_f64(), "query {} cross-backend", i);
+            }
+            prop_assert_eq!(c.error_bound, b.error_bound, "query {} cross-backend bound", i);
+            prop_assert_eq!(
+                c.stats.io.read_calls, b.stats.io.read_calls,
+                "query {} cross-backend call count", i
+            );
+        }
+        prop_assert_eq!(csv_batch.leaf_count, bin_batch.leaf_count);
+    }
+
+    /// φ = 0 exercises full resolution: every candidate is processed under
+    /// both modes, so the batched pipeline must also match a workload-level
+    /// strict call reduction whenever multi-tile queries exist.
+    #[test]
+    fn prop_exact_mode_strictly_fewer_calls(
+        rows in 400u64..900,
+        seed in 5u64..10,
+        batch in 2usize..6,
+        w in window_strategy(),
+    ) {
+        let spec = dataset(rows, seed, 3);
+        let csv = spec.build_mem(CsvFormat::default()).unwrap();
+        let windows = [w];
+        let seq = run_sequence(&csv, &spec, &windows, 0.0, 1);
+        let batched = run_sequence(&csv, &spec, &windows, 0.0, batch);
+        assert_batch_equivalent(&seq, &batched, batch);
+        // Exact answering fully resolves the window either way.
+        for (a, b) in seq.results.iter().zip(&batched.results) {
+            prop_assert_eq!(a.error_bound, 0.0);
+            prop_assert_eq!(b.error_bound, 0.0);
+        }
+    }
+}
