@@ -1,20 +1,25 @@
-//! Storage-backend comparison: `read_rows` throughput and whole-engine I/O,
-//! CSV vs the binary columnar (`PaiBin`) format, over the **same dataset**.
+//! Storage-backend comparison: `read_rows` throughput and whole-engine I/O
+//! across CSV, the binary columnar (`PaiBin`) format, and the zone-mapped
+//! compressed (`PaiZone`) format, over the **same dataset**.
 //!
 //! Two parts:
 //! * criterion groups timing batched positional reads across batch sizes
 //!   (the adaptation hot path) and the full initialization scan;
-//! * a correctness/efficiency gate run once at startup: the same query
-//!   workload executed end-to-end on both backends must produce identical
-//!   approximate answers while the binary backend reads strictly fewer
-//!   bytes. A regression here aborts the bench run.
+//! * correctness/efficiency gates run once at startup: the same query
+//!   workload executed end-to-end on every backend must produce identical
+//!   approximate answers while `PaiBin` reads strictly fewer bytes than
+//!   CSV, and `PaiZone` — including the per-query ground-truth
+//!   verification pass, which exercises zone-map pushdown — reads strictly
+//!   fewer bytes *and blocks* than `PaiBin`. A regression here aborts the
+//!   bench run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pai_bench::{cached_bin, cached_csv, small_setup};
+use pai_bench::{cached_bin, cached_csv, cached_zone, small_setup};
 use pai_common::RowLocator;
 use pai_core::ApproximateEngine;
 use pai_index::init::build;
-use pai_query::{run_workload, Method};
+use pai_query::{run_workload, Method, MethodRun};
+use pai_storage::ground_truth::window_truth;
 use pai_storage::RawFile;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -67,14 +72,94 @@ fn assert_binary_backend_io_advantage() {
     );
 }
 
+/// Gate: identical answers and CIs on `PaiZone`, strictly fewer bytes and
+/// blocks than `PaiBin` once the workload's per-query ground-truth
+/// verification (the pushdown-scanning consumer) is included, and zone maps
+/// actually skipping.
+fn assert_zone_backend_io_advantage() {
+    let setup = small_setup(20_000);
+    let bin = cached_bin(&setup.spec);
+    let zone = cached_zone(&setup.spec);
+    let method = Method::Approx { phi: 0.05 };
+
+    let verified_run = |file: &dyn RawFile| -> (MethodRun, Vec<f64>) {
+        file.counters().reset();
+        let run = run_workload(file, &setup.init, &setup.engine, &setup.workload, method)
+            .expect("workload run");
+        // The verification pass a cautious analyst runs next to the
+        // approximate session: exact truth per window, pushdown-scanned.
+        let truths = setup
+            .workload
+            .queries
+            .iter()
+            .map(|q| {
+                window_truth(file, &q.window, &[2]).expect("truth")[0]
+                    .stats
+                    .sum()
+            })
+            .collect();
+        (run, truths)
+    };
+    let (run_bin, truth_bin) = verified_run(&bin);
+    let bin_io = bin.counters().snapshot();
+    let (run_zone, truth_zone) = verified_run(&zone);
+    let zone_io = zone.counters().snapshot();
+
+    for (b, z) in run_bin.records.iter().zip(&run_zone.records) {
+        assert_eq!(
+            b.values[0].as_f64(),
+            z.values[0].as_f64(),
+            "query {}: identical answers",
+            b.query_index
+        );
+        assert_eq!(
+            b.error_bound, z.error_bound,
+            "query {}: identical CI bounds",
+            b.query_index
+        );
+        assert_eq!(b.objects_read, z.objects_read, "query {}", b.query_index);
+    }
+    assert_eq!(truth_bin, truth_zone, "pushdown must not change the truth");
+    assert!(run_zone.total_objects_read() > 0, "workload must adapt");
+    assert!(
+        zone_io.bytes_read < bin_io.bytes_read,
+        "zone must read strictly fewer bytes: {} vs {}",
+        zone_io.bytes_read,
+        bin_io.bytes_read
+    );
+    assert!(
+        zone_io.blocks_read < bin_io.blocks_read,
+        "zone must read strictly fewer blocks: {} vs {}",
+        zone_io.blocks_read,
+        bin_io.blocks_read
+    );
+    assert!(
+        zone_io.blocks_skipped > 0 && bin_io.blocks_skipped == 0,
+        "only the zone-mapped backend can prove blocks dead"
+    );
+    println!(
+        "zone I/O gate: identical answers/CIs; bytes bin={} zone={} ({:.1}x less), \
+         blocks bin={} zone={} (+{} skipped)",
+        bin_io.bytes_read,
+        zone_io.bytes_read,
+        bin_io.bytes_read as f64 / zone_io.bytes_read.max(1) as f64,
+        bin_io.blocks_read,
+        zone_io.blocks_read,
+        zone_io.blocks_skipped,
+    );
+}
+
 fn bench_read_rows(c: &mut Criterion) {
     assert_binary_backend_io_advantage();
+    assert_zone_backend_io_advantage();
 
     let setup = small_setup(50_000);
     let csv = cached_csv(&setup.spec);
     let bin = cached_bin(&setup.spec);
+    let zone = cached_zone(&setup.spec);
     let csv_locs = locators_of(&csv);
     let bin_locs = locators_of(&bin);
+    let zone_locs = locators_of(&zone);
 
     let mut group = c.benchmark_group("read_rows");
     for &batch in &[16usize, 256, 4096] {
@@ -86,6 +171,7 @@ fn bench_read_rows(c: &mut Criterion) {
             .collect();
         let cl: Vec<RowLocator> = idx.iter().map(|&i| csv_locs[i]).collect();
         let bl: Vec<RowLocator> = idx.iter().map(|&i| bin_locs[i]).collect();
+        let zl: Vec<RowLocator> = idx.iter().map(|&i| zone_locs[i]).collect();
 
         group.throughput(Throughput::Elements(batch as u64));
         group.bench_with_input(BenchmarkId::new("csv", batch), &cl, |b, locs| {
@@ -93,6 +179,9 @@ fn bench_read_rows(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("bin", batch), &bl, |b, locs| {
             b.iter(|| bin.read_rows(locs, &READ_ATTRS).expect("bin read").len())
+        });
+        group.bench_with_input(BenchmarkId::new("zone", batch), &zl, |b, locs| {
+            b.iter(|| zone.read_rows(locs, &READ_ATTRS).expect("zone read").len())
         });
     }
     group.finish();
@@ -116,6 +205,7 @@ fn bench_init_scan(c: &mut Criterion) {
     let setup = small_setup(50_000);
     let csv = cached_csv(&setup.spec);
     let bin = cached_bin(&setup.spec);
+    let zone = cached_zone(&setup.spec);
     let mut group = c.benchmark_group("init_scan");
     group.sample_size(10);
     group.bench_function(BenchmarkId::new("csv", "build"), |b| {
@@ -123,6 +213,9 @@ fn bench_init_scan(c: &mut Criterion) {
     });
     group.bench_function(BenchmarkId::new("bin", "build"), |b| {
         b.iter(|| build(&bin, &setup.init).expect("bin build").1.rows)
+    });
+    group.bench_function(BenchmarkId::new("zone", "build"), |b| {
+        b.iter(|| build(&zone, &setup.init).expect("zone build").1.rows)
     });
     group.finish();
 }

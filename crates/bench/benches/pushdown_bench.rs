@@ -1,0 +1,138 @@
+//! Zone-map pushdown and remote-latency benchmarks.
+//!
+//! Two wall-clock gates run once at startup, both over the simulated
+//! remote link ([`pai_storage::LatencyFile`], per-call + per-seek delay —
+//! the object-store cost model):
+//!
+//! * **batched fetch** — the same workload with `adapt_batch = 8` must beat
+//!   `adapt_batch = 1` outright: coalescing tiles into one `read_rows`
+//!   call dodges per-call round trips;
+//! * **pushdown** — per-query ground-truth scans on `PaiZone` must beat
+//!   `PaiBin`: skipped blocks are round trips never paid.
+//!
+//! The criterion groups then time the pushdown scan itself (no injected
+//! latency): exact window truth per backend, across window selectivities.
+//!
+//! Run the whole suite against the remote cost model with
+//! `PAI_BENCH_BACKEND=latency` (delays via `PAI_BENCH_LATENCY_US` /
+//! `PAI_BENCH_SEEK_LATENCY_US`).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pai_bench::{cached_bin, cached_zone, small_setup};
+use pai_core::EngineConfig;
+use pai_query::{run_workload, Method};
+use pai_storage::ground_truth::window_truth;
+use pai_storage::{LatencyFile, RawFile};
+
+/// A remote link where the per-request round trip dominates: 5ms per
+/// request, 50µs per seek. What batching dodges.
+fn call_bound_remote(inner: Box<dyn RawFile>) -> LatencyFile {
+    LatencyFile::new(inner, Duration::from_millis(5), Duration::from_micros(50))
+}
+
+/// A remote link where ranged GETs dominate: 1ms per request, 200µs per
+/// seek (per discontiguous span). What pushdown dodges.
+fn seek_bound_remote(inner: Box<dyn RawFile>) -> LatencyFile {
+    LatencyFile::new(inner, Duration::from_millis(1), Duration::from_micros(200))
+}
+
+/// Gate: batched fetch beats tile-at-a-time under injected latency.
+fn assert_batched_fetch_wins_under_latency() {
+    let setup = small_setup(20_000);
+    let method = Method::Approx { phi: 0.05 };
+    let timed_run = |batch: usize| -> (Duration, u64) {
+        let file = call_bound_remote(Box::new(cached_zone(&setup.spec)));
+        file.counters().reset();
+        let engine = EngineConfig {
+            adapt_batch: batch,
+            ..setup.engine.clone()
+        };
+        let t0 = Instant::now();
+        let run = run_workload(&file, &setup.init, &engine, &setup.workload, method)
+            .expect("latency run");
+        (t0.elapsed(), run.total_read_calls())
+    };
+    let (seq_elapsed, seq_calls) = timed_run(1);
+    let (batch_elapsed, batch_calls) = timed_run(8);
+    assert!(
+        batch_calls < seq_calls,
+        "batching must coalesce calls: {batch_calls} vs {seq_calls}"
+    );
+    assert!(
+        batch_elapsed < seq_elapsed,
+        "batched fetch must beat tile-at-a-time under latency: \
+         {batch_elapsed:?} (batch=8, {batch_calls} calls) vs \
+         {seq_elapsed:?} (batch=1, {seq_calls} calls)"
+    );
+    println!(
+        "latency gate (batching): batch=1 {seq_elapsed:?}/{seq_calls} calls, \
+         batch=8 {batch_elapsed:?}/{batch_calls} calls ({:.2}x faster)",
+        seq_elapsed.as_secs_f64() / batch_elapsed.as_secs_f64()
+    );
+}
+
+/// Gate: pushdown truth scans beat full scans under injected latency.
+fn assert_pushdown_wins_under_latency() {
+    // 50k rows = 13 blocks: enough zone-map granularity for the ~2%-area
+    // workload windows to prove most stripes dead.
+    let setup = small_setup(50_000);
+    let timed_truth = |file: &dyn RawFile| -> Duration {
+        let t0 = Instant::now();
+        for q in &setup.workload.queries {
+            window_truth(file, &q.window, &[2]).expect("truth");
+        }
+        t0.elapsed()
+    };
+    let bin = seek_bound_remote(Box::new(cached_bin(&setup.spec)));
+    let bin_elapsed = timed_truth(&bin);
+    let zone = seek_bound_remote(Box::new(cached_zone(&setup.spec)));
+    let zone_elapsed = timed_truth(&zone);
+    assert!(
+        zone.counters().blocks_skipped() > 0,
+        "the truth pass must exercise zone-map skipping"
+    );
+    assert!(
+        zone_elapsed < bin_elapsed,
+        "pushdown must dodge remote round trips: {zone_elapsed:?} vs {bin_elapsed:?}"
+    );
+    println!(
+        "latency gate (pushdown): bin {bin_elapsed:?}, zone {zone_elapsed:?} \
+         ({:.2}x faster, {} blocks skipped)",
+        bin_elapsed.as_secs_f64() / zone_elapsed.as_secs_f64(),
+        zone.counters().blocks_skipped()
+    );
+}
+
+fn bench_pushdown_truth(c: &mut Criterion) {
+    assert_batched_fetch_wins_under_latency();
+    assert_pushdown_wins_under_latency();
+
+    let setup = small_setup(50_000);
+    let bin = cached_bin(&setup.spec);
+    let zone = cached_zone(&setup.spec);
+    let domain = &setup.spec.domain;
+
+    let mut group = c.benchmark_group("window_truth");
+    group.sample_size(10);
+    // Window selectivity sweep: the narrower the window, the more blocks
+    // the zone maps can prove dead.
+    for &frac in &[0.02f64, 0.10, 0.50] {
+        let window = pai_query::Workload::centered_window(domain, frac);
+        group.bench_with_input(
+            BenchmarkId::new("bin", format!("{:.0}%", frac * 100.0)),
+            &window,
+            |b, w| b.iter(|| window_truth(&bin, w, &[2]).expect("truth")[0].selected),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("zone", format!("{:.0}%", frac * 100.0)),
+            &window,
+            |b, w| b.iter(|| window_truth(&zone, w, &[2]).expect("truth")[0].selected),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pushdown_truth);
+criterion_main!(benches);

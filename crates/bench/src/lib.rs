@@ -11,8 +11,13 @@
 //! * `PAI_BENCH_QUERIES` — queries in the Figure 2 sequence (default 50);
 //! * `PAI_BENCH_SEED`    — RNG seed for data + workload (default 42);
 //! * `PAI_BENCH_BACKEND` — storage backend every bench runs against:
-//!   `csv` (default) or `bin` (the binary columnar format). Benches obtain
-//!   their dataset through [`cached_file`], so one knob flips them all.
+//!   `csv` (default), `bin` (binary columnar), `mmap` (binary columnar
+//!   behind a zero-copy memory mapping), `zone` (zone-mapped compressed
+//!   columnar with predicate pushdown), or `latency` (`zone` behind a
+//!   simulated remote link). Benches obtain their dataset through
+//!   [`cached_file`], so one knob flips them all.
+//! * `PAI_BENCH_LATENCY_US` / `PAI_BENCH_SEEK_LATENCY_US` — injected
+//!   per-call / per-seek delay for the `latency` backend (defaults 200/20).
 //! * `PAI_BENCH_BATCH` — adaptation batch size (`EngineConfig::adapt_batch`)
 //!   every bench runs with: `1` (default) is the sequential-equivalent
 //!   tile-at-a-time pipeline, larger values coalesce that many tiles per
@@ -28,8 +33,8 @@ use pai_index::init::{GridSpec, InitConfig};
 use pai_index::MetadataPolicy;
 use pai_query::Workload;
 use pai_storage::{
-    BinFile, CsvFile, CsvFormat, DatasetSpec, PointDistribution, RawFile, StorageBackend,
-    ValueModel,
+    BinFile, CsvFile, CsvFormat, DatasetSpec, LatencyFile, PointDistribution, RawFile,
+    StorageBackend, ValueModel, ZoneFile,
 };
 
 /// Everything a Figure 2 style run needs.
@@ -68,6 +73,9 @@ pub fn default_spec(rows: u64, seed: u64) -> DatasetSpec {
             noise: 3.0,
         },
         seed,
+        // Spatially clustered storage: realistic for converted archives and
+        // the layout that gives zone maps something to prune.
+        order: pai_storage::RowOrder::ZOrder,
     }
 }
 
@@ -164,10 +172,17 @@ fn cache_key(spec: &DatasetSpec, backend: StorageBackend) -> String {
     };
     let ext = match backend {
         StorageBackend::Csv => "csv",
-        StorageBackend::Bin => "paibin",
+        // mmap/latency wrap the cached binary formats; they never key a
+        // cache file of their own.
+        StorageBackend::Bin | StorageBackend::Mmap => "paibin",
+        StorageBackend::Zone | StorageBackend::Latency => "paizone",
+    };
+    let ord_tag = match spec.order {
+        pai_storage::RowOrder::Generated => "gen",
+        pai_storage::RowOrder::ZOrder => "zord",
     };
     format!(
-        "pai_{}r_{}c_{}s_{dist_tag}_{vm_tag}.{ext}",
+        "pai_{}r_{}c_{}s_{dist_tag}_{vm_tag}_{ord_tag}.{ext}",
         spec.rows, spec.columns, spec.seed
     )
 }
@@ -204,13 +219,53 @@ pub fn cached_bin(spec: &DatasetSpec) -> BinFile {
     spec.write_bin(&path).expect("write bench dataset")
 }
 
+/// Writes (or reuses) the zone-mapped compressed file for `spec` and opens
+/// it. Opening validates header, widths, and exact size, so a stale/partial
+/// file is simply regenerated.
+pub fn cached_zone(spec: &DatasetSpec) -> ZoneFile {
+    let path = cache_dir().join(cache_key(spec, StorageBackend::Zone));
+    if path.exists() {
+        if let Ok(file) = ZoneFile::open(&path) {
+            if file.n_rows() == spec.rows {
+                return file;
+            }
+        }
+    }
+    spec.write_zone(&path).expect("write bench dataset")
+}
+
+/// Injected latency for the `latency` backend, from `PAI_BENCH_LATENCY_US`
+/// (per call) and `PAI_BENCH_SEEK_LATENCY_US` (per seek).
+pub fn latency_config() -> (std::time::Duration, std::time::Duration) {
+    (
+        std::time::Duration::from_micros(env_u64("PAI_BENCH_LATENCY_US", 200)),
+        std::time::Duration::from_micros(env_u64("PAI_BENCH_SEEK_LATENCY_US", 20)),
+    )
+}
+
+/// Wraps `inner` in the simulated-remote-link backend with the env-knob
+/// delays.
+pub fn with_latency(inner: Box<dyn RawFile>) -> LatencyFile {
+    let (per_call, per_seek) = latency_config();
+    LatencyFile::new(inner, per_call, per_seek)
+}
+
 /// The dataset for `spec` behind whichever backend `PAI_BENCH_BACKEND`
 /// selects. Every bench target goes through this, so the whole suite can be
-/// re-run against the binary backend with one environment variable.
+/// re-run against any backend with one environment variable.
 pub fn cached_file(spec: &DatasetSpec) -> Box<dyn RawFile> {
     match backend() {
         StorageBackend::Csv => Box::new(cached_csv(spec)),
         StorageBackend::Bin => Box::new(cached_bin(spec)),
+        StorageBackend::Mmap => {
+            let path = cached_bin(spec)
+                .path()
+                .expect("cached bin is on disk")
+                .to_path_buf();
+            Box::new(BinFile::open_mapped(path).expect("map bench dataset"))
+        }
+        StorageBackend::Zone => Box::new(cached_zone(spec)),
+        StorageBackend::Latency => Box::new(with_latency(Box::new(cached_zone(spec)))),
     }
 }
 
@@ -293,6 +348,41 @@ mod tests {
         std::env::set_var("PAI_BENCH_BACKEND", "duckdb");
         assert_eq!(backend(), pai_storage::StorageBackend::Csv);
         std::env::remove_var("PAI_BENCH_BACKEND");
+    }
+
+    #[test]
+    fn every_backend_serves_the_same_dataset() {
+        // Exercise each backend's fixture constructor directly — no env
+        // mutation, so this cannot race the knob-parsing test (or wipe the
+        // CI matrix job's PAI_BENCH_BACKEND) under parallel test threads.
+        let spec = default_spec(250, 31);
+        let collect = |f: &dyn RawFile| {
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            let wanted: Vec<usize> = (0..spec.columns).collect();
+            f.scan(&mut |_, _, rec| {
+                let mut vals = Vec::new();
+                rec.extract_f64(&wanted, &mut vals)?;
+                rows.push(vals);
+                Ok(())
+            })
+            .unwrap();
+            rows
+        };
+        let reference = collect(&cached_csv(&spec));
+        let bin = cached_bin(&spec);
+        assert_eq!(collect(&bin), reference, "bin");
+        let mapped = BinFile::open_mapped(bin.path().expect("cached bin is on disk")).expect("map");
+        assert_eq!(collect(&mapped), reference, "mmap");
+        let zone = cached_zone(&spec);
+        assert_eq!(collect(&zone), reference, "zone");
+        let latency = LatencyFile::new(
+            Box::new(zone),
+            std::time::Duration::ZERO,
+            std::time::Duration::ZERO,
+        );
+        assert_eq!(collect(&latency), reference, "latency");
+        // The zone cache is block-compressed: strictly smaller than bin.
+        assert!(cached_zone(&spec).size_bytes() < cached_bin(&spec).size_bytes());
     }
 
     #[test]

@@ -29,6 +29,14 @@ struct Inner {
     /// adaptation pipeline coalesces many tiles into one call, so this
     /// meter (not `objects_read`) is what batching improves.
     read_calls: AtomicU64,
+    /// Storage blocks materialized (one column's page/block of rows). Only
+    /// block-structured backends (`PaiBin` pages, `PaiZone` compressed
+    /// blocks) tick this; CSV has no block structure and leaves it at 0.
+    blocks_read: AtomicU64,
+    /// Blocks that a zone-map pushdown proved irrelevant to a predicate and
+    /// therefore never touched — the meter that separates a pushdown-aware
+    /// backend from one that reads everything it is asked to scan.
+    blocks_skipped: AtomicU64,
 }
 
 /// A point-in-time copy of the counter values.
@@ -39,6 +47,8 @@ pub struct IoSnapshot {
     pub seeks: u64,
     pub full_scans: u64,
     pub read_calls: u64,
+    pub blocks_read: u64,
+    pub blocks_skipped: u64,
 }
 
 impl IoSnapshot {
@@ -51,6 +61,8 @@ impl IoSnapshot {
             seeks: self.seeks.saturating_sub(earlier.seeks),
             full_scans: self.full_scans.saturating_sub(earlier.full_scans),
             read_calls: self.read_calls.saturating_sub(earlier.read_calls),
+            blocks_read: self.blocks_read.saturating_sub(earlier.blocks_read),
+            blocks_skipped: self.blocks_skipped.saturating_sub(earlier.blocks_skipped),
         }
     }
 }
@@ -85,6 +97,16 @@ impl IoCounters {
         self.inner.read_calls.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub fn add_blocks_read(&self, n: u64) {
+        self.inner.blocks_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_blocks_skipped(&self, n: u64) {
+        self.inner.blocks_skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn objects_read(&self) -> u64 {
         self.inner.objects_read.load(Ordering::Relaxed)
     }
@@ -105,6 +127,14 @@ impl IoCounters {
         self.inner.read_calls.load(Ordering::Relaxed)
     }
 
+    pub fn blocks_read(&self) -> u64 {
+        self.inner.blocks_read.load(Ordering::Relaxed)
+    }
+
+    pub fn blocks_skipped(&self) -> u64 {
+        self.inner.blocks_skipped.load(Ordering::Relaxed)
+    }
+
     /// Captures current values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -113,6 +143,8 @@ impl IoCounters {
             seeks: self.seeks(),
             full_scans: self.full_scans(),
             read_calls: self.read_calls(),
+            blocks_read: self.blocks_read(),
+            blocks_skipped: self.blocks_skipped(),
         }
     }
 
@@ -123,6 +155,8 @@ impl IoCounters {
         self.inner.seeks.store(0, Ordering::Relaxed);
         self.inner.full_scans.store(0, Ordering::Relaxed);
         self.inner.read_calls.store(0, Ordering::Relaxed);
+        self.inner.blocks_read.store(0, Ordering::Relaxed);
+        self.inner.blocks_skipped.store(0, Ordering::Relaxed);
     }
 }
 
@@ -140,11 +174,15 @@ mod tests {
         c.add_full_scan();
         c.add_read_call();
         c.add_read_call();
+        c.add_blocks_read(3);
+        c.add_blocks_skipped(9);
         assert_eq!(c.objects_read(), 15);
         assert_eq!(c.bytes_read(), 100);
         assert_eq!(c.seeks(), 2);
         assert_eq!(c.full_scans(), 1);
         assert_eq!(c.read_calls(), 2);
+        assert_eq!(c.blocks_read(), 3);
+        assert_eq!(c.blocks_skipped(), 9);
     }
 
     #[test]
@@ -162,10 +200,14 @@ mod tests {
         let s1 = c.snapshot();
         c.add_objects(4);
         c.add_bytes(9);
+        c.add_blocks_read(2);
+        c.add_blocks_skipped(5);
         let s2 = c.snapshot();
         let d = s2.since(&s1);
         assert_eq!(d.objects_read, 4);
         assert_eq!(d.bytes_read, 9);
+        assert_eq!(d.blocks_read, 2);
+        assert_eq!(d.blocks_skipped, 5);
         // Out-of-order snapshots saturate instead of underflowing.
         assert_eq!(s1.since(&s2).objects_read, 0);
     }

@@ -181,7 +181,7 @@ impl<F: RawFile> SharedIndex<F> {
             drop(index);
 
             // ---- Stage 2: fetch with no lock held. ----
-            let fetched = fetch_plans(&self.file, &plans, config.fetch_parallelism)?;
+            let fetched = fetch_plans(&self.file, &plans, window, config)?;
 
             // ---- Stage 3: apply under a short write lock, optimistically. ----
             let lw = Instant::now();

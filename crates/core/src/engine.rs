@@ -24,8 +24,8 @@ use pai_common::{
 };
 use pai_index::eval::{query_attrs, QueryStats};
 use pai_index::{
-    apply_enrich, apply_plan, plan_enrich, plan_tile, EnrichPlan, ReadPolicy, TileId, TilePlan,
-    ValinorIndex,
+    apply_enrich, apply_plan, fetch_window, plan_enrich, plan_tile, EnrichPlan, ReadPolicy, TileId,
+    TilePlan, ValinorIndex,
 };
 use pai_storage::batch::read_row_groups;
 use pai_storage::raw::RawFile;
@@ -56,6 +56,12 @@ pub struct ProgressStep {
     /// Cumulative `read_rows` calls issued for this query — the metric the
     /// batched adaptation pipeline improves (many tiles per call).
     pub read_calls: u64,
+    /// Cumulative storage blocks materialized for this query — the
+    /// block-structured backends' unit of I/O (0 on CSV).
+    pub blocks_read: u64,
+    /// Cumulative blocks a zone-map pushdown proved irrelevant and never
+    /// touched — the metric the `PaiZone` backend improves.
+    pub blocks_skipped: u64,
 }
 
 /// Result of one approximate evaluation.
@@ -127,6 +133,8 @@ impl EvalCtx<'_> {
                 objects_read: 0,
                 bytes_read: 0,
                 read_calls: 0,
+                blocks_read: 0,
+                blocks_skipped: 0,
             });
         }
         'outer: loop {
@@ -184,8 +192,9 @@ impl EvalCtx<'_> {
                 .collect::<Result<_>>()?;
 
             // Stage 2 — fetch: one coalesced read covers every tile in the
-            // batch (per distinct attribute set).
-            let fetched = fetch_plans(self.file, &plans, self.config.fetch_parallelism)?;
+            // batch (per distinct attribute set), carrying the query window
+            // down to the backend where the read policy allows pushdown.
+            let fetched = fetch_plans(self.file, &plans, window, self.config)?;
 
             // Stage 3 — apply + re-check: install each plan in sequential
             // order, re-evaluating the stop rule after every tile. Plans
@@ -205,6 +214,8 @@ impl EvalCtx<'_> {
                         objects_read: io.objects_read,
                         bytes_read: io.bytes_read,
                         read_calls: io.read_calls,
+                        blocks_read: io.blocks_read,
+                        blocks_skipped: io.blocks_skipped,
                     });
                 }
                 match stop {
@@ -275,11 +286,7 @@ impl EvalCtx<'_> {
             attrs,
             self.config,
         )?;
-        let fetched = fetch_plans(
-            self.file,
-            std::slice::from_ref(&plan),
-            self.config.fetch_parallelism,
-        )?;
+        let fetched = fetch_plans(self.file, std::slice::from_ref(&plan), window, self.config)?;
         self.apply_one(state, &plan, &fetched[0], window, stats)
     }
 
@@ -378,11 +385,30 @@ pub(crate) fn plan_candidate(
 /// distinct attribute set (plans with no attributes to read are answered
 /// without touching the file). Returns per-plan value rows, positionally
 /// aligned with each plan's locators.
+///
+/// The query `window` is pushed down to the storage backend when every
+/// plan's locator set is provably window-only: enrichment plans always are
+/// (their tiles are fully contained in the window), partial-tile plans are
+/// under [`ReadPolicy::WindowOnly`] (the default). Under
+/// [`ReadPolicy::FullTile`] the hint is withheld — those plans consume
+/// out-of-window values for child enrichment, which a zone-map skip would
+/// corrupt.
 pub(crate) fn fetch_plans(
     file: &dyn RawFile,
     plans: &[BatchPlan],
-    parallelism: usize,
+    window: &Rect,
+    config: &EngineConfig,
 ) -> Result<Vec<Vec<Vec<f64>>>> {
+    // The window-only safety rule has one home: `pai_index::fetch_window`.
+    // The batch-level extension on top: an all-enrichment batch is safe
+    // under any read policy (enrich tiles are fully contained in the
+    // window, so every locator is in-window by construction).
+    let pushdown = fetch_window(&config.adapt, window).or_else(|| {
+        plans
+            .iter()
+            .all(|p| matches!(p, BatchPlan::Enrich(_)))
+            .then_some(window)
+    });
     let mut out: Vec<Option<Vec<Vec<f64>>>> = plans.iter().map(|_| None).collect();
     // Group plan indices by attribute set, preserving first-seen order.
     let mut groups: Vec<(&[AttrId], Vec<usize>)> = Vec::new();
@@ -399,7 +425,7 @@ pub(crate) fn fetch_plans(
     }
     for (attrs, members) in groups {
         let locs: Vec<&[RowLocator]> = members.iter().map(|&i| plans[i].locators()).collect();
-        let fetched = read_row_groups(file, &locs, attrs, parallelism)?;
+        let fetched = read_row_groups(file, &locs, attrs, pushdown, config.fetch_parallelism)?;
         for (i, rows) in members.into_iter().zip(fetched) {
             out[i] = Some(rows);
         }
@@ -1109,6 +1135,88 @@ mod tests {
         // The CI really contains the truth on the binary path too.
         let truth = window_truth(&bin, &window, &[2]).unwrap();
         assert!(rb.cis[0].unwrap().contains(truth[0].stats.sum()));
+    }
+
+    #[test]
+    fn zone_backend_matches_others_with_less_io() {
+        let spec = DatasetSpec {
+            rows: 3000,
+            columns: 4,
+            seed: 7,
+            ..Default::default()
+        };
+        let bin = spec.build_bin_mem().unwrap();
+        let zone = spec.build_zone_mem().unwrap();
+        let init = InitConfig {
+            grid: GridSpec::Fixed { nx: 6, ny: 6 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let window = Rect::new(150.0, 650.0, 200.0, 700.0);
+        let aggs = [AggregateFunction::Sum(2), AggregateFunction::Mean(3)];
+
+        let (bi, _) = build(&bin, &init).unwrap();
+        let mut be = ApproximateEngine::new(bi, &bin, EngineConfig::paper_evaluation()).unwrap();
+        let rb = be.evaluate(&window, &aggs, 0.05).unwrap();
+
+        let (zi, _) = build(&zone, &init).unwrap();
+        let mut ze = ApproximateEngine::new(zi, &zone, EngineConfig::paper_evaluation()).unwrap();
+        let rz = ze.evaluate(&window, &aggs, 0.05).unwrap();
+
+        // Identical answers and trajectory — the compression and pushdown
+        // are invisible except through the meters.
+        for (b, z) in rb.values.iter().zip(&rz.values) {
+            assert_eq!(b.as_f64(), z.as_f64());
+        }
+        assert_eq!(rb.error_bound, rz.error_bound);
+        assert_eq!(rb.stats.tiles_processed, rz.stats.tiles_processed);
+        assert_eq!(rb.stats.io.objects_read, rz.stats.io.objects_read);
+        assert!(rz.stats.io.objects_read > 0, "workload must adapt");
+        // Bit-packed fetches move fewer bytes than 8-byte-per-value PaiBin.
+        assert!(
+            rz.stats.io.bytes_read < rb.stats.io.bytes_read,
+            "zone adaptation reads must be cheaper: {} vs {}",
+            rz.stats.io.bytes_read,
+            rb.stats.io.bytes_read
+        );
+        // Both block-structured backends meter their block touches.
+        assert!(rz.stats.io.blocks_read > 0);
+        assert!(rb.stats.io.blocks_read > 0);
+        let truth = window_truth(&zone, &window, &[2]).unwrap();
+        assert!(rz.cis[0].unwrap().contains(truth[0].stats.sum()));
+    }
+
+    #[test]
+    fn traced_evaluation_carries_block_meters() {
+        let spec = DatasetSpec {
+            rows: 3000,
+            columns: 4,
+            seed: 11,
+            ..Default::default()
+        };
+        let zone = spec.build_zone_mem().unwrap();
+        let init = InitConfig {
+            grid: GridSpec::Fixed { nx: 6, ny: 6 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let (zi, _) = build(&zone, &init).unwrap();
+        let mut eng = ApproximateEngine::new(zi, &zone, EngineConfig::paper_evaluation()).unwrap();
+        let (res, trace) = eng
+            .evaluate_traced(
+                &Rect::new(150.0, 650.0, 150.0, 650.0),
+                &[AggregateFunction::Mean(2)],
+                0.01,
+            )
+            .unwrap();
+        assert!(res.met_constraint);
+        for w in trace.windows(2) {
+            assert!(w[1].blocks_read >= w[0].blocks_read, "monotone block I/O");
+        }
+        let last = trace.last().unwrap();
+        assert_eq!(last.blocks_read, res.stats.io.blocks_read);
+        assert_eq!(last.blocks_skipped, res.stats.io.blocks_skipped);
+        assert!(last.blocks_read > 0, "zone fetches are block-metered");
     }
 
     #[test]

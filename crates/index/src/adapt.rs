@@ -319,15 +319,36 @@ pub fn apply_plan(
 /// Reads a plan's locators, synthesizing empty rows when no attributes are
 /// needed (a COUNT-only query answers from in-index axis values alone, so
 /// it charges no I/O).
+///
+/// `window` is the pushdown hint forwarded to
+/// [`RawFile::read_rows_window`]. Pass the query window **only when every
+/// requested locator is in-window** (the [`ReadPolicy::WindowOnly`] plans,
+/// whose locator set is filtered against the window at plan time) — the
+/// backend may answer provably-out-of-window rows with NaN, which
+/// full-tile plans would then feed into child metadata. [`fetch_window`]
+/// computes the right hint from a config.
 pub fn fetch_values(
     file: &dyn RawFile,
     locators: &[RowLocator],
     read_attrs: &[AttrId],
+    window: Option<&Rect>,
 ) -> Result<Vec<Vec<f64>>> {
     if read_attrs.is_empty() {
         Ok(vec![Vec::new(); locators.len()])
     } else {
-        file.read_rows(locators, read_attrs)
+        file.read_rows_window(locators, read_attrs, window)
+    }
+}
+
+/// The pushdown hint a tile-processing fetch may safely carry: the query
+/// window under [`ReadPolicy::WindowOnly`] (plan locators are all
+/// in-window, so a zone-map skip can never touch a row whose value is
+/// consumed), nothing under [`ReadPolicy::FullTile`] (out-of-window rows
+/// feed child enrichment and must be materialized).
+pub fn fetch_window<'q>(cfg: &AdaptConfig, query: &'q Rect) -> Option<&'q Rect> {
+    match cfg.read {
+        ReadPolicy::WindowOnly => Some(query),
+        ReadPolicy::FullTile => None,
     }
 }
 
@@ -346,7 +367,12 @@ pub fn process_tile(
     cfg: &AdaptConfig,
 ) -> Result<ProcessOutcome> {
     let plan = plan_tile(index, tile_id, query, attrs, cfg)?;
-    let values = fetch_values(file, &plan.locators, &plan.read_attrs)?;
+    let values = fetch_values(
+        file,
+        &plan.locators,
+        &plan.read_attrs,
+        fetch_window(cfg, query),
+    )?;
     apply_plan(index, &plan, query, cfg, &values)
 }
 
@@ -741,7 +767,7 @@ mod tests {
         assert_eq!(plan.objects_to_read(), 1);
         assert_eq!(plan.read_attrs, vec![2]);
 
-        let values = fetch_values(&f, &plan.locators, &plan.read_attrs).unwrap();
+        let values = fetch_values(&f, &plan.locators, &plan.read_attrs, None).unwrap();
         // The pure stats match what apply reports.
         let pure = plan.in_window_stats(&values).unwrap();
         let out = apply_plan(&mut idx, &plan, &q, &cfg, &values).unwrap();
@@ -759,7 +785,7 @@ mod tests {
         let centre = idx.leaf_for_point(Point2::new(15.0, 15.0)).unwrap();
         let cfg = adapt_cfg(SplitPolicy::QueryAligned, ReadPolicy::WindowOnly);
         let plan = plan_tile(&idx, centre, &q, &[2], &cfg).unwrap();
-        let values = fetch_values(&f, &plan.locators, &plan.read_attrs).unwrap();
+        let values = fetch_values(&f, &plan.locators, &plan.read_attrs, None).unwrap();
         // Another writer splits the tile between plan and apply.
         process_tile(&mut idx, &f, centre, &q, &[2], &cfg).unwrap();
         assert!(idx.version() != plan.planned_version);

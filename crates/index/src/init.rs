@@ -155,6 +155,68 @@ fn resolve_grid(spec: GridSpec, row_hint: Option<u64>) -> Result<(usize, usize)>
     }
 }
 
+/// How the single-scan accumulation treats records relative to the
+/// index's domain.
+enum DomainRule {
+    /// Full scan; a record outside the (closed) domain is a data error.
+    ErrorOutside,
+    /// Pushdown scan over the domain; records outside it (half-open, like
+    /// a query window) are silently skipped.
+    ClipOutside,
+}
+
+/// The serial scan shared by [`build`] and [`build_clipped`]: bins every
+/// accepted record into per-root-cell accumulators.
+fn accumulate_cells(
+    file: &dyn RawFile,
+    index: &ValinorIndex,
+    attrs: &[usize],
+    rule: DomainRule,
+) -> Result<(Vec<CellAcc>, u64)> {
+    let schema = file.schema();
+    let (xi, yi) = (schema.x_axis(), schema.y_axis());
+    let domain = *index.domain();
+    let mut accs: Vec<CellAcc> = (0..index.root_cells())
+        .map(|_| CellAcc::new(attrs.len()))
+        .collect();
+    let mut vals = Vec::with_capacity(attrs.len());
+    let mut rows = 0u64;
+    let mut handler = |_: pai_common::RowId,
+                       locator: pai_common::RowLocator,
+                       rec: &pai_storage::Record<'_>|
+     -> Result<()> {
+        let x = rec.f64(xi)?;
+        let y = rec.f64(yi)?;
+        let p = Point2::new(x, y);
+        match rule {
+            DomainRule::ErrorOutside => {
+                if !domain.contains_point_closed(p) {
+                    return Err(PaiError::schema(format!(
+                        "object at {p:?} outside the configured domain {domain}"
+                    )));
+                }
+            }
+            DomainRule::ClipOutside => {
+                // Block skipping is a superset filter: apply the exact
+                // clip here.
+                if !domain.contains_point(p) {
+                    return Ok(());
+                }
+            }
+        }
+        rec.extract_f64(attrs, &mut vals)?;
+        let cell = index.root_cell_of(p);
+        accs[cell].push(ObjectEntry::new(x, y, locator), &vals);
+        rows += 1;
+        Ok(())
+    };
+    match rule {
+        DomainRule::ErrorOutside => file.scan(&mut handler)?,
+        DomainRule::ClipOutside => file.scan_filtered(&domain, &mut handler)?,
+    }
+    Ok((accs, rows))
+}
+
 /// Builds the initial index with one sequential scan.
 pub fn build(file: &dyn RawFile, config: &InitConfig) -> Result<(ValinorIndex, InitReport)> {
     let start = Instant::now();
@@ -176,27 +238,7 @@ pub fn build(file: &dyn RawFile, config: &InitConfig) -> Result<(ValinorIndex, I
     let (nx, ny) = resolve_grid(config.grid, row_hint)?;
     let mut index = ValinorIndex::new(schema.clone(), domain, nx, ny)?;
 
-    let (xi, yi) = (schema.x_axis(), schema.y_axis());
-    let n_cells = index.root_cells();
-    let mut accs: Vec<CellAcc> = (0..n_cells).map(|_| CellAcc::new(attrs.len())).collect();
-    let mut vals = Vec::with_capacity(attrs.len());
-    let mut rows = 0u64;
-    file.scan(&mut |_, locator, rec| {
-        let x = rec.f64(xi)?;
-        let y = rec.f64(yi)?;
-        let p = Point2::new(x, y);
-        if !domain.contains_point_closed(p) {
-            return Err(PaiError::schema(format!(
-                "object at {p:?} outside the configured domain {domain}"
-            )));
-        }
-        rec.extract_f64(&attrs, &mut vals)?;
-        let cell = index.root_cell_of(p);
-        accs[cell].push(ObjectEntry::new(x, y, locator), &vals);
-        rows += 1;
-        Ok(())
-    })?;
-
+    let (accs, rows) = accumulate_cells(file, &index, &attrs, DomainRule::ErrorOutside)?;
     install_cells(&mut index, accs, &attrs);
 
     let report = InitReport {
@@ -205,6 +247,45 @@ pub fn build(file: &dyn RawFile, config: &InitConfig) -> Result<(ValinorIndex, I
         grid_ny: ny,
         elapsed: start.elapsed(),
         discovered_domain: discovered,
+    };
+    Ok((index, report))
+}
+
+/// Builds an initial index over only the objects inside `region` — a
+/// region-of-interest initialization.
+///
+/// Unlike [`build`], records outside `region` are *skipped*, not errors:
+/// the index's domain becomes `region` and the scan pushes the region down
+/// to the storage backend ([`RawFile::scan_filtered`]), so zone-mapped
+/// files skip whole blocks that provably lie outside it without decoding a
+/// byte. On backends without block statistics this degrades to a full scan
+/// with a per-record filter — same index, no savings.
+///
+/// Containment is half-open (like a query window), so a clipped index over
+/// a sub-rectangle composes exactly with window queries inside it.
+pub fn build_clipped(
+    file: &dyn RawFile,
+    config: &InitConfig,
+    region: &Rect,
+) -> Result<(ValinorIndex, InitReport)> {
+    let start = Instant::now();
+    let schema = file.schema().clone();
+    let attrs = config.metadata.resolve(&schema)?;
+    if region.is_empty() {
+        return Err(PaiError::config("clip region must have positive area"));
+    }
+    let (nx, ny) = resolve_grid(config.grid, None)?;
+    let mut index = ValinorIndex::new(schema.clone(), *region, nx, ny)?;
+
+    let (accs, rows) = accumulate_cells(file, &index, &attrs, DomainRule::ClipOutside)?;
+    install_cells(&mut index, accs, &attrs);
+
+    let report = InitReport {
+        rows,
+        grid_nx: nx,
+        grid_ny: ny,
+        elapsed: start.elapsed(),
+        discovered_domain: false,
     };
     Ok((index, report))
 }
@@ -532,6 +613,65 @@ mod tests {
             );
         }
         assert_eq!(serial.global_bounds(2), parallel.global_bounds(2));
+    }
+
+    #[test]
+    fn clipped_build_indexes_only_the_region() {
+        let f = tiny_file();
+        let cfg = InitConfig {
+            grid: GridSpec::Fixed { nx: 2, ny: 2 },
+            domain: None, // ignored: the region is the domain
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        // Clip to the left half: keeps (1,1) and (1,9) only.
+        let region = Rect::new(0.0, 5.0, 0.0, 10.0);
+        let (idx, report) = build_clipped(&f, &cfg, &region).unwrap();
+        assert_eq!(report.rows, 2);
+        assert_eq!(idx.total_objects(), 2);
+        assert_eq!(*idx.domain(), region);
+        assert_eq!(idx.global_bounds(2), Some(Interval::new(10.0, 30.0)));
+        idx.validate_invariants().unwrap();
+        // Degenerate regions are rejected.
+        assert!(build_clipped(&f, &cfg, &Rect::new(1.0, 1.0, 0.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn clipped_build_skips_dead_blocks_on_zone_backend() {
+        use pai_storage::ZoneFile;
+        // Rows ordered by x: zone blocks carry tight x envelopes.
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64, 5.0, i as f64]).collect();
+        let zone =
+            ZoneFile::from_rows_with_block(&pai_storage::Schema::synthetic(3), rows, 4).unwrap();
+        let csv = MemFile::from_rows(
+            pai_storage::Schema::synthetic(3),
+            CsvFormat::default(),
+            (0..64)
+                .map(|i| vec![i as f64, 5.0, i as f64])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let cfg = InitConfig {
+            grid: GridSpec::Fixed { nx: 2, ny: 2 },
+            domain: None,
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let region = Rect::new(20.0, 30.0, 0.0, 10.0);
+        let (zi, zr) = build_clipped(&zone, &cfg, &region).unwrap();
+        let (ci, cr) = build_clipped(&csv, &cfg, &region).unwrap();
+        assert_eq!(zr.rows, 10);
+        assert_eq!(cr.rows, 10, "backends agree on the clipped content");
+        assert_eq!(zi.total_objects(), ci.total_objects());
+        assert_eq!(zi.global_bounds(2), ci.global_bounds(2));
+        assert!(
+            zone.counters().blocks_skipped() > 0,
+            "zone init must skip provably-dead blocks"
+        );
+        assert_eq!(csv.counters().blocks_skipped(), 0, "CSV has no blocks");
+        // The pushdown scan moved fewer bytes than a full zone scan would.
+        let clipped_bytes = zone.counters().bytes_read();
+        zone.counters().reset();
+        zone.scan(&mut |_, _, _| Ok(())).unwrap();
+        assert!(clipped_bytes < zone.counters().bytes_read());
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub struct QueryRecord {
     /// `read_rows` calls issued — the meter the batched adaptation
     /// pipeline shrinks (many tiles per call).
     pub read_calls: u64,
+    /// Storage blocks materialized (block-structured backends; 0 on CSV).
+    pub blocks_read: u64,
+    /// Blocks a zone-map pushdown proved irrelevant and skipped.
+    pub blocks_skipped: u64,
     /// Time spent waiting on index locks (zero for single-owner engines).
     pub lock_wait: Duration,
     pub selected: u64,
@@ -85,6 +89,17 @@ impl MethodRun {
     /// batched from tile-at-a-time adaptation for the same query sequence.
     pub fn total_read_calls(&self) -> u64 {
         self.records.iter().map(|r| r.read_calls).sum()
+    }
+
+    /// Total storage blocks materialized across the run — the unit the
+    /// zone-map pushdown shrinks for the same query sequence.
+    pub fn total_blocks_read(&self) -> u64 {
+        self.records.iter().map(|r| r.blocks_read).sum()
+    }
+
+    /// Total blocks proven irrelevant by zone maps across the run.
+    pub fn total_blocks_skipped(&self) -> u64 {
+        self.records.iter().map(|r| r.blocks_skipped).sum()
     }
 
     /// Total time spent waiting on index locks across the run (zero unless
@@ -137,6 +152,8 @@ pub fn run_workload(
                     objects_read: res.stats.io.objects_read,
                     bytes_read: res.stats.io.bytes_read,
                     read_calls: res.stats.io.read_calls,
+                    blocks_read: res.stats.io.blocks_read,
+                    blocks_skipped: res.stats.io.blocks_skipped,
                     lock_wait: res.stats.lock_wait,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,
@@ -162,6 +179,8 @@ pub fn run_workload(
                     objects_read: res.stats.io.objects_read,
                     bytes_read: res.stats.io.bytes_read,
                     read_calls: res.stats.io.read_calls,
+                    blocks_read: res.stats.io.blocks_read,
+                    blocks_skipped: res.stats.io.blocks_skipped,
                     lock_wait: res.stats.lock_wait,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,

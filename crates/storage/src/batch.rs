@@ -21,6 +21,7 @@
 //! `parallelism` concurrent ones — wall-clock for call count — which is why
 //! it is opt-in.
 
+use pai_common::geometry::Rect;
 use pai_common::{AttrId, Result, RowLocator};
 
 use crate::raw::RawFile;
@@ -36,10 +37,18 @@ const MIN_LOCATORS_PER_THREAD: usize = 256;
 /// Returns one `Vec` of value rows per input group, each aligned with that
 /// group's locators in order — exactly what a per-group `read_rows` would
 /// have returned, minus the per-call overhead.
+///
+/// `window` is the active query window, pushed down to the backend
+/// ([`RawFile::read_rows_window`]): zone-mapped backends may answer rows in
+/// blocks provably disjoint from it with NaN instead of touching storage.
+/// Pass `Some` only when every caller-side consumer ignores the values of
+/// out-of-window rows (the engine's window-only read policy does); pass
+/// `None` to force a plain fetch.
 pub fn read_row_groups(
     file: &dyn RawFile,
     groups: &[&[RowLocator]],
     attrs: &[AttrId],
+    window: Option<&Rect>,
     parallelism: usize,
 ) -> Result<Vec<Vec<Vec<f64>>>> {
     let total: usize = groups.iter().map(|g| g.len()).sum();
@@ -47,7 +56,7 @@ pub fn read_row_groups(
     for g in groups {
         flat.extend_from_slice(g);
     }
-    let rows = read_flat(file, &flat, attrs, parallelism)?;
+    let rows = read_flat(file, &flat, attrs, window, parallelism)?;
     debug_assert_eq!(rows.len(), total);
     let mut rows = rows.into_iter();
     Ok(groups
@@ -61,19 +70,20 @@ fn read_flat(
     file: &dyn RawFile,
     locators: &[RowLocator],
     attrs: &[AttrId],
+    window: Option<&Rect>,
     parallelism: usize,
 ) -> Result<Vec<Vec<f64>>> {
     let shards = parallelism
         .min(locators.len() / MIN_LOCATORS_PER_THREAD)
         .max(1);
     if shards <= 1 {
-        return file.read_rows(locators, attrs);
+        return file.read_rows_window(locators, attrs, window);
     }
     let chunk = locators.len().div_ceil(shards);
     let results: Vec<Result<Vec<Vec<f64>>>> = std::thread::scope(|s| {
         let handles: Vec<_> = locators
             .chunks(chunk)
-            .map(|c| s.spawn(move || file.read_rows(c, attrs)))
+            .map(|c| s.spawn(move || file.read_rows_window(c, attrs, window)))
             .collect();
         handles
             .into_iter()
@@ -104,7 +114,7 @@ mod tests {
         let f = sample(10);
         let g1: Vec<RowLocator> = [3u64, 1].iter().map(|&r| RowLocator::new(r)).collect();
         let g2: Vec<RowLocator> = [9u64, 0, 4].iter().map(|&r| RowLocator::new(r)).collect();
-        let out = read_row_groups(&f, &[&g1, &g2], &[2], 1).unwrap();
+        let out = read_row_groups(&f, &[&g1, &g2], &[2], None, 1).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0], vec![vec![30.0], vec![10.0]]);
         assert_eq!(out[1], vec![vec![90.0], vec![0.0], vec![40.0]]);
@@ -119,7 +129,7 @@ mod tests {
         let g1: Vec<RowLocator> = (0..4).map(RowLocator::new).collect();
         let g2: Vec<RowLocator> = (4..8).map(RowLocator::new).collect();
         f.counters().reset();
-        let out = read_row_groups(&f, &[&g1, &g2], &[2], 1).unwrap();
+        let out = read_row_groups(&f, &[&g1, &g2], &[2], None, 1).unwrap();
         assert_eq!(out[0].len() + out[1].len(), 8);
         assert_eq!(f.counters().seeks(), 1, "adjacent groups fuse into one run");
 
@@ -136,7 +146,7 @@ mod tests {
         let f = sample(4);
         let g1: Vec<RowLocator> = Vec::new();
         let g2: Vec<RowLocator> = vec![RowLocator::new(2)];
-        let out = read_row_groups(&f, &[&g1, &g2, &g1], &[0], 1).unwrap();
+        let out = read_row_groups(&f, &[&g1, &g2, &g1], &[0], None, 1).unwrap();
         assert!(out[0].is_empty());
         assert_eq!(out[1], vec![vec![2.0]]);
         assert!(out[2].is_empty());
@@ -146,9 +156,24 @@ mod tests {
     fn parallel_fetch_matches_serial() {
         let f = sample(4096);
         let g: Vec<RowLocator> = (0..4096).rev().map(RowLocator::new).collect();
-        let serial = read_row_groups(&f, &[&g], &[0, 2], 1).unwrap();
-        let parallel = read_row_groups(&f, &[&g], &[0, 2], 4).unwrap();
+        let serial = read_row_groups(&f, &[&g], &[0, 2], None, 1).unwrap();
+        let parallel = read_row_groups(&f, &[&g], &[0, 2], None, 4).unwrap();
         assert_eq!(serial, parallel, "sharding must not change results");
+    }
+
+    #[test]
+    fn window_pushdown_reaches_the_backend() {
+        // Zone-backed groups with a window: rows in provably-dead blocks
+        // come back NaN without I/O, in-window groups are untouched.
+        let data: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64, 0.5, i as f64]).collect();
+        let f = crate::ZoneFile::from_rows_with_block(&Schema::synthetic(3), data, 4).unwrap();
+        let dead: Vec<RowLocator> = (0..4).map(RowLocator::new).collect();
+        let live: Vec<RowLocator> = (20..24).map(RowLocator::new).collect();
+        let window = pai_common::geometry::Rect::new(20.0, 24.0, 0.0, 1.0);
+        let out = read_row_groups(&f, &[&dead, &live], &[2], Some(&window), 1).unwrap();
+        assert!(out[0].iter().all(|v| v[0].is_nan()));
+        assert_eq!(out[1], vec![vec![20.0], vec![21.0], vec![22.0], vec![23.0]]);
+        assert_eq!(f.counters().blocks_skipped(), 1);
     }
 
     #[test]
@@ -156,7 +181,7 @@ mod tests {
         let f = sample(16);
         let g: Vec<RowLocator> = (0..16).map(RowLocator::new).collect();
         f.counters().reset();
-        read_row_groups(&f, &[&g], &[1], 8).unwrap();
+        read_row_groups(&f, &[&g], &[1], None, 8).unwrap();
         assert_eq!(
             f.counters().read_calls(),
             1,

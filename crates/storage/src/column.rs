@@ -76,15 +76,26 @@ pub enum StorageBackend {
     Csv,
     /// Binary columnar `PaiBin` ([`BinFile`]).
     Bin,
+    /// `PaiBin` behind a zero-copy memory mapping
+    /// ([`BinFile::open_mapped`]).
+    Mmap,
+    /// Zone-mapped compressed columnar `PaiZone` ([`crate::ZoneFile`]).
+    Zone,
+    /// `PaiZone` behind a simulated high-latency link
+    /// ([`crate::LatencyFile`]) — the remote/object-store stand-in.
+    Latency,
 }
 
 impl StorageBackend {
-    /// Short lowercase tag (`csv` / `bin`), stable for cache keys and CLI
-    /// output.
+    /// Short lowercase tag (`csv` / `bin` / `mmap` / `zone` / `latency`),
+    /// stable for cache keys and CLI output.
     pub fn tag(&self) -> &'static str {
         match self {
             StorageBackend::Csv => "csv",
             StorageBackend::Bin => "bin",
+            StorageBackend::Mmap => "mmap",
+            StorageBackend::Zone => "zone",
+            StorageBackend::Latency => "latency",
         }
     }
 }
@@ -102,8 +113,12 @@ impl FromStr for StorageBackend {
         match s.trim().to_ascii_lowercase().as_str() {
             "csv" => Ok(StorageBackend::Csv),
             "bin" | "paibin" | "binary" => Ok(StorageBackend::Bin),
+            "mmap" | "bin-mmap" => Ok(StorageBackend::Mmap),
+            "zone" | "paizone" => Ok(StorageBackend::Zone),
+            "latency" | "remote" => Ok(StorageBackend::Latency),
             other => Err(PaiError::config(format!(
-                "unknown storage backend '{other}' (expected 'csv' or 'bin')"
+                "unknown storage backend '{other}' (expected one of \
+                 'csv', 'bin', 'mmap', 'zone', 'latency')"
             ))),
         }
     }
@@ -317,6 +332,7 @@ pub fn write_bin(src: &dyn RawFile, path: impl AsRef<Path>) -> Result<BinFile> {
 enum BinSource {
     Disk(PathBuf),
     Mem(Arc<Vec<u8>>),
+    Mapped(Arc<crate::mapped::Mapping>),
 }
 
 /// Positional byte source: one trait for file- and buffer-backed readers.
@@ -357,6 +373,33 @@ impl BinFile {
         Ok(file)
     }
 
+    /// Opens an existing PaiBin file through a zero-copy memory mapping
+    /// (buffered fallback on platforms without `mmap`). Behaviourally
+    /// identical to [`BinFile::open`] — same locators, same metering — but
+    /// positional reads become pointer arithmetic into shared pages instead
+    /// of seek+read syscalls, which is exactly what the batched adaptation
+    /// fetch wants.
+    pub fn open_mapped(path: impl AsRef<Path>) -> Result<Self> {
+        let mapping = Arc::new(crate::mapped::Mapping::map(path)?);
+        let size = mapping.len() as u64;
+        let header = decode_header(&mut Cursor::new(&mapping[..]))?;
+        let file = BinFile {
+            source: BinSource::Mapped(mapping),
+            schema: header.schema,
+            n_rows: header.n_rows,
+            data_start: header.data_start,
+            size_bytes: size,
+            counters: IoCounters::new(),
+        };
+        file.validate_size()?;
+        Ok(file)
+    }
+
+    /// Whether reads go through a zero-copy memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.source, BinSource::Mapped(_))
+    }
+
     /// Wraps in-memory PaiBin bytes (tests, examples, converters).
     pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Result<Self> {
         let bytes: Vec<u8> = bytes.into();
@@ -387,11 +430,12 @@ impl BinFile {
         self.n_rows
     }
 
-    /// Location on disk, when file-backed.
+    /// Location on disk, when file-backed. Mappings do not advertise a
+    /// path (grab it before calling [`BinFile::open_mapped`]).
     pub fn path(&self) -> Option<&Path> {
         match &self.source {
             BinSource::Disk(p) => Some(p),
-            BinSource::Mem(_) => None,
+            _ => None,
         }
     }
 
@@ -417,6 +461,7 @@ impl BinFile {
         Ok(match &self.source {
             BinSource::Disk(path) => Box::new(File::open(path)?),
             BinSource::Mem(bytes) => Box::new(Cursor::new(bytes.as_slice())),
+            BinSource::Mapped(map) => Box::new(Cursor::new(&map[..])),
         })
     }
 
@@ -457,6 +502,7 @@ impl BinFile {
                     .map_err(|_| corrupt("data region shorter than header claims"))?;
                 self.counters.add_seeks(1);
                 self.counters.add_bytes(buf.len() as u64);
+                self.counters.add_blocks_read(1);
                 page.clear();
                 page.extend(
                     buf.chunks_exact(8)
@@ -529,14 +575,28 @@ impl RawFile for BinFile {
         let mut buf: Vec<u8> = Vec::new();
         let mut bytes = 0u64;
         let mut seeks = 0u64;
+        let mut blocks = 0u64;
         for (ai, &attr) in attrs.iter().enumerate() {
             // Coalesce sorted rows into maximal runs of adjacent rows: one
             // seek + one exact read of 8·run_len bytes per run.
             let mut i = 0;
+            // PAGE_ROWS-sized pages double as PaiBin's block unit for the
+            // `blocks_read` meter (comparable with PaiZone's blocks); count
+            // each page touched at most once per attribute.
+            let mut counted_page: Option<u64> = None;
             while i < order.len() {
                 let mut j = i + 1;
                 while j < order.len() && order[j].1 == order[j - 1].1 + 1 {
                     j += 1;
+                }
+                let (p0, p1) = (order[i].1 / PAGE_ROWS, order[j - 1].1 / PAGE_ROWS);
+                let from = match counted_page {
+                    Some(p) if p >= p0 => p + 1,
+                    _ => p0,
+                };
+                if from <= p1 {
+                    blocks += p1 - from + 1;
+                    counted_page = Some(p1);
                 }
                 let run_rows = (order[j - 1].1 - order[i].1 + 1) as usize;
                 buf.resize(run_rows * 8, 0);
@@ -557,6 +617,7 @@ impl RawFile for BinFile {
         self.counters.add_objects(locators.len() as u64);
         self.counters.add_bytes(bytes);
         self.counters.add_seeks(seeks);
+        self.counters.add_blocks_read(blocks);
         Ok(out)
     }
 
@@ -836,8 +897,78 @@ mod tests {
             "paibin".parse::<StorageBackend>().unwrap(),
             StorageBackend::Bin
         );
+        assert_eq!(
+            "zone".parse::<StorageBackend>().unwrap(),
+            StorageBackend::Zone
+        );
+        assert_eq!(
+            "mmap".parse::<StorageBackend>().unwrap(),
+            StorageBackend::Mmap
+        );
+        assert_eq!(
+            "remote".parse::<StorageBackend>().unwrap(),
+            StorageBackend::Latency
+        );
         assert!("parquet".parse::<StorageBackend>().is_err());
         assert_eq!(StorageBackend::Bin.to_string(), "bin");
+        assert_eq!(StorageBackend::Zone.to_string(), "zone");
+        assert_eq!(StorageBackend::Latency.to_string(), "latency");
         assert_eq!(StorageBackend::default(), StorageBackend::Csv);
+    }
+
+    #[test]
+    fn scan_and_fetch_meter_page_blocks() {
+        let many: Vec<Vec<f64>> = (0..10_000).map(|i| vec![i as f64, 0.5, 1.0]).collect();
+        let f = BinFile::from_rows(&Schema::synthetic(3), many).unwrap();
+        f.scan(&mut |_, _, _| Ok(())).unwrap();
+        // 10_000 rows = 3 pages of 4096, times 3 columns.
+        assert_eq!(f.counters().blocks_read(), 9);
+        assert_eq!(f.counters().blocks_skipped(), 0);
+
+        f.counters().reset();
+        // Rows straddling a page boundary: 2 pages for 1 attribute.
+        let locs: Vec<RowLocator> = (4090..4100).map(RowLocator::new).collect();
+        f.read_rows(&locs, &[2]).unwrap();
+        assert_eq!(f.counters().blocks_read(), 2);
+
+        f.counters().reset();
+        // Two scattered reads inside one page still count the page once.
+        let locs = [RowLocator::new(10), RowLocator::new(300)];
+        f.read_rows(&locs, &[2]).unwrap();
+        assert_eq!(f.counters().blocks_read(), 1);
+    }
+
+    #[test]
+    fn mapped_bin_file_matches_streamed_reads() {
+        let dir = std::env::temp_dir().join("pai_column_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mapped.paibin");
+        let csv = MemFile::from_rows(Schema::synthetic(3), CsvFormat::default(), rows()).unwrap();
+        let bin = write_bin(&csv, &path).unwrap();
+        let mapped = BinFile::open_mapped(&path).unwrap();
+        assert!(mapped.is_mapped());
+        assert!(!bin.is_mapped());
+        assert_eq!(mapped.n_rows(), bin.n_rows());
+        assert_eq!(mapped.path(), None, "mappings do not advertise a path");
+
+        let locs: Vec<RowLocator> = (0..4).rev().map(RowLocator::new).collect();
+        assert_eq!(
+            mapped.read_rows(&locs, &[0, 2]).unwrap(),
+            bin.read_rows(&locs, &[0, 2]).unwrap()
+        );
+        let mut rows_seen = 0;
+        mapped
+            .scan(&mut |_, _, _| {
+                rows_seen += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(rows_seen, 4);
+        // Metering stays comparable: same logical bytes either way.
+        assert_eq!(
+            mapped.counters().bytes_read(),
+            bin.counters().bytes_read() + 3 * 4 * 8
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

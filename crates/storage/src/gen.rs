@@ -82,6 +82,26 @@ impl Default for ValueModel {
     }
 }
 
+/// Physical row order of the emitted file.
+///
+/// Zone maps (per-block min/max, see `pai_storage::zone`) prune blocks only
+/// when storage order correlates with the axis values: a block of randomly
+/// interleaved points spans the whole domain and can never be proven dead.
+/// Real deployments cluster data once at conversion time; [`RowOrder::
+/// ZOrder`] models that. The order is part of the spec, so **every backend
+/// built from the spec shares one row order** — backends stay answer- and
+/// trajectory-equivalent, only their pruning power differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowOrder {
+    /// Rows appear in generation order — an unclustered append log, the
+    /// worst case for zone maps.
+    #[default]
+    Generated,
+    /// Rows sorted by the Morton (Z-order) code of their axis pair —
+    /// spatially clustered storage, the layout zone maps want.
+    ZOrder,
+}
+
 /// Full specification of a synthetic dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
@@ -95,6 +115,8 @@ pub struct DatasetSpec {
     pub value_model: ValueModel,
     /// RNG seed; equal specs generate byte-identical files.
     pub seed: u64,
+    /// Physical row order of the emitted file (same for every backend).
+    pub order: RowOrder,
 }
 
 impl Default for DatasetSpec {
@@ -110,8 +132,33 @@ impl Default for DatasetSpec {
             },
             value_model: ValueModel::default(),
             seed: 42,
+            order: RowOrder::default(),
         }
     }
+}
+
+/// Spreads the 16 bits of `v` to the even bit positions of a `u32`.
+fn spread_bits(v: u16) -> u32 {
+    let mut x = v as u32;
+    x = (x | (x << 8)) & 0x00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555;
+    x
+}
+
+/// Morton (Z-order) key of a point, quantized to 16 bits per axis over the
+/// domain.
+fn morton_key(p: Point2, domain: &Rect) -> u32 {
+    let q = |v: f64, lo: f64, span: f64| -> u16 {
+        if span <= 0.0 {
+            return 0;
+        }
+        (((v - lo) / span * 65535.0).clamp(0.0, 65535.0)) as u16
+    };
+    let qx = q(p.x, domain.x_min, domain.width());
+    let qy = q(p.y, domain.y_min, domain.height());
+    spread_bits(qx) | (spread_bits(qy) << 1)
 }
 
 impl DatasetSpec {
@@ -148,13 +195,31 @@ impl DatasetSpec {
         }
     }
 
+    /// The generated rows in the spec's **physical** order: generation
+    /// order as-is, or buffered and Morton-sorted for [`RowOrder::ZOrder`].
+    pub fn rows_physical(&self) -> Vec<Vec<f64>> {
+        let mut rows: Vec<Vec<f64>> = self.rows_iter().collect();
+        if self.order == RowOrder::ZOrder {
+            let domain = self.domain;
+            rows.sort_by_cached_key(|r| morton_key(Point2::new(r[0], r[1]), &domain));
+        }
+        rows
+    }
+
     /// Writes the dataset as CSV to `path` and opens it as a [`CsvFile`].
     pub fn write_csv(&self, path: &Path, fmt: CsvFormat) -> Result<CsvFile> {
         let schema = self.schema();
         let file = std::fs::File::create(path)?;
         let mut w = CsvWriter::new(file, &schema, fmt)?;
-        for row in self.rows_iter() {
-            w.write_row(&row)?;
+        if self.order == RowOrder::Generated {
+            // Streaming path: no buffering for the default order.
+            for row in self.rows_iter() {
+                w.write_row(&row)?;
+            }
+        } else {
+            for row in self.rows_physical() {
+                w.write_row(&row)?;
+            }
         }
         w.finish()?;
         CsvFile::open(path, schema, fmt)
@@ -162,20 +227,33 @@ impl DatasetSpec {
 
     /// Materializes the dataset in memory (tests / small examples).
     pub fn build_mem(&self, fmt: CsvFormat) -> Result<MemFile> {
-        MemFile::from_rows(self.schema(), fmt, self.rows_iter())
+        MemFile::from_rows(self.schema(), fmt, self.rows_physical())
     }
 
     /// Writes the dataset in the binary columnar format to `path` and opens
     /// it as a [`BinFile`].
     pub fn write_bin(&self, path: &Path) -> Result<BinFile> {
-        let bytes = crate::column::encode_rows(&self.schema(), self.rows_iter())?;
+        let bytes = crate::column::encode_rows(&self.schema(), self.rows_physical())?;
         std::fs::write(path, &bytes)?;
         BinFile::open(path)
     }
 
     /// Materializes the dataset as an in-memory binary columnar file.
     pub fn build_bin_mem(&self) -> Result<BinFile> {
-        BinFile::from_rows(&self.schema(), self.rows_iter())
+        BinFile::from_rows(&self.schema(), self.rows_physical())
+    }
+
+    /// Writes the dataset in the zone-mapped compressed columnar format to
+    /// `path` and opens it as a [`crate::ZoneFile`].
+    pub fn write_zone(&self, path: &Path) -> Result<crate::ZoneFile> {
+        let bytes = crate::zone::encode_zone_rows(&self.schema(), self.rows_physical())?;
+        std::fs::write(path, &bytes)?;
+        crate::ZoneFile::open(path)
+    }
+
+    /// Materializes the dataset as an in-memory zone-mapped compressed file.
+    pub fn build_zone_mem(&self) -> Result<crate::ZoneFile> {
+        crate::ZoneFile::from_rows(&self.schema(), self.rows_physical())
     }
 
     /// Deterministic cluster centers: low-discrepancy placement over the

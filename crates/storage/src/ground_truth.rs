@@ -21,7 +21,10 @@ pub struct WindowTruth {
 }
 
 /// Computes exact per-attribute statistics for all objects whose axis values
-/// fall inside `window`, by scanning the entire file.
+/// fall inside `window`, by scanning the file — with the window pushed down,
+/// so zone-mapped backends skip blocks their envelopes prove irrelevant.
+/// The per-record containment check stays exact either way (block skipping
+/// is a superset filter).
 ///
 /// Returns one [`WindowTruth`] per requested attribute (same order). The
 /// `selected` count is identical across entries; it is repeated for
@@ -39,7 +42,7 @@ pub fn window_truth(
     let mut selected = 0u64;
     let mut stats = vec![RunningStats::new(); attrs.len()];
     let mut vals = Vec::with_capacity(attrs.len());
-    file.scan(&mut |_, _, rec| {
+    file.scan_filtered(window, &mut |_, _, rec| {
         let p = Point2::new(rec.f64(xi)?, rec.f64(yi)?);
         if window.contains_point(p) {
             selected += 1;
@@ -56,12 +59,13 @@ pub fn window_truth(
         .collect())
 }
 
-/// Exact number of objects inside `window`.
+/// Exact number of objects inside `window` (window pushed down, like
+/// [`window_truth`]).
 pub fn window_count(file: &dyn RawFile, window: &Rect) -> Result<u64> {
     let schema = file.schema();
     let (xi, yi) = (schema.x_axis(), schema.y_axis());
     let mut selected = 0u64;
-    file.scan(&mut |_, _, rec| {
+    file.scan_filtered(window, &mut |_, _, rec| {
         let p = Point2::new(rec.f64(xi)?, rec.f64(yi)?);
         if window.contains_point(p) {
             selected += 1;

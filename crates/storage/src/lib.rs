@@ -7,45 +7,68 @@
 //! pays real I/O, which the [`pai_common::IoCounters`] meter.
 //!
 //! Everything above this crate speaks the backend-agnostic [`RawFile`]
-//! trait. Two production backends implement it:
+//! trait — now including block-level statistics ([`BlockStats`] zone maps)
+//! and predicate pushdown (`scan_filtered` / `read_rows_window`), which
+//! degrade gracefully on backends without block structure. The production
+//! backends:
 //!
 //! * **CSV** ([`CsvFile`] on disk, [`MemFile`] in memory) — text records
 //!   accessed in situ, locators are byte offsets, every positional read
 //!   re-parses a line;
 //! * **PaiBin** ([`BinFile`], [`mod@column`]) — fixed-stride binary columnar,
 //!   locators are row ids, positional reads are `row_id * stride`
-//!   arithmetic fetching exactly the requested values.
+//!   arithmetic fetching exactly the requested values; opens zero-copy via
+//!   [`BinFile::open_mapped`];
+//! * **PaiZone** ([`ZoneFile`], [`mod@zone`]) — zone-mapped compressed
+//!   columnar: frame-of-reference + bit-packed blocks with per-block
+//!   min/max in the header, so scans and fetches carrying a query window
+//!   skip blocks the zone maps prove irrelevant;
+//! * **Latency** ([`LatencyFile`]) — any backend behind a simulated remote
+//!   link (per-call + per-seek delay), the object-store stand-in.
 //!
 //! Modules:
 //! * [`schema`] — column definitions and the axis-attribute pair;
 //! * [`csv`] — CSV format config, line splitting/escaping, streaming writer;
 //! * [`raw`] — the [`RawFile`] abstraction: sequential (and partitioned)
-//!   scans plus batched locator-based random access, with the CSV
-//!   implementations;
+//!   scans, batched locator-based random access, block stats + pushdown,
+//!   with the CSV implementations;
 //! * [`mod@column`] — the binary columnar backend and the one-pass CSV→binary
 //!   converter ([`column::convert_to_bin`] / [`column::write_bin`]);
+//! * [`mod@zone`] — the compressed zone-mapped backend and its converter
+//!   ([`zone::convert_to_zone`] / [`zone::write_zone`]);
+//! * [`mapped`] — read-only memory mapping with a portable fallback;
+//! * [`latency`] — the latency-injecting wrapper backend;
 //! * [`batch`] — cross-tile batched positional reads: many locator groups,
-//!   one coalesced `read_rows` call (optionally sharded across threads);
+//!   one coalesced, window-aware `read_rows` call (optionally sharded
+//!   across threads);
 //! * [`scan`] — newline-aligned chunking, the CSV backend's partitioned
 //!   scan machinery;
 //! * [`gen`] — synthetic dataset generation (the paper's 10-numeric-column
 //!   dataset family: uniform, Gaussian-cluster "dense areas", skewed),
-//!   writable to either backend;
-//! * [`ground_truth`] — full-scan exact evaluation used to validate engines
-//!   and to measure true (not just bounded) approximation error.
+//!   writable to any backend;
+//! * [`ground_truth`] — exact evaluation used to validate engines and to
+//!   measure true (not just bounded) approximation error; scans with the
+//!   window pushed down, so zone-mapped backends answer it without reading
+//!   provably-dead blocks.
 
 pub mod batch;
 pub mod column;
 pub mod csv;
 pub mod gen;
 pub mod ground_truth;
+pub mod latency;
+pub mod mapped;
 pub mod raw;
 pub mod scan;
 pub mod schema;
+pub mod zone;
 
 pub use batch::read_row_groups;
 pub use column::{convert_to_bin, write_bin, BinFile, StorageBackend};
 pub use csv::{CsvFormat, CsvWriter};
-pub use gen::{DatasetSpec, PointDistribution, ValueModel};
-pub use raw::{CsvFile, MemFile, RawFile, Record, ScanPartition};
+pub use gen::{DatasetSpec, PointDistribution, RowOrder, ValueModel};
+pub use latency::LatencyFile;
+pub use mapped::Mapping;
+pub use raw::{BlockStats, CsvFile, MemFile, RawFile, Record, ScanPartition};
 pub use schema::{Column, ColumnType, Schema};
+pub use zone::{convert_to_zone, write_zone, ZoneFile};

@@ -29,6 +29,7 @@ use std::io::{BufRead, BufReader, Cursor, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use pai_common::geometry::Rect;
 use pai_common::{AttrId, IoCounters, PaiError, Result, RowId, RowLocator};
 
 use crate::csv::{self, CsvFormat};
@@ -179,6 +180,49 @@ impl ScanPartition {
     };
 }
 
+/// Per-block statistics — a "zone map": the row range one storage block
+/// covers plus the closed min/max envelope of every column over that range.
+///
+/// Block-structured backends expose one `BlockStats` per row block via
+/// [`RawFile::block_stats`]; predicate pushdown uses the *axis* columns'
+/// envelopes to prove a block disjoint from a query window and skip it
+/// without touching storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockStats {
+    /// First row of the block (inclusive).
+    pub row_start: RowId,
+    /// One past the last row of the block (exclusive).
+    pub row_end: RowId,
+    /// Per-column minimum value over the block (NaN when the column holds
+    /// only NaNs in this block, or the block is empty).
+    pub min: Vec<f64>,
+    /// Per-column maximum value over the block (same convention).
+    pub max: Vec<f64>,
+}
+
+impl BlockStats {
+    /// Whether any row of this block *may* fall inside `window`, judged by
+    /// the axis columns' envelopes. `false` is a proof of disjointness
+    /// (half-open window semantics, matching [`Rect::contains_point`]);
+    /// `true` is merely "cannot rule it out" — NaN or missing envelopes
+    /// conservatively answer `true`.
+    pub fn may_intersect_window(&self, x_axis: AttrId, y_axis: AttrId, window: &Rect) -> bool {
+        let bounds = |a: AttrId| -> Option<(f64, f64)> {
+            match (self.min.get(a), self.max.get(a)) {
+                (Some(&lo), Some(&hi)) if lo <= hi => Some((lo, hi)),
+                _ => None, // NaN or out-of-range column: cannot prune.
+            }
+        };
+        let (Some((x0, x1)), Some((y0, y1))) = (bounds(x_axis), bounds(y_axis)) else {
+            return true;
+        };
+        // Block envelopes are closed, windows half-open: [x0, x1] misses
+        // [w.x_min, w.x_max) iff it ends before the window starts or starts
+        // at/after the window's exclusive edge.
+        !(x1 < window.x_min || x0 >= window.x_max || y1 < window.y_min || y0 >= window.y_max)
+    }
+}
+
 /// In-situ raw data file: schema-aware sequential and positional access.
 ///
 /// This is the seam between the AQP engine and the bytes on disk. Everything
@@ -227,6 +271,48 @@ pub trait RawFile: Send + Sync {
             ))
         }
     }
+
+    /// Per-block zone maps, when the backend maintains them. `None` (the
+    /// default) means the file has no block structure — CSV text, for
+    /// example — and every pushdown path degrades to unfiltered behavior.
+    fn block_stats(&self) -> Option<&[BlockStats]> {
+        None
+    }
+
+    /// Sequential scan with an axis-window pushdown hint.
+    ///
+    /// Contract: the handler sees **every** record whose axis values fall
+    /// inside `window`, and *may* additionally see records outside it —
+    /// block skipping is coarse, so callers must keep their exact per-record
+    /// filter. Zone-mapped backends skip whole blocks that
+    /// [`BlockStats::may_intersect_window`] rules out (metering them as
+    /// `blocks_skipped`); the default implementation ignores the hint and
+    /// performs a plain full scan. Row ids passed to the handler are the
+    /// file's row ids (contiguous for a full scan, gapped after a skip).
+    fn scan_filtered(&self, window: &Rect, handler: &mut RowHandler<'_>) -> Result<()> {
+        let _ = window;
+        self.scan(handler)
+    }
+
+    /// [`RawFile::read_rows`] with an axis-window pushdown hint.
+    ///
+    /// Contract: every requested row whose block *may* intersect `window`
+    /// is materialized exactly as `read_rows` would. A row living in a block
+    /// that the backend's zone maps prove disjoint from the window may come
+    /// back as a row of NaNs without touching storage (metered as
+    /// `blocks_skipped`) — callers therefore pass a window only when they
+    /// will never consume values of out-of-window rows (the engine's
+    /// window-only read policy). `None` (and the default implementation)
+    /// degrades to a plain `read_rows`.
+    fn read_rows_window(
+        &self,
+        locators: &[RowLocator],
+        attrs: &[AttrId],
+        window: Option<&Rect>,
+    ) -> Result<Vec<Vec<f64>>> {
+        let _ = window;
+        self.read_rows(locators, attrs)
+    }
 }
 
 /// Boxed files are files: lets APIs hold `Box<dyn RawFile>` (e.g. a
@@ -259,6 +345,23 @@ impl<T: RawFile + ?Sized> RawFile for Box<T> {
 
     fn scan_partition(&self, partition: ScanPartition, handler: &mut RowHandler<'_>) -> Result<()> {
         (**self).scan_partition(partition, handler)
+    }
+
+    fn block_stats(&self) -> Option<&[BlockStats]> {
+        (**self).block_stats()
+    }
+
+    fn scan_filtered(&self, window: &Rect, handler: &mut RowHandler<'_>) -> Result<()> {
+        (**self).scan_filtered(window, handler)
+    }
+
+    fn read_rows_window(
+        &self,
+        locators: &[RowLocator],
+        attrs: &[AttrId],
+        window: Option<&Rect>,
+    ) -> Result<Vec<Vec<f64>>> {
+        (**self).read_rows_window(locators, attrs, window)
     }
 }
 
@@ -753,6 +856,65 @@ mod tests {
         .unwrap();
         assert_eq!(xs, vec![1.0, 3.0], "header must not leak as a record");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn default_pushdown_hooks_degrade_to_unfiltered() {
+        // CSV/Mem backends have no block structure: the hints are inert.
+        let f = sample();
+        assert!(f.block_stats().is_none());
+        let mut rows = 0;
+        f.scan_filtered(&Rect::new(0.0, 1.0, 0.0, 1.0), &mut |_, _, _| {
+            rows += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, 3, "default scan_filtered is a plain full scan");
+        assert_eq!(f.counters().blocks_read(), 0);
+        assert_eq!(f.counters().blocks_skipped(), 0);
+
+        let mut locs = Vec::new();
+        f.scan(&mut |_, loc, _| {
+            locs.push(loc);
+            Ok(())
+        })
+        .unwrap();
+        let plain = f.read_rows(&locs, &[2]).unwrap();
+        let hinted = f
+            .read_rows_window(&locs, &[2], Some(&Rect::new(0.0, 1.0, 0.0, 1.0)))
+            .unwrap();
+        assert_eq!(plain, hinted, "default read_rows_window ignores the hint");
+    }
+
+    #[test]
+    fn block_stats_window_pruning() {
+        let b = BlockStats {
+            row_start: 0,
+            row_end: 10,
+            min: vec![0.0, 5.0, -1.0],
+            max: vec![4.0, 9.0, 1.0],
+        };
+        // Overlapping on both axes.
+        assert!(b.may_intersect_window(0, 1, &Rect::new(3.0, 8.0, 6.0, 7.0)));
+        // Disjoint in x: block x ends at 4, window starts at 4 (half-open
+        // windows include their min edge, so 4 itself would be selected —
+        // but the block's closed max 4.0 *is* selectable; boundary check).
+        assert!(b.may_intersect_window(0, 1, &Rect::new(4.0, 8.0, 6.0, 7.0)));
+        assert!(!b.may_intersect_window(0, 1, &Rect::new(4.1, 8.0, 6.0, 7.0)));
+        // Window's exclusive max edge: block starting at 0 misses (-5, 0).
+        assert!(!b.may_intersect_window(0, 1, &Rect::new(-5.0, 0.0, 6.0, 7.0)));
+        // Disjoint in y.
+        assert!(!b.may_intersect_window(0, 1, &Rect::new(0.0, 10.0, 10.0, 20.0)));
+        // NaN envelopes can never prune.
+        let nan = BlockStats {
+            row_start: 0,
+            row_end: 10,
+            min: vec![f64::NAN, 5.0],
+            max: vec![f64::NAN, 9.0],
+        };
+        assert!(nan.may_intersect_window(0, 1, &Rect::new(100.0, 200.0, 100.0, 200.0)));
+        // Missing columns can never prune either.
+        assert!(b.may_intersect_window(7, 8, &Rect::new(100.0, 200.0, 100.0, 200.0)));
     }
 
     #[test]

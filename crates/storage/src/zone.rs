@@ -1,0 +1,1413 @@
+//! `PaiZone`: a zone-mapped, compressed binary columnar raw-file format.
+//!
+//! `PaiBin` made positional reads O(1) arithmetic; `PaiZone` adds the two
+//! levers the exploration workload still leaves on the table:
+//!
+//! * **Compression** — values are stored frame-of-reference: per block, each
+//!   value is an unsigned delta from the block's minimum, bit-packed at the
+//!   narrowest width that covers the block's range. Deltas are computed on
+//!   an order-preserving `f64 → u64` mapping ([`enc_f64`]), so the scheme is
+//!   **lossless** for every float (including NaN/±∞) while values that
+//!   cluster — the normal case for real columns — pack far below 64 bits.
+//!   Fixed width per block keeps random access pure arithmetic: value `i` of
+//!   a block occupies bits `[i·w, (i+1)·w)`.
+//! * **Zone maps + predicate pushdown** — the header stores each block's
+//!   per-column min/max. A scan carrying a query window
+//!   ([`crate::RawFile::scan_filtered`]) skips whole blocks whose axis
+//!   envelopes are disjoint from the window, and a windowed positional read
+//!   ([`crate::RawFile::read_rows_window`]) can prove requested rows
+//!   irrelevant without touching storage. Skips are metered
+//!   (`blocks_skipped`) next to the blocks actually fetched (`blocks_read`).
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! magic      8  bytes   b"PAIZONE1"
+//! n_cols     u32 LE
+//! x_axis     u32 LE     axis column ids (see `Schema`)
+//! y_axis     u32 LE
+//! n_rows     u64 LE
+//! block_rows u32 LE     rows per block (last block may be short)
+//! per column: name_len u16 LE, then `name_len` UTF-8 bytes
+//! block table: per column, per block:
+//!              min_enc u64 LE, max_enc u64 LE, bit_width u8 (≤ 64)
+//! data       per column, per block: ceil(rows_in_block · bit_width / 8)
+//!            bytes of little-endian bit-packed deltas (byte-aligned per
+//!            block; width-0 blocks store no bytes at all)
+//! ```
+//!
+//! A block whose values are all equal (width 0) is answered entirely from
+//! the header — constant columns cost zero data I/O.
+
+use std::fs::File;
+use std::io::{BufReader, Cursor, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use pai_common::geometry::Rect;
+use pai_common::{AttrId, IoCounters, PaiError, Result, RowId, RowLocator};
+
+use crate::mapped::Mapping;
+use crate::raw::{BlockStats, RawFile, Record, RowHandler, ScanPartition};
+use crate::schema::{Column, Schema};
+
+/// File magic, including the format version.
+pub const PAIZONE_MAGIC: [u8; 8] = *b"PAIZONE1";
+
+/// Default rows per block. Matches `PaiBin`'s scan page so `blocks_read`
+/// counts are comparable across the binary backends.
+pub const DEFAULT_BLOCK_ROWS: u32 = 4096;
+
+/// Upper bound on the column count a header may declare (same guard as
+/// `PaiBin`).
+const MAX_COLUMNS: usize = 65_536;
+
+/// Upper bound on rows per block a header may declare; anything above is
+/// treated as corruption (a block must fit comfortably in memory).
+const MAX_BLOCK_ROWS: u32 = 1 << 22;
+
+fn corrupt(what: impl Into<String>) -> PaiError {
+    PaiError::internal(format!("corrupt PaiZone file: {}", what.into()))
+}
+
+// ---------------------------------------------------------------------------
+// Order-preserving f64 <-> u64 mapping and bit packing.
+// ---------------------------------------------------------------------------
+
+const SIGN: u64 = 1 << 63;
+
+/// Maps a float to a `u64` such that `a < b ⇒ enc_f64(a) < enc_f64(b)`
+/// (IEEE total order: -∞ < … < -0.0 < +0.0 < … < +∞ < NaN-with-positive-
+/// sign). Bijective, so [`dec_f64`] restores the exact bit pattern.
+#[inline]
+pub fn enc_f64(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b & SIGN != 0 {
+        !b
+    } else {
+        b | SIGN
+    }
+}
+
+/// Inverse of [`enc_f64`].
+#[inline]
+pub fn dec_f64(e: u64) -> f64 {
+    if e & SIGN != 0 {
+        f64::from_bits(e ^ SIGN)
+    } else {
+        f64::from_bits(!e)
+    }
+}
+
+/// Narrowest width (bits) that can hold `delta`.
+#[inline]
+fn bits_for(delta: u64) -> u8 {
+    (64 - delta.leading_zeros()) as u8
+}
+
+#[inline]
+fn width_mask(width: u8) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Appends `deltas` to `out` as a little-endian bit stream of fixed-width
+/// values, padded to a whole byte at the end.
+fn pack_deltas(deltas: &[u64], width: u8, out: &mut Vec<u8>) {
+    if width == 0 {
+        return;
+    }
+    let start = out.len();
+    out.resize(start + packed_len(deltas.len() as u64, width) as usize, 0);
+    let mut bit = 0usize;
+    for &d in deltas {
+        let first = start + bit / 8;
+        let shift = bit % 8;
+        let v = (d as u128) << shift;
+        let nbytes = (shift + width as usize).div_ceil(8);
+        for k in 0..nbytes {
+            out[first + k] |= (v >> (8 * k)) as u8;
+        }
+        bit += width as usize;
+    }
+}
+
+/// Reads the fixed-width value whose first bit is `bit_off` bits into `buf`.
+#[inline]
+fn extract_bits(buf: &[u8], bit_off: usize, width: u8) -> u64 {
+    let first = bit_off / 8;
+    let shift = bit_off % 8;
+    let nbytes = (shift + width as usize).div_ceil(8);
+    let mut v: u128 = 0;
+    for (k, &byte) in buf[first..first + nbytes].iter().enumerate() {
+        v |= (byte as u128) << (8 * k);
+    }
+    ((v >> shift) as u64) & width_mask(width)
+}
+
+/// Bytes a block of `rows` values packed at `width` bits occupies.
+#[inline]
+fn packed_len(rows: u64, width: u8) -> u64 {
+    (rows * width as u64).div_ceil(8)
+}
+
+// ---------------------------------------------------------------------------
+// Header encoding/decoding.
+// ---------------------------------------------------------------------------
+
+/// Per-(column, block) compression parameters, resolved to absolute file
+/// positions at open time.
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    min_enc: u64,
+    width: u8,
+    /// Absolute byte offset of the block's packed data.
+    data_off: u64,
+    /// Exact packed length in bytes (0 for constant blocks).
+    data_len: u64,
+}
+
+/// Byte/seek accumulators for one logical access (flushed to the shared
+/// counters once per call).
+#[derive(Default)]
+struct SpanMeters {
+    bytes: u64,
+    seeks: u64,
+}
+
+/// Everything `open`/`from_bytes` decode before serving reads.
+struct ZoneHeader {
+    schema: Schema,
+    n_rows: u64,
+    block_rows: u32,
+    /// `cols[col][block]`.
+    cols: Vec<Vec<BlockMeta>>,
+    /// Per row-block zone maps across all columns (the trait-level view).
+    stats: Vec<BlockStats>,
+}
+
+fn block_count(n_rows: u64, block_rows: u32) -> u64 {
+    n_rows.div_ceil(block_rows as u64)
+}
+
+fn rows_in_block(n_rows: u64, block_rows: u32, blk: u64) -> u64 {
+    let start = blk * block_rows as u64;
+    (n_rows - start).min(block_rows as u64)
+}
+
+fn decode_header<R: Read>(reader: &mut R, file_size: u64) -> Result<ZoneHeader> {
+    let mut magic = [0u8; 8];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|_| corrupt("truncated magic"))?;
+    if magic != PAIZONE_MAGIC {
+        return Err(corrupt("bad magic (not a PaiZone file?)"));
+    }
+    let mut u32buf = [0u8; 4];
+    let mut read_u32 = |reader: &mut R, what: &str| -> Result<u32> {
+        reader
+            .read_exact(&mut u32buf)
+            .map_err(|_| corrupt(format!("truncated {what}")))?;
+        Ok(u32::from_le_bytes(u32buf))
+    };
+    let n_cols = read_u32(reader, "column count")? as usize;
+    if n_cols == 0 || n_cols > MAX_COLUMNS {
+        return Err(corrupt(format!(
+            "implausible column count {n_cols} (max {MAX_COLUMNS})"
+        )));
+    }
+    let x_axis = read_u32(reader, "x-axis id")? as usize;
+    let y_axis = read_u32(reader, "y-axis id")? as usize;
+    let mut u64buf = [0u8; 8];
+    reader
+        .read_exact(&mut u64buf)
+        .map_err(|_| corrupt("truncated row count"))?;
+    let n_rows = u64::from_le_bytes(u64buf);
+    let block_rows = read_u32(reader, "block size")?;
+    if block_rows == 0 || block_rows > MAX_BLOCK_ROWS {
+        return Err(corrupt(format!(
+            "implausible block size {block_rows} rows (max {MAX_BLOCK_ROWS})"
+        )));
+    }
+
+    let mut pos = (8 + 4 + 4 + 4 + 8 + 4) as u64;
+    let mut columns = Vec::with_capacity(n_cols);
+    for i in 0..n_cols {
+        let mut lenbuf = [0u8; 2];
+        reader
+            .read_exact(&mut lenbuf)
+            .map_err(|_| corrupt(format!("truncated name of column {i}")))?;
+        let len = u16::from_le_bytes(lenbuf) as usize;
+        let mut name = vec![0u8; len];
+        reader
+            .read_exact(&mut name)
+            .map_err(|_| corrupt(format!("truncated name of column {i}")))?;
+        let name =
+            String::from_utf8(name).map_err(|_| corrupt(format!("column {i} name not UTF-8")))?;
+        columns.push(Column::float(name));
+        pos += 2 + len as u64;
+    }
+    let schema = Schema::new(columns, x_axis, y_axis)?;
+
+    // Guard the table allocation below against a crafted row count: the
+    // table must physically fit in the file before we believe its size.
+    let n_blocks = block_count(n_rows, block_rows);
+    let table_bytes = (n_cols as u64)
+        .checked_mul(n_blocks)
+        .and_then(|v| v.checked_mul(17))
+        .ok_or_else(|| corrupt("block table size overflows"))?;
+    if pos.checked_add(table_bytes).is_none_or(|v| v > file_size) {
+        return Err(corrupt(format!(
+            "block table ({table_bytes} bytes for {n_blocks} blocks) exceeds the file"
+        )));
+    }
+
+    // Parse the block table, building the trait-level zone maps as we go
+    // (the table is column-major; the stats are per row block).
+    let mut stats: Vec<BlockStats> = (0..n_blocks)
+        .map(|b| BlockStats {
+            row_start: b * block_rows as u64,
+            row_end: b * block_rows as u64 + rows_in_block(n_rows, block_rows, b),
+            min: vec![f64::NAN; n_cols],
+            max: vec![f64::NAN; n_cols],
+        })
+        .collect();
+    let mut cols: Vec<Vec<BlockMeta>> = Vec::with_capacity(n_cols);
+    for c in 0..n_cols {
+        let mut blocks = Vec::with_capacity(n_blocks as usize);
+        for b in 0..n_blocks {
+            let mut entry = [0u8; 17];
+            reader
+                .read_exact(&mut entry)
+                .map_err(|_| corrupt(format!("truncated block table (column {c}, block {b})")))?;
+            let min_enc = u64::from_le_bytes(entry[0..8].try_into().expect("8 bytes"));
+            let max_enc = u64::from_le_bytes(entry[8..16].try_into().expect("8 bytes"));
+            let width = entry[16];
+            if width > 64 {
+                return Err(corrupt(format!(
+                    "block width {width} bits (column {c}, block {b})"
+                )));
+            }
+            if max_enc < min_enc {
+                return Err(corrupt(format!(
+                    "inverted block envelope (column {c}, block {b})"
+                )));
+            }
+            if bits_for(max_enc - min_enc) > width {
+                return Err(corrupt(format!(
+                    "width {width} cannot span the block envelope (column {c}, block {b})"
+                )));
+            }
+            stats[b as usize].min[c] = dec_f64(min_enc);
+            stats[b as usize].max[c] = dec_f64(max_enc);
+            blocks.push(BlockMeta {
+                min_enc,
+                width,
+                data_off: 0,
+                data_len: 0,
+            });
+        }
+        cols.push(blocks);
+    }
+    pos += table_bytes;
+
+    // Resolve per-block data offsets (column-major, blocks consecutive)
+    // with checked arithmetic.
+    let mut offset = pos;
+    for (c, blocks) in cols.iter_mut().enumerate() {
+        let _ = c;
+        for (b, meta) in blocks.iter_mut().enumerate() {
+            let rows = rows_in_block(n_rows, block_rows, b as u64);
+            let len = packed_len(rows, meta.width);
+            meta.data_off = offset;
+            meta.data_len = len;
+            offset = offset
+                .checked_add(len)
+                .ok_or_else(|| corrupt("data region size overflows"))?;
+        }
+    }
+    if offset != file_size {
+        return Err(corrupt(format!(
+            "size {file_size} does not match header (expected {offset})"
+        )));
+    }
+    Ok(ZoneHeader {
+        schema,
+        n_rows,
+        block_rows,
+        cols,
+        stats,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Encoding (the one-pass converter).
+// ---------------------------------------------------------------------------
+
+/// Serializes fully-buffered columns into PaiZone bytes.
+fn encode_zone_columns(schema: &Schema, columns: &[Vec<f64>], block_rows: u32) -> Result<Vec<u8>> {
+    assert!(
+        (1..=MAX_BLOCK_ROWS).contains(&block_rows),
+        "block_rows out of range"
+    );
+    for col in schema.columns() {
+        if !col.ty.is_numeric() {
+            return Err(PaiError::schema(format!(
+                "column '{}' is not numeric; text columns cannot be stored in PaiZone",
+                col.name
+            )));
+        }
+    }
+    let n_rows = columns.first().map_or(0, |c| c.len()) as u64;
+    debug_assert!(columns.iter().all(|c| c.len() as u64 == n_rows));
+    let n_blocks = block_count(n_rows, block_rows);
+
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&PAIZONE_MAGIC);
+    out.extend_from_slice(&(schema.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(schema.x_axis() as u32).to_le_bytes());
+    out.extend_from_slice(&(schema.y_axis() as u32).to_le_bytes());
+    out.extend_from_slice(&n_rows.to_le_bytes());
+    out.extend_from_slice(&block_rows.to_le_bytes());
+    for col in schema.columns() {
+        let name = col.name.as_bytes();
+        if name.len() > u16::MAX as usize {
+            return Err(PaiError::schema(format!(
+                "column name '{}…' too long for the PaiZone header",
+                &col.name[..32.min(col.name.len())]
+            )));
+        }
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+    }
+
+    // Pass 1: per-(column, block) envelopes + widths into the block table.
+    let mut widths: Vec<Vec<u8>> = Vec::with_capacity(columns.len());
+    let mut mins: Vec<Vec<u64>> = Vec::with_capacity(columns.len());
+    for col in columns {
+        let mut col_widths = Vec::with_capacity(n_blocks as usize);
+        let mut col_mins = Vec::with_capacity(n_blocks as usize);
+        for b in 0..n_blocks {
+            let start = (b * block_rows as u64) as usize;
+            let end = start + rows_in_block(n_rows, block_rows, b) as usize;
+            let mut min_enc = u64::MAX;
+            let mut max_enc = 0u64;
+            for &v in &col[start..end] {
+                let e = enc_f64(v);
+                min_enc = min_enc.min(e);
+                max_enc = max_enc.max(e);
+            }
+            let width = bits_for(max_enc - min_enc);
+            out.extend_from_slice(&min_enc.to_le_bytes());
+            out.extend_from_slice(&max_enc.to_le_bytes());
+            out.push(width);
+            col_widths.push(width);
+            col_mins.push(min_enc);
+        }
+        widths.push(col_widths);
+        mins.push(col_mins);
+    }
+
+    // Pass 2: bit-pack each block's deltas.
+    let mut deltas: Vec<u64> = Vec::with_capacity(block_rows as usize);
+    for (ci, col) in columns.iter().enumerate() {
+        for b in 0..n_blocks {
+            let start = (b * block_rows as u64) as usize;
+            let end = start + rows_in_block(n_rows, block_rows, b) as usize;
+            let min_enc = mins[ci][b as usize];
+            deltas.clear();
+            deltas.extend(col[start..end].iter().map(|&v| enc_f64(v) - min_enc));
+            pack_deltas(&deltas, widths[ci][b as usize], &mut out);
+        }
+    }
+    Ok(out)
+}
+
+fn buffer_columns(src: &dyn RawFile) -> Result<(Schema, Vec<Vec<f64>>)> {
+    let schema = src.schema().clone();
+    for col in schema.columns() {
+        if !col.ty.is_numeric() {
+            return Err(PaiError::schema(format!(
+                "cannot convert column '{}' to PaiZone: not numeric",
+                col.name
+            )));
+        }
+    }
+    let wanted: Vec<AttrId> = (0..schema.len()).collect();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); schema.len()];
+    let mut vals = Vec::with_capacity(schema.len());
+    src.scan(&mut |_, _, rec| {
+        rec.extract_f64(&wanted, &mut vals)?;
+        for (col, &v) in columns.iter_mut().zip(&vals) {
+            col.push(v);
+        }
+        Ok(())
+    })?;
+    Ok((schema, columns))
+}
+
+/// Transposes an iterator of rows into per-column buffers, validating row
+/// width against the schema.
+fn buffer_rows<I>(schema: &Schema, rows: I) -> Result<Vec<Vec<f64>>>
+where
+    I: IntoIterator<Item = Vec<f64>>,
+{
+    let n_cols = schema.len();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n_cols];
+    for (i, row) in rows.into_iter().enumerate() {
+        if row.len() != n_cols {
+            return Err(PaiError::schema(format!(
+                "row {i} has {} values, schema has {n_cols} columns",
+                row.len()
+            )));
+        }
+        for (col, &v) in columns.iter_mut().zip(&row) {
+            col.push(v);
+        }
+    }
+    Ok(columns)
+}
+
+/// Encodes an iterator of numeric rows (each `schema.len()` wide) as
+/// PaiZone bytes with the default block size — the `PaiZone` analog of
+/// [`crate::column::encode_rows`].
+pub fn encode_zone_rows<I>(schema: &Schema, rows: I) -> Result<Vec<u8>>
+where
+    I: IntoIterator<Item = Vec<f64>>,
+{
+    let columns = buffer_rows(schema, rows)?;
+    encode_zone_columns(schema, &columns, DEFAULT_BLOCK_ROWS)
+}
+
+/// One-pass converter: scans `src` once (metered on `src`'s counters),
+/// buffering each column, and returns the dataset re-encoded as PaiZone
+/// bytes with the default block size. Numeric-only, like `PaiBin`.
+pub fn convert_to_zone(src: &dyn RawFile) -> Result<Vec<u8>> {
+    convert_to_zone_with(src, DEFAULT_BLOCK_ROWS)
+}
+
+/// [`convert_to_zone`] with an explicit rows-per-block (small blocks = finer
+/// pushdown granularity, bigger header).
+pub fn convert_to_zone_with(src: &dyn RawFile, block_rows: u32) -> Result<Vec<u8>> {
+    let (schema, columns) = buffer_columns(src)?;
+    encode_zone_columns(&schema, &columns, block_rows)
+}
+
+/// Converts `src` to PaiZone on disk at `path` and opens the result.
+pub fn write_zone(src: &dyn RawFile, path: impl AsRef<Path>) -> Result<ZoneFile> {
+    let (schema, columns) = buffer_columns(src)?;
+    let bytes = encode_zone_columns(&schema, &columns, DEFAULT_BLOCK_ROWS)?;
+    std::fs::write(path.as_ref(), &bytes)?;
+    ZoneFile::open(path)
+}
+
+// ---------------------------------------------------------------------------
+// ZoneFile.
+// ---------------------------------------------------------------------------
+
+/// Where the PaiZone bytes live.
+#[derive(Debug, Clone)]
+enum ZoneSource {
+    Disk(PathBuf),
+    Mem(Arc<Vec<u8>>),
+    Mapped(Arc<Mapping>),
+}
+
+/// Positional byte source shared by file-, buffer- and mapping-backed reads.
+trait ReadSeek: Read + Seek {}
+impl<T: Read + Seek> ReadSeek for T {}
+
+/// A PaiZone compressed columnar file. Locators are row ids, exactly like
+/// [`crate::BinFile`].
+///
+/// Cloning is cheap and clones share the same [`IoCounters`] and decoded
+/// header; each access opens its own handle (or reuses the shared mapping),
+/// so a `ZoneFile` serves concurrent readers.
+#[derive(Debug, Clone)]
+pub struct ZoneFile {
+    source: ZoneSource,
+    schema: Schema,
+    n_rows: u64,
+    block_rows: u32,
+    size_bytes: u64,
+    cols: Arc<Vec<Vec<BlockMeta>>>,
+    stats: Arc<Vec<BlockStats>>,
+    counters: IoCounters,
+}
+
+impl ZoneFile {
+    /// Opens an existing PaiZone file, validating header, widths, and size.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let size = std::fs::metadata(&path)?.len();
+        let mut reader = BufReader::new(File::open(&path)?);
+        let header = decode_header(&mut reader, size)?;
+        Ok(Self::assemble(ZoneSource::Disk(path), header, size))
+    }
+
+    /// Opens an existing PaiZone file through a zero-copy memory mapping
+    /// (buffered fallback on platforms without `mmap`). Behaviourally
+    /// identical to [`ZoneFile::open`]; positional reads become pointer
+    /// arithmetic instead of seek+read syscalls.
+    pub fn open_mapped(path: impl AsRef<Path>) -> Result<Self> {
+        let mapping = Arc::new(Mapping::map(path)?);
+        let size = mapping.len() as u64;
+        let header = decode_header(&mut Cursor::new(&mapping[..]), size)?;
+        Ok(Self::assemble(ZoneSource::Mapped(mapping), header, size))
+    }
+
+    /// Wraps in-memory PaiZone bytes (tests, examples, converters).
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Result<Self> {
+        let bytes: Vec<u8> = bytes.into();
+        let size = bytes.len() as u64;
+        let header = decode_header(&mut Cursor::new(bytes.as_slice()), size)?;
+        Ok(Self::assemble(
+            ZoneSource::Mem(Arc::new(bytes)),
+            header,
+            size,
+        ))
+    }
+
+    /// Encodes numeric rows directly into an in-memory PaiZone file with
+    /// the default block size.
+    pub fn from_rows<I>(schema: &Schema, rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = Vec<f64>>,
+    {
+        Self::from_rows_with_block(schema, rows, DEFAULT_BLOCK_ROWS)
+    }
+
+    /// [`ZoneFile::from_rows`] with an explicit rows-per-block (tests use
+    /// tiny blocks to exercise boundaries and pushdown).
+    pub fn from_rows_with_block<I>(schema: &Schema, rows: I, block_rows: u32) -> Result<Self>
+    where
+        I: IntoIterator<Item = Vec<f64>>,
+    {
+        let columns = buffer_rows(schema, rows)?;
+        ZoneFile::from_bytes(encode_zone_columns(schema, &columns, block_rows)?)
+    }
+
+    fn assemble(source: ZoneSource, header: ZoneHeader, size: u64) -> ZoneFile {
+        ZoneFile {
+            source,
+            schema: header.schema,
+            n_rows: header.n_rows,
+            block_rows: header.block_rows,
+            size_bytes: size,
+            cols: Arc::new(header.cols),
+            stats: Arc::new(header.stats),
+            counters: IoCounters::new(),
+        }
+    }
+
+    /// Number of data rows in the file.
+    pub fn n_rows(&self) -> u64 {
+        self.n_rows
+    }
+
+    /// Rows per block.
+    pub fn block_rows(&self) -> u32 {
+        self.block_rows
+    }
+
+    /// Number of row blocks.
+    pub fn n_blocks(&self) -> u64 {
+        block_count(self.n_rows, self.block_rows)
+    }
+
+    /// Location on disk, when file-backed. Mappings do not advertise a
+    /// path (grab it before calling [`ZoneFile::open_mapped`]).
+    pub fn path(&self) -> Option<&Path> {
+        match &self.source {
+            ZoneSource::Disk(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Whether reads go through a zero-copy memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.source, ZoneSource::Mapped(_))
+    }
+
+    /// Mean compressed bits per value over the whole file (diagnostics).
+    pub fn mean_bits_per_value(&self) -> f64 {
+        let mut bits = 0u128;
+        let mut values = 0u128;
+        for col in self.cols.iter() {
+            for (b, meta) in col.iter().enumerate() {
+                let rows = rows_in_block(self.n_rows, self.block_rows, b as u64) as u128;
+                bits += rows * meta.width as u128;
+                values += rows;
+            }
+        }
+        if values == 0 {
+            0.0
+        } else {
+            bits as f64 / values as f64
+        }
+    }
+
+    fn reader(&self) -> Result<Box<dyn ReadSeek + '_>> {
+        Ok(match &self.source {
+            ZoneSource::Disk(path) => Box::new(File::open(path)?),
+            ZoneSource::Mem(bytes) => Box::new(Cursor::new(bytes.as_slice())),
+            ZoneSource::Mapped(map) => Box::new(Cursor::new(&map[..])),
+        })
+    }
+
+    /// Reads `len` bytes at `off` into `buf` (resized), metering bytes and
+    /// one seek.
+    fn read_span(
+        &self,
+        reader: &mut dyn ReadSeek,
+        off: u64,
+        len: usize,
+        buf: &mut Vec<u8>,
+        m: &mut SpanMeters,
+    ) -> Result<()> {
+        buf.resize(len, 0);
+        reader.seek(SeekFrom::Start(off))?;
+        reader
+            .read_exact(buf)
+            .map_err(|_| corrupt("data region shorter than header claims"))?;
+        m.bytes += len as u64;
+        m.seeks += 1;
+        Ok(())
+    }
+
+    /// Decodes one whole (column, block) into `page` (cleared first).
+    fn decode_block(
+        &self,
+        reader: &mut dyn ReadSeek,
+        col: usize,
+        blk: u64,
+        buf: &mut Vec<u8>,
+        page: &mut Vec<f64>,
+        m: &mut SpanMeters,
+    ) -> Result<()> {
+        let meta = &self.cols[col][blk as usize];
+        let rows = rows_in_block(self.n_rows, self.block_rows, blk) as usize;
+        page.clear();
+        if meta.width == 0 {
+            page.resize(rows, dec_f64(meta.min_enc));
+            self.counters.add_blocks_read(1);
+            return Ok(());
+        }
+        self.read_span(reader, meta.data_off, meta.data_len as usize, buf, m)?;
+        let w = meta.width;
+        // Wrapping add: crafted data bits cannot panic (the decoded value is
+        // garbage either way on a corrupt file; validation bounds the width).
+        page.extend((0..rows).map(|i| {
+            dec_f64(
+                meta.min_enc
+                    .wrapping_add(extract_bits(buf, i * w as usize, w)),
+            )
+        }));
+        self.counters.add_blocks_read(1);
+        Ok(())
+    }
+
+    /// Scans rows `[start, end)` — the engine of `scan`/`scan_partition`.
+    /// With `window: Some`, whole blocks disjoint from the window are
+    /// skipped (their rows are not delivered at all).
+    fn scan_rows(
+        &self,
+        start: u64,
+        end: u64,
+        window: Option<&Rect>,
+        handler: &mut RowHandler<'_>,
+    ) -> Result<()> {
+        if start >= end {
+            return Ok(());
+        }
+        if end > self.n_rows {
+            return Err(PaiError::internal(format!(
+                "scan range [{start}, {end}) exceeds {} rows",
+                self.n_rows
+            )));
+        }
+        let n_cols = self.schema.len();
+        let (xi, yi) = (self.schema.x_axis(), self.schema.y_axis());
+        let mut reader = self.reader()?;
+        let mut pages: Vec<Vec<f64>> = vec![Vec::new(); n_cols];
+        let mut buf: Vec<u8> = Vec::new();
+        let mut values = vec![0.0f64; n_cols];
+        let mut local_row: RowId = 0;
+        let mut m = SpanMeters::default();
+        let first_blk = start / self.block_rows as u64;
+        let last_blk = (end - 1) / self.block_rows as u64;
+        for blk in first_blk..=last_blk {
+            if let Some(w) = window {
+                if !self.stats[blk as usize].may_intersect_window(xi, yi, w) {
+                    self.counters.add_blocks_skipped(n_cols as u64);
+                    continue;
+                }
+            }
+            let blk_start = blk * self.block_rows as u64;
+            for (col, page) in pages.iter_mut().enumerate() {
+                let p: &mut Vec<f64> = page;
+                self.decode_block(&mut *reader, col, blk, &mut buf, p, &mut m)?;
+            }
+            let lo = start.max(blk_start);
+            let hi = end.min(blk_start + pages[0].len() as u64);
+            for row in lo..hi {
+                let i = (row - blk_start) as usize;
+                for (v, page) in values.iter_mut().zip(&pages) {
+                    *v = page[i];
+                }
+                let rec = Record::from_values(&values, row);
+                handler(local_row, RowLocator::new(row), &rec)?;
+                local_row += 1;
+                self.counters.add_objects(1);
+            }
+        }
+        self.counters.add_bytes(m.bytes);
+        self.counters.add_seeks(m.seeks);
+        Ok(())
+    }
+
+    /// The shared positional-read engine (`read_rows` and
+    /// `read_rows_window`).
+    fn read_rows_impl(
+        &self,
+        locators: &[RowLocator],
+        attrs: &[AttrId],
+        window: Option<&Rect>,
+    ) -> Result<Vec<Vec<f64>>> {
+        self.counters.add_read_call();
+        for &a in attrs {
+            if a >= self.schema.len() {
+                return Err(PaiError::schema(format!(
+                    "column id {a} out of range ({} columns)",
+                    self.schema.len()
+                )));
+            }
+        }
+        let mut order: Vec<(usize, u64)> = locators.iter().map(|l| l.raw()).enumerate().collect();
+        order.sort_by_key(|&(_, row)| row);
+        if let Some(&(_, max_row)) = order.last() {
+            if max_row >= self.n_rows {
+                return Err(PaiError::internal(format!(
+                    "positional read of row {max_row} hit EOF ({} rows)",
+                    self.n_rows
+                )));
+            }
+        }
+        let mut out: Vec<Vec<f64>> = vec![vec![0.0; attrs.len()]; locators.len()];
+        if locators.is_empty() || attrs.is_empty() {
+            self.counters.add_objects(locators.len() as u64);
+            return Ok(out);
+        }
+
+        let (xi, yi) = (self.schema.x_axis(), self.schema.y_axis());
+        let mut reader = self.reader()?;
+        let mut buf: Vec<u8> = Vec::new();
+        let mut sm = SpanMeters::default();
+        for (ai, &attr) in attrs.iter().enumerate() {
+            // Group requested rows by block, then coalesce adjacent runs
+            // inside each block (fixed width makes a run one byte-span read).
+            let mut i = 0;
+            while i < order.len() {
+                let blk = order[i].1 / self.block_rows as u64;
+                let mut j = i + 1;
+                while j < order.len() && order[j].1 / self.block_rows as u64 == blk {
+                    j += 1;
+                }
+                // Pushdown: a block provably outside the window answers all
+                // its requested rows with NaN, free of any I/O.
+                if let Some(w) = window {
+                    if !self.stats[blk as usize].may_intersect_window(xi, yi, w) {
+                        for &(slot, _) in &order[i..j] {
+                            out[slot][ai] = f64::NAN;
+                        }
+                        self.counters.add_blocks_skipped(1);
+                        i = j;
+                        continue;
+                    }
+                }
+                self.counters.add_blocks_read(1);
+                let meta = &self.cols[attr][blk as usize];
+                let blk_start = blk * self.block_rows as u64;
+                if meta.width == 0 {
+                    let v = dec_f64(meta.min_enc);
+                    for &(slot, _) in &order[i..j] {
+                        out[slot][ai] = v;
+                    }
+                    i = j;
+                    continue;
+                }
+                let w = meta.width as usize;
+                let mut k = i;
+                while k < j {
+                    let mut m = k + 1;
+                    while m < j && order[m].1 == order[m - 1].1 + 1 {
+                        m += 1;
+                    }
+                    let a = (order[k].1 - blk_start) as usize;
+                    let b = (order[m - 1].1 - blk_start) as usize + 1;
+                    let first_byte = (a * w) / 8;
+                    let end_byte = (b * w).div_ceil(8);
+                    self.read_span(
+                        &mut *reader,
+                        meta.data_off + first_byte as u64,
+                        end_byte - first_byte,
+                        &mut buf,
+                        &mut sm,
+                    )?;
+                    for &(slot, row) in &order[k..m] {
+                        let local = (row - blk_start) as usize;
+                        let bit = local * w - first_byte * 8;
+                        out[slot][ai] = dec_f64(
+                            meta.min_enc
+                                .wrapping_add(extract_bits(&buf, bit, meta.width)),
+                        );
+                    }
+                    k = m;
+                }
+                i = j;
+            }
+        }
+        self.counters.add_objects(locators.len() as u64);
+        self.counters.add_bytes(sm.bytes);
+        self.counters.add_seeks(sm.seeks);
+        Ok(out)
+    }
+}
+
+impl RawFile for ZoneFile {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn counters(&self) -> &IoCounters {
+        &self.counters
+    }
+
+    fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    fn scan(&self, handler: &mut RowHandler<'_>) -> Result<()> {
+        self.counters.add_full_scan();
+        self.scan_rows(0, self.n_rows, None, handler)
+    }
+
+    fn read_rows(&self, locators: &[RowLocator], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>> {
+        self.read_rows_impl(locators, attrs, None)
+    }
+
+    fn partitions(&self, n: usize) -> Result<Vec<ScanPartition>> {
+        assert!(n >= 1, "need at least one partition");
+        if self.n_rows == 0 {
+            return Ok(Vec::new());
+        }
+        // Shard on block boundaries so no block is decoded by two workers.
+        let n_blocks = self.n_blocks();
+        let n = (n as u64).min(n_blocks);
+        let per = n_blocks.div_ceil(n);
+        Ok((0..n)
+            .map(|i| ScanPartition {
+                start: (i * per * self.block_rows as u64).min(self.n_rows),
+                end: ((i + 1) * per * self.block_rows as u64).min(self.n_rows),
+            })
+            .filter(|p| p.end > p.start)
+            .collect())
+    }
+
+    fn scan_partition(&self, partition: ScanPartition, handler: &mut RowHandler<'_>) -> Result<()> {
+        if partition == ScanPartition::WHOLE {
+            return self.scan_rows(0, self.n_rows, None, handler);
+        }
+        self.scan_rows(partition.start, partition.end, None, handler)
+    }
+
+    fn block_stats(&self) -> Option<&[BlockStats]> {
+        Some(&self.stats)
+    }
+
+    fn scan_filtered(&self, window: &Rect, handler: &mut RowHandler<'_>) -> Result<()> {
+        self.counters.add_full_scan();
+        self.scan_rows(0, self.n_rows, Some(window), handler)
+    }
+
+    fn read_rows_window(
+        &self,
+        locators: &[RowLocator],
+        attrs: &[AttrId],
+        window: Option<&Rect>,
+    ) -> Result<Vec<Vec<f64>>> {
+        self.read_rows_impl(locators, attrs, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::CsvFormat;
+    use crate::raw::MemFile;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 10.0, 100.0],
+            vec![2.0, 20.0, 200.0],
+            vec![3.0, 30.0, 300.0],
+            vec![4.0, 40.0, 400.0],
+        ]
+    }
+
+    fn sample() -> ZoneFile {
+        ZoneFile::from_rows(&Schema::synthetic(3), rows()).unwrap()
+    }
+
+    /// Rows laid out so consecutive blocks cover disjoint x ranges — the
+    /// shape zone-map pushdown exists for. block_rows = 4.
+    fn striped(n: u64) -> ZoneFile {
+        let data: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64, (i % 7) as f64, i as f64 * 10.0])
+            .collect();
+        ZoneFile::from_rows_with_block(&Schema::synthetic(3), data, 4).unwrap()
+    }
+
+    #[test]
+    fn enc_is_an_order_preserving_bijection() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            0.5,
+            1.0,
+            1e300,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for &v in &vals {
+            let round = dec_f64(enc_f64(v));
+            assert_eq!(round.to_bits(), v.to_bits(), "bit-exact round trip of {v}");
+        }
+        for w in vals.windows(2) {
+            assert!(
+                enc_f64(w[0]) < enc_f64(w[1]),
+                "order preserved: {} < {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn bit_packing_round_trips_every_width() {
+        for width in 0u8..=64 {
+            let mask = width_mask(width);
+            let deltas: Vec<u64> = (0..100u64)
+                .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & mask)
+                .collect();
+            let mut buf = Vec::new();
+            pack_deltas(&deltas, width, &mut buf);
+            assert_eq!(buf.len() as u64, packed_len(100, width), "width {width}");
+            if width == 0 {
+                continue;
+            }
+            for (i, &d) in deltas.iter().enumerate() {
+                assert_eq!(
+                    extract_bits(&buf, i * width as usize, width),
+                    d,
+                    "width {width}, value {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let f = sample();
+        assert_eq!(f.n_rows(), 4);
+        assert_eq!(f.block_rows(), DEFAULT_BLOCK_ROWS);
+        assert_eq!(f.n_blocks(), 1);
+        assert_eq!(f.schema().len(), 3);
+        assert_eq!(f.schema().x_axis(), 0);
+        assert_eq!(f.schema().y_axis(), 1);
+        assert_eq!(f.schema().columns()[2].name, "col2");
+        assert!(f.path().is_none());
+        assert!(!f.is_mapped());
+    }
+
+    #[test]
+    fn scan_yields_row_id_locators_and_exact_values() {
+        let f = sample();
+        let mut seen = Vec::new();
+        f.scan(&mut |row, loc, rec| {
+            seen.push((row, loc.raw(), rec.f64(0)?, rec.f64(2)?));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[0], (0, 0, 1.0, 100.0));
+        assert_eq!(seen[3], (3, 3, 4.0, 400.0));
+        assert_eq!(f.counters().full_scans(), 1);
+        assert_eq!(f.counters().objects_read(), 4);
+        assert_eq!(f.counters().blocks_read(), 3, "one block per column");
+        // Compression: the whole scan moved fewer bytes than PaiBin's
+        // 8/value data region.
+        assert!(f.counters().bytes_read() < 3 * 4 * 8);
+    }
+
+    #[test]
+    fn read_rows_by_row_id_in_request_order() {
+        let f = sample();
+        let locs: Vec<RowLocator> = [3u64, 0, 2].iter().map(|&r| RowLocator::new(r)).collect();
+        let vals = f.read_rows(&locs, &[2, 0]).unwrap();
+        assert_eq!(
+            vals,
+            vec![vec![400.0, 4.0], vec![100.0, 1.0], vec![300.0, 3.0]]
+        );
+        assert_eq!(f.counters().objects_read(), 3);
+        assert_eq!(f.counters().blocks_read(), 2, "one block touch per attr");
+    }
+
+    #[test]
+    fn duplicate_locators_read_twice() {
+        let f = sample();
+        let locs = [RowLocator::new(1), RowLocator::new(1)];
+        let vals = f.read_rows(&locs, &[2]).unwrap();
+        assert_eq!(vals, vec![vec![200.0], vec![200.0]]);
+    }
+
+    #[test]
+    fn out_of_range_requests_are_errors() {
+        let f = sample();
+        let err = f.read_rows(&[RowLocator::new(99)], &[0]).unwrap_err();
+        assert!(err.to_string().contains("EOF"), "{err}");
+        assert!(f.read_rows(&[RowLocator::new(0)], &[17]).is_err());
+    }
+
+    #[test]
+    fn nan_and_negative_values_round_trip() {
+        let data = vec![
+            vec![1.0, 2.0, f64::NAN],
+            vec![3.0, 4.0, -5.5],
+            vec![5.0, 6.0, 0.0],
+            vec![7.0, 8.0, -0.0],
+        ];
+        let f = ZoneFile::from_rows_with_block(&Schema::synthetic(3), data.clone(), 2).unwrap();
+        let locs: Vec<RowLocator> = (0..4).map(RowLocator::new).collect();
+        let vals = f.read_rows(&locs, &[2]).unwrap();
+        assert!(vals[0][0].is_nan());
+        assert_eq!(vals[1][0], -5.5);
+        assert_eq!(vals[2][0].to_bits(), 0.0f64.to_bits());
+        assert_eq!(vals[3][0].to_bits(), (-0.0f64).to_bits());
+        // The scan agrees bit-exactly too.
+        let mut got = Vec::new();
+        f.scan(&mut |_, _, rec| {
+            let mut v = Vec::new();
+            rec.extract_f64(&[0, 1, 2], &mut v)?;
+            got.push(v);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got.len(), 4);
+        assert!(got[0][2].is_nan());
+        assert_eq!(got[1][2], -5.5);
+    }
+
+    #[test]
+    fn constant_blocks_cost_no_data_io() {
+        let data: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64, 1.0, 42.0]).collect();
+        let f = ZoneFile::from_rows_with_block(&Schema::synthetic(3), data, 4).unwrap();
+        f.counters().reset();
+        let locs: Vec<RowLocator> = (0..16).map(RowLocator::new).collect();
+        let vals = f.read_rows(&locs, &[2]).unwrap();
+        assert!(vals.iter().all(|v| v[0] == 42.0));
+        assert_eq!(
+            f.counters().bytes_read(),
+            0,
+            "constant column answered from the header"
+        );
+        assert_eq!(f.counters().seeks(), 0);
+        assert_eq!(f.counters().blocks_read(), 4);
+    }
+
+    #[test]
+    fn convert_from_csv_preserves_values() {
+        let schema = Schema::synthetic(3);
+        let csv = MemFile::from_rows(schema, CsvFormat::default(), rows()).unwrap();
+        let zone = ZoneFile::from_bytes(convert_to_zone(&csv).unwrap()).unwrap();
+        assert_eq!(zone.n_rows(), 4);
+        let mut got = Vec::new();
+        zone.scan(&mut |_, _, rec| {
+            let mut vals = Vec::new();
+            rec.extract_f64(&[0, 1, 2], &mut vals)?;
+            got.push(vals);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got, rows());
+        assert_eq!(csv.counters().full_scans(), 1, "one conversion pass");
+    }
+
+    #[test]
+    fn convert_rejects_text_columns() {
+        let schema = Schema::new(
+            vec![Column::float("x"), Column::float("y"), Column::text("t")],
+            0,
+            1,
+        )
+        .unwrap();
+        let csv = MemFile::from_text("x,y,t\n1,2,hi\n", schema, CsvFormat::default());
+        assert!(convert_to_zone(&csv).is_err());
+    }
+
+    #[test]
+    fn disk_round_trip_plain_and_mapped() {
+        let dir = std::env::temp_dir().join("pai_zone_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.paizone");
+        let csv = MemFile::from_rows(Schema::synthetic(3), CsvFormat::default(), rows()).unwrap();
+        let zone = write_zone(&csv, &path).unwrap();
+        assert_eq!(zone.path(), Some(path.as_path()));
+        assert_eq!(zone.n_rows(), 4);
+        let vals = zone.read_rows(&[RowLocator::new(2)], &[2]).unwrap();
+        assert_eq!(vals, vec![vec![300.0]]);
+
+        let reopened = ZoneFile::open(&path).unwrap();
+        assert_eq!(reopened.n_rows(), 4);
+
+        let mapped = ZoneFile::open_mapped(&path).unwrap();
+        assert!(mapped.is_mapped());
+        let vals = mapped.read_rows(&[RowLocator::new(1)], &[0, 2]).unwrap();
+        assert_eq!(vals, vec![vec![2.0, 200.0]]);
+        let mut n = 0;
+        mapped
+            .scan(&mut |_, _, _| {
+                n += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(n, 4, "mapped scan sees every row");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn block_stats_expose_per_block_envelopes() {
+        let f = striped(12); // 3 blocks of 4 rows
+        let stats = f.block_stats().expect("zone files carry zone maps");
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].row_start, 0);
+        assert_eq!(stats[0].row_end, 4);
+        assert_eq!(stats[1].min[0], 4.0);
+        assert_eq!(stats[1].max[0], 7.0);
+        assert_eq!(stats[2].max[2], 110.0);
+    }
+
+    #[test]
+    fn filtered_scan_skips_dead_blocks_but_misses_nothing() {
+        let f = striped(64); // 16 blocks, x = row id
+                             // Window selecting x in [20, 30): rows 20..30, blocks 5..=7.
+        let window = Rect::new(20.0, 30.0, -1.0, 8.0);
+        let mut seen = Vec::new();
+        f.scan_filtered(&window, &mut |_, loc, rec| {
+            let p = pai_common::geometry::Point2::new(rec.f64(0)?, rec.f64(1)?);
+            if window.contains_point(p) {
+                seen.push(loc.raw());
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, (20..30).collect::<Vec<u64>>(), "every in-window row");
+        assert!(
+            f.counters().blocks_skipped() >= 13 * 3,
+            "at least 13 of 16 stripes provably dead: {}",
+            f.counters().blocks_skipped()
+        );
+        // The filtered scan is strictly cheaper than the full scan.
+        let filtered_bytes = f.counters().bytes_read();
+        f.counters().reset();
+        f.scan(&mut |_, _, _| Ok(())).unwrap();
+        assert!(filtered_bytes < f.counters().bytes_read());
+        assert_eq!(f.counters().blocks_skipped(), 0, "plain scan skips nothing");
+    }
+
+    #[test]
+    fn windowed_read_skips_provably_dead_blocks() {
+        let f = striped(64);
+        // Rows 0..4 (block 0) are far outside the window; rows 40..44
+        // (block 10) are inside it.
+        let window = Rect::new(40.0, 44.0, -1.0, 8.0);
+        let locs: Vec<RowLocator> = (0..4).chain(40..44).map(RowLocator::new).collect();
+        let vals = f.read_rows_window(&locs, &[2], Some(&window)).unwrap();
+        for v in &vals[..4] {
+            assert!(v[0].is_nan(), "dead-block rows come back as NaN");
+        }
+        assert_eq!(vals[4], vec![400.0]);
+        assert_eq!(vals[7], vec![430.0]);
+        assert_eq!(f.counters().blocks_skipped(), 1);
+        assert_eq!(f.counters().blocks_read(), 1);
+        // Without the window, identical request reads both blocks.
+        f.counters().reset();
+        let plain = f.read_rows_window(&locs, &[2], None).unwrap();
+        assert_eq!(plain[0], vec![0.0]);
+        assert_eq!(f.counters().blocks_read(), 2);
+        assert_eq!(f.counters().blocks_skipped(), 0);
+    }
+
+    #[test]
+    fn partitions_are_block_aligned_and_cover_rows() {
+        let f = striped(50); // 13 blocks (last short)
+        for n in [1usize, 3, 5, 20] {
+            let parts = f.partitions(n).unwrap();
+            let mut xs: Vec<f64> = Vec::new();
+            for p in &parts {
+                assert!(
+                    p.start % 4 == 0,
+                    "partition starts on a block boundary: {p:?}"
+                );
+                f.scan_partition(*p, &mut |_, _, rec| {
+                    xs.push(rec.f64(0)?);
+                    Ok(())
+                })
+                .unwrap();
+            }
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(xs.len(), 50, "n={n}");
+            assert_eq!(xs[49], 49.0);
+        }
+        let mut rows = 0;
+        f.scan_partition(ScanPartition::WHOLE, &mut |_, _, _| {
+            rows += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, 50, "the WHOLE sentinel is honored");
+    }
+
+    #[test]
+    fn empty_file_scans_nothing() {
+        let f = ZoneFile::from_rows(&Schema::synthetic(2), Vec::<Vec<f64>>::new()).unwrap();
+        assert_eq!(f.n_rows(), 0);
+        assert_eq!(f.n_blocks(), 0);
+        let mut rows = 0;
+        f.scan(&mut |_, _, _| {
+            rows += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, 0);
+        assert!(f.partitions(4).unwrap().is_empty());
+        assert!(f.block_stats().unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_and_mangled_files_rejected() {
+        let bytes = convert_to_zone(
+            &MemFile::from_rows(Schema::synthetic(3), CsvFormat::default(), rows()).unwrap(),
+        )
+        .unwrap();
+        assert!(ZoneFile::from_bytes(bytes.clone()).is_ok());
+
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 3);
+        assert!(ZoneFile::from_bytes(truncated).is_err());
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(ZoneFile::from_bytes(bad_magic).is_err());
+
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let err = ZoneFile::from_bytes(padded).unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn crafted_headers_fail_cleanly() {
+        let bytes = convert_to_zone(
+            &MemFile::from_rows(Schema::synthetic(3), CsvFormat::default(), rows()).unwrap(),
+        )
+        .unwrap();
+
+        // Absurd column count must not allocate.
+        let mut crafted = bytes.clone();
+        crafted[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = ZoneFile::from_bytes(crafted).unwrap_err();
+        assert!(err.to_string().contains("column count"), "{err}");
+
+        // Absurd row count: the block table cannot fit in the file, and the
+        // guard must trip before any table-sized allocation happens.
+        let mut crafted = bytes.clone();
+        crafted[20..28].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let err = ZoneFile::from_bytes(crafted).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+
+        // Zero and absurd block sizes (overflowing stride family).
+        for bs in [0u32, u32::MAX] {
+            let mut crafted = bytes.clone();
+            crafted[28..32].copy_from_slice(&bs.to_le_bytes());
+            let err = ZoneFile::from_bytes(crafted).unwrap_err();
+            assert!(err.to_string().contains("block size"), "{bs}: {err}");
+        }
+
+        // A block width beyond 64 bits.
+        let names_len: usize = Schema::synthetic(3)
+            .columns()
+            .iter()
+            .map(|c| 2 + c.name.len())
+            .sum();
+        let table_start = 32 + names_len;
+        let mut crafted = bytes.clone();
+        crafted[table_start + 16] = 200;
+        let err = ZoneFile::from_bytes(crafted).unwrap_err();
+        assert!(err.to_string().contains("width"), "{err}");
+
+        // An envelope the declared width cannot span.
+        let mut crafted = bytes;
+        crafted[table_start + 16] = 1;
+        let err = ZoneFile::from_bytes(crafted).unwrap_err();
+        assert!(
+            err.to_string().contains("envelope") || err.to_string().contains("match"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn compression_beats_paibin_on_clustered_values() {
+        // The bench generator's shape: values clustering inside a block.
+        let data: Vec<Vec<f64>> = (0..4096)
+            .map(|i| {
+                let t = i as f64 / 4096.0;
+                vec![
+                    t * 1000.0,
+                    (1.0 - t) * 1000.0,
+                    100.0 + 30.0 * (t * 6.0).sin(),
+                ]
+            })
+            .collect();
+        let zone = ZoneFile::from_rows(&Schema::synthetic(3), data.clone()).unwrap();
+        let bin = crate::BinFile::from_rows(&Schema::synthetic(3), data).unwrap();
+        assert!(
+            zone.size_bytes() < bin.size_bytes(),
+            "zone {} vs bin {}",
+            zone.size_bytes(),
+            bin.size_bytes()
+        );
+        assert!(zone.mean_bits_per_value() < 64.0);
+
+        // A coalesced positional run also moves fewer bytes.
+        let locs: Vec<RowLocator> = (100..600).map(RowLocator::new).collect();
+        zone.counters().reset();
+        zone.read_rows(&locs, &[2]).unwrap();
+        bin.read_rows(&locs, &[2]).unwrap();
+        assert!(
+            zone.counters().bytes_read() < bin.counters().bytes_read(),
+            "zone {} vs bin {}",
+            zone.counters().bytes_read(),
+            bin.counters().bytes_read()
+        );
+    }
+}

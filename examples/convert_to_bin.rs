@@ -1,5 +1,8 @@
-//! Converts a CSV dataset to the binary columnar format (`PaiBin`) and runs
-//! the quickstart workload against both backends, printing the I/O delta.
+//! Converts a CSV dataset to the binary columnar (`PaiBin`) and the
+//! zone-mapped compressed (`PaiZone`) formats, then runs the quickstart
+//! workload against all three backends (plus `PaiBin` behind a zero-copy
+//! memory mapping), printing the I/O deltas — bytes, blocks, and the
+//! zone-map skips of a ground-truth verification pass.
 //!
 //! Run with:
 //! ```text
@@ -8,7 +11,15 @@
 
 use partial_adaptive_indexing::prelude::*;
 
-fn run_workload(label: &str, file: &dyn RawFile, spec: &DatasetSpec) -> Result<(u64, u64, f64)> {
+struct WorkloadCost {
+    objects: u64,
+    bytes: u64,
+    blocks: u64,
+    blocks_skipped: u64,
+    secs: f64,
+}
+
+fn run_workload(label: &str, file: &dyn RawFile, spec: &DatasetSpec) -> Result<WorkloadCost> {
     let init = InitConfig {
         grid: GridSpec::Fixed { nx: 16, ny: 16 },
         domain: Some(spec.domain),
@@ -37,22 +48,34 @@ fn run_workload(label: &str, file: &dyn RawFile, spec: &DatasetSpec) -> Result<(
     for _ in 0..10 {
         w = w.shifted(30.0, 15.0).clamped_into(&spec.domain);
         engine.evaluate(&w, &aggs, 0.05)?;
+        // The cautious analyst's verification read: exact truth for the
+        // window, scanned with the window pushed down (zone maps skip).
+        pai_storage::ground_truth::window_truth(file, &w, &[2])?;
     }
     let elapsed = t0.elapsed().as_secs_f64();
     let io = file.counters().snapshot().since(&before);
     println!(
-        "  [{label}] workload: {} objects, {} bytes, {} seeks, {elapsed:.4}s",
-        io.objects_read, io.bytes_read, io.seeks
+        "  [{label}] workload: {} objects, {} bytes, {} seeks, {} blocks (+{} skipped), {elapsed:.4}s",
+        io.objects_read, io.bytes_read, io.seeks, io.blocks_read, io.blocks_skipped
     );
-    Ok((io.objects_read, io.bytes_read, elapsed))
+    Ok(WorkloadCost {
+        objects: io.objects_read,
+        bytes: io.bytes_read,
+        blocks: io.blocks_read,
+        blocks_skipped: io.blocks_skipped,
+        secs: elapsed,
+    })
 }
 
 fn main() -> Result<()> {
     // --- 1. A raw CSV data file --------------------------------------------
+    // Z-ordered layout: clustered storage is what converted archives look
+    // like, and what gives PaiZone's zone maps something to prune.
     let spec = DatasetSpec {
         rows: 100_000,
         columns: 10,
         seed: 7,
+        order: RowOrder::ZOrder,
         ..Default::default()
     };
     let dir = std::env::temp_dir().join("pai_convert_to_bin");
@@ -66,39 +89,66 @@ fn main() -> Result<()> {
         csv.size_bytes() as f64 / (1024.0 * 1024.0)
     );
 
-    // --- 2. One-pass conversion to the binary columnar format ---------------
+    // --- 2. One-pass conversions ---------------------------------------------
     let bin_path = dir.join("dataset.paibin");
     let t0 = std::time::Instant::now();
     let bin = write_bin(&csv, &bin_path)?;
     println!(
-        "bin: {} ({:.1} MiB), converted in {:.2?}",
+        "bin:  {} ({:.1} MiB), converted in {:.2?}",
         bin_path.display(),
         bin.size_bytes() as f64 / (1024.0 * 1024.0),
         t0.elapsed()
     );
+    let zone_path = dir.join("dataset.paizone");
+    let t0 = std::time::Instant::now();
+    let zone = write_zone(&csv, &zone_path)?;
+    println!(
+        "zone: {} ({:.1} MiB, {:.1} bits/value), converted in {:.2?}",
+        zone_path.display(),
+        zone.size_bytes() as f64 / (1024.0 * 1024.0),
+        zone.mean_bits_per_value(),
+        t0.elapsed()
+    );
+    let mapped = BinFile::open_mapped(&bin_path)?;
     csv.counters().reset();
 
-    // --- 3. The same workload on both backends ------------------------------
+    // --- 3. The same workload on every backend -------------------------------
     println!("\nrunning the quickstart workload on each backend:");
-    let (csv_objects, csv_bytes, csv_secs) = run_workload("csv", &csv, &spec)?;
-    let (bin_objects, bin_bytes, bin_secs) = run_workload("bin", &bin, &spec)?;
+    let cc = run_workload("csv ", &csv, &spec)?;
+    let bc = run_workload("bin ", &bin, &spec)?;
+    let mc = run_workload("mmap", &mapped, &spec)?;
+    let zc = run_workload("zone", &zone, &spec)?;
 
     // --- 4. The I/O delta ---------------------------------------------------
     println!("\n== I/O delta (same queries, same answers) ==");
-    assert_eq!(csv_objects, bin_objects, "backends read the same objects");
-    println!("objects read : {csv_objects} (identical by construction)");
+    assert_eq!(bc.objects, mc.objects, "mapped reads mirror streamed reads");
     println!(
-        "bytes read   : csv {csv_bytes} vs bin {bin_bytes}  ({:.1}x less I/O)",
-        csv_bytes as f64 / bin_bytes.max(1) as f64
+        "objects read : csv {} / bin {} / zone {} (zone's pushdown verification never touches dead blocks)",
+        cc.objects, bc.objects, zc.objects
     );
-    if bin_secs > 0.0 {
+    println!(
+        "bytes read   : csv {} vs bin {} vs zone {}  (bin {:.1}x, zone {:.1}x less than csv)",
+        cc.bytes,
+        bc.bytes,
+        zc.bytes,
+        cc.bytes as f64 / bc.bytes.max(1) as f64,
+        cc.bytes as f64 / zc.bytes.max(1) as f64
+    );
+    println!(
+        "blocks read  : bin {} vs zone {} (+{} proven dead and skipped)",
+        bc.blocks, zc.blocks, zc.blocks_skipped
+    );
+    if bc.secs > 0.0 && zc.secs > 0.0 {
         println!(
-            "wall clock   : csv {csv_secs:.4}s vs bin {bin_secs:.4}s  ({:.2}x speedup)",
-            csv_secs / bin_secs
+            "wall clock   : csv {:.4}s, bin {:.4}s, mmap {:.4}s, zone {:.4}s",
+            cc.secs, bc.secs, mc.secs, zc.secs
         );
     }
+    assert!(zc.bytes < bc.bytes, "zone must move fewer bytes");
+    assert!(zc.blocks < bc.blocks, "zone must touch fewer blocks");
 
     std::fs::remove_file(&csv_path).ok();
     std::fs::remove_file(&bin_path).ok();
+    std::fs::remove_file(&zone_path).ok();
     Ok(())
 }

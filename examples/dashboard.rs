@@ -21,9 +21,12 @@ fn main() -> Result<()> {
         rows: 150_000,
         columns: 6,
         seed: 5,
+        // Clustered storage + the zone-mapped compressed backend: the
+        // dashboard's meters show blocks read and blocks skipped live.
+        order: RowOrder::ZOrder,
         ..Default::default()
     };
-    let file = spec.build_mem(CsvFormat::default())?;
+    let file = spec.build_zone_mem()?;
     let init = InitConfig {
         grid: GridSpec::Fixed { nx: 12, ny: 12 },
         domain: Some(spec.domain),
@@ -55,12 +58,13 @@ fn main() -> Result<()> {
                     .evaluate(&w, &[AggregateFunction::Mean(2)], 0.02)
                     .expect("brush query");
                 println!(
-                    "  [brush {i}] mean {}  bound {:.3}%  {} objects in {} reads  \
+                    "  [brush {i}] mean {}  bound {:.3}%  {} objects in {} reads / {} blocks  \
                      (lock wait {:?}, {} plan conflicts)",
                     res.values[0],
                     res.error_bound * 100.0,
                     res.stats.io.objects_read,
                     res.stats.io.read_calls,
+                    res.stats.io.blocks_read,
                     res.stats.lock_wait,
                     res.stats.plan_conflicts
                 );
@@ -107,11 +111,12 @@ fn main() -> Result<()> {
     let (res, trace) = tracer.evaluate_traced(&hot, &[AggregateFunction::Mean(3)], 0.005)?;
     for step in trace.iter().take(8) {
         println!(
-            "  after {:>2} tiles: estimate {:>9.4}  bound {:>7.3}%  ({} objects)",
+            "  after {:>2} tiles: estimate {:>9.4}  bound {:>7.3}%  ({} objects, {} blocks)",
             step.tiles_processed,
             step.estimate.unwrap_or(f64::NAN),
             step.error_bound * 100.0,
-            step.objects_read
+            step.objects_read,
+            step.blocks_read
         );
     }
     if trace.len() > 8 {

@@ -70,7 +70,7 @@ pub mod prelude {
         ApproxResult, ApproximateEngine, EagerRefinement, EngineConfig, NormalizationMode,
         SelectionPolicy, SharedIndex, ValueEstimator,
     };
-    pub use pai_index::init::{build, build_parallel, GridSpec, InitConfig};
+    pub use pai_index::init::{build, build_clipped, build_parallel, GridSpec, InitConfig};
     pub use pai_index::{
         AdaptConfig, EnrichPolicy, ExactEngine, MetadataPolicy, ReadPolicy, SplitPolicy,
         ValinorIndex,
@@ -79,8 +79,9 @@ pub mod prelude {
         analytics, report, trace, ExplorationSession, Filter, Method, WindowQuery, Workload,
     };
     pub use pai_storage::{
-        convert_to_bin, write_bin, BinFile, CsvFile, CsvFormat, DatasetSpec, MemFile,
-        PointDistribution, RawFile, Schema, StorageBackend, ValueModel,
+        convert_to_bin, convert_to_zone, write_bin, write_zone, BinFile, BlockStats, CsvFile,
+        CsvFormat, DatasetSpec, LatencyFile, MemFile, PointDistribution, RawFile, RowOrder, Schema,
+        StorageBackend, ValueModel, ZoneFile,
     };
 }
 

@@ -2,16 +2,19 @@
 //! storage backends apart — except through the I/O meters.
 //!
 //! For generated datasets, the CSV representation and its binary columnar
-//! conversion must yield, under the same configuration and query sequence:
+//! (`PaiBin`) and zone-mapped compressed (`PaiZone`) conversions must
+//! yield, under the same configuration and query sequence:
 //!   1. identical approximate answers and error bounds;
 //!   2. the same adaptation trajectory (tiles processed/split, objects
 //!      read, final leaf count);
-//!   3. fewer (or equal) bytes read on the binary backend — strictly fewer
-//!      whenever the workload actually reads objects.
+//!   3. fewer (or equal) bytes read on the binary backends — strictly
+//!      fewer whenever the workload actually reads objects — and, on
+//!      spatially clustered layouts, strictly fewer bytes *and blocks* on
+//!      `PaiZone` than on `PaiBin` (zone-map pushdown).
 //!
-//! Both backends scan rows in the same order and round-trip `f64` values
-//! bit-exactly (CSV via shortest-repr printing, PaiBin natively), so the
-//! comparisons below are exact, not approximate.
+//! All backends scan rows in the same order and round-trip `f64` values
+//! bit-exactly (CSV via shortest-repr printing, PaiBin/PaiZone natively),
+//! so the comparisons below are exact, not approximate.
 
 use partial_adaptive_indexing::prelude::*;
 use proptest::prelude::*;
@@ -81,43 +84,57 @@ proptest! {
     ) {
         let spec = dataset(rows, seed, 4);
         let csv = spec.build_mem(CsvFormat::default()).unwrap();
-        // Convert the *CSV file* (not the generator) so the converter path
-        // itself is under test.
+        // Convert the *CSV file* (not the generator) so the converter paths
+        // themselves are under test.
         let bin = BinFile::from_bytes(convert_to_bin(&csv).unwrap()).unwrap();
+        let zone = ZoneFile::from_bytes(convert_to_zone(&csv).unwrap()).unwrap();
         prop_assert_eq!(bin.n_rows(), rows);
+        prop_assert_eq!(zone.n_rows(), rows);
 
         let windows = [w1, w2, w3];
         let (rc, co, cb, cl) = run_sequence(&csv, &spec, grid, &windows, phi);
         let (rb, bo, bb, bl) = run_sequence(&bin, &spec, grid, &windows, phi);
+        let (rz, zo, zb, zl) = run_sequence(&zone, &spec, grid, &windows, phi);
 
-        for (i, (c, b)) in rc.iter().zip(&rb).enumerate() {
-            for (cv, bv) in c.values.iter().zip(&b.values) {
+        for (i, ((c, b), z)) in rc.iter().zip(&rb).zip(&rz).enumerate() {
+            for ((cv, bv), zv) in c.values.iter().zip(&b.values).zip(&z.values) {
                 prop_assert_eq!(cv.as_f64(), bv.as_f64(), "query {} answer", i);
+                prop_assert_eq!(cv.as_f64(), zv.as_f64(), "query {} zone answer", i);
             }
-            for (cc, bc) in c.cis.iter().zip(&b.cis) {
+            for ((cc, bc), zc) in c.cis.iter().zip(&b.cis).zip(&z.cis) {
                 prop_assert_eq!(cc, bc, "query {} CI", i);
+                prop_assert_eq!(cc, zc, "query {} zone CI", i);
             }
             prop_assert_eq!(c.error_bound, b.error_bound, "query {} bound", i);
+            prop_assert_eq!(c.error_bound, z.error_bound, "query {} zone bound", i);
             prop_assert_eq!(
                 c.stats.tiles_processed, b.stats.tiles_processed,
                 "query {} trajectory", i
             );
+            prop_assert_eq!(
+                c.stats.tiles_processed, z.stats.tiles_processed,
+                "query {} zone trajectory", i
+            );
             prop_assert_eq!(c.stats.tiles_split, b.stats.tiles_split, "query {} splits", i);
+            prop_assert_eq!(c.stats.tiles_split, z.stats.tiles_split, "query {} zone splits", i);
             prop_assert_eq!(c.stats.selected, b.stats.selected, "query {} selection", i);
         }
         // Same splits in, same tree out.
         prop_assert_eq!(cl, bl, "final leaf counts must match");
+        prop_assert_eq!(cl, zl, "zone leaf count must match");
         prop_assert_eq!(co, bo, "object meters must match");
+        prop_assert_eq!(co, zo, "zone object meter must match");
         // The tentpole claim: binary positional reads are never more
         // expensive in bytes, and strictly cheaper once anything is read.
         prop_assert!(bb <= cb, "bin bytes {} > csv bytes {}", bb, cb);
         if co > 0 {
             prop_assert!(bb < cb, "expected a strict byte advantage: {} vs {}", bb, cb);
+            prop_assert!(zb < cb, "expected zone below csv: {} vs {}", zb, cb);
         }
     }
 
-    /// Ground truth is backend-independent: a full scan of the conversion
-    /// sees exactly the rows the CSV scan sees.
+    /// Ground truth is backend-independent: a (pushdown-capable) scan of
+    /// each conversion sees exactly the selection the CSV scan sees.
     #[test]
     fn prop_conversion_preserves_ground_truth(
         rows in 100u64..500,
@@ -127,11 +144,157 @@ proptest! {
         let spec = dataset(rows, seed, 3);
         let csv = spec.build_mem(CsvFormat::default()).unwrap();
         let bin = BinFile::from_bytes(convert_to_bin(&csv).unwrap()).unwrap();
+        let zone = ZoneFile::from_bytes(convert_to_zone(&csv).unwrap()).unwrap();
         let tc = pai_storage::ground_truth::window_truth(&csv, &window, &[2]).unwrap();
         let tb = pai_storage::ground_truth::window_truth(&bin, &window, &[2]).unwrap();
+        let tz = pai_storage::ground_truth::window_truth(&zone, &window, &[2]).unwrap();
         prop_assert_eq!(tc[0].selected, tb[0].selected);
         prop_assert_eq!(tc[0].stats.sum(), tb[0].stats.sum());
         prop_assert_eq!(tc[0].stats.min(), tb[0].stats.min());
         prop_assert_eq!(tc[0].stats.max(), tb[0].stats.max());
+        prop_assert_eq!(tc[0].selected, tz[0].selected);
+        prop_assert_eq!(tc[0].stats.sum(), tz[0].stats.sum());
+        prop_assert_eq!(tc[0].stats.min(), tz[0].stats.min());
+        prop_assert_eq!(tc[0].stats.max(), tz[0].stats.max());
     }
+
+    /// On a spatially clustered layout (the realistic converted-archive
+    /// case), `PaiZone` answers the same workload **plus its per-query
+    /// ground-truth verification** with identical results while moving
+    /// strictly fewer bytes than `PaiBin`; blocks never exceed `PaiBin`'s
+    /// (same 4096-row granularity) and are strictly fewer whenever the
+    /// zone maps prove anything dead.
+    #[test]
+    fn prop_zone_pushdown_cheaper_on_clustered_layout(
+        rows in 12_288u64..20_000,
+        seed in 0u64..3,
+        phi in prop_oneof![Just(0.02), 0.05f64..0.15],
+        w1 in window_strategy(),
+        w2 in window_strategy(),
+    ) {
+        let spec = DatasetSpec {
+            order: RowOrder::ZOrder,
+            ..dataset(rows, seed, 4)
+        };
+        // One physical order for every backend: equivalence by construction.
+        let rows_phys = spec.rows_physical();
+        let bin = BinFile::from_rows(&spec.schema(), rows_phys.clone()).unwrap();
+        let zone = ZoneFile::from_rows(&spec.schema(), rows_phys).unwrap();
+
+        let windows = [w1, w2];
+        let run_verified = |file: &dyn RawFile| {
+            let (results, ..) = run_sequence(file, &spec, 4, &windows, phi);
+            let truths: Vec<f64> = windows
+                .iter()
+                .map(|w| {
+                    pai_storage::ground_truth::window_truth(file, w, &[2]).unwrap()[0]
+                        .stats
+                        .sum()
+                })
+                .collect();
+            (results, truths, file.counters().snapshot())
+        };
+        let (rb, tb, sb) = run_verified(&bin);
+        let (rz, tz, sz) = run_verified(&zone);
+
+        for (i, (b, z)) in rb.iter().zip(&rz).enumerate() {
+            for (bv, zv) in b.values.iter().zip(&z.values) {
+                prop_assert_eq!(bv.as_f64(), zv.as_f64(), "query {} answer", i);
+            }
+            for (bc, zc) in b.cis.iter().zip(&z.cis) {
+                prop_assert_eq!(bc, zc, "query {} CI", i);
+            }
+            prop_assert_eq!(b.error_bound, z.error_bound, "query {} bound", i);
+            prop_assert_eq!(
+                b.stats.tiles_processed, z.stats.tiles_processed,
+                "query {} trajectory", i
+            );
+            prop_assert_eq!(
+                b.stats.io.objects_read, z.stats.io.objects_read,
+                "query {} engine objects", i
+            );
+        }
+        prop_assert_eq!(tb, tz, "verification truths must agree");
+        // (Total objects differ by design: pruned truth scans never even
+        // touch the records of dead blocks.)
+        prop_assert!(
+            sz.bytes_read < sb.bytes_read,
+            "zone must move strictly fewer bytes: {} vs {}",
+            sz.bytes_read, sb.bytes_read
+        );
+        prop_assert!(
+            sz.blocks_read <= sb.blocks_read,
+            "zone must never touch more blocks: {} vs {}",
+            sz.blocks_read, sb.blocks_read
+        );
+        if sz.blocks_skipped > 0 {
+            prop_assert!(
+                sz.blocks_read < sb.blocks_read,
+                "skipped blocks must show up as strictly fewer reads: {} vs {} (+{})",
+                sz.blocks_read, sb.blocks_read, sz.blocks_skipped
+            );
+        }
+        prop_assert_eq!(sb.blocks_skipped, 0, "PaiBin cannot skip");
+    }
+}
+
+/// Deterministic strict version of the pushdown claim (the acceptance
+/// gate's shape, as a plain test): on the clustered layout, a corner-bound
+/// exploration plus its verification reads strictly fewer blocks and bytes
+/// on `PaiZone` than on `PaiBin`, for identical answers and CIs.
+#[test]
+fn zone_pushdown_strictly_cheaper_deterministic() {
+    let spec = DatasetSpec {
+        rows: 20_000,
+        columns: 4,
+        seed: 9,
+        order: RowOrder::ZOrder,
+        ..Default::default()
+    };
+    let rows_phys = spec.rows_physical();
+    let bin = BinFile::from_rows(&spec.schema(), rows_phys.clone()).unwrap();
+    let zone = ZoneFile::from_rows(&spec.schema(), rows_phys).unwrap();
+
+    // A corner-anchored pan: far corners of the Z-curve stay provably dead.
+    let windows: Vec<Rect> = (0..4)
+        .map(|i| {
+            let off = 40.0 * i as f64;
+            Rect::new(20.0 + off, 220.0 + off, 20.0 + off, 220.0 + off)
+        })
+        .collect();
+    let run_verified = |file: &dyn RawFile| {
+        let (results, ..) = run_sequence(file, &spec, 5, &windows, 0.05);
+        for w in &windows {
+            pai_storage::ground_truth::window_truth(file, w, &[2]).unwrap();
+        }
+        (results, file.counters().snapshot())
+    };
+    let (rb, sb) = run_verified(&bin);
+    let (rz, sz) = run_verified(&zone);
+
+    for (b, z) in rb.iter().zip(&rz) {
+        for (bv, zv) in b.values.iter().zip(&z.values) {
+            assert_eq!(bv.as_f64(), zv.as_f64());
+        }
+        for (bc, zc) in b.cis.iter().zip(&z.cis) {
+            assert_eq!(bc, zc);
+        }
+        assert_eq!(b.error_bound, z.error_bound);
+        assert_eq!(b.stats.io.objects_read, z.stats.io.objects_read);
+    }
+    // (Total objects are incomparable: pruned truth scans never touch the
+    // records of dead blocks at all.)
+    assert!(sz.blocks_skipped > 0, "zone maps must prove blocks dead");
+    assert!(
+        sz.blocks_read < sb.blocks_read,
+        "strictly fewer blocks: zone {} vs bin {}",
+        sz.blocks_read,
+        sb.blocks_read
+    );
+    assert!(
+        sz.bytes_read < sb.bytes_read,
+        "strictly fewer bytes: zone {} vs bin {}",
+        sz.bytes_read,
+        sb.bytes_read
+    );
 }

@@ -14,8 +14,10 @@
 //!    the stop rule after every tile and discards plans fetched past the
 //!    stop point — while issuing **strictly fewer `read_rows` calls**
 //!    whenever any query processes two or more tiles;
-//! 3. both hold on both storage backends, and the backends still agree
-//!    with each other at every batch size.
+//! 3. all of this holds on every storage backend (CSV, `PaiBin`,
+//!    `PaiZone`), and the backends still agree with each other at every
+//!    batch size — compression and zone-map pushdown are invisible to the
+//!    answers too.
 
 use partial_adaptive_indexing::prelude::*;
 use proptest::prelude::*;
@@ -157,6 +159,7 @@ proptest! {
         let spec = dataset(rows, seed, 4);
         let csv = spec.build_mem(CsvFormat::default()).unwrap();
         let bin = BinFile::from_bytes(convert_to_bin(&csv).unwrap()).unwrap();
+        let zone = ZoneFile::from_bytes(convert_to_zone(&csv).unwrap()).unwrap();
         let windows = [w1, w2, w3];
 
         let csv_seq = run_sequence(&csv, &spec, &windows, phi, 1);
@@ -167,20 +170,41 @@ proptest! {
         let bin_batch = run_sequence(&bin, &spec, &windows, phi, batch);
         assert_batch_equivalent(&bin_seq, &bin_batch, batch);
 
+        let zone_seq = run_sequence(&zone, &spec, &windows, phi, 1);
+        let zone_batch = run_sequence(&zone, &spec, &windows, phi, batch);
+        assert_batch_equivalent(&zone_seq, &zone_batch, batch);
+
         // Backends agree with each other at the batched size too (the
         // sequential cross-backend agreement is backend_equivalence.rs's
         // job).
-        for (i, (c, b)) in csv_batch.results.iter().zip(&bin_batch.results).enumerate() {
-            for (cv, bv) in c.values.iter().zip(&b.values) {
+        for (i, ((c, b), z)) in csv_batch
+            .results
+            .iter()
+            .zip(&bin_batch.results)
+            .zip(&zone_batch.results)
+            .enumerate()
+        {
+            for ((cv, bv), zv) in c.values.iter().zip(&b.values).zip(&z.values) {
                 prop_assert_eq!(cv.as_f64(), bv.as_f64(), "query {} cross-backend", i);
+                prop_assert_eq!(cv.as_f64(), zv.as_f64(), "query {} zone cross-backend", i);
             }
             prop_assert_eq!(c.error_bound, b.error_bound, "query {} cross-backend bound", i);
+            prop_assert_eq!(c.error_bound, z.error_bound, "query {} zone cross-backend bound", i);
             prop_assert_eq!(
                 c.stats.io.read_calls, b.stats.io.read_calls,
                 "query {} cross-backend call count", i
             );
+            prop_assert_eq!(
+                c.stats.io.read_calls, z.stats.io.read_calls,
+                "query {} zone cross-backend call count", i
+            );
         }
         prop_assert_eq!(csv_batch.leaf_count, bin_batch.leaf_count);
+        prop_assert_eq!(csv_batch.leaf_count, zone_batch.leaf_count);
+        // Zone answers the same fetch workload in fewer or equal bytes than
+        // PaiBin at every batch size (bit-packed values vs 8-byte values);
+        // CSV is the byte ceiling.
+        prop_assert!(zone_batch.objects_read == bin_batch.objects_read);
     }
 
     /// φ = 0 exercises full resolution: every candidate is processed under
