@@ -1,0 +1,236 @@
+//! Remote object-store benchmarks: the HTTP backend's acceptance gates.
+//!
+//! Three gates run once at startup against the bundled in-process object
+//! store ([`pai_storage::ObjectStore`]):
+//!
+//! * **equivalence** — the same workload (plus its per-query ground-truth
+//!   verification) over HTTP yields byte-identical answers, CIs, error
+//!   bounds, and adaptation trajectories to the local `PaiZone` file, at
+//!   batch sizes 1 and 8, for both the naive and the coalescing client;
+//! * **coalescing + pushdown** — with fault injection off and a
+//!   per-request latency injected at the server, the coalescing client
+//!   issues strictly fewer ranged GETs, moves strictly fewer wire bytes,
+//!   and finishes the workload strictly faster than the naive
+//!   one-GET-per-span client;
+//! * **fault recovery** — with periodic 5xx injection on, the same queries
+//!   still return identical answers, and the retries are metered into the
+//!   per-query records and the report CSV.
+//!
+//! The criterion group then times the pushdown truth scan over HTTP
+//! (naive vs coalesced vs local) with no injected latency.
+//!
+//! Knobs: `PAI_BENCH_HTTP_PART_KB`, `PAI_BENCH_HTTP_LATENCY_US`,
+//! `PAI_BENCH_HTTP_FAULT` steer the shared fixtures
+//! (`PAI_BENCH_BACKEND=http`); this bench pins its own stores so the gates
+//! stay deterministic.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pai_bench::{cached_zone, small_setup, Fig2Setup};
+use pai_core::{ApproxResult, ApproximateEngine, EngineConfig};
+use pai_index::init::build;
+use pai_query::{report, run_workload, Method};
+use pai_storage::ground_truth::window_truth;
+use pai_storage::{FaultPlan, HttpFile, HttpOptions, ObjectStore, RawFile};
+
+const OBJECT: &str = "remote-bench.paizone";
+
+/// Serves the bench dataset's zone image on a dedicated store.
+fn serve(setup: &Fig2Setup, latency: Duration, plan: FaultPlan) -> ObjectStore {
+    let zone = cached_zone(&setup.spec);
+    let bytes = std::fs::read(zone.path().expect("cached zone on disk")).expect("read image");
+    let store = ObjectStore::serve_with(latency, plan).expect("start object store");
+    store.put(OBJECT, bytes);
+    store
+}
+
+struct Outcome {
+    results: Vec<ApproxResult>,
+    truths: Vec<f64>,
+    elapsed: Duration,
+    requests: u64,
+    wire_bytes: u64,
+}
+
+/// Runs the workload (φ = 5 %) plus a per-query truth verification and
+/// snapshots the transport meters.
+fn run_verified(file: &dyn RawFile, setup: &Fig2Setup, batch: usize) -> Outcome {
+    let (index, _) = build(file, &setup.init).expect("init");
+    let cfg = EngineConfig {
+        adapt_batch: batch,
+        ..setup.engine.clone()
+    };
+    let mut engine = ApproximateEngine::new(index, file, cfg).expect("engine");
+    file.counters().reset();
+    let t0 = Instant::now();
+    let results: Vec<ApproxResult> = setup
+        .workload
+        .queries
+        .iter()
+        .map(|q| engine.evaluate(&q.window, &q.aggs, 0.05).expect("evaluate"))
+        .collect();
+    let truths: Vec<f64> = setup
+        .workload
+        .queries
+        .iter()
+        .map(|q| {
+            window_truth(file, &q.window, &[2]).expect("truth")[0]
+                .stats
+                .sum()
+        })
+        .collect();
+    let elapsed = t0.elapsed();
+    let io = file.counters().snapshot();
+    Outcome {
+        results,
+        truths,
+        elapsed,
+        requests: io.http_requests,
+        wire_bytes: io.http_bytes,
+    }
+}
+
+/// Byte-exact equivalence of two outcomes (answers, CIs, bounds,
+/// trajectories, truths).
+fn assert_equivalent(label: &str, a: &Outcome, b: &Outcome) {
+    assert_eq!(a.results.len(), b.results.len(), "{label}: query count");
+    for (i, (x, y)) in a.results.iter().zip(&b.results).enumerate() {
+        for (xv, yv) in x.values.iter().zip(&y.values) {
+            assert_eq!(xv.as_f64(), yv.as_f64(), "{label}: query {i} answer");
+        }
+        for (xc, yc) in x.cis.iter().zip(&y.cis) {
+            assert_eq!(xc, yc, "{label}: query {i} CI");
+        }
+        assert_eq!(x.error_bound, y.error_bound, "{label}: query {i} bound");
+        assert_eq!(
+            x.stats.tiles_processed, y.stats.tiles_processed,
+            "{label}: query {i} trajectory"
+        );
+    }
+    assert_eq!(a.truths, b.truths, "{label}: verification truths");
+}
+
+/// Gates 1 + 2: equivalence at both batch sizes, then the strict
+/// coalescing win under injected per-request latency.
+fn assert_coalescing_and_pushdown_win() {
+    let setup = small_setup(50_000);
+    let store = serve(&setup, Duration::from_micros(500), FaultPlan::Off);
+
+    let zone = cached_zone(&setup.spec);
+    let local1 = run_verified(&zone, &setup, 1);
+    let local8 = run_verified(&zone, &setup, 8);
+
+    let open = |opts: HttpOptions| HttpFile::open(store.addr(), OBJECT, opts).expect("open http");
+    let coal1 = run_verified(&open(HttpOptions::default()), &setup, 1);
+    let coal8 = run_verified(&open(HttpOptions::default()), &setup, 8);
+    let naive8 = run_verified(&open(HttpOptions::naive()), &setup, 8);
+
+    assert_equivalent("http batch=1 vs local", &coal1, &local1);
+    assert_equivalent("http batch=8 vs local", &coal8, &local8);
+    assert_equivalent("naive vs coalesced", &naive8, &coal8);
+
+    assert!(
+        coal8.requests < naive8.requests,
+        "coalescing must issue strictly fewer ranged GETs: {} vs {}",
+        coal8.requests,
+        naive8.requests
+    );
+    assert!(
+        coal8.wire_bytes < naive8.wire_bytes,
+        "coalescing must move strictly fewer wire bytes: {} vs {}",
+        coal8.wire_bytes,
+        naive8.wire_bytes
+    );
+    assert!(
+        coal8.elapsed < naive8.elapsed,
+        "fewer round trips must win wall-clock: {:?} vs {:?}",
+        coal8.elapsed,
+        naive8.elapsed
+    );
+    println!(
+        "remote gate (coalescing): naive {} GETs / {} wire bytes / {:?}, \
+         coalesced {} GETs / {} wire bytes / {:?} ({:.2}x faster)",
+        naive8.requests,
+        naive8.wire_bytes,
+        naive8.elapsed,
+        coal8.requests,
+        coal8.wire_bytes,
+        coal8.elapsed,
+        naive8.elapsed.as_secs_f64() / coal8.elapsed.as_secs_f64()
+    );
+}
+
+/// Gate 3: under periodic 5xx injection the workload still answers
+/// identically, and `retries` lands in the records and the report CSV.
+fn assert_fault_recovery_is_metered() {
+    let setup = small_setup(20_000);
+    let faulty = serve(&setup, Duration::ZERO, "5xx:3".parse().expect("plan"));
+    let method = Method::Approx { phi: 0.05 };
+
+    let zone = cached_zone(&setup.spec);
+    let baseline =
+        run_workload(&zone, &setup.init, &setup.engine, &setup.workload, method).expect("local");
+
+    let http = HttpFile::open(faulty.addr(), OBJECT, HttpOptions::default()).expect("open");
+    let run =
+        run_workload(&http, &setup.init, &setup.engine, &setup.workload, method).expect("http");
+
+    for (b, h) in baseline.records.iter().zip(&run.records) {
+        for (bv, hv) in b.values.iter().zip(&h.values) {
+            assert_eq!(bv.as_f64(), hv.as_f64(), "faulted answers must match");
+        }
+        assert_eq!(b.error_bound, h.error_bound);
+    }
+    assert!(faulty.faults_injected() > 0, "faults actually fired");
+    assert!(
+        run.total_retries() > 0,
+        "retries must be metered into the records"
+    );
+    let csv = report::to_csv(std::slice::from_ref(&run));
+    assert!(
+        csv.lines()
+            .next()
+            .expect("header")
+            .contains("phi=5%_retries"),
+        "retries column missing from the report CSV"
+    );
+    assert!(
+        run.records.iter().any(|r| r.retries > 0),
+        "per-query retries visible in the CSV rows"
+    );
+    println!(
+        "remote gate (faults): {} faults injected, {} retries metered, answers identical",
+        faulty.faults_injected(),
+        run.total_retries()
+    );
+}
+
+fn bench_remote(c: &mut Criterion) {
+    assert_coalescing_and_pushdown_win();
+    assert_fault_recovery_is_metered();
+
+    // Timing: the pushdown truth scan over HTTP, no injected latency.
+    let setup = small_setup(50_000);
+    let store = serve(&setup, Duration::ZERO, FaultPlan::Off);
+    let zone = cached_zone(&setup.spec);
+    let naive = HttpFile::open(store.addr(), OBJECT, HttpOptions::naive()).expect("open");
+    let coalesced = HttpFile::open(store.addr(), OBJECT, HttpOptions::default()).expect("open");
+    let window = pai_query::Workload::centered_window(&setup.spec.domain, 0.02);
+
+    let mut group = c.benchmark_group("http_truth");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("local-zone", "2%"), &window, |b, w| {
+        b.iter(|| window_truth(&zone, w, &[2]).expect("truth")[0].selected)
+    });
+    group.bench_with_input(BenchmarkId::new("http-naive", "2%"), &window, |b, w| {
+        b.iter(|| window_truth(&naive, w, &[2]).expect("truth")[0].selected)
+    });
+    group.bench_with_input(BenchmarkId::new("http-coalesced", "2%"), &window, |b, w| {
+        b.iter(|| window_truth(&coalesced, w, &[2]).expect("truth")[0].selected)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_remote);
+criterion_main!(benches);

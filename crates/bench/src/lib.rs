@@ -13,16 +13,27 @@
 //! * `PAI_BENCH_BACKEND` — storage backend every bench runs against:
 //!   `csv` (default), `bin` (binary columnar), `mmap` (binary columnar
 //!   behind a zero-copy memory mapping), `zone` (zone-mapped compressed
-//!   columnar with predicate pushdown), or `latency` (`zone` behind a
-//!   simulated remote link). Benches obtain their dataset through
-//!   [`cached_file`], so one knob flips them all.
+//!   columnar with predicate pushdown), `latency` (`zone` behind a
+//!   simulated remote link), or `http` (`zone` served by a real in-process
+//!   HTTP object store over ranged GETs). Benches obtain their dataset
+//!   through [`cached_file`], so one knob flips them all.
 //! * `PAI_BENCH_LATENCY_US` / `PAI_BENCH_SEEK_LATENCY_US` — injected
 //!   per-call / per-seek delay for the `latency` backend (defaults 200/20).
+//! * `PAI_BENCH_HTTP_PART_KB` — ranged-GET part size (KiB) the `http`
+//!   backend coalesces toward (default 64; `0` = the naive client, one GET
+//!   per span).
+//! * `PAI_BENCH_HTTP_LATENCY_US` — per-request stall the bench object
+//!   store injects (default 0).
+//! * `PAI_BENCH_HTTP_FAULT` — fault plan of the bench object store:
+//!   `off` (default) or `<5xx|drop|short>:<n>` (every n-th request fails;
+//!   the client retries with backoff and meters `retries`).
 //! * `PAI_BENCH_BATCH` — adaptation batch size (`EngineConfig::adapt_batch`)
 //!   every bench runs with: `1` (default) is the sequential-equivalent
 //!   tile-at-a-time pipeline, larger values coalesce that many tiles per
 //!   `read_rows` call. Benches obtain their engine config through
 //!   [`fig2_setup`]/[`small_setup`], so one knob flips them all.
+//!
+//! The full knob table lives in `docs/BENCHMARKS.md`.
 
 use std::path::PathBuf;
 
@@ -33,8 +44,8 @@ use pai_index::init::{GridSpec, InitConfig};
 use pai_index::MetadataPolicy;
 use pai_query::Workload;
 use pai_storage::{
-    BinFile, CsvFile, CsvFormat, DatasetSpec, LatencyFile, PointDistribution, RawFile,
-    StorageBackend, ValueModel, ZoneFile,
+    BinFile, CsvFile, CsvFormat, DatasetSpec, FaultPlan, HttpFile, HttpOptions, LatencyFile,
+    ObjectStore, PointDistribution, RawFile, StorageBackend, ValueModel, ZoneFile,
 };
 
 /// Everything a Figure 2 style run needs.
@@ -172,10 +183,10 @@ fn cache_key(spec: &DatasetSpec, backend: StorageBackend) -> String {
     };
     let ext = match backend {
         StorageBackend::Csv => "csv",
-        // mmap/latency wrap the cached binary formats; they never key a
-        // cache file of their own.
+        // mmap/latency/http wrap the cached binary formats; they never key
+        // a cache file of their own.
         StorageBackend::Bin | StorageBackend::Mmap => "paibin",
-        StorageBackend::Zone | StorageBackend::Latency => "paizone",
+        StorageBackend::Zone | StorageBackend::Latency | StorageBackend::Http => "paizone",
     };
     let ord_tag = match spec.order {
         pai_storage::RowOrder::Generated => "gen",
@@ -234,6 +245,41 @@ pub fn cached_zone(spec: &DatasetSpec) -> ZoneFile {
     spec.write_zone(&path).expect("write bench dataset")
 }
 
+/// The process-wide object store serving `http`-backend datasets: started
+/// on first use, configured once from `PAI_BENCH_HTTP_LATENCY_US` and
+/// `PAI_BENCH_HTTP_FAULT`, and kept alive for the whole bench process so
+/// every fixture (and every criterion iteration) reuses it.
+pub fn http_store() -> &'static ObjectStore {
+    static STORE: std::sync::OnceLock<ObjectStore> = std::sync::OnceLock::new();
+    STORE.get_or_init(|| {
+        let latency = std::time::Duration::from_micros(env_u64("PAI_BENCH_HTTP_LATENCY_US", 0));
+        let plan: FaultPlan = std::env::var("PAI_BENCH_HTTP_FAULT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default();
+        ObjectStore::serve_with(latency, plan).expect("start bench object store")
+    })
+}
+
+/// HTTP client tuning from `PAI_BENCH_HTTP_PART_KB` (default 64 KiB parts;
+/// `0` = the naive one-GET-per-span client).
+pub fn http_options() -> HttpOptions {
+    HttpOptions::with_part_bytes(env_u64("PAI_BENCH_HTTP_PART_KB", 64) * 1024)
+}
+
+/// Uploads (or reuses) the zone image for `spec` on the bench object store
+/// and opens it over HTTP ranged GETs.
+pub fn cached_http(spec: &DatasetSpec) -> HttpFile {
+    let zone = cached_zone(spec);
+    let path = zone.path().expect("cached zone is on disk");
+    let name = cache_key(spec, StorageBackend::Zone);
+    let store = http_store();
+    if !store.contains(&name) {
+        store.put(&name, std::fs::read(path).expect("read cached zone image"));
+    }
+    HttpFile::open(store.addr(), name, http_options()).expect("open http dataset")
+}
+
 /// Injected latency for the `latency` backend, from `PAI_BENCH_LATENCY_US`
 /// (per call) and `PAI_BENCH_SEEK_LATENCY_US` (per seek).
 pub fn latency_config() -> (std::time::Duration, std::time::Duration) {
@@ -266,6 +312,7 @@ pub fn cached_file(spec: &DatasetSpec) -> Box<dyn RawFile> {
         }
         StorageBackend::Zone => Box::new(cached_zone(spec)),
         StorageBackend::Latency => Box::new(with_latency(Box::new(cached_zone(spec)))),
+        StorageBackend::Http => Box::new(cached_http(spec)),
     }
 }
 
@@ -345,9 +392,24 @@ mod tests {
         })
         .unwrap();
         assert_eq!(rows, 300, "bin-backed cached_file serves the dataset");
+        std::env::set_var("PAI_BENCH_BACKEND", "http");
+        assert_eq!(backend(), pai_storage::StorageBackend::Http);
         std::env::set_var("PAI_BENCH_BACKEND", "duckdb");
         assert_eq!(backend(), pai_storage::StorageBackend::Csv);
         std::env::remove_var("PAI_BENCH_BACKEND");
+    }
+
+    #[test]
+    fn http_part_knob_selects_client_options() {
+        // Read-only contract check against the default environment (other
+        // tests may run in parallel, so no env mutation here): the default
+        // is a coalescing client with 64 KiB parts, and part 0 is naive.
+        if std::env::var("PAI_BENCH_HTTP_PART_KB").is_err() {
+            let opts = http_options();
+            assert!(opts.coalesce);
+            assert_eq!(opts.part_bytes, 64 * 1024);
+        }
+        assert!(!pai_storage::HttpOptions::with_part_bytes(0).coalesce);
     }
 
     #[test]
@@ -381,6 +443,13 @@ mod tests {
             std::time::Duration::ZERO,
         );
         assert_eq!(collect(&latency), reference, "latency");
+        let http = cached_http(&spec);
+        assert!(http.is_zone(), "http fixture serves the zone image");
+        assert_eq!(collect(&http), reference, "http");
+        assert!(
+            http.counters().http_requests() > 0,
+            "http reads went over the wire"
+        );
         // The zone cache is block-compressed: strictly smaller than bin.
         assert!(cached_zone(&spec).size_bytes() < cached_bin(&spec).size_bytes());
     }

@@ -83,7 +83,9 @@ impl fmt::Display for AggregateFunction {
 /// we keep the distinction explicit).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AggregateValue {
+    /// A count of selected objects.
     Count(u64),
+    /// A real-valued aggregate (sum, mean, min, max).
     Float(f64),
     /// Aggregate over an empty selection (undefined for mean/min/max).
     Empty,

@@ -37,18 +37,44 @@ struct Inner {
     /// therefore never touched — the meter that separates a pushdown-aware
     /// backend from one that reads everything it is asked to scan.
     blocks_skipped: AtomicU64,
+    /// HTTP requests (ranged GETs) issued by a remote backend. Coalescing
+    /// merges adjacent byte ranges into one request, so this meter (and
+    /// `http_bytes`) is what request coalescing improves.
+    http_requests: AtomicU64,
+    /// Bytes moved over the wire by a remote backend — request lines,
+    /// headers, and bodies in both directions. Differs from `bytes_read`
+    /// (the logical payload the backend consumed): per-request overhead and
+    /// over-fetch show up here.
+    http_bytes: AtomicU64,
+    /// Requests retried after a transient remote fault (5xx, dropped
+    /// connection, short read). Nonzero retries with correct answers is the
+    /// signature of the retry/backoff path doing its job.
+    retries: AtomicU64,
 }
 
 /// A point-in-time copy of the counter values.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoSnapshot {
+    /// Rows materialized from the file.
     pub objects_read: u64,
+    /// Logical bytes pulled from the file.
     pub bytes_read: u64,
+    /// Random-access seek operations issued.
     pub seeks: u64,
+    /// Full-file sequential scans performed.
     pub full_scans: u64,
+    /// `read_rows` invocations issued.
     pub read_calls: u64,
+    /// Storage blocks materialized.
     pub blocks_read: u64,
+    /// Blocks a zone-map pushdown proved irrelevant and skipped.
     pub blocks_skipped: u64,
+    /// Ranged HTTP requests issued by a remote backend (0 locally).
+    pub http_requests: u64,
+    /// Bytes on the wire for those requests, both directions (0 locally).
+    pub http_bytes: u64,
+    /// Remote requests retried after a transient fault (0 locally).
+    pub retries: u64,
 }
 
 impl IoSnapshot {
@@ -63,76 +89,127 @@ impl IoSnapshot {
             read_calls: self.read_calls.saturating_sub(earlier.read_calls),
             blocks_read: self.blocks_read.saturating_sub(earlier.blocks_read),
             blocks_skipped: self.blocks_skipped.saturating_sub(earlier.blocks_skipped),
+            http_requests: self.http_requests.saturating_sub(earlier.http_requests),
+            http_bytes: self.http_bytes.saturating_sub(earlier.http_bytes),
+            retries: self.retries.saturating_sub(earlier.retries),
         }
     }
 }
 
 impl IoCounters {
+    /// Fresh counters, all zero.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Records `n` rows materialized from the file.
     #[inline]
     pub fn add_objects(&self, n: u64) {
         self.inner.objects_read.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` logical bytes pulled from the file.
     #[inline]
     pub fn add_bytes(&self, n: u64) {
         self.inner.bytes_read.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` random-access seeks.
     #[inline]
     pub fn add_seeks(&self, n: u64) {
         self.inner.seeks.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one full sequential scan.
     #[inline]
     pub fn add_full_scan(&self) {
         self.inner.full_scans.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one `read_rows` invocation.
     #[inline]
     pub fn add_read_call(&self) {
         self.inner.read_calls.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` storage blocks materialized.
     #[inline]
     pub fn add_blocks_read(&self, n: u64) {
         self.inner.blocks_read.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` blocks a zone-map pushdown proved irrelevant.
     #[inline]
     pub fn add_blocks_skipped(&self, n: u64) {
         self.inner.blocks_skipped.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` ranged HTTP requests issued by a remote backend.
+    #[inline]
+    pub fn add_http_requests(&self, n: u64) {
+        self.inner.http_requests.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` bytes moved over the wire (requests + responses).
+    #[inline]
+    pub fn add_http_bytes(&self, n: u64) {
+        self.inner.http_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` remote requests retried after a transient fault.
+    #[inline]
+    pub fn add_retries(&self, n: u64) {
+        self.inner.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Rows materialized so far.
     pub fn objects_read(&self) -> u64 {
         self.inner.objects_read.load(Ordering::Relaxed)
     }
 
+    /// Logical bytes pulled so far.
     pub fn bytes_read(&self) -> u64 {
         self.inner.bytes_read.load(Ordering::Relaxed)
     }
 
+    /// Seeks issued so far.
     pub fn seeks(&self) -> u64 {
         self.inner.seeks.load(Ordering::Relaxed)
     }
 
+    /// Full scans performed so far.
     pub fn full_scans(&self) -> u64 {
         self.inner.full_scans.load(Ordering::Relaxed)
     }
 
+    /// `read_rows` invocations so far.
     pub fn read_calls(&self) -> u64 {
         self.inner.read_calls.load(Ordering::Relaxed)
     }
 
+    /// Blocks materialized so far.
     pub fn blocks_read(&self) -> u64 {
         self.inner.blocks_read.load(Ordering::Relaxed)
     }
 
+    /// Blocks skipped by pushdown so far.
     pub fn blocks_skipped(&self) -> u64 {
         self.inner.blocks_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Ranged HTTP requests issued so far.
+    pub fn http_requests(&self) -> u64 {
+        self.inner.http_requests.load(Ordering::Relaxed)
+    }
+
+    /// Wire bytes moved so far (requests + responses).
+    pub fn http_bytes(&self) -> u64 {
+        self.inner.http_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Remote requests retried so far.
+    pub fn retries(&self) -> u64 {
+        self.inner.retries.load(Ordering::Relaxed)
     }
 
     /// Captures current values.
@@ -145,6 +222,9 @@ impl IoCounters {
             read_calls: self.read_calls(),
             blocks_read: self.blocks_read(),
             blocks_skipped: self.blocks_skipped(),
+            http_requests: self.http_requests(),
+            http_bytes: self.http_bytes(),
+            retries: self.retries(),
         }
     }
 
@@ -157,6 +237,9 @@ impl IoCounters {
         self.inner.read_calls.store(0, Ordering::Relaxed);
         self.inner.blocks_read.store(0, Ordering::Relaxed);
         self.inner.blocks_skipped.store(0, Ordering::Relaxed);
+        self.inner.http_requests.store(0, Ordering::Relaxed);
+        self.inner.http_bytes.store(0, Ordering::Relaxed);
+        self.inner.retries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -176,6 +259,9 @@ mod tests {
         c.add_read_call();
         c.add_blocks_read(3);
         c.add_blocks_skipped(9);
+        c.add_http_requests(4);
+        c.add_http_bytes(777);
+        c.add_retries(2);
         assert_eq!(c.objects_read(), 15);
         assert_eq!(c.bytes_read(), 100);
         assert_eq!(c.seeks(), 2);
@@ -183,6 +269,9 @@ mod tests {
         assert_eq!(c.read_calls(), 2);
         assert_eq!(c.blocks_read(), 3);
         assert_eq!(c.blocks_skipped(), 9);
+        assert_eq!(c.http_requests(), 4);
+        assert_eq!(c.http_bytes(), 777);
+        assert_eq!(c.retries(), 2);
     }
 
     #[test]
@@ -202,12 +291,18 @@ mod tests {
         c.add_bytes(9);
         c.add_blocks_read(2);
         c.add_blocks_skipped(5);
+        c.add_http_requests(3);
+        c.add_http_bytes(64);
+        c.add_retries(1);
         let s2 = c.snapshot();
         let d = s2.since(&s1);
         assert_eq!(d.objects_read, 4);
         assert_eq!(d.bytes_read, 9);
         assert_eq!(d.blocks_read, 2);
         assert_eq!(d.blocks_skipped, 5);
+        assert_eq!(d.http_requests, 3);
+        assert_eq!(d.http_bytes, 64);
+        assert_eq!(d.retries, 1);
         // Out-of-order snapshots saturate instead of underflowing.
         assert_eq!(s1.since(&s2).objects_read, 0);
     }

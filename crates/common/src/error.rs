@@ -16,7 +16,12 @@ pub enum PaiError {
     /// Underlying file I/O failure.
     Io(io::Error),
     /// Malformed raw-file content (bad CSV line, unparseable number, ...).
-    Parse { line: u64, message: String },
+    Parse {
+        /// 1-based line (or record) number where parsing failed.
+        line: u64,
+        /// What was malformed.
+        message: String,
+    },
     /// Schema-level misuse (unknown column, axis/non-axis mixup, ...).
     Schema(String),
     /// A query referenced something the engine cannot satisfy

@@ -10,11 +10,14 @@ use std::fmt;
 /// A point in the 2D exploration plane (the two axis attributes).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point2 {
+    /// Coordinate along the x-axis attribute.
     pub x: f64,
+    /// Coordinate along the y-axis attribute.
     pub y: f64,
 }
 
 impl Point2 {
+    /// A point at `(x, y)`.
     #[inline]
     pub const fn new(x: f64, y: f64) -> Self {
         Point2 { x, y }
@@ -40,9 +43,13 @@ pub enum Overlap {
 /// `[x_min, x_max) × [y_min, y_max)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
+    /// Inclusive lower x bound.
     pub x_min: f64,
+    /// Exclusive upper x bound.
     pub x_max: f64,
+    /// Inclusive lower y bound.
     pub y_min: f64,
+    /// Exclusive upper y bound.
     pub y_max: f64,
 }
 
@@ -70,21 +77,25 @@ impl Rect {
         Rect::new(a.x.min(b.x), a.x.max(b.x), a.y.min(b.y), a.y.max(b.y))
     }
 
+    /// Extent along x.
     #[inline]
     pub fn width(&self) -> f64 {
         self.x_max - self.x_min
     }
 
+    /// Extent along y.
     #[inline]
     pub fn height(&self) -> f64 {
         self.y_max - self.y_min
     }
 
+    /// `width() * height()`.
     #[inline]
     pub fn area(&self) -> f64 {
         self.width() * self.height()
     }
 
+    /// The rectangle's midpoint.
     #[inline]
     pub fn center(&self) -> Point2 {
         Point2::new(

@@ -50,11 +50,13 @@ impl Interval {
         Interval::point(0.0)
     }
 
+    /// Lower endpoint.
     #[inline]
     pub fn lo(&self) -> f64 {
         self.lo
     }
 
+    /// Upper endpoint.
     #[inline]
     pub fn hi(&self) -> f64 {
         self.hi
@@ -77,11 +79,13 @@ impl Interval {
         self.lo + (self.hi - self.lo) / 2.0
     }
 
+    /// True when the interval is a single value (`lo == hi`).
     #[inline]
     pub fn is_point(&self) -> bool {
         self.lo == self.hi
     }
 
+    /// True when `v` lies inside the closed interval.
     #[inline]
     pub fn contains(&self, v: f64) -> bool {
         v >= self.lo && v <= self.hi

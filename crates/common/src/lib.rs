@@ -15,6 +15,8 @@
 //!   hardware-neutral cost metric the paper's evaluation tracks;
 //! * [`error`] — the workspace error type.
 
+#![deny(missing_docs)]
+
 pub mod agg;
 pub mod counters;
 pub mod error;

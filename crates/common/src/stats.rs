@@ -89,16 +89,19 @@ impl RunningStats {
         self.count
     }
 
+    /// True when no values have been observed.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
 
+    /// Sum of observed values.
     #[inline]
     pub fn sum(&self) -> f64 {
         self.sum
     }
 
+    /// Sum of squares of observed values (feeds variance bounds).
     #[inline]
     pub fn sum_sq(&self) -> f64 {
         self.sum_sq

@@ -62,6 +62,13 @@ pub struct ProgressStep {
     /// Cumulative blocks a zone-map pushdown proved irrelevant and never
     /// touched — the metric the `PaiZone` backend improves.
     pub blocks_skipped: u64,
+    /// Cumulative ranged HTTP requests issued for this query (0 on local
+    /// backends) — the metric request coalescing improves.
+    pub http_requests: u64,
+    /// Cumulative wire bytes those requests moved, both directions.
+    pub http_bytes: u64,
+    /// Cumulative remote requests retried after transient faults.
+    pub retries: u64,
 }
 
 /// Result of one approximate evaluation.
@@ -135,6 +142,9 @@ impl EvalCtx<'_> {
                 read_calls: 0,
                 blocks_read: 0,
                 blocks_skipped: 0,
+                http_requests: 0,
+                http_bytes: 0,
+                retries: 0,
             });
         }
         'outer: loop {
@@ -216,6 +226,9 @@ impl EvalCtx<'_> {
                         read_calls: io.read_calls,
                         blocks_read: io.blocks_read,
                         blocks_skipped: io.blocks_skipped,
+                        http_requests: io.http_requests,
+                        http_bytes: io.http_bytes,
+                        retries: io.retries,
                     });
                 }
                 match stop {

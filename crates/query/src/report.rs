@@ -5,17 +5,20 @@
 use crate::runner::MethodRun;
 
 /// Per-query CSV with one time, objects, bytes, read-calls, blocks-read,
-/// blocks-skipped, and lock-wait column per method; loadable into any
-/// plotting tool to re-draw Figure 2 (times/objects), compare storage
-/// backends (bytes, blocks_read/blocks_skipped — the zone-map pushdown
-/// meters), or quantify the batched-pipeline win (read_calls,
-/// lock_wait_ms).
+/// blocks-skipped, http-requests, http-bytes, retries, and lock-wait
+/// column per method; loadable into any plotting tool to re-draw Figure 2
+/// (times/objects), compare storage backends (bytes,
+/// blocks_read/blocks_skipped — the zone-map pushdown meters), quantify
+/// the batched-pipeline win (read_calls, lock_wait_ms), or audit a remote
+/// run (http_requests/http_bytes — the request-coalescing meters — and
+/// retries, the fault-recovery meter).
 pub fn to_csv(runs: &[MethodRun]) -> String {
     let mut header = String::from("query");
     for r in runs {
         header.push_str(&format!(
             ",{l}_time_ms,{l}_objects,{l}_bytes,{l}_read_calls,{l}_blocks_read,\
-             {l}_blocks_skipped,{l}_lock_wait_ms",
+             {l}_blocks_skipped,{l}_http_requests,{l}_http_bytes,{l}_retries,\
+             {l}_lock_wait_ms",
             l = r.label
         ));
     }
@@ -27,16 +30,19 @@ pub fn to_csv(runs: &[MethodRun]) -> String {
         for r in runs {
             match r.records.get(i) {
                 Some(rec) => out.push_str(&format!(
-                    ",{:.3},{},{},{},{},{},{:.3}",
+                    ",{:.3},{},{},{},{},{},{},{},{},{:.3}",
                     rec.elapsed.as_secs_f64() * 1e3,
                     rec.objects_read,
                     rec.bytes_read,
                     rec.read_calls,
                     rec.blocks_read,
                     rec.blocks_skipped,
+                    rec.http_requests,
+                    rec.http_bytes,
+                    rec.retries,
                     rec.lock_wait.as_secs_f64() * 1e3
                 )),
-                None => out.push_str(",,,,,,,"),
+                None => out.push_str(",,,,,,,,,,"),
             }
         }
         out.push('\n');
@@ -238,6 +244,9 @@ mod tests {
                 read_calls: 2,
                 blocks_read: 4,
                 blocks_skipped: 1,
+                http_requests: 3,
+                http_bytes: 512,
+                retries: 1,
                 lock_wait: Duration::ZERO,
                 selected: 100,
                 tiles_partial: 4,
@@ -266,12 +275,14 @@ mod tests {
         assert_eq!(
             lines.next().unwrap(),
             "query,exact_time_ms,exact_objects,exact_bytes,exact_read_calls,exact_blocks_read,\
-             exact_blocks_skipped,exact_lock_wait_ms,phi=5%_time_ms,phi=5%_objects,phi=5%_bytes,\
-             phi=5%_read_calls,phi=5%_blocks_read,phi=5%_blocks_skipped,phi=5%_lock_wait_ms"
+             exact_blocks_skipped,exact_http_requests,exact_http_bytes,exact_retries,\
+             exact_lock_wait_ms,phi=5%_time_ms,phi=5%_objects,phi=5%_bytes,\
+             phi=5%_read_calls,phi=5%_blocks_read,phi=5%_blocks_skipped,phi=5%_http_requests,\
+             phi=5%_http_bytes,phi=5%_retries,phi=5%_lock_wait_ms"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "1,10.000,100,4096,2,4,1,0.000,5.000,50,2048,2,4,1,0.000"
+            "1,10.000,100,4096,2,4,1,3,512,1,0.000,5.000,50,2048,2,4,1,3,512,1,0.000"
         );
         assert_eq!(csv.lines().count(), 3);
     }

@@ -49,6 +49,14 @@ pub struct QueryRecord {
     pub blocks_read: u64,
     /// Blocks a zone-map pushdown proved irrelevant and skipped.
     pub blocks_skipped: u64,
+    /// Ranged HTTP requests issued (0 on local backends) — the meter
+    /// request coalescing shrinks.
+    pub http_requests: u64,
+    /// Wire bytes those requests moved, both directions.
+    pub http_bytes: u64,
+    /// Remote requests retried after transient faults (5xx/drop/short
+    /// read); nonzero with correct answers means the backoff path worked.
+    pub retries: u64,
     /// Time spent waiting on index locks (zero for single-owner engines).
     pub lock_wait: Duration,
     pub selected: u64,
@@ -100,6 +108,22 @@ impl MethodRun {
     /// Total blocks proven irrelevant by zone maps across the run.
     pub fn total_blocks_skipped(&self) -> u64 {
         self.records.iter().map(|r| r.blocks_skipped).sum()
+    }
+
+    /// Total ranged HTTP requests across the run — the meter that separates
+    /// coalesced from naive per-block remote reads for the same sequence.
+    pub fn total_http_requests(&self) -> u64 {
+        self.records.iter().map(|r| r.http_requests).sum()
+    }
+
+    /// Total wire bytes across the run (0 on local backends).
+    pub fn total_http_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.http_bytes).sum()
+    }
+
+    /// Total remote retries across the run.
+    pub fn total_retries(&self) -> u64 {
+        self.records.iter().map(|r| r.retries).sum()
     }
 
     /// Total time spent waiting on index locks across the run (zero unless
@@ -154,6 +178,9 @@ pub fn run_workload(
                     read_calls: res.stats.io.read_calls,
                     blocks_read: res.stats.io.blocks_read,
                     blocks_skipped: res.stats.io.blocks_skipped,
+                    http_requests: res.stats.io.http_requests,
+                    http_bytes: res.stats.io.http_bytes,
+                    retries: res.stats.io.retries,
                     lock_wait: res.stats.lock_wait,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,
@@ -181,6 +208,9 @@ pub fn run_workload(
                     read_calls: res.stats.io.read_calls,
                     blocks_read: res.stats.io.blocks_read,
                     blocks_skipped: res.stats.io.blocks_skipped,
+                    http_requests: res.stats.io.http_requests,
+                    http_bytes: res.stats.io.http_bytes,
+                    retries: res.stats.io.retries,
                     lock_wait: res.stats.lock_wait,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,

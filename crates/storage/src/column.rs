@@ -44,14 +44,16 @@
 //!   full CSV line.
 
 use std::fs::File;
-use std::io::{BufReader, Cursor, Read, Seek, SeekFrom};
+use std::io::{BufReader, Cursor, Read};
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::Arc;
 
 use pai_common::{AttrId, IoCounters, PaiError, Result, RowId, RowLocator};
 
+use crate::fetch::{SpanFetcher, SpanMeters};
 use crate::raw::{RawFile, Record, RowHandler, ScanPartition};
+use crate::remote::{BlobReader, HttpBlob};
 use crate::schema::{Column, Schema};
 
 /// File magic, including the format version.
@@ -82,13 +84,16 @@ pub enum StorageBackend {
     /// Zone-mapped compressed columnar `PaiZone` ([`crate::ZoneFile`]).
     Zone,
     /// `PaiZone` behind a simulated high-latency link
-    /// ([`crate::LatencyFile`]) — the remote/object-store stand-in.
+    /// ([`crate::LatencyFile`]) — the remote cost model without a wire.
     Latency,
+    /// `PaiZone` served over real HTTP range requests from an object store
+    /// ([`crate::HttpFile`]) — the remote transport.
+    Http,
 }
 
 impl StorageBackend {
-    /// Short lowercase tag (`csv` / `bin` / `mmap` / `zone` / `latency`),
-    /// stable for cache keys and CLI output.
+    /// Short lowercase tag (`csv` / `bin` / `mmap` / `zone` / `latency` /
+    /// `http`), stable for cache keys and CLI output.
     pub fn tag(&self) -> &'static str {
         match self {
             StorageBackend::Csv => "csv",
@@ -96,6 +101,7 @@ impl StorageBackend {
             StorageBackend::Mmap => "mmap",
             StorageBackend::Zone => "zone",
             StorageBackend::Latency => "latency",
+            StorageBackend::Http => "http",
         }
     }
 }
@@ -116,9 +122,10 @@ impl FromStr for StorageBackend {
             "mmap" | "bin-mmap" => Ok(StorageBackend::Mmap),
             "zone" | "paizone" => Ok(StorageBackend::Zone),
             "latency" | "remote" => Ok(StorageBackend::Latency),
+            "http" | "objstore" => Ok(StorageBackend::Http),
             other => Err(PaiError::config(format!(
                 "unknown storage backend '{other}' (expected one of \
-                 'csv', 'bin', 'mmap', 'zone', 'latency')"
+                 'csv', 'bin', 'mmap', 'zone', 'latency', 'http')"
             ))),
         }
     }
@@ -333,11 +340,8 @@ enum BinSource {
     Disk(PathBuf),
     Mem(Arc<Vec<u8>>),
     Mapped(Arc<crate::mapped::Mapping>),
+    Remote(Arc<HttpBlob>),
 }
-
-/// Positional byte source: one trait for file- and buffer-backed readers.
-trait ReadSeek: Read + Seek {}
-impl<T: Read + Seek> ReadSeek for T {}
 
 /// A PaiBin binary columnar file. Locators are row ids.
 ///
@@ -395,9 +399,34 @@ impl BinFile {
         Ok(file)
     }
 
+    /// Opens a PaiBin image that lives behind a remote object store. The
+    /// header is fetched and validated up front; column data is fetched on
+    /// demand through the blob's coalescing span reads. The file shares the
+    /// blob's [`IoCounters`].
+    pub fn open_remote(blob: Arc<HttpBlob>) -> Result<Self> {
+        let size = blob.len();
+        let header = decode_header(&mut BlobReader::new(&blob))?;
+        let counters = blob.counters().clone();
+        let file = BinFile {
+            source: BinSource::Remote(blob),
+            schema: header.schema,
+            n_rows: header.n_rows,
+            data_start: header.data_start,
+            size_bytes: size,
+            counters,
+        };
+        file.validate_size()?;
+        Ok(file)
+    }
+
     /// Whether reads go through a zero-copy memory mapping.
     pub fn is_mapped(&self) -> bool {
         matches!(self.source, BinSource::Mapped(_))
+    }
+
+    /// Whether reads go out as HTTP range requests to a remote object.
+    pub fn is_remote(&self) -> bool {
+        matches!(self.source, BinSource::Remote(_))
     }
 
     /// Wraps in-memory PaiBin bytes (tests, examples, converters).
@@ -457,11 +486,14 @@ impl BinFile {
         Ok(())
     }
 
-    fn reader(&self) -> Result<Box<dyn ReadSeek + '_>> {
+    /// The span reader for one logical access: a fresh local handle, or
+    /// the shared remote blob (coalescing ranged GETs).
+    fn fetcher(&self) -> Result<SpanFetcher<'_>> {
         Ok(match &self.source {
-            BinSource::Disk(path) => Box::new(File::open(path)?),
-            BinSource::Mem(bytes) => Box::new(Cursor::new(bytes.as_slice())),
-            BinSource::Mapped(map) => Box::new(Cursor::new(&map[..])),
+            BinSource::Disk(path) => SpanFetcher::Local(Box::new(File::open(path)?)),
+            BinSource::Mem(bytes) => SpanFetcher::Local(Box::new(Cursor::new(bytes.as_slice()))),
+            BinSource::Mapped(map) => SpanFetcher::Local(Box::new(Cursor::new(&map[..]))),
+            BinSource::Remote(blob) => SpanFetcher::Remote(blob),
         })
     }
 
@@ -485,24 +517,26 @@ impl BinFile {
             )));
         }
         let n_cols = self.schema.len();
-        let mut reader = self.reader()?;
-        // Paged reading: per step, one contiguous fetch per column.
+        let mut fetcher = self.fetcher()?;
+        // Paged reading: per step, one contiguous fetch per column, all
+        // columns' page spans batched into one fetch call (a remote source
+        // turns the batch into pipelined ranged GETs on one connection).
         let mut pages: Vec<Vec<f64>> = vec![Vec::new(); n_cols];
-        let mut buf: Vec<u8> = Vec::new();
         let mut values = vec![0.0f64; n_cols];
         let mut local_row: RowId = 0;
         let mut row0 = start;
+        let mut spans: Vec<(u64, u64)> = Vec::with_capacity(n_cols);
+        let mut bufs: Vec<Vec<u8>> = Vec::new();
         while row0 < end {
             let batch = PAGE_ROWS.min(end - row0);
-            for (col, page) in pages.iter_mut().enumerate() {
-                buf.resize(batch as usize * 8, 0);
-                reader.seek(SeekFrom::Start(self.position(row0, col)))?;
-                reader
-                    .read_exact(&mut buf)
-                    .map_err(|_| corrupt("data region shorter than header claims"))?;
-                self.counters.add_seeks(1);
-                self.counters.add_bytes(buf.len() as u64);
-                self.counters.add_blocks_read(1);
+            spans.clear();
+            spans.extend((0..n_cols).map(|col| (self.position(row0, col), batch * 8)));
+            let mut m = SpanMeters::default();
+            fetcher.read_spans(&spans, &mut bufs, &mut m)?;
+            self.counters.add_seeks(m.seeks);
+            self.counters.add_bytes(m.bytes);
+            self.counters.add_blocks_read(n_cols as u64);
+            for (page, buf) in pages.iter_mut().zip(&bufs) {
                 page.clear();
                 page.extend(
                     buf.chunks_exact(8)
@@ -571,14 +605,21 @@ impl RawFile for BinFile {
             return Ok(out);
         }
 
-        let mut reader = self.reader()?;
-        let mut buf: Vec<u8> = Vec::new();
-        let mut bytes = 0u64;
-        let mut seeks = 0u64;
+        let mut fetcher = self.fetcher()?;
+        let mut m = SpanMeters::default();
         let mut blocks = 0u64;
+        // Per-run decode work deferred until the attribute's span batch is
+        // fetched: (first request index, one-past-last).
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        let mut bufs: Vec<Vec<u8>> = Vec::new();
         for (ai, &attr) in attrs.iter().enumerate() {
             // Coalesce sorted rows into maximal runs of adjacent rows: one
-            // seek + one exact read of 8·run_len bytes per run.
+            // seek + one exact read of 8·run_len bytes per run, the whole
+            // attribute batched into one fetch call (a remote source merges
+            // nearby runs into shared ranged GETs).
+            runs.clear();
+            spans.clear();
             let mut i = 0;
             // PAGE_ROWS-sized pages double as PaiBin's block unit for the
             // `blocks_read` meter (comparable with PaiZone's blocks); count
@@ -599,24 +640,22 @@ impl RawFile for BinFile {
                     counted_page = Some(p1);
                 }
                 let run_rows = (order[j - 1].1 - order[i].1 + 1) as usize;
-                buf.resize(run_rows * 8, 0);
-                reader.seek(SeekFrom::Start(self.position(order[i].1, attr)))?;
-                reader
-                    .read_exact(&mut buf)
-                    .map_err(|_| corrupt("data region shorter than header claims"))?;
-                seeks += 1;
-                bytes += buf.len() as u64;
+                runs.push((i, j));
+                spans.push((self.position(order[i].1, attr), run_rows as u64 * 8));
+                i = j;
+            }
+            fetcher.read_spans(&spans, &mut bufs, &mut m)?;
+            for (&(i, j), buf) in runs.iter().zip(&bufs) {
                 for &(slot, row) in &order[i..j] {
                     let o = (row - order[i].1) as usize * 8;
                     out[slot][ai] =
                         f64::from_le_bytes(buf[o..o + 8].try_into().expect("8-byte value"));
                 }
-                i = j;
             }
         }
         self.counters.add_objects(locators.len() as u64);
-        self.counters.add_bytes(bytes);
-        self.counters.add_seeks(seeks);
+        self.counters.add_bytes(m.bytes);
+        self.counters.add_seeks(m.seeks);
         self.counters.add_blocks_read(blocks);
         Ok(out)
     }

@@ -19,8 +19,11 @@ use crate::schema::Schema;
 /// CSV dialect configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CsvFormat {
+    /// Field separator byte (default `,`).
     pub delimiter: u8,
+    /// Whether the first line is a header to skip.
     pub has_header: bool,
+    /// Quote byte used to wrap fields containing the delimiter (default `"`).
     pub quote: u8,
 }
 
@@ -211,6 +214,7 @@ impl<W: Write> CsvWriter<W> {
         Ok(())
     }
 
+    /// Data rows written so far (header excluded).
     pub fn rows_written(&self) -> u64 {
         self.rows_written
     }

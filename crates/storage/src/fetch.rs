@@ -1,0 +1,74 @@
+//! Crate-internal span fetching: the seam through which the binary
+//! backends ([`crate::column::BinFile`], [`crate::zone::ZoneFile`]) pull
+//! byte spans from wherever their bytes live.
+//!
+//! Local sources (disk, memory, mapping) serve each span with a seek + an
+//! exact read. The remote source hands the whole batch to
+//! [`crate::remote::HttpBlob::read_spans`], which coalesces adjacent spans
+//! into as few ranged GETs as possible — which is why the backends collect
+//! spans into batches before decoding instead of reading one span at a
+//! time. Logical metering (bytes, seeks) is identical either way: one seek
+//! and `len` bytes per span, so a remote file reports the same logical I/O
+//! as its local twin while the transport meters (`http_requests`,
+//! `http_bytes`, `retries`) tell the remote story.
+
+use std::io::{Read, Seek, SeekFrom};
+
+use pai_common::{PaiError, Result};
+
+use crate::remote::HttpBlob;
+
+/// Positional byte source: one trait object for file-, buffer- and
+/// mapping-backed readers.
+pub(crate) trait ReadSeek: Read + Seek {}
+impl<T: Read + Seek> ReadSeek for T {}
+
+/// Byte/seek accumulators for one logical access (flushed to the shared
+/// counters once per call by the owning backend).
+#[derive(Default)]
+pub(crate) struct SpanMeters {
+    pub bytes: u64,
+    pub seeks: u64,
+}
+
+/// One logical access's byte-span reader over a local or remote source.
+pub(crate) enum SpanFetcher<'a> {
+    /// Seek + exact read per span against a local handle.
+    Local(Box<dyn ReadSeek + 'a>),
+    /// Batched, coalescing ranged GETs against a remote object.
+    Remote(&'a HttpBlob),
+}
+
+impl SpanFetcher<'_> {
+    /// Reads a batch of `(offset, len)` spans into `out` (resized to match,
+    /// in input order). Metering is per span — one seek plus `len` bytes
+    /// each, identical to reading the spans one at a time — but a remote
+    /// source coalesces adjacent spans of the batch into shared ranged
+    /// GETs. Callers keep one `out` alive across batches so local reads
+    /// reuse its buffers instead of allocating per span.
+    pub fn read_spans(
+        &mut self,
+        spans: &[(u64, u64)],
+        out: &mut Vec<Vec<u8>>,
+        m: &mut SpanMeters,
+    ) -> Result<()> {
+        match self {
+            SpanFetcher::Local(reader) => {
+                out.resize_with(spans.len(), Vec::new);
+                for (buf, &(off, len)) in out.iter_mut().zip(spans) {
+                    buf.resize(len as usize, 0);
+                    reader.seek(SeekFrom::Start(off))?;
+                    reader.read_exact(buf).map_err(|_| {
+                        PaiError::internal("data region shorter than header claims")
+                    })?;
+                }
+            }
+            SpanFetcher::Remote(blob) => *out = blob.read_spans(spans)?,
+        }
+        for &(_, len) in spans {
+            m.bytes += len;
+            m.seeks += 1;
+        }
+        Ok(())
+    }
+}

@@ -41,6 +41,7 @@ pub enum PointDistribution {
     /// `background` fraction uniform; the rest split evenly across Gaussian
     /// blobs with centers spread deterministically over the domain.
     GaussianClusters {
+        /// Number of Gaussian blobs ("dense areas").
         clusters: usize,
         /// Blob standard deviation as a fraction of the domain diagonal.
         sigma_frac: f64,
@@ -62,13 +63,21 @@ pub enum ValueModel {
     /// tiles see narrow value ranges, the favourable case for deterministic
     /// bounds.
     SmoothField {
+        /// Field mean.
         base: f64,
+        /// Peak deviation of the smooth component from `base`.
         amplitude: f64,
+        /// Peak magnitude of the per-value uniform noise term.
         noise: f64,
     },
     /// i.i.d. uniform values in `[lo, hi]` — no spatial structure, the
     /// adversarial case for min/max-based confidence intervals.
-    UniformNoise { lo: f64, hi: f64 },
+    UniformNoise {
+        /// Lower bound of the uniform draw.
+        lo: f64,
+        /// Upper bound of the uniform draw.
+        hi: f64,
+    },
 }
 
 impl Default for ValueModel {
@@ -111,7 +120,9 @@ pub struct DatasetSpec {
     pub columns: usize,
     /// Domain of the two axis attributes.
     pub domain: Rect,
+    /// Spatial distribution of the axis-attribute points.
     pub distribution: PointDistribution,
+    /// Model generating the non-axis attribute values.
     pub value_model: ValueModel,
     /// RNG seed; equal specs generate byte-identical files.
     pub seed: u64,

@@ -19,6 +19,10 @@
 //! (exactly like real ranged GETs); every seek is charged to exactly one
 //! in-flight access via a high-water mark over the shared seek counter, so
 //! N concurrent callers never multiply the total stall by N.
+//!
+//! `LatencyFile` is the remote *cost model*; the remote *transport* —
+//! actual HTTP range requests with coalescing and retry — is
+//! [`crate::HttpFile`] (see [`crate::remote`]).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;

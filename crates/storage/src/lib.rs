@@ -24,7 +24,12 @@
 //!   min/max in the header, so scans and fetches carrying a query window
 //!   skip blocks the zone maps prove irrelevant;
 //! * **Latency** ([`LatencyFile`]) — any backend behind a simulated remote
-//!   link (per-call + per-seek delay), the object-store stand-in.
+//!   link (per-call + per-seek delay), the object-store *cost model*;
+//! * **HTTP** ([`HttpFile`], [`mod@remote`]) — a PaiBin or PaiZone image
+//!   served from a real object store over HTTP/1.1 range requests, the
+//!   object-store *transport*: coalesced ranged GETs, connection reuse,
+//!   bounded retry with backoff, and `http_requests`/`http_bytes`/`retries`
+//!   transport meters. The bundled test server lives in [`mod@objstore`].
 //!
 //! Modules:
 //! * [`schema`] — column definitions and the axis-attribute pair;
@@ -38,6 +43,10 @@
 //!   ([`zone::convert_to_zone`] / [`zone::write_zone`]);
 //! * [`mapped`] — read-only memory mapping with a portable fallback;
 //! * [`latency`] — the latency-injecting wrapper backend;
+//! * [`mod@remote`] — the HTTP range-request client ([`HttpBlob`]) and the
+//!   [`HttpFile`] backend over it;
+//! * [`mod@objstore`] — the in-process object-store test server (`GET` +
+//!   `Range`, keep-alive, chunk latency, fault injection);
 //! * [`batch`] — cross-tile batched positional reads: many locator groups,
 //!   one coalesced, window-aware `read_rows` call (optionally sharded
 //!   across threads);
@@ -51,14 +60,19 @@
 //!   window pushed down, so zone-mapped backends answer it without reading
 //!   provably-dead blocks.
 
+#![deny(missing_docs)]
+
 pub mod batch;
 pub mod column;
 pub mod csv;
+mod fetch;
 pub mod gen;
 pub mod ground_truth;
 pub mod latency;
 pub mod mapped;
+pub mod objstore;
 pub mod raw;
+pub mod remote;
 pub mod scan;
 pub mod schema;
 pub mod zone;
@@ -69,6 +83,8 @@ pub use csv::{CsvFormat, CsvWriter};
 pub use gen::{DatasetSpec, PointDistribution, RowOrder, ValueModel};
 pub use latency::LatencyFile;
 pub use mapped::Mapping;
+pub use objstore::{Fault, FaultPlan, ObjectStore};
 pub use raw::{BlockStats, CsvFile, MemFile, RawFile, Record, ScanPartition};
+pub use remote::{HttpBlob, HttpFile, HttpOptions};
 pub use schema::{Column, ColumnType, Schema};
 pub use zone::{convert_to_zone, write_zone, ZoneFile};

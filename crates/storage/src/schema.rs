@@ -31,11 +31,14 @@ impl ColumnType {
 /// A single column definition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
+    /// Column name (header name in CSV, stored verbatim in binary headers).
     pub name: String,
+    /// Value type of the column.
     pub ty: ColumnType,
 }
 
 impl Column {
+    /// A column with an explicit type.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
         Column {
             name: name.into(),
@@ -43,14 +46,17 @@ impl Column {
         }
     }
 
+    /// A float-typed column.
     pub fn float(name: impl Into<String>) -> Self {
         Column::new(name, ColumnType::Float)
     }
 
+    /// An integer-typed column (rides along as `f64` in binary formats).
     pub fn integer(name: impl Into<String>) -> Self {
         Column::new(name, ColumnType::Integer)
     }
 
+    /// A text-typed column (CSV only; binary formats are numeric).
     pub fn text(name: impl Into<String>) -> Self {
         Column::new(name, ColumnType::Text)
     }
@@ -117,14 +123,17 @@ impl Schema {
         Schema::new(columns, 0, 1).expect("synthetic schema is valid by construction")
     }
 
+    /// The column definitions, in file order.
     pub fn columns(&self) -> &[Column] {
         &self.columns
     }
 
+    /// Number of columns.
     pub fn len(&self) -> usize {
         self.columns.len()
     }
 
+    /// True when the schema has no columns.
     pub fn is_empty(&self) -> bool {
         self.columns.is_empty()
     }

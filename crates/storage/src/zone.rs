@@ -40,15 +40,17 @@
 //! the header — constant columns cost zero data I/O.
 
 use std::fs::File;
-use std::io::{BufReader, Cursor, Read, Seek, SeekFrom};
+use std::io::{BufReader, Cursor, Read};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use pai_common::geometry::Rect;
 use pai_common::{AttrId, IoCounters, PaiError, Result, RowId, RowLocator};
 
+use crate::fetch::{SpanFetcher, SpanMeters};
 use crate::mapped::Mapping;
 use crate::raw::{BlockStats, RawFile, Record, RowHandler, ScanPartition};
+use crate::remote::{BlobReader, HttpBlob};
 use crate::schema::{Column, Schema};
 
 /// File magic, including the format version.
@@ -168,14 +170,6 @@ struct BlockMeta {
     data_off: u64,
     /// Exact packed length in bytes (0 for constant blocks).
     data_len: u64,
-}
-
-/// Byte/seek accumulators for one logical access (flushed to the shared
-/// counters once per call).
-#[derive(Default)]
-struct SpanMeters {
-    bytes: u64,
-    seeks: u64,
 }
 
 /// Everything `open`/`from_bytes` decode before serving reads.
@@ -478,8 +472,17 @@ pub fn encode_zone_rows<I>(schema: &Schema, rows: I) -> Result<Vec<u8>>
 where
     I: IntoIterator<Item = Vec<f64>>,
 {
+    encode_zone_rows_with(schema, rows, DEFAULT_BLOCK_ROWS)
+}
+
+/// [`encode_zone_rows`] with an explicit rows-per-block (tests and remote
+/// fixtures use small blocks to exercise boundaries and pushdown).
+pub fn encode_zone_rows_with<I>(schema: &Schema, rows: I, block_rows: u32) -> Result<Vec<u8>>
+where
+    I: IntoIterator<Item = Vec<f64>>,
+{
     let columns = buffer_rows(schema, rows)?;
-    encode_zone_columns(schema, &columns, DEFAULT_BLOCK_ROWS)
+    encode_zone_columns(schema, &columns, block_rows)
 }
 
 /// One-pass converter: scans `src` once (metered on `src`'s counters),
@@ -514,11 +517,13 @@ enum ZoneSource {
     Disk(PathBuf),
     Mem(Arc<Vec<u8>>),
     Mapped(Arc<Mapping>),
+    Remote(Arc<HttpBlob>),
 }
 
-/// Positional byte source shared by file-, buffer- and mapping-backed reads.
-trait ReadSeek: Read + Seek {}
-impl<T: Read + Seek> ReadSeek for T {}
+/// Rows-per-block group a sequential scan prefetches per span batch: big
+/// enough that a remote source merges many adjacent block spans into one
+/// ranged GET, small enough that the decode working set stays tiny.
+const SCAN_GROUP_BLOCKS: usize = 16;
 
 /// A PaiZone compressed columnar file. Locators are row ids, exactly like
 /// [`crate::BinFile`].
@@ -569,6 +574,20 @@ impl ZoneFile {
             header,
             size,
         ))
+    }
+
+    /// Opens a PaiZone image that lives behind a remote object store.
+    /// Header and block table are fetched and validated up front (a
+    /// handful of ranged GETs); data blocks are fetched on demand through
+    /// the blob's coalescing span reads. The file shares the blob's
+    /// [`IoCounters`], so logical and transport meters land together.
+    pub fn open_remote(blob: Arc<HttpBlob>) -> Result<Self> {
+        let size = blob.len();
+        let header = decode_header(&mut BlobReader::new(&blob), size)?;
+        let counters = blob.counters().clone();
+        let mut file = Self::assemble(ZoneSource::Remote(blob), header, size);
+        file.counters = counters;
+        Ok(file)
     }
 
     /// Encodes numeric rows directly into an in-memory PaiZone file with
@@ -632,6 +651,11 @@ impl ZoneFile {
         matches!(self.source, ZoneSource::Mapped(_))
     }
 
+    /// Whether reads go out as HTTP range requests to a remote object.
+    pub fn is_remote(&self) -> bool {
+        matches!(self.source, ZoneSource::Remote(_))
+    }
+
     /// Mean compressed bits per value over the whole file (diagnostics).
     pub fn mean_bits_per_value(&self) -> f64 {
         let mut bits = 0u128;
@@ -650,69 +674,49 @@ impl ZoneFile {
         }
     }
 
-    fn reader(&self) -> Result<Box<dyn ReadSeek + '_>> {
+    /// The span reader for one logical access: a fresh local handle, or the
+    /// shared remote blob (whose client coalesces span batches into ranged
+    /// GETs and retries transient faults).
+    fn fetcher(&self) -> Result<SpanFetcher<'_>> {
         Ok(match &self.source {
-            ZoneSource::Disk(path) => Box::new(File::open(path)?),
-            ZoneSource::Mem(bytes) => Box::new(Cursor::new(bytes.as_slice())),
-            ZoneSource::Mapped(map) => Box::new(Cursor::new(&map[..])),
+            ZoneSource::Disk(path) => SpanFetcher::Local(Box::new(File::open(path)?)),
+            ZoneSource::Mem(bytes) => SpanFetcher::Local(Box::new(Cursor::new(bytes.as_slice()))),
+            ZoneSource::Mapped(map) => SpanFetcher::Local(Box::new(Cursor::new(&map[..]))),
+            ZoneSource::Remote(blob) => SpanFetcher::Remote(blob),
         })
     }
 
-    /// Reads `len` bytes at `off` into `buf` (resized), metering bytes and
-    /// one seek.
-    fn read_span(
-        &self,
-        reader: &mut dyn ReadSeek,
-        off: u64,
-        len: usize,
-        buf: &mut Vec<u8>,
-        m: &mut SpanMeters,
-    ) -> Result<()> {
-        buf.resize(len, 0);
-        reader.seek(SeekFrom::Start(off))?;
-        reader
-            .read_exact(buf)
-            .map_err(|_| corrupt("data region shorter than header claims"))?;
-        m.bytes += len as u64;
-        m.seeks += 1;
-        Ok(())
-    }
-
-    /// Decodes one whole (column, block) into `page` (cleared first).
-    fn decode_block(
-        &self,
-        reader: &mut dyn ReadSeek,
-        col: usize,
-        blk: u64,
-        buf: &mut Vec<u8>,
-        page: &mut Vec<f64>,
-        m: &mut SpanMeters,
-    ) -> Result<()> {
+    /// Decodes one fetched (column, block) buffer into `page` (cleared
+    /// first). `buf` is `None` for width-0 constant blocks, which decode
+    /// from the header alone.
+    fn unpack_block(&self, col: usize, blk: u64, buf: Option<&[u8]>, page: &mut Vec<f64>) {
         let meta = &self.cols[col][blk as usize];
         let rows = rows_in_block(self.n_rows, self.block_rows, blk) as usize;
         page.clear();
-        if meta.width == 0 {
-            page.resize(rows, dec_f64(meta.min_enc));
-            self.counters.add_blocks_read(1);
-            return Ok(());
+        match buf {
+            None => page.resize(rows, dec_f64(meta.min_enc)),
+            Some(buf) => {
+                let w = meta.width;
+                // Wrapping add: crafted data bits cannot panic (the decoded
+                // value is garbage either way on a corrupt file; validation
+                // bounds the width).
+                page.extend((0..rows).map(|i| {
+                    dec_f64(
+                        meta.min_enc
+                            .wrapping_add(extract_bits(buf, i * w as usize, w)),
+                    )
+                }));
+            }
         }
-        self.read_span(reader, meta.data_off, meta.data_len as usize, buf, m)?;
-        let w = meta.width;
-        // Wrapping add: crafted data bits cannot panic (the decoded value is
-        // garbage either way on a corrupt file; validation bounds the width).
-        page.extend((0..rows).map(|i| {
-            dec_f64(
-                meta.min_enc
-                    .wrapping_add(extract_bits(buf, i * w as usize, w)),
-            )
-        }));
         self.counters.add_blocks_read(1);
-        Ok(())
     }
 
     /// Scans rows `[start, end)` — the engine of `scan`/`scan_partition`.
     /// With `window: Some`, whole blocks disjoint from the window are
-    /// skipped (their rows are not delivered at all).
+    /// skipped (their rows are not delivered at all). Surviving blocks are
+    /// prefetched in groups of [`SCAN_GROUP_BLOCKS`], spans ordered
+    /// column-major so a remote source merges a column's adjacent blocks
+    /// into one ranged GET.
     fn scan_rows(
         &self,
         start: u64,
@@ -731,37 +735,67 @@ impl ZoneFile {
         }
         let n_cols = self.schema.len();
         let (xi, yi) = (self.schema.x_axis(), self.schema.y_axis());
-        let mut reader = self.reader()?;
+        let mut fetcher = self.fetcher()?;
         let mut pages: Vec<Vec<f64>> = vec![Vec::new(); n_cols];
-        let mut buf: Vec<u8> = Vec::new();
         let mut values = vec![0.0f64; n_cols];
         let mut local_row: RowId = 0;
         let mut m = SpanMeters::default();
         let first_blk = start / self.block_rows as u64;
         let last_blk = (end - 1) / self.block_rows as u64;
-        for blk in first_blk..=last_blk {
-            if let Some(w) = window {
-                if !self.stats[blk as usize].may_intersect_window(xi, yi, w) {
-                    self.counters.add_blocks_skipped(n_cols as u64);
-                    continue;
+        let mut group: Vec<u64> = Vec::with_capacity(SCAN_GROUP_BLOCKS);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        let mut bufs: Vec<Vec<u8>> = Vec::new();
+        // span index of (column, group slot), or None for constant blocks.
+        let mut span_of: Vec<Option<usize>> = Vec::new();
+        let mut blk = first_blk;
+        while blk <= last_blk {
+            group.clear();
+            while blk <= last_blk && group.len() < SCAN_GROUP_BLOCKS {
+                if let Some(w) = window {
+                    if !self.stats[blk as usize].may_intersect_window(xi, yi, w) {
+                        self.counters.add_blocks_skipped(n_cols as u64);
+                        blk += 1;
+                        continue;
+                    }
+                }
+                group.push(blk);
+                blk += 1;
+            }
+            if group.is_empty() {
+                continue;
+            }
+            spans.clear();
+            span_of.clear();
+            for col in 0..n_cols {
+                for &b in &group {
+                    let meta = &self.cols[col][b as usize];
+                    if meta.width == 0 {
+                        span_of.push(None);
+                    } else {
+                        span_of.push(Some(spans.len()));
+                        spans.push((meta.data_off, meta.data_len));
+                    }
                 }
             }
-            let blk_start = blk * self.block_rows as u64;
-            for (col, page) in pages.iter_mut().enumerate() {
-                let p: &mut Vec<f64> = page;
-                self.decode_block(&mut *reader, col, blk, &mut buf, p, &mut m)?;
-            }
-            let lo = start.max(blk_start);
-            let hi = end.min(blk_start + pages[0].len() as u64);
-            for row in lo..hi {
-                let i = (row - blk_start) as usize;
-                for (v, page) in values.iter_mut().zip(&pages) {
-                    *v = page[i];
+            fetcher.read_spans(&spans, &mut bufs, &mut m)?;
+            for (gi, &b) in group.iter().enumerate() {
+                let blk_start = b * self.block_rows as u64;
+                for (col, page) in pages.iter_mut().enumerate() {
+                    let buf = span_of[col * group.len() + gi].map(|si| bufs[si].as_slice());
+                    self.unpack_block(col, b, buf, page);
                 }
-                let rec = Record::from_values(&values, row);
-                handler(local_row, RowLocator::new(row), &rec)?;
-                local_row += 1;
-                self.counters.add_objects(1);
+                let lo = start.max(blk_start);
+                let hi = end.min(blk_start + pages[0].len() as u64);
+                for row in lo..hi {
+                    let i = (row - blk_start) as usize;
+                    for (v, page) in values.iter_mut().zip(&pages) {
+                        *v = page[i];
+                    }
+                    let rec = Record::from_values(&values, row);
+                    handler(local_row, RowLocator::new(row), &rec)?;
+                    local_row += 1;
+                    self.counters.add_objects(1);
+                }
             }
         }
         self.counters.add_bytes(m.bytes);
@@ -803,12 +837,20 @@ impl ZoneFile {
         }
 
         let (xi, yi) = (self.schema.x_axis(), self.schema.y_axis());
-        let mut reader = self.reader()?;
-        let mut buf: Vec<u8> = Vec::new();
+        let mut fetcher = self.fetcher()?;
         let mut sm = SpanMeters::default();
+        // Per-run decode work deferred until its batch of spans is fetched:
+        // (first request index, one-past-last, block, run's first byte).
+        let mut runs: Vec<(usize, usize, u64, usize)> = Vec::new();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        let mut bufs: Vec<Vec<u8>> = Vec::new();
         for (ai, &attr) in attrs.iter().enumerate() {
             // Group requested rows by block, then coalesce adjacent runs
-            // inside each block (fixed width makes a run one byte-span read).
+            // inside each block (fixed width makes a run one byte-span
+            // read); the whole attribute's runs go out as one span batch so
+            // a remote source can merge runs across block boundaries too.
+            runs.clear();
+            spans.clear();
             let mut i = 0;
             while i < order.len() {
                 let blk = order[i].1 / self.block_rows as u64;
@@ -850,24 +892,28 @@ impl ZoneFile {
                     let b = (order[m - 1].1 - blk_start) as usize + 1;
                     let first_byte = (a * w) / 8;
                     let end_byte = (b * w).div_ceil(8);
-                    self.read_span(
-                        &mut *reader,
+                    runs.push((k, m, blk, first_byte));
+                    spans.push((
                         meta.data_off + first_byte as u64,
-                        end_byte - first_byte,
-                        &mut buf,
-                        &mut sm,
-                    )?;
-                    for &(slot, row) in &order[k..m] {
-                        let local = (row - blk_start) as usize;
-                        let bit = local * w - first_byte * 8;
-                        out[slot][ai] = dec_f64(
-                            meta.min_enc
-                                .wrapping_add(extract_bits(&buf, bit, meta.width)),
-                        );
-                    }
+                        (end_byte - first_byte) as u64,
+                    ));
                     k = m;
                 }
                 i = j;
+            }
+            fetcher.read_spans(&spans, &mut bufs, &mut sm)?;
+            for (&(k, m, blk, first_byte), buf) in runs.iter().zip(&bufs) {
+                let meta = &self.cols[attr][blk as usize];
+                let blk_start = blk * self.block_rows as u64;
+                let w = meta.width as usize;
+                for &(slot, row) in &order[k..m] {
+                    let local = (row - blk_start) as usize;
+                    let bit = local * w - first_byte * 8;
+                    out[slot][ai] = dec_f64(
+                        meta.min_enc
+                            .wrapping_add(extract_bits(buf, bit, meta.width)),
+                    );
+                }
             }
         }
         self.counters.add_objects(locators.len() as u64);

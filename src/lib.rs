@@ -80,8 +80,9 @@ pub mod prelude {
     };
     pub use pai_storage::{
         convert_to_bin, convert_to_zone, write_bin, write_zone, BinFile, BlockStats, CsvFile,
-        CsvFormat, DatasetSpec, LatencyFile, MemFile, PointDistribution, RawFile, RowOrder, Schema,
-        StorageBackend, ValueModel, ZoneFile,
+        CsvFormat, DatasetSpec, Fault, FaultPlan, HttpFile, HttpOptions, LatencyFile, MemFile,
+        ObjectStore, PointDistribution, RawFile, RowOrder, Schema, StorageBackend, ValueModel,
+        ZoneFile,
     };
 }
 

@@ -1,9 +1,10 @@
 //! Backend-equivalence properties: the engine must not be able to tell the
 //! storage backends apart — except through the I/O meters.
 //!
-//! For generated datasets, the CSV representation and its binary columnar
-//! (`PaiBin`) and zone-mapped compressed (`PaiZone`) conversions must
-//! yield, under the same configuration and query sequence:
+//! For generated datasets, the CSV representation, its binary columnar
+//! (`PaiBin`) and zone-mapped compressed (`PaiZone`) conversions, and the
+//! zone image served over HTTP ranged GETs (`HttpFile`) must yield, under
+//! the same configuration and query sequence:
 //!   1. identical approximate answers and error bounds;
 //!   2. the same adaptation trajectory (tiles processed/split, objects
 //!      read, final leaf count);
@@ -90,23 +91,33 @@ proptest! {
         let zone = ZoneFile::from_bytes(convert_to_zone(&csv).unwrap()).unwrap();
         prop_assert_eq!(bin.n_rows(), rows);
         prop_assert_eq!(zone.n_rows(), rows);
+        // The same zone image served over HTTP ranged GETs.
+        let store = ObjectStore::serve().unwrap();
+        store.put("data.paizone", convert_to_zone(&csv).unwrap());
+        let http = HttpFile::open(store.addr(), "data.paizone", HttpOptions::default()).unwrap();
 
         let windows = [w1, w2, w3];
         let (rc, co, cb, cl) = run_sequence(&csv, &spec, grid, &windows, phi);
         let (rb, bo, bb, bl) = run_sequence(&bin, &spec, grid, &windows, phi);
         let (rz, zo, zb, zl) = run_sequence(&zone, &spec, grid, &windows, phi);
+        let (rh, ho, hb, hl) = run_sequence(&http, &spec, grid, &windows, phi);
 
-        for (i, ((c, b), z)) in rc.iter().zip(&rb).zip(&rz).enumerate() {
-            for ((cv, bv), zv) in c.values.iter().zip(&b.values).zip(&z.values) {
+        for (i, (((c, b), z), h)) in rc.iter().zip(&rb).zip(&rz).zip(&rh).enumerate() {
+            for (((cv, bv), zv), hv) in
+                c.values.iter().zip(&b.values).zip(&z.values).zip(&h.values)
+            {
                 prop_assert_eq!(cv.as_f64(), bv.as_f64(), "query {} answer", i);
                 prop_assert_eq!(cv.as_f64(), zv.as_f64(), "query {} zone answer", i);
+                prop_assert_eq!(cv.as_f64(), hv.as_f64(), "query {} http answer", i);
             }
-            for ((cc, bc), zc) in c.cis.iter().zip(&b.cis).zip(&z.cis) {
+            for (((cc, bc), zc), hc) in c.cis.iter().zip(&b.cis).zip(&z.cis).zip(&h.cis) {
                 prop_assert_eq!(cc, bc, "query {} CI", i);
                 prop_assert_eq!(cc, zc, "query {} zone CI", i);
+                prop_assert_eq!(cc, hc, "query {} http CI", i);
             }
             prop_assert_eq!(c.error_bound, b.error_bound, "query {} bound", i);
             prop_assert_eq!(c.error_bound, z.error_bound, "query {} zone bound", i);
+            prop_assert_eq!(c.error_bound, h.error_bound, "query {} http bound", i);
             prop_assert_eq!(
                 c.stats.tiles_processed, b.stats.tiles_processed,
                 "query {} trajectory", i
@@ -115,15 +126,26 @@ proptest! {
                 c.stats.tiles_processed, z.stats.tiles_processed,
                 "query {} zone trajectory", i
             );
+            prop_assert_eq!(
+                c.stats.tiles_processed, h.stats.tiles_processed,
+                "query {} http trajectory", i
+            );
             prop_assert_eq!(c.stats.tiles_split, b.stats.tiles_split, "query {} splits", i);
             prop_assert_eq!(c.stats.tiles_split, z.stats.tiles_split, "query {} zone splits", i);
+            prop_assert_eq!(c.stats.tiles_split, h.stats.tiles_split, "query {} http splits", i);
             prop_assert_eq!(c.stats.selected, b.stats.selected, "query {} selection", i);
         }
         // Same splits in, same tree out.
         prop_assert_eq!(cl, bl, "final leaf counts must match");
         prop_assert_eq!(cl, zl, "zone leaf count must match");
+        prop_assert_eq!(cl, hl, "http leaf count must match");
         prop_assert_eq!(co, bo, "object meters must match");
         prop_assert_eq!(co, zo, "zone object meter must match");
+        prop_assert_eq!(co, ho, "http object meter must match");
+        // The remote transport is invisible to the logical meters: an HTTP
+        // zone file reads exactly the bytes its local twin reads.
+        prop_assert_eq!(zb, hb, "http logical bytes must equal zone's");
+        prop_assert!(http.counters().http_requests() > 0, "reads went over the wire");
         // The tentpole claim: binary positional reads are never more
         // expensive in bytes, and strictly cheaper once anything is read.
         prop_assert!(bb <= cb, "bin bytes {} > csv bytes {}", bb, cb);
@@ -236,6 +258,47 @@ proptest! {
         }
         prop_assert_eq!(sb.blocks_skipped, 0, "PaiBin cannot skip");
     }
+}
+
+/// A remote `PaiZone` under fault injection answers exactly like its local
+/// twin: every 4th request 5xx-fails at the server, the client retries
+/// with backoff, and the only observable difference is the `retries`
+/// meter.
+#[test]
+fn http_backend_with_faults_matches_zone_exactly() {
+    let spec = dataset(600, 3, 4);
+    let csv = spec.build_mem(CsvFormat::default()).unwrap();
+    let zone = ZoneFile::from_bytes(convert_to_zone(&csv).unwrap()).unwrap();
+    let store = ObjectStore::serve_with(
+        std::time::Duration::ZERO,
+        "5xx:4".parse().expect("fault plan"),
+    )
+    .unwrap();
+    store.put("data.paizone", convert_to_zone(&csv).unwrap());
+    let http = HttpFile::open(store.addr(), "data.paizone", HttpOptions::default()).unwrap();
+
+    let windows = [
+        Rect::new(100.0, 400.0, 100.0, 400.0),
+        Rect::new(300.0, 700.0, 200.0, 600.0),
+    ];
+    let (rz, zo, zb, zl) = run_sequence(&zone, &spec, 4, &windows, 0.05);
+    let (rh, ho, hb, hl) = run_sequence(&http, &spec, 4, &windows, 0.05);
+    for (z, h) in rz.iter().zip(&rh) {
+        for (zv, hv) in z.values.iter().zip(&h.values) {
+            assert_eq!(zv.as_f64(), hv.as_f64());
+        }
+        for (zc, hc) in z.cis.iter().zip(&h.cis) {
+            assert_eq!(zc, hc);
+        }
+        assert_eq!(z.error_bound, h.error_bound);
+        assert_eq!(z.stats.tiles_processed, h.stats.tiles_processed);
+    }
+    assert_eq!((zo, zb, zl), (ho, hb, hl), "logical meters identical");
+    assert!(store.faults_injected() > 0, "faults actually fired");
+    assert!(
+        http.counters().retries() > 0,
+        "the retry path carried the workload"
+    );
 }
 
 /// Deterministic strict version of the pushdown claim (the acceptance

@@ -15,9 +15,10 @@
 //!    stop point — while issuing **strictly fewer `read_rows` calls**
 //!    whenever any query processes two or more tiles;
 //! 3. all of this holds on every storage backend (CSV, `PaiBin`,
-//!    `PaiZone`), and the backends still agree with each other at every
-//!    batch size — compression and zone-map pushdown are invisible to the
-//!    answers too.
+//!    `PaiZone`, and `PaiZone` served over HTTP ranged GETs), and the
+//!    backends still agree with each other at every batch size —
+//!    compression, zone-map pushdown, and the remote transport are
+//!    invisible to the answers too.
 
 use partial_adaptive_indexing::prelude::*;
 use proptest::prelude::*;
@@ -160,6 +161,9 @@ proptest! {
         let csv = spec.build_mem(CsvFormat::default()).unwrap();
         let bin = BinFile::from_bytes(convert_to_bin(&csv).unwrap()).unwrap();
         let zone = ZoneFile::from_bytes(convert_to_zone(&csv).unwrap()).unwrap();
+        let store = ObjectStore::serve().unwrap();
+        store.put("data.paizone", convert_to_zone(&csv).unwrap());
+        let http = HttpFile::open(store.addr(), "data.paizone", HttpOptions::default()).unwrap();
         let windows = [w1, w2, w3];
 
         let csv_seq = run_sequence(&csv, &spec, &windows, phi, 1);
@@ -174,22 +178,31 @@ proptest! {
         let zone_batch = run_sequence(&zone, &spec, &windows, phi, batch);
         assert_batch_equivalent(&zone_seq, &zone_batch, batch);
 
+        let http_seq = run_sequence(&http, &spec, &windows, phi, 1);
+        let http_batch = run_sequence(&http, &spec, &windows, phi, batch);
+        assert_batch_equivalent(&http_seq, &http_batch, batch);
+
         // Backends agree with each other at the batched size too (the
         // sequential cross-backend agreement is backend_equivalence.rs's
         // job).
-        for (i, ((c, b), z)) in csv_batch
+        for (i, (((c, b), z), h)) in csv_batch
             .results
             .iter()
             .zip(&bin_batch.results)
             .zip(&zone_batch.results)
+            .zip(&http_batch.results)
             .enumerate()
         {
-            for ((cv, bv), zv) in c.values.iter().zip(&b.values).zip(&z.values) {
+            for (((cv, bv), zv), hv) in
+                c.values.iter().zip(&b.values).zip(&z.values).zip(&h.values)
+            {
                 prop_assert_eq!(cv.as_f64(), bv.as_f64(), "query {} cross-backend", i);
                 prop_assert_eq!(cv.as_f64(), zv.as_f64(), "query {} zone cross-backend", i);
+                prop_assert_eq!(cv.as_f64(), hv.as_f64(), "query {} http cross-backend", i);
             }
             prop_assert_eq!(c.error_bound, b.error_bound, "query {} cross-backend bound", i);
             prop_assert_eq!(c.error_bound, z.error_bound, "query {} zone cross-backend bound", i);
+            prop_assert_eq!(c.error_bound, h.error_bound, "query {} http cross-backend bound", i);
             prop_assert_eq!(
                 c.stats.io.read_calls, b.stats.io.read_calls,
                 "query {} cross-backend call count", i
@@ -198,13 +211,19 @@ proptest! {
                 c.stats.io.read_calls, z.stats.io.read_calls,
                 "query {} zone cross-backend call count", i
             );
+            prop_assert_eq!(
+                c.stats.io.read_calls, h.stats.io.read_calls,
+                "query {} http cross-backend call count", i
+            );
         }
         prop_assert_eq!(csv_batch.leaf_count, bin_batch.leaf_count);
         prop_assert_eq!(csv_batch.leaf_count, zone_batch.leaf_count);
+        prop_assert_eq!(csv_batch.leaf_count, http_batch.leaf_count);
         // Zone answers the same fetch workload in fewer or equal bytes than
         // PaiBin at every batch size (bit-packed values vs 8-byte values);
-        // CSV is the byte ceiling.
+        // CSV is the byte ceiling. The remote transport changes none of it.
         prop_assert!(zone_batch.objects_read == bin_batch.objects_read);
+        prop_assert!(http_batch.objects_read == zone_batch.objects_read);
     }
 
     /// φ = 0 exercises full resolution: every candidate is processed under

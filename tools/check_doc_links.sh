@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Fails when an intra-repo markdown link in README.md, ROADMAP.md, or
+# docs/*.md points at a file or anchor-less path that does not exist.
+# External links (http/https/mailto) are ignored. No dependencies beyond
+# grep/sed.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+status=0
+for file in README.md ROADMAP.md docs/*.md; do
+  [ -f "$file" ] || continue
+  dir=$(dirname "$file")
+  # Extract inline markdown link targets: [text](target)
+  targets=$(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/.*(\(.*\))/\1/' || true)
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}                       # strip anchors
+    [ -n "$path" ] || continue
+    case "$path" in
+      /*) resolved=".$path" ;;               # repo-absolute
+      *) resolved="$dir/$path" ;;            # relative to the file
+    esac
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN: $file -> $target (no such path: $resolved)" >&2
+      status=1
+    fi
+  done <<EOF
+$targets
+EOF
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "doc link check failed" >&2
+else
+  echo "doc links OK"
+fi
+exit "$status"
