@@ -1,6 +1,6 @@
 //! Remote object-store benchmarks: the HTTP backend's acceptance gates.
 //!
-//! Three gates run once at startup against the bundled in-process object
+//! Five gates run once at startup against the bundled in-process object
 //! store ([`pai_storage::ObjectStore`]):
 //!
 //! * **equivalence** — the same workload (plus its per-query ground-truth
@@ -12,15 +12,28 @@
 //!   issues strictly fewer ranged GETs, moves strictly fewer wire bytes,
 //!   and finishes the workload strictly faster than the naive
 //!   one-GET-per-span client;
+//! * **overlap** — under the same injected latency, the overlapped fetch
+//!   pipeline (`fetch_workers > 1`) finishes the workload strictly faster
+//!   than the sequential client at batch sizes 1 and 8, with byte-identical
+//!   answers, CIs, trajectories, *and logical meters* (the request pattern
+//!   is identical; only wall-clock and `fetch_inflight_peak` move);
+//! * **adaptive sizing** — the per-object adaptive part sizer issues no
+//!   more ranged GETs than the best hand-tuned static part size from a
+//!   sweep, with no answer drift;
 //! * **fault recovery** — with periodic 5xx injection on, the same queries
 //!   still return identical answers, and the retries are metered into the
 //!   per-query records and the report CSV.
+//!
+//! Every gated configuration's wall-clock, GET count, wire bytes, and
+//! overlap ratio land in a `BENCH_remote.json` artifact at the repo root
+//! (override the path with `PAI_BENCH_JSON_PATH`); CI archives it.
 //!
 //! The criterion group then times the pushdown truth scan over HTTP
 //! (naive vs coalesced vs local) with no injected latency.
 //!
 //! Knobs: `PAI_BENCH_HTTP_PART_KB`, `PAI_BENCH_HTTP_LATENCY_US`,
-//! `PAI_BENCH_HTTP_FAULT` steer the shared fixtures
+//! `PAI_BENCH_HTTP_FAULT`, `PAI_BENCH_FETCH_WORKERS`,
+//! `PAI_BENCH_HTTP_ADAPTIVE` steer the shared fixtures
 //! (`PAI_BENCH_BACKEND=http`); this bench pins its own stores so the gates
 //! stay deterministic.
 
@@ -28,6 +41,7 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pai_bench::{cached_zone, small_setup, Fig2Setup};
+use pai_common::IoSnapshot;
 use pai_core::{ApproxResult, ApproximateEngine, EngineConfig};
 use pai_index::init::build;
 use pai_query::{report, run_workload, Method};
@@ -51,14 +65,62 @@ struct Outcome {
     elapsed: Duration,
     requests: u64,
     wire_bytes: u64,
+    io: IoSnapshot,
+}
+
+/// One gated configuration's measurements, destined for `BENCH_remote.json`.
+struct BenchRow {
+    config: String,
+    wall_secs: f64,
+    gets: u64,
+    wire_bytes: u64,
+    overlap_ratio: f64,
+}
+
+impl BenchRow {
+    fn of(config: &str, o: &Outcome) -> BenchRow {
+        BenchRow {
+            config: config.to_string(),
+            wall_secs: o.elapsed.as_secs_f64(),
+            gets: o.requests,
+            wire_bytes: o.wire_bytes,
+            overlap_ratio: o.io.overlap_ratio(),
+        }
+    }
+}
+
+/// Writes the per-config measurement artifact (hand-rolled JSON — the
+/// workspace deliberately carries no serialization dependency).
+fn write_bench_json(rows: &[BenchRow]) {
+    let path = std::env::var("PAI_BENCH_JSON_PATH").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_remote.json").to_string()
+    });
+    let mut s = String::from("{\n  \"bench\": \"remote\",\n  \"configs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"config\": \"{}\", \"wall_secs\": {:.6}, \"gets\": {}, \
+             \"wire_bytes\": {}, \"overlap_ratio\": {:.3}}}{}\n",
+            r.config,
+            r.wall_secs,
+            r.gets,
+            r.wire_bytes,
+            r.overlap_ratio,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(&path, s).expect("write BENCH_remote.json");
+    println!("remote bench artifact: {path}");
 }
 
 /// Runs the workload (φ = 5 %) plus a per-query truth verification and
-/// snapshots the transport meters.
-fn run_verified(file: &dyn RawFile, setup: &Fig2Setup, batch: usize) -> Outcome {
+/// snapshots the transport meters. `workers` feeds the engine's overlapped
+/// fetch/apply pipeline (`EngineConfig::fetch_workers`).
+fn run_verified(file: &dyn RawFile, setup: &Fig2Setup, batch: usize, workers: usize) -> Outcome {
     let (index, _) = build(file, &setup.init).expect("init");
     let cfg = EngineConfig {
         adapt_batch: batch,
+        fetch_workers: workers,
         ..setup.engine.clone()
     };
     let mut engine = ApproximateEngine::new(index, file, cfg).expect("engine");
@@ -88,7 +150,24 @@ fn run_verified(file: &dyn RawFile, setup: &Fig2Setup, batch: usize) -> Outcome 
         elapsed,
         requests: io.http_requests,
         wire_bytes: io.http_bytes,
+        io,
     }
+}
+
+/// Byte-exact equality of the *logical* meters — the ones the
+/// local-vs-remote (and sequential-vs-overlapped) invariant pins. Transport
+/// meters are deliberately excluded.
+fn assert_logical_meters_equal(label: &str, a: &IoSnapshot, b: &IoSnapshot) {
+    assert_eq!(a.objects_read, b.objects_read, "{label}: objects_read");
+    assert_eq!(a.bytes_read, b.bytes_read, "{label}: bytes_read");
+    assert_eq!(a.seeks, b.seeks, "{label}: seeks");
+    assert_eq!(a.read_calls, b.read_calls, "{label}: read_calls");
+    assert_eq!(a.blocks_read, b.blocks_read, "{label}: blocks_read");
+    assert_eq!(
+        a.blocks_skipped, b.blocks_skipped,
+        "{label}: blocks_skipped"
+    );
+    assert_eq!(a.full_scans, b.full_scans, "{label}: full_scans");
 }
 
 /// Byte-exact equivalence of two outcomes (answers, CIs, bounds,
@@ -111,20 +190,32 @@ fn assert_equivalent(label: &str, a: &Outcome, b: &Outcome) {
     assert_eq!(a.truths, b.truths, "{label}: verification truths");
 }
 
+/// Injected per-request latency for the latency-sensitive gates:
+/// `PAI_BENCH_HTTP_LATENCY_US`, floored at 500 µs so the round-trip cost
+/// the overlap/coalescing wins must hide is always real.
+fn gate_latency() -> Duration {
+    let us = std::env::var("PAI_BENCH_HTTP_LATENCY_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0u64)
+        .max(500);
+    Duration::from_micros(us)
+}
+
 /// Gates 1 + 2: equivalence at both batch sizes, then the strict
 /// coalescing win under injected per-request latency.
-fn assert_coalescing_and_pushdown_win() {
+fn assert_coalescing_and_pushdown_win(rows: &mut Vec<BenchRow>) {
     let setup = small_setup(50_000);
-    let store = serve(&setup, Duration::from_micros(500), FaultPlan::Off);
+    let store = serve(&setup, gate_latency(), FaultPlan::Off);
 
     let zone = cached_zone(&setup.spec);
-    let local1 = run_verified(&zone, &setup, 1);
-    let local8 = run_verified(&zone, &setup, 8);
+    let local1 = run_verified(&zone, &setup, 1, 1);
+    let local8 = run_verified(&zone, &setup, 8, 1);
 
     let open = |opts: HttpOptions| HttpFile::open(store.addr(), OBJECT, opts).expect("open http");
-    let coal1 = run_verified(&open(HttpOptions::default()), &setup, 1);
-    let coal8 = run_verified(&open(HttpOptions::default()), &setup, 8);
-    let naive8 = run_verified(&open(HttpOptions::naive()), &setup, 8);
+    let coal1 = run_verified(&open(HttpOptions::default()), &setup, 1, 1);
+    let coal8 = run_verified(&open(HttpOptions::default()), &setup, 8, 1);
+    let naive8 = run_verified(&open(HttpOptions::naive()), &setup, 8, 1);
 
     assert_equivalent("http batch=1 vs local", &coal1, &local1);
     assert_equivalent("http batch=8 vs local", &coal8, &local8);
@@ -159,6 +250,114 @@ fn assert_coalescing_and_pushdown_win() {
         coal8.elapsed,
         naive8.elapsed.as_secs_f64() / coal8.elapsed.as_secs_f64()
     );
+    rows.push(BenchRow::of("naive batch=8", &naive8));
+    rows.push(BenchRow::of("coalesced batch=1", &coal1));
+    rows.push(BenchRow::of("coalesced batch=8", &coal8));
+}
+
+/// Overlap gate: under injected latency the overlapped fetch pipeline beats
+/// the sequential client's wall-clock strictly, at batch sizes 1 and 8,
+/// while answers, CIs, trajectories, and every logical meter stay
+/// byte-identical (the request pattern is computed before any worker
+/// starts, so even the GET count matches).
+fn assert_overlap_win(rows: &mut Vec<BenchRow>) {
+    let setup = small_setup(50_000);
+    let store = serve(&setup, gate_latency(), FaultPlan::Off);
+    let open = |opts: HttpOptions| HttpFile::open(store.addr(), OBJECT, opts).expect("open http");
+
+    for batch in [1usize, 8] {
+        let seq = run_verified(&open(HttpOptions::default()), &setup, batch, 1);
+        let ovl = run_verified(
+            &open(HttpOptions::default().with_fetch_workers(8)),
+            &setup,
+            batch,
+            8,
+        );
+        let label = format!("overlapped vs sequential, batch={batch}");
+        assert_equivalent(&label, &ovl, &seq);
+        assert_logical_meters_equal(&label, &ovl.io, &seq.io);
+        assert_eq!(
+            ovl.requests, seq.requests,
+            "{label}: overlap must not change the GET count"
+        );
+        assert!(
+            ovl.io.fetch_inflight_peak >= 2,
+            "{label}: the pipeline actually overlapped (peak {})",
+            ovl.io.fetch_inflight_peak
+        );
+        assert!(
+            ovl.elapsed < seq.elapsed,
+            "{label}: overlapped fetch must win wall-clock: {:?} vs {:?}",
+            ovl.elapsed,
+            seq.elapsed
+        );
+        println!(
+            "remote gate (overlap, batch={batch}): sequential {:?}, overlapped {:?} \
+             ({:.2}x faster, peak inflight {}, overlap ratio {:.2})",
+            seq.elapsed,
+            ovl.elapsed,
+            seq.elapsed.as_secs_f64() / ovl.elapsed.as_secs_f64(),
+            ovl.io.fetch_inflight_peak,
+            ovl.io.overlap_ratio()
+        );
+        rows.push(BenchRow::of(&format!("sequential batch={batch}"), &seq));
+        rows.push(BenchRow::of(&format!("overlapped batch={batch}"), &ovl));
+    }
+}
+
+/// Adaptive-sizing gate: on the fig2-style workload the per-object adaptive
+/// sizer must issue no more ranged GETs than the best hand-tuned static
+/// part size from a sweep, with no answer drift.
+fn assert_adaptive_sizing_wins(rows: &mut Vec<BenchRow>) {
+    let setup = small_setup(50_000);
+    let store = serve(&setup, Duration::ZERO, FaultPlan::Off);
+    let open = |opts: HttpOptions| HttpFile::open(store.addr(), OBJECT, opts).expect("open http");
+
+    let mut best: Option<(u64, u64)> = None; // (GETs, part bytes)
+    let mut reference: Option<Outcome> = None;
+    for part_kb in [16u64, 32, 64, 128, 256] {
+        let o = run_verified(
+            &open(HttpOptions::with_part_bytes(part_kb * 1024)),
+            &setup,
+            8,
+            1,
+        );
+        if best.is_none_or(|(r, _)| o.requests < r) {
+            best = Some((o.requests, part_kb * 1024));
+        }
+        rows.push(BenchRow::of(&format!("static part={part_kb}KiB"), &o));
+        reference.get_or_insert(o);
+    }
+    let (best_requests, best_part) = best.expect("sweep ran");
+    let adaptive = run_verified(
+        &open(HttpOptions::default().with_adaptive(true)),
+        &setup,
+        8,
+        1,
+    );
+    assert_equivalent(
+        "adaptive vs static sizing",
+        &adaptive,
+        reference.as_ref().expect("sweep ran"),
+    );
+    assert!(
+        adaptive.requests <= best_requests,
+        "adaptive sizing must issue no more GETs than the best static part \
+         ({} bytes): {} vs {}",
+        best_part,
+        adaptive.requests,
+        best_requests
+    );
+    assert!(
+        adaptive.io.parts_resized > 0,
+        "the sizer actually adapted its parameters"
+    );
+    println!(
+        "remote gate (adaptive sizing): best static part {} bytes -> {} GETs, \
+         adaptive -> {} GETs ({} resizes)",
+        best_part, best_requests, adaptive.requests, adaptive.io.parts_resized
+    );
+    rows.push(BenchRow::of("adaptive sizing", &adaptive));
 }
 
 /// Gate 3: under periodic 5xx injection the workload still answers
@@ -207,8 +406,12 @@ fn assert_fault_recovery_is_metered() {
 }
 
 fn bench_remote(c: &mut Criterion) {
-    assert_coalescing_and_pushdown_win();
+    let mut rows = Vec::new();
+    assert_coalescing_and_pushdown_win(&mut rows);
+    assert_overlap_win(&mut rows);
+    assert_adaptive_sizing_wins(&mut rows);
     assert_fault_recovery_is_metered();
+    write_bench_json(&rows);
 
     // Timing: the pushdown truth scan over HTTP, no injected latency.
     let setup = small_setup(50_000);

@@ -22,6 +22,14 @@
 //! * `PAI_BENCH_HTTP_PART_KB` — ranged-GET part size (KiB) the `http`
 //!   backend coalesces toward (default 64; `0` = the naive client, one GET
 //!   per span).
+//! * `PAI_BENCH_HTTP_ADAPTIVE` — `1` lets the `http` client learn
+//!   coalescing gap and part size from the observed span-gap distribution
+//!   per object instead of using the static knobs (default `0` = fixed).
+//! * `PAI_BENCH_FETCH_WORKERS` — fetch workers for the overlapped
+//!   fetch/apply pipeline, applied to both the HTTP client's span-group
+//!   fetching and `EngineConfig::fetch_workers` (default 1 = sequential
+//!   fetch-then-apply; answers and logical meters are identical at any
+//!   value).
 //! * `PAI_BENCH_HTTP_LATENCY_US` — per-request stall the bench object
 //!   store injects (default 0).
 //! * `PAI_BENCH_HTTP_FAULT` — fault plan of the bench object store:
@@ -123,6 +131,7 @@ pub fn fig2_setup() -> Fig2Setup {
         init,
         engine: EngineConfig {
             adapt_batch: batch(),
+            fetch_workers: fetch_workers(),
             ..EngineConfig::paper_evaluation()
         },
         workload,
@@ -154,6 +163,17 @@ pub fn batch() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&b| b >= 1)
+        .unwrap_or(1)
+}
+
+/// Fetch workers for the overlapped fetch/apply pipeline, from
+/// `PAI_BENCH_FETCH_WORKERS` (default 1 = sequential fetch-then-apply;
+/// malformed or zero values fall back to the default).
+pub fn fetch_workers() -> usize {
+    std::env::var("PAI_BENCH_FETCH_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&w| w >= 1)
         .unwrap_or(1)
 }
 
@@ -262,9 +282,13 @@ pub fn http_store() -> &'static ObjectStore {
 }
 
 /// HTTP client tuning from `PAI_BENCH_HTTP_PART_KB` (default 64 KiB parts;
-/// `0` = the naive one-GET-per-span client).
+/// `0` = the naive one-GET-per-span client), `PAI_BENCH_HTTP_ADAPTIVE`
+/// (`1` = learn gap/part from the observed span-gap distribution), and
+/// `PAI_BENCH_FETCH_WORKERS` (overlapped span-group fetching).
 pub fn http_options() -> HttpOptions {
     HttpOptions::with_part_bytes(env_u64("PAI_BENCH_HTTP_PART_KB", 64) * 1024)
+        .with_adaptive(env_u64("PAI_BENCH_HTTP_ADAPTIVE", 0) != 0)
+        .with_fetch_workers(fetch_workers())
 }
 
 /// Uploads (or reuses) the zone image for `spec` on the bench object store
@@ -500,6 +524,35 @@ mod tests {
         std::env::set_var("PAI_BENCH_BATCH", "not-a-number");
         assert_eq!(batch(), 1);
         std::env::remove_var("PAI_BENCH_BATCH");
+    }
+
+    #[test]
+    fn fetch_worker_knob_selects_pipeline_width() {
+        // Same contract as the other knobs: unset → default, valid value →
+        // honored, malformed/zero → default (never a panic mid-bench).
+        std::env::remove_var("PAI_BENCH_FETCH_WORKERS");
+        assert_eq!(fetch_workers(), 1);
+        assert_eq!(fig2_setup().engine.fetch_workers, 1);
+        std::env::set_var("PAI_BENCH_FETCH_WORKERS", "4");
+        assert_eq!(fetch_workers(), 4);
+        let s = fig2_setup();
+        assert_eq!(s.engine.fetch_workers, 4);
+        assert!(s.engine.validate().is_ok());
+        std::env::set_var("PAI_BENCH_FETCH_WORKERS", "0");
+        assert_eq!(fetch_workers(), 1);
+        std::env::set_var("PAI_BENCH_FETCH_WORKERS", "not-a-number");
+        assert_eq!(fetch_workers(), 1);
+        std::env::remove_var("PAI_BENCH_FETCH_WORKERS");
+
+        // The adaptive knob flows into the HTTP client options (read-only
+        // against the default environment, like the part-size check).
+        if std::env::var("PAI_BENCH_HTTP_ADAPTIVE").is_err()
+            && std::env::var("PAI_BENCH_FETCH_WORKERS").is_err()
+        {
+            let opts = http_options();
+            assert!(!opts.adaptive);
+            assert_eq!(opts.fetch_workers, 1);
+        }
     }
 
     #[test]

@@ -50,6 +50,23 @@ struct Inner {
     /// connection, short read). Nonzero retries with correct answers is the
     /// signature of the retry/backoff path doing its job.
     retries: AtomicU64,
+    /// High-water mark of concurrently in-flight fetch requests since the
+    /// last reset. Unlike every other counter this is a **peak**, not a
+    /// running total: `since()` passes the later snapshot's value through
+    /// unchanged, so a delta carries "the peak observed over the window",
+    /// and a sequential fetch path reports exactly 1.
+    fetch_inflight_peak: AtomicU64,
+    /// Microseconds spent inside individual fetch requests, summed across
+    /// requests (and across workers when requests overlap).
+    fetch_request_us: AtomicU64,
+    /// Microseconds of wall-clock spent in span-batch fetches (the time the
+    /// caller actually waited). With overlapped workers `fetch_request_us /
+    /// fetch_wall_us` exceeds 1 — that ratio is the `overlap_ratio` the
+    /// reports derive downstream.
+    fetch_wall_us: AtomicU64,
+    /// Times the adaptive part sizer changed an object's effective
+    /// coalescing parameters after observing a new span-gap distribution.
+    parts_resized: AtomicU64,
 }
 
 /// A point-in-time copy of the counter values.
@@ -75,6 +92,16 @@ pub struct IoSnapshot {
     pub http_bytes: u64,
     /// Remote requests retried after a transient fault (0 locally).
     pub retries: u64,
+    /// Peak concurrently in-flight fetch requests (1 for a sequential
+    /// fetch path, 0 when no span-batch fetch ran). A peak, not a total:
+    /// `since()` keeps the later snapshot's value as-is.
+    pub fetch_inflight_peak: u64,
+    /// Summed microseconds spent inside fetch requests (overlap-inflated).
+    pub fetch_request_us: u64,
+    /// Wall-clock microseconds the caller waited on span-batch fetches.
+    pub fetch_wall_us: u64,
+    /// Adaptive part-sizer parameter changes.
+    pub parts_resized: u64,
 }
 
 impl IoSnapshot {
@@ -92,6 +119,25 @@ impl IoSnapshot {
             http_requests: self.http_requests.saturating_sub(earlier.http_requests),
             http_bytes: self.http_bytes.saturating_sub(earlier.http_bytes),
             retries: self.retries.saturating_sub(earlier.retries),
+            // Peak semantics: the high-water mark over the window is the
+            // later snapshot's mark (resets zero it between windows).
+            fetch_inflight_peak: self.fetch_inflight_peak,
+            fetch_request_us: self
+                .fetch_request_us
+                .saturating_sub(earlier.fetch_request_us),
+            fetch_wall_us: self.fetch_wall_us.saturating_sub(earlier.fetch_wall_us),
+            parts_resized: self.parts_resized.saturating_sub(earlier.parts_resized),
+        }
+    }
+
+    /// In-request time divided by wall time across this snapshot's
+    /// span-batch fetches: ~1.0 for a sequential fetch path, > 1.0 when
+    /// workers overlapped requests, 0.0 when nothing was fetched.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.fetch_wall_us == 0 {
+            0.0
+        } else {
+            self.fetch_request_us as f64 / self.fetch_wall_us as f64
         }
     }
 }
@@ -162,6 +208,32 @@ impl IoCounters {
         self.inner.retries.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raises the in-flight fetch high-water mark to at least `n`.
+    #[inline]
+    pub fn note_fetch_inflight(&self, n: u64) {
+        self.inner
+            .fetch_inflight_peak
+            .fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` microseconds spent inside one fetch request.
+    #[inline]
+    pub fn add_fetch_request_us(&self, n: u64) {
+        self.inner.fetch_request_us.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` wall-clock microseconds waited on a span-batch fetch.
+    #[inline]
+    pub fn add_fetch_wall_us(&self, n: u64) {
+        self.inner.fetch_wall_us.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one adaptive part-sizer parameter change.
+    #[inline]
+    pub fn add_parts_resized(&self, n: u64) {
+        self.inner.parts_resized.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Rows materialized so far.
     pub fn objects_read(&self) -> u64 {
         self.inner.objects_read.load(Ordering::Relaxed)
@@ -212,6 +284,26 @@ impl IoCounters {
         self.inner.retries.load(Ordering::Relaxed)
     }
 
+    /// Peak concurrently in-flight fetch requests since the last reset.
+    pub fn fetch_inflight_peak(&self) -> u64 {
+        self.inner.fetch_inflight_peak.load(Ordering::Relaxed)
+    }
+
+    /// Summed in-request fetch microseconds so far.
+    pub fn fetch_request_us(&self) -> u64 {
+        self.inner.fetch_request_us.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock span-batch fetch microseconds so far.
+    pub fn fetch_wall_us(&self) -> u64 {
+        self.inner.fetch_wall_us.load(Ordering::Relaxed)
+    }
+
+    /// Adaptive part-sizer parameter changes so far.
+    pub fn parts_resized(&self) -> u64 {
+        self.inner.parts_resized.load(Ordering::Relaxed)
+    }
+
     /// Captures current values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -225,6 +317,10 @@ impl IoCounters {
             http_requests: self.http_requests(),
             http_bytes: self.http_bytes(),
             retries: self.retries(),
+            fetch_inflight_peak: self.fetch_inflight_peak(),
+            fetch_request_us: self.fetch_request_us(),
+            fetch_wall_us: self.fetch_wall_us(),
+            parts_resized: self.parts_resized(),
         }
     }
 
@@ -240,6 +336,10 @@ impl IoCounters {
         self.inner.http_requests.store(0, Ordering::Relaxed);
         self.inner.http_bytes.store(0, Ordering::Relaxed);
         self.inner.retries.store(0, Ordering::Relaxed);
+        self.inner.fetch_inflight_peak.store(0, Ordering::Relaxed);
+        self.inner.fetch_request_us.store(0, Ordering::Relaxed);
+        self.inner.fetch_wall_us.store(0, Ordering::Relaxed);
+        self.inner.parts_resized.store(0, Ordering::Relaxed);
     }
 }
 
@@ -262,6 +362,11 @@ mod tests {
         c.add_http_requests(4);
         c.add_http_bytes(777);
         c.add_retries(2);
+        c.note_fetch_inflight(3);
+        c.note_fetch_inflight(1);
+        c.add_fetch_request_us(900);
+        c.add_fetch_wall_us(300);
+        c.add_parts_resized(1);
         assert_eq!(c.objects_read(), 15);
         assert_eq!(c.bytes_read(), 100);
         assert_eq!(c.seeks(), 2);
@@ -272,6 +377,12 @@ mod tests {
         assert_eq!(c.http_requests(), 4);
         assert_eq!(c.http_bytes(), 777);
         assert_eq!(c.retries(), 2);
+        // fetch_inflight_peak keeps the max, never sums.
+        assert_eq!(c.fetch_inflight_peak(), 3);
+        assert_eq!(c.fetch_request_us(), 900);
+        assert_eq!(c.fetch_wall_us(), 300);
+        assert_eq!(c.parts_resized(), 1);
+        assert_eq!(c.snapshot().overlap_ratio(), 3.0);
     }
 
     #[test]
@@ -294,6 +405,10 @@ mod tests {
         c.add_http_requests(3);
         c.add_http_bytes(64);
         c.add_retries(1);
+        c.note_fetch_inflight(2);
+        c.add_fetch_request_us(50);
+        c.add_fetch_wall_us(40);
+        c.add_parts_resized(2);
         let s2 = c.snapshot();
         let d = s2.since(&s1);
         assert_eq!(d.objects_read, 4);
@@ -303,6 +418,13 @@ mod tests {
         assert_eq!(d.http_requests, 3);
         assert_eq!(d.http_bytes, 64);
         assert_eq!(d.retries, 1);
+        // Peak passes through the delta; durations subtract like totals.
+        assert_eq!(d.fetch_inflight_peak, 2);
+        assert_eq!(d.fetch_request_us, 50);
+        assert_eq!(d.fetch_wall_us, 40);
+        assert_eq!(d.parts_resized, 2);
+        // An idle window reports no overlap.
+        assert_eq!(IoSnapshot::default().overlap_ratio(), 0.0);
         // Out-of-order snapshots saturate instead of underflowing.
         assert_eq!(s1.since(&s2).objects_read, 0);
     }

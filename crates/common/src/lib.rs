@@ -25,7 +25,7 @@ pub mod interval;
 pub mod stats;
 
 pub use agg::{AggregateFunction, AggregateValue};
-pub use counters::IoCounters;
+pub use counters::{IoCounters, IoSnapshot};
 pub use error::{PaiError, Result};
 pub use geometry::{Overlap, Point2, Rect};
 pub use interval::Interval;

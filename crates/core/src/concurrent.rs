@@ -13,13 +13,18 @@
 //!      batch of candidate tiles, and computes their pure refinement plans
 //!      (entry snapshots + locators) — readers keep running;
 //!   2. *fetches* the batched values with **no lock held** — the expensive
-//!      stage, and the one that used to stall every reader;
-//!   3. *applies* under a **short write lock** with an optimistic version
-//!      check: if the index changed underneath a plan (another writer split
-//!      the tile), the plan is discarded and the affected region re-plans
-//!      from the refined children on the next round. Answers stay sound
-//!      either way; the conflicted fetch is the price of optimism, bounded
-//!      by one batch per losing writer and surfaced in the stats.
+//!      stage, and the one that used to stall every reader. With
+//!      `fetch_workers > 1` the batch's fetch units stream in overlapped,
+//!      each unit's plans applying while later units are still in flight;
+//!   3. *applies* each plan under **its own short write lock** with an
+//!      optimistic version check ([`pai_index::still_applies`]) at that
+//!      plan's apply moment: if the index changed underneath a plan
+//!      (another writer split the tile), the plan is discarded and the
+//!      affected region re-plans from the refined children on the next
+//!      round. Answers stay sound either way; the conflicted fetch is the
+//!      price of optimism, bounded by one batch per losing writer and
+//!      surfaced in the stats. Per-plan locks mean readers interleave
+//!      between every apply — no reader ever waits behind a whole batch.
 //!
 //! Lock-wait time and plan conflicts are surfaced in
 //! [`QueryStats::lock_wait`] / [`QueryStats::plan_conflicts`] so dashboards
@@ -37,13 +42,13 @@ use std::time::{Duration, Instant};
 use pai_common::geometry::Rect;
 use pai_common::{AggregateFunction, Result, RunningStats};
 use pai_index::eval::{query_attrs, QueryStats};
-use pai_index::{apply_enrich, apply_plan, TileId, ValinorIndex};
+use pai_index::{apply_enrich, apply_plan, still_applies, TileId, ValinorIndex};
 use pai_storage::raw::RawFile;
 use parking_lot::RwLock;
 
 use crate::config::{validate_phi, EngineConfig};
 use crate::engine::{
-    assess, candidate_views, estimate_readonly, evaluate_on, fetch_plans, plan_candidate,
+    assess, candidate_views, estimate_readonly, evaluate_on, fetch_plans_each, plan_candidate,
     ApproxResult, BatchPlan,
 };
 use crate::state::QueryState;
@@ -180,51 +185,47 @@ impl<F: RawFile> SharedIndex<F> {
                 .collect::<Result<_>>()?;
             drop(index);
 
-            // ---- Stage 2: fetch with no lock held. ----
-            let fetched = fetch_plans(&self.file, &plans, window, config)?;
-
-            // ---- Stage 3: apply under a short write lock, optimistically. ----
-            let lw = Instant::now();
-            let mut index = self.index.write();
-            lock_wait += lw.elapsed();
-            for (plan, values) in plans.iter().zip(&fetched) {
-                // Fast path: nothing changed since planning. Slow path: the
-                // plan survives as long as its tile is still a leaf (leaf
-                // entries never change except by splitting the leaf).
-                let applicable =
-                    index.version() == plan.planned_version() || index.tile(plan.tile()).is_leaf();
-                match plan {
-                    BatchPlan::Partial(p) => {
-                        if applicable {
+            // ---- Stages 2 + 3, overlapped: fetch with no lock held, apply
+            // each plan under its own short write lock as its fetch unit
+            // lands (later units may still be in flight). Readers — and
+            // competing writers' apply stages — interleave between every
+            // apply, so no one ever waits behind this writer's I/O *or*
+            // behind the rest of its batch. The optimistic version check
+            // runs per plan, against the index as it is at that plan's
+            // apply moment: a fast path when nothing changed since
+            // planning, a slow path while the tile is still a leaf (leaf
+            // entries never change except by splitting the leaf).
+            fetch_plans_each(&self.file, &plans, window, config, |i, values| {
+                let plan = &plans[i];
+                let lw = Instant::now();
+                let mut index = self.index.write();
+                lock_wait += lw.elapsed();
+                if still_applies(&index, plan.tile(), plan.planned_version()) {
+                    match plan {
+                        BatchPlan::Partial(p) => {
                             let out = apply_plan(&mut index, p, window, &config.adapt, values)?;
                             tiles_split += usize::from(out.did_split);
                             resolved.insert(p.tile, out.in_window);
                             tiles_processed += 1;
-                        } else {
-                            // Concurrently split: the other writer already
-                            // refined this tile, so discard the plan — its
-                            // id never classifies again (children carry new
-                            // ids), and the region re-plans from the
-                            // refined children next round. The conflicted
-                            // fetch is the price of optimism, bounded by
-                            // one batch per losing writer.
-                            plan_conflicts += 1;
                         }
-                    }
-                    BatchPlan::Enrich(p) => {
-                        if applicable {
+                        BatchPlan::Enrich(p) => {
                             apply_enrich(&mut index, p, values)?;
                             tiles_processed += 1;
                             tiles_enriched += 1;
-                        } else {
-                            // The tile's children will be re-planned from
-                            // the fresh view next round.
-                            plan_conflicts += 1;
                         }
                     }
+                } else {
+                    // Concurrently split: the other writer already refined
+                    // this tile, so discard the plan — its id never
+                    // classifies again (children carry new ids), and the
+                    // region re-plans from the refined children next round.
+                    // The conflicted fetch is the price of optimism,
+                    // bounded by one batch per losing writer.
+                    plan_conflicts += 1;
                 }
                 step += 1;
-            }
+                Ok(())
+            })?;
         }
     }
 

@@ -77,6 +77,16 @@ pub struct EngineConfig {
     /// guarantee that the equivalence tests gate on; raise it to trade
     /// call count for wall-clock on high-latency backends.
     pub fetch_parallelism: usize,
+    /// Overlap the fetch and apply stages: with `> 1`, a batch's fetch
+    /// units (one coalesced call per distinct attribute set) are issued by
+    /// a producer thread and streamed into the apply stage as they
+    /// complete, so decode/apply of early units runs while later fetches
+    /// are still in flight. Fetch units are issued in exactly the order the
+    /// sequential path issues them and plans still apply in pick order with
+    /// the stop rule re-checked per tile, so answers, CIs, trajectories,
+    /// and every logical meter are identical at any worker count. `1` (the
+    /// default) is the strictly sequential fetch-then-apply path.
+    pub fetch_workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -90,6 +100,7 @@ impl Default for EngineConfig {
             eager: EagerRefinement::Off,
             adapt_batch: 1,
             fetch_parallelism: 1,
+            fetch_workers: 1,
         }
     }
 }
@@ -122,6 +133,11 @@ impl EngineConfig {
         if self.fetch_parallelism == 0 {
             return Err(PaiError::config(
                 "fetch_parallelism must be >= 1 (1 = single batched call)",
+            ));
+        }
+        if self.fetch_workers == 0 {
+            return Err(PaiError::config(
+                "fetch_workers must be >= 1 (1 = sequential fetch-then-apply)",
             ));
         }
         Ok(())
@@ -171,8 +187,14 @@ mod tests {
         };
         assert!(cfg.validate().is_err());
         let cfg = EngineConfig {
+            fetch_workers: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = EngineConfig {
             adapt_batch: 8,
             fetch_parallelism: 4,
+            fetch_workers: 8,
             ..Default::default()
         };
         assert!(cfg.validate().is_ok());

@@ -69,6 +69,15 @@ pub struct ProgressStep {
     pub http_bytes: u64,
     /// Cumulative remote requests retried after transient faults.
     pub retries: u64,
+    /// Peak concurrently in-flight fetch requests observed so far (1 on a
+    /// sequential remote fetch path, 0 on local backends).
+    pub fetch_inflight_peak: u64,
+    /// In-request fetch time over wall fetch time so far: > 1 when the
+    /// overlapped pipeline hid request latency behind other requests, ~1
+    /// sequentially, 0 when nothing was fetched remotely.
+    pub overlap_ratio: f64,
+    /// Cumulative adaptive part-sizer parameter changes.
+    pub parts_resized: u64,
 }
 
 /// Result of one approximate evaluation.
@@ -145,6 +154,9 @@ impl EvalCtx<'_> {
                 http_requests: 0,
                 http_bytes: 0,
                 retries: 0,
+                fetch_inflight_peak: 0,
+                overlap_ratio: 0.0,
+                parts_resized: 0,
             });
         }
         'outer: loop {
@@ -201,22 +213,26 @@ impl EvalCtx<'_> {
                 })
                 .collect::<Result<_>>()?;
 
-            // Stage 2 — fetch: one coalesced read covers every tile in the
-            // batch (per distinct attribute set), carrying the query window
-            // down to the backend where the read policy allows pushdown.
-            let fetched = fetch_plans(self.file, &plans, window, self.config)?;
-
-            // Stage 3 — apply + re-check: install each plan in sequential
-            // order, re-evaluating the stop rule after every tile. Plans
-            // fetched past the stop point are discarded unapplied, so the
-            // processed-tile trajectory (and with it every answer and CI)
-            // is identical to the tile-at-a-time loop.
-            for (plan, values) in plans.iter().zip(&fetched) {
-                self.apply_one(&mut state, plan, values, window, &mut stats)?;
+            // Stage 2 + 3 — fetch and apply, overlapped when configured:
+            // the batch's fetch units (one coalesced read per distinct
+            // attribute set) stream into the apply stage as they complete,
+            // and each plan is installed in sequential pick order with the
+            // stop rule re-evaluated after every tile. Plans fetched past
+            // the stop point are discarded unapplied — and their fetches
+            // still run to completion — so the processed-tile trajectory,
+            // every answer and CI, and every logical meter are identical to
+            // the tile-at-a-time loop at any `fetch_workers` count.
+            let file = self.file;
+            let mut stopped = false;
+            fetch_plans_each(file, &plans, window, self.config, |i, values| {
+                if stopped {
+                    return Ok(());
+                }
+                self.apply_one(&mut state, &plans[i], values, window, &mut stats)?;
                 step += 1;
                 (estimates, bound) = assess(self.config, aggs, &state);
                 if let Some(t) = trace.as_deref_mut() {
-                    let io = self.file.counters().snapshot().since(&io0);
+                    let io = file.counters().snapshot().since(&io0);
                     t.push(ProgressStep {
                         tiles_processed: step,
                         error_bound: bound,
@@ -229,20 +245,27 @@ impl EvalCtx<'_> {
                         http_requests: io.http_requests,
                         http_bytes: io.http_bytes,
                         retries: io.retries,
+                        fetch_inflight_peak: io.fetch_inflight_peak,
+                        overlap_ratio: io.overlap_ratio(),
+                        parts_resized: io.parts_resized,
                     });
                 }
                 match stop {
                     StopRule::Accuracy { phi } => {
                         if bound <= phi {
-                            break 'outer;
+                            stopped = true;
                         }
                     }
                     StopRule::IoBudget { .. } => {
                         if bound <= 0.0 {
-                            break 'outer;
+                            stopped = true;
                         }
                     }
                 }
+                Ok(())
+            })?;
+            if stopped {
+                break 'outer;
             }
         }
         let (phi, met_constraint) = match stop {
@@ -412,31 +435,10 @@ pub(crate) fn fetch_plans(
     window: &Rect,
     config: &EngineConfig,
 ) -> Result<Vec<Vec<Vec<f64>>>> {
-    // The window-only safety rule has one home: `pai_index::fetch_window`.
-    // The batch-level extension on top: an all-enrichment batch is safe
-    // under any read policy (enrich tiles are fully contained in the
-    // window, so every locator is in-window by construction).
-    let pushdown = fetch_window(&config.adapt, window).or_else(|| {
-        plans
-            .iter()
-            .all(|p| matches!(p, BatchPlan::Enrich(_)))
-            .then_some(window)
-    });
+    let pushdown = batch_pushdown(plans, window, config);
     let mut out: Vec<Option<Vec<Vec<f64>>>> = plans.iter().map(|_| None).collect();
-    // Group plan indices by attribute set, preserving first-seen order.
-    let mut groups: Vec<(&[AttrId], Vec<usize>)> = Vec::new();
-    for (i, plan) in plans.iter().enumerate() {
-        if plan.read_attrs().is_empty() {
-            // COUNT-only style plans charge no I/O: synthesize empty rows.
-            out[i] = Some(vec![Vec::new(); plan.locators().len()]);
-            continue;
-        }
-        match groups.iter_mut().find(|(a, _)| *a == plan.read_attrs()) {
-            Some((_, members)) => members.push(i),
-            None => groups.push((plan.read_attrs(), vec![i])),
-        }
-    }
-    for (attrs, members) in groups {
+    let units = fetch_units(plans, &mut out);
+    for (attrs, members) in units {
         let locs: Vec<&[RowLocator]> = members.iter().map(|&i| plans[i].locators()).collect();
         let fetched = read_row_groups(file, &locs, attrs, pushdown, config.fetch_parallelism)?;
         for (i, rows) in members.into_iter().zip(fetched) {
@@ -447,6 +449,154 @@ pub(crate) fn fetch_plans(
         .into_iter()
         .map(|o| o.expect("every plan fetched"))
         .collect())
+}
+
+/// The batch's window pushdown hint. The window-only safety rule has one
+/// home: `pai_index::fetch_window`. The batch-level extension on top: an
+/// all-enrichment batch is safe under any read policy (enrich tiles are
+/// fully contained in the window, so every locator is in-window by
+/// construction).
+fn batch_pushdown<'w>(
+    plans: &[BatchPlan],
+    window: &'w Rect,
+    config: &EngineConfig,
+) -> Option<&'w Rect> {
+    fetch_window(&config.adapt, window).or_else(|| {
+        plans
+            .iter()
+            .all(|p| matches!(p, BatchPlan::Enrich(_)))
+            .then_some(window)
+    })
+}
+
+/// Groups plan indices by attribute set, preserving first-seen order — one
+/// returned unit is one `read_rows` call. COUNT-only style plans (no
+/// attributes to read) charge no I/O: their slot in `out` is prefilled with
+/// synthesized empty rows and they join no unit.
+fn fetch_units<'p>(
+    plans: &'p [BatchPlan],
+    out: &mut [Option<Vec<Vec<f64>>>],
+) -> Vec<(&'p [AttrId], Vec<usize>)> {
+    let mut units: Vec<(&[AttrId], Vec<usize>)> = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        if plan.read_attrs().is_empty() {
+            out[i] = Some(vec![Vec::new(); plan.locators().len()]);
+            continue;
+        }
+        match units.iter_mut().find(|(a, _)| *a == plan.read_attrs()) {
+            Some((_, members)) => members.push(i),
+            None => units.push((plan.read_attrs(), vec![i])),
+        }
+    }
+    units
+}
+
+/// Streamed fetch + apply: fetches every plan exactly as [`fetch_plans`]
+/// would and invokes `on_plan(i, values)` for each plan **in plan order**,
+/// overlapping later fetch units with earlier applies when
+/// `config.fetch_workers > 1`.
+///
+/// Equivalence guarantees, at any worker count:
+/// * The same fetch units are issued — grouping, pushdown, and the
+///   `read_row_groups` call per unit are byte-identical to the sequential
+///   path, and units are *claimed* in the sequential issue order — so every
+///   logical meter (and, absent adaptive sizing, every transport meter)
+///   lands on the same totals.
+/// * `on_plan` runs in strict plan order 0, 1, 2, …, so apply-side state,
+///   answers, CIs, and trajectories cannot observe fetch completion order.
+/// * Every claimed fetch runs to completion before this returns (the
+///   channel is drained even after an error or an `on_plan` early-out by
+///   the caller's own flag), so an apply-side stop never truncates the
+///   batch's I/O differently than the fetch-then-apply path would.
+pub(crate) fn fetch_plans_each(
+    file: &dyn RawFile,
+    plans: &[BatchPlan],
+    window: &Rect,
+    config: &EngineConfig,
+    mut on_plan: impl FnMut(usize, &[Vec<f64>]) -> Result<()>,
+) -> Result<()> {
+    let pushdown = batch_pushdown(plans, window, config);
+    let mut out: Vec<Option<Vec<Vec<f64>>>> = plans.iter().map(|_| None).collect();
+    let units = fetch_units(plans, &mut out);
+    let workers = config.fetch_workers.min(units.len());
+    if workers <= 1 {
+        // Sequential: fetch every unit, then apply in plan order — exactly
+        // the fetch-then-apply loop this helper generalizes.
+        for (attrs, members) in units {
+            let locs: Vec<&[RowLocator]> = members.iter().map(|&i| plans[i].locators()).collect();
+            let fetched = read_row_groups(file, &locs, attrs, pushdown, config.fetch_parallelism)?;
+            for (i, rows) in members.into_iter().zip(fetched) {
+                out[i] = Some(rows);
+            }
+        }
+        for (i, values) in out.iter().enumerate() {
+            on_plan(i, values.as_deref().expect("every plan fetched"))?;
+        }
+        return Ok(());
+    }
+
+    // Overlapped: a bounded pool of producer threads claims units in issue
+    // order and streams results back; this thread applies plans the moment
+    // their unit (and every earlier plan's unit) has landed.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    let next = AtomicUsize::new(0);
+    let units = &units;
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel::<(usize, Result<Vec<Vec<Vec<f64>>>>)>();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let u = next.fetch_add(1, Ordering::Relaxed);
+                if u >= units.len() {
+                    break;
+                }
+                let (attrs, members) = &units[u];
+                let locs: Vec<&[RowLocator]> =
+                    members.iter().map(|&i| plans[i].locators()).collect();
+                let res = read_row_groups(file, &locs, attrs, pushdown, config.fetch_parallelism);
+                if tx.send((u, res)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut first_err: Option<PaiError> = None;
+        let mut cursor = 0usize;
+        // Exactly one message arrives per unit (the receiver outlives the
+        // loop, so no send ever fails on the success path); draining them
+        // all keeps in-flight fetches running to completion even after an
+        // error, preserving fetch-meter behavior.
+        for _ in 0..units.len() {
+            let Ok((u, res)) = rx.recv() else { break };
+            match res {
+                Ok(fetched) => {
+                    if first_err.is_none() {
+                        for (&i, rows) in units[u].1.iter().zip(fetched) {
+                            out[i] = Some(rows);
+                        }
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+            while first_err.is_none() && cursor < plans.len() && out[cursor].is_some() {
+                if let Err(e) = on_plan(cursor, out[cursor].as_deref().expect("resolved")) {
+                    first_err = Some(e);
+                    break;
+                }
+                cursor += 1;
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })
 }
 
 /// Current estimates and the combined (max-over-aggregates) bound.

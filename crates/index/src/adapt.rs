@@ -193,6 +193,17 @@ pub fn plan_tile(
     })
 }
 
+/// The optimistic-concurrency applicability check, in one place: a plan
+/// computed at `planned_version` still applies if nothing changed since
+/// planning, or — since leaf entries never change except by splitting the
+/// leaf — if its tile is still a leaf. Concurrent writers call this under
+/// the write lock immediately before [`apply_plan`] / [`apply_enrich`];
+/// a `false` means another writer split the tile underneath the plan, which
+/// must then be discarded (the region re-plans from the refined children).
+pub fn still_applies(index: &ValinorIndex, tile: TileId, planned_version: u64) -> bool {
+    index.version() == planned_version || index.tile(tile).is_leaf()
+}
+
 /// Applies a fetched plan: performs the split decision, reorganizes
 /// entries, and installs subtile/in-place metadata — the mutation stage of
 /// `process(t)`.

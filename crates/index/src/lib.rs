@@ -35,7 +35,7 @@ pub mod tile;
 
 pub use adapt::{
     apply_enrich, apply_plan, enrich_tile, fetch_values, fetch_window, plan_enrich, plan_tile,
-    process_tile, EnrichPlan, ProcessOutcome, TilePlan,
+    process_tile, still_applies, EnrichPlan, ProcessOutcome, TilePlan,
 };
 pub use config::{AdaptConfig, EnrichPolicy, MetadataPolicy, ReadPolicy};
 pub use entry::ObjectEntry;

@@ -57,6 +57,15 @@ pub struct QueryRecord {
     /// Remote requests retried after transient faults (5xx/drop/short
     /// read); nonzero with correct answers means the backoff path worked.
     pub retries: u64,
+    /// Peak concurrently in-flight fetch requests (1 on a sequential
+    /// remote fetch path, 0 on local backends) — the meter the overlapped
+    /// pipeline raises.
+    pub fetch_inflight_peak: u64,
+    /// In-request fetch time over wall fetch time (> 1 when the overlapped
+    /// pipeline hid request latency, ~1 sequentially, 0 local).
+    pub overlap_ratio: f64,
+    /// Adaptive part-sizer parameter changes during this query.
+    pub parts_resized: u64,
     /// Time spent waiting on index locks (zero for single-owner engines).
     pub lock_wait: Duration,
     pub selected: u64,
@@ -126,6 +135,21 @@ impl MethodRun {
         self.records.iter().map(|r| r.retries).sum()
     }
 
+    /// Peak concurrently in-flight fetch requests over the whole run —
+    /// a max, not a sum: how deep the overlapped pipeline actually got.
+    pub fn max_fetch_inflight(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.fetch_inflight_peak)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total adaptive part-sizer parameter changes across the run.
+    pub fn total_parts_resized(&self) -> u64 {
+        self.records.iter().map(|r| r.parts_resized).sum()
+    }
+
     /// Total time spent waiting on index locks across the run (zero unless
     /// the run went through a shared, concurrently accessed index).
     pub fn total_lock_wait(&self) -> Duration {
@@ -181,6 +205,9 @@ pub fn run_workload(
                     http_requests: res.stats.io.http_requests,
                     http_bytes: res.stats.io.http_bytes,
                     retries: res.stats.io.retries,
+                    fetch_inflight_peak: res.stats.io.fetch_inflight_peak,
+                    overlap_ratio: res.stats.io.overlap_ratio(),
+                    parts_resized: res.stats.io.parts_resized,
                     lock_wait: res.stats.lock_wait,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,
@@ -211,6 +238,9 @@ pub fn run_workload(
                     http_requests: res.stats.io.http_requests,
                     http_bytes: res.stats.io.http_bytes,
                     retries: res.stats.io.retries,
+                    fetch_inflight_peak: res.stats.io.fetch_inflight_peak,
+                    overlap_ratio: res.stats.io.overlap_ratio(),
+                    parts_resized: res.stats.io.parts_resized,
                     lock_wait: res.stats.lock_wait,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,

@@ -63,8 +63,8 @@ pub use pai_storage;
 pub mod prelude {
     pub use pai_common::geometry::{Point2, Rect};
     pub use pai_common::{
-        AggregateFunction, AggregateValue, Interval, IoCounters, PaiError, Result, RowLocator,
-        RunningStats,
+        AggregateFunction, AggregateValue, Interval, IoCounters, IoSnapshot, PaiError, Result,
+        RowLocator, RunningStats,
     };
     pub use pai_core::{
         ApproxResult, ApproximateEngine, EagerRefinement, EngineConfig, NormalizationMode,

@@ -18,7 +18,12 @@ use pai_core::SharedIndex;
 use pai_storage::ground_truth::window_truth;
 use partial_adaptive_indexing::prelude::*;
 
-fn build_shared(rows: u64, seed: u64, adapt_batch: usize) -> Arc<SharedIndex<MemFile>> {
+fn build_shared(
+    rows: u64,
+    seed: u64,
+    adapt_batch: usize,
+    fetch_workers: usize,
+) -> Arc<SharedIndex<MemFile>> {
     let spec = DatasetSpec {
         rows,
         columns: 4,
@@ -34,6 +39,7 @@ fn build_shared(rows: u64, seed: u64, adapt_batch: usize) -> Arc<SharedIndex<Mem
     let (index, _) = build(&file, &init).unwrap();
     let config = EngineConfig {
         adapt_batch,
+        fetch_workers,
         ..EngineConfig::paper_evaluation()
     };
     Arc::new(SharedIndex::new(index, file, config).unwrap())
@@ -54,8 +60,8 @@ fn ci_sound(ci: Option<Interval>, truth: f64) -> bool {
 
 /// The heart of the stress: N writers over overlapping windows + M readers,
 /// all answers checked against precomputed ground truth.
-fn stress(adapt_batch: usize, phi: f64, seed: u64) {
-    let shared = build_shared(6000, seed, adapt_batch);
+fn stress(adapt_batch: usize, fetch_workers: usize, phi: f64, seed: u64) {
+    let shared = build_shared(6000, seed, adapt_batch, fetch_workers);
     // Overlapping window ladder: every consecutive pair shares most of its
     // area, so writers constantly re-plan tiles their peers are splitting.
     let windows: Vec<Rect> = (0..6)
@@ -124,19 +130,28 @@ fn stress(adapt_batch: usize, phi: f64, seed: u64) {
 
 #[test]
 fn writers_race_sequentially_batched() {
-    stress(1, 0.05, 17);
+    stress(1, 1, 0.05, 17);
 }
 
 #[test]
 fn writers_race_with_batched_pipeline() {
-    stress(4, 0.05, 23);
+    stress(4, 1, 0.05, 23);
+}
+
+#[test]
+fn writers_race_with_overlapped_fetch() {
+    // Streamed fetch→apply: each writer's plans apply under per-plan write
+    // locks while its own fetch workers still have reads in flight, so
+    // optimistic re-checks race against both peers' splits and the
+    // writer's own pipeline.
+    stress(4, 8, 0.05, 37);
 }
 
 #[test]
 fn writers_race_exact_answering() {
     // φ = 0: every contested tile must end fully resolved despite
     // conflicting plans; answers are exact.
-    stress(3, 0.0, 29);
+    stress(3, 1, 0.0, 29);
 }
 
 #[test]
@@ -144,7 +159,7 @@ fn locked_and_pipelined_writers_interleave() {
     // The sequential-baseline protocol and the pipeline must compose: a
     // writer holding the whole-query write lock cannot corrupt plans made
     // by pipelined writers and vice versa.
-    let shared = build_shared(4000, 31, 2);
+    let shared = build_shared(4000, 31, 2, 4);
     let window_a = Rect::new(100.0, 600.0, 100.0, 600.0);
     let window_b = Rect::new(300.0, 800.0, 300.0, 800.0);
     let aggs = [AggregateFunction::Sum(2)];

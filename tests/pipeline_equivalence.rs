@@ -18,7 +18,13 @@
 //!    `PaiZone`, and `PaiZone` served over HTTP ranged GETs), and the
 //!    backends still agree with each other at every batch size —
 //!    compression, zone-map pushdown, and the remote transport are
-//!    invisible to the answers too.
+//!    invisible to the answers too;
+//! 4. the overlapped fetch pipeline (`fetch_workers > 1`) is invisible in
+//!    the same sense: worker counts {1, 2, 8} yield identical answers,
+//!    CIs, error bounds, and trajectories on every backend, and the
+//!    *logical* meters (objects/bytes/seeks/read_calls/blocks) are
+//!    byte-identical to the sequential path per query — overlap may only
+//!    move wall-clock and the transport-side `fetch_*` meters.
 
 use partial_adaptive_indexing::prelude::*;
 use proptest::prelude::*;
@@ -53,6 +59,17 @@ fn run_sequence(
     phi: f64,
     batch: usize,
 ) -> BatchRun {
+    run_sequence_overlapped(file, spec, windows, phi, batch, 1)
+}
+
+fn run_sequence_overlapped(
+    file: &dyn RawFile,
+    spec: &DatasetSpec,
+    windows: &[Rect],
+    phi: f64,
+    batch: usize,
+    workers: usize,
+) -> BatchRun {
     let init = InitConfig {
         grid: GridSpec::Fixed { nx: 5, ny: 5 },
         domain: Some(spec.domain),
@@ -61,6 +78,7 @@ fn run_sequence(
     let (index, _) = build(file, &init).expect("init");
     let config = EngineConfig {
         adapt_batch: batch,
+        fetch_workers: workers,
         ..EngineConfig::paper_evaluation()
     };
     let mut engine = ApproximateEngine::new(index, file, config).expect("engine");
@@ -83,6 +101,73 @@ fn run_sequence(
         objects_read: file.counters().objects_read(),
         leaf_count: engine.index().leaf_count(),
     }
+}
+
+/// Asserts the overlapped-pipeline contract between a `fetch_workers = 1`
+/// run and a `fetch_workers = k` run on the same backend: identical
+/// answers, CIs, bounds, trajectories, resulting tree, and per-query
+/// *logical* meters. Only the transport-side fetch meters may differ.
+fn assert_overlap_equivalent(seq: &BatchRun, overlapped: &BatchRun, workers: usize) {
+    for (i, (a, b)) in seq.results.iter().zip(&overlapped.results).enumerate() {
+        for (av, bv) in a.values.iter().zip(&b.values) {
+            assert_eq!(
+                av.as_f64(),
+                bv.as_f64(),
+                "query {i} answer, workers {workers}"
+            );
+        }
+        for (ac, bc) in a.cis.iter().zip(&b.cis) {
+            assert_eq!(ac, bc, "query {i} CI, workers {workers}");
+        }
+        assert_eq!(
+            a.error_bound, b.error_bound,
+            "query {i} bound, workers {workers}"
+        );
+        assert_eq!(
+            a.stats.tiles_processed, b.stats.tiles_processed,
+            "query {i} trajectory, workers {workers}"
+        );
+        assert_eq!(
+            a.stats.tiles_split, b.stats.tiles_split,
+            "query {i} splits, workers {workers}"
+        );
+        // Logical meters are byte-identical per query; transport meters
+        // (http_*, retries, fetch_*) are exempt by the metering invariant.
+        let (x, y) = (&a.stats.io, &b.stats.io);
+        assert_eq!(
+            x.objects_read, y.objects_read,
+            "query {i} objects, workers {workers}"
+        );
+        assert_eq!(
+            x.bytes_read, y.bytes_read,
+            "query {i} bytes, workers {workers}"
+        );
+        assert_eq!(x.seeks, y.seeks, "query {i} seeks, workers {workers}");
+        assert_eq!(
+            x.read_calls, y.read_calls,
+            "query {i} calls, workers {workers}"
+        );
+        assert_eq!(
+            x.blocks_read, y.blocks_read,
+            "query {i} blocks, workers {workers}"
+        );
+        assert_eq!(
+            x.blocks_skipped, y.blocks_skipped,
+            "query {i} skips, workers {workers}"
+        );
+        assert_eq!(
+            x.full_scans, y.full_scans,
+            "query {i} scans, workers {workers}"
+        );
+    }
+    assert_eq!(
+        seq.leaf_count, overlapped.leaf_count,
+        "leaf counts, workers {workers}"
+    );
+    assert_eq!(
+        seq.objects_read, overlapped.objects_read,
+        "total objects, workers {workers}"
+    );
 }
 
 /// Asserts the equivalence contract between a batch-1 run and a batch-k run
@@ -139,6 +224,44 @@ fn assert_batch_equivalent(seq: &BatchRun, batched: &BatchRun, batch: usize) {
                  coalesce calls ({ck} vs {c1})"
             );
         }
+    }
+}
+
+/// Mid-pipeline fault recovery under overlap: periodic server faults (5xx,
+/// connection drop, short read) fire on some span-group while later groups
+/// are still in flight, for every fault flavor. The overlapped client must
+/// retry boundedly and the run must answer exactly like the local zone
+/// file with byte-identical logical meters — which is only possible if no
+/// span was lost, duplicated, or torn mid-stream.
+#[test]
+fn overlapped_pipeline_recovers_from_midstream_faults() {
+    for plan in ["5xx:3", "drop:5", "short:4"] {
+        let spec = dataset(700, 21, 4);
+        let csv = spec.build_mem(CsvFormat::default()).unwrap();
+        let zone = ZoneFile::from_bytes(convert_to_zone(&csv).unwrap()).unwrap();
+        let store =
+            ObjectStore::serve_with(std::time::Duration::ZERO, plan.parse().unwrap()).unwrap();
+        store.put("data.paizone", convert_to_zone(&csv).unwrap());
+        // Tiny parts force many ranged GETs, so the periodic fault plans
+        // actually trip mid-stream while later groups are in flight.
+        let http = HttpFile::open(
+            store.addr(),
+            "data.paizone",
+            HttpOptions::with_part_bytes(1024).with_fetch_workers(8),
+        )
+        .unwrap();
+        let windows = [
+            Rect::new(100.0, 500.0, 100.0, 500.0),
+            Rect::new(250.0, 750.0, 200.0, 650.0),
+        ];
+        let seq = run_sequence_overlapped(&zone, &spec, &windows, 0.02, 8, 1);
+        let ovl = run_sequence_overlapped(&http, &spec, &windows, 0.02, 8, 8);
+        assert_overlap_equivalent(&seq, &ovl, 8);
+        assert!(store.faults_injected() > 0, "{plan}: faults actually fired");
+        assert!(
+            http.counters().retries() > 0,
+            "{plan}: the retry path carried the workload"
+        );
     }
 }
 
@@ -224,6 +347,56 @@ proptest! {
         // CSV is the byte ceiling. The remote transport changes none of it.
         prop_assert!(zone_batch.objects_read == bin_batch.objects_read);
         prop_assert!(http_batch.objects_read == zone_batch.objects_read);
+    }
+
+    /// The overlapped fetch pipeline at worker counts {1, 2, 8} on every
+    /// backend: identical answers, CIs, bounds, trajectories, and
+    /// byte-identical per-query logical meters vs the sequential path.
+    /// Batched so the pipeline has multi-unit rounds to overlap.
+    #[test]
+    fn prop_overlapped_pipeline_equivalent(
+        rows in 300u64..800,
+        seed in 10u64..15,
+        batch in prop_oneof![Just(1usize), Just(8usize)],
+        phi in prop_oneof![Just(0.0), 0.005f64..0.1],
+        w1 in window_strategy(),
+        w2 in window_strategy(),
+    ) {
+        let spec = dataset(rows, seed, 4);
+        let csv = spec.build_mem(CsvFormat::default()).unwrap();
+        let bin = BinFile::from_bytes(convert_to_bin(&csv).unwrap()).unwrap();
+        let zone = ZoneFile::from_bytes(convert_to_zone(&csv).unwrap()).unwrap();
+        let store = ObjectStore::serve().unwrap();
+        store.put("data.paizone", convert_to_zone(&csv).unwrap());
+        let windows = [w1, w2];
+
+        let backends: [(&str, &dyn RawFile); 3] =
+            [("csv", &csv), ("bin", &bin), ("zone", &zone)];
+        for (name, file) in backends {
+            let seq = run_sequence_overlapped(file, &spec, &windows, phi, batch, 1);
+            for workers in [2usize, 8] {
+                let ovl = run_sequence_overlapped(file, &spec, &windows, phi, batch, workers);
+                // A panic message names the backend via the assert labels.
+                let _ = name;
+                assert_overlap_equivalent(&seq, &ovl, workers);
+            }
+        }
+        // HTTP: overlap applies at both the engine layer and the ranged-GET
+        // client; answers and logical meters still cannot move.
+        let http_seq = {
+            let f = HttpFile::open(store.addr(), "data.paizone", HttpOptions::default()).unwrap();
+            run_sequence_overlapped(&f, &spec, &windows, phi, batch, 1)
+        };
+        for workers in [2usize, 8] {
+            let f = HttpFile::open(
+                store.addr(),
+                "data.paizone",
+                HttpOptions::default().with_fetch_workers(workers),
+            )
+            .unwrap();
+            let ovl = run_sequence_overlapped(&f, &spec, &windows, phi, batch, workers);
+            assert_overlap_equivalent(&http_seq, &ovl, workers);
+        }
     }
 
     /// φ = 0 exercises full resolution: every candidate is processed under
