@@ -22,11 +22,20 @@
 //!   sweep, with no answer drift;
 //! * **fault recovery** — with periodic 5xx injection on, the same queries
 //!   still return identical answers, and the retries are metered into the
-//!   per-query records and the report CSV.
+//!   per-query records and the report CSV;
+//! * **cache re-exploration** — a zipf-skewed revisit workload runs three
+//!   exploration sessions (fresh engine + index each) over one shared
+//!   tiered block cache: every session's answers, CIs, trajectories, and
+//!   logical meters are byte-identical to the uncached run, each session
+//!   issues strictly fewer ranged GETs than the previous one, and the hot
+//!   third session stays at or below 25 % of the uncached GETs *and* wire
+//!   bytes.
 //!
 //! Every gated configuration's wall-clock, GET count, wire bytes, and
 //! overlap ratio land in a `BENCH_remote.json` artifact at the repo root
-//! (override the path with `PAI_BENCH_JSON_PATH`); CI archives it.
+//! (override the path with `PAI_BENCH_JSON_PATH`); the cache gate's
+//! per-session measurements land in a sibling `BENCH_cache.json` (override
+//! with `PAI_BENCH_CACHE_JSON_PATH`); CI archives both.
 //!
 //! The criterion group then times the pushdown truth scan over HTTP
 //! (naive vs coalesced vs local) with no injected latency.
@@ -41,12 +50,15 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pai_bench::{cached_zone, small_setup, Fig2Setup};
-use pai_common::IoSnapshot;
+use pai_common::geometry::Rect;
+use pai_common::{AggregateFunction, IoSnapshot};
 use pai_core::{ApproxResult, ApproximateEngine, EngineConfig};
 use pai_index::init::build;
-use pai_query::{report, run_workload, Method};
+use pai_query::{report, run_workload, Method, WindowQuery, Workload};
 use pai_storage::ground_truth::window_truth;
-use pai_storage::{FaultPlan, HttpFile, HttpOptions, ObjectStore, RawFile};
+use pai_storage::{
+    CacheConfig, CachedFile, FaultPlan, HttpFile, HttpOptions, ObjectStore, RawFile,
+};
 
 const OBJECT: &str = "remote-bench.paizone";
 
@@ -111,6 +123,34 @@ fn write_bench_json(rows: &[BenchRow]) {
     s.push_str("  ]\n}\n");
     std::fs::write(&path, s).expect("write BENCH_remote.json");
     println!("remote bench artifact: {path}");
+}
+
+/// Writes the cache gate's per-session artifact (`BENCH_cache.json`, path
+/// overridable via `PAI_BENCH_CACHE_JSON_PATH`); hand-rolled JSON like
+/// [`write_bench_json`].
+fn write_cache_json(rows: &[(String, Outcome)]) {
+    let path = std::env::var("PAI_BENCH_CACHE_JSON_PATH").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json").to_string()
+    });
+    let mut s = String::from("{\n  \"bench\": \"cache\",\n  \"configs\": [\n");
+    for (i, (config, o)) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"config\": \"{}\", \"wall_secs\": {:.6}, \"gets\": {}, \
+             \"wire_bytes\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_mem_bytes\": {}}}{}\n",
+            config,
+            o.elapsed.as_secs_f64(),
+            o.requests,
+            o.wire_bytes,
+            o.io.cache_hits,
+            o.io.cache_misses,
+            o.io.cache_mem_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(&path, s).expect("write BENCH_cache.json");
+    println!("cache bench artifact: {path}");
 }
 
 /// Runs the workload (φ = 5 %) plus a per-query truth verification and
@@ -405,12 +445,139 @@ fn assert_fault_recovery_is_metered() {
     );
 }
 
+/// A zipf-skewed re-exploration workload: `n` queries drawn from `bases`
+/// base windows laid out across the domain, revisited with zipf(s = 1.2)
+/// popularity via inverse-CDF sampling over a hand-rolled LCG (the
+/// workspace carries no RNG dependency). Hot windows recur many times —
+/// the analyst returning to the same regions — which is the access pattern
+/// the tiered block cache exists for.
+fn zipf_workload(domain: &Rect, n: usize, bases: usize, seed: u64) -> Workload {
+    let windows: Vec<Rect> = (0..bases)
+        .map(|i| {
+            let f = i as f64 / bases as f64;
+            Workload::centered_window(domain, 0.02)
+                .shifted(
+                    (f - 0.5) * 0.7 * domain.width(),
+                    (0.5 - f) * 0.7 * domain.height(),
+                )
+                .clamped_into(domain)
+        })
+        .collect();
+    let weights: Vec<f64> = (1..=bases).map(|k| 1.0 / (k as f64).powf(1.2)).collect();
+    let total: f64 = weights.iter().sum();
+    let cdf: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w / total;
+            Some(*acc)
+        })
+        .collect();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let queries = (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let k = cdf.iter().position(|&c| u <= c).unwrap_or(bases - 1);
+            WindowQuery::new(windows[k], vec![AggregateFunction::Mean(2)])
+        })
+        .collect();
+    Workload::new("zipf-reexploration", queries)
+}
+
+/// Cache gate: three exploration sessions (fresh engine + index each) over
+/// one shared tiered block cache must stay byte-identical to the uncached
+/// run while the transport shrinks — strictly fewer GETs each session, and
+/// the hot third session at or below 25 % of the uncached GETs and wire
+/// bytes.
+fn assert_cache_reexploration_win() {
+    let mut setup = small_setup(50_000);
+    setup.workload = zipf_workload(&setup.spec.domain, 30, 12, 77);
+    let store = serve(&setup, gate_latency(), FaultPlan::Off);
+    let open = || HttpFile::open(store.addr(), OBJECT, HttpOptions::default()).expect("open http");
+
+    let zone = cached_zone(&setup.spec);
+    let local = run_verified(&zone, &setup, 8, 1);
+    let uncached = run_verified(&open(), &setup, 8, 1);
+    assert_equivalent("uncached http vs local", &uncached, &local);
+    assert_eq!(
+        uncached.io.cache_hits + uncached.io.cache_misses,
+        0,
+        "an uncached run must report zero cache traffic"
+    );
+
+    // One shared cache, generous enough to hold the hot set in memory;
+    // eviction and spill are gated by the storage tests, not here.
+    let cached = CachedFile::with_config(Box::new(open()), CacheConfig::new(64 << 20, 0));
+    assert!(cached.is_attached(), "http backend binds the cache");
+    let sessions: Vec<Outcome> = (0..3)
+        .map(|_| run_verified(&cached, &setup, 8, 1))
+        .collect();
+
+    for (i, s) in sessions.iter().enumerate() {
+        let label = format!("cached session {} vs uncached", i + 1);
+        assert_equivalent(&label, s, &uncached);
+        assert_logical_meters_equal(&label, &s.io, &uncached.io);
+        assert!(
+            s.requests <= uncached.requests && s.wire_bytes <= uncached.wire_bytes,
+            "{label}: the cache can only remove transport"
+        );
+    }
+    assert!(
+        sessions[1].requests < sessions[0].requests && sessions[2].requests <= sessions[1].requests,
+        "warm sessions must issue strictly fewer GETs than the cold one and \
+         never regress (a fully warmed cache may already be at zero): {} -> {} -> {}",
+        sessions[0].requests,
+        sessions[1].requests,
+        sessions[2].requests
+    );
+    let hot = &sessions[2];
+    assert!(
+        hot.requests * 4 <= uncached.requests,
+        "hot session must stay at or below 25% of the uncached GETs: {} vs {}",
+        hot.requests,
+        uncached.requests
+    );
+    assert!(
+        hot.wire_bytes * 4 <= uncached.wire_bytes,
+        "hot session must stay at or below 25% of the uncached wire bytes: {} vs {}",
+        hot.wire_bytes,
+        uncached.wire_bytes
+    );
+    assert!(
+        hot.io.cache_hits > 0 && sessions[0].io.cache_misses > 0,
+        "the cache meters must tell the story"
+    );
+    println!(
+        "remote gate (cache): uncached {} GETs / {} wire bytes, cached sessions \
+         {} -> {} -> {} GETs ({} -> {} -> {} wire bytes), hot session at {:.1}% \
+         of uncached GETs with {} hits",
+        uncached.requests,
+        uncached.wire_bytes,
+        sessions[0].requests,
+        sessions[1].requests,
+        sessions[2].requests,
+        sessions[0].wire_bytes,
+        sessions[1].wire_bytes,
+        sessions[2].wire_bytes,
+        100.0 * hot.requests as f64 / uncached.requests as f64,
+        hot.io.cache_hits
+    );
+    let mut rows = vec![("uncached".to_string(), uncached)];
+    for (i, s) in sessions.into_iter().enumerate() {
+        rows.push((format!("cached session={}", i + 1), s));
+    }
+    write_cache_json(&rows);
+}
+
 fn bench_remote(c: &mut Criterion) {
     let mut rows = Vec::new();
     assert_coalescing_and_pushdown_win(&mut rows);
     assert_overlap_win(&mut rows);
     assert_adaptive_sizing_wins(&mut rows);
     assert_fault_recovery_is_metered();
+    assert_cache_reexploration_win();
     write_bench_json(&rows);
 
     // Timing: the pushdown truth scan over HTTP, no injected latency.

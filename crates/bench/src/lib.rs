@@ -40,6 +40,16 @@
 //!   tile-at-a-time pipeline, larger values coalesce that many tiles per
 //!   `read_rows` call. Benches obtain their engine config through
 //!   [`fig2_setup`]/[`small_setup`], so one knob flips them all.
+//! * `PAI_BENCH_CACHE_MEM_KB` — memory-tier budget (KiB) of the tiered
+//!   block cache wrapped around the `http` backend (default `0` = cache
+//!   off; answers and logical meters are identical either way — the cache
+//!   is transport-only).
+//! * `PAI_BENCH_CACHE_DISK_KB` — disk-spill-tier budget (KiB) for
+//!   memory-tier eviction victims (default 0 = no spill tier; only
+//!   meaningful with a non-zero memory budget).
+//! * `PAI_BENCH_CACHE_DIR` — directory for the spill tier's block files
+//!   (default: a per-cache directory under the system temp dir, removed on
+//!   drop).
 //!
 //! The full knob table lives in `docs/BENCHMARKS.md`.
 
@@ -52,8 +62,9 @@ use pai_index::init::{GridSpec, InitConfig};
 use pai_index::MetadataPolicy;
 use pai_query::Workload;
 use pai_storage::{
-    BinFile, CsvFile, CsvFormat, DatasetSpec, FaultPlan, HttpFile, HttpOptions, LatencyFile,
-    ObjectStore, PointDistribution, RawFile, StorageBackend, ValueModel, ZoneFile,
+    BinFile, CacheConfig, CachedFile, CsvFile, CsvFormat, DatasetSpec, FaultPlan, HttpFile,
+    HttpOptions, LatencyFile, ObjectStore, PointDistribution, RawFile, StorageBackend, ValueModel,
+    ZoneFile,
 };
 
 /// Everything a Figure 2 style run needs.
@@ -132,6 +143,7 @@ pub fn fig2_setup() -> Fig2Setup {
         engine: EngineConfig {
             adapt_batch: batch(),
             fetch_workers: fetch_workers(),
+            cache: cache_config(),
             ..EngineConfig::paper_evaluation()
         },
         workload,
@@ -175,6 +187,25 @@ pub fn fetch_workers() -> usize {
         .and_then(|v| v.parse().ok())
         .filter(|&w| w >= 1)
         .unwrap_or(1)
+}
+
+/// Tiered-block-cache budgets for the `http` backend, from
+/// `PAI_BENCH_CACHE_MEM_KB` / `PAI_BENCH_CACHE_DISK_KB` /
+/// `PAI_BENCH_CACHE_DIR`. `None` (memory knob unset, zero, or malformed)
+/// means cache off — the default, so every existing bench row is
+/// unaffected until the knob is turned.
+pub fn cache_config() -> Option<CacheConfig> {
+    let mem_kb = env_u64("PAI_BENCH_CACHE_MEM_KB", 0);
+    if mem_kb == 0 {
+        return None;
+    }
+    let mut cfg = CacheConfig::new(mem_kb * 1024, env_u64("PAI_BENCH_CACHE_DISK_KB", 0) * 1024);
+    if let Ok(dir) = std::env::var("PAI_BENCH_CACHE_DIR") {
+        if !dir.is_empty() {
+            cfg = cfg.with_spill_dir(dir);
+        }
+    }
+    Some(cfg)
 }
 
 /// Cache file name for `spec` under `backend` (extension encodes the
@@ -336,7 +367,16 @@ pub fn cached_file(spec: &DatasetSpec) -> Box<dyn RawFile> {
         }
         StorageBackend::Zone => Box::new(cached_zone(spec)),
         StorageBackend::Latency => Box::new(with_latency(Box::new(cached_zone(spec)))),
-        StorageBackend::Http => Box::new(cached_http(spec)),
+        StorageBackend::Http => {
+            let file = cached_http(spec);
+            match cache_config() {
+                // The cache rides below the span fetcher, so only the
+                // remote backend gains one; local backends are their own
+                // cache.
+                Some(cfg) => Box::new(CachedFile::with_config(Box::new(file), cfg)),
+                None => Box::new(file),
+            }
+        }
     }
 }
 
@@ -553,6 +593,69 @@ mod tests {
             assert!(!opts.adaptive);
             assert_eq!(opts.fetch_workers, 1);
         }
+    }
+
+    #[test]
+    fn cache_knobs_select_tiered_cache() {
+        // Same contract as the other knobs: unset → default (cache off),
+        // valid value → honored, malformed/zero → default (never a panic
+        // mid-bench).
+        std::env::remove_var("PAI_BENCH_CACHE_MEM_KB");
+        std::env::remove_var("PAI_BENCH_CACHE_DISK_KB");
+        std::env::remove_var("PAI_BENCH_CACHE_DIR");
+        assert_eq!(cache_config(), None);
+        assert_eq!(fig2_setup().engine.cache, None);
+
+        std::env::set_var("PAI_BENCH_CACHE_MEM_KB", "256");
+        let cfg = cache_config().expect("memory knob turns the cache on");
+        assert_eq!(cfg.mem_bytes, 256 * 1024);
+        assert_eq!(cfg.disk_bytes, 0, "no spill tier unless asked");
+        assert_eq!(cfg.spill_dir, None);
+
+        std::env::set_var("PAI_BENCH_CACHE_DISK_KB", "1024");
+        std::env::set_var("PAI_BENCH_CACHE_DIR", "bench-cache-spill");
+        let cfg = cache_config().unwrap();
+        assert_eq!(cfg.disk_bytes, 1024 * 1024);
+        assert_eq!(
+            cfg.spill_dir.as_deref(),
+            Some(std::path::Path::new("bench-cache-spill"))
+        );
+        let s = fig2_setup();
+        assert_eq!(s.engine.cache, Some(cfg));
+        assert!(s.engine.validate().is_ok());
+
+        std::env::set_var("PAI_BENCH_CACHE_MEM_KB", "0");
+        assert_eq!(cache_config(), None, "zero memory budget = cache off");
+        std::env::set_var("PAI_BENCH_CACHE_MEM_KB", "not-a-number");
+        assert_eq!(cache_config(), None);
+        std::env::remove_var("PAI_BENCH_CACHE_MEM_KB");
+        std::env::remove_var("PAI_BENCH_CACHE_DISK_KB");
+        std::env::remove_var("PAI_BENCH_CACHE_DIR");
+    }
+
+    #[test]
+    fn cached_backend_serves_the_dataset_through_the_block_cache() {
+        // Exercise the cached_file Http arm's wrapper directly — no env
+        // mutation (parallel-test safe): the wrapped fixture must serve the
+        // same rows as the raw zone file while the second pass over the
+        // same spans stays off the wire.
+        let spec = default_spec(250, 31);
+        let http = cached_http(&spec);
+        let cached = CachedFile::with_config(Box::new(http), CacheConfig::new(4 << 20, 0));
+        assert!(cached.is_attached(), "http backend binds the cache");
+        let collect = |f: &dyn RawFile| {
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            let wanted: Vec<usize> = (0..spec.columns).collect();
+            f.scan(&mut |_, _, rec| {
+                let mut vals = Vec::new();
+                rec.extract_f64(&wanted, &mut vals)?;
+                rows.push(vals);
+                Ok(())
+            })
+            .unwrap();
+            rows
+        };
+        assert_eq!(collect(&cached), collect(&cached_zone(&spec)));
     }
 
     #[test]

@@ -67,6 +67,20 @@ struct Inner {
     /// Times the adaptive part sizer changed an object's effective
     /// coalescing parameters after observing a new span-gap distribution.
     parts_resized: AtomicU64,
+    /// Spans served from the block cache instead of the transport. Each hit
+    /// is a span the fetch path subtracted *before* coalescing, so a hit
+    /// never contributes to `http_requests`/`http_bytes`.
+    cache_hits: AtomicU64,
+    /// Spans the block cache could not serve and handed to the transport.
+    cache_misses: AtomicU64,
+    /// Cache entries evicted to stay inside the memory + disk budgets.
+    cache_evictions: AtomicU64,
+    /// Bytes written to the cache's disk-spill tier.
+    cache_spill_bytes: AtomicU64,
+    /// Bytes currently resident in the cache's memory tier. A **gauge**,
+    /// not a running total: `set_cache_mem_bytes` stores the level and
+    /// `since()` passes the later snapshot's value through unchanged.
+    cache_mem_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of the counter values.
@@ -102,6 +116,17 @@ pub struct IoSnapshot {
     pub fetch_wall_us: u64,
     /// Adaptive part-sizer parameter changes.
     pub parts_resized: u64,
+    /// Spans served from the block cache (0 when no cache is attached).
+    pub cache_hits: u64,
+    /// Spans the block cache handed to the transport.
+    pub cache_misses: u64,
+    /// Cache entries evicted under budget pressure.
+    pub cache_evictions: u64,
+    /// Bytes written to the cache's disk-spill tier.
+    pub cache_spill_bytes: u64,
+    /// Bytes resident in the cache's memory tier. A gauge, not a total:
+    /// `since()` keeps the later snapshot's level as-is.
+    pub cache_mem_bytes: u64,
 }
 
 impl IoSnapshot {
@@ -127,12 +152,29 @@ impl IoSnapshot {
                 .saturating_sub(earlier.fetch_request_us),
             fetch_wall_us: self.fetch_wall_us.saturating_sub(earlier.fetch_wall_us),
             parts_resized: self.parts_resized.saturating_sub(earlier.parts_resized),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            cache_spill_bytes: self
+                .cache_spill_bytes
+                .saturating_sub(earlier.cache_spill_bytes),
+            // Gauge semantics: the memory-tier level at the later snapshot.
+            cache_mem_bytes: self.cache_mem_bytes,
         }
     }
 
-    /// In-request time divided by wall time across this snapshot's
-    /// span-batch fetches: ~1.0 for a sequential fetch path, > 1.0 when
-    /// workers overlapped requests, 0.0 when nothing was fetched.
+    /// Fetch-stage busy time over fetch-stage wall time, i.e.
+    /// `fetch_request_us / fetch_wall_us`. The numerator sums the
+    /// microseconds spent *inside* individual transport requests (summed
+    /// across workers, so overlapped requests count multiply); the
+    /// denominator is the wall-clock the caller actually waited on
+    /// span-batch fetches. Interpretation: `0.0` — no span-batch fetch ran
+    /// in the window (local backend, or every span was a cache hit);
+    /// `~1.0` — sequential fetching, one request in flight at a time;
+    /// `> 1.0` — overlapped workers hid request latency (the value is the
+    /// average number of requests concurrently in flight while fetching);
+    /// `< 1.0` — per-batch overhead outside requests (merge planning,
+    /// adaptive sizing, thread handoff) dominated the window.
     pub fn overlap_ratio(&self) -> f64 {
         if self.fetch_wall_us == 0 {
             0.0
@@ -234,6 +276,36 @@ impl IoCounters {
         self.inner.parts_resized.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` spans served from the block cache.
+    #[inline]
+    pub fn add_cache_hits(&self, n: u64) {
+        self.inner.cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` spans the block cache handed to the transport.
+    #[inline]
+    pub fn add_cache_misses(&self, n: u64) {
+        self.inner.cache_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` cache entries evicted under budget pressure.
+    #[inline]
+    pub fn add_cache_evictions(&self, n: u64) {
+        self.inner.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` bytes written to the cache's disk-spill tier.
+    #[inline]
+    pub fn add_cache_spill_bytes(&self, n: u64) {
+        self.inner.cache_spill_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Stores the cache memory tier's current resident size (a gauge).
+    #[inline]
+    pub fn set_cache_mem_bytes(&self, n: u64) {
+        self.inner.cache_mem_bytes.store(n, Ordering::Relaxed);
+    }
+
     /// Rows materialized so far.
     pub fn objects_read(&self) -> u64 {
         self.inner.objects_read.load(Ordering::Relaxed)
@@ -304,6 +376,31 @@ impl IoCounters {
         self.inner.parts_resized.load(Ordering::Relaxed)
     }
 
+    /// Spans served from the block cache so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.inner.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Spans handed to the transport after a cache miss so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.inner.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Cache entries evicted so far.
+    pub fn cache_evictions(&self) -> u64 {
+        self.inner.cache_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written to the cache's disk-spill tier so far.
+    pub fn cache_spill_bytes(&self) -> u64 {
+        self.inner.cache_spill_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently resident in the cache's memory tier.
+    pub fn cache_mem_bytes(&self) -> u64 {
+        self.inner.cache_mem_bytes.load(Ordering::Relaxed)
+    }
+
     /// Captures current values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -321,6 +418,11 @@ impl IoCounters {
             fetch_request_us: self.fetch_request_us(),
             fetch_wall_us: self.fetch_wall_us(),
             parts_resized: self.parts_resized(),
+            cache_hits: self.cache_hits(),
+            cache_misses: self.cache_misses(),
+            cache_evictions: self.cache_evictions(),
+            cache_spill_bytes: self.cache_spill_bytes(),
+            cache_mem_bytes: self.cache_mem_bytes(),
         }
     }
 
@@ -340,6 +442,11 @@ impl IoCounters {
         self.inner.fetch_request_us.store(0, Ordering::Relaxed);
         self.inner.fetch_wall_us.store(0, Ordering::Relaxed);
         self.inner.parts_resized.store(0, Ordering::Relaxed);
+        self.inner.cache_hits.store(0, Ordering::Relaxed);
+        self.inner.cache_misses.store(0, Ordering::Relaxed);
+        self.inner.cache_evictions.store(0, Ordering::Relaxed);
+        self.inner.cache_spill_bytes.store(0, Ordering::Relaxed);
+        self.inner.cache_mem_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -367,6 +474,12 @@ mod tests {
         c.add_fetch_request_us(900);
         c.add_fetch_wall_us(300);
         c.add_parts_resized(1);
+        c.add_cache_hits(6);
+        c.add_cache_misses(2);
+        c.add_cache_evictions(1);
+        c.add_cache_spill_bytes(4096);
+        c.set_cache_mem_bytes(128);
+        c.set_cache_mem_bytes(96);
         assert_eq!(c.objects_read(), 15);
         assert_eq!(c.bytes_read(), 100);
         assert_eq!(c.seeks(), 2);
@@ -382,6 +495,12 @@ mod tests {
         assert_eq!(c.fetch_request_us(), 900);
         assert_eq!(c.fetch_wall_us(), 300);
         assert_eq!(c.parts_resized(), 1);
+        assert_eq!(c.cache_hits(), 6);
+        assert_eq!(c.cache_misses(), 2);
+        assert_eq!(c.cache_evictions(), 1);
+        assert_eq!(c.cache_spill_bytes(), 4096);
+        // cache_mem_bytes is a gauge: the last stored level, never a sum.
+        assert_eq!(c.cache_mem_bytes(), 96);
         assert_eq!(c.snapshot().overlap_ratio(), 3.0);
     }
 
@@ -409,6 +528,11 @@ mod tests {
         c.add_fetch_request_us(50);
         c.add_fetch_wall_us(40);
         c.add_parts_resized(2);
+        c.add_cache_hits(5);
+        c.add_cache_misses(3);
+        c.add_cache_evictions(2);
+        c.add_cache_spill_bytes(512);
+        c.set_cache_mem_bytes(777);
         let s2 = c.snapshot();
         let d = s2.since(&s1);
         assert_eq!(d.objects_read, 4);
@@ -423,6 +547,12 @@ mod tests {
         assert_eq!(d.fetch_request_us, 50);
         assert_eq!(d.fetch_wall_us, 40);
         assert_eq!(d.parts_resized, 2);
+        assert_eq!(d.cache_hits, 5);
+        assert_eq!(d.cache_misses, 3);
+        assert_eq!(d.cache_evictions, 2);
+        assert_eq!(d.cache_spill_bytes, 512);
+        // The memory-tier gauge passes through like the in-flight peak.
+        assert_eq!(d.cache_mem_bytes, 777);
         // An idle window reports no overlap.
         assert_eq!(IoSnapshot::default().overlap_ratio(), 0.0);
         // Out-of-order snapshots saturate instead of underflowing.

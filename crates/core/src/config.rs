@@ -2,6 +2,7 @@
 
 use pai_common::{PaiError, Result};
 use pai_index::AdaptConfig;
+use pai_storage::CacheConfig;
 
 use crate::bound::NormalizationMode;
 use crate::policy::SelectionPolicy;
@@ -87,6 +88,14 @@ pub struct EngineConfig {
     /// and every logical meter are identical at any worker count. `1` (the
     /// default) is the strictly sequential fetch-then-apply path.
     pub fetch_workers: usize,
+    /// Tiered block cache for the raw file's remote transport (memory +
+    /// disk-spill budgets, see `pai_storage::CacheConfig`). `None` (the
+    /// default) is uncached. The engine itself takes an already-built
+    /// file, so harnesses consume this when constructing the backend
+    /// (wrapping it in `pai_storage::CachedFile`); it lives here so one
+    /// config object describes a full evaluation setup. Transport-only:
+    /// answers, CIs, trajectories, and logical meters are unaffected.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for EngineConfig {
@@ -101,6 +110,7 @@ impl Default for EngineConfig {
             adapt_batch: 1,
             fetch_parallelism: 1,
             fetch_workers: 1,
+            cache: None,
         }
     }
 }
@@ -114,6 +124,20 @@ impl EngineConfig {
             policy: SelectionPolicy::ScoreGreedy { alpha: 1.0 },
             ..Default::default()
         }
+    }
+
+    /// This config with a tiered block cache of the given budgets.
+    /// `spill_dir = None` spills under the system temp directory.
+    pub fn with_cache(
+        mut self,
+        mem_bytes: u64,
+        disk_bytes: u64,
+        spill_dir: Option<std::path::PathBuf>,
+    ) -> Self {
+        let mut cfg = CacheConfig::new(mem_bytes, disk_bytes);
+        cfg.spill_dir = spill_dir;
+        self.cache = Some(cfg);
+        self
     }
 
     /// Validates every nested knob.
@@ -139,6 +163,14 @@ impl EngineConfig {
             return Err(PaiError::config(
                 "fetch_workers must be >= 1 (1 = sequential fetch-then-apply)",
             ));
+        }
+        if let Some(cache) = &self.cache {
+            if cache.mem_bytes == 0 {
+                return Err(PaiError::config(
+                    "cache.mem_bytes must be > 0 (the disk tier only holds \
+                     memory-tier victims); omit the cache to disable it",
+                ));
+            }
         }
         Ok(())
     }
@@ -198,6 +230,18 @@ mod tests {
             ..Default::default()
         };
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn cache_config_validated() {
+        let cfg = EngineConfig::default().with_cache(1 << 20, 0, None);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.cache.as_ref().unwrap().mem_bytes, 1 << 20);
+        let cfg = EngineConfig::default().with_cache(0, 1 << 20, None);
+        assert!(cfg.validate().is_err(), "memory tier is mandatory");
+        let dir = std::path::PathBuf::from("/tmp/spill");
+        let cfg = EngineConfig::default().with_cache(1024, 2048, Some(dir.clone()));
+        assert_eq!(cfg.cache.unwrap().spill_dir, Some(dir));
     }
 
     #[test]

@@ -78,6 +78,17 @@ pub struct ProgressStep {
     pub overlap_ratio: f64,
     /// Cumulative adaptive part-sizer parameter changes.
     pub parts_resized: u64,
+    /// Cumulative spans served from the block cache (0 uncached) — the
+    /// metric the tiered cache improves on re-exploration.
+    pub cache_hits: u64,
+    /// Cumulative spans the cache handed to the transport.
+    pub cache_misses: u64,
+    /// Cumulative cache entries evicted under budget pressure.
+    pub cache_evictions: u64,
+    /// Cumulative bytes written to the cache's disk-spill tier.
+    pub cache_spill_bytes: u64,
+    /// Bytes resident in the cache's memory tier at this point (a gauge).
+    pub cache_mem_bytes: u64,
 }
 
 /// Result of one approximate evaluation.
@@ -157,6 +168,11 @@ impl EvalCtx<'_> {
                 fetch_inflight_peak: 0,
                 overlap_ratio: 0.0,
                 parts_resized: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_evictions: 0,
+                cache_spill_bytes: 0,
+                cache_mem_bytes: 0,
             });
         }
         'outer: loop {
@@ -248,6 +264,11 @@ impl EvalCtx<'_> {
                         fetch_inflight_peak: io.fetch_inflight_peak,
                         overlap_ratio: io.overlap_ratio(),
                         parts_resized: io.parts_resized,
+                        cache_hits: io.cache_hits,
+                        cache_misses: io.cache_misses,
+                        cache_evictions: io.cache_evictions,
+                        cache_spill_bytes: io.cache_spill_bytes,
+                        cache_mem_bytes: io.cache_mem_bytes,
                     });
                 }
                 match stop {

@@ -66,6 +66,18 @@ pub struct QueryRecord {
     pub overlap_ratio: f64,
     /// Adaptive part-sizer parameter changes during this query.
     pub parts_resized: u64,
+    /// Spans served from the block cache during this query (0 uncached) —
+    /// the meter the tiered cache raises on re-exploration.
+    pub cache_hits: u64,
+    /// Spans the cache handed to the transport during this query.
+    pub cache_misses: u64,
+    /// Cache entries evicted under budget pressure during this query.
+    pub cache_evictions: u64,
+    /// Bytes spilled to the cache's disk tier during this query.
+    pub cache_spill_bytes: u64,
+    /// Bytes resident in the cache's memory tier when the query finished
+    /// (a gauge, not a per-query total).
+    pub cache_mem_bytes: u64,
     /// Time spent waiting on index locks (zero for single-owner engines).
     pub lock_wait: Duration,
     pub selected: u64,
@@ -150,6 +162,26 @@ impl MethodRun {
         self.records.iter().map(|r| r.parts_resized).sum()
     }
 
+    /// Total cache-served spans across the run (0 uncached).
+    pub fn total_cache_hits(&self) -> u64 {
+        self.records.iter().map(|r| r.cache_hits).sum()
+    }
+
+    /// Total cache misses handed to the transport across the run.
+    pub fn total_cache_misses(&self) -> u64 {
+        self.records.iter().map(|r| r.cache_misses).sum()
+    }
+
+    /// Total cache evictions across the run.
+    pub fn total_cache_evictions(&self) -> u64 {
+        self.records.iter().map(|r| r.cache_evictions).sum()
+    }
+
+    /// Total bytes spilled to the cache's disk tier across the run.
+    pub fn total_cache_spill_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.cache_spill_bytes).sum()
+    }
+
     /// Total time spent waiting on index locks across the run (zero unless
     /// the run went through a shared, concurrently accessed index).
     pub fn total_lock_wait(&self) -> Duration {
@@ -208,6 +240,11 @@ pub fn run_workload(
                     fetch_inflight_peak: res.stats.io.fetch_inflight_peak,
                     overlap_ratio: res.stats.io.overlap_ratio(),
                     parts_resized: res.stats.io.parts_resized,
+                    cache_hits: res.stats.io.cache_hits,
+                    cache_misses: res.stats.io.cache_misses,
+                    cache_evictions: res.stats.io.cache_evictions,
+                    cache_spill_bytes: res.stats.io.cache_spill_bytes,
+                    cache_mem_bytes: res.stats.io.cache_mem_bytes,
                     lock_wait: res.stats.lock_wait,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,
@@ -241,6 +278,11 @@ pub fn run_workload(
                     fetch_inflight_peak: res.stats.io.fetch_inflight_peak,
                     overlap_ratio: res.stats.io.overlap_ratio(),
                     parts_resized: res.stats.io.parts_resized,
+                    cache_hits: res.stats.io.cache_hits,
+                    cache_misses: res.stats.io.cache_misses,
+                    cache_evictions: res.stats.io.cache_evictions,
+                    cache_spill_bytes: res.stats.io.cache_spill_bytes,
+                    cache_mem_bytes: res.stats.io.cache_mem_bytes,
                     lock_wait: res.stats.lock_wait,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,

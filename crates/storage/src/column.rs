@@ -51,6 +51,7 @@ use std::sync::Arc;
 
 use pai_common::{AttrId, IoCounters, PaiError, Result, RowId, RowLocator};
 
+use crate::cache::CacheMode;
 use crate::fetch::{SpanFetcher, SpanMeters};
 use crate::raw::{RawFile, Record, RowHandler, ScanPartition};
 use crate::remote::{BlobReader, HttpBlob};
@@ -532,7 +533,7 @@ impl BinFile {
             spans.clear();
             spans.extend((0..n_cols).map(|col| (self.position(row0, col), batch * 8)));
             let mut m = SpanMeters::default();
-            fetcher.read_spans(&spans, &mut bufs, &mut m)?;
+            fetcher.read_spans(&spans, &mut bufs, &mut m, CacheMode::Stream)?;
             self.counters.add_seeks(m.seeks);
             self.counters.add_bytes(m.bytes);
             self.counters.add_blocks_read(n_cols as u64);
@@ -644,7 +645,7 @@ impl RawFile for BinFile {
                 spans.push((self.position(order[i].1, attr), run_rows as u64 * 8));
                 i = j;
             }
-            fetcher.read_spans(&spans, &mut bufs, &mut m)?;
+            fetcher.read_spans(&spans, &mut bufs, &mut m, CacheMode::Admit)?;
             for (&(i, j), buf) in runs.iter().zip(&bufs) {
                 for &(slot, row) in &order[i..j] {
                     let o = (row - order[i].1) as usize * 8;

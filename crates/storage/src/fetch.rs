@@ -11,11 +11,19 @@
 //! and `len` bytes per span, so a remote file reports the same logical I/O
 //! as its local twin while the transport meters (`http_requests`,
 //! `http_bytes`, `retries`) tell the remote story.
+//!
+//! Every batch carries a [`CacheMode`]: positional reads (the adaptation
+//! layer's chosen tiles) pass [`CacheMode::Admit`], streaming scans pass
+//! [`CacheMode::Stream`]. A remote source with a bound block cache serves
+//! hits locally and admits misses under that rule; the per-span logical
+//! metering here is deliberately tier-blind, which is what keeps the cache
+//! transport-only.
 
 use std::io::{Read, Seek, SeekFrom};
 
 use pai_common::{PaiError, Result};
 
+use crate::cache::CacheMode;
 use crate::remote::HttpBlob;
 
 /// Positional byte source: one trait object for file-, buffer- and
@@ -45,12 +53,14 @@ impl SpanFetcher<'_> {
     /// each, identical to reading the spans one at a time — but a remote
     /// source coalesces adjacent spans of the batch into shared ranged
     /// GETs. Callers keep one `out` alive across batches so local reads
-    /// reuse its buffers instead of allocating per span.
+    /// reuse its buffers instead of allocating per span; `mode` is the
+    /// cache-admission rule for a remote source (ignored locally).
     pub fn read_spans(
         &mut self,
         spans: &[(u64, u64)],
         out: &mut Vec<Vec<u8>>,
         m: &mut SpanMeters,
+        mode: CacheMode,
     ) -> Result<()> {
         match self {
             SpanFetcher::Local(reader) => {
@@ -63,7 +73,7 @@ impl SpanFetcher<'_> {
                     })?;
                 }
             }
-            SpanFetcher::Remote(blob) => *out = blob.read_spans(spans)?,
+            SpanFetcher::Remote(blob) => *out = blob.read_spans_mode(spans, mode)?,
         }
         for &(_, len) in spans {
             m.bytes += len;

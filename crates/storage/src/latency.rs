@@ -137,6 +137,10 @@ impl RawFile for LatencyFile {
         self.stall();
         res
     }
+
+    fn attach_cache(&self, cache: std::sync::Arc<crate::cache::BlockCache>) -> bool {
+        self.inner.attach_cache(cache)
+    }
 }
 
 #[cfg(test)]

@@ -29,7 +29,12 @@
 //!   served from a real object store over HTTP/1.1 range requests, the
 //!   object-store *transport*: coalesced ranged GETs, connection reuse,
 //!   bounded retry with backoff, and `http_requests`/`http_bytes`/`retries`
-//!   transport meters. The bundled test server lives in [`mod@objstore`].
+//!   transport meters. The bundled test server lives in [`mod@objstore`];
+//! * **Cached** ([`CachedFile`], [`mod@cache`]) — any backend (primarily
+//!   `HttpFile`) behind a bounded two-tier block cache: memory + disk
+//!   spill, adaptation-aware admission, hits subtracted from span batches
+//!   *before* GETs are coalesced and issued. Transport-only: answers and
+//!   logical meters are byte-identical to the unwrapped file.
 //!
 //! Modules:
 //! * [`schema`] — column definitions and the axis-attribute pair;
@@ -43,6 +48,8 @@
 //!   ([`zone::convert_to_zone`] / [`zone::write_zone`]);
 //! * [`mapped`] — read-only memory mapping with a portable fallback;
 //! * [`latency`] — the latency-injecting wrapper backend;
+//! * [`mod@cache`] — the tiered block cache ([`BlockCache`]) and its
+//!   [`CachedFile`] wrapper;
 //! * [`mod@remote`] — the HTTP range-request client ([`HttpBlob`]) and the
 //!   [`HttpFile`] backend over it;
 //! * [`mod@objstore`] — the in-process object-store test server (`GET` +
@@ -63,6 +70,7 @@
 #![deny(missing_docs)]
 
 pub mod batch;
+pub mod cache;
 pub mod column;
 pub mod csv;
 mod fetch;
@@ -78,6 +86,7 @@ pub mod schema;
 pub mod zone;
 
 pub use batch::read_row_groups;
+pub use cache::{BlockCache, CacheConfig, CacheMode, CachedFile};
 pub use column::{convert_to_bin, write_bin, BinFile, StorageBackend};
 pub use csv::{CsvFormat, CsvWriter};
 pub use gen::{DatasetSpec, PointDistribution, RowOrder, ValueModel};

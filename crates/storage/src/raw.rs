@@ -313,6 +313,18 @@ pub trait RawFile: Send + Sync {
         let _ = window;
         self.read_rows(locators, attrs)
     }
+
+    /// Binds a shared [`crate::cache::BlockCache`] to this backend's
+    /// transport, so span-batch fetches serve hits from the cache and
+    /// subtract them before issuing transport requests. Returns `true` if
+    /// this call installed the cache; the default (local backends, which
+    /// have no remote transport to cache) ignores it and returns `false`.
+    /// Wrappers forward to their inner file. A backend accepts at most one
+    /// cache for its lifetime — later calls are no-ops returning `false`.
+    fn attach_cache(&self, cache: std::sync::Arc<crate::cache::BlockCache>) -> bool {
+        let _ = cache;
+        false
+    }
 }
 
 /// Boxed files are files: lets APIs hold `Box<dyn RawFile>` (e.g. a
@@ -362,6 +374,10 @@ impl<T: RawFile + ?Sized> RawFile for Box<T> {
         window: Option<&Rect>,
     ) -> Result<Vec<Vec<f64>>> {
         (**self).read_rows_window(locators, attrs, window)
+    }
+
+    fn attach_cache(&self, cache: std::sync::Arc<crate::cache::BlockCache>) -> bool {
+        (**self).attach_cache(cache)
     }
 }
 

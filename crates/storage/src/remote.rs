@@ -51,12 +51,13 @@
 use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use pai_common::geometry::Rect;
 use pai_common::{AttrId, IoCounters, PaiError, Result, RowLocator};
 
+use crate::cache::{BlockCache, CacheConfig, CacheMode};
 use crate::column::{BinFile, PAIBIN_MAGIC};
 use crate::raw::{BlockStats, RawFile, RowHandler, ScanPartition};
 use crate::schema::Schema;
@@ -94,6 +95,13 @@ pub struct HttpOptions {
     /// (never more GETs than the static configuration would issue on the
     /// same batch).
     pub adaptive: bool,
+    /// Build a private tiered block cache for this object (see
+    /// [`crate::cache`]): span-batch hits are served locally and
+    /// subtracted *before* coalescing, so repeat visits to hot blocks
+    /// issue GETs only for the misses. `None` (the default) is uncached.
+    /// For a cache *shared* across files, wrap with
+    /// [`crate::CachedFile`] instead.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for HttpOptions {
@@ -106,6 +114,7 @@ impl Default for HttpOptions {
             backoff: Duration::from_millis(1),
             fetch_workers: 1,
             adaptive: false,
+            cache: None,
         }
     }
 }
@@ -140,6 +149,13 @@ impl HttpOptions {
     /// These options with adaptive part sizing switched on or off.
     pub fn with_adaptive(mut self, adaptive: bool) -> Self {
         self.adaptive = adaptive;
+        self
+    }
+
+    /// These options with a private tiered block cache of the given
+    /// budgets (see [`CacheConfig`]).
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
         self
     }
 }
@@ -385,6 +401,16 @@ pub struct HttpBlob {
     prefix: Vec<u8>,
     /// Adaptive-sizing state (used only when `opts.adaptive`).
     sizer: Mutex<Sizer>,
+    /// Bound block cache, if any: span-batch hits are served from it and
+    /// subtracted before coalescing. Set once, at open or attach time.
+    cache: OnceLock<CacheBinding>,
+}
+
+/// A blob's handle into a (possibly shared) block cache.
+struct CacheBinding {
+    cache: Arc<BlockCache>,
+    /// This blob's object id within the cache's registry.
+    object: u64,
 }
 
 impl std::fmt::Debug for HttpBlob {
@@ -415,12 +441,31 @@ impl HttpBlob {
         let client = HttpClient::new(addr, object.into(), opts, counters);
         let chunk = client.opts.part_bytes.clamp(4096, 1 << 20);
         let (prefix, len) = client.get_range(0, chunk)?;
-        Ok(HttpBlob {
+        let blob = HttpBlob {
             client,
             len,
             prefix,
             sizer: Mutex::new(Sizer::default()),
-        })
+            cache: OnceLock::new(),
+        };
+        if let Some(cfg) = blob.client.opts.cache.clone() {
+            blob.attach_cache(Arc::new(BlockCache::new(cfg)));
+        }
+        Ok(blob)
+    }
+
+    /// Binds a block cache to this blob's span-fetch path (at most once
+    /// per blob; later calls are no-ops returning `false`). Shared caches
+    /// key entries by object name, so two blobs opening the same object
+    /// hit each other's admissions.
+    pub fn attach_cache(&self, cache: Arc<BlockCache>) -> bool {
+        let object = cache.object_id(&self.client.object);
+        self.cache.set(CacheBinding { cache, object }).is_ok()
+    }
+
+    /// The bound block cache, if any.
+    pub fn cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.get().map(|b| &b.cache)
     }
 
     /// The leading bytes captured at open time (up to one part).
@@ -475,7 +520,24 @@ impl HttpBlob {
     /// is identical at every worker count. The naive client takes exactly
     /// this path with single-span groups — retry, backoff, and every meter
     /// are shared between the naive and coalesced modes by construction.
+    ///
+    /// Misses admit to a bound cache under [`CacheMode::Admit`]; scan
+    /// paths use [`HttpBlob::read_spans_mode`] to opt into the one-touch
+    /// streaming rule instead.
     pub fn read_spans(&self, spans: &[(u64, u64)]) -> Result<Vec<Vec<u8>>> {
+        self.read_spans_mode(spans, CacheMode::Admit)
+    }
+
+    /// [`HttpBlob::read_spans`] with an explicit cache-admission mode.
+    ///
+    /// When a cache is bound, each span is looked up first and hits are
+    /// copied straight into the output — *before* sorting, adaptive
+    /// sizing, and coalescing, so only the miss spans shape the merged
+    /// GETs. A fully-cached batch does zero HTTP work (and adds zero
+    /// fetch wall time); an empty cache leaves the request pattern
+    /// byte-identical to the uncached client. Fetched misses are then
+    /// offered back to the cache under `mode`'s admission rule.
+    pub fn read_spans_mode(&self, spans: &[(u64, u64)], mode: CacheMode) -> Result<Vec<Vec<u8>>> {
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); spans.len()];
         if spans.is_empty() {
             return Ok(out);
@@ -489,7 +551,25 @@ impl HttpBlob {
             }
         }
         let opts = &self.client.opts;
+        let counters = &self.client.counters;
+        let binding = self.cache.get();
         let mut idx: Vec<usize> = (0..spans.len()).filter(|&i| spans[i].1 > 0).collect();
+        if let Some(b) = binding {
+            idx.retain(|&i| {
+                let (off, len) = spans[i];
+                match b.cache.lookup(b.object, off, len) {
+                    Some(data) => {
+                        out[i] = data.as_ref().clone();
+                        counters.add_cache_hits(1);
+                        false
+                    }
+                    None => {
+                        counters.add_cache_misses(1);
+                        true
+                    }
+                }
+            });
+        }
         idx.sort_by_key(|&i| spans[i].0);
         let (gap, part) = if opts.adaptive && opts.coalesce {
             self.adapt_sizing(spans, &idx)
@@ -523,6 +603,12 @@ impl HttpBlob {
             .counters
             .add_fetch_wall_us(wall.elapsed().as_micros() as u64);
         result?;
+        if let Some(b) = binding {
+            for &i in &idx {
+                let (off, _) = spans[i];
+                b.cache.admit(b.object, off, &out[i], mode, counters);
+            }
+        }
         Ok(out)
     }
 
@@ -837,6 +923,10 @@ impl RawFile for HttpFile {
         window: Option<&Rect>,
     ) -> Result<Vec<Vec<f64>>> {
         self.as_raw().read_rows_window(locators, attrs, window)
+    }
+
+    fn attach_cache(&self, cache: Arc<BlockCache>) -> bool {
+        self.blob.attach_cache(cache)
     }
 }
 
@@ -1318,5 +1408,75 @@ mod tests {
         // keeps at most a handful open; assert the blob answered everything
         // without error and the pool is bounded.
         assert!(f.blob().client.pool.lock().unwrap().len() <= 8);
+    }
+
+    #[test]
+    fn cached_blob_serves_repeat_reads_without_gets() {
+        let (store, local) = serve_zone(256, 4);
+        let cached = HttpFile::open(
+            store.addr(),
+            "data.paizone",
+            HttpOptions::default().with_cache(CacheConfig::new(1 << 20, 0)),
+        )
+        .unwrap();
+        let uncached =
+            HttpFile::open(store.addr(), "data.paizone", HttpOptions::default()).unwrap();
+        let locs: Vec<RowLocator> = (40..80).map(RowLocator::new).collect();
+
+        // Cold: an empty cache leaves the GET pattern identical to the
+        // uncached client on the same batch.
+        let b0 = cached.counters().http_requests();
+        let u0 = uncached.counters().http_requests();
+        let cold = cached.read_rows(&locs, &[0, 2]).unwrap();
+        let expect = uncached.read_rows(&locs, &[0, 2]).unwrap();
+        assert_eq!(cold, expect);
+        assert_eq!(cold, local.read_rows(&locs, &[0, 2]).unwrap());
+        assert_eq!(
+            cached.counters().http_requests() - b0,
+            uncached.counters().http_requests() - u0,
+            "cold run: identical GET pattern"
+        );
+        assert!(cached.counters().cache_misses() > 0);
+        assert_eq!(cached.counters().cache_hits(), 0);
+
+        // Warm: every span hits, zero GETs issued, identical bytes.
+        let b1 = cached.counters().http_requests();
+        let warm = cached.read_rows(&locs, &[0, 2]).unwrap();
+        assert_eq!(warm, cold, "cache returns byte-identical values");
+        assert_eq!(
+            cached.counters().http_requests() - b1,
+            0,
+            "fully-cached batch does zero HTTP work"
+        );
+        assert!(cached.counters().cache_hits() > 0);
+        // Logical meters are cache-blind: both runs metered the same
+        // objects and bytes.
+        assert_eq!(
+            cached.counters().objects_read(),
+            uncached.counters().objects_read() * 2
+        );
+        // Uncached clients report no cache traffic at all.
+        assert_eq!(uncached.counters().cache_hits(), 0);
+        assert_eq!(uncached.counters().cache_misses(), 0);
+    }
+
+    #[test]
+    fn shared_cache_spans_files_opening_the_same_object() {
+        let (store, _) = serve_zone(64, 4);
+        let cache = Arc::new(BlockCache::new(CacheConfig::new(1 << 20, 0)));
+        let a = HttpFile::open(store.addr(), "data.paizone", HttpOptions::default()).unwrap();
+        let b = HttpFile::open(store.addr(), "data.paizone", HttpOptions::default()).unwrap();
+        assert!(a.attach_cache(Arc::clone(&cache)));
+        assert!(b.attach_cache(Arc::clone(&cache)), "b binds the same cache");
+        assert!(!a.attach_cache(Arc::clone(&cache)), "at most one per file");
+
+        let locs: Vec<RowLocator> = (0..16).map(RowLocator::new).collect();
+        let va = a.read_rows(&locs, &[2]).unwrap();
+        // b's reads hit what a admitted: same object name, same entries.
+        let before = b.counters().http_requests();
+        let vb = b.read_rows(&locs, &[2]).unwrap();
+        assert_eq!(va, vb);
+        assert_eq!(b.counters().http_requests() - before, 0);
+        assert!(b.counters().cache_hits() > 0);
     }
 }

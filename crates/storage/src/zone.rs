@@ -47,6 +47,7 @@ use std::sync::Arc;
 use pai_common::geometry::Rect;
 use pai_common::{AttrId, IoCounters, PaiError, Result, RowId, RowLocator};
 
+use crate::cache::CacheMode;
 use crate::fetch::{SpanFetcher, SpanMeters};
 use crate::mapped::Mapping;
 use crate::raw::{BlockStats, RawFile, Record, RowHandler, ScanPartition};
@@ -777,7 +778,7 @@ impl ZoneFile {
                     }
                 }
             }
-            fetcher.read_spans(&spans, &mut bufs, &mut m)?;
+            fetcher.read_spans(&spans, &mut bufs, &mut m, CacheMode::Stream)?;
             for (gi, &b) in group.iter().enumerate() {
                 let blk_start = b * self.block_rows as u64;
                 for (col, page) in pages.iter_mut().enumerate() {
@@ -901,7 +902,7 @@ impl ZoneFile {
                 }
                 i = j;
             }
-            fetcher.read_spans(&spans, &mut bufs, &mut sm)?;
+            fetcher.read_spans(&spans, &mut bufs, &mut sm, CacheMode::Admit)?;
             for (&(k, m, blk, first_byte), buf) in runs.iter().zip(&bufs) {
                 let meta = &self.cols[attr][blk as usize];
                 let blk_start = blk * self.block_rows as u64;

@@ -79,10 +79,10 @@ pub mod prelude {
         analytics, report, trace, ExplorationSession, Filter, Method, WindowQuery, Workload,
     };
     pub use pai_storage::{
-        convert_to_bin, convert_to_zone, write_bin, write_zone, BinFile, BlockStats, CsvFile,
-        CsvFormat, DatasetSpec, Fault, FaultPlan, HttpFile, HttpOptions, LatencyFile, MemFile,
-        ObjectStore, PointDistribution, RawFile, RowOrder, Schema, StorageBackend, ValueModel,
-        ZoneFile,
+        convert_to_bin, convert_to_zone, write_bin, write_zone, BinFile, BlockCache, BlockStats,
+        CacheConfig, CachedFile, CsvFile, CsvFormat, DatasetSpec, Fault, FaultPlan, HttpFile,
+        HttpOptions, LatencyFile, MemFile, ObjectStore, PointDistribution, RawFile, RowOrder,
+        Schema, StorageBackend, ValueModel, ZoneFile,
     };
 }
 

@@ -95,12 +95,19 @@ proptest! {
         let store = ObjectStore::serve().unwrap();
         store.put("data.paizone", convert_to_zone(&csv).unwrap());
         let http = HttpFile::open(store.addr(), "data.paizone", HttpOptions::default()).unwrap();
+        // ... and the same remote file behind the tiered block cache.
+        let cached = CachedFile::with_config(
+            Box::new(HttpFile::open(store.addr(), "data.paizone", HttpOptions::default()).unwrap()),
+            CacheConfig::new(4 << 20, 0),
+        );
+        prop_assert!(cached.is_attached(), "http backend must bind the cache");
 
         let windows = [w1, w2, w3];
         let (rc, co, cb, cl) = run_sequence(&csv, &spec, grid, &windows, phi);
         let (rb, bo, bb, bl) = run_sequence(&bin, &spec, grid, &windows, phi);
         let (rz, zo, zb, zl) = run_sequence(&zone, &spec, grid, &windows, phi);
         let (rh, ho, hb, hl) = run_sequence(&http, &spec, grid, &windows, phi);
+        let (rq, qo, qb, ql) = run_sequence(&cached, &spec, grid, &windows, phi);
 
         for (i, (((c, b), z), h)) in rc.iter().zip(&rb).zip(&rz).zip(&rh).enumerate() {
             for (((cv, bv), zv), hv) in
@@ -135,17 +142,49 @@ proptest! {
             prop_assert_eq!(c.stats.tiles_split, h.stats.tiles_split, "query {} http splits", i);
             prop_assert_eq!(c.stats.selected, b.stats.selected, "query {} selection", i);
         }
+        // The cached remote leg is indistinguishable except in transport:
+        // same answers, CIs, bounds, and trajectory as every other backend.
+        for (i, (c, q)) in rc.iter().zip(&rq).enumerate() {
+            for (cv, qv) in c.values.iter().zip(&q.values) {
+                prop_assert_eq!(cv.as_f64(), qv.as_f64(), "query {} cached answer", i);
+            }
+            for (cc, qc) in c.cis.iter().zip(&q.cis) {
+                prop_assert_eq!(cc, qc, "query {} cached CI", i);
+            }
+            prop_assert_eq!(c.error_bound, q.error_bound, "query {} cached bound", i);
+            prop_assert_eq!(
+                c.stats.tiles_processed, q.stats.tiles_processed,
+                "query {} cached trajectory", i
+            );
+        }
         // Same splits in, same tree out.
         prop_assert_eq!(cl, bl, "final leaf counts must match");
         prop_assert_eq!(cl, zl, "zone leaf count must match");
         prop_assert_eq!(cl, hl, "http leaf count must match");
+        prop_assert_eq!(cl, ql, "cached http leaf count must match");
         prop_assert_eq!(co, bo, "object meters must match");
         prop_assert_eq!(co, zo, "zone object meter must match");
         prop_assert_eq!(co, ho, "http object meter must match");
+        prop_assert_eq!(co, qo, "cached http object meter must match");
         // The remote transport is invisible to the logical meters: an HTTP
-        // zone file reads exactly the bytes its local twin reads.
+        // zone file reads exactly the bytes its local twin reads — cached
+        // or not (the cache is tier-blind to logical metering).
         prop_assert_eq!(zb, hb, "http logical bytes must equal zone's");
+        prop_assert_eq!(zb, qb, "cached http logical bytes must equal zone's");
         prop_assert!(http.counters().http_requests() > 0, "reads went over the wire");
+        // The cache can only remove transport, never add it; any span the
+        // workload revisits is already served locally on the first pass.
+        prop_assert!(
+            cached.counters().http_requests() <= http.counters().http_requests(),
+            "cached leg must never issue more GETs: {} vs {}",
+            cached.counters().http_requests(),
+            http.counters().http_requests()
+        );
+        prop_assert_eq!(
+            http.counters().cache_hits() + http.counters().cache_misses(),
+            0u64,
+            "an uncached file must report zero cache traffic"
+        );
         // The tentpole claim: binary positional reads are never more
         // expensive in bytes, and strictly cheaper once anything is read.
         prop_assert!(bb <= cb, "bin bytes {} > csv bytes {}", bb, cb);
@@ -298,6 +337,76 @@ fn http_backend_with_faults_matches_zone_exactly() {
     assert!(
         http.counters().retries() > 0,
         "the retry path carried the workload"
+    );
+}
+
+/// A remote `PaiZone` behind the tiered block cache answers exactly like
+/// its uncached twin in both a cold and a warm session; the cold session
+/// never issues more GETs than the uncached run (intra-session revisits
+/// are already served locally), and a warm re-run (fresh engine + index,
+/// same cache) goes back to the wire strictly less — here, not at all.
+#[test]
+fn cached_http_matches_zone_and_warm_rerun_stays_off_the_wire() {
+    let spec = dataset(800, 5, 4);
+    let csv = spec.build_mem(CsvFormat::default()).unwrap();
+    let zone = ZoneFile::from_bytes(convert_to_zone(&csv).unwrap()).unwrap();
+    let store = ObjectStore::serve().unwrap();
+    store.put("data.paizone", convert_to_zone(&csv).unwrap());
+    let open = || HttpFile::open(store.addr(), "data.paizone", HttpOptions::default()).unwrap();
+
+    let windows = [
+        Rect::new(100.0, 400.0, 100.0, 400.0),
+        Rect::new(300.0, 700.0, 200.0, 600.0),
+        Rect::new(100.0, 400.0, 100.0, 400.0), // a revisit, as explorers do
+    ];
+    let (rz, zo, zb, zl) = run_sequence(&zone, &spec, 4, &windows, 0.05);
+    let uncached = open();
+    let (rh, ..) = run_sequence(&uncached, &spec, 4, &windows, 0.05);
+    let uncached_gets = uncached.counters().http_requests();
+
+    let cached = CachedFile::with_config(Box::new(open()), CacheConfig::new(4 << 20, 0));
+    let (r1, o1, b1, l1) = run_sequence(&cached, &spec, 4, &windows, 0.05);
+    let cold_gets = cached.counters().http_requests();
+    let cold_misses = cached.counters().cache_misses();
+    let (r2, o2, b2, l2) = run_sequence(&cached, &spec, 4, &windows, 0.05);
+    let warm_gets = cached.counters().http_requests();
+
+    for (results, session) in [(&rh, "uncached"), (&r1, "cold"), (&r2, "warm")] {
+        for (z, c) in rz.iter().zip(results.iter()) {
+            for (zv, cv) in z.values.iter().zip(&c.values) {
+                assert_eq!(zv.as_f64(), cv.as_f64(), "{session} answers match zone's");
+            }
+            for (zc, cc) in z.cis.iter().zip(&c.cis) {
+                assert_eq!(zc, cc, "{session} CIs match zone's");
+            }
+            assert_eq!(z.error_bound, c.error_bound, "{session} bound");
+            assert_eq!(
+                z.stats.tiles_processed, c.stats.tiles_processed,
+                "{session} trajectory"
+            );
+        }
+    }
+    // Cold session answers came over the wire at least partly; the logical
+    // meters are tier-blind in both sessions.
+    assert_eq!((rz.len(), zo, zb, zl), (r1.len(), o1, b1, l1));
+    assert_eq!((zo, zb, zl), (o2, b2, l2), "warm session logical meters");
+    assert!(cold_misses > 0, "cold session actually missed");
+    assert!(cold_gets > 0, "cold session actually fetched");
+    assert!(
+        cold_gets <= uncached_gets,
+        "the cache can only remove transport: cold {cold_gets} vs uncached {uncached_gets}"
+    );
+    assert!(
+        warm_gets < cold_gets,
+        "warm re-run must go to the wire strictly less: {warm_gets} vs {cold_gets}"
+    );
+    assert_eq!(
+        warm_gets, 0,
+        "with the whole working set admitted, the warm session is wire-free"
+    );
+    assert!(
+        cached.counters().cache_hits() > 0,
+        "warm session served from the cache"
     );
 }
 

@@ -5,7 +5,11 @@
 //! holds a fetched plan for it) — while readers hammer metadata estimates.
 //! Every answer must stay sound: the deterministic CI contains the ground
 //! truth no matter how the schedules interleave, and the index invariants
-//! hold afterwards.
+//! hold afterwards. A final test races the same writer/reader mix through
+//! one *shared tiered block cache* with a deliberately tiny memory budget,
+//! so admissions, LRU evictions, disk-spill demotions, and spill re-reads
+//! interleave freely — truth containment proves no torn or misplaced
+//! block ever reaches a query.
 //!
 //! CI runs this suite in **release mode** as a dedicated step so
 //! lock-ordering and optimistic-apply bugs surface under optimized timing,
@@ -152,6 +156,126 @@ fn writers_race_exact_answering() {
     // φ = 0: every contested tile must end fully resolved despite
     // conflicting plans; answers are exact.
     stress(3, 1, 0.0, 29);
+}
+
+#[test]
+fn writers_race_over_one_shared_block_cache() {
+    // One remote zone image, one shared cache whose memory tier holds only
+    // a sliver of the working set (plus a disk-spill tier big enough for
+    // everything): 4 writers adapt a SharedIndex over a cached file while
+    // 2 readers run pruned truth scans through their *own* cached files
+    // over the same cache. Admissions, evictions, demotions to disk, and
+    // spill re-reads race constantly; every answer is checked against a
+    // local-zone ground truth, so a torn block, a span served under the
+    // wrong key, or a half-renamed spill file would surface as a wrong sum.
+    let spec = DatasetSpec {
+        rows: 12_000,
+        columns: 4,
+        seed: 41,
+        ..Default::default()
+    };
+    let csv = spec.build_mem(CsvFormat::default()).unwrap();
+    let image = convert_to_zone(&csv).unwrap();
+    let zone = ZoneFile::from_bytes(image.clone()).unwrap();
+    let store = ObjectStore::serve().unwrap();
+    let mem_budget = (image.len() / 4) as u64;
+    let disk_budget = 2 * image.len() as u64;
+    store.put("stress.paizone", image);
+    let spill = std::env::temp_dir().join(format!("pai-stress-spill-{}", std::process::id()));
+    let cache = Arc::new(BlockCache::new(
+        CacheConfig::new(mem_budget, disk_budget).with_spill_dir(spill.clone()),
+    ));
+    let open = || {
+        CachedFile::new(
+            Box::new(
+                HttpFile::open(store.addr(), "stress.paizone", HttpOptions::default()).unwrap(),
+            ),
+            Arc::clone(&cache),
+        )
+    };
+
+    let file = open();
+    let init = InitConfig {
+        grid: GridSpec::Fixed { nx: 6, ny: 6 },
+        domain: Some(spec.domain),
+        metadata: MetadataPolicy::AllNumeric,
+    };
+    let (index, _) = build(&file, &init).unwrap();
+    let config = EngineConfig {
+        adapt_batch: 4,
+        fetch_workers: 4,
+        ..EngineConfig::paper_evaluation()
+    };
+    let shared = Arc::new(SharedIndex::new(index, file, config).unwrap());
+
+    let windows: Vec<Rect> = (0..6)
+        .map(|i| {
+            let off = i as f64 * 60.0;
+            Rect::new(120.0 + off, 560.0 + off, 120.0 + off, 560.0 + off)
+        })
+        .collect();
+    let truths: Vec<f64> = windows
+        .iter()
+        .map(|w| window_truth(&zone, w, &[2]).unwrap()[0].stats.sum())
+        .collect();
+    let aggs = [AggregateFunction::Sum(2)];
+
+    std::thread::scope(|s| {
+        for writer in 0..4usize {
+            let shared = Arc::clone(&shared);
+            let (windows, truths, aggs) = (&windows, &truths, &aggs);
+            s.spawn(move || {
+                for step in 0..windows.len() * 2 {
+                    let i = (writer + step) % windows.len();
+                    let res = shared.evaluate(&windows[i], aggs, 0.05).unwrap();
+                    assert!(res.met_constraint, "writer {writer} window {i}");
+                    assert!(
+                        ci_sound(res.cis[0], truths[i]),
+                        "writer {writer} window {i}: CI {:?} lost truth {} (cache corruption?)",
+                        res.cis[0],
+                        truths[i]
+                    );
+                }
+            });
+        }
+        for reader in 0..2usize {
+            let open = &open;
+            let (windows, truths) = (&windows, &truths);
+            s.spawn(move || {
+                let f = open();
+                for step in 0..windows.len() * 2 {
+                    let i = (reader + step) % windows.len();
+                    let t = window_truth(&f, &windows[i], &[2]).unwrap()[0].stats.sum();
+                    assert_eq!(
+                        t, truths[i],
+                        "reader {reader} window {i}: torn or misplaced cached block"
+                    );
+                }
+            });
+        }
+    });
+
+    shared.with_index(|idx| idx.validate_invariants().unwrap());
+    let c = shared.file().counters();
+    assert!(c.cache_hits() > 0, "the shared cache actually served spans");
+    assert!(
+        cache.mem_used() <= mem_budget,
+        "memory budget violated: {} > {mem_budget}",
+        cache.mem_used()
+    );
+    assert!(
+        cache.disk_used() > 0,
+        "the sliver-sized memory tier must have demoted victims to disk"
+    );
+    // After the dust settles, answers are still sound through the cache.
+    for (w, &t) in windows.iter().zip(&truths) {
+        let res = shared.evaluate(w, &aggs, 0.05).unwrap();
+        assert!(res.met_constraint);
+        assert!(ci_sound(res.cis[0], t));
+    }
+    drop(shared);
+    drop(cache);
+    let _ = std::fs::remove_dir_all(&spill);
 }
 
 #[test]

@@ -15,10 +15,11 @@
 //!    stop point — while issuing **strictly fewer `read_rows` calls**
 //!    whenever any query processes two or more tiles;
 //! 3. all of this holds on every storage backend (CSV, `PaiBin`,
-//!    `PaiZone`, and `PaiZone` served over HTTP ranged GETs), and the
-//!    backends still agree with each other at every batch size —
-//!    compression, zone-map pushdown, and the remote transport are
-//!    invisible to the answers too;
+//!    `PaiZone`, `PaiZone` served over HTTP ranged GETs, and the remote
+//!    file behind the tiered block cache), and the backends still agree
+//!    with each other at every batch size — compression, zone-map
+//!    pushdown, the remote transport, and the cache tiers are invisible
+//!    to the answers too;
 //! 4. the overlapped fetch pipeline (`fetch_workers > 1`) is invisible in
 //!    the same sense: worker counts {1, 2, 8} yield identical answers,
 //!    CIs, error bounds, and trajectories on every backend, and the
@@ -339,9 +340,33 @@ proptest! {
                 "query {} http cross-backend call count", i
             );
         }
+        // The tiered block cache is invisible to the batched pipeline too:
+        // batch-1 vs batch-k equivalence holds on the cached remote file
+        // (the batched run rides a cache the sequential run warmed), and
+        // its batched run agrees with the uncached one on answers and
+        // logical meters.
+        let cached = CachedFile::with_config(
+            Box::new(HttpFile::open(store.addr(), "data.paizone", HttpOptions::default()).unwrap()),
+            CacheConfig::new(4 << 20, 0),
+        );
+        let cached_seq = run_sequence(&cached, &spec, &windows, phi, 1);
+        let cached_batch = run_sequence(&cached, &spec, &windows, phi, batch);
+        assert_batch_equivalent(&cached_seq, &cached_batch, batch);
+        for (i, (h, q)) in http_batch.results.iter().zip(&cached_batch.results).enumerate() {
+            for (hv, qv) in h.values.iter().zip(&q.values) {
+                prop_assert_eq!(hv.as_f64(), qv.as_f64(), "query {} cached cross-backend", i);
+            }
+            prop_assert_eq!(h.error_bound, q.error_bound, "query {} cached bound", i);
+            prop_assert_eq!(
+                h.stats.io.read_calls, q.stats.io.read_calls,
+                "query {} cached call count", i
+            );
+        }
         prop_assert_eq!(csv_batch.leaf_count, bin_batch.leaf_count);
         prop_assert_eq!(csv_batch.leaf_count, zone_batch.leaf_count);
         prop_assert_eq!(csv_batch.leaf_count, http_batch.leaf_count);
+        prop_assert_eq!(http_batch.leaf_count, cached_batch.leaf_count);
+        prop_assert_eq!(http_batch.objects_read, cached_batch.objects_read);
         // Zone answers the same fetch workload in fewer or equal bytes than
         // PaiBin at every batch size (bit-packed values vs 8-byte values);
         // CSV is the byte ceiling. The remote transport changes none of it.
@@ -396,6 +421,43 @@ proptest! {
             .unwrap();
             let ovl = run_sequence_overlapped(&f, &spec, &windows, phi, batch, workers);
             assert_overlap_equivalent(&http_seq, &ovl, workers);
+        }
+
+        // Cached HTTP at every worker count, one *shared* cache warming
+        // across the runs: the tiers may only remove transport — answers
+        // and per-query logical meters stay byte-identical to the
+        // sequential uncached run even when later runs are served mostly
+        // from memory.
+        let shared = std::sync::Arc::new(BlockCache::new(CacheConfig::new(4 << 20, 0)));
+        let open_cached = |workers: usize| {
+            CachedFile::new(
+                Box::new(HttpFile::open(
+                    store.addr(),
+                    "data.paizone",
+                    HttpOptions::default().with_fetch_workers(workers),
+                ).unwrap()),
+                shared.clone(),
+            )
+        };
+        let cold = open_cached(1);
+        let cached_seq = run_sequence_overlapped(&cold, &spec, &windows, phi, batch, 1);
+        assert_overlap_equivalent(&http_seq, &cached_seq, 1);
+        let cold_gets = cold.counters().http_requests();
+        for workers in [2usize, 8] {
+            let f = open_cached(workers);
+            let ovl = run_sequence_overlapped(&f, &spec, &windows, phi, batch, workers);
+            assert_overlap_equivalent(&http_seq, &ovl, workers);
+            prop_assert!(
+                f.counters().http_requests() <= cold_gets,
+                "a warm worker={} run cannot out-fetch the cold one: {} vs {}",
+                workers, f.counters().http_requests(), cold_gets
+            );
+            if cached_seq.objects_read > 0 {
+                prop_assert!(
+                    f.counters().cache_hits() > 0,
+                    "warm worker={} run served spans from the shared cache", workers
+                );
+            }
         }
     }
 
