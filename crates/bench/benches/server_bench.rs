@@ -1,0 +1,607 @@
+//! Multi-session server benchmarks: the query server's acceptance gates.
+//!
+//! Three gates run once at startup against a full remote stack — zone
+//! image on an [`ObjectStore`] with injected per-request latency, HTTP
+//! ranged GETs, one shared tiered block cache, a `SharedIndex`, and a
+//! [`PaiServer`] on top:
+//!
+//! * **bitwise** — a sequential client's served answers (values, CIs,
+//!   error bounds, met-constraint flags) are *bit-identical* to an
+//!   in-process library run of the same query sequence over an
+//!   identically-constructed fresh stack (floats compared via
+//!   `f64::to_bits`, so `-0.0` and ULP drift would fail);
+//! * **scaling** — a closed-loop fleet of clients spread zipf-style over
+//!   named map-exploration sessions finishes the same schedule at
+//!   strictly higher QPS with `workers = 4` than with `workers = 1`
+//!   (the injected GET latency is what the worker pool overlaps);
+//! * **saturation** — hundreds of clients hammer two sessions behind a
+//!   deliberately tiny queue: backpressure must answer (`Busy` frames
+//!   observed, counted, and equal to the server's own meter), every
+//!   client still completes every query (no hangs, no dropped
+//!   connections, no dropped replies), and the client-observed p99 stays
+//!   within `PAI_BENCH_SERVER_P99_MULT` × p50 (merged from per-client
+//!   log-bucketed histograms — the merge is the point).
+//!
+//! Every gated configuration's QPS, p50/p99, served/busy counts, and
+//! wall-clock land in a `BENCH_server.json` artifact at the repo root
+//! (override the path with `PAI_BENCH_SERVER_JSON_PATH`); CI archives it.
+//!
+//! The criterion group then times a warmed metadata-only query served
+//! over the wire against the same query answered in-process, with no
+//! injected latency — the protocol + scheduler overhead in isolation.
+//!
+//! Knobs: `PAI_BENCH_SERVER_SESSIONS`, `PAI_BENCH_SERVER_CLIENTS`,
+//! `PAI_BENCH_SERVER_QUERIES`, `PAI_BENCH_SERVER_QUEUE`,
+//! `PAI_BENCH_SERVER_P99_MULT`, plus `PAI_BENCH_HTTP_LATENCY_US` for the
+//! injected GET latency (floored at 500 µs for the gates).
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pai_bench::{cached_zone, server_load_knobs, small_setup, Fig2Setup, ServerLoadKnobs};
+use pai_common::geometry::Rect;
+use pai_common::{AggregateFunction, AggregateValue, Interval, LatencyHistogram};
+use pai_core::{ApproxResult, EngineConfig, SharedIndex};
+use pai_index::init::build;
+use pai_query::Workload;
+use pai_server::{PaiClient, PaiServer, ServedAnswer, ServedReply, ServerConfig};
+use pai_storage::{
+    BlockCache, CacheConfig, CachedFile, FaultPlan, HttpFile, HttpOptions, ObjectStore,
+};
+
+const OBJECT: &str = "server-bench.paizone";
+const PHI: f64 = 0.05;
+
+fn aggs() -> Vec<AggregateFunction> {
+    vec![AggregateFunction::Count, AggregateFunction::Mean(2)]
+}
+
+/// Injected per-request GET latency (`PAI_BENCH_HTTP_LATENCY_US`, floored
+/// at 500 µs) — the round-trip cost the worker pool must overlap.
+fn gate_latency() -> Duration {
+    let us = std::env::var("PAI_BENCH_HTTP_LATENCY_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0u64)
+        .max(500);
+    Duration::from_micros(us)
+}
+
+/// Serves the bench dataset's zone image on a dedicated store.
+fn serve(setup: &Fig2Setup, latency: Duration) -> ObjectStore {
+    let zone = cached_zone(&setup.spec);
+    let bytes = std::fs::read(zone.path().expect("cached zone on disk")).expect("read image");
+    let store = ObjectStore::serve_with(latency, FaultPlan::Off).expect("start object store");
+    store.put(OBJECT, bytes);
+    store
+}
+
+/// The engine configuration every stack runs — pinned (not env-derived)
+/// so the bitwise gate's two stacks are deterministic replicas.
+fn engine_cfg(setup: &Fig2Setup) -> EngineConfig {
+    EngineConfig {
+        adapt_batch: 8,
+        fetch_workers: 2,
+        cache: None, // the shared BlockCache is bound below, once per stack
+        ..setup.engine.clone()
+    }
+}
+
+/// A fresh serving stack: HTTP file over `store`, one shared block cache,
+/// a crude initial index, and the `SharedIndex` every session evaluates
+/// through. Constructed identically every call, so two stacks adapt
+/// identically under the same query sequence.
+fn fresh_stack(setup: &Fig2Setup, store: &ObjectStore) -> Arc<SharedIndex<CachedFile>> {
+    let cache = Arc::new(BlockCache::new(CacheConfig::new(64 << 20, 0)));
+    let file = CachedFile::new(
+        Box::new(HttpFile::open(store.addr(), OBJECT, HttpOptions::default()).expect("open http")),
+        cache,
+    );
+    let (index, _) = build(&file, &setup.init).expect("init");
+    Arc::new(SharedIndex::new(index, file, engine_cfg(setup)).expect("shared index"))
+}
+
+/// Session `s`'s exploration ladder, step `q`: a ~2 %-of-domain window in
+/// the session's own region of the map, panned eastward per step — the
+/// paper's analyst dragging a viewport.
+fn session_window(domain: &Rect, sessions: usize, s: usize, q: usize) -> Rect {
+    let f = s as f64 / sessions as f64;
+    Workload::centered_window(domain, 0.02)
+        .shifted(
+            (f - 0.5) * 0.6 * domain.width() + q as f64 * 0.025 * domain.width(),
+            (0.5 - f) * 0.6 * domain.height(),
+        )
+        .clamped_into(domain)
+}
+
+/// One client's closed-loop script: a named session and the windows it
+/// visits, in order.
+struct ClientPlan {
+    session: String,
+    windows: Vec<Rect>,
+}
+
+/// Builds the fleet: `clients` clients assigned to `sessions` named
+/// sessions with zipf(s = 1.2) popularity (hot sessions get many
+/// concurrent clients — the shared-cache case), each walking its
+/// session's ladder from a client-specific offset.
+fn make_plans(
+    domain: &Rect,
+    clients: usize,
+    sessions: usize,
+    queries: usize,
+    seed: u64,
+) -> Vec<ClientPlan> {
+    let weights: Vec<f64> = (1..=sessions).map(|k| 1.0 / (k as f64).powf(1.2)).collect();
+    let total: f64 = weights.iter().sum();
+    let cdf: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w / total;
+            Some(*acc)
+        })
+        .collect();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..clients)
+        .map(|c| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let s = cdf.iter().position(|&p| u <= p).unwrap_or(sessions - 1);
+            let windows = (0..queries)
+                .map(|q| session_window(domain, sessions, s, (c + q) % queries))
+                .collect();
+            ClientPlan {
+                session: format!("explorer-{s}"),
+                windows,
+            }
+        })
+        .collect()
+}
+
+/// What one closed-loop run observed, merged across every client.
+struct LoopOutcome {
+    hist: LatencyHistogram,
+    answers: u64,
+    busy: u64,
+    wall: Duration,
+}
+
+impl LoopOutcome {
+    fn qps(&self) -> f64 {
+        self.answers as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Runs every client concurrently until each has an answer for every
+/// window in its plan. `Busy` replies are counted and retried after a
+/// short sleep (the polite closed loop); a query latency spans first
+/// send → final answer, retries included, recorded into a per-client
+/// histogram and merged at the end.
+fn run_closed_loop(addr: SocketAddr, plans: &[ClientPlan]) -> LoopOutcome {
+    let aggs = aggs();
+    let t0 = Instant::now();
+    let per_client: Vec<(LatencyHistogram, u64)> = std::thread::scope(|sc| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                let aggs = &aggs;
+                sc.spawn(move || {
+                    let mut hist = LatencyHistogram::new();
+                    let mut busy = 0u64;
+                    let mut client =
+                        PaiClient::connect(addr, &plan.session).expect("connect session");
+                    for w in &plan.windows {
+                        let q0 = Instant::now();
+                        let mut attempts = 0u64;
+                        loop {
+                            match client.query(w, aggs, PHI).expect("query") {
+                                ServedReply::Answer(a) => {
+                                    assert!(a.met_constraint, "served answer missed φ");
+                                    hist.record(q0.elapsed().as_micros() as u64);
+                                    break;
+                                }
+                                ServedReply::Busy => {
+                                    busy += 1;
+                                    attempts += 1;
+                                    assert!(
+                                        attempts < 100_000,
+                                        "backpressure never cleared: the loop is hung"
+                                    );
+                                    std::thread::sleep(Duration::from_micros(100));
+                                }
+                                ServedReply::ShuttingDown => {
+                                    panic!("server drained mid-loop")
+                                }
+                            }
+                        }
+                    }
+                    (hist, busy)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed();
+    let mut merged = LatencyHistogram::new();
+    let mut busy = 0u64;
+    for (h, b) in &per_client {
+        merged.merge(h);
+        busy += b;
+    }
+    LoopOutcome {
+        answers: merged.count(),
+        hist: merged,
+        busy,
+        wall,
+    }
+}
+
+/// One gated configuration's measurements, destined for
+/// `BENCH_server.json`.
+struct BenchRow {
+    config: String,
+    workers: usize,
+    clients: usize,
+    sessions: usize,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    served: u64,
+    busy: u64,
+    wall_secs: f64,
+}
+
+/// Writes the per-config measurement artifact (hand-rolled JSON — the
+/// workspace deliberately carries no serialization dependency).
+fn write_server_json(rows: &[BenchRow]) {
+    let path = std::env::var("PAI_BENCH_SERVER_JSON_PATH").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").to_string()
+    });
+    let mut s = String::from("{\n  \"bench\": \"server\",\n  \"configs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"config\": \"{}\", \"workers\": {}, \"clients\": {}, \
+             \"sessions\": {}, \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"served\": {}, \"busy\": {}, \"wall_secs\": {:.6}}}{}\n",
+            r.config,
+            r.workers,
+            r.clients,
+            r.sessions,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.served,
+            r.busy,
+            r.wall_secs,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(&path, s).expect("write BENCH_server.json");
+    println!("server bench artifact: {path}");
+}
+
+fn bits(v: &AggregateValue) -> u64 {
+    match v {
+        AggregateValue::Count(c) => *c,
+        AggregateValue::Float(f) => f.to_bits(),
+        AggregateValue::Empty => u64::MAX,
+    }
+}
+
+fn ci_bits(ci: &Option<Interval>) -> Option<(u64, u64)> {
+    ci.as_ref().map(|i| (i.lo().to_bits(), i.hi().to_bits()))
+}
+
+/// Gate 1: a sequential served run is bit-identical to a library run of
+/// the same query sequence over an identically-constructed fresh stack.
+fn assert_served_matches_library_bitwise(
+    setup: &Fig2Setup,
+    store: &ObjectStore,
+    rows: &mut Vec<BenchRow>,
+) {
+    let domain = setup.spec.domain;
+    let windows: Vec<Rect> = (0..3)
+        .flat_map(|s| (0..8).map(move |q| (s, q)))
+        .map(|(s, q)| session_window(&domain, 3, s, q))
+        .collect();
+    let aggs = aggs();
+
+    // Served run: one worker, one session, strictly sequential — the
+    // server evaluates in exactly the order the library run will.
+    let mut server = PaiServer::serve(
+        fresh_stack(setup, store),
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serve");
+    let t0 = Instant::now();
+    let mut client = PaiClient::connect(server.addr(), "bitwise").expect("connect");
+    let served: Vec<ServedAnswer> = windows
+        .iter()
+        .map(|w| match client.query(w, &aggs, PHI).expect("query") {
+            ServedReply::Answer(a) => a,
+            other => panic!("sequential client rejected: {other:?}"),
+        })
+        .collect();
+    let wall = t0.elapsed();
+    let stats = server.stats();
+    server.shutdown();
+
+    // Library run: a second stack built the same way answers the same
+    // sequence in-process.
+    let lib_engine = fresh_stack(setup, store);
+    let lib: Vec<ApproxResult> = windows
+        .iter()
+        .map(|w| lib_engine.evaluate(w, &aggs, PHI).expect("evaluate"))
+        .collect();
+
+    for (i, (s, l)) in served.iter().zip(&lib).enumerate() {
+        assert_eq!(s.values.len(), l.values.len(), "query {i}: value count");
+        for (sv, lv) in s.values.iter().zip(&l.values) {
+            assert_eq!(bits(sv), bits(lv), "query {i}: answer bits drifted");
+        }
+        for (sc, lc) in s.cis.iter().zip(&l.cis) {
+            assert_eq!(ci_bits(sc), ci_bits(lc), "query {i}: CI bits drifted");
+        }
+        assert_eq!(
+            s.error_bound.to_bits(),
+            l.error_bound.to_bits(),
+            "query {i}: error bound drifted"
+        );
+        assert_eq!(s.met_constraint, l.met_constraint, "query {i}: φ verdict");
+    }
+    assert_eq!(stats.queries_served, windows.len() as u64);
+    assert_eq!(stats.busy_rejections, 0, "a polite client never sees Busy");
+    assert_eq!(stats.dropped_replies, 0);
+    assert_eq!(stats.errors, 0);
+    println!(
+        "server gate (bitwise): {} served answers bit-identical to the \
+         library run ({:?})",
+        windows.len(),
+        wall
+    );
+    rows.push(BenchRow {
+        config: "sequential workers=1".into(),
+        workers: 1,
+        clients: 1,
+        sessions: 1,
+        qps: windows.len() as f64 / wall.as_secs_f64(),
+        p50_us: stats.service_hist.p50_us(),
+        p99_us: stats.service_hist.p99_us(),
+        served: stats.queries_served,
+        busy: 0,
+        wall_secs: wall.as_secs_f64(),
+    });
+}
+
+/// Gate 2: the same zipf closed loop finishes at strictly higher QPS
+/// with four workers than with one — the worker pool overlaps the
+/// injected GET latency across sessions.
+fn assert_parallel_workers_win(
+    setup: &Fig2Setup,
+    store: &ObjectStore,
+    knobs: &ServerLoadKnobs,
+    rows: &mut Vec<BenchRow>,
+) {
+    let plans = make_plans(
+        &setup.spec.domain,
+        knobs.clients,
+        knobs.sessions,
+        knobs.queries_per_client,
+        99,
+    );
+    let expected = (knobs.clients * knobs.queries_per_client) as u64;
+
+    let mut outcomes = Vec::new();
+    for workers in [1usize, 4] {
+        let mut server = PaiServer::serve(
+            fresh_stack(setup, store),
+            ServerConfig {
+                workers,
+                queue_depth: 64,
+                inflight_cap: 16,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("serve");
+        let o = run_closed_loop(server.addr(), &plans);
+        let stats = server.stats();
+        server.shutdown();
+        assert_eq!(
+            o.answers, expected,
+            "workers={workers}: a query went unanswered"
+        );
+        assert_eq!(stats.queries_served, expected);
+        assert_eq!(stats.dropped_replies, 0);
+        assert_eq!(stats.errors, 0);
+        rows.push(BenchRow {
+            config: format!("closed-loop workers={workers}"),
+            workers,
+            clients: knobs.clients,
+            sessions: knobs.sessions,
+            qps: o.qps(),
+            p50_us: o.hist.p50_us(),
+            p99_us: o.hist.p99_us(),
+            served: o.answers,
+            busy: o.busy,
+            wall_secs: o.wall.as_secs_f64(),
+        });
+        outcomes.push(o);
+    }
+    let (one, four) = (&outcomes[0], &outcomes[1]);
+    assert!(
+        four.qps() > one.qps(),
+        "4 workers must out-serve 1 under remote latency: {:.1} vs {:.1} QPS",
+        four.qps(),
+        one.qps()
+    );
+    println!(
+        "server gate (scaling): workers=1 {:.1} QPS (p50 {} µs, p99 {} µs), \
+         workers=4 {:.1} QPS (p50 {} µs, p99 {} µs) — {:.2}x",
+        one.qps(),
+        one.hist.p50_us(),
+        one.hist.p99_us(),
+        four.qps(),
+        four.hist.p50_us(),
+        four.hist.p99_us(),
+        four.qps() / one.qps()
+    );
+}
+
+/// Gate 3: hundreds of clients against two sessions behind a tiny queue.
+/// Backpressure must be explicit (`Busy` frames, metered identically on
+/// both ends), nothing may hang or drop, and the merged client-observed
+/// p99 stays within `p99_mult` × p50.
+fn assert_saturation_is_graceful(
+    setup: &Fig2Setup,
+    store: &ObjectStore,
+    knobs: &ServerLoadKnobs,
+    rows: &mut Vec<BenchRow>,
+) {
+    let domain = setup.spec.domain;
+    let sessions = knobs.sessions.min(2);
+    let sat_clients = (knobs.clients * 8).max(64);
+    let mut server = PaiServer::serve(
+        fresh_stack(setup, store),
+        ServerConfig {
+            workers: 2,
+            queue_depth: knobs.queue_depth,
+            inflight_cap: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serve");
+
+    // Warm every window first (adaptation done), so the burst measures
+    // queueing under saturation rather than first-touch fetch cost.
+    let mut warmed = 0u64;
+    {
+        let mut warm = PaiClient::connect(server.addr(), "explorer-0").expect("connect");
+        for s in 0..sessions {
+            for q in 0..knobs.queries_per_client {
+                let w = session_window(&domain, sessions, s, q);
+                loop {
+                    match warm.query(&w, &aggs(), PHI).expect("warm query") {
+                        ServedReply::Answer(_) => {
+                            warmed += 1;
+                            break;
+                        }
+                        ServedReply::Busy => std::thread::sleep(Duration::from_micros(100)),
+                        ServedReply::ShuttingDown => panic!("server drained during warmup"),
+                    }
+                }
+            }
+        }
+    }
+
+    let plans = make_plans(
+        &domain,
+        sat_clients,
+        sessions,
+        knobs.queries_per_client,
+        173,
+    );
+    let expected = (sat_clients * knobs.queries_per_client) as u64;
+    let o = run_closed_loop(server.addr(), &plans);
+    let stats = server.stats();
+    server.shutdown();
+
+    assert_eq!(o.answers, expected, "a saturated client went unanswered");
+    assert_eq!(stats.queries_served, expected + warmed);
+    assert!(
+        o.busy > 0,
+        "{} clients behind a {}-deep queue must trip backpressure",
+        sat_clients,
+        knobs.queue_depth
+    );
+    assert_eq!(
+        stats.busy_rejections, o.busy,
+        "every Busy frame the clients saw is one the server metered"
+    );
+    assert_eq!(stats.dropped_replies, 0, "no reply fell on the floor");
+    assert_eq!(stats.errors, 0);
+    let (p50, p99) = (o.hist.p50_us().max(1), o.hist.p99_us());
+    assert!(
+        p99 <= knobs.p99_mult * p50,
+        "saturated tail blew the gate: p99 {} µs > {} × p50 {} µs",
+        p99,
+        knobs.p99_mult,
+        p50
+    );
+    println!(
+        "server gate (saturation): {} clients / {} sessions / queue {} → \
+         {:.1} QPS, {} busy rejections, p50 {} µs, p99 {} µs (bound {}x)",
+        sat_clients,
+        sessions,
+        knobs.queue_depth,
+        o.qps(),
+        o.busy,
+        p50,
+        p99,
+        knobs.p99_mult
+    );
+    rows.push(BenchRow {
+        config: format!("saturation queue={}", knobs.queue_depth),
+        workers: 2,
+        clients: sat_clients,
+        sessions,
+        qps: o.qps(),
+        p50_us: o.hist.p50_us(),
+        p99_us: p99,
+        served: o.answers,
+        busy: o.busy,
+        wall_secs: o.wall.as_secs_f64(),
+    });
+}
+
+fn bench_server(c: &mut Criterion) {
+    let setup = small_setup(50_000);
+    let knobs = server_load_knobs();
+    let store = serve(&setup, gate_latency());
+    let mut rows = Vec::new();
+    assert_served_matches_library_bitwise(&setup, &store, &mut rows);
+    assert_parallel_workers_win(&setup, &store, &knobs, &mut rows);
+    assert_saturation_is_graceful(&setup, &store, &knobs, &mut rows);
+    write_server_json(&rows);
+
+    // Timing: one warmed metadata-only query, served vs in-process, no
+    // injected latency — the wire + scheduler overhead in isolation.
+    let fast = serve(&setup, Duration::ZERO);
+    let window = session_window(&setup.spec.domain, 1, 0, 0);
+    let aggs = aggs();
+
+    let lib_engine = fresh_stack(&setup, &fast);
+    lib_engine.evaluate(&window, &aggs, PHI).expect("warm lib");
+
+    let server =
+        PaiServer::serve(fresh_stack(&setup, &fast), ServerConfig::default()).expect("serve");
+    let mut client = PaiClient::connect(server.addr(), "timing").expect("connect");
+    match client.query(&window, &aggs, PHI).expect("warm served") {
+        ServedReply::Answer(_) => {}
+        other => panic!("warmup rejected: {other:?}"),
+    }
+
+    let mut group = c.benchmark_group("server_roundtrip");
+    group.sample_size(20);
+    group.bench_function("library", |b| {
+        b.iter(|| lib_engine.evaluate(&window, &aggs, PHI).expect("evaluate"))
+    });
+    group.bench_function("served", |b| {
+        b.iter(|| match client.query(&window, &aggs, PHI).expect("query") {
+            ServedReply::Answer(a) => a,
+            other => panic!("rejected: {other:?}"),
+        })
+    });
+    group.finish();
+    drop(client);
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

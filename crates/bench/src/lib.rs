@@ -50,6 +50,18 @@
 //! * `PAI_BENCH_CACHE_DIR` — directory for the spill tier's block files
 //!   (default: a per-cache directory under the system temp dir, removed on
 //!   drop).
+//! * `PAI_BENCH_SERVER_SESSIONS` / `PAI_BENCH_SERVER_CLIENTS` /
+//!   `PAI_BENCH_SERVER_QUERIES` — the server load harness's closed loop:
+//!   named sessions (zipf-popular, default 6), concurrent client
+//!   connections (default 24), and queries each client issues (default 8).
+//! * `PAI_BENCH_SERVER_QUEUE` — per-session queue depth for the saturation
+//!   leg (default 2; small on purpose so backpressure actually fires).
+//! * `PAI_BENCH_SERVER_P99_MULT` — saturation-gate bound: client-observed
+//!   p99 must stay within this multiple of p50 (default 128; the histogram
+//!   buckets are powers of two, so the bound must tolerate the 2× bucket
+//!   over-estimate — an unbounded-queueing bug shows up as 1000×+).
+//! * `PAI_BENCH_SERVER_JSON_PATH` — where `server_bench` writes its
+//!   `BENCH_server.json` artifact (default: the repo root).
 //!
 //! The full knob table lives in `docs/BENCHMARKS.md`.
 
@@ -380,6 +392,42 @@ pub fn cached_file(spec: &DatasetSpec) -> Box<dyn RawFile> {
     }
 }
 
+/// Closed-loop shape of the server load harness, from the
+/// `PAI_BENCH_SERVER_*` knobs (malformed or zero values fall back to the
+/// defaults, like every other knob — never a panic mid-bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerLoadKnobs {
+    /// Distinct named sessions the clients spread over (zipf-popular).
+    pub sessions: usize,
+    /// Concurrent client connections in the closed loop.
+    pub clients: usize,
+    /// Queries each client issues before disconnecting.
+    pub queries_per_client: usize,
+    /// Per-session queue depth for the saturation leg.
+    pub queue_depth: usize,
+    /// Saturation gate: p99 must stay within this multiple of p50.
+    pub p99_mult: u64,
+}
+
+/// Reads the `PAI_BENCH_SERVER_*` knobs (see the crate docs for the
+/// defaults and `docs/BENCHMARKS.md` for the full table).
+pub fn server_load_knobs() -> ServerLoadKnobs {
+    let nonzero = |name: &str, default: u64| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or(default)
+    };
+    ServerLoadKnobs {
+        sessions: nonzero("PAI_BENCH_SERVER_SESSIONS", 6) as usize,
+        clients: nonzero("PAI_BENCH_SERVER_CLIENTS", 24) as usize,
+        queries_per_client: nonzero("PAI_BENCH_SERVER_QUERIES", 8) as usize,
+        queue_depth: nonzero("PAI_BENCH_SERVER_QUEUE", 2) as usize,
+        p99_mult: nonzero("PAI_BENCH_SERVER_P99_MULT", 128),
+    }
+}
+
 /// A smaller setup for criterion micro/mid benches (fast iterations).
 pub fn small_setup(rows: u64) -> Fig2Setup {
     let mut s = fig2_setup();
@@ -631,6 +679,60 @@ mod tests {
         std::env::remove_var("PAI_BENCH_CACHE_MEM_KB");
         std::env::remove_var("PAI_BENCH_CACHE_DISK_KB");
         std::env::remove_var("PAI_BENCH_CACHE_DIR");
+    }
+
+    #[test]
+    fn server_knobs_shape_the_load_harness() {
+        // Same contract as the other knobs: unset → default, valid value →
+        // honored, malformed/zero → default (never a panic mid-bench).
+        for name in [
+            "PAI_BENCH_SERVER_SESSIONS",
+            "PAI_BENCH_SERVER_CLIENTS",
+            "PAI_BENCH_SERVER_QUERIES",
+            "PAI_BENCH_SERVER_QUEUE",
+            "PAI_BENCH_SERVER_P99_MULT",
+        ] {
+            std::env::remove_var(name);
+        }
+        let k = server_load_knobs();
+        assert_eq!(
+            k,
+            ServerLoadKnobs {
+                sessions: 6,
+                clients: 24,
+                queries_per_client: 8,
+                queue_depth: 2,
+                p99_mult: 128,
+            }
+        );
+
+        std::env::set_var("PAI_BENCH_SERVER_SESSIONS", "3");
+        std::env::set_var("PAI_BENCH_SERVER_CLIENTS", "96");
+        std::env::set_var("PAI_BENCH_SERVER_QUERIES", "5");
+        std::env::set_var("PAI_BENCH_SERVER_QUEUE", "1");
+        std::env::set_var("PAI_BENCH_SERVER_P99_MULT", "16");
+        let k = server_load_knobs();
+        assert_eq!(k.sessions, 3);
+        assert_eq!(k.clients, 96);
+        assert_eq!(k.queries_per_client, 5);
+        assert_eq!(k.queue_depth, 1);
+        assert_eq!(k.p99_mult, 16);
+
+        // Zero would deadlock the closed loop (or fail ServerConfig
+        // validation), so it falls back like a malformed value.
+        std::env::set_var("PAI_BENCH_SERVER_QUEUE", "0");
+        assert_eq!(server_load_knobs().queue_depth, 2);
+        std::env::set_var("PAI_BENCH_SERVER_CLIENTS", "not-a-number");
+        assert_eq!(server_load_knobs().clients, 24);
+        for name in [
+            "PAI_BENCH_SERVER_SESSIONS",
+            "PAI_BENCH_SERVER_CLIENTS",
+            "PAI_BENCH_SERVER_QUERIES",
+            "PAI_BENCH_SERVER_QUEUE",
+            "PAI_BENCH_SERVER_P99_MULT",
+        ] {
+            std::env::remove_var(name);
+        }
     }
 
     #[test]

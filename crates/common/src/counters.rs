@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::hist::{AtomicHistogram, LatencyHistogram};
+
 /// Monotonic counters for raw-file access. Cheap to clone (shared handle).
 #[derive(Debug, Default, Clone)]
 pub struct IoCounters {
@@ -81,6 +83,10 @@ struct Inner {
     /// not a running total: `set_cache_mem_bytes` stores the level and
     /// `since()` passes the later snapshot's value through unchanged.
     cache_mem_bytes: AtomicU64,
+    /// Per-request fetch latency distribution (log2 µs buckets). Fed by
+    /// `add_fetch_request_us` alongside the scalar sum, so p50/p99 are
+    /// observable wherever the sum already flows.
+    fetch_hist: AtomicHistogram,
 }
 
 /// A point-in-time copy of the counter values.
@@ -127,6 +133,11 @@ pub struct IoSnapshot {
     /// Bytes resident in the cache's memory tier. A gauge, not a total:
     /// `since()` keeps the later snapshot's level as-is.
     pub cache_mem_bytes: u64,
+    /// Distribution of per-request fetch latencies over the window
+    /// (one observation per transport request, log2 µs buckets);
+    /// `fetch_hist.p50_us()` / `p99_us()` are the headline quantiles.
+    /// `since()` subtracts bucket-wise like the scalar totals.
+    pub fetch_hist: LatencyHistogram,
 }
 
 impl IoSnapshot {
@@ -160,6 +171,7 @@ impl IoSnapshot {
                 .saturating_sub(earlier.cache_spill_bytes),
             // Gauge semantics: the memory-tier level at the later snapshot.
             cache_mem_bytes: self.cache_mem_bytes,
+            fetch_hist: self.fetch_hist.since(&earlier.fetch_hist),
         }
     }
 
@@ -258,10 +270,13 @@ impl IoCounters {
             .fetch_max(n, Ordering::Relaxed);
     }
 
-    /// Records `n` microseconds spent inside one fetch request.
+    /// Records `n` microseconds spent inside one fetch request. Also
+    /// records the value as one observation in the fetch latency
+    /// histogram, so every call site gets p50/p99 for free.
     #[inline]
     pub fn add_fetch_request_us(&self, n: u64) {
         self.inner.fetch_request_us.fetch_add(n, Ordering::Relaxed);
+        self.inner.fetch_hist.record(n);
     }
 
     /// Records `n` wall-clock microseconds waited on a span-batch fetch.
@@ -401,6 +416,11 @@ impl IoCounters {
         self.inner.cache_mem_bytes.load(Ordering::Relaxed)
     }
 
+    /// Per-request fetch latency distribution so far.
+    pub fn fetch_hist(&self) -> LatencyHistogram {
+        self.inner.fetch_hist.snapshot()
+    }
+
     /// Captures current values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -423,6 +443,7 @@ impl IoCounters {
             cache_evictions: self.cache_evictions(),
             cache_spill_bytes: self.cache_spill_bytes(),
             cache_mem_bytes: self.cache_mem_bytes(),
+            fetch_hist: self.fetch_hist(),
         }
     }
 
@@ -447,6 +468,7 @@ impl IoCounters {
         self.inner.cache_evictions.store(0, Ordering::Relaxed);
         self.inner.cache_spill_bytes.store(0, Ordering::Relaxed);
         self.inner.cache_mem_bytes.store(0, Ordering::Relaxed);
+        self.inner.fetch_hist.reset();
     }
 }
 
@@ -502,6 +524,9 @@ mod tests {
         // cache_mem_bytes is a gauge: the last stored level, never a sum.
         assert_eq!(c.cache_mem_bytes(), 96);
         assert_eq!(c.snapshot().overlap_ratio(), 3.0);
+        // Every add_fetch_request_us call is one histogram observation.
+        assert_eq!(c.fetch_hist().count(), 1);
+        assert!(c.fetch_hist().p50_us() >= 900);
     }
 
     #[test]
@@ -553,6 +578,8 @@ mod tests {
         assert_eq!(d.cache_spill_bytes, 512);
         // The memory-tier gauge passes through like the in-flight peak.
         assert_eq!(d.cache_mem_bytes, 777);
+        // The histogram delta carries only the window's observations.
+        assert_eq!(d.fetch_hist.count(), 1);
         // An idle window reports no overlap.
         assert_eq!(IoSnapshot::default().overlap_ratio(), 0.0);
         // Out-of-order snapshots saturate instead of underflowing.

@@ -21,6 +21,7 @@ pub mod agg;
 pub mod counters;
 pub mod error;
 pub mod geometry;
+pub mod hist;
 pub mod interval;
 pub mod stats;
 
@@ -28,6 +29,7 @@ pub use agg::{AggregateFunction, AggregateValue};
 pub use counters::{IoCounters, IoSnapshot};
 pub use error::{PaiError, Result};
 pub use geometry::{Overlap, Point2, Rect};
+pub use hist::{AtomicHistogram, LatencyHistogram};
 pub use interval::Interval;
 pub use stats::RunningStats;
 

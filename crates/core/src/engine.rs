@@ -89,6 +89,13 @@ pub struct ProgressStep {
     pub cache_spill_bytes: u64,
     /// Bytes resident in the cache's memory tier at this point (a gauge).
     pub cache_mem_bytes: u64,
+    /// Approximate median per-request fetch latency (µs) over the
+    /// query so far, from the log2-bucketed fetch histogram (0 when no
+    /// remote fetch has run).
+    pub fetch_p50_us: u64,
+    /// Approximate 99th-percentile per-request fetch latency (µs) over
+    /// the query so far (0 when no remote fetch has run).
+    pub fetch_p99_us: u64,
 }
 
 /// Result of one approximate evaluation.
@@ -173,6 +180,8 @@ impl EvalCtx<'_> {
                 cache_evictions: 0,
                 cache_spill_bytes: 0,
                 cache_mem_bytes: 0,
+                fetch_p50_us: 0,
+                fetch_p99_us: 0,
             });
         }
         'outer: loop {
@@ -269,6 +278,8 @@ impl EvalCtx<'_> {
                         cache_evictions: io.cache_evictions,
                         cache_spill_bytes: io.cache_spill_bytes,
                         cache_mem_bytes: io.cache_mem_bytes,
+                        fetch_p50_us: io.fetch_hist.p50_us(),
+                        fetch_p99_us: io.fetch_hist.p99_us(),
                     });
                 }
                 match stop {

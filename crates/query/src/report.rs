@@ -14,7 +14,9 @@ use crate::runner::MethodRun;
 /// (read_calls, lock_wait_ms), audit a remote run (http_requests/http_bytes
 /// — the request-coalescing meters — retries, the fault-recovery meter, and
 /// fetch_inflight_peak/overlap_ratio/parts_resized — the overlapped
-/// fetch-pipeline and adaptive part-sizing meters), or trace the tiered
+/// fetch-pipeline and adaptive part-sizing meters — and
+/// fetch_p50_us/fetch_p99_us — approximate per-request latency quantiles
+/// from the log2-bucketed fetch histogram), or trace the tiered
 /// block cache (cache_hits/cache_misses/cache_evictions/cache_spill_bytes
 /// are per-query deltas; cache_mem_bytes is the memory-tier level after the
 /// query — a gauge, not a delta).
@@ -25,6 +27,7 @@ pub fn to_csv(runs: &[MethodRun]) -> String {
             ",{l}_time_ms,{l}_objects,{l}_bytes,{l}_read_calls,{l}_blocks_read,\
              {l}_blocks_skipped,{l}_http_requests,{l}_http_bytes,{l}_retries,\
              {l}_fetch_inflight_peak,{l}_overlap_ratio,{l}_parts_resized,\
+             {l}_fetch_p50_us,{l}_fetch_p99_us,\
              {l}_cache_hits,{l}_cache_misses,{l}_cache_evictions,\
              {l}_cache_spill_bytes,{l}_cache_mem_bytes,{l}_lock_wait_ms",
             l = r.label
@@ -38,7 +41,7 @@ pub fn to_csv(runs: &[MethodRun]) -> String {
         for r in runs {
             match r.records.get(i) {
                 Some(rec) => out.push_str(&format!(
-                    ",{:.3},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{:.3}",
+                    ",{:.3},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{},{},{:.3}",
                     rec.elapsed.as_secs_f64() * 1e3,
                     rec.objects_read,
                     rec.bytes_read,
@@ -51,6 +54,8 @@ pub fn to_csv(runs: &[MethodRun]) -> String {
                     rec.fetch_inflight_peak,
                     rec.overlap_ratio,
                     rec.parts_resized,
+                    rec.fetch_hist.p50_us(),
+                    rec.fetch_hist.p99_us(),
                     rec.cache_hits,
                     rec.cache_misses,
                     rec.cache_evictions,
@@ -58,7 +63,7 @@ pub fn to_csv(runs: &[MethodRun]) -> String {
                     rec.cache_mem_bytes,
                     rec.lock_wait.as_secs_f64() * 1e3
                 )),
-                None => out.push_str(",,,,,,,,,,,,,,,,,,"),
+                None => out.push_str(",,,,,,,,,,,,,,,,,,,,"),
             }
         }
         out.push('\n');
@@ -266,6 +271,7 @@ mod tests {
                 fetch_inflight_peak: 1,
                 overlap_ratio: 1.0,
                 parts_resized: 0,
+                fetch_hist: pai_common::LatencyHistogram::new(),
                 cache_hits: 0,
                 cache_misses: 0,
                 cache_evictions: 0,
@@ -301,18 +307,20 @@ mod tests {
             "query,exact_time_ms,exact_objects,exact_bytes,exact_read_calls,exact_blocks_read,\
              exact_blocks_skipped,exact_http_requests,exact_http_bytes,exact_retries,\
              exact_fetch_inflight_peak,exact_overlap_ratio,exact_parts_resized,\
+             exact_fetch_p50_us,exact_fetch_p99_us,\
              exact_cache_hits,exact_cache_misses,exact_cache_evictions,\
              exact_cache_spill_bytes,exact_cache_mem_bytes,\
              exact_lock_wait_ms,phi=5%_time_ms,phi=5%_objects,phi=5%_bytes,\
              phi=5%_read_calls,phi=5%_blocks_read,phi=5%_blocks_skipped,phi=5%_http_requests,\
              phi=5%_http_bytes,phi=5%_retries,phi=5%_fetch_inflight_peak,phi=5%_overlap_ratio,\
-             phi=5%_parts_resized,phi=5%_cache_hits,phi=5%_cache_misses,phi=5%_cache_evictions,\
+             phi=5%_parts_resized,phi=5%_fetch_p50_us,phi=5%_fetch_p99_us,\
+             phi=5%_cache_hits,phi=5%_cache_misses,phi=5%_cache_evictions,\
              phi=5%_cache_spill_bytes,phi=5%_cache_mem_bytes,phi=5%_lock_wait_ms"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "1,10.000,100,4096,2,4,1,3,512,1,1,1.000,0,0,0,0,0,0,0.000,\
-             5.000,50,2048,2,4,1,3,512,1,1,1.000,0,0,0,0,0,0,0.000"
+            "1,10.000,100,4096,2,4,1,3,512,1,1,1.000,0,0,0,0,0,0,0,0,0.000,\
+             5.000,50,2048,2,4,1,3,512,1,1,1.000,0,0,0,0,0,0,0,0,0.000"
         );
         assert_eq!(csv.lines().count(), 3);
     }

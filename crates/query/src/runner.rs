@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use pai_common::{AggregateValue, PaiError, Result};
+use pai_common::{AggregateValue, LatencyHistogram, PaiError, Result};
 use pai_core::{ApproximateEngine, EngineConfig};
 use pai_index::init::{build, InitConfig};
 use pai_index::ExactEngine;
@@ -78,6 +78,12 @@ pub struct QueryRecord {
     /// Bytes resident in the cache's memory tier when the query finished
     /// (a gauge, not a per-query total).
     pub cache_mem_bytes: u64,
+    /// Distribution of per-request fetch latencies during this query
+    /// (one observation per transport request; empty on local
+    /// backends). Mergeable across records via
+    /// [`LatencyHistogram::merge`]; `fetch_hist.p50_us()` /
+    /// `p99_us()` feed the report CSV.
+    pub fetch_hist: LatencyHistogram,
     /// Time spent waiting on index locks (zero for single-owner engines).
     pub lock_wait: Duration,
     pub selected: u64,
@@ -188,6 +194,17 @@ impl MethodRun {
         self.records.iter().map(|r| r.lock_wait).sum()
     }
 
+    /// All per-query fetch latency histograms merged into one run-level
+    /// distribution — p50/p99 over every transport request the run
+    /// issued, regardless of which query issued it.
+    pub fn fetch_hist(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for r in &self.records {
+            h.merge(&r.fetch_hist);
+        }
+        h
+    }
+
     /// Per-query evaluation times in seconds (the Figure 2 series).
     pub fn time_series_secs(&self) -> Vec<f64> {
         self.records
@@ -245,6 +262,7 @@ pub fn run_workload(
                     cache_evictions: res.stats.io.cache_evictions,
                     cache_spill_bytes: res.stats.io.cache_spill_bytes,
                     cache_mem_bytes: res.stats.io.cache_mem_bytes,
+                    fetch_hist: res.stats.io.fetch_hist,
                     lock_wait: res.stats.lock_wait,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,
@@ -283,6 +301,7 @@ pub fn run_workload(
                     cache_evictions: res.stats.io.cache_evictions,
                     cache_spill_bytes: res.stats.io.cache_spill_bytes,
                     cache_mem_bytes: res.stats.io.cache_mem_bytes,
+                    fetch_hist: res.stats.io.fetch_hist,
                     lock_wait: res.stats.lock_wait,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,

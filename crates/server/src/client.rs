@@ -1,0 +1,151 @@
+//! A small blocking client for the query server.
+//!
+//! One [`PaiClient`] is one connection bound to one named session. The
+//! protocol is strictly request/response per connection, so the client
+//! is a thin send-frame/read-frame wrapper; the interesting state
+//! (queues, in-flight caps) all lives server-side.
+
+use std::net::{SocketAddr, TcpStream};
+
+use pai_common::{AggregateFunction, AggregateValue, Interval, PaiError, Rect, Result};
+use pai_storage::netio::{write_frame, ConnBuf};
+
+use crate::protocol::{Request, Response, PROTOCOL_VERSION};
+
+/// A served answer, decoded from the wire. Field for field this mirrors
+/// the library's `ApproxResult` (values and CIs bit-identical), plus
+/// the server-side service time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedAnswer {
+    /// Aggregate values, bit-identical to the library result.
+    pub values: Vec<AggregateValue>,
+    /// Confidence interval per aggregate (`None` for empty selections).
+    pub cis: Vec<Option<Interval>>,
+    /// Achieved upper error bound.
+    pub error_bound: f64,
+    /// Whether the φ constraint was met.
+    pub met_constraint: bool,
+    /// Server-side enqueue→answered time, µs.
+    pub server_us: u64,
+}
+
+/// What the server said to one query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServedReply {
+    /// The query was evaluated.
+    Answer(ServedAnswer),
+    /// Backpressure: the session queue was full; retry later.
+    Busy,
+    /// The server is draining and no longer accepts queries.
+    ShuttingDown,
+}
+
+/// One connection to a [`PaiServer`](crate::PaiServer), attached to a
+/// named session.
+pub struct PaiClient {
+    writer: TcpStream,
+    reader: TcpStream,
+    buf: ConnBuf,
+    next_id: u64,
+    session_id: u64,
+}
+
+impl PaiClient {
+    /// Connects and performs the `Hello` handshake for `session`.
+    pub fn connect(addr: SocketAddr, session: &str) -> Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = writer.try_clone()?;
+        let mut client = PaiClient {
+            writer,
+            reader,
+            buf: ConnBuf::new(),
+            next_id: 1,
+            session_id: 0,
+        };
+        client.send(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            session: session.to_string(),
+        })?;
+        match client.recv()? {
+            Response::HelloOk { session_id, .. } => {
+                client.session_id = session_id;
+                Ok(client)
+            }
+            Response::Error { msg, .. } => Err(PaiError::unsupported(msg)),
+            other => Err(PaiError::internal(format!(
+                "unexpected handshake reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// The server-assigned id of this connection's session.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Sends one query and blocks for the server's verdict (answer,
+    /// busy, or shutting down). Engine and protocol errors surface as
+    /// `Err`.
+    pub fn query(
+        &mut self,
+        window: &Rect,
+        aggs: &[AggregateFunction],
+        phi: f64,
+    ) -> Result<ServedReply> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request::Query {
+            id,
+            window: *window,
+            phi,
+            aggs: aggs.to_vec(),
+        })?;
+        match self.recv()? {
+            Response::Answer {
+                id: rid,
+                values,
+                cis,
+                error_bound,
+                met_constraint,
+                server_us,
+            } => {
+                if rid != id {
+                    return Err(PaiError::internal(format!(
+                        "answer for query {rid}, expected {id}"
+                    )));
+                }
+                Ok(ServedReply::Answer(ServedAnswer {
+                    values,
+                    cis,
+                    error_bound,
+                    met_constraint,
+                    server_us,
+                }))
+            }
+            Response::Busy { .. } => Ok(ServedReply::Busy),
+            Response::ShuttingDown { .. } => Ok(ServedReply::ShuttingDown),
+            Response::Error { msg, .. } => Err(PaiError::internal(msg)),
+            Response::HelloOk { .. } => Err(PaiError::internal("unexpected HelloOk mid-session")),
+        }
+    }
+
+    /// Sends the polite close marker (dropping the client works too).
+    pub fn close(mut self) -> Result<()> {
+        self.send(&Request::Close)
+    }
+
+    fn send(&mut self, req: &Request) -> Result<()> {
+        write_frame(&mut self.writer, &req.encode())?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response> {
+        match self.buf.read_frame(&mut self.reader)? {
+            Some(frame) => Response::decode(frame),
+            None => Err(PaiError::internal(
+                "server closed the connection mid-request",
+            )),
+        }
+    }
+}

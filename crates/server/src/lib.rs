@@ -1,0 +1,277 @@
+//! `pai-server`: multi-session socket serving for the partial adaptive
+//! index.
+//!
+//! The paper's scenario is many analysts exploring one large file
+//! concurrently; this crate turns the workspace's in-process
+//! [`SharedIndex`](pai_core::SharedIndex) into exactly that — a
+//! threaded TCP server where each analyst is a *named session* with a
+//! bounded query queue, a worker pool feeds every query through the
+//! optimistic plan/fetch/apply seam (so one session's adaptation
+//! writes interleave with all other sessions' reads), and admission
+//! control answers overload with an explicit `Busy` frame instead of
+//! unbounded queueing.
+//!
+//! - [`PaiServer`] — acceptor + scheduler + worker pool ([`server`]).
+//! - [`PaiClient`] — a small blocking client ([`client`]).
+//! - [`protocol`] — the length-prefixed binary wire format (framing is
+//!   shared with the object store via `pai_storage::netio`).
+//!
+//! Served answers are **bit-identical** to library answers: floats
+//! travel as `f64::to_bits`, and the load harness
+//! (`crates/bench/benches/server_bench.rs`) gates on equality against
+//! an in-process run of the same workload. See `docs/SERVER.md` for
+//! the protocol and lifecycle reference.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{PaiClient, ServedAnswer, ServedReply};
+pub use server::{PaiServer, ServeEngine, ServerConfig, ServerStats};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use pai_common::{AggregateFunction, Rect};
+    use pai_core::{EngineConfig, SharedIndex};
+    use pai_index::init::{build, GridSpec, InitConfig};
+    use pai_index::MetadataPolicy;
+    use pai_storage::{CsvFormat, DatasetSpec, MemFile};
+
+    use super::*;
+
+    fn shared_engine(rows: u64, seed: u64) -> (Arc<SharedIndex<MemFile>>, Rect) {
+        let spec = DatasetSpec {
+            rows,
+            columns: 4,
+            seed,
+            ..Default::default()
+        };
+        let file = spec.build_mem(CsvFormat::default()).unwrap();
+        let init = InitConfig {
+            grid: GridSpec::Fixed { nx: 5, ny: 5 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let (index, _) = build(&file, &init).unwrap();
+        let shared = SharedIndex::new(index, file, EngineConfig::paper_evaluation()).unwrap();
+        let window = Rect::new(150.0, 550.0, 150.0, 550.0);
+        (Arc::new(shared), window)
+    }
+
+    #[test]
+    fn served_answers_match_library_answers_bitwise() {
+        let (engine, window) = shared_engine(3000, 7);
+        let server = PaiServer::serve(engine.clone(), ServerConfig::default()).unwrap();
+        let aggs = [AggregateFunction::Count, AggregateFunction::Mean(2)];
+
+        let mut client = PaiClient::connect(server.addr(), "bitwise").unwrap();
+        let served = match client.query(&window, &aggs, 0.05).unwrap() {
+            ServedReply::Answer(a) => a,
+            other => panic!("expected an answer, got {other:?}"),
+        };
+        assert!(served.met_constraint);
+
+        // The library run AFTER the served query sees the same (now
+        // adapted) index state, so both answer from identical metadata.
+        let lib = engine.evaluate(&window, &aggs, 0.05).unwrap();
+        assert_eq!(served.values, lib.values);
+        assert_eq!(served.cis, lib.cis);
+    }
+
+    #[test]
+    fn sessions_are_shared_by_name_and_capped() {
+        let (engine, _) = shared_engine(1500, 11);
+        let server = PaiServer::serve(
+            engine,
+            ServerConfig {
+                max_sessions: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let a = PaiClient::connect(server.addr(), "alpha").unwrap();
+        let b = PaiClient::connect(server.addr(), "alpha").unwrap();
+        // Two connections naming the same session share one id.
+        assert_eq!(a.session_id(), b.session_id());
+        let c = PaiClient::connect(server.addr(), "beta").unwrap();
+        assert_ne!(a.session_id(), c.session_id());
+        // The cap counts distinct names, so a third name is refused.
+        assert!(PaiClient::connect(server.addr(), "gamma").is_err());
+        assert_eq!(server.stats().sessions_opened, 2);
+    }
+
+    #[test]
+    fn query_before_hello_is_a_protocol_error() {
+        use pai_storage::netio::{write_frame, ConnBuf};
+        use std::net::TcpStream;
+
+        let (engine, window) = shared_engine(1500, 13);
+        let server = PaiServer::serve(engine, ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let q = protocol::Request::Query {
+            id: 5,
+            window,
+            phi: 0.05,
+            aggs: vec![AggregateFunction::Count],
+        };
+        write_frame(&mut stream, &q.encode()).unwrap();
+        let mut buf = ConnBuf::new();
+        let frame = buf.read_frame(&mut stream).unwrap().unwrap();
+        match protocol::Response::decode(frame).unwrap() {
+            protocol::Response::Error { id, msg } => {
+                assert_eq!(id, 5);
+                assert!(msg.contains("Hello"), "{msg}");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        use pai_storage::netio::{write_frame, ConnBuf};
+        use std::net::TcpStream;
+
+        let (engine, _) = shared_engine(1500, 19);
+        let server = PaiServer::serve(engine, ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let hello = protocol::Request::Hello {
+            version: protocol::PROTOCOL_VERSION + 1,
+            session: "x".into(),
+        };
+        write_frame(&mut stream, &hello.encode()).unwrap();
+        let mut buf = ConnBuf::new();
+        let frame = buf.read_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(
+            protocol::Response::decode(frame).unwrap(),
+            protocol::Response::Error { .. }
+        ));
+    }
+
+    #[test]
+    fn full_queue_yields_busy_and_recovers() {
+        let (engine, window) = shared_engine(4000, 23);
+        // One worker, one in-flight, queue of one: the third rapid-fire
+        // query from a second connection must see Busy.
+        let server = PaiServer::serve(
+            engine,
+            ServerConfig {
+                workers: 1,
+                queue_depth: 1,
+                inflight_cap: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let aggs = [AggregateFunction::Sum(2)];
+
+        // Fire queries from several raw connections on one session
+        // without waiting for answers, so the queue genuinely fills.
+        use pai_storage::netio::{write_frame, ConnBuf};
+        use std::net::TcpStream;
+        let mut conns = Vec::new();
+        for _ in 0..6 {
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            let hello = protocol::Request::Hello {
+                version: protocol::PROTOCOL_VERSION,
+                session: "burst".into(),
+            };
+            write_frame(&mut stream, &hello.encode()).unwrap();
+            let mut buf = ConnBuf::new();
+            let frame = buf.read_frame(&mut stream).unwrap().unwrap();
+            assert!(matches!(
+                protocol::Response::decode(frame).unwrap(),
+                protocol::Response::HelloOk { .. }
+            ));
+            let q = protocol::Request::Query {
+                id: 1,
+                window,
+                phi: 0.02,
+                aggs: aggs.to_vec(),
+            };
+            write_frame(&mut stream, &q.encode()).unwrap();
+            conns.push((stream, buf));
+        }
+        // Every connection gets exactly one reply: Answer or Busy, no
+        // hangs and no dropped connections.
+        let mut answers = 0u64;
+        let mut busy = 0u64;
+        for (mut stream, mut buf) in conns {
+            let frame = buf.read_frame(&mut stream).unwrap().unwrap();
+            match protocol::Response::decode(frame).unwrap() {
+                protocol::Response::Answer { .. } => answers += 1,
+                protocol::Response::Busy { .. } => busy += 1,
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert_eq!(answers + busy, 6);
+        assert!(busy > 0, "a 1-deep queue must reject a 6-query burst");
+        assert_eq!(server.stats().busy_rejections, busy);
+
+        // Backpressure is transient: a polite client succeeds afterwards.
+        let mut client = PaiClient::connect(server.addr(), "burst").unwrap();
+        assert!(matches!(
+            client.query(&window, &aggs, 0.05).unwrap(),
+            ServedReply::Answer(_)
+        ));
+    }
+
+    #[test]
+    fn shutdown_drains_and_rejects_late_queries() {
+        let (engine, window) = shared_engine(3000, 29);
+        let mut server = PaiServer::serve(
+            engine,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let aggs = [AggregateFunction::Mean(2)];
+        let mut client = PaiClient::connect(server.addr(), "drain").unwrap();
+        assert!(matches!(
+            client.query(&window, &aggs, 0.05).unwrap(),
+            ServedReply::Answer(_)
+        ));
+        server.shutdown();
+        // Queries after shutdown are refused, not hung: either the
+        // scheduler answers ShuttingDown or the connection is gone.
+        match client.query(&window, &aggs, 0.05) {
+            Ok(ServedReply::ShuttingDown) | Err(_) => {}
+            other => panic!("expected shutdown rejection, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.queries_served, 1);
+        assert!(stats.service_hist.count() >= 1);
+        // Shutdown is idempotent.
+        server.shutdown();
+    }
+
+    #[test]
+    fn config_validation_rejects_zeroes() {
+        let (engine, _) = shared_engine(1000, 31);
+        for bad in [
+            ServerConfig {
+                workers: 0,
+                ..ServerConfig::default()
+            },
+            ServerConfig {
+                queue_depth: 0,
+                ..ServerConfig::default()
+            },
+            ServerConfig {
+                inflight_cap: 0,
+                ..ServerConfig::default()
+            },
+            ServerConfig {
+                max_sessions: 0,
+                ..ServerConfig::default()
+            },
+        ] {
+            assert!(PaiServer::serve(engine.clone(), bad).is_err());
+        }
+    }
+}

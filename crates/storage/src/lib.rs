@@ -78,6 +78,7 @@ pub mod gen;
 pub mod ground_truth;
 pub mod latency;
 pub mod mapped;
+pub mod netio;
 pub mod objstore;
 pub mod raw;
 pub mod remote;
@@ -92,6 +93,7 @@ pub use csv::{CsvFormat, CsvWriter};
 pub use gen::{DatasetSpec, PointDistribution, RowOrder, ValueModel};
 pub use latency::LatencyFile;
 pub use mapped::Mapping;
+pub use netio::{write_frame, ConnBuf, MAX_FRAME_BYTES};
 pub use objstore::{Fault, FaultPlan, ObjectStore};
 pub use raw::{BlockStats, CsvFile, MemFile, RawFile, Record, ScanPartition};
 pub use remote::{HttpBlob, HttpFile, HttpOptions};

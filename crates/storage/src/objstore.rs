@@ -30,7 +30,10 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::fmt::Write as _;
+use std::io::{BufReader, Write};
+
+use crate::netio::ConnBuf;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -259,23 +262,26 @@ struct Request {
     close: bool,
 }
 
-/// Reads and parses one request off the stream. `Ok(None)` = clean EOF
+/// Reads and parses one request off the stream, reusing `buf`'s
+/// scratch line between requests (the connection loop's only per-request
+/// allocation is the object path itself). `Ok(None)` = clean EOF
 /// (client closed the keep-alive connection).
-fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut ConnBuf,
+) -> std::io::Result<Option<Request>> {
+    let Some(line) = buf.read_line(reader)? else {
         return Ok(None);
-    }
+    };
     let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
+    let method_is_get = parts.next() == Some("GET");
     let path = parts.next().unwrap_or("").to_string();
     let mut range = None;
     let mut close = false;
     loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
+        let Some(header) = buf.read_line(reader)? else {
             return Ok(None);
-        }
+        };
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -290,7 +296,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Req
             }
         }
     }
-    if method != "GET" {
+    if !method_is_get {
         // Signal unsupported methods with an empty name; the responder
         // turns that into a 405.
         return Ok(Some(Request {
@@ -341,11 +347,14 @@ fn serve_connection(stream: TcpStream, state: &Shared) {
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    // One scratch buffer per connection; every request on the keep-alive
+    // loop reuses it instead of allocating fresh line/head strings.
+    let mut buf = ConnBuf::new();
     loop {
         if state.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let req = match read_request(&mut reader) {
+        let req = match read_request(&mut reader, &mut buf) {
             Ok(Some(req)) => req,
             Ok(None) | Err(_) => return,
         };
@@ -392,7 +401,8 @@ fn serve_connection(stream: TcpStream, state: &Shared) {
             Some((a, b)) if a < total => ("206 Partial Content", a, b.min(total - 1)),
             Some(_) => {
                 let conn = if req.close { "close" } else { "keep-alive" };
-                let msg = format!("HTTP/1.1 416 Range Not Satisfiable\r\nContent-Range: bytes */{total}\r\nContent-Length: 0\r\nConnection: {conn}\r\n\r\n");
+                let msg = buf.head_scratch();
+                let _ = write!(msg, "HTTP/1.1 416 Range Not Satisfiable\r\nContent-Range: bytes */{total}\r\nContent-Length: 0\r\nConnection: {conn}\r\n\r\n");
                 if writer.write_all(msg.as_bytes()).is_err() || req.close {
                     return;
                 }
@@ -412,7 +422,9 @@ fn serve_connection(stream: TcpStream, state: &Shared) {
             _ => advertised,
         };
         let conn = if req.close { "close" } else { "keep-alive" };
-        let head = format!(
+        let head = buf.head_scratch();
+        let _ = write!(
+            head,
             "HTTP/1.1 {status}\r\nContent-Length: {advertised}\r\nContent-Range: bytes {start}-{end}/{total}\r\nAccept-Ranges: bytes\r\nConnection: {conn}\r\n\r\n",
         );
         if writer.write_all(head.as_bytes()).is_err()
@@ -430,7 +442,7 @@ fn serve_connection(stream: TcpStream, state: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Read;
+    use std::io::{BufRead, Read};
 
     /// Minimal raw client for exercising the server without the real
     /// `HttpFile` client (which has its own tests).

@@ -49,6 +49,7 @@
 //! | [`pai_index`] | VALINOR tile index: init, exact adaptation, metadata |
 //! | [`pai_core`] | the paper's contribution: CIs, error bounds, partial adaptation |
 //! | [`pai_query`] | exploration model: sessions, workloads, analytics, runners |
+//! | [`pai_server`] | multi-session socket server over `SharedIndex` with admission control |
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
@@ -57,14 +58,15 @@ pub use pai_common;
 pub use pai_core;
 pub use pai_index;
 pub use pai_query;
+pub use pai_server;
 pub use pai_storage;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use pai_common::geometry::{Point2, Rect};
     pub use pai_common::{
-        AggregateFunction, AggregateValue, Interval, IoCounters, IoSnapshot, PaiError, Result,
-        RowLocator, RunningStats,
+        AggregateFunction, AggregateValue, AtomicHistogram, Interval, IoCounters, IoSnapshot,
+        LatencyHistogram, PaiError, Result, RowLocator, RunningStats,
     };
     pub use pai_core::{
         ApproxResult, ApproximateEngine, EagerRefinement, EngineConfig, NormalizationMode,
@@ -77,6 +79,9 @@ pub mod prelude {
     };
     pub use pai_query::{
         analytics, report, trace, ExplorationSession, Filter, Method, WindowQuery, Workload,
+    };
+    pub use pai_server::{
+        PaiClient, PaiServer, ServeEngine, ServedAnswer, ServedReply, ServerConfig, ServerStats,
     };
     pub use pai_storage::{
         convert_to_bin, convert_to_zone, write_bin, write_zone, BinFile, BlockCache, BlockStats,
