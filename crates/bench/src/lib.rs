@@ -62,6 +62,14 @@
 //!   over-estimate — an unbounded-queueing bug shows up as 1000×+).
 //! * `PAI_BENCH_SERVER_JSON_PATH` — where `server_bench` writes its
 //!   `BENCH_server.json` artifact (default: the repo root).
+//! * `PAI_BENCH_SYNOPSIS_BUCKETS` / `PAI_BENCH_SYNOPSIS_SAMPLES` —
+//!   per-block synopsis build parameters for the synopsis gates: equi-width
+//!   histogram buckets per column (default 8, min 1) and row samples
+//!   retained per block (default 4; `0` disables sampling).
+//! * `PAI_BENCH_SYNOPSIS_PHI` — the CI target φ the synopsis gates answer
+//!   under (default 0.05; malformed or non-positive values fall back).
+//! * `PAI_BENCH_SYNOPSIS_JSON_PATH` — where `synopsis_bench` writes its
+//!   `BENCH_synopsis.json` artifact (default: the repo root).
 //!
 //! The full knob table lives in `docs/BENCHMARKS.md`.
 
@@ -75,8 +83,8 @@ use pai_index::MetadataPolicy;
 use pai_query::Workload;
 use pai_storage::{
     BinFile, CacheConfig, CachedFile, CsvFile, CsvFormat, DatasetSpec, FaultPlan, HttpFile,
-    HttpOptions, LatencyFile, ObjectStore, PointDistribution, RawFile, StorageBackend, ValueModel,
-    ZoneFile,
+    HttpOptions, LatencyFile, ObjectStore, PointDistribution, RawFile, StorageBackend,
+    SynopsisSpec, ValueModel, ZoneFile,
 };
 
 /// Everything a Figure 2 style run needs.
@@ -390,6 +398,38 @@ pub fn cached_file(spec: &DatasetSpec) -> Box<dyn RawFile> {
             }
         }
     }
+}
+
+/// Per-block synopsis build parameters for the synopsis gates, from
+/// `PAI_BENCH_SYNOPSIS_BUCKETS` (histogram buckets per column, default 8,
+/// floored at 1) and `PAI_BENCH_SYNOPSIS_SAMPLES` (row samples per block,
+/// default 4; `0` disables sampling). Malformed values fall back to the
+/// defaults (never a panic mid-bench); the PaiZone encoder clamps to its
+/// format caps.
+pub fn synopsis_spec() -> SynopsisSpec {
+    let default = SynopsisSpec::default();
+    SynopsisSpec {
+        buckets: std::env::var("PAI_BENCH_SYNOPSIS_BUCKETS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&b| b >= 1)
+            .unwrap_or(default.buckets),
+        sample_rows: std::env::var("PAI_BENCH_SYNOPSIS_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default.sample_rows),
+    }
+}
+
+/// The CI target φ the synopsis gates answer under, from
+/// `PAI_BENCH_SYNOPSIS_PHI` (default 0.05; malformed, non-positive, or
+/// non-finite values fall back to the default).
+pub fn synopsis_phi() -> f64 {
+    std::env::var("PAI_BENCH_SYNOPSIS_PHI")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&p: &f64| p > 0.0 && p.is_finite())
+        .unwrap_or(0.05)
 }
 
 /// Closed-loop shape of the server load harness, from the
@@ -730,6 +770,49 @@ mod tests {
             "PAI_BENCH_SERVER_QUERIES",
             "PAI_BENCH_SERVER_QUEUE",
             "PAI_BENCH_SERVER_P99_MULT",
+        ] {
+            std::env::remove_var(name);
+        }
+    }
+
+    #[test]
+    fn synopsis_knobs_shape_the_gates() {
+        // Same contract as the other knobs: unset → default, valid value →
+        // honored, malformed/zero-bucket → default (never a panic
+        // mid-bench).
+        for name in [
+            "PAI_BENCH_SYNOPSIS_BUCKETS",
+            "PAI_BENCH_SYNOPSIS_SAMPLES",
+            "PAI_BENCH_SYNOPSIS_PHI",
+        ] {
+            std::env::remove_var(name);
+        }
+        assert_eq!(synopsis_spec(), SynopsisSpec::default());
+        assert_eq!(synopsis_phi(), 0.05);
+
+        std::env::set_var("PAI_BENCH_SYNOPSIS_BUCKETS", "32");
+        std::env::set_var("PAI_BENCH_SYNOPSIS_SAMPLES", "0");
+        std::env::set_var("PAI_BENCH_SYNOPSIS_PHI", "0.1");
+        let spec = synopsis_spec();
+        assert_eq!(spec.buckets, 32);
+        assert_eq!(spec.sample_rows, 0, "zero samples = sampling off");
+        assert_eq!(synopsis_phi(), 0.1);
+
+        // Zero buckets would make the histograms meaningless; it falls back
+        // like a malformed value. A non-positive or non-finite φ falls back
+        // too (the gates must always have a real target to answer under).
+        std::env::set_var("PAI_BENCH_SYNOPSIS_BUCKETS", "0");
+        assert_eq!(synopsis_spec().buckets, SynopsisSpec::default().buckets);
+        std::env::set_var("PAI_BENCH_SYNOPSIS_BUCKETS", "not-a-number");
+        assert_eq!(synopsis_spec().buckets, SynopsisSpec::default().buckets);
+        std::env::set_var("PAI_BENCH_SYNOPSIS_PHI", "-0.05");
+        assert_eq!(synopsis_phi(), 0.05);
+        std::env::set_var("PAI_BENCH_SYNOPSIS_PHI", "inf");
+        assert_eq!(synopsis_phi(), 0.05);
+        for name in [
+            "PAI_BENCH_SYNOPSIS_BUCKETS",
+            "PAI_BENCH_SYNOPSIS_SAMPLES",
+            "PAI_BENCH_SYNOPSIS_PHI",
         ] {
             std::env::remove_var(name);
         }

@@ -83,6 +83,15 @@ struct Inner {
     /// not a running total: `set_cache_mem_bytes` stores the level and
     /// `since()` passes the later snapshot's value through unchanged.
     cache_mem_bytes: AtomicU64,
+    /// Queries answered entirely from block synopses: the CI met the target
+    /// before any fetch was planned, so the answer cost zero data I/O.
+    synopsis_hits: AtomicU64,
+    /// Block synopses consulted by the synopsis evaluator (hit or miss).
+    synopsis_blocks: AtomicU64,
+    /// In-memory bytes of synopsis metadata consulted. Synopses live in the
+    /// decoded header, so these bytes never touch the transport — the meter
+    /// exists to compare synopsis footprint against the data I/O it saved.
+    synopsis_bytes: AtomicU64,
     /// Per-request fetch latency distribution (log2 µs buckets). Fed by
     /// `add_fetch_request_us` alongside the scalar sum, so p50/p99 are
     /// observable wherever the sum already flows.
@@ -133,6 +142,12 @@ pub struct IoSnapshot {
     /// Bytes resident in the cache's memory tier. A gauge, not a total:
     /// `since()` keeps the later snapshot's level as-is.
     pub cache_mem_bytes: u64,
+    /// Queries answered entirely from block synopses (zero data I/O).
+    pub synopsis_hits: u64,
+    /// Block synopses consulted by the synopsis evaluator.
+    pub synopsis_blocks: u64,
+    /// In-memory synopsis metadata bytes consulted.
+    pub synopsis_bytes: u64,
     /// Distribution of per-request fetch latencies over the window
     /// (one observation per transport request, log2 µs buckets);
     /// `fetch_hist.p50_us()` / `p99_us()` are the headline quantiles.
@@ -171,6 +186,9 @@ impl IoSnapshot {
                 .saturating_sub(earlier.cache_spill_bytes),
             // Gauge semantics: the memory-tier level at the later snapshot.
             cache_mem_bytes: self.cache_mem_bytes,
+            synopsis_hits: self.synopsis_hits.saturating_sub(earlier.synopsis_hits),
+            synopsis_blocks: self.synopsis_blocks.saturating_sub(earlier.synopsis_blocks),
+            synopsis_bytes: self.synopsis_bytes.saturating_sub(earlier.synopsis_bytes),
             fetch_hist: self.fetch_hist.since(&earlier.fetch_hist),
         }
     }
@@ -321,6 +339,24 @@ impl IoCounters {
         self.inner.cache_mem_bytes.store(n, Ordering::Relaxed);
     }
 
+    /// Records one query answered entirely from block synopses.
+    #[inline]
+    pub fn add_synopsis_hits(&self, n: u64) {
+        self.inner.synopsis_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` block synopses consulted by the synopsis evaluator.
+    #[inline]
+    pub fn add_synopsis_blocks(&self, n: u64) {
+        self.inner.synopsis_blocks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` bytes of synopsis metadata consulted.
+    #[inline]
+    pub fn add_synopsis_bytes(&self, n: u64) {
+        self.inner.synopsis_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Rows materialized so far.
     pub fn objects_read(&self) -> u64 {
         self.inner.objects_read.load(Ordering::Relaxed)
@@ -416,6 +452,21 @@ impl IoCounters {
         self.inner.cache_mem_bytes.load(Ordering::Relaxed)
     }
 
+    /// Queries answered entirely from block synopses so far.
+    pub fn synopsis_hits(&self) -> u64 {
+        self.inner.synopsis_hits.load(Ordering::Relaxed)
+    }
+
+    /// Block synopses consulted so far.
+    pub fn synopsis_blocks(&self) -> u64 {
+        self.inner.synopsis_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Synopsis metadata bytes consulted so far.
+    pub fn synopsis_bytes(&self) -> u64 {
+        self.inner.synopsis_bytes.load(Ordering::Relaxed)
+    }
+
     /// Per-request fetch latency distribution so far.
     pub fn fetch_hist(&self) -> LatencyHistogram {
         self.inner.fetch_hist.snapshot()
@@ -443,6 +494,9 @@ impl IoCounters {
             cache_evictions: self.cache_evictions(),
             cache_spill_bytes: self.cache_spill_bytes(),
             cache_mem_bytes: self.cache_mem_bytes(),
+            synopsis_hits: self.synopsis_hits(),
+            synopsis_blocks: self.synopsis_blocks(),
+            synopsis_bytes: self.synopsis_bytes(),
             fetch_hist: self.fetch_hist(),
         }
     }
@@ -468,6 +522,9 @@ impl IoCounters {
         self.inner.cache_evictions.store(0, Ordering::Relaxed);
         self.inner.cache_spill_bytes.store(0, Ordering::Relaxed);
         self.inner.cache_mem_bytes.store(0, Ordering::Relaxed);
+        self.inner.synopsis_hits.store(0, Ordering::Relaxed);
+        self.inner.synopsis_blocks.store(0, Ordering::Relaxed);
+        self.inner.synopsis_bytes.store(0, Ordering::Relaxed);
         self.inner.fetch_hist.reset();
     }
 }
@@ -502,6 +559,9 @@ mod tests {
         c.add_cache_spill_bytes(4096);
         c.set_cache_mem_bytes(128);
         c.set_cache_mem_bytes(96);
+        c.add_synopsis_hits(1);
+        c.add_synopsis_blocks(12);
+        c.add_synopsis_bytes(2048);
         assert_eq!(c.objects_read(), 15);
         assert_eq!(c.bytes_read(), 100);
         assert_eq!(c.seeks(), 2);
@@ -523,6 +583,9 @@ mod tests {
         assert_eq!(c.cache_spill_bytes(), 4096);
         // cache_mem_bytes is a gauge: the last stored level, never a sum.
         assert_eq!(c.cache_mem_bytes(), 96);
+        assert_eq!(c.synopsis_hits(), 1);
+        assert_eq!(c.synopsis_blocks(), 12);
+        assert_eq!(c.synopsis_bytes(), 2048);
         assert_eq!(c.snapshot().overlap_ratio(), 3.0);
         // Every add_fetch_request_us call is one histogram observation.
         assert_eq!(c.fetch_hist().count(), 1);
@@ -558,6 +621,9 @@ mod tests {
         c.add_cache_evictions(2);
         c.add_cache_spill_bytes(512);
         c.set_cache_mem_bytes(777);
+        c.add_synopsis_hits(2);
+        c.add_synopsis_blocks(7);
+        c.add_synopsis_bytes(640);
         let s2 = c.snapshot();
         let d = s2.since(&s1);
         assert_eq!(d.objects_read, 4);
@@ -578,6 +644,9 @@ mod tests {
         assert_eq!(d.cache_spill_bytes, 512);
         // The memory-tier gauge passes through like the in-flight peak.
         assert_eq!(d.cache_mem_bytes, 777);
+        assert_eq!(d.synopsis_hits, 2);
+        assert_eq!(d.synopsis_blocks, 7);
+        assert_eq!(d.synopsis_bytes, 640);
         // The histogram delta carries only the window's observations.
         assert_eq!(d.fetch_hist.count(), 1);
         // An idle window reports no overlap.

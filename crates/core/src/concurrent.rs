@@ -49,7 +49,7 @@ use parking_lot::RwLock;
 use crate::config::{validate_phi, EngineConfig};
 use crate::engine::{
     assess, candidate_views, estimate_readonly, evaluate_on, fetch_plans_each, plan_candidate,
-    ApproxResult, BatchPlan,
+    synopsis_hit, ApproxResult, BatchPlan,
 };
 use crate::state::QueryState;
 
@@ -91,6 +91,53 @@ impl<F: RawFile> SharedIndex<F> {
         Ok(res)
     }
 
+    /// Zero-I/O answer composed purely from the backend's block synopses,
+    /// under a read lock: never touches the data path, never adapts the
+    /// index, ticks only the synopsis meters. `Ok(None)` when the backend
+    /// carries no synopses or they cannot bound some requested aggregate.
+    /// Works regardless of [`EngineConfig::synopsis`] — the flag gates the
+    /// *adaptive* paths' automatic synopsis-first attempt, while this
+    /// method is the explicit reader entry point (dashboard panels, the
+    /// concurrent stress harness).
+    pub fn estimate_synopsis(
+        &self,
+        window: &Rect,
+        aggs: &[AggregateFunction],
+    ) -> Result<Option<ApproxResult>> {
+        let t0 = Instant::now();
+        let io0 = self.file.counters().snapshot();
+        query_attrs(self.file.schema(), aggs)?;
+        let Some(blocks) = self.file.block_synopses() else {
+            return Ok(None);
+        };
+        let lw = Instant::now();
+        let index = self.index.read();
+        let wait = lw.elapsed();
+        let classification = index.classify(window);
+        let Some(hit) = synopsis_hit(
+            &index,
+            &self.file,
+            &self.config,
+            blocks,
+            window,
+            aggs,
+            classification.selected_total,
+            f64::INFINITY,
+        ) else {
+            return Ok(None);
+        };
+        let stats = QueryStats {
+            selected: classification.selected_total,
+            tiles_full: classification.full.len(),
+            tiles_partial: classification.partial.len(),
+            io: self.file.counters().snapshot().since(&io0),
+            elapsed: t0.elapsed(),
+            lock_wait: wait,
+            ..Default::default()
+        };
+        Ok(Some(ApproxResult { stats, ..hit }))
+    }
+
     /// Accuracy-constrained evaluation through the non-blocking pipeline;
     /// adapts the shared index so every subsequent reader starts tighter.
     ///
@@ -119,6 +166,49 @@ impl<F: RawFile> SharedIndex<F> {
 
         let mut lock_wait = Duration::ZERO;
         let mut plan_conflicts = 0usize;
+
+        // Synopsis-first: seed metadata-free cold starts (brief write lock,
+        // only when some attribute has no global bounds) and try a zero-I/O
+        // answer under the read lock before entering the adaptation loop.
+        if config.synopsis {
+            if let Some(blocks) = self.file.block_synopses() {
+                let need_seed = {
+                    let index = self.index.read();
+                    attrs.iter().any(|&a| index.global_bounds(a).is_none())
+                };
+                if need_seed {
+                    let lw = Instant::now();
+                    let mut index = self.index.write();
+                    lock_wait += lw.elapsed();
+                    crate::synopsis::seed_missing_global_bounds(&mut index, blocks, &attrs);
+                }
+                let lw = Instant::now();
+                let index = self.index.read();
+                lock_wait += lw.elapsed();
+                let classification = index.classify(window);
+                if let Some(hit) = synopsis_hit(
+                    &index,
+                    &self.file,
+                    config,
+                    blocks,
+                    window,
+                    aggs,
+                    classification.selected_total,
+                    phi,
+                ) {
+                    let stats = QueryStats {
+                        selected: classification.selected_total,
+                        tiles_full: classification.full.len(),
+                        tiles_partial: classification.partial.len(),
+                        io: self.file.counters().snapshot().since(&io0),
+                        elapsed: t0.elapsed(),
+                        lock_wait,
+                        ..Default::default()
+                    };
+                    return Ok(ApproxResult { stats, ..hit });
+                }
+            }
+        }
         // In-window stats of partial tiles this query already processed,
         // keyed by tile. Rebuilding the state from a fresh snapshot each
         // round folds these instead of re-reading (tile ids are never

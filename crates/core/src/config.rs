@@ -96,6 +96,16 @@ pub struct EngineConfig {
     /// config object describes a full evaluation setup. Transport-only:
     /// answers, CIs, trajectories, and logical meters are unaffected.
     pub cache: Option<CacheConfig>,
+    /// Synopsis-first evaluation: before any fetch is planned, try to
+    /// answer the query from the backend's per-block synopses
+    /// (`RawFile::block_synopses`). When the synopsis confidence interval
+    /// already meets φ the query returns with **zero data I/O**
+    /// (`fetch_wall_us == 0`, `synopsis_hits` metered); otherwise the
+    /// synopsis pass seeds global attribute bounds for a
+    /// `MetadataPolicy::None` cold start and evaluation proceeds
+    /// unchanged. `false` (the default) preserves the historical
+    /// data-first path byte-for-byte.
+    pub synopsis: bool,
 }
 
 impl Default for EngineConfig {
@@ -111,6 +121,7 @@ impl Default for EngineConfig {
             fetch_parallelism: 1,
             fetch_workers: 1,
             cache: None,
+            synopsis: false,
         }
     }
 }
@@ -124,6 +135,12 @@ impl EngineConfig {
             policy: SelectionPolicy::ScoreGreedy { alpha: 1.0 },
             ..Default::default()
         }
+    }
+
+    /// This config with synopsis-first evaluation switched on.
+    pub fn with_synopsis(mut self) -> Self {
+        self.synopsis = true;
+        self
     }
 
     /// This config with a tiered block cache of the given budgets.

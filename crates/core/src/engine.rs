@@ -28,7 +28,7 @@ use pai_index::{
     TilePlan, ValinorIndex,
 };
 use pai_storage::batch::read_row_groups;
-use pai_storage::raw::RawFile;
+use pai_storage::raw::{BlockSynopsis, RawFile};
 
 use crate::bound::upper_error_bound;
 use crate::ci::{estimate_aggregate, AggregateEstimate};
@@ -96,7 +96,44 @@ pub struct ProgressStep {
     /// Approximate 99th-percentile per-request fetch latency (µs) over
     /// the query so far (0 when no remote fetch has run).
     pub fetch_p99_us: u64,
+    /// Queries answered purely from block synopses so far (0 or 1 within
+    /// one query's trace; cumulative in session meters).
+    pub synopsis_hits: u64,
+    /// Block synopses consulted by synopsis-path answers.
+    pub synopsis_blocks: u64,
+    /// Approximate in-memory bytes of those synopses — the metadata
+    /// footprint that substituted for data I/O.
+    pub synopsis_bytes: u64,
 }
+
+/// An all-zero step, the base for struct-update construction of steps that
+/// only carry a few live fields (the metadata-only step 0, synopsis hits).
+const ZERO_STEP: ProgressStep = ProgressStep {
+    tiles_processed: 0,
+    error_bound: 0.0,
+    estimate: None,
+    objects_read: 0,
+    bytes_read: 0,
+    read_calls: 0,
+    blocks_read: 0,
+    blocks_skipped: 0,
+    http_requests: 0,
+    http_bytes: 0,
+    retries: 0,
+    fetch_inflight_peak: 0,
+    overlap_ratio: 0.0,
+    parts_resized: 0,
+    cache_hits: 0,
+    cache_misses: 0,
+    cache_evictions: 0,
+    cache_spill_bytes: 0,
+    cache_mem_bytes: 0,
+    fetch_p50_us: 0,
+    fetch_p99_us: 0,
+    synopsis_hits: 0,
+    synopsis_blocks: 0,
+    synopsis_bytes: 0,
+};
 
 /// Result of one approximate evaluation.
 #[derive(Debug, Clone)]
@@ -147,6 +184,50 @@ impl EvalCtx<'_> {
         let attrs = query_attrs(self.index.schema(), aggs)?;
 
         let classification = self.index.classify(window);
+
+        // Synopsis-first: before any fetch is planned, try to answer the
+        // query from the backend's per-block synopses. Even on a miss the
+        // pass seeds global attribute bounds for metadata-free cold starts,
+        // which must happen before candidates capture their metadata view.
+        if self.config.synopsis {
+            if let Some(blocks) = self.file.block_synopses() {
+                crate::synopsis::seed_missing_global_bounds(self.index, blocks, &attrs);
+                if let StopRule::Accuracy { phi } = stop {
+                    if let Some(hit) = synopsis_hit(
+                        self.index,
+                        self.file,
+                        self.config,
+                        blocks,
+                        window,
+                        aggs,
+                        classification.selected_total,
+                        phi,
+                    ) {
+                        let mut stats = QueryStats {
+                            selected: classification.selected_total,
+                            tiles_full: classification.full.len(),
+                            tiles_partial: classification.partial.len(),
+                            ..Default::default()
+                        };
+                        stats.io = self.file.counters().snapshot().since(&io0);
+                        stats.elapsed = t0.elapsed();
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.push(ProgressStep {
+                                tiles_processed: 0,
+                                error_bound: hit.error_bound,
+                                estimate: hit.values.first().and_then(|v| v.as_f64()),
+                                synopsis_hits: stats.io.synopsis_hits,
+                                synopsis_blocks: stats.io.synopsis_blocks,
+                                synopsis_bytes: stats.io.synopsis_bytes,
+                                ..ZERO_STEP
+                            });
+                        }
+                        return Ok(ApproxResult { stats, ..hit });
+                    }
+                }
+            }
+        }
+
         let mut state = QueryState::from_classification(self.index, &classification, &attrs)?;
         let mut stats = QueryStats {
             selected: classification.selected_total,
@@ -164,24 +245,7 @@ impl EvalCtx<'_> {
                 tiles_processed: 0,
                 error_bound: bound,
                 estimate: estimates.first().and_then(|e| e.value.as_f64()),
-                objects_read: 0,
-                bytes_read: 0,
-                read_calls: 0,
-                blocks_read: 0,
-                blocks_skipped: 0,
-                http_requests: 0,
-                http_bytes: 0,
-                retries: 0,
-                fetch_inflight_peak: 0,
-                overlap_ratio: 0.0,
-                parts_resized: 0,
-                cache_hits: 0,
-                cache_misses: 0,
-                cache_evictions: 0,
-                cache_spill_bytes: 0,
-                cache_mem_bytes: 0,
-                fetch_p50_us: 0,
-                fetch_p99_us: 0,
+                ..ZERO_STEP
             });
         }
         'outer: loop {
@@ -280,6 +344,9 @@ impl EvalCtx<'_> {
                         cache_mem_bytes: io.cache_mem_bytes,
                         fetch_p50_us: io.fetch_hist.p50_us(),
                         fetch_p99_us: io.fetch_hist.p99_us(),
+                        synopsis_hits: io.synopsis_hits,
+                        synopsis_blocks: io.synopsis_blocks,
+                        synopsis_bytes: io.synopsis_bytes,
                     });
                 }
                 match stop {
@@ -631,6 +698,55 @@ pub(crate) fn fetch_plans_each(
     })
 }
 
+/// Attempts to answer the whole query from block synopses. `Some` means
+/// the composed estimates' combined bound already meets `phi`: the query
+/// is done with zero data I/O, and the synopsis meters have been ticked.
+/// The returned result carries default stats — the caller owns the
+/// timing/I/O accounting.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn synopsis_hit(
+    index: &ValinorIndex,
+    file: &dyn RawFile,
+    config: &EngineConfig,
+    blocks: &[BlockSynopsis],
+    window: &Rect,
+    aggs: &[AggregateFunction],
+    selected_total: u64,
+    phi: f64,
+) -> Option<ApproxResult> {
+    let schema = index.schema();
+    let ans = crate::synopsis::try_answer(
+        blocks,
+        schema.x_axis(),
+        schema.y_axis(),
+        window,
+        selected_total,
+        aggs,
+        config,
+    )?;
+    let bound = ans
+        .estimates
+        .iter()
+        .map(|e| bound_of(config, e))
+        .fold(0.0f64, f64::max);
+    if bound > phi {
+        return None;
+    }
+    let counters = file.counters();
+    counters.add_synopsis_hits(1);
+    counters.add_synopsis_blocks(ans.blocks);
+    counters.add_synopsis_bytes(ans.bytes);
+    let (values, cis) = ans.estimates.into_iter().map(|e| (e.value, e.ci)).unzip();
+    Some(ApproxResult {
+        values,
+        cis,
+        error_bound: bound,
+        phi,
+        met_constraint: true,
+        stats: QueryStats::default(),
+    })
+}
+
 /// Current estimates and the combined (max-over-aggregates) bound.
 pub(crate) fn assess(
     config: &EngineConfig,
@@ -648,7 +764,7 @@ pub(crate) fn assess(
     (estimates, bound)
 }
 
-fn bound_of(config: &EngineConfig, e: &AggregateEstimate) -> f64 {
+pub(crate) fn bound_of(config: &EngineConfig, e: &AggregateEstimate) -> f64 {
     if e.unbounded {
         return f64::INFINITY;
     }
@@ -1427,5 +1543,146 @@ mod tests {
         assert_eq!(file.counters().objects_read(), 0);
         assert_eq!(eng.index().leaf_count(), leaves_before);
         assert!(res.error_bound.is_finite());
+    }
+
+    fn engine_cfg<'f>(
+        file: &'f MemFile,
+        spec: &DatasetSpec,
+        grid: usize,
+        metadata: MetadataPolicy,
+        config: EngineConfig,
+    ) -> ApproximateEngine<'f> {
+        let init = InitConfig {
+            grid: GridSpec::Fixed { nx: grid, ny: grid },
+            domain: Some(spec.domain),
+            metadata,
+        };
+        let (idx, _) = build(file, &init).unwrap();
+        ApproximateEngine::new(idx, file, config).unwrap()
+    }
+
+    #[test]
+    fn synopsis_hit_answers_with_zero_data_io() {
+        let (file, spec) = dataset(3000, 21);
+        let cfg = EngineConfig::paper_evaluation().with_synopsis();
+        let mut eng = engine_cfg(&file, &spec, 6, MetadataPolicy::AllNumeric, cfg);
+        // A window containing every block's envelope: all blocks fully
+        // covered, so the synopsis answer is exact and meets any phi.
+        let window = Rect::new(-1e9, 1e9, -1e9, 1e9);
+        let aggs = [
+            AggregateFunction::Sum(2),
+            AggregateFunction::Mean(2),
+            AggregateFunction::Count,
+        ];
+        // Warm the lazily-computed synopses: on scan-based backends the
+        // one-time derivation pays a metered scan (zone/http read them
+        // from the header instead); the *query* itself must then be free.
+        let _ = file.block_synopses();
+        file.counters().reset();
+        let res = eng.evaluate(&window, &aggs, 0.05).unwrap();
+        assert!(res.met_constraint);
+        assert_eq!(res.stats.io.objects_read, 0, "zero data I/O on a hit");
+        assert_eq!(res.stats.io.read_calls, 0);
+        assert_eq!(res.stats.io.fetch_wall_us, 0);
+        assert_eq!(res.stats.io.synopsis_hits, 1);
+        assert!(res.stats.io.synopsis_blocks > 0);
+        assert!(res.stats.io.synopsis_bytes > 0);
+        let truth = window_truth(&file, &window, &[2]).unwrap();
+        let ci = res.cis[0].unwrap();
+        let t = truth[0].stats.sum();
+        assert!(
+            ci.contains(t) || (t - ci.lo()).abs() < 1e-9 * (1.0 + t.abs()),
+            "truth {t} escaped synopsis CI {ci}"
+        );
+        assert_eq!(res.values[2], AggregateValue::Count(3000));
+    }
+
+    #[test]
+    fn synopsis_hit_trace_is_a_single_step() {
+        let (file, spec) = dataset(2000, 33);
+        let cfg = EngineConfig::paper_evaluation().with_synopsis();
+        let mut eng = engine_cfg(&file, &spec, 5, MetadataPolicy::AllNumeric, cfg);
+        let window = Rect::new(-1e9, 1e9, -1e9, 1e9);
+        let (res, trace) = eng
+            .evaluate_traced(&window, &[AggregateFunction::Mean(3)], 0.1)
+            .unwrap();
+        assert_eq!(res.stats.io.synopsis_hits, 1);
+        assert_eq!(trace.len(), 1, "hit = one metadata-only step");
+        assert_eq!(trace[0].tiles_processed, 0);
+        assert_eq!(trace[0].synopsis_hits, 1);
+        assert!(trace[0].synopsis_bytes > 0);
+        assert_eq!(trace[0].objects_read, 0);
+    }
+
+    #[test]
+    fn synopsis_miss_is_identical_to_synopsis_off() {
+        // phi = 0 on a window that cuts blocks: the synopsis CI has width,
+        // so the attempt misses and the adaptation path must be untouched.
+        let (file, spec) = dataset(3000, 44);
+        let _ = file.block_synopses();
+        let window = Rect::new(150.0, 650.0, 200.0, 700.0);
+        let aggs = [AggregateFunction::Sum(2), AggregateFunction::Mean(2)];
+        let mut on = engine_cfg(
+            &file,
+            &spec,
+            6,
+            MetadataPolicy::AllNumeric,
+            EngineConfig::paper_evaluation().with_synopsis(),
+        );
+        let mut off = engine_cfg(
+            &file,
+            &spec,
+            6,
+            MetadataPolicy::AllNumeric,
+            EngineConfig::paper_evaluation(),
+        );
+        let ra = on.evaluate(&window, &aggs, 0.0).unwrap();
+        let rb = off.evaluate(&window, &aggs, 0.0).unwrap();
+        assert_eq!(ra.stats.io.synopsis_hits, 0, "phi = 0 cut window misses");
+        assert_eq!(ra.values, rb.values);
+        assert_eq!(ra.cis, rb.cis);
+        assert_eq!(ra.error_bound, rb.error_bound);
+        assert_eq!(ra.stats.io.objects_read, rb.stats.io.objects_read);
+    }
+
+    #[test]
+    fn metadata_free_cold_start_bounded_by_seeding() {
+        let (file, spec) = dataset(2500, 55);
+        let window = Rect::new(150.0, 650.0, 200.0, 700.0);
+        let aggs = [AggregateFunction::Sum(2)];
+        // Without synopses a None-policy session starts unbounded.
+        let mut off = engine_cfg(
+            &file,
+            &spec,
+            6,
+            MetadataPolicy::None,
+            EngineConfig::paper_evaluation(),
+        );
+        let (_, trace_off) = off.evaluate_traced(&window, &aggs, 0.0).unwrap();
+        assert!(
+            trace_off[0].error_bound.is_infinite(),
+            "no metadata, no global bounds: the step-0 answer is unbounded"
+        );
+        // With synopses the pass seeds global bounds before assessment, so
+        // even the metadata-only step 0 is a sound finite interval.
+        let mut on = engine_cfg(
+            &file,
+            &spec,
+            6,
+            MetadataPolicy::None,
+            EngineConfig::paper_evaluation().with_synopsis(),
+        );
+        let (res_on, trace_on) = on.evaluate_traced(&window, &aggs, 0.0).unwrap();
+        assert!(
+            trace_on[0].error_bound.is_finite(),
+            "seeded global bounds make step 0 bounded"
+        );
+        // Both converge to the same exact answer.
+        let res_off = off.evaluate(&window, &aggs, 0.0).unwrap();
+        let (a, b) = (
+            res_on.values[0].as_f64().unwrap(),
+            res_off.values[0].as_f64().unwrap(),
+        );
+        assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
     }
 }

@@ -23,6 +23,8 @@
 //! * [`engine`] — the partial-adaptation loop (accuracy-constrained,
 //!   I/O-budgeted, and read-only modes);
 //! * [`concurrent`] — a shared, lock-protected index for multi-view UIs;
+//! * [`synopsis`] — zero-I/O answers composed from per-block synopses
+//!   (`RawFile::block_synopses`), plus the pre-evaluation I/O predictor;
 //! * [`verify`] — test/bench helpers checking results against ground truth.
 
 pub mod bound;
@@ -32,6 +34,7 @@ pub mod config;
 pub mod engine;
 pub mod policy;
 pub mod state;
+pub mod synopsis;
 pub mod verify;
 
 pub use bound::{relative_error, upper_error_bound, NormalizationMode};
@@ -41,3 +44,4 @@ pub use config::{EagerRefinement, EngineConfig, ValueEstimator};
 pub use engine::{estimate_readonly, evaluate_on, ApproxResult, ApproximateEngine};
 pub use policy::SelectionPolicy;
 pub use state::{Candidate, CandidateKind, QueryState};
+pub use synopsis::{predict_query_io, seed_missing_global_bounds, IoPrediction};

@@ -148,6 +148,23 @@ impl ValinorIndex {
         self.global_bounds.get(attr).copied().flatten()
     }
 
+    /// Installs a global value envelope for `attr` when none was observed
+    /// at initialization (the `MetadataPolicy::None` cold start). An
+    /// existing envelope always wins — seeding never overwrites or widens
+    /// bounds the scan actually measured. Returns whether the seed was
+    /// installed. Synopsis-first evaluation uses this to hand metadata-free
+    /// sessions a sound fallback envelope with zero data I/O.
+    pub fn seed_global_bounds(&mut self, attr: AttrId, bounds: Interval) -> bool {
+        match self.global_bounds.get_mut(attr) {
+            Some(slot @ None) => {
+                *slot = Some(bounds);
+                self.version = self.version.wrapping_add(1);
+                true
+            }
+            _ => false,
+        }
+    }
+
     pub(crate) fn fold_global_bound(&mut self, attr: AttrId, value: f64) {
         if value.is_nan() {
             return;

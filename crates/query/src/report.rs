@@ -19,7 +19,12 @@ use crate::runner::MethodRun;
 /// from the log2-bucketed fetch histogram), or trace the tiered
 /// block cache (cache_hits/cache_misses/cache_evictions/cache_spill_bytes
 /// are per-query deltas; cache_mem_bytes is the memory-tier level after the
-/// query — a gauge, not a delta).
+/// query — a gauge, not a delta), audit the synopsis-first path
+/// (synopsis_hits/synopsis_blocks/synopsis_bytes — a hit is a query
+/// answered with zero data I/O purely from block synopses), or check the
+/// pre-evaluation cost model (predicted_bytes — the bytes an exact run of
+/// the query was predicted to read, an upper bound the cost-estimate gate
+/// tracks against the metered bytes).
 pub fn to_csv(runs: &[MethodRun]) -> String {
     let mut header = String::from("query");
     for r in runs {
@@ -29,7 +34,9 @@ pub fn to_csv(runs: &[MethodRun]) -> String {
              {l}_fetch_inflight_peak,{l}_overlap_ratio,{l}_parts_resized,\
              {l}_fetch_p50_us,{l}_fetch_p99_us,\
              {l}_cache_hits,{l}_cache_misses,{l}_cache_evictions,\
-             {l}_cache_spill_bytes,{l}_cache_mem_bytes,{l}_lock_wait_ms",
+             {l}_cache_spill_bytes,{l}_cache_mem_bytes,\
+             {l}_synopsis_hits,{l}_synopsis_blocks,{l}_synopsis_bytes,\
+             {l}_predicted_bytes,{l}_lock_wait_ms",
             l = r.label
         ));
     }
@@ -41,7 +48,7 @@ pub fn to_csv(runs: &[MethodRun]) -> String {
         for r in runs {
             match r.records.get(i) {
                 Some(rec) => out.push_str(&format!(
-                    ",{:.3},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{},{},{:.3}",
+                    ",{:.3},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}",
                     rec.elapsed.as_secs_f64() * 1e3,
                     rec.objects_read,
                     rec.bytes_read,
@@ -61,9 +68,13 @@ pub fn to_csv(runs: &[MethodRun]) -> String {
                     rec.cache_evictions,
                     rec.cache_spill_bytes,
                     rec.cache_mem_bytes,
+                    rec.synopsis_hits,
+                    rec.synopsis_blocks,
+                    rec.synopsis_bytes,
+                    rec.predicted_bytes,
                     rec.lock_wait.as_secs_f64() * 1e3
                 )),
-                None => out.push_str(",,,,,,,,,,,,,,,,,,,,"),
+                None => out.push_str(",,,,,,,,,,,,,,,,,,,,,,,,"),
             }
         }
         out.push('\n');
@@ -278,6 +289,10 @@ mod tests {
                 cache_spill_bytes: 0,
                 cache_mem_bytes: 0,
                 lock_wait: Duration::ZERO,
+                synopsis_hits: 0,
+                synopsis_blocks: 0,
+                synopsis_bytes: 0,
+                predicted_bytes: 6 * b,
                 selected: 100,
                 tiles_partial: 4,
                 tiles_processed: 2,
@@ -310,17 +325,21 @@ mod tests {
              exact_fetch_p50_us,exact_fetch_p99_us,\
              exact_cache_hits,exact_cache_misses,exact_cache_evictions,\
              exact_cache_spill_bytes,exact_cache_mem_bytes,\
+             exact_synopsis_hits,exact_synopsis_blocks,exact_synopsis_bytes,\
+             exact_predicted_bytes,\
              exact_lock_wait_ms,phi=5%_time_ms,phi=5%_objects,phi=5%_bytes,\
              phi=5%_read_calls,phi=5%_blocks_read,phi=5%_blocks_skipped,phi=5%_http_requests,\
              phi=5%_http_bytes,phi=5%_retries,phi=5%_fetch_inflight_peak,phi=5%_overlap_ratio,\
              phi=5%_parts_resized,phi=5%_fetch_p50_us,phi=5%_fetch_p99_us,\
              phi=5%_cache_hits,phi=5%_cache_misses,phi=5%_cache_evictions,\
-             phi=5%_cache_spill_bytes,phi=5%_cache_mem_bytes,phi=5%_lock_wait_ms"
+             phi=5%_cache_spill_bytes,phi=5%_cache_mem_bytes,\
+             phi=5%_synopsis_hits,phi=5%_synopsis_blocks,phi=5%_synopsis_bytes,\
+             phi=5%_predicted_bytes,phi=5%_lock_wait_ms"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "1,10.000,100,4096,2,4,1,3,512,1,1,1.000,0,0,0,0,0,0,0,0,0.000,\
-             5.000,50,2048,2,4,1,3,512,1,1,1.000,0,0,0,0,0,0,0,0,0.000"
+            "1,10.000,100,4096,2,4,1,3,512,1,1,1.000,0,0,0,0,0,0,0,0,0,0,0,24576,0.000,\
+             5.000,50,2048,2,4,1,3,512,1,1,1.000,0,0,0,0,0,0,0,0,0,0,0,12288,0.000"
         );
         assert_eq!(csv.lines().count(), 3);
     }

@@ -86,6 +86,19 @@ pub struct QueryRecord {
     pub fetch_hist: LatencyHistogram,
     /// Time spent waiting on index locks (zero for single-owner engines).
     pub lock_wait: Duration,
+    /// Whether this query was answered purely from block synopses (0/1;
+    /// summed across a run it counts zero-I/O answers).
+    pub synopsis_hits: u64,
+    /// Block synopses consulted by synopsis-path answers.
+    pub synopsis_blocks: u64,
+    /// Approximate in-memory bytes of those synopses.
+    pub synopsis_bytes: u64,
+    /// Bytes an exact (`φ = 0`) evaluation of this query was *predicted*
+    /// to read, from zone maps + classification before evaluation. Exact
+    /// object pricing on fixed-stride backends; mean-row/mean-block
+    /// pricing elsewhere (the cost-estimate gate pins how tightly it
+    /// tracks the metered `bytes_read` per backend).
+    pub predicted_bytes: u64,
     pub selected: u64,
     pub tiles_partial: usize,
     pub tiles_processed: usize,
@@ -194,6 +207,16 @@ impl MethodRun {
         self.records.iter().map(|r| r.lock_wait).sum()
     }
 
+    /// Queries answered purely from block synopses across the run.
+    pub fn total_synopsis_hits(&self) -> u64 {
+        self.records.iter().map(|r| r.synopsis_hits).sum()
+    }
+
+    /// Total bytes the pre-evaluation cost model predicted across the run.
+    pub fn total_predicted_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.predicted_bytes).sum()
+    }
+
     /// All per-query fetch latency histograms merged into one run-level
     /// distribution — p50/p99 over every transport request the run
     /// issued, regardless of which query issued it.
@@ -242,6 +265,13 @@ pub fn run_workload(
         Method::Exact => {
             let mut engine = ExactEngine::new(index, file, engine_cfg.adapt.clone())?;
             for (i, q) in workload.queries.iter().enumerate() {
+                let predicted = pai_core::predict_query_io(
+                    engine.index(),
+                    file,
+                    &q.window,
+                    &q.aggs,
+                    engine_cfg,
+                )?;
                 let res = engine.evaluate(&q.window, &q.aggs)?;
                 records.push(QueryRecord {
                     query_index: i,
@@ -264,6 +294,10 @@ pub fn run_workload(
                     cache_mem_bytes: res.stats.io.cache_mem_bytes,
                     fetch_hist: res.stats.io.fetch_hist,
                     lock_wait: res.stats.lock_wait,
+                    synopsis_hits: res.stats.io.synopsis_hits,
+                    synopsis_blocks: res.stats.io.synopsis_blocks,
+                    synopsis_bytes: res.stats.io.synopsis_bytes,
+                    predicted_bytes: predicted.bytes,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,
                     tiles_processed: res.stats.tiles_processed,
@@ -276,6 +310,13 @@ pub fn run_workload(
         Method::Approx { phi } => {
             let mut engine = ApproximateEngine::new(index, file, engine_cfg.clone())?;
             for (i, q) in workload.queries.iter().enumerate() {
+                let predicted = pai_core::predict_query_io(
+                    engine.index(),
+                    file,
+                    &q.window,
+                    &q.aggs,
+                    engine_cfg,
+                )?;
                 let res = engine.evaluate(&q.window, &q.aggs, phi)?;
                 if !res.met_constraint {
                     return Err(PaiError::internal(format!(
@@ -303,6 +344,10 @@ pub fn run_workload(
                     cache_mem_bytes: res.stats.io.cache_mem_bytes,
                     fetch_hist: res.stats.io.fetch_hist,
                     lock_wait: res.stats.lock_wait,
+                    synopsis_hits: res.stats.io.synopsis_hits,
+                    synopsis_blocks: res.stats.io.synopsis_blocks,
+                    synopsis_bytes: res.stats.io.synopsis_bytes,
+                    predicted_bytes: predicted.bytes,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,
                     tiles_processed: res.stats.tiles_processed,

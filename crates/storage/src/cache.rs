@@ -56,7 +56,7 @@ use std::sync::{Arc, Mutex};
 use pai_common::geometry::Rect;
 use pai_common::{AttrId, IoCounters, Result, RowLocator};
 
-use crate::raw::{BlockStats, RawFile, RowHandler, ScanPartition};
+use crate::raw::{BlockStats, BlockSynopsis, RawFile, RowHandler, ScanPartition};
 use crate::schema::Schema;
 
 /// Lock shards: enough that concurrent readers on different blocks rarely
@@ -517,6 +517,14 @@ impl RawFile for CachedFile {
 
     fn block_stats(&self) -> Option<&[BlockStats]> {
         self.inner.block_stats()
+    }
+
+    fn block_synopses(&self) -> Option<&[BlockSynopsis]> {
+        self.inner.block_synopses()
+    }
+
+    fn value_bytes_hint(&self) -> Option<f64> {
+        self.inner.value_bytes_hint()
     }
 
     fn scan_filtered(&self, window: &Rect, handler: &mut RowHandler<'_>) -> Result<()> {

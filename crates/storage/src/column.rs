@@ -565,6 +565,10 @@ impl RawFile for BinFile {
         &self.schema
     }
 
+    fn value_bytes_hint(&self) -> Option<f64> {
+        Some(8.0)
+    }
+
     fn counters(&self) -> &IoCounters {
         &self.counters
     }

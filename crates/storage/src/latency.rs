@@ -30,7 +30,7 @@ use std::time::Duration;
 use pai_common::geometry::Rect;
 use pai_common::{AttrId, IoCounters, Result, RowLocator};
 
-use crate::raw::{BlockStats, RawFile, RowHandler, ScanPartition};
+use crate::raw::{BlockStats, BlockSynopsis, RawFile, RowHandler, ScanPartition};
 use crate::schema::Schema;
 
 /// A [`RawFile`] that adds configurable per-operation latency to another
@@ -119,6 +119,14 @@ impl RawFile for LatencyFile {
 
     fn block_stats(&self) -> Option<&[BlockStats]> {
         self.inner.block_stats()
+    }
+
+    fn block_synopses(&self) -> Option<&[BlockSynopsis]> {
+        self.inner.block_synopses()
+    }
+
+    fn value_bytes_hint(&self) -> Option<f64> {
+        self.inner.value_bytes_hint()
     }
 
     fn scan_filtered(&self, window: &Rect, handler: &mut RowHandler<'_>) -> Result<()> {

@@ -95,7 +95,10 @@ pub use latency::LatencyFile;
 pub use mapped::Mapping;
 pub use netio::{write_frame, ConnBuf, MAX_FRAME_BYTES};
 pub use objstore::{Fault, FaultPlan, ObjectStore};
-pub use raw::{BlockStats, CsvFile, MemFile, RawFile, Record, ScanPartition};
+pub use raw::{
+    build_block_synopses, BlockStats, BlockSynopsis, ColumnSynopsis, CsvFile, MemFile, RawFile,
+    Record, ScanPartition, SynopsisSpec,
+};
 pub use remote::{HttpBlob, HttpFile, HttpOptions};
 pub use schema::{Column, ColumnType, Schema};
-pub use zone::{convert_to_zone, write_zone, ZoneFile};
+pub use zone::{convert_to_zone, convert_to_zone_spec, write_zone, ZoneFile};

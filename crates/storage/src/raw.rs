@@ -27,7 +27,7 @@
 use std::fs::File;
 use std::io::{BufRead, BufReader, Cursor, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use pai_common::geometry::Rect;
 use pai_common::{AttrId, IoCounters, PaiError, Result, RowId, RowLocator};
@@ -223,6 +223,291 @@ impl BlockStats {
     }
 }
 
+/// Rows per synthetic block when a block-less backend (CSV text) computes
+/// synopses lazily. Matches the zone/bin block size so `synopsis_blocks`
+/// counts are comparable across backends.
+pub const SYNOPSIS_BLOCK_ROWS: u32 = 4096;
+
+/// Build parameters for per-block synopses: histogram resolution and the
+/// per-block row-sample budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynopsisSpec {
+    /// Equi-width histogram buckets per column (at least 1).
+    pub buckets: usize,
+    /// Row samples retained per block (0 disables sampling).
+    pub sample_rows: usize,
+}
+
+impl Default for SynopsisSpec {
+    fn default() -> Self {
+        SynopsisSpec {
+            buckets: 8,
+            sample_rows: 4,
+        }
+    }
+}
+
+/// Per-column synopsis over one block: the closed value envelope, the
+/// non-NaN moments (count / sum / sum of squares), and an equi-width
+/// histogram over `[min, max]`.
+///
+/// Self-contained on purpose: a synopsis carries its own envelope, so
+/// backends without zone maps (CSV) can expose synopses alone and every
+/// consumer still has bounds to work with. NaN values are excluded from the
+/// envelope, the moments, and the histogram (mirroring how a half-open query
+/// window can never select a NaN coordinate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSynopsis {
+    /// Minimum non-NaN value in the block (NaN when `count == 0`).
+    pub min: f64,
+    /// Maximum non-NaN value in the block (same convention).
+    pub max: f64,
+    /// Number of non-NaN values in the block.
+    pub count: u64,
+    /// Sum of the non-NaN values.
+    pub sum: f64,
+    /// Sum of squares of the non-NaN values.
+    pub sum_sq: f64,
+    /// Equi-width bucket counts over `[min, max]`: bucket `i` holds values
+    /// assigned `floor((v - min) / width)` clamped to the last bucket, with
+    /// `width = (max - min) / hist.len()`.
+    pub hist: Vec<u64>,
+}
+
+impl ColumnSynopsis {
+    /// Builds the synopsis of one block's values with `buckets` histogram
+    /// buckets (clamped to at least 1). NaNs are skipped entirely.
+    pub fn from_values(values: &[f64], buckets: usize) -> ColumnSynopsis {
+        let buckets = buckets.max(1);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut count = 0u64;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for &v in values {
+            if v.is_nan() {
+                continue;
+            }
+            count += 1;
+            sum += v;
+            sum_sq += v * v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if count == 0 {
+            return ColumnSynopsis {
+                min: f64::NAN,
+                max: f64::NAN,
+                count: 0,
+                sum: 0.0,
+                sum_sq: 0.0,
+                hist: vec![0; buckets],
+            };
+        }
+        let mut hist = vec![0u64; buckets];
+        let width = (max - min) / buckets as f64;
+        for &v in values {
+            if v.is_nan() {
+                continue;
+            }
+            let i = if width > 0.0 && width.is_finite() {
+                (((v - min) / width) as usize).min(buckets - 1)
+            } else {
+                0
+            };
+            hist[i] += 1;
+        }
+        ColumnSynopsis {
+            min,
+            max,
+            count,
+            sum,
+            sum_sq,
+            hist,
+        }
+    }
+
+    /// Bounds on how many of this column's non-NaN values fall in the
+    /// half-open interval `[lo, hi)`: returns `(lower, upper)` with
+    /// `lower <= true count <= upper <= count`.
+    ///
+    /// Sound under floating-point bucket-edge rounding because both sides
+    /// use the *same* monotone bucket-assignment function the histogram was
+    /// built with: a bucket strictly between `lo`'s and `hi`'s buckets holds
+    /// only values strictly inside `(lo, hi)`, and every selected value lands
+    /// in a bucket between them inclusively. NaN interval endpoints or an
+    /// unusable envelope degrade to the conservative `(0, count)`.
+    pub fn mass_in(&self, lo: f64, hi: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        if lo.is_nan()
+            || hi.is_nan()
+            || self.min.is_nan()
+            || self.max.is_nan()
+            || self.min > self.max
+        {
+            return (0, self.count);
+        }
+        // Envelope provably disjoint from the interval (closed envelope vs
+        // half-open interval, the same boundary logic as zone-map pruning).
+        if self.max < lo || self.min >= hi {
+            return (0, 0);
+        }
+        let width = (self.max - self.min) / self.hist.len() as f64;
+        if !width.is_finite() || width <= 0.0 {
+            // Degenerate (all values equal) or unbucketable (infinite
+            // envelope): every value sits in [min, max].
+            return if self.min >= lo && self.max < hi {
+                (self.count, self.count)
+            } else {
+                (0, self.count)
+            };
+        }
+        let last = self.hist.len() - 1;
+        let bucket_of = |v: f64| (((v - self.min) / width) as usize).min(last);
+        // None = unbounded on that side (the endpoint clears the envelope).
+        let lo_idx = (lo > self.min).then(|| bucket_of(lo));
+        let hi_idx = (hi <= self.max).then(|| bucket_of(hi));
+        let mut lower = 0u64;
+        let mut upper = 0u64;
+        for (i, &c) in self.hist.iter().enumerate() {
+            if lo_idx.is_none_or(|b| i > b) && hi_idx.is_none_or(|b| i < b) {
+                lower += c;
+            }
+            if lo_idx.is_none_or(|b| i >= b) && hi_idx.is_none_or(|b| i <= b) {
+                upper += c;
+            }
+        }
+        (lower, upper)
+    }
+}
+
+/// Answer-bearing per-block synopsis: one [`ColumnSynopsis`] per column plus
+/// a handful of sampled rows. Where [`BlockStats`] can only *prune* a block,
+/// a `BlockSynopsis` can *answer* from it — fully-covered blocks compose
+/// their moments exactly, partially-covered blocks bound their selected mass
+/// through the histograms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSynopsis {
+    /// First row of the block (inclusive).
+    pub row_start: RowId,
+    /// One past the last row of the block (exclusive).
+    pub row_end: RowId,
+    /// Per-column synopses, indexed by `AttrId`.
+    pub cols: Vec<ColumnSynopsis>,
+    /// Deterministically stride-sampled rows (each `cols.len()` wide; may
+    /// contain NaN fields). Empty when sampling is disabled.
+    pub samples: Vec<Vec<f64>>,
+}
+
+impl BlockSynopsis {
+    /// Number of rows the block covers.
+    pub fn rows(&self) -> u64 {
+        self.row_end - self.row_start
+    }
+
+    /// Whether **every** row of this block provably falls inside `window`:
+    /// the axis envelopes sit inside the half-open window and no axis value
+    /// is NaN (a NaN coordinate is never selected, so it would break full
+    /// coverage). `false` just means "not provable".
+    pub fn covered_by(&self, x_axis: AttrId, y_axis: AttrId, window: &Rect) -> bool {
+        let rows = self.rows();
+        if rows == 0 {
+            return false;
+        }
+        let inside = |a: AttrId, lo: f64, hi: f64| match self.cols.get(a) {
+            Some(c) => c.count == rows && c.min >= lo && c.max < hi,
+            None => false,
+        };
+        inside(x_axis, window.x_min, window.x_max) && inside(y_axis, window.y_min, window.y_max)
+    }
+
+    /// `(lower, upper)` bounds on how many of this block's rows `window`
+    /// selects, from the two axis histograms: the upper bound is the smaller
+    /// axis mass, the lower bound is the inclusion–exclusion floor
+    /// `|X| + |Y| - rows`.
+    pub fn selected_mass(&self, x_axis: AttrId, y_axis: AttrId, window: &Rect) -> (u64, u64) {
+        let rows = self.rows();
+        let axis = |a: AttrId, lo: f64, hi: f64| match self.cols.get(a) {
+            Some(c) => c.mass_in(lo, hi),
+            None => (0, rows),
+        };
+        let (xl, xu) = axis(x_axis, window.x_min, window.x_max);
+        let (yl, yu) = axis(y_axis, window.y_min, window.y_max);
+        let upper = xu.min(yu).min(rows);
+        let lower = (xl + yl).saturating_sub(rows).min(upper);
+        (lower, upper)
+    }
+
+    /// Approximate in-memory footprint of this synopsis (the bytes the
+    /// `synopsis_bytes` meter charges per consultation).
+    pub fn approx_bytes(&self) -> u64 {
+        let cols: u64 = self.cols.iter().map(|c| 40 + 8 * c.hist.len() as u64).sum();
+        let samples: u64 = self.samples.iter().map(|s| 8 * s.len() as u64).sum();
+        16 + cols + samples
+    }
+}
+
+/// Builds per-block synopses from fully-buffered columns — the shared engine
+/// behind the PaiZone writer's one-pass build and the CSV backends' lazy
+/// computation. Row samples are taken at a deterministic even stride (no
+/// RNG, so identical inputs always produce identical synopses).
+pub fn build_block_synopses(
+    columns: &[Vec<f64>],
+    block_rows: u32,
+    spec: &SynopsisSpec,
+) -> Vec<BlockSynopsis> {
+    assert!(block_rows > 0, "block_rows must be positive");
+    let n_rows = columns.first().map_or(0, |c| c.len());
+    let n_blocks = n_rows.div_ceil(block_rows as usize);
+    let mut out = Vec::with_capacity(n_blocks);
+    for b in 0..n_blocks {
+        let start = b * block_rows as usize;
+        let end = (start + block_rows as usize).min(n_rows);
+        let rows = end - start;
+        let cols: Vec<ColumnSynopsis> = columns
+            .iter()
+            .map(|c| ColumnSynopsis::from_values(&c[start..end], spec.buckets))
+            .collect();
+        let n_samples = spec.sample_rows.min(rows);
+        let mut samples = Vec::with_capacity(n_samples);
+        for k in 0..n_samples {
+            let r = start + k * rows / n_samples;
+            samples.push(columns.iter().map(|c| c[r]).collect());
+        }
+        out.push(BlockSynopsis {
+            row_start: start as RowId,
+            row_end: end as RowId,
+            cols,
+            samples,
+        });
+    }
+    out
+}
+
+/// Buffers every numeric column of `file` with one metered scan and builds
+/// synthetic-block synopses over it — the lazy path for backends without
+/// block structure. Fails (→ no synopses) on text columns.
+fn compute_scan_synopses(file: &dyn RawFile) -> Result<Vec<BlockSynopsis>> {
+    let n_cols = file.schema().len();
+    let wanted: Vec<AttrId> = (0..n_cols).collect();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n_cols];
+    let mut vals = Vec::with_capacity(n_cols);
+    file.scan(&mut |_, _, rec| {
+        rec.extract_f64(&wanted, &mut vals)?;
+        for (col, &v) in columns.iter_mut().zip(&vals) {
+            col.push(v);
+        }
+        Ok(())
+    })?;
+    Ok(build_block_synopses(
+        &columns,
+        SYNOPSIS_BLOCK_ROWS,
+        &SynopsisSpec::default(),
+    ))
+}
+
 /// In-situ raw data file: schema-aware sequential and positional access.
 ///
 /// This is the seam between the AQP engine and the bytes on disk. Everything
@@ -276,6 +561,24 @@ pub trait RawFile: Send + Sync {
     /// default) means the file has no block structure — CSV text, for
     /// example — and every pushdown path degrades to unfiltered behavior.
     fn block_stats(&self) -> Option<&[BlockStats]> {
+        None
+    }
+
+    /// Per-block answer-bearing synopses, when the backend maintains (or can
+    /// derive) them. `None` (the default) means synopsis-first evaluation is
+    /// unavailable and every query pays data I/O. PaiZone v2 files decode
+    /// synopses from the header; CSV backends compute them lazily with one
+    /// metered scan; wrappers forward to their inner file.
+    fn block_synopses(&self) -> Option<&[BlockSynopsis]> {
+        None
+    }
+
+    /// Expected logical bytes a positional read pays per (row, attribute)
+    /// value, when the backend can estimate it cheaply — the seam cost
+    /// prediction uses to turn "objects to read" into "bytes to read".
+    /// `None` (the default) means the caller must fall back to file-level
+    /// averages (`size_bytes` over total rows).
+    fn value_bytes_hint(&self) -> Option<f64> {
         None
     }
 
@@ -361,6 +664,14 @@ impl<T: RawFile + ?Sized> RawFile for Box<T> {
 
     fn block_stats(&self) -> Option<&[BlockStats]> {
         (**self).block_stats()
+    }
+
+    fn block_synopses(&self) -> Option<&[BlockSynopsis]> {
+        (**self).block_synopses()
+    }
+
+    fn value_bytes_hint(&self) -> Option<f64> {
+        (**self).value_bytes_hint()
     }
 
     fn scan_filtered(&self, window: &Rect, handler: &mut RowHandler<'_>) -> Result<()> {
@@ -503,6 +814,9 @@ pub struct CsvFile {
     fmt: CsvFormat,
     counters: IoCounters,
     size_bytes: u64,
+    /// Lazily-computed synthetic-block synopses, shared across clones
+    /// (`None` inside = the compute pass failed, e.g. on text columns).
+    synopses: Arc<OnceLock<Option<Vec<BlockSynopsis>>>>,
 }
 
 impl CsvFile {
@@ -516,6 +830,7 @@ impl CsvFile {
             fmt,
             counters: IoCounters::new(),
             size_bytes: meta.len(),
+            synopses: Arc::new(OnceLock::new()),
         })
     }
 
@@ -574,6 +889,12 @@ impl RawFile for CsvFile {
         }
         crate::scan::scan_range(&self.path, &self.fmt, partition, &self.counters, handler)
     }
+
+    fn block_synopses(&self) -> Option<&[BlockSynopsis]> {
+        self.synopses
+            .get_or_init(|| compute_scan_synopses(self).ok())
+            .as_deref()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -589,6 +910,8 @@ pub struct MemFile {
     schema: Schema,
     fmt: CsvFormat,
     counters: IoCounters,
+    /// Lazily-computed synthetic-block synopses, shared across clones.
+    synopses: Arc<OnceLock<Option<Vec<BlockSynopsis>>>>,
 }
 
 impl MemFile {
@@ -599,6 +922,7 @@ impl MemFile {
             schema,
             fmt,
             counters: IoCounters::new(),
+            synopses: Arc::new(OnceLock::new()),
         }
     }
 
@@ -650,6 +974,12 @@ impl RawFile for MemFile {
     fn read_rows(&self, locators: &[RowLocator], attrs: &[AttrId]) -> Result<Vec<Vec<f64>>> {
         let mut reader = Cursor::new(self.data.as_slice());
         read_rows_impl(&mut reader, &self.fmt, &self.counters, locators, attrs)
+    }
+
+    fn block_synopses(&self) -> Option<&[BlockSynopsis]> {
+        self.synopses
+            .get_or_init(|| compute_scan_synopses(self).ok())
+            .as_deref()
     }
 }
 
@@ -931,6 +1261,112 @@ mod tests {
         assert!(nan.may_intersect_window(0, 1, &Rect::new(100.0, 200.0, 100.0, 200.0)));
         // Missing columns can never prune either.
         assert!(b.may_intersect_window(7, 8, &Rect::new(100.0, 200.0, 100.0, 200.0)));
+    }
+
+    #[test]
+    fn column_synopsis_moments_and_histogram() {
+        let vals = [1.0, 2.0, 3.0, 4.0, f64::NAN, 5.0];
+        let s = ColumnSynopsis::from_values(&vals, 4);
+        assert_eq!(s.count, 5, "NaN excluded");
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.sum, 15.0);
+        assert_eq!(s.sum_sq, 55.0);
+        assert_eq!(s.hist.iter().sum::<u64>(), 5);
+        // [2, 4): true count is 2 (values 2, 3); bounds must contain it.
+        let (lo, hi) = s.mass_in(2.0, 4.0);
+        assert!(lo <= 2 && 2 <= hi, "({lo}, {hi})");
+        // The whole envelope (half-open, so past max).
+        assert_eq!(s.mass_in(0.0, 6.0), (5, 5));
+        // Disjoint on either side.
+        assert_eq!(s.mass_in(6.0, 9.0), (0, 0));
+        assert_eq!(s.mass_in(-3.0, 1.0), (0, 0), "hi edge is exclusive");
+        // Window starting exactly at max still may select max.
+        let (lo, hi) = s.mass_in(5.0, 9.0);
+        assert!(lo <= 1 && 1 <= hi);
+    }
+
+    #[test]
+    fn column_synopsis_degenerate_and_empty() {
+        let all_nan = ColumnSynopsis::from_values(&[f64::NAN, f64::NAN], 4);
+        assert_eq!(all_nan.count, 0);
+        assert_eq!(all_nan.mass_in(0.0, 1.0), (0, 0));
+
+        let constant = ColumnSynopsis::from_values(&[7.0; 10], 4);
+        assert_eq!(constant.mass_in(7.0, 8.0), (10, 10));
+        assert_eq!(constant.mass_in(0.0, 7.0), (0, 0), "hi edge exclusive");
+
+        // NaN interval endpoints degrade conservatively.
+        let s = ColumnSynopsis::from_values(&[1.0, 2.0], 4);
+        assert_eq!(s.mass_in(f64::NAN, 5.0), (0, 2));
+
+        // Infinite envelope cannot be bucketed; still sound.
+        let inf = ColumnSynopsis::from_values(&[0.0, f64::INFINITY], 4);
+        assert_eq!(inf.mass_in(-1.0, 1.0), (0, 2));
+    }
+
+    #[test]
+    fn block_synopsis_coverage_and_mass() {
+        // Two columns: x = row id, y = constant 5.
+        let columns = vec![(0..8).map(|i| i as f64).collect(), vec![5.0; 8]];
+        let blocks = build_block_synopses(&columns, 4, &SynopsisSpec::default());
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].row_start, 0);
+        assert_eq!(blocks[0].row_end, 4);
+        assert_eq!(blocks[1].rows(), 4);
+        // Block 0 (x in [0,3], y = 5) is covered by a window past both.
+        let covering = Rect::new(-1.0, 4.0, 0.0, 10.0);
+        assert!(blocks[0].covered_by(0, 1, &covering));
+        assert!(!blocks[1].covered_by(0, 1, &covering));
+        // Fully-selected block: exact mass.
+        assert_eq!(blocks[0].selected_mass(0, 1, &covering), (4, 4));
+        // A window selecting y nothing: (0, 0).
+        let dead = Rect::new(-1.0, 4.0, 10.0, 20.0);
+        assert_eq!(blocks[0].selected_mass(0, 1, &dead), (0, 0));
+        // Partial window: bounds contain the truth (x in [1, 3) → 2 rows).
+        let partial = Rect::new(1.0, 3.0, 0.0, 10.0);
+        let (lo, hi) = blocks[0].selected_mass(0, 1, &partial);
+        assert!(lo <= 2 && 2 <= hi, "({lo}, {hi})");
+        assert!(blocks[0].approx_bytes() > 0);
+        // Samples: deterministic, within the block, schema-wide.
+        assert_eq!(blocks[0].samples.len(), 4);
+        for s in &blocks[0].samples {
+            assert_eq!(s.len(), 2);
+            assert!(s[0] >= 0.0 && s[0] < 4.0);
+        }
+    }
+
+    #[test]
+    fn csv_backends_compute_synopses_lazily() {
+        let f = sample();
+        assert!(f.block_stats().is_none(), "CSV still has no zone maps");
+        let before = f.counters().full_scans();
+        let syn = f.block_synopses().expect("numeric CSV derives synopses");
+        assert_eq!(syn.len(), 1, "3 rows fit one synthetic block");
+        assert_eq!(syn[0].rows(), 3);
+        assert_eq!(syn[0].cols[0].sum, 6.0);
+        assert_eq!(
+            f.counters().full_scans(),
+            before + 1,
+            "the lazy compute pays one metered scan"
+        );
+        // Second call is free and shared across clones.
+        let clone = f.clone();
+        let again = clone.block_synopses().unwrap();
+        assert_eq!(again[0].cols[0].sum, 6.0);
+        assert_eq!(f.counters().full_scans(), before + 1);
+    }
+
+    #[test]
+    fn text_columns_yield_no_synopses() {
+        let schema = Schema::new(
+            vec![Column::float("x"), Column::float("y"), Column::text("name")],
+            0,
+            1,
+        )
+        .unwrap();
+        let f = MemFile::from_text("1,2,alpha\n", schema, CsvFormat::headerless());
+        assert!(f.block_synopses().is_none());
     }
 
     #[test]

@@ -59,9 +59,9 @@ use pai_common::{AttrId, IoCounters, PaiError, Result, RowLocator};
 
 use crate::cache::{BlockCache, CacheConfig, CacheMode};
 use crate::column::{BinFile, PAIBIN_MAGIC};
-use crate::raw::{BlockStats, RawFile, RowHandler, ScanPartition};
+use crate::raw::{BlockStats, BlockSynopsis, RawFile, RowHandler, ScanPartition};
 use crate::schema::Schema;
-use crate::zone::{ZoneFile, PAIZONE_MAGIC};
+use crate::zone::{ZoneFile, PAIZONE_MAGIC, PAIZONE_MAGIC_V2};
 
 /// Client-side tuning for a remote object.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -849,7 +849,7 @@ impl HttpFile {
     ) -> Result<HttpFile> {
         let blob = Arc::new(HttpBlob::open(addr, object, opts, IoCounters::new())?);
         let magic = blob.prefix().get(..8).unwrap_or_default();
-        let inner = if magic == PAIZONE_MAGIC {
+        let inner = if magic == PAIZONE_MAGIC || magic == PAIZONE_MAGIC_V2 {
             HttpInner::Zone(ZoneFile::open_remote(Arc::clone(&blob))?)
         } else if magic == PAIBIN_MAGIC {
             HttpInner::Bin(BinFile::open_remote(Arc::clone(&blob))?)
@@ -910,6 +910,14 @@ impl RawFile for HttpFile {
 
     fn block_stats(&self) -> Option<&[BlockStats]> {
         self.as_raw().block_stats()
+    }
+
+    fn block_synopses(&self) -> Option<&[BlockSynopsis]> {
+        self.as_raw().block_synopses()
+    }
+
+    fn value_bytes_hint(&self) -> Option<f64> {
+        self.as_raw().value_bytes_hint()
     }
 
     fn scan_filtered(&self, window: &Rect, handler: &mut RowHandler<'_>) -> Result<()> {

@@ -22,7 +22,7 @@
 //! ## On-disk layout
 //!
 //! ```text
-//! magic      8  bytes   b"PAIZONE1"
+//! magic      8  bytes   b"PAIZONE2" (v1 files, b"PAIZONE1", still open)
 //! n_cols     u32 LE
 //! x_axis     u32 LE     axis column ids (see `Schema`)
 //! y_axis     u32 LE
@@ -31,13 +31,31 @@
 //! per column: name_len u16 LE, then `name_len` UTF-8 bytes
 //! block table: per column, per block:
 //!              min_enc u64 LE, max_enc u64 LE, bit_width u8 (≤ 64)
+//! synopses   v2 only — see "Synopsis section" below; absent in v1
 //! data       per column, per block: ceil(rows_in_block · bit_width / 8)
 //!            bytes of little-endian bit-packed deltas (byte-aligned per
 //!            block; width-0 blocks store no bytes at all)
 //! ```
 //!
-//! A block whose values are all equal (width 0) is answered entirely from
-//! the header — constant columns cost zero data I/O.
+//! ### Synopsis section (v2)
+//!
+//! Between the block table and the data region, v2 files carry per-block
+//! answer-bearing synopses ([`crate::raw::BlockSynopsis`]):
+//!
+//! ```text
+//! sect_len   u64 LE     bytes of the section after this field
+//! n_buckets  u32 LE     histogram buckets per column (1..=4096)
+//! sample_cap u32 LE     row-sample budget per block (<= 65536)
+//! per column, per block (column-major, like the block table):
+//!            min f64, max f64, count u64, sum f64, sum_sq f64,
+//!            hist n_buckets × u64            (all LE; floats as IEEE bits)
+//! per block: n_samples u32 LE, then n_samples × n_cols × f64 LE
+//! ```
+//!
+//! The decoder consumes exactly `sect_len` bytes and errors (never panics)
+//! on truncated, oversized, or mismatched sections; v1 files simply read as
+//! "no synopses". A block whose values are all equal (width 0) is answered
+//! entirely from the header — constant columns cost zero data I/O.
 
 use std::fs::File;
 use std::io::{BufReader, Cursor, Read};
@@ -50,12 +68,25 @@ use pai_common::{AttrId, IoCounters, PaiError, Result, RowId, RowLocator};
 use crate::cache::CacheMode;
 use crate::fetch::{SpanFetcher, SpanMeters};
 use crate::mapped::Mapping;
-use crate::raw::{BlockStats, RawFile, Record, RowHandler, ScanPartition};
+use crate::raw::{
+    build_block_synopses, BlockStats, BlockSynopsis, RawFile, Record, RowHandler, ScanPartition,
+    SynopsisSpec,
+};
 use crate::remote::{BlobReader, HttpBlob};
 use crate::schema::{Column, Schema};
 
-/// File magic, including the format version.
+/// v1 file magic: no synopsis section (still readable).
 pub const PAIZONE_MAGIC: [u8; 8] = *b"PAIZONE1";
+
+/// v2 file magic: a synopsis section sits between the block table and the
+/// data region. This is what the writer emits.
+pub const PAIZONE_MAGIC_V2: [u8; 8] = *b"PAIZONE2";
+
+/// Upper bound on histogram buckets a v2 header may declare.
+const MAX_SYNOPSIS_BUCKETS: u32 = 4096;
+
+/// Upper bound on the per-block row-sample budget a v2 header may declare.
+const MAX_SYNOPSIS_SAMPLES: u32 = 65_536;
 
 /// Default rows per block. Matches `PaiBin`'s scan page so `blocks_read`
 /// counts are comparable across the binary backends.
@@ -182,6 +213,8 @@ struct ZoneHeader {
     cols: Vec<Vec<BlockMeta>>,
     /// Per row-block zone maps across all columns (the trait-level view).
     stats: Vec<BlockStats>,
+    /// Per row-block answer-bearing synopses (v2 files only).
+    synopses: Option<Vec<BlockSynopsis>>,
 }
 
 fn block_count(n_rows: u64, block_rows: u32) -> u64 {
@@ -193,12 +226,136 @@ fn rows_in_block(n_rows: u64, block_rows: u32, blk: u64) -> u64 {
     (n_rows - start).min(block_rows as u64)
 }
 
+/// Decodes the v2 synopsis section (everything after `sect_len`), verifying
+/// it consumes exactly `sect_len` bytes. Allocation guards mirror the block
+/// table's: nothing is allocated beyond what `sect_len` can physically hold.
+fn decode_synopsis_section<R: Read>(
+    reader: &mut R,
+    sect_len: u64,
+    n_cols: usize,
+    n_rows: u64,
+    block_rows: u32,
+) -> Result<Vec<BlockSynopsis>> {
+    let mut consumed = 0u64;
+    let mut u32buf = [0u8; 4];
+    let mut u64buf = [0u8; 8];
+    macro_rules! read_u64 {
+        ($what:expr) => {{
+            reader
+                .read_exact(&mut u64buf)
+                .map_err(|_| corrupt(format!("truncated synopsis {}", $what)))?;
+            consumed += 8;
+            u64::from_le_bytes(u64buf)
+        }};
+    }
+    macro_rules! read_f64 {
+        ($what:expr) => {
+            f64::from_bits(read_u64!($what))
+        };
+    }
+    macro_rules! read_u32 {
+        ($what:expr) => {{
+            reader
+                .read_exact(&mut u32buf)
+                .map_err(|_| corrupt(format!("truncated synopsis {}", $what)))?;
+            consumed += 4;
+            u32::from_le_bytes(u32buf)
+        }};
+    }
+
+    let n_buckets = read_u32!("bucket count");
+    if n_buckets == 0 || n_buckets > MAX_SYNOPSIS_BUCKETS {
+        return Err(corrupt(format!(
+            "implausible synopsis bucket count {n_buckets} (max {MAX_SYNOPSIS_BUCKETS})"
+        )));
+    }
+    let sample_cap = read_u32!("sample budget");
+    if sample_cap > MAX_SYNOPSIS_SAMPLES {
+        return Err(corrupt(format!(
+            "implausible synopsis sample budget {sample_cap} (max {MAX_SYNOPSIS_SAMPLES})"
+        )));
+    }
+    let n_blocks = block_count(n_rows, block_rows);
+    // The fixed per-(column, block) records must physically fit in the
+    // declared section before anything their count sizes is allocated.
+    let fixed = (n_cols as u64)
+        .checked_mul(n_blocks)
+        .and_then(|v| v.checked_mul(40 + 8 * n_buckets as u64))
+        .ok_or_else(|| corrupt("synopsis section size overflows"))?;
+    if consumed.checked_add(fixed).is_none_or(|v| v > sect_len) {
+        return Err(corrupt(format!(
+            "synopsis records ({fixed} bytes) exceed the declared section ({sect_len} bytes)"
+        )));
+    }
+
+    let mut blocks: Vec<BlockSynopsis> = (0..n_blocks)
+        .map(|b| BlockSynopsis {
+            row_start: b * block_rows as u64,
+            row_end: b * block_rows as u64 + rows_in_block(n_rows, block_rows, b),
+            cols: Vec::with_capacity(n_cols),
+            samples: Vec::new(),
+        })
+        .collect();
+    for c in 0..n_cols {
+        for b in 0..n_blocks {
+            let what = format!("record (column {c}, block {b})");
+            let min = read_f64!(what);
+            let max = read_f64!(what);
+            let count = read_u64!(what);
+            let sum = read_f64!(what);
+            let sum_sq = read_f64!(what);
+            let mut hist = Vec::with_capacity(n_buckets as usize);
+            for _ in 0..n_buckets {
+                hist.push(read_u64!(what));
+            }
+            blocks[b as usize].cols.push(crate::raw::ColumnSynopsis {
+                min,
+                max,
+                count,
+                sum,
+                sum_sq,
+                hist,
+            });
+        }
+    }
+    for (b, block) in blocks.iter_mut().enumerate() {
+        let n_samples = read_u32!(format!("sample count (block {b})"));
+        let rows = rows_in_block(n_rows, block_rows, b as u64);
+        if n_samples as u64 > rows || n_samples > sample_cap {
+            return Err(corrupt(format!(
+                "block {b} declares {n_samples} samples (budget {sample_cap}, {rows} rows)"
+            )));
+        }
+        let row_bytes = (n_cols as u64) * 8 * n_samples as u64;
+        if consumed.checked_add(row_bytes).is_none_or(|v| v > sect_len) {
+            return Err(corrupt(format!(
+                "synopsis samples of block {b} exceed the declared section"
+            )));
+        }
+        block.samples.reserve(n_samples as usize);
+        for _ in 0..n_samples {
+            let mut row = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                row.push(read_f64!(format!("sample (block {b})")));
+            }
+            block.samples.push(row);
+        }
+    }
+    if consumed != sect_len {
+        return Err(corrupt(format!(
+            "synopsis section declares {sect_len} bytes but holds {consumed}"
+        )));
+    }
+    Ok(blocks)
+}
+
 fn decode_header<R: Read>(reader: &mut R, file_size: u64) -> Result<ZoneHeader> {
     let mut magic = [0u8; 8];
     reader
         .read_exact(&mut magic)
         .map_err(|_| corrupt("truncated magic"))?;
-    if magic != PAIZONE_MAGIC {
+    let v2 = magic == PAIZONE_MAGIC_V2;
+    if !v2 && magic != PAIZONE_MAGIC {
         return Err(corrupt("bad magic (not a PaiZone file?)"));
     }
     let mut u32buf = [0u8; 4];
@@ -309,6 +466,27 @@ fn decode_header<R: Read>(reader: &mut R, file_size: u64) -> Result<ZoneHeader> 
     }
     pos += table_bytes;
 
+    // v2: the synopsis section sits between the block table and the data
+    // region and participates in the exact-size accounting below.
+    let synopses = if v2 {
+        let mut u64buf = [0u8; 8];
+        reader
+            .read_exact(&mut u64buf)
+            .map_err(|_| corrupt("truncated synopsis section length"))?;
+        let sect_len = u64::from_le_bytes(u64buf);
+        pos += 8;
+        if pos.checked_add(sect_len).is_none_or(|v| v > file_size) {
+            return Err(corrupt(format!(
+                "synopsis section ({sect_len} bytes) exceeds the file"
+            )));
+        }
+        let blocks = decode_synopsis_section(reader, sect_len, n_cols, n_rows, block_rows)?;
+        pos += sect_len;
+        Some(blocks)
+    } else {
+        None
+    };
+
     // Resolve per-block data offsets (column-major, blocks consecutive)
     // with checked arithmetic.
     let mut offset = pos;
@@ -335,6 +513,7 @@ fn decode_header<R: Read>(reader: &mut R, file_size: u64) -> Result<ZoneHeader> 
         block_rows,
         cols,
         stats,
+        synopses,
     })
 }
 
@@ -342,8 +521,20 @@ fn decode_header<R: Read>(reader: &mut R, file_size: u64) -> Result<ZoneHeader> 
 // Encoding (the one-pass converter).
 // ---------------------------------------------------------------------------
 
-/// Serializes fully-buffered columns into PaiZone bytes.
+/// Serializes fully-buffered columns into PaiZone v2 bytes with the default
+/// synopsis parameters.
 fn encode_zone_columns(schema: &Schema, columns: &[Vec<f64>], block_rows: u32) -> Result<Vec<u8>> {
+    encode_zone_columns_spec(schema, columns, block_rows, &SynopsisSpec::default())
+}
+
+/// Serializes fully-buffered columns into PaiZone v2 bytes, building the
+/// synopsis section from the same buffers in the same pass.
+fn encode_zone_columns_spec(
+    schema: &Schema,
+    columns: &[Vec<f64>],
+    block_rows: u32,
+    spec: &SynopsisSpec,
+) -> Result<Vec<u8>> {
     assert!(
         (1..=MAX_BLOCK_ROWS).contains(&block_rows),
         "block_rows out of range"
@@ -361,7 +552,7 @@ fn encode_zone_columns(schema: &Schema, columns: &[Vec<f64>], block_rows: u32) -
     let n_blocks = block_count(n_rows, block_rows);
 
     let mut out = Vec::with_capacity(64);
-    out.extend_from_slice(&PAIZONE_MAGIC);
+    out.extend_from_slice(&PAIZONE_MAGIC_V2);
     out.extend_from_slice(&(schema.len() as u32).to_le_bytes());
     out.extend_from_slice(&(schema.x_axis() as u32).to_le_bytes());
     out.extend_from_slice(&(schema.y_axis() as u32).to_le_bytes());
@@ -405,6 +596,40 @@ fn encode_zone_columns(schema: &Schema, columns: &[Vec<f64>], block_rows: u32) -
         widths.push(col_widths);
         mins.push(col_mins);
     }
+
+    // Synopsis section (v2): derived from the same buffered columns, so the
+    // converter's one scan of the source pays for both layers.
+    let spec = SynopsisSpec {
+        buckets: spec.buckets.clamp(1, MAX_SYNOPSIS_BUCKETS as usize),
+        sample_rows: spec.sample_rows.min(MAX_SYNOPSIS_SAMPLES as usize),
+    };
+    let synopses = build_block_synopses(columns, block_rows, &spec);
+    let mut sect = Vec::new();
+    sect.extend_from_slice(&(spec.buckets as u32).to_le_bytes());
+    sect.extend_from_slice(&(spec.sample_rows as u32).to_le_bytes());
+    for c in 0..schema.len() {
+        for s in &synopses {
+            let col = &s.cols[c];
+            sect.extend_from_slice(&col.min.to_bits().to_le_bytes());
+            sect.extend_from_slice(&col.max.to_bits().to_le_bytes());
+            sect.extend_from_slice(&col.count.to_le_bytes());
+            sect.extend_from_slice(&col.sum.to_bits().to_le_bytes());
+            sect.extend_from_slice(&col.sum_sq.to_bits().to_le_bytes());
+            for &h in &col.hist {
+                sect.extend_from_slice(&h.to_le_bytes());
+            }
+        }
+    }
+    for s in &synopses {
+        sect.extend_from_slice(&(s.samples.len() as u32).to_le_bytes());
+        for row in &s.samples {
+            for &v in row {
+                sect.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    out.extend_from_slice(&(sect.len() as u64).to_le_bytes());
+    out.extend_from_slice(&sect);
 
     // Pass 2: bit-pack each block's deltas.
     let mut deltas: Vec<u64> = Vec::with_capacity(block_rows as usize);
@@ -486,6 +711,21 @@ where
     encode_zone_columns(schema, &columns, block_rows)
 }
 
+/// [`encode_zone_rows_with`] with explicit synopsis parameters (histogram
+/// resolution, per-block sample budget) — the benches' knob seam.
+pub fn encode_zone_rows_spec<I>(
+    schema: &Schema,
+    rows: I,
+    block_rows: u32,
+    spec: &SynopsisSpec,
+) -> Result<Vec<u8>>
+where
+    I: IntoIterator<Item = Vec<f64>>,
+{
+    let columns = buffer_rows(schema, rows)?;
+    encode_zone_columns_spec(schema, &columns, block_rows, spec)
+}
+
 /// One-pass converter: scans `src` once (metered on `src`'s counters),
 /// buffering each column, and returns the dataset re-encoded as PaiZone
 /// bytes with the default block size. Numeric-only, like `PaiBin`.
@@ -498,6 +738,16 @@ pub fn convert_to_zone(src: &dyn RawFile) -> Result<Vec<u8>> {
 pub fn convert_to_zone_with(src: &dyn RawFile, block_rows: u32) -> Result<Vec<u8>> {
     let (schema, columns) = buffer_columns(src)?;
     encode_zone_columns(&schema, &columns, block_rows)
+}
+
+/// [`convert_to_zone_with`] with explicit synopsis parameters.
+pub fn convert_to_zone_spec(
+    src: &dyn RawFile,
+    block_rows: u32,
+    spec: &SynopsisSpec,
+) -> Result<Vec<u8>> {
+    let (schema, columns) = buffer_columns(src)?;
+    encode_zone_columns_spec(&schema, &columns, block_rows, spec)
 }
 
 /// Converts `src` to PaiZone on disk at `path` and opens the result.
@@ -541,6 +791,7 @@ pub struct ZoneFile {
     size_bytes: u64,
     cols: Arc<Vec<Vec<BlockMeta>>>,
     stats: Arc<Vec<BlockStats>>,
+    synopses: Option<Arc<Vec<BlockSynopsis>>>,
     counters: IoCounters,
 }
 
@@ -619,6 +870,7 @@ impl ZoneFile {
             size_bytes: size,
             cols: Arc::new(header.cols),
             stats: Arc::new(header.stats),
+            synopses: header.synopses.map(Arc::new),
             counters: IoCounters::new(),
         }
     }
@@ -973,6 +1225,14 @@ impl RawFile for ZoneFile {
 
     fn block_stats(&self) -> Option<&[BlockStats]> {
         Some(&self.stats)
+    }
+
+    fn block_synopses(&self) -> Option<&[BlockSynopsis]> {
+        self.synopses.as_ref().map(|s| s.as_slice())
+    }
+
+    fn value_bytes_hint(&self) -> Option<f64> {
+        Some(self.mean_bits_per_value() / 8.0)
     }
 
     fn scan_filtered(&self, window: &Rect, handler: &mut RowHandler<'_>) -> Result<()> {
@@ -1420,6 +1680,125 @@ mod tests {
             err.to_string().contains("envelope") || err.to_string().contains("match"),
             "{err}"
         );
+    }
+
+    /// Byte offset of the synopsis section's `sect_len` field for a file
+    /// with `n_cols` synthetic columns and `n_blocks` blocks.
+    fn sect_len_pos(n_cols: usize, n_blocks: u64) -> usize {
+        let names: usize = Schema::synthetic(n_cols)
+            .columns()
+            .iter()
+            .map(|c| 2 + c.name.len())
+            .sum();
+        32 + names + n_cols * n_blocks as usize * 17
+    }
+
+    #[test]
+    fn v2_round_trips_synopses() {
+        let f = striped(12); // 3 blocks of 4 rows
+        let syn = f.block_synopses().expect("v2 files carry synopses");
+        assert_eq!(syn.len(), 3);
+        assert_eq!(syn[1].row_start, 4);
+        assert_eq!(syn[1].row_end, 8);
+        // x = row id: block 1 holds 4..8.
+        assert_eq!(syn[1].cols[0].min, 4.0);
+        assert_eq!(syn[1].cols[0].max, 7.0);
+        assert_eq!(syn[1].cols[0].count, 4);
+        assert_eq!(syn[1].cols[0].sum, 22.0);
+        assert_eq!(syn[1].cols[0].sum_sq, 126.0);
+        assert_eq!(syn[1].cols[0].hist.iter().sum::<u64>(), 4);
+        assert_eq!(syn[0].samples.len(), 4, "default sample budget");
+        assert_eq!(syn[0].samples[0].len(), 3, "samples are schema-wide");
+
+        // Disk + mmap round trips preserve the section bit-exactly.
+        let dir = std::env::temp_dir().join("pai_zone_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("synopses.paizone");
+        let csv = MemFile::from_rows(Schema::synthetic(3), CsvFormat::default(), rows()).unwrap();
+        let zone = write_zone(&csv, &path).unwrap();
+        let from_disk = zone.block_synopses().unwrap().to_vec();
+        let mapped = ZoneFile::open_mapped(&path).unwrap();
+        assert_eq!(mapped.block_synopses().unwrap(), from_disk.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_files_read_as_no_synopses() {
+        // Rewrite a v2 image as v1 by dropping the synopsis section; the
+        // decoder must accept it and everything but synopses still works.
+        let f = striped(12);
+        let bytes = encode_zone_rows_with(
+            &Schema::synthetic(3),
+            (0..12)
+                .map(|i| vec![i as f64, (i % 7) as f64, i as f64 * 10.0])
+                .collect::<Vec<_>>(),
+            4,
+        )
+        .unwrap();
+        let pos = sect_len_pos(3, 3);
+        let sect_len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
+        let mut v1 = bytes.clone();
+        v1.drain(pos..pos + 8 + sect_len);
+        v1[..8].copy_from_slice(&PAIZONE_MAGIC);
+        let old = ZoneFile::from_bytes(v1).unwrap();
+        assert!(old.block_synopses().is_none(), "v1 = no synopses");
+        assert!(old.block_stats().is_some(), "zone maps survive");
+        let vals = old.read_rows(&[RowLocator::new(5)], &[2]).unwrap();
+        assert_eq!(vals, vec![vec![50.0]]);
+        // And the v2 original answers identically.
+        let vals2 = f.read_rows(&[RowLocator::new(5)], &[2]).unwrap();
+        assert_eq!(vals, vals2);
+    }
+
+    #[test]
+    fn corrupt_synopsis_sections_fail_cleanly() {
+        let bytes = convert_to_zone(
+            &MemFile::from_rows(Schema::synthetic(3), CsvFormat::default(), rows()).unwrap(),
+        )
+        .unwrap();
+        assert!(ZoneFile::from_bytes(bytes.clone()).is_ok());
+        let pos = sect_len_pos(3, 1);
+
+        // Oversized: a section length past the end of the file.
+        let mut crafted = bytes.clone();
+        crafted[pos..pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = ZoneFile::from_bytes(crafted).unwrap_err();
+        assert!(err.to_string().contains("exceeds the file"), "{err}");
+
+        // Mismatched: one byte longer than the records it holds.
+        let sect_len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        let mut crafted = bytes.clone();
+        crafted[pos..pos + 8].copy_from_slice(&(sect_len + 1).to_le_bytes());
+        let err = ZoneFile::from_bytes(crafted).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+
+        // Absurd bucket counts must not allocate.
+        for buckets in [0u32, u32::MAX] {
+            let mut crafted = bytes.clone();
+            crafted[pos + 8..pos + 12].copy_from_slice(&buckets.to_le_bytes());
+            let err = ZoneFile::from_bytes(crafted).unwrap_err();
+            assert!(err.to_string().contains("bucket count"), "{buckets}: {err}");
+        }
+
+        // Absurd sample budget.
+        let mut crafted = bytes.clone();
+        crafted[pos + 12..pos + 16].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = ZoneFile::from_bytes(crafted).unwrap_err();
+        assert!(err.to_string().contains("sample budget"), "{err}");
+
+        // Truncated mid-section.
+        let mut truncated = bytes.clone();
+        truncated.truncate(pos + 20);
+        assert!(ZoneFile::from_bytes(truncated).is_err());
+
+        // A sample count beyond the declared budget (the count sits after
+        // the fixed per-(column, block) records).
+        let n_buckets = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap()) as usize;
+        let samples_at = pos + 16 + 3 * (40 + 8 * n_buckets);
+        let mut crafted = bytes.clone();
+        crafted[samples_at..samples_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = ZoneFile::from_bytes(crafted).unwrap_err();
+        assert!(err.to_string().contains("samples"), "{err}");
     }
 
     #[test]

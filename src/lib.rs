@@ -69,8 +69,8 @@ pub mod prelude {
         LatencyHistogram, PaiError, Result, RowLocator, RunningStats,
     };
     pub use pai_core::{
-        ApproxResult, ApproximateEngine, EagerRefinement, EngineConfig, NormalizationMode,
-        SelectionPolicy, SharedIndex, ValueEstimator,
+        predict_query_io, ApproxResult, ApproximateEngine, EagerRefinement, EngineConfig,
+        IoPrediction, NormalizationMode, SelectionPolicy, SharedIndex, ValueEstimator,
     };
     pub use pai_index::init::{build, build_clipped, build_parallel, GridSpec, InitConfig};
     pub use pai_index::{
@@ -84,10 +84,11 @@ pub mod prelude {
         PaiClient, PaiServer, ServeEngine, ServedAnswer, ServedReply, ServerConfig, ServerStats,
     };
     pub use pai_storage::{
-        convert_to_bin, convert_to_zone, write_bin, write_zone, BinFile, BlockCache, BlockStats,
-        CacheConfig, CachedFile, CsvFile, CsvFormat, DatasetSpec, Fault, FaultPlan, HttpFile,
-        HttpOptions, LatencyFile, MemFile, ObjectStore, PointDistribution, RawFile, RowOrder,
-        Schema, StorageBackend, ValueModel, ZoneFile,
+        convert_to_bin, convert_to_zone, convert_to_zone_spec, write_bin, write_zone, BinFile,
+        BlockCache, BlockStats, BlockSynopsis, CacheConfig, CachedFile, ColumnSynopsis, CsvFile,
+        CsvFormat, DatasetSpec, Fault, FaultPlan, HttpFile, HttpOptions, LatencyFile, MemFile,
+        ObjectStore, PointDistribution, RawFile, RowOrder, Schema, StorageBackend, SynopsisSpec,
+        ValueModel, ZoneFile,
     };
 }
 

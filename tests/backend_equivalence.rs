@@ -44,14 +44,40 @@ fn run_sequence(
     windows: &[Rect],
     phi: f64,
 ) -> (Vec<ApproxResult>, u64, u64, usize) {
+    run_sequence_with(
+        file,
+        spec,
+        grid,
+        windows,
+        phi,
+        MetadataPolicy::AllNumeric,
+        false,
+    )
+}
+
+/// [`run_sequence`] with the initialization metadata policy and the
+/// synopsis-first evaluation path under the caller's control.
+#[allow(clippy::type_complexity)]
+fn run_sequence_with(
+    file: &dyn RawFile,
+    spec: &DatasetSpec,
+    grid: usize,
+    windows: &[Rect],
+    phi: f64,
+    metadata: MetadataPolicy,
+    synopsis: bool,
+) -> (Vec<ApproxResult>, u64, u64, usize) {
     let init = InitConfig {
         grid: GridSpec::Fixed { nx: grid, ny: grid },
         domain: Some(spec.domain),
-        metadata: MetadataPolicy::AllNumeric,
+        metadata,
     };
     let (index, _) = build(file, &init).expect("init");
-    let mut engine =
-        ApproximateEngine::new(index, file, EngineConfig::paper_evaluation()).expect("engine");
+    let cfg = EngineConfig {
+        synopsis,
+        ..EngineConfig::paper_evaluation()
+    };
+    let mut engine = ApproximateEngine::new(index, file, cfg).expect("engine");
     file.counters().reset();
     let aggs = [
         AggregateFunction::Count,
@@ -469,4 +495,78 @@ fn zone_pushdown_strictly_cheaper_deterministic() {
         sz.bytes_read,
         sb.bytes_read
     );
+}
+
+/// Metadata-free cold start (`MetadataPolicy::None`) converges to the same
+/// answers as eager `AllNumeric` seeding on every backend. The trajectories
+/// legitimately differ (None has to discover per-tile metadata as it
+/// refines), and the converged sums are folded in a different grouping
+/// order, so values match to relative 1e-9 rather than bit-exactly.
+#[test]
+fn metadata_free_cold_start_converges_on_every_backend() {
+    let spec = dataset(900, 7, 4);
+    let csv = spec.build_mem(CsvFormat::default()).unwrap();
+    let bin = BinFile::from_bytes(convert_to_bin(&csv).unwrap()).unwrap();
+    let zone = ZoneFile::from_bytes(convert_to_zone(&csv).unwrap()).unwrap();
+    let store = ObjectStore::serve().unwrap();
+    store.put("cold.paizone", convert_to_zone(&csv).unwrap());
+    let http = HttpFile::open(store.addr(), "cold.paizone", HttpOptions::default()).unwrap();
+
+    let windows = [
+        Rect::new(100.0, 450.0, 100.0, 450.0),
+        Rect::new(300.0, 700.0, 200.0, 600.0),
+        Rect::new(50.0, 950.0, 50.0, 950.0),
+    ];
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+
+    for (label, file) in [
+        ("csv", &csv as &dyn RawFile),
+        ("bin", &bin),
+        ("zone", &zone),
+        ("http", &http),
+    ] {
+        // φ = 0: both policies drive to exact answers.
+        let (seeded, ..) = run_sequence_with(
+            file,
+            &spec,
+            4,
+            &windows,
+            0.0,
+            MetadataPolicy::AllNumeric,
+            false,
+        );
+        let (cold, ..) =
+            run_sequence_with(file, &spec, 4, &windows, 0.0, MetadataPolicy::None, false);
+        for (i, (s, c)) in seeded.iter().zip(&cold).enumerate() {
+            assert_eq!(s.values.len(), c.values.len());
+            for (sv, cv) in s.values.iter().zip(&c.values) {
+                match (sv.as_f64(), cv.as_f64()) {
+                    (Some(a), Some(b)) => {
+                        assert!(close(a, b), "{label} query {i}: {a} vs cold {b}")
+                    }
+                    (a, b) => assert_eq!(a, b, "{label} query {i}: presence must agree"),
+                }
+            }
+            assert_eq!(s.error_bound, 0.0, "{label} query {i}: seeded exact");
+            assert_eq!(c.error_bound, 0.0, "{label} query {i}: cold exact");
+        }
+
+        // Cold start *with* synopses at φ = 5%: still sound against truth.
+        let (approx, ..) =
+            run_sequence_with(file, &spec, 4, &windows, 0.05, MetadataPolicy::None, true);
+        for (w, res) in windows.iter().zip(&approx) {
+            assert!(res.met_constraint && res.error_bound <= 0.05 + 1e-12);
+            let truth = &pai_storage::ground_truth::window_truth(file, w, &[2]).unwrap()[0];
+            let selected = truth.selected as f64;
+            let expect = [selected, truth.stats.sum(), truth.stats.sum() / selected];
+            for (ci, t) in res.cis.iter().zip(expect) {
+                if let Some(ci) = ci {
+                    assert!(
+                        ci.contains(t) || close(ci.lo(), t) || close(ci.hi(), t),
+                        "{label}: CI {ci:?} lost truth {t}"
+                    );
+                }
+            }
+        }
+    }
 }

@@ -12,7 +12,10 @@
 //! block ever reaches a query. Two server legs re-run the shared-cache
 //! race *over the wire* through `PaiServer`'s session queues and worker
 //! pool (every served answer truth-checked), and prove a client killed
-//! mid-query costs the server nothing but a metered dropped reply.
+//! mid-query costs the server nothing but a metered dropped reply. A
+//! synopsis leg races zero-adaptation `estimate_synopsis` readers against
+//! the same adapting writers: every estimate handed out mid-race must
+//! still bound the ground truth.
 //!
 //! CI runs this suite in **release mode** as a dedicated step so
 //! lock-ordering and optimistic-apply bugs surface under optimized timing,
@@ -499,4 +502,144 @@ fn locked_and_pipelined_writers_interleave() {
         }
     });
     shared.with_index(|idx| idx.validate_invariants().unwrap());
+}
+
+/// Synopsis readers race writers adapting the same `SharedIndex`: every
+/// zero-adaptation estimate handed out mid-race must still bound the
+/// ground truth. The synopsis path folds block moments against a snapshot
+/// of the *live* index's exact selected counts, so a stale or torn view of
+/// a tile being split concurrently would surface as a CI that lost the
+/// truth. Runs over the remote zone image through a sliver-sized shared
+/// block cache, so the writers churn the cache at the same time.
+#[test]
+fn synopsis_readers_stay_sound_while_writers_adapt() {
+    let spec = DatasetSpec {
+        rows: 12_000,
+        columns: 4,
+        seed: 47,
+        ..Default::default()
+    };
+    let csv = spec.build_mem(CsvFormat::default()).unwrap();
+    let image = convert_to_zone(&csv).unwrap();
+    let zone = ZoneFile::from_bytes(image.clone()).unwrap();
+    let store = ObjectStore::serve().unwrap();
+    let mem_budget = (image.len() / 4) as u64;
+    let disk_budget = 2 * image.len() as u64;
+    store.put("synopsis-stress.paizone", image);
+    let spill = std::env::temp_dir().join(format!("pai-syn-spill-{}", std::process::id()));
+    let cache = Arc::new(BlockCache::new(
+        CacheConfig::new(mem_budget, disk_budget).with_spill_dir(spill.clone()),
+    ));
+    let file = CachedFile::new(
+        Box::new(
+            HttpFile::open(
+                store.addr(),
+                "synopsis-stress.paizone",
+                HttpOptions::default(),
+            )
+            .unwrap(),
+        ),
+        Arc::clone(&cache),
+    );
+    let init = InitConfig {
+        grid: GridSpec::Fixed { nx: 6, ny: 6 },
+        domain: Some(spec.domain),
+        metadata: MetadataPolicy::AllNumeric,
+    };
+    let (index, _) = build(&file, &init).unwrap();
+    let config = EngineConfig {
+        synopsis: true,
+        adapt_batch: 4,
+        fetch_workers: 4,
+        ..EngineConfig::paper_evaluation()
+    };
+    let shared = Arc::new(SharedIndex::new(index, file, config).unwrap());
+
+    let windows: Vec<Rect> = (0..6)
+        .map(|i| {
+            let off = i as f64 * 60.0;
+            Rect::new(120.0 + off, 560.0 + off, 120.0 + off, 560.0 + off)
+        })
+        .collect();
+    let aggs = [AggregateFunction::Count, AggregateFunction::Sum(2)];
+    let truths: Vec<(f64, f64)> = windows
+        .iter()
+        .map(|w| {
+            let t = &window_truth(&zone, w, &[2]).unwrap()[0];
+            (t.selected as f64, t.stats.sum())
+        })
+        .collect();
+
+    let answered = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for writer in 0..4usize {
+            let shared = Arc::clone(&shared);
+            let (windows, truths, aggs) = (&windows, &truths, &aggs);
+            s.spawn(move || {
+                for step in 0..windows.len() * 2 {
+                    let i = (writer + step) % windows.len();
+                    let res = shared.evaluate(&windows[i], aggs, 0.05).unwrap();
+                    assert!(res.met_constraint, "writer {writer} window {i}");
+                    assert!(
+                        ci_sound(res.cis[0], truths[i].0),
+                        "writer {writer} window {i}: count CI {:?} lost {}",
+                        res.cis[0],
+                        truths[i].0
+                    );
+                    assert!(
+                        ci_sound(res.cis[1], truths[i].1),
+                        "writer {writer} window {i}: sum CI {:?} lost {}",
+                        res.cis[1],
+                        truths[i].1
+                    );
+                }
+            });
+        }
+        for reader in 0..3usize {
+            let shared = Arc::clone(&shared);
+            let (windows, truths, aggs, answered) = (&windows, &truths, &aggs, &answered);
+            s.spawn(move || {
+                for step in 0..windows.len() * 3 {
+                    let i = (reader + step) % windows.len();
+                    // The explicit zero-adaptation reader entry: whatever
+                    // index state it snapshots mid-race, a handed-out
+                    // estimate must bound the truth.
+                    if let Some(res) = shared.estimate_synopsis(&windows[i], aggs).unwrap() {
+                        assert!(
+                            ci_sound(res.cis[0], truths[i].0),
+                            "reader {reader} window {i}: count CI {:?} lost {}",
+                            res.cis[0],
+                            truths[i].0
+                        );
+                        assert!(
+                            ci_sound(res.cis[1], truths[i].1),
+                            "reader {reader} window {i}: sum CI {:?} lost {}",
+                            res.cis[1],
+                            truths[i].1
+                        );
+                        answered.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    assert!(
+        answered.load(Ordering::Relaxed) > 0,
+        "the synopsis path answered at least once mid-race"
+    );
+    assert!(
+        shared.file().counters().synopsis_hits() > 0,
+        "synopsis consultations must be metered"
+    );
+    shared.with_index(|idx| idx.validate_invariants().unwrap());
+    // After the dust settles the adaptive path still meets its constraint.
+    for (w, &(count, sum)) in windows.iter().zip(&truths) {
+        let res = shared.evaluate(w, &aggs, 0.05).unwrap();
+        assert!(res.met_constraint);
+        assert!(ci_sound(res.cis[0], count) && ci_sound(res.cis[1], sum));
+    }
+    drop(shared);
+    drop(cache);
+    let _ = std::fs::remove_dir_all(&spill);
 }

@@ -8,6 +8,7 @@
 //!   5. exact engine ≡ full-scan ground truth.
 
 use pai_core::verify::verify_against_truth;
+use pai_storage::build_block_synopses;
 use pai_storage::ground_truth::window_truth;
 use partial_adaptive_indexing::prelude::*;
 use proptest::prelude::*;
@@ -154,6 +155,142 @@ proptest! {
         engine.evaluate(&window, &[AggregateFunction::Sum(2)], 0.0).unwrap();
         prop_assert!(engine.index().validate_invariants().is_ok());
         prop_assert_eq!(engine.index().total_objects(), 1_500);
+    }
+}
+
+/// Coordinate values biased toward the edge cases that break pruning and
+/// histogram math: NaN, signed zero, exact boundary magnitudes, plus a
+/// continuous range.
+fn edge_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(f64::NAN),
+        Just(-0.0f64),
+        Just(0.0f64),
+        Just(-1000.0f64),
+        Just(1000.0f64),
+        -1000.0f64..1000.0,
+        -1000.0f64..1000.0,
+        -1000.0f64..1000.0,
+    ]
+}
+
+/// Arbitrary (possibly empty, degenerate, or NaN-cornered) query intervals.
+fn edge_interval() -> impl Strategy<Value = (f64, f64)> {
+    (edge_value(), edge_value())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Zone-map pruning soundness over adversarial data: whenever *any*
+    /// point of a block falls inside the window, the block's envelope must
+    /// refuse to prune — including blocks whose columns also contain NaN
+    /// or signed zeros.
+    #[test]
+    fn prop_zone_pruning_never_drops_selected_points(
+        points in prop::collection::vec((edge_value(), edge_value()), 1..40),
+        (wx, wy) in ((0.0f64..900.0, 10.0f64..600.0), (0.0f64..900.0, 10.0f64..600.0)),
+    ) {
+        let window = Rect::new(wx.0, wx.0 + wx.1, wy.0, wy.0 + wy.1);
+        // The NaN-skipping envelope fold every block-structured backend uses.
+        let fold = |vals: &[f64]| {
+            vals.iter().filter(|v| !v.is_nan()).fold(
+                (f64::NAN, f64::NAN),
+                |(lo, hi), &v| (v.min(if lo.is_nan() { v } else { lo }),
+                                v.max(if hi.is_nan() { v } else { hi })),
+            )
+        };
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let (x_lo, x_hi) = fold(&xs);
+        let (y_lo, y_hi) = fold(&ys);
+        let stats = BlockStats {
+            row_start: 0,
+            row_end: points.len() as u64,
+            min: vec![x_lo, y_lo],
+            max: vec![x_hi, y_hi],
+        };
+        let selected = points
+            .iter()
+            .any(|&(x, y)| window.contains_point(Point2::new(x, y)));
+        if selected {
+            prop_assert!(
+                stats.may_intersect_window(0, 1, &window),
+                "pruned a block holding a selected point: {stats:?} vs {window:?}"
+            );
+        }
+        // Inverted or NaN envelopes must never prune anything.
+        let broken = BlockStats {
+            row_start: 0,
+            row_end: points.len() as u64,
+            min: vec![x_hi, f64::NAN],
+            max: vec![x_lo, y_hi],
+        };
+        prop_assert!(broken.may_intersect_window(0, 1, &window));
+    }
+
+    /// Histogram mass bounds bracket the true half-open selection count for
+    /// arbitrary (NaN-laden, signed-zero, degenerate) columns and intervals,
+    /// and never exceed the non-NaN count.
+    #[test]
+    fn prop_histogram_mass_brackets_true_count(
+        values in prop::collection::vec(edge_value(), 0..120),
+        buckets in 1usize..12,
+        (lo, hi) in edge_interval(),
+    ) {
+        let syn = ColumnSynopsis::from_values(&values, buckets);
+        let truth = values
+            .iter()
+            .filter(|v| !v.is_nan() && **v >= lo && **v < hi)
+            .count() as u64;
+        let (lower, upper) = syn.mass_in(lo, hi);
+        prop_assert!(upper <= syn.count, "upper {upper} > count {}", syn.count);
+        if lo.is_nan() || hi.is_nan() {
+            // NaN endpoints degrade to the conservative no-information bound.
+            prop_assert_eq!((lower, upper), (0, syn.count));
+        } else {
+            prop_assert!(lower <= truth, "lower {lower} > truth {truth}");
+            prop_assert!(truth <= upper, "truth {truth} > upper {upper}");
+        }
+    }
+
+    /// Block synopses built over adversarial columns stay answer-sound:
+    /// `covered_by` only claims blocks whose every row the window selects,
+    /// and `selected_mass` brackets the per-block true selection.
+    #[test]
+    fn prop_block_synopses_bracket_block_selections(
+        points in prop::collection::vec((edge_value(), edge_value()), 1..200),
+        block_rows in 16u32..64,
+        buckets in 1usize..8,
+        (wx, wy) in ((-100.0f64..900.0, 10.0f64..600.0), (-100.0f64..900.0, 10.0f64..600.0)),
+    ) {
+        let window = Rect::new(wx.0, wx.0 + wx.1, wy.0, wy.0 + wy.1);
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let spec = SynopsisSpec { buckets, sample_rows: 2 };
+        let blocks = build_block_synopses(&[xs.clone(), ys.clone()], block_rows, &spec);
+        prop_assert_eq!(
+            blocks.iter().map(|b| b.rows()).sum::<u64>(),
+            points.len() as u64,
+            "blocks must partition the rows"
+        );
+        for b in &blocks {
+            let range = b.row_start as usize..b.row_end as usize;
+            let truth = range
+                .clone()
+                .filter(|&r| window.contains_point(Point2::new(xs[r], ys[r])))
+                .count() as u64;
+            if b.covered_by(0, 1, &window) {
+                prop_assert_eq!(
+                    truth, b.rows(),
+                    "covered_by claimed a block the window does not fully select"
+                );
+            }
+            let (lower, upper) = b.selected_mass(0, 1, &window);
+            prop_assert!(lower <= truth, "block lower {lower} > truth {truth}");
+            prop_assert!(truth <= upper, "block truth {truth} > upper {upper}");
+            prop_assert!(upper <= b.rows());
+        }
     }
 }
 

@@ -76,13 +76,30 @@ fn summary_and_csv_over_real_runs() {
          exact_fetch_inflight_peak,exact_overlap_ratio,exact_parts_resized,\
          exact_fetch_p50_us,exact_fetch_p99_us,\
          exact_cache_hits,exact_cache_misses,exact_cache_evictions,exact_cache_spill_bytes,\
-         exact_cache_mem_bytes,exact_lock_wait_ms,phi=5%_time_ms,phi=5%_objects,\
+         exact_cache_mem_bytes,exact_synopsis_hits,exact_synopsis_blocks,exact_synopsis_bytes,\
+         exact_predicted_bytes,exact_lock_wait_ms,phi=5%_time_ms,phi=5%_objects,\
          phi=5%_bytes,phi=5%_read_calls,phi=5%_blocks_read,phi=5%_blocks_skipped,\
          phi=5%_http_requests,phi=5%_http_bytes,phi=5%_retries,phi=5%_fetch_inflight_peak,\
          phi=5%_overlap_ratio,phi=5%_parts_resized,phi=5%_fetch_p50_us,phi=5%_fetch_p99_us,\
          phi=5%_cache_hits,phi=5%_cache_misses,phi=5%_cache_evictions,phi=5%_cache_spill_bytes,\
-         phi=5%_cache_mem_bytes,phi=5%_lock_wait_ms"
+         phi=5%_cache_mem_bytes,phi=5%_synopsis_hits,phi=5%_synopsis_blocks,\
+         phi=5%_synopsis_bytes,phi=5%_predicted_bytes,phi=5%_lock_wait_ms"
     ));
+
+    // predicted_bytes tracks the exact run's metered bytes. On a CSV
+    // backend the prediction prices objects at the file's *mean* row
+    // length, so allow a small relative tolerance for row-length variance
+    // (the cost-estimate gate pins per-backend tolerances properly).
+    for rec in &runs[0].records {
+        let (p, m) = (rec.predicted_bytes as f64, rec.bytes_read as f64);
+        assert!(
+            (p - m).abs() <= 0.02 * m + 64.0,
+            "query {}: predicted {} vs metered {}",
+            rec.query_index,
+            rec.predicted_bytes,
+            rec.bytes_read
+        );
+    }
 
     let summary = summarize(&runs[0], &runs[1], 10);
     assert!(
