@@ -70,6 +70,12 @@
 //!   under (default 0.05; malformed or non-positive values fall back).
 //! * `PAI_BENCH_SYNOPSIS_JSON_PATH` — where `synopsis_bench` writes its
 //!   `BENCH_synopsis.json` artifact (default: the repo root).
+//! * `PAI_BENCH_INGEST_ROWS` / `PAI_BENCH_INGEST_BATCH` — the streaming
+//!   gates' shape: rows streamed through `SharedIndex::ingest` (default
+//!   24 576; the sealed base holds the same row count again) and rows per
+//!   ingest batch (default 1024).
+//! * `PAI_BENCH_INGEST_JSON_PATH` — where `ingest_bench` writes its
+//!   `BENCH_ingest.json` artifact (default: the repo root).
 //!
 //! The full knob table lives in `docs/BENCHMARKS.md`.
 
@@ -430,6 +436,29 @@ pub fn synopsis_phi() -> f64 {
         .and_then(|v| v.parse().ok())
         .filter(|&p: &f64| p > 0.0 && p.is_finite())
         .unwrap_or(0.05)
+}
+
+/// Rows the streaming-ingest gates push through `SharedIndex::ingest`,
+/// from `PAI_BENCH_INGEST_ROWS` (default 24 576 — 48 sealed delta blocks
+/// at the gates' 512-row block size; the sealed base holds the same row
+/// count again; malformed or zero values fall back to the default).
+pub fn ingest_rows() -> u64 {
+    std::env::var("PAI_BENCH_INGEST_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(24_576)
+}
+
+/// Rows per ingest batch the streaming gates issue, from
+/// `PAI_BENCH_INGEST_BATCH` (default 1024; malformed or zero values fall
+/// back to the default).
+pub fn ingest_batch() -> usize {
+    std::env::var("PAI_BENCH_INGEST_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&b| b >= 1)
+        .unwrap_or(1024)
 }
 
 /// Closed-loop shape of the server load harness, from the
@@ -816,6 +845,30 @@ mod tests {
         ] {
             std::env::remove_var(name);
         }
+    }
+
+    #[test]
+    fn ingest_knobs_shape_the_stream() {
+        // Same contract as the other knobs: unset → default, valid value →
+        // honored, malformed/zero → default (never a panic mid-bench).
+        std::env::remove_var("PAI_BENCH_INGEST_ROWS");
+        std::env::remove_var("PAI_BENCH_INGEST_BATCH");
+        assert_eq!(ingest_rows(), 24_576);
+        assert_eq!(ingest_batch(), 1024);
+
+        std::env::set_var("PAI_BENCH_INGEST_ROWS", "6144");
+        std::env::set_var("PAI_BENCH_INGEST_BATCH", "512");
+        assert_eq!(ingest_rows(), 6144);
+        assert_eq!(ingest_batch(), 512);
+
+        // Zero rows/batch would make the stream degenerate; both fall back
+        // like malformed values.
+        std::env::set_var("PAI_BENCH_INGEST_ROWS", "0");
+        assert_eq!(ingest_rows(), 24_576);
+        std::env::set_var("PAI_BENCH_INGEST_BATCH", "not-a-number");
+        assert_eq!(ingest_batch(), 1024);
+        std::env::remove_var("PAI_BENCH_INGEST_ROWS");
+        std::env::remove_var("PAI_BENCH_INGEST_BATCH");
     }
 
     #[test]

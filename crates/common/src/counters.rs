@@ -92,6 +92,23 @@ struct Inner {
     /// decoded header, so these bytes never touch the transport — the meter
     /// exists to compare synopsis footprint against the data I/O it saved.
     synopsis_bytes: AtomicU64,
+    /// Rows appended through a backend's ingest path since the last reset.
+    rows_ingested: AtomicU64,
+    /// Sealed append-order delta blocks currently live in the backend. A
+    /// **gauge** like `cache_mem_bytes`: ingest raises it, compaction
+    /// lowers it, and `since()` passes the later snapshot's level through.
+    delta_blocks: AtomicU64,
+    /// Completed compaction passes (delta runs re-clustered into Z-order
+    /// behind an atomic generation swap).
+    compactions: AtomicU64,
+    /// Storage blocks rewritten by compaction (the Z-ordered blocks of the
+    /// installed generations, zone maps + synopses re-derived).
+    blocks_rewritten: AtomicU64,
+    /// Cached spans dropped because their object's generation tag changed
+    /// (a remote rewrite observed via etag, or a compaction retiring a
+    /// base) — the meter that separates "cache went cold" from "cache
+    /// would have lied".
+    cache_invalidations: AtomicU64,
     /// Per-request fetch latency distribution (log2 µs buckets). Fed by
     /// `add_fetch_request_us` alongside the scalar sum, so p50/p99 are
     /// observable wherever the sum already flows.
@@ -148,6 +165,17 @@ pub struct IoSnapshot {
     pub synopsis_blocks: u64,
     /// In-memory synopsis metadata bytes consulted.
     pub synopsis_bytes: u64,
+    /// Rows appended through an ingest path.
+    pub rows_ingested: u64,
+    /// Sealed delta blocks currently live. A gauge, not a total:
+    /// `since()` keeps the later snapshot's level as-is.
+    pub delta_blocks: u64,
+    /// Completed compaction passes.
+    pub compactions: u64,
+    /// Storage blocks rewritten by compaction.
+    pub blocks_rewritten: u64,
+    /// Cached spans dropped on a generation-tag change.
+    pub cache_invalidations: u64,
     /// Distribution of per-request fetch latencies over the window
     /// (one observation per transport request, log2 µs buckets);
     /// `fetch_hist.p50_us()` / `p99_us()` are the headline quantiles.
@@ -189,6 +217,16 @@ impl IoSnapshot {
             synopsis_hits: self.synopsis_hits.saturating_sub(earlier.synopsis_hits),
             synopsis_blocks: self.synopsis_blocks.saturating_sub(earlier.synopsis_blocks),
             synopsis_bytes: self.synopsis_bytes.saturating_sub(earlier.synopsis_bytes),
+            rows_ingested: self.rows_ingested.saturating_sub(earlier.rows_ingested),
+            // Gauge semantics: the delta-block count at the later snapshot.
+            delta_blocks: self.delta_blocks,
+            compactions: self.compactions.saturating_sub(earlier.compactions),
+            blocks_rewritten: self
+                .blocks_rewritten
+                .saturating_sub(earlier.blocks_rewritten),
+            cache_invalidations: self
+                .cache_invalidations
+                .saturating_sub(earlier.cache_invalidations),
             fetch_hist: self.fetch_hist.since(&earlier.fetch_hist),
         }
     }
@@ -357,6 +395,38 @@ impl IoCounters {
         self.inner.synopsis_bytes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` rows appended through an ingest path.
+    #[inline]
+    pub fn add_rows_ingested(&self, n: u64) {
+        self.inner.rows_ingested.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Stores the current number of live sealed delta blocks (a gauge).
+    #[inline]
+    pub fn set_delta_blocks(&self, n: u64) {
+        self.inner.delta_blocks.store(n, Ordering::Relaxed);
+    }
+
+    /// Records one completed compaction pass.
+    #[inline]
+    pub fn add_compactions(&self, n: u64) {
+        self.inner.compactions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` storage blocks rewritten by compaction.
+    #[inline]
+    pub fn add_blocks_rewritten(&self, n: u64) {
+        self.inner.blocks_rewritten.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` cached spans dropped on a generation-tag change.
+    #[inline]
+    pub fn add_cache_invalidations(&self, n: u64) {
+        self.inner
+            .cache_invalidations
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Rows materialized so far.
     pub fn objects_read(&self) -> u64 {
         self.inner.objects_read.load(Ordering::Relaxed)
@@ -467,6 +537,31 @@ impl IoCounters {
         self.inner.synopsis_bytes.load(Ordering::Relaxed)
     }
 
+    /// Rows appended through an ingest path so far.
+    pub fn rows_ingested(&self) -> u64 {
+        self.inner.rows_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Sealed delta blocks currently live.
+    pub fn delta_blocks(&self) -> u64 {
+        self.inner.delta_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Completed compaction passes so far.
+    pub fn compactions(&self) -> u64 {
+        self.inner.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Storage blocks rewritten by compaction so far.
+    pub fn blocks_rewritten(&self) -> u64 {
+        self.inner.blocks_rewritten.load(Ordering::Relaxed)
+    }
+
+    /// Cached spans dropped on generation-tag changes so far.
+    pub fn cache_invalidations(&self) -> u64 {
+        self.inner.cache_invalidations.load(Ordering::Relaxed)
+    }
+
     /// Per-request fetch latency distribution so far.
     pub fn fetch_hist(&self) -> LatencyHistogram {
         self.inner.fetch_hist.snapshot()
@@ -497,6 +592,11 @@ impl IoCounters {
             synopsis_hits: self.synopsis_hits(),
             synopsis_blocks: self.synopsis_blocks(),
             synopsis_bytes: self.synopsis_bytes(),
+            rows_ingested: self.rows_ingested(),
+            delta_blocks: self.delta_blocks(),
+            compactions: self.compactions(),
+            blocks_rewritten: self.blocks_rewritten(),
+            cache_invalidations: self.cache_invalidations(),
             fetch_hist: self.fetch_hist(),
         }
     }
@@ -525,6 +625,11 @@ impl IoCounters {
         self.inner.synopsis_hits.store(0, Ordering::Relaxed);
         self.inner.synopsis_blocks.store(0, Ordering::Relaxed);
         self.inner.synopsis_bytes.store(0, Ordering::Relaxed);
+        self.inner.rows_ingested.store(0, Ordering::Relaxed);
+        self.inner.delta_blocks.store(0, Ordering::Relaxed);
+        self.inner.compactions.store(0, Ordering::Relaxed);
+        self.inner.blocks_rewritten.store(0, Ordering::Relaxed);
+        self.inner.cache_invalidations.store(0, Ordering::Relaxed);
         self.inner.fetch_hist.reset();
     }
 }
@@ -562,6 +667,12 @@ mod tests {
         c.add_synopsis_hits(1);
         c.add_synopsis_blocks(12);
         c.add_synopsis_bytes(2048);
+        c.add_rows_ingested(64);
+        c.set_delta_blocks(5);
+        c.set_delta_blocks(3);
+        c.add_compactions(1);
+        c.add_blocks_rewritten(8);
+        c.add_cache_invalidations(4);
         assert_eq!(c.objects_read(), 15);
         assert_eq!(c.bytes_read(), 100);
         assert_eq!(c.seeks(), 2);
@@ -586,6 +697,12 @@ mod tests {
         assert_eq!(c.synopsis_hits(), 1);
         assert_eq!(c.synopsis_blocks(), 12);
         assert_eq!(c.synopsis_bytes(), 2048);
+        assert_eq!(c.rows_ingested(), 64);
+        // delta_blocks is a gauge: the last stored level, never a sum.
+        assert_eq!(c.delta_blocks(), 3);
+        assert_eq!(c.compactions(), 1);
+        assert_eq!(c.blocks_rewritten(), 8);
+        assert_eq!(c.cache_invalidations(), 4);
         assert_eq!(c.snapshot().overlap_ratio(), 3.0);
         // Every add_fetch_request_us call is one histogram observation.
         assert_eq!(c.fetch_hist().count(), 1);
@@ -624,6 +741,11 @@ mod tests {
         c.add_synopsis_hits(2);
         c.add_synopsis_blocks(7);
         c.add_synopsis_bytes(640);
+        c.add_rows_ingested(16);
+        c.set_delta_blocks(9);
+        c.add_compactions(1);
+        c.add_blocks_rewritten(6);
+        c.add_cache_invalidations(3);
         let s2 = c.snapshot();
         let d = s2.since(&s1);
         assert_eq!(d.objects_read, 4);
@@ -647,6 +769,12 @@ mod tests {
         assert_eq!(d.synopsis_hits, 2);
         assert_eq!(d.synopsis_blocks, 7);
         assert_eq!(d.synopsis_bytes, 640);
+        assert_eq!(d.rows_ingested, 16);
+        // The delta-block gauge passes through like the memory gauge.
+        assert_eq!(d.delta_blocks, 9);
+        assert_eq!(d.compactions, 1);
+        assert_eq!(d.blocks_rewritten, 6);
+        assert_eq!(d.cache_invalidations, 3);
         // The histogram delta carries only the window's observations.
         assert_eq!(d.fetch_hist.count(), 1);
         // An idle window reports no overlap.

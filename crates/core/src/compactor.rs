@@ -1,0 +1,340 @@
+//! Background Z-order compaction for streaming sessions.
+//!
+//! Streaming ingest ([`SharedIndex::ingest`]) lands rows in append-order
+//! delta blocks — cheap to write, terrible to skip: a delta block's zone
+//! map spans whatever the stream happened to interleave, so window queries
+//! decode almost every delta block they overlap. The compactor is the
+//! repair loop: a background thread that watches for cold runs of sealed
+//! delta blocks and asks the backend to re-cluster them into Z-order
+//! ([`RawFile::compact_once`]), restoring the block-skipping rates a
+//! statically Z-ordered file would have had.
+//!
+//! Division of labour:
+//!
+//! * the **backend** owns the rewrite — snapshotting the run, sorting by
+//!   Morton key, swapping the new layout in atomically under a bumped
+//!   generation tag, and invalidating any caches that might still hold
+//!   pre-rewrite spans. Row *identities* (locators) never change, so the
+//!   index needs no remap and queries racing the swap stay correct;
+//! * the **compactor thread** owns only the policy: when to look (poll
+//!   cadence) and what counts as a cold run worth rewriting
+//!   ([`CompactorConfig::min_run`] sealed blocks). It holds no index lock —
+//!   it reads the domain once at startup and then talks purely to the
+//!   [`RawFile`] seam, so readers and ingest never wait behind a rewrite.
+//!
+//! Backends without an append path (everything except
+//! [`pai_storage::AppendableFile`]) answer `Ok(None)` from the default
+//! `compact_once`, so pointing a compactor at a sealed file is a harmless
+//! no-op loop — useful for wiring it unconditionally into a server.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pai_common::Result;
+use pai_storage::raw::{CompactionReport, RawFile};
+
+use crate::concurrent::SharedIndex;
+
+/// Policy knobs for the background compactor thread.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactorConfig {
+    /// Minimum sealed delta blocks that make a run worth rewriting. Below
+    /// this the pass is skipped: tiny rewrites churn the cache for little
+    /// skipping gain.
+    pub min_run: usize,
+    /// Poll cadence between passes when no work was found.
+    pub interval: Duration,
+}
+
+impl Default for CompactorConfig {
+    fn default() -> Self {
+        CompactorConfig {
+            min_run: 2,
+            interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Cumulative work a compactor thread did over its lifetime, returned by
+/// [`CompactorHandle::stop`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompactorStats {
+    /// Times the thread looked for work.
+    pub passes: u64,
+    /// Passes that installed a rewrite.
+    pub compactions: u64,
+    /// Delta blocks re-clustered across all compactions.
+    pub blocks_rewritten: u64,
+    /// Passes that failed; the thread logs nothing and keeps going (a
+    /// transient backend error must not kill the repair loop).
+    pub errors: u64,
+}
+
+/// Owner handle for a running compactor thread. Dropping it stops the
+/// thread; [`CompactorHandle::stop`] does the same and hands back the
+/// lifetime stats.
+pub struct CompactorHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<CompactorStats>>,
+}
+
+impl CompactorHandle {
+    /// Signals the thread, joins it, and returns what it did.
+    pub fn stop(mut self) -> CompactorStats {
+        self.stop_inner()
+    }
+
+    fn stop_inner(&mut self) -> CompactorStats {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.join.take() {
+            handle.thread().unpark();
+            return handle.join().unwrap_or_default();
+        }
+        CompactorStats::default()
+    }
+}
+
+impl Drop for CompactorHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// One synchronous compaction pass against `shared`'s file — the policy of
+/// a single background tick without the thread. Test suites and benches
+/// use this to compact at a deterministic point in a scripted session.
+pub fn compact_now<F: RawFile>(
+    shared: &SharedIndex<F>,
+    min_run: usize,
+) -> Result<Option<CompactionReport>> {
+    let domain = shared.with_index(|index| *index.domain());
+    shared.file().compact_once(&domain, min_run)
+}
+
+/// Spawns the background compactor thread for `shared`. The thread polls
+/// every [`CompactorConfig::interval`], rewrites whenever at least
+/// [`CompactorConfig::min_run`] sealed delta blocks have accumulated, and
+/// immediately re-checks after a successful rewrite in case the stream
+/// outran it. Stop it (or drop the handle) before tearing the session down.
+pub fn spawn_compactor<F>(shared: Arc<SharedIndex<F>>, config: CompactorConfig) -> CompactorHandle
+where
+    F: RawFile + Send + Sync + 'static,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("pai-compactor".into())
+        .spawn(move || {
+            // The domain is fixed at init (streaming never grows it), so
+            // one read outside the loop keeps the thread lock-free.
+            let domain = shared.with_index(|index| *index.domain());
+            let mut stats = CompactorStats::default();
+            while !flag.load(Ordering::Acquire) {
+                stats.passes += 1;
+                match shared.file().compact_once(&domain, config.min_run) {
+                    Ok(Some(report)) => {
+                        stats.compactions += 1;
+                        stats.blocks_rewritten += report.blocks_rewritten;
+                        continue;
+                    }
+                    Ok(None) => {}
+                    Err(_) => stats.errors += 1,
+                }
+                std::thread::park_timeout(config.interval);
+            }
+            stats
+        })
+        .expect("spawn compactor thread");
+    CompactorHandle {
+        stop,
+        join: Some(join),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use pai_common::geometry::Rect;
+    use pai_common::AggregateFunction;
+    use pai_index::init::{build, GridSpec, InitConfig};
+    use pai_index::MetadataPolicy;
+    use pai_storage::ground_truth::window_truth;
+    use pai_storage::raw::SynopsisSpec;
+    use pai_storage::{AppendableFile, CsvFormat, DatasetSpec, MemFile};
+
+    fn streaming_shared(rows: u64) -> (Arc<SharedIndex<AppendableFile<MemFile>>>, DatasetSpec) {
+        let spec = DatasetSpec {
+            rows,
+            columns: 4,
+            seed: 71,
+            ..Default::default()
+        };
+        let base = spec.build_mem(CsvFormat::default()).unwrap();
+        let file = AppendableFile::with_layout(base, rows, 32, SynopsisSpec::default()).unwrap();
+        let init = InitConfig {
+            grid: GridSpec::Fixed { nx: 6, ny: 6 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let (index, _) = build(&file, &init).unwrap();
+        let shared =
+            Arc::new(SharedIndex::new(index, file, EngineConfig::paper_evaluation()).unwrap());
+        (shared, spec)
+    }
+
+    fn stream_rows(spec: &DatasetSpec, n: usize, salt: u64) -> Vec<Vec<f64>> {
+        let d = spec.domain;
+        (0..n)
+            .map(|i| {
+                let t = (i as u64 * 37 + salt * 13) % 1000;
+                let fx = (t as f64 + 0.5) / 1000.0;
+                let fy = ((t as f64 * 7.0) % 1000.0 + 0.5) / 1000.0;
+                vec![
+                    d.x_min + fx * (d.x_max - d.x_min),
+                    d.y_min + fy * (d.y_max - d.y_min),
+                    100.0 + i as f64,
+                    -3.0 * i as f64,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_extends_file_and_index_atomically() {
+        let (shared, spec) = streaming_shared(1200);
+        let total0 = shared.with_index(|i| i.total_objects());
+        let batch = stream_rows(&spec, 80, 1);
+        let receipt = shared.ingest(&batch).unwrap();
+        assert_eq!(receipt.locators.len(), 80);
+        assert_eq!(receipt.start_row, 1200);
+        assert_eq!(
+            shared.with_index(|i| i.total_objects()),
+            total0 + 80,
+            "every appended row is indexed"
+        );
+
+        // phi = 0 answers over the whole domain see base + delta exactly.
+        let res = shared
+            .evaluate(&spec.domain, &[AggregateFunction::Count], 0.0)
+            .unwrap();
+        assert_eq!(res.values[0].as_f64().unwrap(), 1280.0);
+        let truth = window_truth(shared.file(), &spec.domain, &[2]).unwrap();
+        assert_eq!(truth[0].stats.count(), 1280);
+        shared.with_index(|idx| idx.validate_invariants().unwrap());
+    }
+
+    #[test]
+    fn bad_batches_are_rejected_before_any_mutation() {
+        let (shared, spec) = streaming_shared(600);
+        let total0 = shared.with_index(|i| i.total_objects());
+        let d = spec.domain;
+
+        // One out-of-domain point poisons the whole batch.
+        let mut batch = stream_rows(&spec, 5, 2);
+        batch[3] = vec![d.x_max + 1000.0, d.y_min, 0.0, 0.0];
+        assert!(shared.ingest(&batch).is_err());
+
+        // So does a row with the wrong arity.
+        let mut batch = stream_rows(&spec, 5, 3);
+        batch[2] = vec![d.x_min, d.y_min];
+        assert!(shared.ingest(&batch).is_err());
+
+        assert_eq!(shared.with_index(|i| i.total_objects()), total0);
+        assert_eq!(shared.file().delta_rows(), 0, "nothing reached the file");
+    }
+
+    #[test]
+    fn compact_now_reclusters_without_changing_answers() {
+        let (shared, spec) = streaming_shared(900);
+        for salt in 0..4 {
+            shared.ingest(&stream_rows(&spec, 64, salt)).unwrap();
+        }
+        assert!(shared.file().sealed_blocks() >= 4);
+        let window = Rect::new(
+            spec.domain.x_min,
+            spec.domain.x_min + (spec.domain.x_max - spec.domain.x_min) * 0.4,
+            spec.domain.y_min,
+            spec.domain.y_min + (spec.domain.y_max - spec.domain.y_min) * 0.4,
+        );
+        let aggs = [AggregateFunction::Count, AggregateFunction::Sum(2)];
+        let before = shared.evaluate(&window, &aggs, 0.0).unwrap();
+
+        let report = compact_now(&shared, 2).unwrap().expect("had a cold run");
+        assert!(report.blocks_rewritten >= 4);
+        assert!(report.generation > 0);
+        assert!(
+            compact_now(&shared, 2).unwrap().is_none(),
+            "second pass finds nothing to do"
+        );
+
+        let after = shared.evaluate(&window, &aggs, 0.0).unwrap();
+        assert_eq!(before.values[0].as_f64(), after.values[0].as_f64());
+        assert_eq!(before.values[1].as_f64(), after.values[1].as_f64());
+        shared.with_index(|idx| idx.validate_invariants().unwrap());
+    }
+
+    #[test]
+    fn background_compactor_keeps_up_with_a_stream() {
+        let (shared, spec) = streaming_shared(800);
+        let handle = spawn_compactor(
+            Arc::clone(&shared),
+            CompactorConfig {
+                min_run: 2,
+                interval: Duration::from_millis(1),
+            },
+        );
+        for salt in 0..8 {
+            shared.ingest(&stream_rows(&spec, 48, salt)).unwrap();
+            // Interleave queries with the stream and the compactor.
+            let res = shared
+                .evaluate(&spec.domain, &[AggregateFunction::Count], 0.0)
+                .unwrap();
+            assert_eq!(
+                res.values[0].as_f64().unwrap(),
+                800.0 + 48.0 * (salt as f64 + 1.0)
+            );
+        }
+        // Give the thread a chance to see the tail, then stop.
+        std::thread::sleep(Duration::from_millis(20));
+        let stats = handle.stop();
+        assert!(stats.passes > 0);
+        assert!(
+            stats.compactions >= 1,
+            "8 batches × 48 rows seal 12 blocks of 32; the thread must have rewritten"
+        );
+        assert_eq!(stats.errors, 0);
+        assert!(shared.file().generation() >= 1);
+
+        let truth = window_truth(shared.file(), &spec.domain, &[2]).unwrap();
+        assert_eq!(truth[0].stats.count(), 800 + 8 * 48);
+        shared.with_index(|idx| idx.validate_invariants().unwrap());
+    }
+
+    #[test]
+    fn compactor_on_a_sealed_backend_is_a_harmless_no_op() {
+        let spec = DatasetSpec {
+            rows: 300,
+            columns: 4,
+            seed: 9,
+            ..Default::default()
+        };
+        let file = spec.build_mem(CsvFormat::default()).unwrap();
+        let init = InitConfig {
+            grid: GridSpec::Fixed { nx: 4, ny: 4 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let (index, _) = build(&file, &init).unwrap();
+        let shared =
+            Arc::new(SharedIndex::new(index, file, EngineConfig::paper_evaluation()).unwrap());
+        assert!(compact_now(&shared, 1).unwrap().is_none());
+        let handle = spawn_compactor(Arc::clone(&shared), CompactorConfig::default());
+        std::thread::sleep(Duration::from_millis(5));
+        let stats = handle.stop();
+        assert_eq!(stats.compactions, 0);
+        assert_eq!(stats.errors, 0);
+    }
+}

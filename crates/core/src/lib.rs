@@ -22,13 +22,17 @@
 //!   ablation baselines);
 //! * [`engine`] — the partial-adaptation loop (accuracy-constrained,
 //!   I/O-budgeted, and read-only modes);
-//! * [`concurrent`] — a shared, lock-protected index for multi-view UIs;
+//! * [`concurrent`] — a shared, lock-protected index for multi-view UIs,
+//!   including the streaming-ingest entry point;
+//! * [`compactor`] — the background thread re-clustering streamed delta
+//!   blocks into Z-order;
 //! * [`synopsis`] — zero-I/O answers composed from per-block synopses
 //!   (`RawFile::block_synopses`), plus the pre-evaluation I/O predictor;
 //! * [`verify`] — test/bench helpers checking results against ground truth.
 
 pub mod bound;
 pub mod ci;
+pub mod compactor;
 pub mod concurrent;
 pub mod config;
 pub mod engine;
@@ -39,6 +43,9 @@ pub mod verify;
 
 pub use bound::{relative_error, upper_error_bound, NormalizationMode};
 pub use ci::AggregateEstimate;
+pub use compactor::{
+    compact_now, spawn_compactor, CompactorConfig, CompactorHandle, CompactorStats,
+};
 pub use concurrent::SharedIndex;
 pub use config::{EagerRefinement, EngineConfig, ValueEstimator};
 pub use engine::{estimate_readonly, evaluate_on, ApproxResult, ApproximateEngine};

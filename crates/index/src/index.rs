@@ -216,6 +216,57 @@ impl ValinorIndex {
         self.total_objects += 1;
     }
 
+    /// Inserts one entry for a newly appended row (streaming ingest).
+    ///
+    /// Unlike the grid-initialization insert path this descends through
+    /// any splits to
+    /// the leaf that currently owns the point, and it keeps the index's
+    /// metadata claims true as the dataset grows:
+    ///
+    /// * the leaf's per-attribute metadata absorbs the row's values —
+    ///   exact stats stay exact, bounded envelopes widen to cover the new
+    ///   value (see [`AttrMeta::fold_value`](crate::metadata::AttrMeta));
+    /// * global column bounds fold the values in, so the `Bounded`
+    ///   fallback envelope stays sound for every row ever seen.
+    ///
+    /// `row` is the full schema-width value row the entry's locator
+    /// resolves to (NaN = NULL). Errors if the point lies outside the
+    /// domain — streaming ingest never grows the indexed domain, callers
+    /// must reject or route such rows.
+    pub fn ingest_entry(&mut self, entry: ObjectEntry, row: &[f64]) -> Result<TileId> {
+        if row.len() != self.schema.len() {
+            return Err(PaiError::config(format!(
+                "ingested row has {} values, schema has {} columns",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        let p = entry.point();
+        let leaf = self.leaf_for_point(p).ok_or_else(|| {
+            PaiError::config(format!(
+                "ingested point ({}, {}) lies outside the index domain {}",
+                p.x, p.y, self.domain
+            ))
+        })?;
+        let attrs = self.schema.non_axis_numeric();
+        for &a in &attrs {
+            self.fold_global_bound(a, row[a]);
+        }
+        self.version = self.version.wrapping_add(1);
+        let tile = &mut self.tiles[leaf.index()];
+        for &a in &attrs {
+            if let Some(meta) = tile.meta.get_mut(a) {
+                meta.fold_value(row[a]);
+            }
+        }
+        match &mut tile.state {
+            TileState::Leaf { entries } => entries.push(entry),
+            TileState::Inner { .. } => unreachable!("leaf_for_point returns leaves"),
+        }
+        self.total_objects += 1;
+        Ok(leaf)
+    }
+
     /// Appends a batch of entries belonging to a specific root cell
     /// (parallel initialization path).
     pub(crate) fn extend_cell(&mut self, cell: usize, batch: Vec<ObjectEntry>) {
@@ -590,6 +641,56 @@ mod tests {
         idx.split_leaf(t, rect.split_grid(2, 2)).unwrap();
         let err = idx.split_leaf(t, rect.split_grid(2, 2)).unwrap_err();
         assert!(err.to_string().contains("non-leaf"));
+    }
+
+    #[test]
+    fn ingest_entry_updates_leaves_and_metadata() {
+        let mut idx = small_index();
+        let before = idx.total_objects();
+        // Exact metadata on the leaf owning (5,5): ingest must keep it true.
+        let t = idx.leaf_for_point(Point2::new(5.0, 5.0)).unwrap();
+        idx.tile_mut(t)
+            .meta
+            .set(2, crate::metadata::AttrMeta::exact_from_values(&[10.0]));
+        let v0 = idx.version();
+        idx.ingest_entry(
+            ObjectEntry::new(6.0, 6.0, RowLocator::new(777)),
+            &[6.0, 6.0, 32.0],
+        )
+        .unwrap();
+        assert_eq!(idx.total_objects(), before + 1);
+        assert_ne!(idx.version(), v0, "ingest is a visible mutation");
+        let m = idx.tile(t).meta.get(2).unwrap();
+        assert_eq!(m.exact_sum(), Some(42.0), "exact stats absorbed the row");
+        assert_eq!(m.exact_stats().unwrap().count(), 2);
+        assert_eq!(idx.global_bounds(2), Some(Interval::new(32.0, 32.0)));
+
+        // After a split, ingest descends into the owning child leaf.
+        let rect = idx.tile(t).rect;
+        idx.split_leaf(t, rect.split_grid(2, 2)).unwrap();
+        let child = idx
+            .ingest_entry(
+                ObjectEntry::new(6.5, 6.5, RowLocator::new(778)),
+                &[6.5, 6.5, f64::NAN],
+            )
+            .unwrap();
+        assert_ne!(child, t, "landed in a child, not the split parent");
+        assert!(idx.tile(child).is_leaf());
+        idx.validate_invariants().unwrap();
+
+        // Out-of-domain points and wrong-width rows are rejected, and
+        // reject without mutating.
+        let n = idx.total_objects();
+        assert!(idx
+            .ingest_entry(
+                ObjectEntry::new(99.0, 0.0, RowLocator::new(1)),
+                &[99.0, 0.0, 0.0],
+            )
+            .is_err());
+        assert!(idx
+            .ingest_entry(ObjectEntry::new(1.0, 1.0, RowLocator::new(1)), &[1.0])
+            .is_err());
+        assert_eq!(idx.total_objects(), n);
     }
 
     #[test]

@@ -114,6 +114,28 @@ impl AttrMeta {
     pub fn demote_to_bounds(&self) -> Option<AttrMeta> {
         self.value_bounds().map(AttrMeta::Bounded)
     }
+
+    /// Folds one newly ingested value in place, keeping the metadata's
+    /// claim true as the tile grows: exact stats absorb the value (NaN
+    /// counts as one more NULL, exactly like the initialization scan),
+    /// bounded envelopes widen to cover it (NaN leaves the envelope
+    /// untouched — a NULL has no value to cover).
+    pub fn fold_value(&mut self, v: f64) {
+        match self {
+            AttrMeta::Exact { stats, nulls } => {
+                if v.is_nan() {
+                    *nulls += 1;
+                } else {
+                    stats.push(v);
+                }
+            }
+            AttrMeta::Bounded(iv) => {
+                if !v.is_nan() {
+                    *iv = iv.hull(&Interval::point(v));
+                }
+            }
+        }
+    }
 }
 
 /// Metadata of one tile: a slot per schema column.
@@ -136,6 +158,12 @@ impl TileMetadata {
     /// Metadata for `attr`, if any.
     pub fn get(&self, attr: AttrId) -> Option<&AttrMeta> {
         self.slots.get(attr).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable metadata for `attr`, if any (the ingest path folds freshly
+    /// appended values into existing claims; empty slots stay empty).
+    pub fn get_mut(&mut self, attr: AttrId) -> Option<&mut AttrMeta> {
+        self.slots.get_mut(attr).and_then(|s| s.as_mut())
     }
 
     /// True when exact aggregates are available for `attr`.

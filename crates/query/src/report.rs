@@ -24,7 +24,10 @@ use crate::runner::MethodRun;
 /// answered with zero data I/O purely from block synopses), or check the
 /// pre-evaluation cost model (predicted_bytes — the bytes an exact run of
 /// the query was predicted to read, an upper bound the cost-estimate gate
-/// tracks against the metered bytes).
+/// tracks against the metered bytes), or follow a streaming session
+/// (rows_ingested/compactions/blocks_rewritten/cache_invalidations are
+/// per-query deltas; delta_blocks is the append-order block count still
+/// alive after the query — a gauge the compactor drives back down).
 pub fn to_csv(runs: &[MethodRun]) -> String {
     let mut header = String::from("query");
     for r in runs {
@@ -36,6 +39,8 @@ pub fn to_csv(runs: &[MethodRun]) -> String {
              {l}_cache_hits,{l}_cache_misses,{l}_cache_evictions,\
              {l}_cache_spill_bytes,{l}_cache_mem_bytes,\
              {l}_synopsis_hits,{l}_synopsis_blocks,{l}_synopsis_bytes,\
+             {l}_rows_ingested,{l}_delta_blocks,{l}_compactions,\
+             {l}_blocks_rewritten,{l}_cache_invalidations,\
              {l}_predicted_bytes,{l}_lock_wait_ms",
             l = r.label
         ));
@@ -48,7 +53,7 @@ pub fn to_csv(runs: &[MethodRun]) -> String {
         for r in runs {
             match r.records.get(i) {
                 Some(rec) => out.push_str(&format!(
-                    ",{:.3},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}",
+                    ",{:.3},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}",
                     rec.elapsed.as_secs_f64() * 1e3,
                     rec.objects_read,
                     rec.bytes_read,
@@ -71,10 +76,15 @@ pub fn to_csv(runs: &[MethodRun]) -> String {
                     rec.synopsis_hits,
                     rec.synopsis_blocks,
                     rec.synopsis_bytes,
+                    rec.rows_ingested,
+                    rec.delta_blocks,
+                    rec.compactions,
+                    rec.blocks_rewritten,
+                    rec.cache_invalidations,
                     rec.predicted_bytes,
                     rec.lock_wait.as_secs_f64() * 1e3
                 )),
-                None => out.push_str(",,,,,,,,,,,,,,,,,,,,,,,,"),
+                None => out.push_str(",,,,,,,,,,,,,,,,,,,,,,,,,,,,,"),
             }
         }
         out.push('\n');
@@ -292,6 +302,11 @@ mod tests {
                 synopsis_hits: 0,
                 synopsis_blocks: 0,
                 synopsis_bytes: 0,
+                rows_ingested: 7,
+                delta_blocks: 5,
+                compactions: 2,
+                blocks_rewritten: 6,
+                cache_invalidations: 3,
                 predicted_bytes: 6 * b,
                 selected: 100,
                 tiles_partial: 4,
@@ -326,6 +341,8 @@ mod tests {
              exact_cache_hits,exact_cache_misses,exact_cache_evictions,\
              exact_cache_spill_bytes,exact_cache_mem_bytes,\
              exact_synopsis_hits,exact_synopsis_blocks,exact_synopsis_bytes,\
+             exact_rows_ingested,exact_delta_blocks,exact_compactions,\
+             exact_blocks_rewritten,exact_cache_invalidations,\
              exact_predicted_bytes,\
              exact_lock_wait_ms,phi=5%_time_ms,phi=5%_objects,phi=5%_bytes,\
              phi=5%_read_calls,phi=5%_blocks_read,phi=5%_blocks_skipped,phi=5%_http_requests,\
@@ -334,12 +351,14 @@ mod tests {
              phi=5%_cache_hits,phi=5%_cache_misses,phi=5%_cache_evictions,\
              phi=5%_cache_spill_bytes,phi=5%_cache_mem_bytes,\
              phi=5%_synopsis_hits,phi=5%_synopsis_blocks,phi=5%_synopsis_bytes,\
+             phi=5%_rows_ingested,phi=5%_delta_blocks,phi=5%_compactions,\
+             phi=5%_blocks_rewritten,phi=5%_cache_invalidations,\
              phi=5%_predicted_bytes,phi=5%_lock_wait_ms"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "1,10.000,100,4096,2,4,1,3,512,1,1,1.000,0,0,0,0,0,0,0,0,0,0,0,24576,0.000,\
-             5.000,50,2048,2,4,1,3,512,1,1,1.000,0,0,0,0,0,0,0,0,0,0,0,12288,0.000"
+            "1,10.000,100,4096,2,4,1,3,512,1,1,1.000,0,0,0,0,0,0,0,0,0,0,0,7,5,2,6,3,24576,0.000,\
+             5.000,50,2048,2,4,1,3,512,1,1,1.000,0,0,0,0,0,0,0,0,0,0,0,7,5,2,6,3,12288,0.000"
         );
         assert_eq!(csv.lines().count(), 3);
     }

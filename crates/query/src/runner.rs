@@ -93,6 +93,20 @@ pub struct QueryRecord {
     pub synopsis_blocks: u64,
     /// Approximate in-memory bytes of those synopses.
     pub synopsis_bytes: u64,
+    /// Rows appended through the streaming-ingest path during this query
+    /// (normally 0 — ingest runs between queries; threading the meter here
+    /// keeps mixed ingest/query traces in one CSV).
+    pub rows_ingested: u64,
+    /// Delta blocks alive when the query finished (a gauge, not a delta;
+    /// 0 on sealed backends, shrinks when the compactor runs).
+    pub delta_blocks: u64,
+    /// Z-order compactions installed while this query ran.
+    pub compactions: u64,
+    /// Delta blocks rewritten by those compactions.
+    pub blocks_rewritten: u64,
+    /// Cached spans dropped by generation-tag invalidation during this
+    /// query — the stale-span protection firing after a rewrite.
+    pub cache_invalidations: u64,
     /// Bytes an exact (`φ = 0`) evaluation of this query was *predicted*
     /// to read, from zone maps + classification before evaluation. Exact
     /// object pricing on fixed-stride backends; mean-row/mean-block
@@ -297,6 +311,11 @@ pub fn run_workload(
                     synopsis_hits: res.stats.io.synopsis_hits,
                     synopsis_blocks: res.stats.io.synopsis_blocks,
                     synopsis_bytes: res.stats.io.synopsis_bytes,
+                    rows_ingested: res.stats.io.rows_ingested,
+                    delta_blocks: res.stats.io.delta_blocks,
+                    compactions: res.stats.io.compactions,
+                    blocks_rewritten: res.stats.io.blocks_rewritten,
+                    cache_invalidations: res.stats.io.cache_invalidations,
                     predicted_bytes: predicted.bytes,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,
@@ -347,6 +366,11 @@ pub fn run_workload(
                     synopsis_hits: res.stats.io.synopsis_hits,
                     synopsis_blocks: res.stats.io.synopsis_blocks,
                     synopsis_bytes: res.stats.io.synopsis_bytes,
+                    rows_ingested: res.stats.io.rows_ingested,
+                    delta_blocks: res.stats.io.delta_blocks,
+                    compactions: res.stats.io.compactions,
+                    blocks_rewritten: res.stats.io.blocks_rewritten,
+                    cache_invalidations: res.stats.io.cache_invalidations,
                     predicted_bytes: predicted.bytes,
                     selected: res.stats.selected,
                     tiles_partial: res.stats.tiles_partial,

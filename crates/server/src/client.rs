@@ -40,6 +40,31 @@ pub enum ServedReply {
     ShuttingDown,
 }
 
+/// An applied ingest batch, decoded from the wire (mirrors the storage
+/// layer's `AppendReceipt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestAck {
+    /// Global row id of the first appended row.
+    pub start_row: u64,
+    /// Rows this batch appended.
+    pub rows: u64,
+    /// The served file's generation tag after the append.
+    pub generation: u64,
+    /// Delta blocks alive after the append.
+    pub delta_blocks: u64,
+    /// Server-side received→applied time, µs.
+    pub server_us: u64,
+}
+
+/// What the server said to one ingest batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestReply {
+    /// The batch was appended and indexed.
+    Applied(IngestAck),
+    /// The server is draining and no longer accepts ingest.
+    ShuttingDown,
+}
+
 /// One connection to a [`PaiServer`](crate::PaiServer), attached to a
 /// named session.
 pub struct PaiClient {
@@ -126,7 +151,49 @@ impl PaiClient {
             Response::Busy { .. } => Ok(ServedReply::Busy),
             Response::ShuttingDown { .. } => Ok(ServedReply::ShuttingDown),
             Response::Error { msg, .. } => Err(PaiError::internal(msg)),
-            Response::HelloOk { .. } => Err(PaiError::internal("unexpected HelloOk mid-session")),
+            other => Err(PaiError::internal(format!(
+                "unexpected query reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Streams one batch of rows into the served session and blocks for
+    /// the receipt. Engine rejections (sealed backend, out-of-domain
+    /// point, wrong arity) surface as `Err` with the whole batch dropped.
+    pub fn ingest(&mut self, rows: &[Vec<f64>]) -> Result<IngestReply> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request::Ingest {
+            id,
+            rows: rows.to_vec(),
+        })?;
+        match self.recv()? {
+            Response::IngestOk {
+                id: rid,
+                start_row,
+                rows,
+                generation,
+                delta_blocks,
+                server_us,
+            } => {
+                if rid != id {
+                    return Err(PaiError::internal(format!(
+                        "receipt for ingest {rid}, expected {id}"
+                    )));
+                }
+                Ok(IngestReply::Applied(IngestAck {
+                    start_row,
+                    rows,
+                    generation,
+                    delta_blocks,
+                    server_us,
+                }))
+            }
+            Response::ShuttingDown { .. } => Ok(IngestReply::ShuttingDown),
+            Response::Error { msg, .. } => Err(PaiError::internal(msg)),
+            other => Err(PaiError::internal(format!(
+                "unexpected ingest reply: {other:?}"
+            ))),
         }
     }
 

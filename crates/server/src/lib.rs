@@ -28,7 +28,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{PaiClient, ServedAnswer, ServedReply};
+pub use client::{IngestAck, IngestReply, PaiClient, ServedAnswer, ServedReply};
 pub use server::{PaiServer, ServeEngine, ServerConfig, ServerStats};
 
 #[cfg(test)]
@@ -248,6 +248,86 @@ mod tests {
         assert!(stats.service_hist.count() >= 1);
         // Shutdown is idempotent.
         server.shutdown();
+    }
+
+    #[test]
+    fn ingest_frames_extend_the_served_session() {
+        use pai_storage::AppendableFile;
+
+        let spec = DatasetSpec {
+            rows: 1000,
+            columns: 4,
+            seed: 37,
+            ..Default::default()
+        };
+        let base = spec.build_mem(CsvFormat::default()).unwrap();
+        let file = AppendableFile::with_base_rows(base, 1000).unwrap();
+        let init = InitConfig {
+            grid: GridSpec::Fixed { nx: 5, ny: 5 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let (index, _) = build(&file, &init).unwrap();
+        let engine =
+            Arc::new(SharedIndex::new(index, file, EngineConfig::paper_evaluation()).unwrap());
+        let server = PaiServer::serve(engine, ServerConfig::default()).unwrap();
+
+        let mut client = PaiClient::connect(server.addr(), "stream").unwrap();
+        let d = spec.domain;
+        let mid = |lo: f64, hi: f64, f: f64| lo + (hi - lo) * f;
+        let batch: Vec<Vec<f64>> = (0..32)
+            .map(|i| {
+                let f = (i as f64 + 0.5) / 32.0;
+                vec![
+                    mid(d.x_min, d.x_max, f),
+                    mid(d.y_min, d.y_max, 1.0 - f),
+                    f,
+                    -f,
+                ]
+            })
+            .collect();
+        let ack = match client.ingest(&batch).unwrap() {
+            IngestReply::Applied(a) => a,
+            other => panic!("expected a receipt, got {other:?}"),
+        };
+        assert_eq!(ack.start_row, 1000);
+        assert_eq!(ack.rows, 32);
+
+        // The same connection's follow-up query sees its own writes.
+        let reply = client.query(&d, &[AggregateFunction::Count], 0.0).unwrap();
+        let ServedReply::Answer(a) = reply else {
+            panic!("expected an answer, got {reply:?}");
+        };
+        assert_eq!(a.values[0].as_f64().unwrap(), 1032.0);
+
+        // A batch with an out-of-domain point is refused atomically and
+        // the connection stays usable.
+        let bad = vec![vec![d.x_max + 1e6, d.y_min, 0.0, 0.0]];
+        assert!(client.ingest(&bad).is_err());
+        assert!(matches!(
+            client.query(&d, &[AggregateFunction::Count], 0.0),
+            Ok(ServedReply::Answer(_))
+        ));
+
+        let stats = server.stats();
+        assert_eq!(stats.ingests_applied, 1);
+        assert_eq!(stats.rows_ingested, 32);
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn ingest_against_a_sealed_backend_is_an_error_frame() {
+        let (engine, window) = shared_engine(800, 41);
+        let server = PaiServer::serve(engine, ServerConfig::default()).unwrap();
+        let mut client = PaiClient::connect(server.addr(), "sealed").unwrap();
+        let err = client.ingest(&[vec![200.0, 200.0, 1.0, 2.0]]).unwrap_err();
+        assert!(err.to_string().contains("sealed"), "{err}");
+        // The refusal is connection-survivable.
+        assert!(matches!(
+            client.query(&window, &[AggregateFunction::Count], 0.1),
+            Ok(ServedReply::Answer(_))
+        ));
+        assert_eq!(server.stats().ingests_applied, 0);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 use pai_common::{AggregateFunction, AggregateValue, Interval, PaiError, Rect, Result};
 
 /// Protocol revision carried in `Hello`/`HelloOk`. Bump on any
-/// incompatible frame-layout change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// incompatible frame-layout change. Revision 2 added the
+/// `Ingest`/`IngestOk` streaming frames.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +39,16 @@ pub enum Request {
         phi: f64,
         /// Requested aggregates.
         aggs: Vec<AggregateFunction>,
+    },
+    /// A batch of rows to append to the served file and index (streaming
+    /// ingest). Rows travel row-major as `f64::to_bits`, all with the same
+    /// arity; the engine validates arity and domain before applying, and a
+    /// rejected batch changes nothing.
+    Ingest {
+        /// Client-chosen correlation id, echoed on the reply.
+        id: u64,
+        /// The rows, one `Vec<f64>` per row in append order.
+        rows: Vec<Vec<f64>>,
     },
     /// Polite end-of-connection marker (closing the socket works too).
     Close,
@@ -78,6 +89,21 @@ pub enum Response {
     ShuttingDown {
         /// Correlation id from the request.
         id: u64,
+    },
+    /// Ingest batch `id` was appended and indexed.
+    IngestOk {
+        /// Correlation id from the request.
+        id: u64,
+        /// Global row id of the first appended row.
+        start_row: u64,
+        /// Rows appended by this batch.
+        rows: u64,
+        /// The file's generation tag after the append.
+        generation: u64,
+        /// Delta blocks alive after the append (compaction shrinks this).
+        delta_blocks: u64,
+        /// Server-side service time (received → applied), µs.
+        server_us: u64,
     },
     /// The query (or the connection's protocol state) was invalid.
     Error {
@@ -242,6 +268,19 @@ impl Request {
                 }
             }
             Request::Close => out.push(3),
+            Request::Ingest { id, rows } => {
+                out.push(4);
+                put_u64(&mut out, *id);
+                put_u32(&mut out, rows.len() as u32);
+                let cols = rows.first().map_or(0, Vec::len);
+                put_u32(&mut out, cols as u32);
+                for row in rows {
+                    debug_assert_eq!(row.len(), cols, "ingest frames are rectangular");
+                    for &v in row {
+                        put_f64(&mut out, v);
+                    }
+                }
+            }
         }
         out
     }
@@ -284,6 +323,25 @@ impl Request {
                 }
             }
             3 => Request::Close,
+            4 => {
+                let id = c.u64()?;
+                let n_rows = c.u32()? as usize;
+                let n_cols = c.u32()? as usize;
+                // The frame cap (16 MiB) bounds the payload already; these
+                // keep a hostile header from pre-allocating past it.
+                if n_rows > 1 << 20 || n_cols > 4096 {
+                    return Err(PaiError::internal("oversized ingest batch"));
+                }
+                let mut rows = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    let mut row = Vec::with_capacity(n_cols);
+                    for _ in 0..n_cols {
+                        row.push(c.f64()?);
+                    }
+                    rows.push(row);
+                }
+                Request::Ingest { id, rows }
+            }
             t => return Err(PaiError::internal(format!("unknown request tag {t}"))),
         };
         c.finish()?;
@@ -346,6 +404,22 @@ impl Response {
                 put_u64(&mut out, *id);
                 put_str(&mut out, msg);
             }
+            Response::IngestOk {
+                id,
+                start_row,
+                rows,
+                generation,
+                delta_blocks,
+                server_us,
+            } => {
+                out.push(6);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *start_row);
+                put_u64(&mut out, *rows);
+                put_u64(&mut out, *generation);
+                put_u64(&mut out, *delta_blocks);
+                put_u64(&mut out, *server_us);
+            }
         }
         out
     }
@@ -398,6 +472,14 @@ impl Response {
                 id: c.u64()?,
                 msg: c.str()?,
             },
+            6 => Response::IngestOk {
+                id: c.u64()?,
+                start_row: c.u64()?,
+                rows: c.u64()?,
+                generation: c.u64()?,
+                delta_blocks: c.u64()?,
+                server_us: c.u64()?,
+            },
             t => return Err(PaiError::internal(format!("unknown response tag {t}"))),
         };
         c.finish()?;
@@ -426,10 +508,27 @@ mod tests {
                     AggregateFunction::StdDev(3),
                 ],
             },
+            Request::Ingest {
+                id: 77,
+                rows: vec![vec![1.0, 2.0, -0.0], vec![4.0, f64::NAN, 6.0]],
+            },
+            Request::Ingest {
+                id: 78,
+                rows: vec![],
+            },
             Request::Close,
         ];
         for r in &reqs {
-            assert_eq!(&Request::decode(&r.encode()).unwrap(), r);
+            let back = Request::decode(&r.encode()).unwrap();
+            // NaN != NaN, so compare ingest payloads bitwise.
+            if let (Request::Ingest { rows: a, .. }, Request::Ingest { rows: b, .. }) = (r, &back) {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            } else {
+                assert_eq!(&back, r);
+            }
         }
     }
 
@@ -462,6 +561,14 @@ mod tests {
             },
             Response::Busy { id: 1 },
             Response::ShuttingDown { id: 2 },
+            Response::IngestOk {
+                id: 3,
+                start_row: 1_000_000,
+                rows: 512,
+                generation: 4,
+                delta_blocks: 9,
+                server_us: 777,
+            },
             Response::Error {
                 id: 0,
                 msg: "bad window".into(),
@@ -506,5 +613,19 @@ mod tests {
         }
         // x_min=1.0 > x_max=0.0 now.
         assert!(Request::decode(&bad).is_err());
+        // An ingest frame whose header claims more rows than the payload
+        // carries is truncated, and an absurd header is rejected outright.
+        let mut short = Request::Ingest {
+            id: 1,
+            rows: vec![vec![1.0, 2.0]],
+        }
+        .encode();
+        short.truncate(short.len() - 8);
+        assert!(Request::decode(&short).is_err());
+        let mut huge = vec![4u8];
+        huge.extend_from_slice(&1u64.to_le_bytes());
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&huge).is_err());
     }
 }

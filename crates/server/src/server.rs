@@ -37,7 +37,7 @@ use std::time::Instant;
 use pai_common::{AggregateFunction, AtomicHistogram, LatencyHistogram, PaiError, Rect, Result};
 use pai_core::{ApproxResult, SharedIndex};
 use pai_storage::netio::{write_frame, ConnBuf};
-use pai_storage::raw::RawFile;
+use pai_storage::raw::{AppendReceipt, RawFile};
 
 use crate::protocol::{Request, Response, PROTOCOL_VERSION};
 
@@ -49,6 +49,17 @@ pub trait ServeEngine: Send + Sync {
     /// Evaluates one approximate query (see [`SharedIndex::evaluate`]).
     fn evaluate(&self, window: &Rect, aggs: &[AggregateFunction], phi: f64)
         -> Result<ApproxResult>;
+
+    /// Appends and indexes a batch of rows (see
+    /// [`SharedIndex::ingest`](pai_core::SharedIndex::ingest)). The
+    /// default refuses — a server over a sealed backend answers ingest
+    /// frames with an `Error`, not a crash.
+    fn ingest(&self, rows: &[Vec<f64>]) -> Result<AppendReceipt> {
+        let _ = rows;
+        Err(PaiError::unsupported(
+            "this server's backend is sealed (no ingest path)",
+        ))
+    }
 }
 
 impl<F: RawFile> ServeEngine for SharedIndex<F> {
@@ -59,6 +70,10 @@ impl<F: RawFile> ServeEngine for SharedIndex<F> {
         phi: f64,
     ) -> Result<ApproxResult> {
         SharedIndex::evaluate(self, window, aggs, phi)
+    }
+
+    fn ingest(&self, rows: &[Vec<f64>]) -> Result<AppendReceipt> {
+        SharedIndex::ingest(self, rows)
     }
 }
 
@@ -119,6 +134,10 @@ pub struct ServerStats {
     pub sessions_opened: u64,
     /// Answers computed for clients that had already disconnected.
     pub dropped_replies: u64,
+    /// Ingest batches applied (answered `IngestOk`).
+    pub ingests_applied: u64,
+    /// Rows appended across all applied ingest batches.
+    pub rows_ingested: u64,
     /// Distribution of enqueue→answered service times (µs), including
     /// queue wait — the p50/p99 the load gate reads.
     pub service_hist: LatencyHistogram,
@@ -132,6 +151,8 @@ struct Meters {
     errors: AtomicU64,
     sessions_opened: AtomicU64,
     dropped_replies: AtomicU64,
+    ingests_applied: AtomicU64,
+    rows_ingested: AtomicU64,
     service_hist: AtomicHistogram,
 }
 
@@ -436,6 +457,57 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     }
                 }
             }
+            Request::Ingest { id, rows } => {
+                if session_id.is_none() {
+                    shared.meters.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = shared.send(
+                        &writer,
+                        &Response::Error {
+                            id,
+                            msg: "ingest before Hello".into(),
+                        },
+                    );
+                    return;
+                };
+                // Ingest runs inline on the connection thread: the engine's
+                // own append latching and short index write lock are the
+                // concurrency control, and per-connection FIFO means a
+                // client's follow-up query sees its own writes. The
+                // scheduler is only consulted for the drain flag.
+                if shared.sched.lock().expect("scheduler lock").draining {
+                    let _ = shared.send(&writer, &Response::ShuttingDown { id });
+                    continue;
+                }
+                let t0 = Instant::now();
+                let resp = match shared.engine.ingest(&rows) {
+                    Ok(receipt) => {
+                        let n = receipt.locators.len() as u64;
+                        shared
+                            .meters
+                            .ingests_applied
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared.meters.rows_ingested.fetch_add(n, Ordering::Relaxed);
+                        Response::IngestOk {
+                            id,
+                            start_row: receipt.start_row,
+                            rows: n,
+                            generation: receipt.generation,
+                            delta_blocks: receipt.delta_blocks,
+                            server_us: t0.elapsed().as_micros() as u64,
+                        }
+                    }
+                    Err(e) => {
+                        shared.meters.errors.fetch_add(1, Ordering::Relaxed);
+                        Response::Error {
+                            id,
+                            msg: e.to_string(),
+                        }
+                    }
+                };
+                if !shared.send(&writer, &resp) {
+                    return;
+                }
+            }
             Request::Close => return,
         }
     }
@@ -522,6 +594,8 @@ impl PaiServer {
             errors: m.errors.load(Ordering::Relaxed),
             sessions_opened: m.sessions_opened.load(Ordering::Relaxed),
             dropped_replies: m.dropped_replies.load(Ordering::Relaxed),
+            ingests_applied: m.ingests_applied.load(Ordering::Relaxed),
+            rows_ingested: m.rows_ingested.load(Ordering::Relaxed),
             service_hist: m.service_hist.snapshot(),
         }
     }

@@ -56,7 +56,9 @@ use std::sync::{Arc, Mutex};
 use pai_common::geometry::Rect;
 use pai_common::{AttrId, IoCounters, Result, RowLocator};
 
-use crate::raw::{BlockStats, BlockSynopsis, RawFile, RowHandler, ScanPartition};
+use crate::raw::{
+    AppendReceipt, BlockStats, BlockSynopsis, CompactionReport, RawFile, RowHandler, ScanPartition,
+};
 use crate::schema::Schema;
 
 /// Lock shards: enough that concurrent readers on different blocks rarely
@@ -246,6 +248,33 @@ impl BlockCache {
             }
             shard.touched.insert(key);
         }
+    }
+
+    /// Drops every cached span of `object` from both tiers (including its
+    /// spill files and ghost-set entries), returning how many entries were
+    /// removed. Called when an object's generation changes — a delta
+    /// compaction rewrote its blocks, or a remote ETag revealed the object
+    /// was replaced — so the cache can never serve spans from a retired
+    /// generation. Stale spans become misses, never lies.
+    pub fn invalidate_object(&self, object: u64) -> u64 {
+        let mut removed = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard");
+            let victims: Vec<Key> = shard
+                .map
+                .keys()
+                .filter(|k| k.object == object)
+                .copied()
+                .collect();
+            for key in victims {
+                if let Some(entry) = shard.map.remove(&key) {
+                    self.forget(&key, entry);
+                    removed += 1;
+                }
+            }
+            shard.touched.retain(|k| k.object != object);
+        }
+        removed
     }
 
     /// Looks one span up, bumping its LRU position. Returns the bytes on a
@@ -543,6 +572,21 @@ impl RawFile for CachedFile {
     fn attach_cache(&self, cache: Arc<BlockCache>) -> bool {
         self.inner.attach_cache(cache)
     }
+
+    fn append_rows(&self, rows: &[Vec<f64>]) -> Result<AppendReceipt> {
+        self.inner.append_rows(rows)
+    }
+
+    fn invalidate_cache(&self) -> u64 {
+        // The inner backend owns the cache binding (it knows its object
+        // id), so invalidation routes through it — not through `cache`
+        // directly, which may back other files too.
+        self.inner.invalidate_cache()
+    }
+
+    fn compact_once(&self, domain: &Rect, min_run: usize) -> Result<Option<CompactionReport>> {
+        self.inner.compact_once(domain, min_run)
+    }
 }
 
 #[cfg(test)]
@@ -664,6 +708,37 @@ mod tests {
         }
         assert!(cache.mem_used() <= 100);
         assert!(cache.disk_used() <= 250, "disk: {}", cache.disk_used());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalidate_object_drops_both_tiers_and_ghosts() {
+        let dir = std::env::temp_dir().join(format!("pai-cache-inv-{}", std::process::id()));
+        let c = IoCounters::new();
+        let cache = BlockCache::new(CacheConfig::new(256, 1 << 20).with_spill_dir(&dir));
+        let keep = cache.object_id("keep");
+        let gone = cache.object_id("gone");
+        // Overfill the memory tier so some of `gone`'s spans spill to disk.
+        for i in 0..4u64 {
+            cache.admit(gone, i * 100, &bytes(100, i as u8), CacheMode::Admit, &c);
+        }
+        cache.admit(keep, 0, &bytes(50, 9), CacheMode::Admit, &c);
+        // Ghost entry for `gone`: touched once in Stream mode, not admitted.
+        cache.admit(gone, 999, &bytes(10, 1), CacheMode::Stream, &c);
+        assert!(cache.disk_used() > 0, "precondition: something spilled");
+
+        let removed = cache.invalidate_object(gone);
+        assert!(removed >= 3, "all resident spans dropped: {removed}");
+        for i in 0..4u64 {
+            assert!(cache.lookup(gone, i * 100, 100).is_none(), "span {i} stale");
+        }
+        // Ghost cleared too: a Stream re-touch starts from scratch.
+        cache.admit(gone, 999, &bytes(10, 1), CacheMode::Stream, &c);
+        assert!(cache.lookup(gone, 999, 10).is_none(), "ghost was cleared");
+        // Unrelated objects survive, and byte accounting is consistent.
+        assert!(cache.lookup(keep, 0, 50).is_some(), "other object kept");
+        assert_eq!(cache.mem_used(), 50);
+        assert_eq!(cache.disk_used(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -159,8 +159,10 @@ fn spread_bits(v: u16) -> u32 {
 }
 
 /// Morton (Z-order) key of a point, quantized to 16 bits per axis over the
-/// domain.
-fn morton_key(p: Point2, domain: &Rect) -> u32 {
+/// domain. Public so the online compactor re-clusters with the *same* key
+/// the static [`RowOrder::ZOrder`] layout uses — post-compaction block
+/// skipping is then directly comparable to a statically Z-ordered file.
+pub fn morton_key(p: Point2, domain: &Rect) -> u32 {
     let q = |v: f64, lo: f64, span: f64| -> u16 {
         if span <= 0.0 {
             return 0;

@@ -149,6 +149,26 @@ impl RawFile for LatencyFile {
     fn attach_cache(&self, cache: std::sync::Arc<crate::cache::BlockCache>) -> bool {
         self.inner.attach_cache(cache)
     }
+
+    fn append_rows(&self, rows: &[Vec<f64>]) -> Result<crate::raw::AppendReceipt> {
+        let res = self.inner.append_rows(rows);
+        self.stall();
+        res
+    }
+
+    fn invalidate_cache(&self) -> u64 {
+        self.inner.invalidate_cache()
+    }
+
+    fn compact_once(
+        &self,
+        domain: &Rect,
+        min_run: usize,
+    ) -> Result<Option<crate::raw::CompactionReport>> {
+        // The rewrite happens inside the wrapped backend (no extra link
+        // round trip beyond what its own accesses pay), so no stall here.
+        self.inner.compact_once(domain, min_run)
+    }
 }
 
 #[cfg(test)]

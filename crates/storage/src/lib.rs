@@ -44,6 +44,10 @@
 //!   with the CSV implementations;
 //! * [`mod@column`] — the binary columnar backend and the one-pass CSV→binary
 //!   converter ([`column::convert_to_bin`] / [`column::write_bin`]);
+//! * [`mod@delta`] — streaming ingest: [`AppendableFile`] wraps any sealed
+//!   backend with append-order delta blocks (zone maps + synopses derived at
+//!   seal time) and an online Z-order compaction pass behind a generation
+//!   swap;
 //! * [`mod@zone`] — the compressed zone-mapped backend and its converter
 //!   ([`zone::convert_to_zone`] / [`zone::write_zone`]);
 //! * [`mapped`] — read-only memory mapping with a portable fallback;
@@ -73,6 +77,7 @@ pub mod batch;
 pub mod cache;
 pub mod column;
 pub mod csv;
+pub mod delta;
 mod fetch;
 pub mod gen;
 pub mod ground_truth;
@@ -90,14 +95,15 @@ pub use batch::read_row_groups;
 pub use cache::{BlockCache, CacheConfig, CacheMode, CachedFile};
 pub use column::{convert_to_bin, write_bin, BinFile, StorageBackend};
 pub use csv::{CsvFormat, CsvWriter};
-pub use gen::{DatasetSpec, PointDistribution, RowOrder, ValueModel};
+pub use delta::{AppendableFile, DELTA_BLOCK_ROWS};
+pub use gen::{morton_key, DatasetSpec, PointDistribution, RowOrder, ValueModel};
 pub use latency::LatencyFile;
 pub use mapped::Mapping;
 pub use netio::{write_frame, ConnBuf, MAX_FRAME_BYTES};
 pub use objstore::{Fault, FaultPlan, ObjectStore};
 pub use raw::{
-    build_block_synopses, BlockStats, BlockSynopsis, ColumnSynopsis, CsvFile, MemFile, RawFile,
-    Record, ScanPartition, SynopsisSpec,
+    build_block_synopses, AppendReceipt, BlockStats, BlockSynopsis, ColumnSynopsis,
+    CompactionReport, CsvFile, MemFile, RawFile, Record, ScanPartition, SynopsisSpec,
 };
 pub use remote::{HttpBlob, HttpFile, HttpOptions};
 pub use schema::{Column, ColumnType, Schema};

@@ -115,9 +115,17 @@ impl FromStr for FaultPlan {
     }
 }
 
+/// One stored object: its bytes plus a generation number that becomes the
+/// `ETag` header — bumped every time a `put` replaces the object, so
+/// clients can detect mid-session mutation and drop stale cached spans.
+struct StoredObject {
+    bytes: Arc<Vec<u8>>,
+    generation: u64,
+}
+
 /// Shared mutable state behind the listener and every connection thread.
 struct Shared {
-    objects: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+    objects: Mutex<HashMap<String, StoredObject>>,
     scripted: Mutex<VecDeque<Fault>>,
     plan: FaultPlan,
     latency: Duration,
@@ -207,13 +215,30 @@ impl ObjectStore {
         self.addr
     }
 
-    /// Uploads (or replaces) an object.
+    /// Uploads (or replaces) an object. Replacing bumps the object's
+    /// generation, which the server exposes as its `ETag` — the signal a
+    /// caching client uses to drop spans fetched from the old bytes.
     pub fn put(&self, name: impl Into<String>, bytes: impl Into<Vec<u8>>) {
+        let name = name.into();
+        let mut objects = self.shared.objects.lock().expect("object map");
+        let generation = objects.get(&name).map_or(1, |o| o.generation + 1);
+        objects.insert(
+            name,
+            StoredObject {
+                bytes: Arc::new(bytes.into()),
+                generation,
+            },
+        );
+    }
+
+    /// The object's current generation (its `ETag` value), if it exists.
+    pub fn generation(&self, name: &str) -> Option<u64> {
         self.shared
             .objects
             .lock()
             .expect("object map")
-            .insert(name.into(), Arc::new(bytes.into()));
+            .get(name)
+            .map(|o| o.generation)
     }
 
     /// Whether an object exists.
@@ -387,8 +412,8 @@ fn serve_connection(stream: TcpStream, state: &Shared) {
             .lock()
             .expect("object map")
             .get(&req.name)
-            .cloned();
-        let Some(object) = object else {
+            .map(|o| (Arc::clone(&o.bytes), o.generation));
+        let Some((object, generation)) = object else {
             if write_simple(&mut writer, "404 Not Found", b"", req.close).is_err() || req.close {
                 return;
             }
@@ -425,7 +450,7 @@ fn serve_connection(stream: TcpStream, state: &Shared) {
         let head = buf.head_scratch();
         let _ = write!(
             head,
-            "HTTP/1.1 {status}\r\nContent-Length: {advertised}\r\nContent-Range: bytes {start}-{end}/{total}\r\nAccept-Ranges: bytes\r\nConnection: {conn}\r\n\r\n",
+            "HTTP/1.1 {status}\r\nContent-Length: {advertised}\r\nContent-Range: bytes {start}-{end}/{total}\r\nAccept-Ranges: bytes\r\nETag: \"g{generation}\"\r\nConnection: {conn}\r\n\r\n",
         );
         if writer.write_all(head.as_bytes()).is_err()
             || writer.write_all(&body[..deliver]).is_err()
@@ -495,6 +520,22 @@ mod tests {
         assert_eq!(body.len(), 5);
         let (head, _) = raw_get(store.addr(), "blob", Some((10, 20)));
         assert!(head.starts_with("HTTP/1.1 416"), "{head}");
+    }
+
+    #[test]
+    fn etag_tracks_the_object_generation_across_replaces() {
+        let store = ObjectStore::serve().unwrap();
+        store.put("blob", vec![1u8; 16]);
+        assert_eq!(store.generation("blob"), Some(1));
+        let (head, _) = raw_get(store.addr(), "blob", Some((0, 7)));
+        assert!(head.contains("ETag: \"g1\""), "{head}");
+
+        store.put("blob", vec![2u8; 16]);
+        assert_eq!(store.generation("blob"), Some(2), "replace bumps");
+        let (head, body) = raw_get(store.addr(), "blob", Some((0, 7)));
+        assert!(head.contains("ETag: \"g2\""), "{head}");
+        assert_eq!(body, vec![2u8; 8], "new generation's bytes");
+        assert_eq!(store.generation("nope"), None);
     }
 
     #[test]

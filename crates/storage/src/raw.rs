@@ -508,6 +508,39 @@ fn compute_scan_synopses(file: &dyn RawFile) -> Result<Vec<BlockSynopsis>> {
     ))
 }
 
+/// What an accepted append batch looks like from the outside: where the rows
+/// landed and how the file's delta state changed. Returned by
+/// [`RawFile::append_rows`] so the index can extend itself (locators in
+/// append order, one per row) without re-scanning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendReceipt {
+    /// Global row id of the first appended row (rows are `start_row ..
+    /// start_row + locators.len()`).
+    pub start_row: RowId,
+    /// One locator per appended row, in append order — redeemable through
+    /// every positional-read path exactly like scan-issued locators.
+    pub locators: Vec<RowLocator>,
+    /// The file's generation after this append (bumped by compaction, not
+    /// by appends).
+    pub generation: u64,
+    /// Delta blocks alive after this append (sealed + the open tail).
+    pub delta_blocks: u64,
+}
+
+/// What one completed compaction did: the generation it installed and how
+/// much it rewrote. Returned by [`RawFile::compact_once`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// The file's generation after the swap.
+    pub generation: u64,
+    /// Delta blocks rewritten into Z-order by this pass.
+    pub blocks_rewritten: u64,
+    /// Rows those blocks cover.
+    pub rows: u64,
+    /// Cached spans dropped by the post-swap invalidation.
+    pub cache_invalidations: u64,
+}
+
 /// In-situ raw data file: schema-aware sequential and positional access.
 ///
 /// This is the seam between the AQP engine and the bytes on disk. Everything
@@ -628,6 +661,39 @@ pub trait RawFile: Send + Sync {
         let _ = cache;
         false
     }
+
+    /// Appends `rows` (each `schema().len()` wide) to the file, returning
+    /// where they landed. Only appendable backends
+    /// ([`crate::delta::AppendableFile`]) accept rows; every sealed backend
+    /// keeps the default, which refuses with an `unsupported` error — static
+    /// files stay provably immutable.
+    fn append_rows(&self, rows: &[Vec<f64>]) -> Result<AppendReceipt> {
+        let _ = rows;
+        Err(PaiError::unsupported(
+            "backend is sealed (no append path); wrap it in an AppendableFile",
+        ))
+    }
+
+    /// Drops every cached span belonging to this file from its attached
+    /// [`crate::cache::BlockCache`], returning how many entries were
+    /// invalidated. Called after a rewrite (compaction) so the cache cannot
+    /// serve spans from a retired generation. The default — backends with no
+    /// cache binding — is a no-op.
+    fn invalidate_cache(&self) -> u64 {
+        0
+    }
+
+    /// Runs one compaction pass if at least `min_run` sealed delta blocks
+    /// are waiting: re-clusters them into Z-order over `domain` (the same
+    /// Morton key as [`crate::gen::morton_key`]), swaps the rewritten blocks
+    /// in behind a generation bump, and invalidates stale cached spans.
+    /// Returns `Ok(None)` when there is nothing to compact — which is the
+    /// default for every backend without delta state, so a background
+    /// compactor can drive any engine without knowing its backend.
+    fn compact_once(&self, domain: &Rect, min_run: usize) -> Result<Option<CompactionReport>> {
+        let _ = (domain, min_run);
+        Ok(None)
+    }
 }
 
 /// Boxed files are files: lets APIs hold `Box<dyn RawFile>` (e.g. a
@@ -689,6 +755,18 @@ impl<T: RawFile + ?Sized> RawFile for Box<T> {
 
     fn attach_cache(&self, cache: std::sync::Arc<crate::cache::BlockCache>) -> bool {
         (**self).attach_cache(cache)
+    }
+
+    fn append_rows(&self, rows: &[Vec<f64>]) -> Result<AppendReceipt> {
+        (**self).append_rows(rows)
+    }
+
+    fn invalidate_cache(&self) -> u64 {
+        (**self).invalidate_cache()
+    }
+
+    fn compact_once(&self, domain: &Rect, min_run: usize) -> Result<Option<CompactionReport>> {
+        (**self).compact_once(domain, min_run)
     }
 }
 

@@ -102,6 +102,17 @@ pub struct HttpOptions {
     /// For a cache *shared* across files, wrap with
     /// [`crate::CachedFile`] instead.
     pub cache: Option<CacheConfig>,
+    /// How long cached spans may be served without re-checking the remote
+    /// object's `ETag`. `None` (the default) never proactively revalidates:
+    /// a fully-cached batch does zero HTTP work, and a mutation is only
+    /// noticed when some miss issues a GET. `Some(ttl)` probes the object
+    /// with a 1-byte GET once per `ttl` before serving hits, so even
+    /// all-hit batches notice a replaced object within the TTL. Either
+    /// way, an observed ETag change drops every cached span of the object
+    /// and refetches the batch — stale spans become misses, never lies.
+    /// Replacements are assumed layout-compatible (same length and format,
+    /// e.g. a compaction rewrite); a reshaped object needs a reopen.
+    pub revalidate_ttl: Option<Duration>,
 }
 
 impl Default for HttpOptions {
@@ -115,6 +126,7 @@ impl Default for HttpOptions {
             fetch_workers: 1,
             adaptive: false,
             cache: None,
+            revalidate_ttl: None,
         }
     }
 }
@@ -158,6 +170,13 @@ impl HttpOptions {
         self.cache = Some(cache);
         self
     }
+
+    /// These options with an ETag-revalidation TTL (see
+    /// [`HttpOptions::revalidate_ttl`]).
+    pub fn with_revalidate_ttl(mut self, ttl: Option<Duration>) -> Self {
+        self.revalidate_ttl = ttl;
+        self
+    }
 }
 
 /// Classifies an attempt failure: retry or surface.
@@ -174,6 +193,8 @@ struct ResponseHead {
     content_length: Option<u64>,
     /// Total object size from `Content-Range: bytes a-b/total`.
     total: Option<u64>,
+    /// The object's entity tag (quotes stripped), if the store sent one.
+    etag: Option<String>,
     head_bytes: u64,
 }
 
@@ -188,6 +209,11 @@ pub struct HttpClient {
     opts: HttpOptions,
     counters: IoCounters,
     pool: Mutex<Vec<Conn>>,
+    /// Last `ETag` observed on any successful response.
+    etag: Mutex<Option<String>>,
+    /// Sticky flag: some response revealed the object changed generations
+    /// since the last observation. Consumed by [`HttpClient::take_etag_change`].
+    etag_changed: AtomicBool,
 }
 
 impl HttpClient {
@@ -198,7 +224,26 @@ impl HttpClient {
             opts,
             counters,
             pool: Mutex::new(Vec::new()),
+            etag: Mutex::new(None),
+            etag_changed: AtomicBool::new(false),
         }
+    }
+
+    /// Records a response's entity tag; a change against the previously
+    /// observed tag raises the sticky changed flag.
+    fn note_etag(&self, tag: Option<&str>) {
+        let Some(tag) = tag else { return };
+        let mut seen = self.etag.lock().expect("etag");
+        if seen.as_deref().is_some_and(|old| old != tag) {
+            self.etag_changed.store(true, Ordering::Relaxed);
+        }
+        *seen = Some(tag.to_string());
+    }
+
+    /// Consumes the changed flag: `true` exactly once per detected
+    /// generation change.
+    fn take_etag_change(&self) -> bool {
+        self.etag_changed.swap(false, Ordering::Relaxed)
     }
 
     fn checkout(&self) -> std::io::Result<Conn> {
@@ -293,6 +338,7 @@ impl HttpClient {
                 head.status
             ))));
         }
+        self.note_etag(head.etag.as_deref());
         let expected = head.content_length.ok_or_else(|| {
             GetError::Permanent(PaiError::internal("response carried no Content-Length"))
         })?;
@@ -337,6 +383,7 @@ fn read_head(conn: &mut Conn) -> std::result::Result<ResponseHead, String> {
         .ok_or_else(|| format!("malformed status line {line:?}"))?;
     let mut content_length = None;
     let mut total = None;
+    let mut etag = None;
     loop {
         let mut header = String::new();
         conn.read_line(&mut header)
@@ -356,6 +403,8 @@ fn read_head(conn: &mut Conn) -> std::result::Result<ResponseHead, String> {
             } else if key.eq_ignore_ascii_case("content-range") {
                 // `bytes a-b/total` or `bytes */total`.
                 total = value.rsplit('/').next().and_then(|t| t.parse().ok());
+            } else if key.eq_ignore_ascii_case("etag") {
+                etag = Some(value.trim_matches('"').to_string());
             }
         }
     }
@@ -363,6 +412,7 @@ fn read_head(conn: &mut Conn) -> std::result::Result<ResponseHead, String> {
         status,
         content_length,
         total,
+        etag,
         head_bytes,
     })
 }
@@ -404,6 +454,9 @@ pub struct HttpBlob {
     /// Bound block cache, if any: span-batch hits are served from it and
     /// subtracted before coalescing. Set once, at open or attach time.
     cache: OnceLock<CacheBinding>,
+    /// When the object's ETag was last proactively checked (see
+    /// [`HttpOptions::revalidate_ttl`]).
+    last_validated: Mutex<Instant>,
 }
 
 /// A blob's handle into a (possibly shared) block cache.
@@ -447,6 +500,7 @@ impl HttpBlob {
             prefix,
             sizer: Mutex::new(Sizer::default()),
             cache: OnceLock::new(),
+            last_validated: Mutex::new(Instant::now()),
         };
         if let Some(cfg) = blob.client.opts.cache.clone() {
             blob.attach_cache(Arc::new(BlockCache::new(cfg)));
@@ -537,10 +591,80 @@ impl HttpBlob {
     /// fetch wall time); an empty cache leaves the request pattern
     /// byte-identical to the uncached client. Fetched misses are then
     /// offered back to the cache under `mode`'s admission rule.
+    ///
+    /// Staleness guard: if any GET in the batch reveals a changed `ETag`
+    /// (the store replaced the object mid-session), every cached span of
+    /// the object is dropped and — when the batch had copied any cache
+    /// hits, which may now be from the retired generation — the whole
+    /// batch is refetched once against the emptied cache. The result
+    /// therefore never mixes generations that a single GET could tell
+    /// apart.
     pub fn read_spans_mode(&self, spans: &[(u64, u64)], mode: CacheMode) -> Result<Vec<Vec<u8>>> {
+        self.maybe_revalidate()?;
+        let (out, had_hits) = self.read_spans_attempt(spans, mode)?;
+        if self.client.take_etag_change() {
+            self.invalidate_cached_spans();
+            if had_hits {
+                // The hits came from the old generation; the cache is now
+                // empty for this object, so one retry fetches everything
+                // fresh (and its GETs re-observe the *new* tag, so this
+                // cannot recurse).
+                let (out, _) = self.read_spans_attempt(spans, mode)?;
+                return Ok(out);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Probes the object's current `ETag` with a 1-byte GET when the
+    /// configured [`HttpOptions::revalidate_ttl`] has lapsed, dropping
+    /// cached spans if the object changed. A no-op without a TTL, without
+    /// a bound cache, or within the TTL.
+    fn maybe_revalidate(&self) -> Result<()> {
+        let Some(ttl) = self.client.opts.revalidate_ttl else {
+            return Ok(());
+        };
+        if self.cache.get().is_none() || self.len == 0 {
+            return Ok(());
+        }
+        {
+            let mut last = self.last_validated.lock().expect("revalidate clock");
+            if last.elapsed() < ttl {
+                return Ok(());
+            }
+            *last = Instant::now();
+        }
+        let _ = self.client.get_range(0, 1)?;
+        if self.client.take_etag_change() {
+            self.invalidate_cached_spans();
+        }
+        Ok(())
+    }
+
+    /// Drops every span this blob has cached (no-op without a bound
+    /// cache), metering the removals as `cache_invalidations`. Returns how
+    /// many entries were dropped.
+    pub fn invalidate_cached_spans(&self) -> u64 {
+        let Some(b) = self.cache.get() else { return 0 };
+        let n = b.cache.invalidate_object(b.object);
+        if n > 0 {
+            self.client.counters.add_cache_invalidations(n);
+        }
+        n
+    }
+
+    /// One pass of the span-batch fetch: cache hits copied out, misses
+    /// coalesced, fetched, and offered back. Returns the output buffers
+    /// and whether any span was served from the cache.
+    fn read_spans_attempt(
+        &self,
+        spans: &[(u64, u64)],
+        mode: CacheMode,
+    ) -> Result<(Vec<Vec<u8>>, bool)> {
+        let mut had_hits = false;
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); spans.len()];
         if spans.is_empty() {
-            return Ok(out);
+            return Ok((out, had_hits));
         }
         for &(off, len) in spans {
             if off.checked_add(len).is_none_or(|end| end > self.len) {
@@ -561,6 +685,7 @@ impl HttpBlob {
                     Some(data) => {
                         out[i] = data.as_ref().clone();
                         counters.add_cache_hits(1);
+                        had_hits = true;
                         false
                     }
                     None => {
@@ -595,7 +720,7 @@ impl HttpBlob {
             }
         }
         if groups.is_empty() {
-            return Ok(out);
+            return Ok((out, had_hits));
         }
         let wall = Instant::now();
         let result = self.fetch_groups(spans, &groups, &mut out);
@@ -609,7 +734,7 @@ impl HttpBlob {
                 b.cache.admit(b.object, off, &out[i], mode, counters);
             }
         }
-        Ok(out)
+        Ok((out, had_hits))
     }
 
     /// Learns the effective `(gap, part)` for this batch: feeds the batch's
@@ -935,6 +1060,10 @@ impl RawFile for HttpFile {
 
     fn attach_cache(&self, cache: Arc<BlockCache>) -> bool {
         self.blob.attach_cache(cache)
+    }
+
+    fn invalidate_cache(&self) -> u64 {
+        self.blob.invalidate_cached_spans()
     }
 }
 
@@ -1466,6 +1595,70 @@ mod tests {
         // Uncached clients report no cache traffic at all.
         assert_eq!(uncached.counters().cache_hits(), 0);
         assert_eq!(uncached.counters().cache_misses(), 0);
+    }
+
+    #[test]
+    fn mutated_object_invalidates_cached_spans_instead_of_serving_stale() {
+        let store = ObjectStore::serve().unwrap();
+        store.put("blob", vec![0xAAu8; 4096]);
+        let opts = HttpOptions::default().with_cache(CacheConfig::new(1 << 20, 0));
+        let blob = HttpBlob::open(store.addr(), "blob", opts, IoCounters::new()).unwrap();
+
+        let spans = [(0u64, 64u64), (512, 64), (1024, 64)];
+        let cold = blob.read_spans(&spans).unwrap();
+        assert!(cold.iter().all(|b| b.iter().all(|&x| x == 0xAA)));
+        let before = blob.counters().http_requests();
+        blob.read_spans(&spans).unwrap();
+        assert_eq!(
+            blob.counters().http_requests() - before,
+            0,
+            "precondition: fully cached, zero GETs"
+        );
+
+        // Replace the object mid-session. The next batch mixes cached
+        // spans with one miss; the miss's GET reveals the new ETag, every
+        // cached span is dropped, and the batch refetches — the caller
+        // never sees old-generation bytes next to new ones.
+        store.put("blob", vec![0xBBu8; 4096]);
+        let mixed = [(0u64, 64u64), (512, 64), (2048, 64)];
+        let bufs = blob.read_spans(&mixed).unwrap();
+        assert!(
+            bufs.iter().all(|b| b.iter().all(|&x| x == 0xBB)),
+            "stale cached spans must miss, not lie"
+        );
+        assert!(
+            blob.counters().cache_invalidations() > 0,
+            "invalidation metered"
+        );
+
+        // The cache is coherent again: a warm repeat serves the new
+        // generation with zero GETs.
+        let before = blob.counters().http_requests();
+        let again = blob.read_spans(&mixed).unwrap();
+        assert_eq!(again, bufs);
+        assert_eq!(blob.counters().http_requests() - before, 0);
+    }
+
+    #[test]
+    fn revalidate_ttl_catches_mutation_on_fully_cached_batches() {
+        let store = ObjectStore::serve().unwrap();
+        store.put("blob", vec![0x11u8; 2048]);
+        let opts = HttpOptions::default()
+            .with_cache(CacheConfig::new(1 << 20, 0))
+            .with_revalidate_ttl(Some(Duration::ZERO)); // probe every batch
+        let blob = HttpBlob::open(store.addr(), "blob", opts, IoCounters::new()).unwrap();
+        let spans = [(0u64, 64u64), (128, 64)];
+        blob.read_spans(&spans).unwrap();
+
+        store.put("blob", vec![0x22u8; 2048]);
+        // Every span is cached, so without the TTL probe no GET would ever
+        // observe the new generation.
+        let bufs = blob.read_spans(&spans).unwrap();
+        assert!(
+            bufs.iter().all(|b| b.iter().all(|&x| x == 0x22)),
+            "TTL probe must catch the replaced object"
+        );
+        assert!(blob.counters().cache_invalidations() > 0);
     }
 
     #[test]

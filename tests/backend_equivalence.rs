@@ -497,6 +497,190 @@ fn zone_pushdown_strictly_cheaper_deterministic() {
     );
 }
 
+/// [`run_sequence`] with the adaptation batch size and fetch-worker count
+/// under the caller's control (the ingest leg sweeps both).
+fn run_sequence_cfg(
+    file: &dyn RawFile,
+    spec: &DatasetSpec,
+    grid: usize,
+    windows: &[Rect],
+    phi: f64,
+    adapt_batch: usize,
+    fetch_workers: usize,
+) -> (Vec<ApproxResult>, usize) {
+    let init = InitConfig {
+        grid: GridSpec::Fixed { nx: grid, ny: grid },
+        domain: Some(spec.domain),
+        metadata: MetadataPolicy::AllNumeric,
+    };
+    let (index, _) = build(file, &init).expect("init");
+    let cfg = EngineConfig {
+        adapt_batch,
+        fetch_workers,
+        ..EngineConfig::paper_evaluation()
+    };
+    let mut engine = ApproximateEngine::new(index, file, cfg).expect("engine");
+    let aggs = [
+        AggregateFunction::Count,
+        AggregateFunction::Sum(2),
+        AggregateFunction::Mean(2),
+    ];
+    let results: Vec<ApproxResult> = windows
+        .iter()
+        .map(|w| engine.evaluate(w, &aggs, phi).expect("evaluate"))
+        .collect();
+    let leaves = engine.index().leaf_count();
+    (results, leaves)
+}
+
+/// The ingest leg: a base file extended with streamed delta batches must be
+/// indistinguishable — byte for byte, on every backend, at every
+/// adapt-batch × fetch-workers combination — from a statically-built file
+/// holding the same rows in the same order.
+///
+/// Each backend (mem/bin/zone/http) is wrapped in an `AppendableFile` with
+/// a deliberately small delta-block size, fed the same delta stream in
+/// uneven batches (so the run ends with several sealed blocks *and* a
+/// non-empty open tail), and then driven through the standard query
+/// sequence. The static twin is a `BinFile` built from base + delta rows in
+/// append order: pre-compaction the appendable scans base-then-deltas in
+/// exactly that order, so index build, adaptation trajectory, and every
+/// float fold are identical by construction — the comparisons below are on
+/// raw bits, not within tolerances.
+#[test]
+fn streamed_ingest_matches_statically_built_file_on_every_backend() {
+    let spec = dataset(900, 11, 4);
+    let csv = spec.build_mem(CsvFormat::default()).unwrap();
+    // Deterministic in-domain delta stream: scattered on both axes so the
+    // appended rows land across many tiles, with distinctive payloads.
+    let delta: Vec<Vec<f64>> = (0..300)
+        .map(|i| {
+            let x = ((i * 37 + 13) % 1000) as f64 + 0.25;
+            let y = ((i * 91 + 7) % 1000) as f64 + 0.75;
+            vec![x, y, 100.0 + i as f64, -2.0 * i as f64]
+        })
+        .collect();
+    let mut all_rows = spec.rows_physical();
+    all_rows.extend(delta.iter().cloned());
+    let twin = BinFile::from_rows(&spec.schema(), all_rows).unwrap();
+
+    let store = ObjectStore::serve().unwrap();
+    store.put("ingest.paizone", convert_to_zone(&csv).unwrap());
+
+    let windows = [
+        Rect::new(100.0, 450.0, 100.0, 450.0),
+        Rect::new(300.0, 700.0, 200.0, 600.0),
+        Rect::new(50.0, 950.0, 50.0, 950.0),
+    ];
+    // Uneven batch cuts: 120 + 130 + 50 rows against 64-row delta blocks
+    // leaves 4 sealed blocks plus a 44-row open tail.
+    let cuts = [0usize, 120, 250, 300];
+
+    for &(adapt_batch, fetch_workers) in &[(1, 1), (1, 4), (4, 1), (4, 4)] {
+        let (rt, lt) =
+            run_sequence_cfg(&twin, &spec, 5, &windows, 0.05, adapt_batch, fetch_workers);
+        let backends: Vec<(&str, Box<dyn RawFile>)> = vec![
+            (
+                "mem",
+                Box::new(
+                    pai_storage::AppendableFile::with_layout(
+                        spec.build_mem(CsvFormat::default()).unwrap(),
+                        spec.rows,
+                        64,
+                        SynopsisSpec::default(),
+                    )
+                    .unwrap(),
+                ),
+            ),
+            (
+                "bin",
+                Box::new(
+                    pai_storage::AppendableFile::with_layout(
+                        BinFile::from_bytes(convert_to_bin(&csv).unwrap()).unwrap(),
+                        spec.rows,
+                        64,
+                        SynopsisSpec::default(),
+                    )
+                    .unwrap(),
+                ),
+            ),
+            (
+                "zone",
+                Box::new(
+                    pai_storage::AppendableFile::with_layout(
+                        ZoneFile::from_bytes(convert_to_zone(&csv).unwrap()).unwrap(),
+                        spec.rows,
+                        64,
+                        SynopsisSpec::default(),
+                    )
+                    .unwrap(),
+                ),
+            ),
+            (
+                "http",
+                Box::new(
+                    pai_storage::AppendableFile::with_layout(
+                        HttpFile::open(store.addr(), "ingest.paizone", HttpOptions::default())
+                            .unwrap(),
+                        spec.rows,
+                        64,
+                        SynopsisSpec::default(),
+                    )
+                    .unwrap(),
+                ),
+            ),
+        ];
+        for (label, file) in backends {
+            for pair in cuts.windows(2) {
+                let receipt = file.append_rows(&delta[pair[0]..pair[1]]).unwrap();
+                assert_eq!(receipt.start_row, spec.rows + pair[0] as u64, "{label}");
+                assert_eq!(receipt.locators.len(), pair[1] - pair[0], "{label}");
+            }
+            let (rs, ls) = run_sequence_cfg(
+                file.as_ref(),
+                &spec,
+                5,
+                &windows,
+                0.05,
+                adapt_batch,
+                fetch_workers,
+            );
+            let tag = format!("{label} batch={adapt_batch} workers={fetch_workers}");
+            assert_eq!(rt.len(), rs.len(), "{tag}");
+            for (i, (t, s)) in rt.iter().zip(&rs).enumerate() {
+                for (tv, sv) in t.values.iter().zip(&s.values) {
+                    assert_eq!(
+                        tv.as_f64().map(f64::to_bits),
+                        sv.as_f64().map(f64::to_bits),
+                        "{tag} query {i}: answer bits"
+                    );
+                }
+                for (tc, sc) in t.cis.iter().zip(&s.cis) {
+                    assert_eq!(
+                        tc.map(|c| (c.lo().to_bits(), c.hi().to_bits())),
+                        sc.map(|c| (c.lo().to_bits(), c.hi().to_bits())),
+                        "{tag} query {i}: CI bits"
+                    );
+                }
+                assert_eq!(
+                    t.error_bound.to_bits(),
+                    s.error_bound.to_bits(),
+                    "{tag} query {i}: bound bits"
+                );
+                assert_eq!(
+                    t.stats.tiles_processed, s.stats.tiles_processed,
+                    "{tag} query {i}: trajectory"
+                );
+                assert_eq!(
+                    t.stats.selected, s.stats.selected,
+                    "{tag} query {i}: selection"
+                );
+            }
+            assert_eq!(lt, ls, "{tag}: leaf counts");
+        }
+    }
+}
+
 /// Metadata-free cold start (`MetadataPolicy::None`) converges to the same
 /// answers as eager `AllNumeric` seeding on every backend. The trajectories
 /// legitimately differ (None has to discover per-tile metadata as it

@@ -504,6 +504,246 @@ fn locked_and_pipelined_writers_interleave() {
     shared.with_index(|idx| idx.validate_invariants().unwrap());
 }
 
+/// The ingest-while-explore race: appending writers stream delta batches
+/// into a `SharedIndex` over a *cached remote* base while a 1 ms background
+/// compactor re-clusters sealed delta runs, adapting evaluators refine the
+/// same index, synopsis readers probe the zero-adaptation path (which must
+/// cleanly refuse to answer over a mutating file), and an independent truth
+/// reader scans the base through its own handle on the same sliver-budget
+/// cache.
+///
+/// Soundness against the *final* row set is made checkable mid-race by
+/// construction: every appended row carries `0.0` in the summed column, so
+/// the Sum ground truth of the final row set equals the truth at every
+/// intermediate state — any Sum CI handed out at any interleaving must
+/// contain it. Counts grow monotonically batch by batch, so every Count CI
+/// must intersect `[initial, final]`. After the dust settles, exact
+/// (φ = 0) answers must hit the final counts and the invariant sums on the
+/// nose.
+#[test]
+fn ingest_while_explore_race_stays_sound_over_one_shared_cache() {
+    use pai_core::{compact_now, spawn_compactor, CompactorConfig};
+    use pai_storage::AppendableFile;
+
+    let spec = DatasetSpec {
+        rows: 12_000,
+        columns: 4,
+        seed: 53,
+        ..Default::default()
+    };
+    let csv = spec.build_mem(CsvFormat::default()).unwrap();
+    let image = convert_to_zone(&csv).unwrap();
+    let zone = ZoneFile::from_bytes(image.clone()).unwrap();
+    let store = ObjectStore::serve().unwrap();
+    let mem_budget = (image.len() / 4) as u64;
+    let disk_budget = 2 * image.len() as u64;
+    store.put("ingest-stress.paizone", image);
+    let spill = std::env::temp_dir().join(format!("pai-ingest-spill-{}", std::process::id()));
+    let cache = Arc::new(BlockCache::new(
+        CacheConfig::new(mem_budget, disk_budget).with_spill_dir(spill.clone()),
+    ));
+    let open = || {
+        CachedFile::new(
+            Box::new(
+                HttpFile::open(
+                    store.addr(),
+                    "ingest-stress.paizone",
+                    HttpOptions::default(),
+                )
+                .unwrap(),
+            ),
+            Arc::clone(&cache),
+        )
+    };
+    let file =
+        AppendableFile::with_layout(open(), spec.rows, 256, SynopsisSpec::default()).unwrap();
+    let init = InitConfig {
+        grid: GridSpec::Fixed { nx: 6, ny: 6 },
+        domain: Some(spec.domain),
+        metadata: MetadataPolicy::AllNumeric,
+    };
+    let (index, _) = build(&file, &init).unwrap();
+    let config = EngineConfig {
+        synopsis: true,
+        adapt_batch: 4,
+        fetch_workers: 4,
+        ..EngineConfig::paper_evaluation()
+    };
+    let shared = Arc::new(SharedIndex::new(index, file, config).unwrap());
+    let compactor = spawn_compactor(
+        Arc::clone(&shared),
+        CompactorConfig {
+            min_run: 2,
+            interval: std::time::Duration::from_millis(1),
+        },
+    );
+
+    // The deterministic delta stream: 2 writers × 8 batches × 128 rows,
+    // scattered on both axes, summed column pinned to 0.0 (see above).
+    const WRITERS: usize = 2;
+    const BATCHES: usize = 8;
+    const BATCH_ROWS: usize = 128;
+    let delta_batch = |writer: usize, batch: usize| -> Vec<Vec<f64>> {
+        (0..BATCH_ROWS)
+            .map(|i| {
+                let k = (writer * BATCHES + batch) * BATCH_ROWS + i;
+                let x = ((k * 37 + 11) % 1000) as f64 + 0.5;
+                let y = ((k * 73 + 29) % 1000) as f64 + 0.5;
+                vec![x, y, 0.0, 1.0 + k as f64]
+            })
+            .collect()
+    };
+    let total_appended = (WRITERS * BATCHES * BATCH_ROWS) as u64;
+
+    let windows: Vec<Rect> = (0..6)
+        .map(|i| {
+            let off = i as f64 * 60.0;
+            Rect::new(120.0 + off, 560.0 + off, 120.0 + off, 560.0 + off)
+        })
+        .collect();
+    // Sum truth is append-invariant; counts are bracketed per window.
+    let truths: Vec<(u64, u64, f64)> = windows
+        .iter()
+        .map(|w| {
+            let t = &window_truth(&zone, w, &[2]).unwrap()[0];
+            let appended: u64 = (0..WRITERS)
+                .flat_map(|wr| (0..BATCHES).map(move |b| (wr, b)))
+                .flat_map(|(wr, b)| delta_batch(wr, b))
+                .filter(|row| w.contains_point(Point2::new(row[0], row[1])))
+                .count() as u64;
+            (t.selected, t.selected + appended, t.stats.sum())
+        })
+        .collect();
+    let aggs = [AggregateFunction::Count, AggregateFunction::Sum(2)];
+    let slack = |x: f64| 1e-9 * (1.0 + x.abs());
+    let synopsis_probes = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for writer in 0..WRITERS {
+            let shared = Arc::clone(&shared);
+            s.spawn(move || {
+                for batch in 0..BATCHES {
+                    let rows = delta_batch(writer, batch);
+                    let receipt = shared.ingest(&rows).unwrap();
+                    assert_eq!(receipt.locators.len(), BATCH_ROWS, "appender {writer}");
+                }
+            });
+        }
+        for evaluator in 0..3usize {
+            let shared = Arc::clone(&shared);
+            let (windows, truths, aggs) = (&windows, &truths, &aggs);
+            s.spawn(move || {
+                for step in 0..windows.len() * 2 {
+                    let i = (evaluator + step) % windows.len();
+                    let (lo, hi, sum) = truths[i];
+                    let res = shared.evaluate(&windows[i], aggs, 0.05).unwrap();
+                    assert!(res.met_constraint, "evaluator {evaluator} window {i}");
+                    let count_ci = res.cis[0].expect("count CI");
+                    assert!(
+                        count_ci.hi() >= lo as f64 - slack(lo as f64)
+                            && count_ci.lo() <= hi as f64 + slack(hi as f64),
+                        "evaluator {evaluator} window {i}: count CI {count_ci:?} \
+                         outside [{lo}, {hi}]"
+                    );
+                    assert!(
+                        ci_sound(res.cis[1], sum),
+                        "evaluator {evaluator} window {i}: sum CI {:?} lost the \
+                         append-invariant truth {sum}",
+                        res.cis[1]
+                    );
+                }
+            });
+        }
+        // Synopsis readers: over a *mutating* file the synopsis path must
+        // refuse to answer (`block_synopses` is `None` by contract — a
+        // base-only synopsis answer would silently drop appended rows), and
+        // the refusal must stay clean under full writer/compactor churn.
+        for reader in 0..2usize {
+            let shared = Arc::clone(&shared);
+            let (windows, probed) = (&windows, &synopsis_probes);
+            s.spawn(move || {
+                for step in 0..windows.len() * 3 {
+                    let i = (reader + step) % windows.len();
+                    let res = shared
+                        .estimate_synopsis(&windows[i], &[AggregateFunction::Count])
+                        .unwrap();
+                    assert!(
+                        res.is_none(),
+                        "synopsis reader {reader} window {i}: a synopsis-built \
+                         answer over a mutating file would drop appended rows"
+                    );
+                    probed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Base-integrity reader: pruned truth scans of the *base* through an
+        // independent handle on the same cache must keep seeing the original
+        // rows exactly, while compactions invalidate and writers churn it.
+        {
+            let open = &open;
+            let (windows, truths) = (&windows, &truths);
+            s.spawn(move || {
+                let f = open();
+                for step in 0..windows.len() * 2 {
+                    let i = step % windows.len();
+                    let t = &window_truth(&f, &windows[i], &[2]).unwrap()[0];
+                    assert_eq!(
+                        (t.selected, t.stats.sum()),
+                        (truths[i].0, truths[i].2),
+                        "base reader window {i}: torn or misplaced cached block"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = compactor.stop();
+    assert_eq!(stats.errors, 0, "compactor passes must never fail");
+    // Leave the delta store fully compacted; whether the background thread
+    // or this call did the last rewrite is timing, but *someone* compacted.
+    compact_now(&shared, 1).unwrap();
+    let io = shared.file().counters().snapshot();
+    assert_eq!(io.rows_ingested, total_appended);
+    assert!(
+        io.compactions >= 1,
+        "the delta store was never re-clustered"
+    );
+    shared.with_index(|idx| idx.validate_invariants().unwrap());
+
+    // Quiesced: exact answers must hit the final row set on the nose.
+    for (w, &(_, final_count, sum)) in windows.iter().zip(&truths) {
+        let res = shared.evaluate(w, &aggs, 0.0).unwrap();
+        assert_eq!(res.values[0], AggregateValue::Count(final_count));
+        let got = res.values[1].as_f64().unwrap();
+        assert!(
+            (got - sum).abs() <= slack(sum),
+            "final sum {got} drifted from {sum}"
+        );
+    }
+    assert!(
+        shared.file().counters().cache_hits() > 0,
+        "the shared cache actually served spans"
+    );
+    assert!(
+        cache.mem_used() <= mem_budget,
+        "memory budget violated: {} > {mem_budget}",
+        cache.mem_used()
+    );
+    assert!(
+        synopsis_probes.load(Ordering::Relaxed) > 0,
+        "the synopsis readers actually probed mid-race"
+    );
+    println!(
+        "ingest race: {} synopsis probes mid-race, {} compactor passes, {} compactions",
+        synopsis_probes.load(Ordering::Relaxed),
+        stats.passes,
+        io.compactions
+    );
+    drop(shared);
+    drop(cache);
+    let _ = std::fs::remove_dir_all(&spill);
+}
+
 /// Synopsis readers race writers adapting the same `SharedIndex`: every
 /// zero-adaptation estimate handed out mid-race must still bound the
 /// ground truth. The synopsis path folds block moments against a snapshot

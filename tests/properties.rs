@@ -294,6 +294,182 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Delta-block synopsis soundness over adversarial appends: every
+    /// sealed block's zone map brackets the non-NaN values of the rows it
+    /// holds (NaN and −0.0 included in the stream), its histogram mass
+    /// brackets the true half-open selection count of any interval, and its
+    /// axis synopsis never claims coverage or mass the rows don't have —
+    /// exactly the guarantees a statically-written PaiZone block gives,
+    /// proven here for blocks born online at seal time.
+    #[test]
+    fn prop_delta_block_synopses_bracket_appended_rows(
+        rows in prop::collection::vec(
+            (edge_value(), edge_value(), edge_value(), edge_value()), 1..120),
+        block_rows in 8u32..32,
+        buckets in 1usize..8,
+        (lo, hi) in edge_interval(),
+        (wx, wy) in ((0.0f64..900.0, 10.0f64..600.0), (0.0f64..900.0, 10.0f64..600.0)),
+    ) {
+        let spec = DatasetSpec { rows: 50, columns: 4, seed: 3, ..Default::default() };
+        let base = spec.build_mem(CsvFormat::default()).unwrap();
+        let file = pai_storage::AppendableFile::with_layout(
+            base,
+            spec.rows,
+            block_rows,
+            SynopsisSpec { buckets, sample_rows: 2 },
+        )
+        .unwrap();
+        let appended: Vec<Vec<f64>> =
+            rows.iter().map(|&(a, b, c, d)| vec![a, b, c, d]).collect();
+        file.append_rows(&appended).unwrap();
+
+        let window = Rect::new(wx.0, wx.0 + wx.1, wy.0, wy.0 + wy.1);
+        let stats = file.delta_block_stats();
+        let syns = file.delta_synopses();
+        let sealed = rows.len() / block_rows as usize;
+        prop_assert_eq!(stats.len(), sealed, "one zone map per sealed block");
+        prop_assert_eq!(syns.len(), sealed, "one synopsis per sealed block");
+
+        for (b, (st, syn)) in stats.iter().zip(&syns).enumerate() {
+            let br = block_rows as usize;
+            let block_rows_slice = &appended[b * br..(b + 1) * br];
+            // Pre-compaction, sealed blocks cover contiguous append ranges.
+            prop_assert_eq!(st.row_start, spec.rows + (b * br) as u64);
+            prop_assert_eq!(st.row_end, spec.rows + ((b + 1) * br) as u64);
+            prop_assert_eq!(syn.rows(), br as u64);
+            for c in 0..4usize {
+                let col = &syn.cols[c];
+                let vals: Vec<f64> = block_rows_slice.iter().map(|r| r[c]).collect();
+                let non_nan = vals.iter().filter(|v| !v.is_nan()).count() as u64;
+                prop_assert_eq!(col.count, non_nan, "block {b} col {c}: count");
+                for &v in vals.iter().filter(|v| !v.is_nan()) {
+                    prop_assert!(
+                        st.min[c] <= v && v <= st.max[c],
+                        "block {b} col {c}: envelope [{}, {}] lost value {v}",
+                        st.min[c], st.max[c]
+                    );
+                }
+                let truth = vals
+                    .iter()
+                    .filter(|v| !v.is_nan() && **v >= lo && **v < hi)
+                    .count() as u64;
+                let (mass_lo, mass_hi) = col.mass_in(lo, hi);
+                prop_assert!(mass_hi <= col.count);
+                if !lo.is_nan() && !hi.is_nan() {
+                    prop_assert!(
+                        mass_lo <= truth && truth <= mass_hi,
+                        "block {b} col {c}: mass [{mass_lo}, {mass_hi}] lost \
+                         truth {truth} for [{lo}, {hi})"
+                    );
+                }
+            }
+            // The axis synopsis, as the scan/estimate paths consume it.
+            let truth = block_rows_slice
+                .iter()
+                .filter(|r| window.contains_point(Point2::new(r[0], r[1])))
+                .count() as u64;
+            let (sel_lo, sel_hi) = syn.selected_mass(0, 1, &window);
+            prop_assert!(sel_lo <= truth && truth <= sel_hi);
+            if syn.covered_by(0, 1, &window) {
+                prop_assert_eq!(truth, syn.rows(), "covered_by over-claimed");
+            }
+            if truth > 0 {
+                prop_assert!(
+                    st.may_intersect_window(0, 1, &window),
+                    "block {b}: pruned a block holding a selected appended row"
+                );
+            }
+        }
+    }
+
+    /// Compaction is idempotent and answer-invariant: one compaction
+    /// re-clusters every sealed delta block, a second (with nothing new
+    /// appended) is a no-op that changes no byte of metadata, and both a
+    /// pruned scan and an exact engine planned *before* the generation swap
+    /// see the same rows afterwards — compaction permutes layout, never
+    /// content.
+    #[test]
+    fn prop_compaction_idempotent_and_answer_invariant(
+        appended in prop::collection::vec(
+            (0.0f64..1000.0, 0.0f64..1000.0, -100.0f64..100.0), 48..120),
+        block_rows in 8u32..32,
+        window in window_strategy(),
+        probe in window_strategy(),
+        seed in 0u64..3,
+    ) {
+        let (base, spec) = fixture(seed);
+        let file = pai_storage::AppendableFile::with_layout(
+            base,
+            spec.rows,
+            block_rows,
+            SynopsisSpec::default(),
+        )
+        .unwrap();
+        let rows: Vec<Vec<f64>> = appended
+            .iter()
+            .map(|&(x, y, v)| vec![x.min(999.9), y.min(999.9), v, 0.5])
+            .collect();
+        file.append_rows(&rows).unwrap();
+
+        // An exact engine planned against the pre-compaction layout: its
+        // index entries hold locators that must survive the swap.
+        let init = InitConfig {
+            grid: GridSpec::Fixed { nx: 4, ny: 4 },
+            domain: Some(spec.domain),
+            metadata: MetadataPolicy::AllNumeric,
+        };
+        let (index, _) = build(&file, &init).unwrap();
+        let mut engine = ExactEngine::new(index, &file, AdaptConfig::default()).unwrap();
+        let aggs = [AggregateFunction::Count, AggregateFunction::Sum(2)];
+        let before_engine = engine.evaluate(&window, &aggs).unwrap();
+
+        let before = window_truth(&file, &window, &[2]).unwrap();
+        let gen_before = file.generation();
+        let first = file.compact_once(&spec.domain, 1).unwrap();
+        prop_assert!(first.is_some(), "a sealed run must compact");
+        let report = first.unwrap();
+        prop_assert_eq!(report.generation, gen_before + 1);
+        prop_assert_eq!(file.generation(), report.generation);
+        let stats_once = file.delta_block_stats();
+
+        // compact ∘ compact ≡ compact: nothing cold is left, so the second
+        // pass must decline and leave every block byte-identical.
+        let second = file.compact_once(&spec.domain, 1).unwrap();
+        prop_assert!(second.is_none(), "recompaction must be a no-op");
+        prop_assert_eq!(file.generation(), report.generation, "no-op must not bump");
+        prop_assert_eq!(&file.delta_block_stats(), &stats_once);
+
+        // Answers are layout-invariant: the pruned scan sees the same rows
+        // (counts and extrema exactly; sums to fold-order tolerance)...
+        let after = window_truth(&file, &window, &[2]).unwrap();
+        prop_assert_eq!(after[0].selected, before[0].selected);
+        prop_assert_eq!(after[0].stats.min(), before[0].stats.min());
+        prop_assert_eq!(after[0].stats.max(), before[0].stats.max());
+        let (s0, s1) = (before[0].stats.sum(), after[0].stats.sum());
+        prop_assert!((s0 - s1).abs() <= 1e-9 * (1.0 + s0.abs()), "{s0} vs {s1}");
+
+        // ... and the engine that planned before the swap redeems its
+        // locators against the permuted layout without noticing: the same
+        // window re-answers identically, and a fresh window still matches
+        // a ground-truth scan.
+        let after_engine = engine.evaluate(&window, &aggs).unwrap();
+        prop_assert_eq!(&after_engine.values[0], &before_engine.values[0]);
+        let (e0, e1) = (
+            before_engine.values[1].as_f64().unwrap(),
+            after_engine.values[1].as_f64().unwrap(),
+        );
+        prop_assert!((e0 - e1).abs() <= 1e-9 * (1.0 + e0.abs()), "{e0} vs {e1}");
+        let probed = engine.evaluate(&probe, &aggs).unwrap();
+        let truth = &window_truth(&file, &probe, &[2]).unwrap()[0];
+        prop_assert_eq!(&probed.values[0], &AggregateValue::Count(truth.selected));
+        let (p, t) = (probed.values[1].as_f64().unwrap(), truth.stats.sum());
+        prop_assert!((p - t).abs() <= 1e-6 * (1.0 + p.abs()), "{p} vs {t}");
+    }
+}
+
 /// Deterministic (non-proptest) regression: FullTile read policy answers
 /// identically to WindowOnly, just with different I/O.
 #[test]

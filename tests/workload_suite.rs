@@ -77,13 +77,17 @@ fn summary_and_csv_over_real_runs() {
          exact_fetch_p50_us,exact_fetch_p99_us,\
          exact_cache_hits,exact_cache_misses,exact_cache_evictions,exact_cache_spill_bytes,\
          exact_cache_mem_bytes,exact_synopsis_hits,exact_synopsis_blocks,exact_synopsis_bytes,\
+         exact_rows_ingested,exact_delta_blocks,exact_compactions,\
+         exact_blocks_rewritten,exact_cache_invalidations,\
          exact_predicted_bytes,exact_lock_wait_ms,phi=5%_time_ms,phi=5%_objects,\
          phi=5%_bytes,phi=5%_read_calls,phi=5%_blocks_read,phi=5%_blocks_skipped,\
          phi=5%_http_requests,phi=5%_http_bytes,phi=5%_retries,phi=5%_fetch_inflight_peak,\
          phi=5%_overlap_ratio,phi=5%_parts_resized,phi=5%_fetch_p50_us,phi=5%_fetch_p99_us,\
          phi=5%_cache_hits,phi=5%_cache_misses,phi=5%_cache_evictions,phi=5%_cache_spill_bytes,\
          phi=5%_cache_mem_bytes,phi=5%_synopsis_hits,phi=5%_synopsis_blocks,\
-         phi=5%_synopsis_bytes,phi=5%_predicted_bytes,phi=5%_lock_wait_ms"
+         phi=5%_synopsis_bytes,phi=5%_rows_ingested,phi=5%_delta_blocks,phi=5%_compactions,\
+         phi=5%_blocks_rewritten,phi=5%_cache_invalidations,\
+         phi=5%_predicted_bytes,phi=5%_lock_wait_ms"
     ));
 
     // predicted_bytes tracks the exact run's metered bytes. On a CSV
